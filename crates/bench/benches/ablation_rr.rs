@@ -1,0 +1,148 @@
+//! Ablation: the receive-path design choice behind the RR optimization.
+//!
+//! Classic delta-based synchronization checks `d ⋢ x` (an order test) and
+//! then buffers the *whole* received δ-group; RR computes `Δ(d, x)` and
+//! buffers only the extraction. The extraction looks more expensive per
+//! call — this bench quantifies by how much — but Fig. 12 shows classic
+//! losing overall because it later joins and re-transmits the redundant
+//! bulk it buffered. Both effects are measured here:
+//!
+//! * `receive/*` — one receive-path call, varying the redundant fraction;
+//! * `amplification/*` — the downstream cost: joining the buffered groups
+//!   into the next outgoing δ-group.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use crdt_lattice::{Decompose, Lattice, ReplicaId, SetLattice};
+use crdt_sync::{DeltaConfig, DeltaMsg, DeltaSync};
+use crdt_types::{GSet, GSetOp};
+
+/// Local state of `n` elements plus a received group of `n/4` elements of
+/// which `redundant_pct`% are already known.
+fn scenario(n: u64, redundant_pct: u64) -> (GSet<u64>, GSet<u64>) {
+    let state: GSet<u64> = (0..n).collect();
+    let group_size = (n / 4).max(4);
+    let redundant = group_size * redundant_pct / 100;
+    let group: GSet<u64> = (0..redundant)
+        .map(|i| i * 4 % n) // already present
+        .chain((0..group_size - redundant).map(|i| n + i)) // novel
+        .collect();
+    (state, group)
+}
+
+fn bench_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("receive");
+    for &pct in &[0u64, 50, 90, 100] {
+        let (state, group) = scenario(4096, pct);
+
+        g.bench_with_input(
+            BenchmarkId::new("classic_inflation_check", pct),
+            &pct,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut p = DeltaSync::<GSet<u64>>::with_config(
+                            ReplicaId(0),
+                            DeltaConfig::CLASSIC,
+                        );
+                        seed(&mut p, &state);
+                        p
+                    },
+                    |mut p| {
+                        p.receive(ReplicaId(1), DeltaMsg(group.clone()));
+                        p
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("rr_delta_extraction", pct),
+            &pct,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut p = DeltaSync::<GSet<u64>>::with_config(
+                            ReplicaId(0),
+                            DeltaConfig::BP_RR,
+                        );
+                        seed(&mut p, &state);
+                        p
+                    },
+                    |mut p| {
+                        p.receive(ReplicaId(1), DeltaMsg(group.clone()));
+                        p
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn seed(p: &mut DeltaSync<GSet<u64>>, state: &GSet<u64>) {
+    for e in state.iter() {
+        p.local_op(&GSetOp::Add(*e));
+    }
+    // Clear the warm-up buffer so only the measured receive populates it.
+    let mut sink = Vec::new();
+    p.sync_step(&[], &mut sink);
+}
+
+/// Downstream amplification: the δ-group a node sends is the join of its
+/// buffer. Classic buffers whole groups (large joins); RR buffers
+/// extractions (small joins).
+fn bench_amplification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amplification");
+    for &pct in &[50u64, 90] {
+        for (label, cfg) in [("classic", DeltaConfig::CLASSIC), ("bp_rr", DeltaConfig::BP_RR)] {
+            let (state, group) = scenario(4096, pct);
+            g.bench_with_input(
+                BenchmarkId::new(label, pct),
+                &pct,
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            let mut p =
+                                DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), cfg);
+                            seed(&mut p, &state);
+                            // Receive 4 overlapping groups (one per mesh
+                            // neighbor).
+                            for i in 0..4u32 {
+                                p.receive(ReplicaId(1 + i), DeltaMsg(group.clone()));
+                            }
+                            p
+                        },
+                        |mut p| {
+                            let mut out = Vec::new();
+                            p.sync_step(&[ReplicaId(9)], &mut out);
+                            out
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Baseline: the raw lattice operations the two paths reduce to.
+fn bench_primitives(c: &mut Criterion) {
+    let (state, group) = scenario(4096, 90);
+    let s: SetLattice<u64> = state.iter().copied().collect();
+    let d: SetLattice<u64> = group.iter().copied().collect();
+    c.bench_function("primitive/leq", |b| {
+        b.iter(|| black_box(&d).leq(black_box(&s)))
+    });
+    c.bench_function("primitive/delta", |b| {
+        b.iter(|| black_box(&d).delta(black_box(&s)))
+    });
+    c.bench_function("primitive/join", |b| {
+        b.iter(|| black_box(s.clone()).join(black_box(d.clone())))
+    });
+}
+
+criterion_group!(ablation_rr, bench_receive, bench_amplification, bench_primitives);
+criterion_main!(ablation_rr);

@@ -1,0 +1,181 @@
+//! Criterion micro-benchmarks for the causal (dot-store) types, the wire
+//! codec, and the multi-object store — the cost model behind running the
+//! paper's synchronization on removable data types at store granularity.
+//!
+//! Groups:
+//!
+//! * `causal_ops/*` — mutator + optimal-delta cost for AWSet, ORMap and
+//!   RWSet at growing state sizes (the δ-mutator is `Δ(m(x), x)`
+//!   specialized, so this prices the paper's §III-B machinery on causal
+//!   state);
+//! * `causal_delta/*` — `Δ(a, b)` extraction between diverged causal
+//!   states (the RR hot path);
+//! * `codec/*` — encode/decode of lattice states vs their analytic size;
+//! * `store_round/*` — one multi-object sync round, classic vs BP+RR.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use crdt_lattice::{Decompose, MapLattice, Max, ReplicaId, WireEncode};
+use crdt_sync::DeltaConfig;
+use crdt_types::{AWSet, ORMap, RWSet};
+use delta_store::{Cluster, StoreConfig};
+use crdt_types::AWSetOp;
+
+const A: ReplicaId = ReplicaId(0);
+const B: ReplicaId = ReplicaId(1);
+
+fn awset(n: u64) -> AWSet<u64> {
+    let mut s = AWSet::new();
+    for e in 0..n {
+        let _ = s.add(ReplicaId((e % 4) as u32), e);
+        if e % 3 == 0 {
+            let _ = s.remove(&(e / 2));
+        }
+    }
+    s
+}
+
+fn ormap(n: u64) -> ORMap<u64, u64> {
+    let mut m = ORMap::new();
+    for k in 0..n {
+        let _ = m.put(ReplicaId((k % 4) as u32), k % (n / 2).max(1), k);
+    }
+    m
+}
+
+fn bench_causal_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("causal_ops");
+    for &n in &[64u64, 512, 2048] {
+        let set = awset(n);
+        g.bench_with_input(BenchmarkId::new("awset_add", n), &n, |b, _| {
+            b.iter_batched(
+                || set.clone(),
+                |mut s| black_box(s.add(A, u64::MAX)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("awset_remove", n), &n, |b, _| {
+            b.iter_batched(
+                || set.clone(),
+                |mut s| black_box(s.remove(&(n / 2))),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let map = ormap(n);
+        g.bench_with_input(BenchmarkId::new("ormap_put", n), &n, |b, _| {
+            b.iter_batched(
+                || map.clone(),
+                |mut m| black_box(m.put(A, 0, u64::MAX)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut rw = RWSet::new();
+        for e in 0..n {
+            let _ = rw.add(ReplicaId((e % 4) as u32), e);
+        }
+        g.bench_with_input(BenchmarkId::new("rwset_remove", n), &n, |b, _| {
+            b.iter_batched(
+                || rw.clone(),
+                |mut s| black_box(s.remove(B, n / 2)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_causal_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("causal_delta");
+    for &n in &[64u64, 512, 2048] {
+        // Two replicas that share a prefix and then diverge by ~n/8 events.
+        let shared = awset(n);
+        let mut ahead = shared.clone();
+        for e in 0..(n / 8).max(1) {
+            let _ = ahead.add(B, n * 2 + e);
+        }
+        g.bench_with_input(BenchmarkId::new("awset_delta", n), &n, |b, _| {
+            b.iter(|| black_box(ahead.delta(black_box(&shared))))
+        });
+        g.bench_with_input(BenchmarkId::new("awset_decompose_count", n), &n, |b, _| {
+            b.iter(|| black_box(ahead.irreducible_count()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &n in &[16u32, 256, 4096] {
+        let state: MapLattice<ReplicaId, Max<u64>> = (0..n)
+            .map(|i| (ReplicaId(i), Max::new(u64::from(i) * 7919)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("encode_gcounter", n), &n, |b, _| {
+            b.iter(|| black_box(state.to_bytes()))
+        });
+        let bytes = state.to_bytes();
+        g.bench_with_input(BenchmarkId::new("decode_gcounter", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    MapLattice::<ReplicaId, Max<u64>>::from_bytes(black_box(&bytes)).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_store_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_round");
+    for &objects in &[16u64, 128] {
+        for (label, cfg) in [
+            ("classic", StoreConfig { delta: DeltaConfig::CLASSIC }),
+            ("bp_rr", StoreConfig::default()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, objects),
+                &objects,
+                |b, &objects| {
+                    b.iter_batched(
+                        || {
+                            // 4 replicas, ring; every object hot on every replica.
+                            let neighbors: Vec<Vec<ReplicaId>> = (0..4usize)
+                                .map(|i| {
+                                    vec![
+                                        ReplicaId::from((i + 1) % 4),
+                                        ReplicaId::from((i + 3) % 4),
+                                    ]
+                                })
+                                .collect();
+                            let mut cl: Cluster<u64, AWSet<u64>> =
+                                Cluster::with_neighbors(neighbors, cfg);
+                            for k in 0..objects {
+                                for r in 0..4usize {
+                                    cl.update(
+                                        r,
+                                        k,
+                                        &AWSetOp::Add(ReplicaId::from(r), k * 10 + r as u64),
+                                    );
+                                }
+                            }
+                            cl
+                        },
+                        |mut cl| {
+                            cl.sync_round();
+                            black_box(cl.stats())
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_causal_ops,
+    bench_causal_delta,
+    bench_codec,
+    bench_store_round
+);
+criterion_main!(benches);

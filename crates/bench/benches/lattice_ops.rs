@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the lattice core: join, order test,
+//! decomposition and optimal-delta computation across the catalog's
+//! compositions and a range of state sizes.
+//!
+//! These are the primitive costs behind the paper's CPU study (Fig. 12):
+//! classic delta-based pays join/inflation-check cost on *whole* received
+//! δ-groups, while RR pays one `Δ` extraction — the `delta/*` group here
+//! prices that extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use crdt_lattice::{Bottom, Decompose, Lattice, MapLattice, Max, ReplicaId, SetLattice};
+
+type GCounterShape = MapLattice<ReplicaId, Max<u64>>;
+
+fn gset(n: u64, offset: u64) -> SetLattice<u64> {
+    (0..n).map(|i| i * 2 + offset).collect()
+}
+
+fn gcounter(n: u32, bump: u64) -> GCounterShape {
+    (0..n)
+        .map(|i| (ReplicaId(i), Max::new(u64::from(i) + bump)))
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    for &n in &[16u64, 256, 4096] {
+        let a = gset(n, 0);
+        let b = gset(n, 1);
+        g.bench_with_input(BenchmarkId::new("gset_union", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.clone()).join(black_box(b.clone())))
+        });
+        let ca = gcounter(n as u32, 0);
+        let cb = gcounter(n as u32, 5);
+        g.bench_with_input(BenchmarkId::new("gcounter_pointwise_max", n), &n, |bench, _| {
+            bench.iter(|| black_box(ca.clone()).join(black_box(cb.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_leq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leq");
+    for &n in &[16u64, 256, 4096] {
+        let small = gset(n / 2, 0);
+        let big = gset(n, 0);
+        g.bench_with_input(BenchmarkId::new("gset_subset", n), &n, |bench, _| {
+            bench.iter(|| black_box(&small).leq(black_box(&big)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompose");
+    for &n in &[16u64, 256, 4096] {
+        let s = gset(n, 0);
+        g.bench_with_input(BenchmarkId::new("gset", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut count = 0u64;
+                black_box(&s).for_each_irreducible(&mut |y| {
+                    count += u64::from(!y.is_bottom());
+                });
+                count
+            })
+        });
+        let m = gcounter(n as u32, 0);
+        g.bench_with_input(BenchmarkId::new("gcounter", n), &n, |bench, _| {
+            bench.iter(|| black_box(&m).decompose().len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta");
+    for &n in &[16u64, 256, 4096] {
+        // 10% divergence: the common synchronization case.
+        let a = gset(n, 0);
+        let b = gset(n - n / 10, 0);
+        g.bench_with_input(BenchmarkId::new("gset_10pct_new", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).delta(black_box(&b)))
+        });
+        // Fully redundant: the RR fast path that drops a δ-group.
+        g.bench_with_input(BenchmarkId::new("gset_fully_redundant", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).delta(black_box(&a)))
+        });
+        let ca = gcounter(n as u32, 5);
+        let cb = gcounter(n as u32, 0);
+        g.bench_with_input(BenchmarkId::new("gcounter_all_newer", n), &n, |bench, _| {
+            bench.iter(|| black_box(&ca).delta(black_box(&cb)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_leq, bench_decompose, bench_delta);
+criterion_main!(benches);

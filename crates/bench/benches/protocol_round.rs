@@ -1,0 +1,57 @@
+//! Criterion benchmark: cost of one full simulation round per protocol on
+//! the paper's 15-node mesh (GSet unique-adds workload).
+//!
+//! The relative per-round costs are the simulator-level counterpart of
+//! Fig. 12's CPU comparison: classic delta's rounds get slower as its
+//! δ-groups snowball; BP+RR rounds stay flat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crdt_lattice::{ReplicaId, SizeModel};
+use crdt_sim::{NetworkConfig, Runner, Topology};
+use crdt_sync::{BpRrDelta, ClassicDelta, OpBased, Protocol, Scuttlebutt, StateSync};
+use crdt_types::{GSet, GSetOp};
+
+const N: usize = 15;
+
+fn workload() -> impl FnMut(ReplicaId, usize) -> Vec<GSetOp<u64>> {
+    |node: ReplicaId, round: usize| vec![GSetOp::Add((round * N + node.index()) as u64)]
+}
+
+fn bench_round<P: Protocol<GSet<u64>>>(c: &mut Criterion, label: &str) {
+    c.bench_function(&format!("round/{label}"), |b| {
+        b.iter_batched(
+            || {
+                // Warm the system up for 10 rounds so buffers/states carry
+                // realistic content, then measure one more round.
+                let mut runner: Runner<GSet<u64>, P> = Runner::new(
+                    Topology::partial_mesh(N, 4),
+                    NetworkConfig::reliable(1),
+                    SizeModel::compact(),
+                );
+                runner.run(&mut workload(), 10);
+                runner
+            },
+            |mut runner| {
+                runner.step(&mut workload_at(10));
+                runner
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Workload shifted to a fixed round index (the measured round).
+fn workload_at(round: usize) -> impl FnMut(ReplicaId, usize) -> Vec<GSetOp<u64>> {
+    move |node: ReplicaId, _| vec![GSetOp::Add((round * N + node.index()) as u64)]
+}
+
+fn benches(c: &mut Criterion) {
+    bench_round::<StateSync<GSet<u64>>>(c, "state");
+    bench_round::<ClassicDelta<GSet<u64>>>(c, "classic_delta");
+    bench_round::<BpRrDelta<GSet<u64>>>(c, "bp_rr_delta");
+    bench_round::<Scuttlebutt<GSet<u64>>>(c, "scuttlebutt");
+    bench_round::<OpBased<GSet<u64>>>(c, "op_based");
+}
+
+criterion_group!(protocol_round, benches);
+criterion_main!(protocol_round);

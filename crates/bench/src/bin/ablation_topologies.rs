@@ -1,0 +1,6 @@
+//! Extension experiment: BP/RR contribution across topology classes.
+//! Pass `--quick` for a reduced-scale smoke run.
+
+fn main() {
+    crdt_bench::experiments::ablation_topologies(crdt_bench::Scale::from_args());
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment. Defaults to reduced scale; pass `--full` for
+//! paper-scale parameters everywhere.
+
+use crdt_bench::experiments;
+use crdt_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("running all experiments at {scale:?} scale\n");
+    experiments::table1();
+    experiments::table2(scale);
+    experiments::fig1(scale);
+    experiments::fig7(scale);
+    experiments::fig8(scale);
+    experiments::fig9(scale);
+    experiments::fig10(scale);
+    experiments::ablation_topologies(scale);
+    experiments::ext_deltacrdt(scale);
+    let points = experiments::run_retwis_sweep(scale);
+    experiments::fig11_from(&points);
+    experiments::fig12_from(&points);
+    println!("\nall experiments done.");
+}

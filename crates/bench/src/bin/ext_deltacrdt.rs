@@ -1,0 +1,6 @@
+//! Extension experiment: the ∆-CRDT baseline of the paper's §VI (\[31\])
+//! against delta-based BP+RR. Pass `--quick` for a reduced-scale run.
+
+fn main() {
+    crdt_bench::experiments::ext_deltacrdt(crdt_bench::Scale::from_args());
+}

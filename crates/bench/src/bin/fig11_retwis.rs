@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see EXPERIMENTS.md. Pass `--quick`
+//! for a reduced-scale smoke run.
+
+fn main() {
+    crdt_bench::experiments::fig11(crdt_bench::Scale::from_args());
+}

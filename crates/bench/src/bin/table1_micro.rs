@@ -1,0 +1,5 @@
+//! Regenerates Table I from the workload registry.
+
+fn main() {
+    crdt_bench::experiments::table1();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II by measuring a generated Retwis trace. Pass
+//! `--quick` for a smaller trace.
+
+fn main() {
+    crdt_bench::experiments::table2(crdt_bench::Scale::from_args());
+}

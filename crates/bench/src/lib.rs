@@ -1,0 +1,296 @@
+//! # crdt-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V). Each `src/bin/figN_*.rs` binary reproduces one
+//! artifact; this library holds the shared machinery: running the full
+//! protocol suite over a workload factory, ratio computation, and aligned
+//! table printing.
+//!
+//! Run everything (reduced scale) with:
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin all_experiments
+//! ```
+
+#![warn(missing_docs)]
+
+use crdt_lattice::SizeModel;
+use crdt_sim::{run_experiment, NetworkConfig, RunMetrics, Topology, Workload};
+use crdt_sync::{
+    BpDelta, BpRrDelta, ClassicDelta, DeltaCrdt, DeltaCrdtSmallLog, OpBased, Protocol, RrDelta,
+    Scuttlebutt, ScuttlebuttGc, StateSync,
+};
+use crdt_types::Crdt;
+
+/// One protocol's results for one experiment.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Protocol label (matches the paper's figures).
+    pub name: &'static str,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Which protocols to include in a suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// All eight protocols (Figs. 7–10).
+    Full,
+    /// Only delta variants + state (Fig. 1 style).
+    DeltaFamily,
+    /// Classic vs BP+RR (the Retwis comparison, Figs. 11–12).
+    ClassicVsBpRr,
+    /// BP+RR against the ∆-CRDT baseline of \[31\] (extension study):
+    /// state, classic, BP+RR, ∆-CRDT (64-entry log), ∆-CRDT (4-entry log).
+    DeltaCrdtStudy,
+}
+
+/// Run the protocol suite over identical replayed workloads.
+///
+/// `make` must build a *fresh* workload per call (deterministic per seed)
+/// so each protocol sees the same operation stream.
+pub fn run_suite<C, W>(
+    suite: Suite,
+    topology: &Topology,
+    net_seed: u64,
+    model: SizeModel,
+    rounds: usize,
+    make: impl Fn() -> W,
+) -> Vec<Run>
+where
+    C: Crdt,
+    W: Workload<C>,
+{
+    let net = NetworkConfig::reliable(net_seed);
+    let mut runs = Vec::new();
+    macro_rules! one {
+        ($p:ty) => {{
+            let mut w = make();
+            runs.push(Run {
+                name: <$p as Protocol<C>>::NAME,
+                metrics: run_experiment::<C, $p>(topology.clone(), net, model, &mut w, rounds),
+            });
+        }};
+    }
+    match suite {
+        Suite::Full => {
+            one!(StateSync<C>);
+            one!(ClassicDelta<C>);
+            one!(BpDelta<C>);
+            one!(RrDelta<C>);
+            one!(BpRrDelta<C>);
+            one!(Scuttlebutt<C>);
+            one!(ScuttlebuttGc<C>);
+            one!(OpBased<C>);
+        }
+        Suite::DeltaFamily => {
+            one!(StateSync<C>);
+            one!(ClassicDelta<C>);
+            one!(BpDelta<C>);
+            one!(RrDelta<C>);
+            one!(BpRrDelta<C>);
+        }
+        Suite::ClassicVsBpRr => {
+            one!(ClassicDelta<C>);
+            one!(BpRrDelta<C>);
+        }
+        Suite::DeltaCrdtStudy => {
+            one!(StateSync<C>);
+            one!(ClassicDelta<C>);
+            one!(BpRrDelta<C>);
+            one!(DeltaCrdt<C>);
+            one!(DeltaCrdtSmallLog<C>);
+        }
+    }
+    runs
+}
+
+/// Find a run by protocol name.
+pub fn find<'a>(runs: &'a [Run], name: &str) -> &'a Run {
+    runs.iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("protocol {name} missing from suite"))
+}
+
+/// Ratio `a / b`, guarding division by zero.
+pub fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Scale flag: `--quick` shrinks experiments for CI; default is paper
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters.
+    Full,
+    /// Reduced parameters for smoke runs.
+    Quick,
+}
+
+impl Scale {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Pick a value by scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Print an aligned table (human-readable, plus greppable `==` title).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&headers_owned));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a ratio for display.
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.2}")
+    }
+}
+
+/// Format bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: &[&str] = &["B", "KB", "MB", "GB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Canonical transmission-ratio rows (each protocol vs BP+RR) used by the
+/// Fig. 7/8 binaries.
+pub fn transmission_ratio_rows(runs: &[Run]) -> Vec<Vec<String>> {
+    let base = &find(runs, "delta+BP+RR").metrics;
+    let (base_elems, base_bytes) = (base.total_elements(), base.total_bytes());
+    runs.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.metrics.total_elements().to_string(),
+                fmt_ratio(ratio(r.metrics.total_elements(), base_elems)),
+                fmt_bytes(r.metrics.total_bytes()),
+                fmt_ratio(ratio(r.metrics.total_bytes(), base_bytes)),
+                format!("{:.1}%", 100.0 * r.metrics.metadata_fraction()),
+            ]
+        })
+        .collect()
+}
+
+/// Headers matching [`transmission_ratio_rows`]. The paper's transmission
+/// figures compare *all* traffic — payload plus synchronization metadata —
+/// which is why the bytes ratio (not the element count) is the headline
+/// column: vector-based protocols pay for their digests.
+pub const TRANSMISSION_HEADERS: &[&str] = &[
+    "protocol",
+    "elements",
+    "elem ratio",
+    "total bytes",
+    "bytes ratio vs BP+RR",
+    "metadata %",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_lattice::ReplicaId;
+    use crdt_types::{GSet, GSetOp};
+
+    fn unique_adds(n: usize, events: usize) -> impl FnMut(ReplicaId, usize) -> Vec<GSetOp<u64>> {
+        move |node: ReplicaId, round: usize| {
+            if round >= events {
+                return Vec::new();
+            }
+            vec![GSetOp::Add((round * n + node.index()) as u64)]
+        }
+    }
+
+    #[test]
+    fn full_suite_runs_and_converges() {
+        let n = 6;
+        let topo = Topology::partial_mesh(n, 4);
+        let runs = run_suite::<GSet<u64>, _>(
+            Suite::Full,
+            &topo,
+            1,
+            SizeModel::compact(),
+            5,
+            || unique_adds(n, 5),
+        );
+        assert_eq!(runs.len(), 8);
+        for r in &runs {
+            assert!(r.metrics.total_messages() > 0, "{} sent nothing", r.name);
+        }
+        let classic = find(&runs, "delta").metrics.total_elements();
+        let bprr = find(&runs, "delta+BP+RR").metrics.total_elements();
+        assert!(bprr < classic);
+        let rows = transmission_ratio_rows(&runs);
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn ratio_and_formatting() {
+        assert_eq!(ratio(10, 5), 2.0);
+        assert_eq!(ratio(0, 0), 1.0);
+        assert!(ratio(1, 0).is_infinite());
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KB");
+        assert_eq!(fmt_ratio(1.5), "1.50");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(100, 5), 100);
+        assert_eq!(Scale::Quick.pick(100, 5), 5);
+    }
+}
+
+pub mod experiments;

@@ -1,0 +1,167 @@
+//! The δ-buffer of Algorithm 1.
+//!
+//! Classic delta-based synchronization keeps `Bᵢ ∈ P(L)` — a bag of delta
+//! states awaiting propagation. The BP optimization extends entries with
+//! their **origin** (`Bᵢ ∈ P(L × I)`, Algorithm 1 line 5) so that a
+//! δ-group received from `j` is never sent back to `j` (line 11).
+
+use crdt_lattice::{join_all, Bottom, ReplicaId, SizeModel, StateSize};
+
+/// Where a buffered δ-group came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Produced by a local δ-mutator.
+    Local,
+    /// Received from this neighbor.
+    From(ReplicaId),
+}
+
+impl Origin {
+    /// Should an entry with this origin be sent to neighbor `j`?
+    ///
+    /// With BP, entries that came *from* `j` are filtered out
+    /// (Algorithm 1 line 11: `o ≠ j`).
+    pub fn sendable_to(self, j: ReplicaId) -> bool {
+        !matches!(self, Origin::From(o) if o == j)
+    }
+}
+
+/// One tagged entry of the δ-buffer.
+#[derive(Debug, Clone)]
+pub struct Entry<L> {
+    /// The buffered δ-group.
+    pub delta: L,
+    /// Its origin (always [`Origin::Local`] when BP is disabled — the
+    /// classic algorithm does not track origins).
+    pub origin: Origin,
+}
+
+/// The δ-buffer `Bᵢ`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuffer<L> {
+    entries: Vec<Entry<L>>,
+}
+
+impl<L: Bottom + StateSize> DeltaBuffer<L> {
+    /// An empty buffer (`B⁰ᵢ = ∅`).
+    pub fn new() -> Self {
+        DeltaBuffer { entries: Vec::new() }
+    }
+
+    /// Append a δ-group (the buffer half of `store`, Algorithm 1 line 20).
+    pub fn push(&mut self, delta: L, origin: Origin) {
+        debug_assert!(!delta.is_bottom(), "⊥ must never enter the δ-buffer");
+        self.entries.push(Entry { delta, origin });
+    }
+
+    /// The δ-group for neighbor `j`: the join of all entries, excluding
+    /// (when `bp`) those originating at `j` (Algorithm 1 line 11).
+    ///
+    /// Returns `⊥` when nothing is pending for `j`.
+    pub fn group_for(&self, j: ReplicaId, bp: bool) -> L {
+        join_all(
+            self.entries
+                .iter()
+                .filter(|e| !bp || e.origin.sendable_to(j))
+                .map(|e| e.delta.clone()),
+        )
+    }
+
+    /// Clear the buffer (Algorithm 1 line 13, `B′ᵢ = ∅` — valid under the
+    /// no-loss channel assumption; see [`crate::AckedDeltaSync`] for the
+    /// sequence-number variant that tolerates drops).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of buffered δ-groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate buffered entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<L>> {
+        self.entries.iter()
+    }
+
+    /// Total elements held (memory accounting, Fig. 10).
+    pub fn elements(&self) -> u64 {
+        self.entries.iter().map(|e| e.delta.count_elements()).sum()
+    }
+
+    /// Total bytes held, including the origin tag.
+    pub fn bytes(&self, model: &SizeModel) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.delta.size_bytes(model) + model.id_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_lattice::SetLattice;
+
+    type S = SetLattice<u32>;
+
+    #[test]
+    fn group_for_joins_everything_without_bp() {
+        let mut b = DeltaBuffer::new();
+        b.push(S::from_iter([1]), Origin::Local);
+        b.push(S::from_iter([2]), Origin::From(ReplicaId(7)));
+        let g = b.group_for(ReplicaId(7), false);
+        assert_eq!(g, S::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn bp_filters_back_propagation() {
+        // Fig. 4 •2: A must not send {b} back to B.
+        let mut b = DeltaBuffer::new();
+        b.push(S::from_iter([1]), Origin::Local);
+        b.push(S::from_iter([2]), Origin::From(ReplicaId(7)));
+        assert_eq!(b.group_for(ReplicaId(7), true), S::from_iter([1]));
+        // Other neighbors still receive everything.
+        assert_eq!(b.group_for(ReplicaId(9), true), S::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn empty_buffer_yields_bottom() {
+        let b: DeltaBuffer<S> = DeltaBuffer::new();
+        assert!(b.group_for(ReplicaId(0), true).is_bottom());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = DeltaBuffer::new();
+        b.push(S::from_iter([1]), Origin::Local);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.elements(), 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let model = SizeModel::compact();
+        let mut b = DeltaBuffer::new();
+        b.push(S::from_iter([1, 2]), Origin::Local);
+        b.push(S::from_iter([3]), Origin::From(ReplicaId(1)));
+        assert_eq!(b.elements(), 3);
+        // 3 u32 elements + 2 origin tags.
+        assert_eq!(b.bytes(&model), 12 + 16);
+    }
+
+    #[test]
+    fn origin_sendable() {
+        assert!(Origin::Local.sendable_to(ReplicaId(1)));
+        assert!(Origin::From(ReplicaId(2)).sendable_to(ReplicaId(1)));
+        assert!(!Origin::From(ReplicaId(1)).sendable_to(ReplicaId(1)));
+    }
+}

@@ -1,0 +1,420 @@
+//! Delta-based synchronization — Algorithm 1 of the paper, in all four
+//! variants: classic, +BP, +RR, +BP+RR.
+//!
+//! ```text
+//! 1  inputs:  nᵢ ∈ P(I), set of neighbors
+//! 3  state:   xᵢ ∈ L, x⁰ᵢ = ⊥
+//! 5           Bᵢ ∈ P(L × I), B⁰ᵢ = ∅          (classic: P(L))
+//! 6  on operationᵢ(mδ)
+//! 7      δ = mδ(xᵢ)
+//! 8      store(δ, i)
+//! 9  periodically                              // synchronize
+//! 10     for j ∈ nᵢ
+//! 11         d = ⊔{s | ⟨s,o⟩ ∈ Bᵢ ∧ o ≠ j}     (classic: d = ⊔Bᵢ)
+//! 12         sendᵢⱼ(delta, d)
+//! 13     B′ᵢ = ∅
+//! 14 on receiveⱼᵢ(delta, d)
+//! 15     d = Δ(d, xᵢ)                          (RR only)
+//! 16     if d ≠ ⊥                              (classic: if d ⋢ xᵢ)
+//! 17         store(d, j)
+//! 18 fun store(s, o)
+//! 19     x′ᵢ = xᵢ ⊔ s
+//! 20     B′ᵢ = Bᵢ ∪ {⟨s,o⟩}
+//! ```
+//!
+//! The two optimizations (§IV):
+//!
+//! * **BP — avoid back-propagation of δ-groups**: tag buffer entries with
+//!   their origin and skip entries tagged `j` when synchronizing with `j`.
+//! * **RR — remove redundant state in received δ-groups**: instead of the
+//!   "harmless-looking" inflation check (`d ⋢ xᵢ`, line 16 classic — "the
+//!   source of most redundant state propagated in this synchronization
+//!   algorithm"), extract `Δ(d, xᵢ)` — the part of `d` that *strictly
+//!   inflates* the local state — and buffer only that.
+
+use crdt_lattice::{ReplicaId, SizeModel, StateSize};
+use crdt_types::Crdt;
+
+use crate::buffer::{DeltaBuffer, Origin};
+use crate::proto::{Measured, MemoryUsage, Params, Protocol};
+
+/// Which of the paper's optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaConfig {
+    /// Avoid back-propagation of δ-groups.
+    pub bp: bool,
+    /// Remove redundant state in received δ-groups.
+    pub rr: bool,
+}
+
+impl DeltaConfig {
+    /// Classic delta-based synchronization \[13\], \[14\].
+    pub const CLASSIC: Self = DeltaConfig { bp: false, rr: false };
+    /// Classic + avoid back-propagation.
+    pub const BP: Self = DeltaConfig { bp: true, rr: false };
+    /// Classic + remove redundant received state.
+    pub const RR: Self = DeltaConfig { bp: false, rr: true };
+    /// Both optimizations (the paper's best variant).
+    pub const BP_RR: Self = DeltaConfig { bp: true, rr: true };
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match (self.bp, self.rr) {
+            (false, false) => "delta",
+            (true, false) => "delta+BP",
+            (false, true) => "delta+RR",
+            (true, true) => "delta+BP+RR",
+        }
+    }
+}
+
+/// A δ-group on the wire. Pure payload: delta-based synchronization ships
+/// no digests or vectors (its only metadata, a per-neighbor sequence
+/// number, lives in the acked variant).
+#[derive(Debug, Clone)]
+pub struct DeltaMsg<C>(pub C);
+
+impl<C: StateSize> Measured for DeltaMsg<C> {
+    fn payload_elements(&self) -> u64 {
+        self.0.count_elements()
+    }
+
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.size_bytes(model)
+    }
+
+    fn metadata_bytes(&self, _model: &SizeModel) -> u64 {
+        0
+    }
+}
+
+/// Delta-based synchronization at one replica (Algorithm 1).
+///
+/// Generic over the optimization configuration at the *value* level so one
+/// implementation serves all four variants; the four unit structs
+/// ([`ClassicDelta`], [`BpDelta`], [`RrDelta`], [`BpRrDelta`]) pin the
+/// configuration at the *type* level for use as `Protocol` instances.
+#[derive(Debug, Clone)]
+pub struct DeltaSync<C> {
+    id: ReplicaId,
+    cfg: DeltaConfig,
+    state: C,
+    buffer: DeltaBuffer<C>,
+}
+
+impl<C: Crdt> DeltaSync<C> {
+    /// Create replica `id` with the given optimizations.
+    pub fn with_config(id: ReplicaId, cfg: DeltaConfig) -> Self {
+        DeltaSync { id, cfg, state: C::bottom(), buffer: DeltaBuffer::new() }
+    }
+
+    /// The replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DeltaConfig {
+        self.cfg
+    }
+
+    /// Direct read access to the δ-buffer (used by tests and metrics).
+    pub fn buffer(&self) -> &DeltaBuffer<C> {
+        &self.buffer
+    }
+
+    /// The replica's current lattice state.
+    pub fn state_ref(&self) -> &C {
+        &self.state
+    }
+
+    /// `fun store(s, o)` — Algorithm 1 lines 18–20.
+    fn store(&mut self, s: C, o: Origin) {
+        self.state.join_assign(s.clone());
+        self.buffer.push(s, o);
+    }
+
+    /// Local operation (lines 6–8): run the δ-mutator, store the delta.
+    pub fn local_op(&mut self, op: &C::Op) {
+        let delta = self.state.apply(op);
+        if !delta.is_bottom() {
+            // apply() already joined the delta into the state; only the
+            // buffer half of store() remains.
+            self.buffer.push(delta, Origin::Local);
+        }
+    }
+
+    /// Synchronization step (lines 9–13).
+    pub fn sync_step(&mut self, neighbors: &[ReplicaId], out: &mut Vec<(ReplicaId, DeltaMsg<C>)>) {
+        for &j in neighbors {
+            let d = self.buffer.group_for(j, self.cfg.bp);
+            if !d.is_bottom() {
+                out.push((j, DeltaMsg(d)));
+            }
+        }
+        self.buffer.clear();
+    }
+
+    /// Receive handler (lines 14–17).
+    pub fn receive(&mut self, from: ReplicaId, DeltaMsg(d): DeltaMsg<C>) {
+        if self.cfg.rr {
+            // RR: extract exactly what strictly inflates xᵢ.
+            let d = d.delta(&self.state);
+            if !d.is_bottom() {
+                self.store(d, Origin::From(from));
+            }
+        } else {
+            // Classic: the inflation check "appears to be harmless, but it
+            // is in fact the source of most redundant state propagated".
+            if d.inflates(&self.state) {
+                self.store(d, Origin::From(from));
+            }
+        }
+    }
+
+    /// Memory snapshot: CRDT state + δ-buffer contents.
+    pub fn memory_usage(&self, model: &SizeModel) -> MemoryUsage {
+        MemoryUsage {
+            crdt_elements: self.state.count_elements(),
+            crdt_bytes: self.state.size_bytes(model),
+            meta_elements: self.buffer.elements(),
+            meta_bytes: self.buffer.bytes(model),
+        }
+    }
+}
+
+macro_rules! delta_protocol {
+    ($(#[$doc:meta])* $name:ident, $cfg:expr, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<C>(pub DeltaSync<C>);
+
+        impl<C: Crdt> Protocol<C> for $name<C> {
+            type Msg = DeltaMsg<C>;
+
+            const NAME: &'static str = $label;
+
+            fn new(id: ReplicaId, _params: &Params) -> Self {
+                $name(DeltaSync::with_config(id, $cfg))
+            }
+
+            fn on_op(&mut self, op: &C::Op) {
+                self.0.local_op(op);
+            }
+
+            fn on_sync(
+                &mut self,
+                neighbors: &[ReplicaId],
+                out: &mut Vec<(ReplicaId, Self::Msg)>,
+            ) {
+                self.0.sync_step(neighbors, out);
+            }
+
+            fn on_msg(
+                &mut self,
+                from: ReplicaId,
+                msg: Self::Msg,
+                _out: &mut Vec<(ReplicaId, Self::Msg)>,
+            ) {
+                self.0.receive(from, msg);
+            }
+
+            fn state(&self) -> &C {
+                &self.0.state
+            }
+
+            fn memory(&self, model: &SizeModel) -> MemoryUsage {
+                self.0.memory_usage(model)
+            }
+        }
+    };
+}
+
+delta_protocol!(
+    /// Classic delta-based synchronization \[13\], \[14\] — no BP, no RR.
+    ClassicDelta,
+    DeltaConfig::CLASSIC,
+    "delta"
+);
+delta_protocol!(
+    /// Delta-based synchronization with the BP optimization.
+    BpDelta,
+    DeltaConfig::BP,
+    "delta+BP"
+);
+delta_protocol!(
+    /// Delta-based synchronization with the RR optimization.
+    RrDelta,
+    DeltaConfig::RR,
+    "delta+RR"
+);
+delta_protocol!(
+    /// Delta-based synchronization with both BP and RR (the paper's
+    /// contribution).
+    BpRrDelta,
+    DeltaConfig::BP_RR,
+    "delta+BP+RR"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_types::{GSet, GSetOp};
+
+    type P = DeltaSync<GSet<&'static str>>;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+    const C_: ReplicaId = ReplicaId(2);
+    const D: ReplicaId = ReplicaId(3);
+
+    fn sent_elements(msgs: &[(ReplicaId, DeltaMsg<GSet<&'static str>>)]) -> u64 {
+        msgs.iter().map(|(_, m)| m.payload_elements()).sum()
+    }
+
+    /// Reproduce Fig. 4: two replicas, classic vs BP.
+    ///
+    /// At •2, classic A sends {a, b} back to B even though {b} came from B;
+    /// with BP, A sends only {a}.
+    #[test]
+    fn figure4_bp_removes_back_propagation() {
+        for (cfg, expect_at_2) in [(DeltaConfig::CLASSIC, 2), (DeltaConfig::BP, 1)] {
+            let mut a = P::with_config(A, cfg);
+            let mut b = P::with_config(B, cfg);
+            a.local_op(&GSetOp::Add("a"));
+            b.local_op(&GSetOp::Add("b"));
+
+            // •1: B → A {b}.
+            let mut out = Vec::new();
+            b.sync_step(&[A], &mut out);
+            assert_eq!(sent_elements(&out), 1);
+            for (_, m) in out.drain(..) {
+                a.receive(B, m);
+            }
+
+            // •2: A → B. Classic sends {a,b}; BP sends {a}.
+            a.sync_step(&[B], &mut out);
+            assert_eq!(
+                sent_elements(&out),
+                expect_at_2,
+                "cfg = {cfg:?}"
+            );
+            for (_, m) in out.drain(..) {
+                b.receive(A, m);
+            }
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.state.len(), 2);
+        }
+    }
+
+    /// Reproduce Fig. 5: four replicas in a line A–C–D with B feeding A
+    /// and C; RR prevents C from re-forwarding the already-seen {b} to D.
+    #[test]
+    fn figure5_rr_removes_redundant_state() {
+        for (cfg, expect_at_7) in [(DeltaConfig::BP, 2), (DeltaConfig::BP_RR, 1)] {
+            let mut a = P::with_config(A, cfg);
+            let mut b = P::with_config(B, cfg);
+            let mut c = P::with_config(C_, cfg);
+            let mut d = P::with_config(D, cfg);
+
+            a.local_op(&GSetOp::Add("a"));
+            b.local_op(&GSetOp::Add("b"));
+
+            // •4: B → {A, C} with {b}.
+            let mut out = Vec::new();
+            b.sync_step(&[A, C_], &mut out);
+            for (to, m) in out.drain(..) {
+                match to {
+                    A => a.receive(B, m),
+                    C_ => c.receive(B, m),
+                    _ => unreachable!(),
+                }
+            }
+
+            // •5: C → D with {b}.
+            c.sync_step(&[D], &mut out);
+            assert_eq!(sent_elements(&out), 1);
+            for (_, m) in out.drain(..) {
+                d.receive(C_, m);
+            }
+
+            // •6: A → C with {a, b} (A's mutation joined with B's delta).
+            a.sync_step(&[C_], &mut out);
+            assert_eq!(sent_elements(&out), 2);
+            for (_, m) in out.drain(..) {
+                c.receive(A, m);
+            }
+
+            // •7: C → D. Without RR, C forwards the whole received δ-group
+            // {a, b}; with RR it extracts only the novel {a}.
+            c.sync_step(&[D], &mut out);
+            assert_eq!(sent_elements(&out), expect_at_7, "cfg = {cfg:?}");
+            for (_, m) in out.drain(..) {
+                d.receive(C_, m);
+            }
+            assert_eq!(d.state.len(), 2);
+        }
+    }
+
+    #[test]
+    fn classic_drops_non_inflating_groups() {
+        let mut a = P::with_config(A, DeltaConfig::CLASSIC);
+        a.local_op(&GSetOp::Add("x"));
+        // Already-known state: the inflation check rejects it, so the
+        // buffer holds only the local delta.
+        a.receive(B, DeltaMsg(GSet::from_iter(["x"])));
+        assert_eq!(a.buffer().len(), 1);
+    }
+
+    #[test]
+    fn rr_extracts_only_novelty() {
+        let mut a = P::with_config(A, DeltaConfig::BP_RR);
+        a.local_op(&GSetOp::Add("x"));
+        a.receive(B, DeltaMsg(GSet::from_iter(["x", "y"])));
+        // Buffer: local {x} + extracted {y} (not {x, y}).
+        assert_eq!(a.buffer().elements(), 2);
+        assert_eq!(a.state.len(), 2);
+    }
+
+    #[test]
+    fn sync_clears_buffer() {
+        let mut a = P::with_config(A, DeltaConfig::BP_RR);
+        a.local_op(&GSetOp::Add("x"));
+        let mut out = Vec::new();
+        a.sync_step(&[B], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(a.buffer().is_empty());
+        // Nothing new: next sync sends nothing.
+        a.sync_step(&[B], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn redundant_local_op_buffers_nothing() {
+        let mut a = P::with_config(A, DeltaConfig::CLASSIC);
+        a.local_op(&GSetOp::Add("x"));
+        a.local_op(&GSetOp::Add("x"));
+        // addδ returned ⊥ the second time; the buffer must not hold ⊥.
+        assert_eq!(a.buffer().len(), 1);
+    }
+
+    #[test]
+    fn memory_counts_state_and_buffer() {
+        let model = SizeModel::compact();
+        let mut a = P::with_config(A, DeltaConfig::CLASSIC);
+        a.local_op(&GSetOp::Add("ab"));
+        a.receive(B, DeltaMsg(GSet::from_iter(["cd", "ab"])));
+        let m = a.memory_usage(&model);
+        assert_eq!(m.crdt_elements, 2);
+        // Classic buffers the *whole* received group: 1 local + 2 received.
+        assert_eq!(m.meta_elements, 3);
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(DeltaConfig::CLASSIC.label(), "delta");
+        assert_eq!(DeltaConfig::BP.label(), "delta+BP");
+        assert_eq!(DeltaConfig::RR.label(), "delta+RR");
+        assert_eq!(DeltaConfig::BP_RR.label(), "delta+BP+RR");
+    }
+}

@@ -1,0 +1,468 @@
+//! ∆-CRDT synchronization (van der Linde, Leitão, Preguiça — the paper's
+//! \[31\]), as a comparison baseline.
+//!
+//! The paper's related work (§VI) describes the approach: *"∆-CRDTs
+//! exchange metadata used to compute a delta that reflects missing
+//! updates. In this approach, CRDTs need to be extended to maintain
+//! additional metadata for delta derivation, and if this metadata needs
+//! to be garbage collected, the mechanism falls back to standard
+//! bidirectional full state transmission."*
+//!
+//! Concretely, each replica extends its CRDT with a **versioned delta
+//! log**: every local mutation (and every received novelty, so deltas
+//! propagate across multi-hop topologies) is appended under a
+//! monotonically increasing sequence number. Per neighbor, the replica
+//! tracks the highest sequence number the neighbor has acknowledged:
+//!
+//! * if the log still covers everything the neighbor is missing, the
+//!   replica ships the join of the missing entries — a delta;
+//! * if the log has been garbage collected past that point (the log is
+//!   bounded by [`DeltaCrdtSync::with_capacity`]), the replica **falls
+//!   back to full state transmission** — the failure mode the paper
+//!   quotes.
+//!
+//! Receivers extract the strictly-inflating part of whatever arrives
+//! (using the same `Δ` the paper's RR optimization uses — the best
+//! possible receiver) and acknowledge the sender's sequence number.
+//!
+//! Differences from delta-based BP+RR worth measuring (the ablation
+//! bench `deltacrdt_fallback` does): the log is *not* cleared after a
+//! synchronization step — entries must survive until every neighbor has
+//! acknowledged them or the capacity bound evicts them — so memory
+//! scales with capacity, and an under-provisioned capacity converts the
+//! protocol into state-based synchronization under contention.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crdt_lattice::{ReplicaId, SizeModel, StateSize};
+use crdt_types::Crdt;
+
+use crate::proto::{Measured, MemoryUsage, Params, Protocol};
+
+/// Wire messages of ∆-CRDT synchronization.
+#[derive(Debug, Clone)]
+pub enum DeltaCrdtMsg<C> {
+    /// The join of the log entries the recipient is missing, valid up to
+    /// the sender's sequence number `upto`.
+    Delta {
+        /// The sender's log sequence number after the last entry included.
+        upto: u64,
+        /// The missing state.
+        delta: C,
+    },
+    /// Full-state fallback: the log no longer covers what the recipient
+    /// is missing.
+    Full {
+        /// The sender's current log sequence number.
+        upto: u64,
+        /// The sender's full lattice state.
+        state: C,
+    },
+    /// Acknowledgment that the receiver has incorporated everything up to
+    /// the sender's sequence number `upto`.
+    Ack {
+        /// Highest sequence number of the peer incorporated locally.
+        upto: u64,
+    },
+}
+
+impl<C: StateSize> Measured for DeltaCrdtMsg<C> {
+    fn payload_elements(&self) -> u64 {
+        match self {
+            DeltaCrdtMsg::Delta { delta, .. } => delta.count_elements(),
+            DeltaCrdtMsg::Full { state, .. } => state.count_elements(),
+            DeltaCrdtMsg::Ack { .. } => 0,
+        }
+    }
+
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        match self {
+            DeltaCrdtMsg::Delta { delta, .. } => delta.size_bytes(model),
+            DeltaCrdtMsg::Full { state, .. } => state.size_bytes(model),
+            DeltaCrdtMsg::Ack { .. } => 0,
+        }
+    }
+
+    fn metadata_bytes(&self, model: &SizeModel) -> u64 {
+        // Every message carries one sequence number.
+        model.seq_bytes
+    }
+}
+
+/// ∆-CRDT synchronization at one replica.
+#[derive(Debug, Clone)]
+pub struct DeltaCrdtSync<C> {
+    id: ReplicaId,
+    state: C,
+    /// Sequence number of the newest log entry.
+    seq: u64,
+    /// `(seq, delta)` entries with contiguous sequence numbers; bounded
+    /// by `capacity`.
+    log: VecDeque<(u64, C)>,
+    /// Per neighbor, the highest of *our* sequence numbers it has
+    /// acknowledged.
+    known: BTreeMap<ReplicaId, u64>,
+    capacity: usize,
+}
+
+impl<C: Crdt> DeltaCrdtSync<C> {
+    /// Create replica `id` with a delta log bounded to `capacity`
+    /// entries. Smaller capacities garbage-collect sooner and therefore
+    /// fall back to full-state transmission more often.
+    pub fn with_capacity(id: ReplicaId, capacity: usize) -> Self {
+        DeltaCrdtSync {
+            id,
+            state: C::bottom(),
+            seq: 0,
+            log: VecDeque::new(),
+            known: BTreeMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Number of entries currently in the delta log.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Append a delta to the log, evicting the oldest entry past the
+    /// capacity bound (the "garbage collection" of \[31\]).
+    fn append(&mut self, delta: C) {
+        self.seq += 1;
+        self.log.push_back((self.seq, delta));
+        while self.log.len() > self.capacity {
+            self.log.pop_front();
+        }
+    }
+
+    /// Does the log contain every entry after `after`?
+    fn covers(&self, after: u64) -> bool {
+        after >= self.seq || self.log.front().is_some_and(|(s, _)| *s <= after + 1)
+    }
+
+    /// Local operation: apply the δ-mutator and log the delta.
+    pub fn local_op(&mut self, op: &C::Op) {
+        let delta = self.state.apply(op);
+        if !delta.is_bottom() {
+            self.append(delta);
+        }
+    }
+
+    /// Synchronization step: per neighbor, ship the missing log suffix,
+    /// or the full state when the log was GC'd past the neighbor's
+    /// acknowledged position.
+    pub fn sync_step(
+        &mut self,
+        neighbors: &[ReplicaId],
+        out: &mut Vec<(ReplicaId, DeltaCrdtMsg<C>)>,
+    ) {
+        for &j in neighbors {
+            let acked = self.known.get(&j).copied().unwrap_or(0);
+            if acked >= self.seq {
+                continue; // neighbor is up to date
+            }
+            let msg = if self.covers(acked) {
+                let mut delta = C::bottom();
+                for (s, d) in &self.log {
+                    if *s > acked {
+                        delta.join_assign(d.clone());
+                    }
+                }
+                DeltaCrdtMsg::Delta { upto: self.seq, delta }
+            } else {
+                DeltaCrdtMsg::Full { upto: self.seq, state: self.state.clone() }
+            };
+            out.push((j, msg));
+        }
+    }
+
+    /// Receive handler: extract the strictly-inflating part, log it for
+    /// further propagation, and acknowledge the sender.
+    pub fn receive(
+        &mut self,
+        from: ReplicaId,
+        msg: DeltaCrdtMsg<C>,
+        out: &mut Vec<(ReplicaId, DeltaCrdtMsg<C>)>,
+    ) {
+        match msg {
+            DeltaCrdtMsg::Delta { upto, delta: payload }
+            | DeltaCrdtMsg::Full { upto, state: payload } => {
+                let novelty = payload.delta(&self.state);
+                if !novelty.is_bottom() {
+                    self.state.join_assign(novelty.clone());
+                    self.append(novelty);
+                }
+                out.push((from, DeltaCrdtMsg::Ack { upto }));
+            }
+            DeltaCrdtMsg::Ack { upto } => {
+                let e = self.known.entry(from).or_insert(0);
+                *e = (*e).max(upto);
+            }
+        }
+    }
+
+    /// The replica's current lattice state.
+    pub fn state_ref(&self) -> &C {
+        &self.state
+    }
+
+    /// Memory snapshot: CRDT state, the delta log, and the per-neighbor
+    /// acknowledgment vector.
+    pub fn memory_usage(&self, model: &SizeModel) -> MemoryUsage {
+        let log_elements: u64 = self.log.iter().map(|(_, d)| d.count_elements()).sum();
+        let log_bytes: u64 = self
+            .log
+            .iter()
+            .map(|(_, d)| model.seq_bytes + d.size_bytes(model))
+            .sum();
+        MemoryUsage {
+            crdt_elements: self.state.count_elements(),
+            crdt_bytes: self.state.size_bytes(model),
+            meta_elements: log_elements,
+            meta_bytes: log_bytes + self.known.len() as u64 * model.vector_entry_bytes(),
+        }
+    }
+}
+
+/// Default log capacity: generous enough that micro-benchmark-scale runs
+/// rarely fall back to full state.
+pub const DEFAULT_LOG_CAPACITY: usize = 64;
+
+/// [`Protocol`] wrapper for ∆-CRDT synchronization with the default log
+/// capacity.
+#[derive(Debug, Clone)]
+pub struct DeltaCrdt<C>(pub DeltaCrdtSync<C>);
+
+/// [`Protocol`] wrapper with a deliberately tiny log (4 entries): under
+/// contention it demonstrates the full-state fallback of \[31\].
+#[derive(Debug, Clone)]
+pub struct DeltaCrdtSmallLog<C>(pub DeltaCrdtSync<C>);
+
+macro_rules! deltacrdt_protocol {
+    ($name:ident, $capacity:expr, $label:expr) => {
+        impl<C: Crdt> Protocol<C> for $name<C> {
+            type Msg = DeltaCrdtMsg<C>;
+
+            const NAME: &'static str = $label;
+
+            fn new(id: ReplicaId, _params: &Params) -> Self {
+                $name(DeltaCrdtSync::with_capacity(id, $capacity))
+            }
+
+            fn on_op(&mut self, op: &C::Op) {
+                self.0.local_op(op);
+            }
+
+            fn on_sync(&mut self, neighbors: &[ReplicaId], out: &mut Vec<(ReplicaId, Self::Msg)>) {
+                self.0.sync_step(neighbors, out);
+            }
+
+            fn on_msg(
+                &mut self,
+                from: ReplicaId,
+                msg: Self::Msg,
+                out: &mut Vec<(ReplicaId, Self::Msg)>,
+            ) {
+                self.0.receive(from, msg, out);
+            }
+
+            fn state(&self) -> &C {
+                &self.0.state
+            }
+
+            fn memory(&self, model: &SizeModel) -> MemoryUsage {
+                self.0.memory_usage(model)
+            }
+        }
+    };
+}
+
+deltacrdt_protocol!(DeltaCrdt, DEFAULT_LOG_CAPACITY, "deltacrdt");
+deltacrdt_protocol!(DeltaCrdtSmallLog, 4, "deltacrdt-small");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_types::{GSet, GSetOp};
+
+    type S = DeltaCrdtSync<GSet<u32>>;
+    type Msg = DeltaCrdtMsg<GSet<u32>>;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+    const C_: ReplicaId = ReplicaId(2);
+
+    /// Deliver every queued message, returning replies, until quiescence.
+    fn pump(nodes: &mut [S], mut queue: Vec<(ReplicaId, ReplicaId, Msg)>) {
+        while let Some((from, to, msg)) = queue.pop() {
+            let mut out = Vec::new();
+            nodes[to.index()].receive(from, msg, &mut out);
+            for (dest, m) in out {
+                queue.push((to, dest, m));
+            }
+        }
+    }
+
+    fn sync_into(
+        nodes: &mut [S],
+        i: usize,
+        neighbors: &[ReplicaId],
+    ) -> Vec<(ReplicaId, ReplicaId, Msg)> {
+        let mut out = Vec::new();
+        nodes[i].sync_step(neighbors, &mut out);
+        out.into_iter()
+            .map(|(to, m)| (ReplicaId::from(i), to, m))
+            .collect()
+    }
+
+    #[test]
+    fn two_replicas_converge_with_deltas() {
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(1));
+        nodes[1].local_op(&GSetOp::Add(2));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        pump(&mut nodes, q);
+        let q = sync_into(&mut nodes, 1, &[A]);
+        pump(&mut nodes, q);
+        assert_eq!(nodes[0].state, nodes[1].state);
+        assert_eq!(nodes[0].state.len(), 2);
+    }
+
+    #[test]
+    fn acks_prevent_resending() {
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(1));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        assert_eq!(q.len(), 1);
+        pump(&mut nodes, q);
+        // B acked; nothing further to send.
+        let q = sync_into(&mut nodes, 0, &[B]);
+        assert!(q.is_empty(), "acked state must not be resent");
+    }
+
+    #[test]
+    fn unacked_state_is_resent() {
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(1));
+        // Sync emitted but the message (and so its ack) is lost.
+        let _lost = sync_into(&mut nodes, 0, &[B]);
+        let q = sync_into(&mut nodes, 0, &[B]);
+        assert_eq!(q.len(), 1, "unacked entries are retransmitted");
+        pump(&mut nodes, q);
+        assert_eq!(nodes[1].state.len(), 1);
+    }
+
+    #[test]
+    fn gc_forces_full_state_fallback() {
+        let mut nodes = vec![S::with_capacity(A, 2), S::with_capacity(B, 2)];
+        for e in 0..6 {
+            nodes[0].local_op(&GSetOp::Add(e));
+        }
+        // The log holds only the last 2 of 6 entries: the neighbor (acked
+        // nothing) can only be repaired by full state.
+        let q = sync_into(&mut nodes, 0, &[B]);
+        assert_eq!(q.len(), 1);
+        assert!(
+            matches!(q[0].2, DeltaCrdtMsg::Full { .. }),
+            "GC'd log must fall back to full-state transmission"
+        );
+        pump(&mut nodes, q);
+        assert_eq!(nodes[1].state.len(), 6);
+    }
+
+    #[test]
+    fn covered_log_ships_deltas_not_full_state() {
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(1));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        pump(&mut nodes, q);
+        nodes[0].local_op(&GSetOp::Add(2));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        assert_eq!(q.len(), 1);
+        match &q[0].2 {
+            DeltaCrdtMsg::Delta { delta, .. } => {
+                assert_eq!(delta.count_elements(), 1, "only the missing entry ships");
+            }
+            other => panic!("expected Delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn novelty_forwards_across_a_line() {
+        // A – B – C: A's update must reach C through B's log.
+        let mut nodes = vec![
+            S::with_capacity(A, 16),
+            S::with_capacity(B, 16),
+            S::with_capacity(C_, 16),
+        ];
+        nodes[0].local_op(&GSetOp::Add(7));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        pump(&mut nodes, q);
+        let q = sync_into(&mut nodes, 1, &[A, C_]);
+        pump(&mut nodes, q);
+        assert_eq!(nodes[2].state.len(), 1, "update propagated two hops");
+    }
+
+    #[test]
+    fn duplicated_messages_are_idempotent() {
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(1));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        let dup: Vec<_> = q.iter().cloned().chain(q.iter().cloned()).collect();
+        pump(&mut nodes, dup);
+        assert_eq!(nodes[1].state.len(), 1);
+        // The duplicate contributed nothing to the forwarding log.
+        assert_eq!(nodes[1].log_len(), 1);
+    }
+
+    #[test]
+    fn receiver_extracts_novelty_only() {
+        let mut b = S::with_capacity(B, 16);
+        b.local_op(&GSetOp::Add(1));
+        let mut out = Vec::new();
+        b.receive(
+            A,
+            DeltaCrdtMsg::Delta { upto: 3, delta: GSet::from_iter([1, 2]) },
+            &mut out,
+        );
+        // Log: own {1} + extracted {2} — not the whole received {1, 2}.
+        let log_elems: u64 = b.log.iter().map(|(_, d)| d.count_elements()).sum();
+        assert_eq!(log_elems, 2);
+        assert!(matches!(out[0].1, DeltaCrdtMsg::Ack { upto: 3 }));
+    }
+
+    #[test]
+    fn message_accounting() {
+        let model = SizeModel::compact();
+        let delta: Msg = DeltaCrdtMsg::Delta { upto: 1, delta: GSet::from_iter([1, 2]) };
+        assert_eq!(delta.payload_elements(), 2);
+        assert_eq!(delta.metadata_bytes(&model), model.seq_bytes);
+        let ack: Msg = DeltaCrdtMsg::Ack { upto: 9 };
+        assert_eq!(ack.payload_elements(), 0);
+        assert_eq!(ack.total_bytes(&model), model.seq_bytes);
+    }
+
+    #[test]
+    fn memory_counts_log_and_ack_vector() {
+        let model = SizeModel::compact();
+        let mut nodes = vec![S::with_capacity(A, 16), S::with_capacity(B, 16)];
+        nodes[0].local_op(&GSetOp::Add(11));
+        let q = sync_into(&mut nodes, 0, &[B]);
+        pump(&mut nodes, q);
+        let m = nodes[0].memory_usage(&model);
+        assert_eq!(m.crdt_elements, 1);
+        assert_eq!(m.meta_elements, 1, "the log entry");
+        assert!(m.meta_bytes >= model.vector_entry_bytes(), "ack vector counted");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let s = S::with_capacity(A, 0);
+        assert_eq!(s.capacity, 1);
+    }
+}

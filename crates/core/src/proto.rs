@@ -1,0 +1,134 @@
+//! The [`Protocol`] abstraction shared by every synchronization algorithm.
+//!
+//! A protocol instance lives at one replica. The simulator (or a real
+//! transport) drives it through three callbacks:
+//!
+//! * [`Protocol::on_op`] — a local update operation happened;
+//! * [`Protocol::on_sync`] — a periodic synchronization step fired
+//!   (the paper's "periodically // synchronize", Algorithm 1 line 9);
+//! * [`Protocol::on_msg`] — a message arrived from a neighbor.
+//!
+//! Messages implement [`Measured`] so transmission is accounted exactly
+//! like the paper's evaluation: *payload* in elements (join-irreducibles;
+//! Table I's "number of elements/entries") and bytes, and *metadata*
+//! (digests, vectors, dots, sequence numbers) in bytes (Fig. 9).
+
+use core::fmt::Debug;
+
+use crdt_lattice::{ReplicaId, SizeModel};
+use crdt_types::Crdt;
+
+/// Per-protocol construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Total number of replicas in the system.
+    ///
+    /// Only vector-based protocols need this (e.g. Scuttlebutt-GC's
+    /// knowledge matrix spans all nodes); delta-based protocols ignore it —
+    /// that asymmetry *is* the paper's metadata argument (§V-B2).
+    pub n_nodes: usize,
+}
+
+impl Params {
+    /// Parameters for an `n`-node system.
+    pub fn new(n_nodes: usize) -> Self {
+        Params { n_nodes }
+    }
+}
+
+/// Transmission accounting for one message.
+pub trait Measured {
+    /// Number of lattice elements (join-irreducibles) of CRDT payload.
+    fn payload_elements(&self) -> u64;
+
+    /// Bytes of CRDT payload under `model`.
+    fn payload_bytes(&self, model: &SizeModel) -> u64;
+
+    /// Bytes of synchronization metadata (vectors, digests, dots, acks)
+    /// under `model`.
+    fn metadata_bytes(&self, model: &SizeModel) -> u64;
+
+    /// Total wire size.
+    fn total_bytes(&self, model: &SizeModel) -> u64 {
+        self.payload_bytes(model) + self.metadata_bytes(model)
+    }
+}
+
+/// Memory snapshot of one replica (paper, §V-B3: "the amount of state —
+/// both CRDT state and metadata required for synchronization — stored in
+/// memory for each node").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Elements in the replica's CRDT lattice state.
+    pub crdt_elements: u64,
+    /// Bytes of the replica's CRDT lattice state.
+    pub crdt_bytes: u64,
+    /// Elements held in synchronization buffers (δ-buffer, key-delta
+    /// store, transmission buffer).
+    pub meta_elements: u64,
+    /// Bytes of synchronization metadata and buffered state.
+    pub meta_bytes: u64,
+}
+
+impl MemoryUsage {
+    /// Total elements (CRDT + buffered).
+    pub fn total_elements(&self) -> u64 {
+        self.crdt_elements + self.meta_elements
+    }
+
+    /// Total bytes (CRDT + metadata).
+    pub fn total_bytes(&self) -> u64 {
+        self.crdt_bytes + self.meta_bytes
+    }
+}
+
+/// A synchronization protocol instance at one replica.
+pub trait Protocol<C: Crdt>: Debug {
+    /// Wire message type.
+    type Msg: Clone + Debug + Measured;
+
+    /// Human-readable protocol name (used in experiment output).
+    const NAME: &'static str;
+
+    /// Create the replica `id` of an `params.n_nodes`-node system.
+    fn new(id: ReplicaId, params: &Params) -> Self;
+
+    /// Handle a local update operation.
+    fn on_op(&mut self, op: &C::Op);
+
+    /// Periodic synchronization step: emit messages to (a subset of)
+    /// `neighbors`.
+    fn on_sync(&mut self, neighbors: &[ReplicaId], out: &mut Vec<(ReplicaId, Self::Msg)>);
+
+    /// Handle a message from `from`; may emit replies (push-pull
+    /// protocols) into `out`.
+    fn on_msg(&mut self, from: ReplicaId, msg: Self::Msg, out: &mut Vec<(ReplicaId, Self::Msg)>);
+
+    /// The replica's current lattice state.
+    fn state(&self) -> &C;
+
+    /// Memory snapshot under `model`.
+    fn memory(&self, model: &SizeModel) -> MemoryUsage;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_usage_totals() {
+        let m = MemoryUsage {
+            crdt_elements: 3,
+            crdt_bytes: 24,
+            meta_elements: 2,
+            meta_bytes: 100,
+        };
+        assert_eq!(m.total_elements(), 5);
+        assert_eq!(m.total_bytes(), 124);
+    }
+
+    #[test]
+    fn params_carry_system_size() {
+        assert_eq!(Params::new(15).n_nodes, 15);
+    }
+}

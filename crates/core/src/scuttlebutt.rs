@@ -1,0 +1,491 @@
+//! Scuttlebutt anti-entropy \[20\], adapted to CRDT deltas (paper, §V-B),
+//! in both variants: the original (no key pruning) and **Scuttlebutt-GC**
+//! (the paper's extension with safe delta deletion).
+//!
+//! Each local mutation produces an optimal delta stored under a unique
+//! version `⟨i, s⟩ ∈ I × ℕ` (a [`Dot`]). Knowledge is summarized by a
+//! vector `I ↪ ℕ`; reconciliation is push-pull:
+//!
+//! 1. `Digest` — the initiator sends its summary vector;
+//! 2. `Reply` — the responder ships every key-delta pair not covered by
+//!    the received vector, together with its own summary vector;
+//! 3. `Final` — the initiator ships what the responder is missing.
+//!
+//! The GC variant additionally gossips a *knowledge matrix*
+//! `I ↪ (I ↪ ℕ)` ("each node keeps track of what each node in the system
+//! has seen"); once a delta's dot is covered by **every** node's vector it
+//! is deleted from the store. That matrix is exactly the `N²P` metadata
+//! term of Fig. 9, versus `NP` for plain Scuttlebutt.
+//!
+//! The limitation the paper demonstrates with GCounter (Fig. 7) is
+//! faithfully reproduced: values are **opaque** — multiple deltas of the
+//! same counter entry are stored and shipped individually, never
+//! compressed by a lattice join.
+
+use std::collections::BTreeMap;
+
+use crdt_lattice::{Dot, Lattice, ReplicaId, SizeModel, StateSize, VClock};
+use crdt_types::Crdt;
+
+use crate::proto::{Measured, MemoryUsage, Params, Protocol};
+
+/// The knowledge matrix of Scuttlebutt-GC: replica ↦ last known summary
+/// vector of that replica.
+pub type Knowledge = BTreeMap<ReplicaId, VClock>;
+
+fn knowledge_bytes(k: &Knowledge, model: &SizeModel) -> u64 {
+    k.values().map(|v| model.id_bytes + v.size_bytes(model))
+        .sum()
+}
+
+fn merge_knowledge(into: &mut Knowledge, other: &Knowledge) {
+    for (r, v) in other {
+        into.entry(*r)
+            .and_modify(|mine| {
+                mine.join_assign(v.clone());
+            })
+            .or_insert_with(|| v.clone());
+    }
+}
+
+/// Scuttlebutt wire messages.
+#[derive(Debug, Clone)]
+pub enum SbMsg<C> {
+    /// Round 1: the initiator's summary vector (plus knowledge, GC only).
+    Digest {
+        /// Initiator's summary vector.
+        clock: VClock,
+        /// Initiator's knowledge matrix (GC variant only).
+        knowledge: Option<Knowledge>,
+    },
+    /// Round 2: missing key-delta pairs + the responder's own vector.
+    Reply {
+        /// Key-delta pairs the initiator was missing.
+        deltas: Vec<(Dot, C)>,
+        /// Responder's summary vector (so the initiator can reciprocate).
+        clock: VClock,
+        /// Responder's knowledge matrix (GC variant only).
+        knowledge: Option<Knowledge>,
+    },
+    /// Round 3: key-delta pairs the responder was missing.
+    Final {
+        /// Key-delta pairs for the responder.
+        deltas: Vec<(Dot, C)>,
+        /// Initiator's knowledge matrix (GC variant only).
+        knowledge: Option<Knowledge>,
+    },
+}
+
+impl<C: StateSize> Measured for SbMsg<C> {
+    fn payload_elements(&self) -> u64 {
+        match self {
+            SbMsg::Digest { .. } => 0,
+            SbMsg::Reply { deltas, .. } | SbMsg::Final { deltas, .. } => {
+                deltas.iter().map(|(_, d)| d.count_elements()).sum()
+            }
+        }
+    }
+
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        match self {
+            SbMsg::Digest { .. } => 0,
+            SbMsg::Reply { deltas, .. } | SbMsg::Final { deltas, .. } => {
+                deltas.iter().map(|(_, d)| d.size_bytes(model)).sum()
+            }
+        }
+    }
+
+    fn metadata_bytes(&self, model: &SizeModel) -> u64 {
+        let know = |k: &Option<Knowledge>| k.as_ref().map_or(0, |k| knowledge_bytes(k, model));
+        match self {
+            SbMsg::Digest { clock, knowledge } => clock.size_bytes(model) + know(knowledge),
+            SbMsg::Reply { deltas, clock, knowledge } => {
+                deltas.len() as u64 * model.vector_entry_bytes()
+                    + clock.size_bytes(model)
+                    + know(knowledge)
+            }
+            SbMsg::Final { deltas, knowledge } => {
+                deltas.len() as u64 * model.vector_entry_bytes() + know(knowledge)
+            }
+        }
+    }
+}
+
+/// Shared implementation of both Scuttlebutt variants.
+#[derive(Debug, Clone)]
+pub struct ScuttlebuttCore<C> {
+    id: ReplicaId,
+    n_nodes: usize,
+    gc: bool,
+    state: C,
+    /// Everything this replica has seen, as a contiguous-per-replica
+    /// summary.
+    clock: VClock,
+    /// The clock as of this replica's last synchronization step. Replies
+    /// are computed against this snapshot: real anti-entropy sessions with
+    /// several neighbors run *concurrently* within one gossip period, so a
+    /// session must not benefit from data absorbed moments earlier in a
+    /// parallel session. (Without this, a synchronous simulator makes
+    /// Scuttlebutt unrealistically precise.)
+    sync_snapshot: VClock,
+    /// The key-delta store. Never pruned in the original variant.
+    store: BTreeMap<Dot, C>,
+    /// GC only: what every node is known to have seen.
+    knowledge: Knowledge,
+}
+
+impl<C: Crdt> ScuttlebuttCore<C> {
+    fn new(id: ReplicaId, params: &Params, gc: bool) -> Self {
+        ScuttlebuttCore {
+            id,
+            n_nodes: params.n_nodes,
+            gc,
+            state: C::bottom(),
+            clock: VClock::new(),
+            sync_snapshot: VClock::new(),
+            store: BTreeMap::new(),
+            knowledge: Knowledge::new(),
+        }
+    }
+
+    fn on_op(&mut self, op: &C::Op) {
+        let delta = self.state.apply(op);
+        if !delta.is_bottom() {
+            let dot = self.clock.bump(self.id);
+            self.store.insert(dot, delta);
+            self.update_own_knowledge();
+        }
+    }
+
+    fn update_own_knowledge(&mut self) {
+        if self.gc {
+            self.knowledge.insert(self.id, self.clock.clone());
+        }
+    }
+
+    /// Key-delta pairs above `their` summary vector, limited to what this
+    /// replica knew at its last synchronization step (concurrent-session
+    /// semantics; see `sync_snapshot`).
+    fn missing_for(&self, their: &VClock) -> Vec<(Dot, C)> {
+        // Before the first synchronization step there is no snapshot yet;
+        // fall back to the live clock.
+        let snapshot = if self.sync_snapshot.is_empty() {
+            &self.clock
+        } else {
+            &self.sync_snapshot
+        };
+        self.store
+            .iter()
+            .filter(|(dot, _)| dot.seq > their.get(dot.replica) && snapshot.contains(dot))
+            .map(|(dot, d)| (*dot, d.clone()))
+            .collect()
+    }
+
+    /// Absorb received key-delta pairs.
+    fn absorb(&mut self, deltas: Vec<(Dot, C)>) {
+        for (dot, delta) in deltas {
+            if !self.clock.contains(&dot) {
+                self.state.join_assign(delta.clone());
+                self.clock.observe(dot);
+                self.store.insert(dot, delta);
+            }
+        }
+        self.update_own_knowledge();
+    }
+
+    /// Record a peer's summary vector / knowledge and prune safe deltas.
+    fn learn(&mut self, from: ReplicaId, their_clock: &VClock, their_knowledge: &Option<Knowledge>) {
+        if !self.gc {
+            return;
+        }
+        self.knowledge
+            .entry(from)
+            .and_modify(|v| {
+                v.join_assign(their_clock.clone());
+            })
+            .or_insert_with(|| their_clock.clone());
+        if let Some(k) = their_knowledge {
+            merge_knowledge(&mut self.knowledge, k);
+        }
+        self.update_own_knowledge();
+        self.prune();
+    }
+
+    /// Delete deltas seen by **all** nodes (safe deletes, §V-B).
+    fn prune(&mut self) {
+        if self.knowledge.len() < self.n_nodes {
+            // Unheard-from nodes might still need everything.
+            return;
+        }
+        let knowledge = &self.knowledge;
+        self.store.retain(|dot, _| {
+            !knowledge.values().all(|v| v.contains(dot))
+        });
+    }
+
+    fn shared_knowledge(&self) -> Option<Knowledge> {
+        self.gc.then(|| self.knowledge.clone())
+    }
+
+    fn memory(&self, model: &SizeModel) -> MemoryUsage {
+        let store_elements: u64 = self.store.values().map(StateSize::count_elements).sum();
+        let store_bytes: u64 = self
+            .store
+            .iter()
+            .map(|(dot, d)| dot.size_bytes(model) + d.size_bytes(model))
+            .sum();
+        MemoryUsage {
+            crdt_elements: self.state.count_elements(),
+            crdt_bytes: self.state.size_bytes(model),
+            meta_elements: store_elements,
+            meta_bytes: store_bytes
+                + self.clock.size_bytes(model)
+                + knowledge_bytes(&self.knowledge, model),
+        }
+    }
+
+    fn handle(
+        &mut self,
+        from: ReplicaId,
+        msg: SbMsg<C>,
+        out: &mut Vec<(ReplicaId, SbMsg<C>)>,
+    ) {
+        match msg {
+            SbMsg::Digest { clock, knowledge } => {
+                let deltas = self.missing_for(&clock);
+                self.learn(from, &clock, &knowledge);
+                out.push((
+                    from,
+                    SbMsg::Reply {
+                        deltas,
+                        clock: self.clock.clone(),
+                        knowledge: self.shared_knowledge(),
+                    },
+                ));
+            }
+            SbMsg::Reply { deltas, clock, knowledge } => {
+                self.absorb(deltas);
+                let back = self.missing_for(&clock);
+                self.learn(from, &clock, &knowledge);
+                out.push((
+                    from,
+                    SbMsg::Final { deltas: back, knowledge: self.shared_knowledge() },
+                ));
+            }
+            SbMsg::Final { deltas, knowledge } => {
+                self.absorb(deltas);
+                if let Some(k) = knowledge {
+                    merge_knowledge(&mut self.knowledge, &k);
+                    self.prune();
+                }
+            }
+        }
+    }
+}
+
+macro_rules! scuttlebutt_protocol {
+    ($(#[$doc:meta])* $name:ident, $gc:expr, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name<C>(pub ScuttlebuttCore<C>);
+
+        impl<C: Crdt> Protocol<C> for $name<C> {
+            type Msg = SbMsg<C>;
+
+            const NAME: &'static str = $label;
+
+            fn new(id: ReplicaId, params: &Params) -> Self {
+                $name(ScuttlebuttCore::new(id, params, $gc))
+            }
+
+            fn on_op(&mut self, op: &C::Op) {
+                self.0.on_op(op);
+            }
+
+            fn on_sync(
+                &mut self,
+                neighbors: &[ReplicaId],
+                out: &mut Vec<(ReplicaId, Self::Msg)>,
+            ) {
+                self.0.sync_snapshot = self.0.clock.clone();
+                for &j in neighbors {
+                    out.push((
+                        j,
+                        SbMsg::Digest {
+                            clock: self.0.clock.clone(),
+                            knowledge: self.0.shared_knowledge(),
+                        },
+                    ));
+                }
+            }
+
+            fn on_msg(
+                &mut self,
+                from: ReplicaId,
+                msg: Self::Msg,
+                out: &mut Vec<(ReplicaId, Self::Msg)>,
+            ) {
+                self.0.handle(from, msg, out);
+            }
+
+            fn state(&self) -> &C {
+                &self.0.state
+            }
+
+            fn memory(&self, model: &SizeModel) -> MemoryUsage {
+                self.0.memory(model)
+            }
+        }
+    };
+}
+
+scuttlebutt_protocol!(
+    /// Original Scuttlebutt \[20\]: key-delta pairs are never pruned, so the
+    /// store grows without bound while updates keep arriving (Fig. 10's
+    /// worst memory curve).
+    Scuttlebutt,
+    false,
+    "scuttlebutt"
+);
+scuttlebutt_protocol!(
+    /// Scuttlebutt with safe deletes via the gossiped knowledge matrix
+    /// (the paper's `Scuttlebutt-GC`).
+    ScuttlebuttGc,
+    true,
+    "scuttlebutt-gc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_types::{GCounter, GCounterOp, GSet, GSetOp};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    /// Run one full push-pull exchange initiated by `a` towards `b`.
+    fn exchange<C: Crdt, P: Protocol<C, Msg = SbMsg<C>>>(a: &mut P, b: &mut P) -> Vec<SbMsg<C>> {
+        let mut sent = Vec::new();
+        let mut out = Vec::new();
+        a.on_sync(&[B], &mut out);
+        let mut to_b: Vec<_> = std::mem::take(&mut out);
+        while let Some((_, m)) = to_b.pop() {
+            sent.push(m.clone());
+            let mut replies = Vec::new();
+            b.on_msg(A, m, &mut replies);
+            for (_, r) in replies {
+                sent.push(r.clone());
+                let mut back = Vec::new();
+                a.on_msg(B, r, &mut back);
+                for (_, f) in back {
+                    sent.push(f.clone());
+                    b.on_msg(A, f, &mut Vec::new());
+                }
+            }
+        }
+        sent
+    }
+
+    #[test]
+    fn push_pull_reconciles_both_directions() {
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        a.on_op(&GSetOp::Add(1));
+        b.on_op(&GSetOp::Add(2));
+        let msgs = exchange(&mut a, &mut b);
+        assert_eq!(msgs.len(), 3, "digest, reply, final");
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.state().len(), 2);
+    }
+
+    #[test]
+    fn second_exchange_sends_no_payload() {
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        a.on_op(&GSetOp::Add(1));
+        exchange(&mut a, &mut b);
+        let msgs = exchange(&mut a, &mut b);
+        let payload: u64 = msgs.iter().map(Measured::payload_elements).sum();
+        assert_eq!(payload, 0, "precise reconciliation: nothing re-sent");
+    }
+
+    #[test]
+    fn gcounter_deltas_are_opaque() {
+        // The Fig. 7 limitation: n increments by the same replica become n
+        // separate key-delta pairs, even though a lattice join would
+        // compress them to one entry.
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GCounter> = Protocol::new(A, &params);
+        for _ in 0..5 {
+            a.on_op(&GCounterOp::Inc(A));
+        }
+        assert_eq!(a.0.store.len(), 5, "5 opaque deltas, no compression");
+        let mut b: Scuttlebutt<GCounter> = Protocol::new(B, &params);
+        let msgs = exchange(&mut a, &mut b);
+        let payload: u64 = msgs.iter().map(Measured::payload_elements).sum();
+        assert_eq!(payload, 5, "all 5 shipped; delta-BP+RR would ship 1");
+        assert_eq!(b.state().value(), 5);
+    }
+
+    #[test]
+    fn original_never_prunes() {
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        for i in 0..4 {
+            a.on_op(&GSetOp::Add(i));
+            exchange(&mut a, &mut b);
+            exchange(&mut b, &mut a);
+        }
+        assert_eq!(a.0.store.len(), 4, "store only grows");
+        assert_eq!(b.0.store.len(), 4);
+    }
+
+    #[test]
+    fn gc_prunes_once_all_nodes_have_seen() {
+        let params = Params::new(2);
+        let mut a: ScuttlebuttGc<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: ScuttlebuttGc<GSet<u32>> = Protocol::new(B, &params);
+        a.on_op(&GSetOp::Add(1));
+        // Exchanges propagate both the delta and the knowledge that both
+        // nodes have seen it.
+        exchange(&mut a, &mut b);
+        exchange(&mut b, &mut a);
+        exchange(&mut a, &mut b);
+        assert!(a.0.store.is_empty(), "a pruned: {:?}", a.0.store.len());
+        assert!(b.0.store.is_empty(), "b pruned: {:?}", b.0.store.len());
+        // And the CRDT state survives pruning.
+        assert_eq!(a.state().len(), 1);
+    }
+
+    #[test]
+    fn digest_metadata_grows_with_system_size() {
+        let model = SizeModel::paper_metadata();
+        let clock = VClock::from_iter((0..8).map(|i| (ReplicaId(i), 3u64)));
+        let digest: SbMsg<GSet<u32>> = SbMsg::Digest { clock, knowledge: None };
+        // 8 entries × 28 B.
+        assert_eq!(digest.metadata_bytes(&model), 224);
+        assert_eq!(digest.payload_bytes(&model), 0);
+    }
+
+    #[test]
+    fn duplicated_replies_are_idempotent() {
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        b.on_op(&GSetOp::Add(9));
+        let mut out = Vec::new();
+        a.on_sync(&[B], &mut out);
+        let (_, digest) = out.pop().unwrap();
+        let mut replies = Vec::new();
+        b.on_msg(A, digest, &mut replies);
+        let (_, reply) = replies.pop().unwrap();
+        // Deliver the same reply twice.
+        a.on_msg(B, reply.clone(), &mut Vec::new());
+        a.on_msg(B, reply, &mut Vec::new());
+        assert_eq!(a.state().len(), 1);
+        assert_eq!(a.0.store.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! State-based synchronization (paper, §II): the baseline that
+//! periodically ships the **full local state** to every neighbor.
+//!
+//! Correct under message drop/duplication/reordering with zero metadata —
+//! which is why it is optimal in the memory study (Fig. 10) — but its
+//! transmission grows with the state itself, the problem motivating deltas
+//! (Fig. 1).
+
+use crdt_lattice::{ReplicaId, SizeModel};
+use crdt_types::Crdt;
+
+use crate::delta::DeltaMsg;
+use crate::proto::{MemoryUsage, Params, Protocol};
+
+/// State-based synchronization at one replica.
+#[derive(Debug, Clone)]
+pub struct StateSync<C> {
+    id: ReplicaId,
+    state: C,
+    /// Dirty flag: full states are only sent when something changed since
+    /// the last synchronization (otherwise a quiescent system would
+    /// transmit forever, which no practical deployment does).
+    dirty: bool,
+}
+
+impl<C: Crdt> StateSync<C> {
+    /// The replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+}
+
+impl<C: Crdt> Protocol<C> for StateSync<C> {
+    type Msg = DeltaMsg<C>;
+
+    const NAME: &'static str = "state";
+
+    fn new(id: ReplicaId, _params: &Params) -> Self {
+        StateSync { id, state: C::bottom(), dirty: false }
+    }
+
+    fn on_op(&mut self, op: &C::Op) {
+        let _ = self.state.apply(op);
+        self.dirty = true;
+    }
+
+    fn on_sync(&mut self, neighbors: &[ReplicaId], out: &mut Vec<(ReplicaId, Self::Msg)>) {
+        if !self.dirty {
+            return;
+        }
+        for &j in neighbors {
+            out.push((j, DeltaMsg(self.state.clone())));
+        }
+        self.dirty = false;
+    }
+
+    fn on_msg(&mut self, _from: ReplicaId, msg: Self::Msg, _out: &mut Vec<(ReplicaId, Self::Msg)>) {
+        if self.state.join_assign(msg.0) {
+            // The merged-in remote state is news; propagate it onward at
+            // the next synchronization (full-state gossip).
+            self.dirty = true;
+        }
+    }
+
+    fn state(&self) -> &C {
+        &self.state
+    }
+
+    fn memory(&self, model: &SizeModel) -> MemoryUsage {
+        MemoryUsage {
+            crdt_elements: self.state.count_elements(),
+            crdt_bytes: self.state.size_bytes(model),
+            // No synchronization metadata at all — the Fig. 10 optimum.
+            meta_elements: 0,
+            meta_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Measured;
+    use crdt_lattice::SizeModel;
+    use crdt_types::{GSet, GSetOp};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+    const P: Params = Params { n_nodes: 2 };
+
+    #[test]
+    fn sends_full_state_each_round() {
+        let mut a: StateSync<GSet<u32>> = StateSync::new(A, &P);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            a.on_op(&GSetOp::Add(i));
+            a.on_sync(&[B], &mut out);
+        }
+        // Rounds send 1, 2, 3, 4, 5 elements: the growth of Fig. 1.
+        let sizes: Vec<u64> = out.iter().map(|(_, m)| m.payload_elements()).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn quiescent_replica_stops_sending() {
+        let mut a: StateSync<GSet<u32>> = StateSync::new(A, &P);
+        a.on_op(&GSetOp::Add(1));
+        let mut out = Vec::new();
+        a.on_sync(&[B], &mut out);
+        assert_eq!(out.len(), 1);
+        a.on_sync(&[B], &mut out);
+        assert_eq!(out.len(), 1, "no change ⇒ no send");
+    }
+
+    #[test]
+    fn received_news_is_forwarded() {
+        let mut a: StateSync<GSet<u32>> = StateSync::new(A, &P);
+        let mut out = Vec::new();
+        a.on_msg(B, DeltaMsg(GSet::from_iter([7])), &mut out);
+        a.on_sync(&[B], &mut out);
+        assert_eq!(out.len(), 1, "remote news re-gossiped");
+        // Stale delivery does not re-arm the dirty flag.
+        a.on_msg(B, DeltaMsg(GSet::from_iter([7])), &mut out);
+        a.on_sync(&[B], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tolerates_duplication_and_reordering() {
+        let mut a: StateSync<GSet<u32>> = StateSync::new(A, &P);
+        let m1 = DeltaMsg(GSet::from_iter([1]));
+        let m2 = DeltaMsg(GSet::from_iter([1, 2]));
+        let mut out = Vec::new();
+        // Reordered + duplicated delivery.
+        a.on_msg(B, m2.clone(), &mut out);
+        a.on_msg(B, m1.clone(), &mut out);
+        a.on_msg(B, m2, &mut out);
+        a.on_msg(B, m1, &mut out);
+        assert_eq!(a.state().len(), 2);
+    }
+
+    #[test]
+    fn zero_metadata_memory() {
+        let model = SizeModel::compact();
+        let mut a: StateSync<GSet<u32>> = StateSync::new(A, &P);
+        a.on_op(&GSetOp::Add(1));
+        let m = a.memory(&model);
+        assert_eq!(m.meta_bytes, 0);
+        assert_eq!(m.crdt_elements, 1);
+    }
+}

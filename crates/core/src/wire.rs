@@ -1,0 +1,157 @@
+//! Wire encodings for protocol messages.
+//!
+//! Every message type whose CRDT payload implements
+//! [`crdt_lattice::WireEncode`] is itself encodable, so a deployment can
+//! put these protocols on a real byte transport with no serde dependency.
+//! The end-to-end test below runs a complete BP+RR exchange through
+//! `Vec<u8>` frames — the full path a production system would use.
+
+use crdt_lattice::{CodecError, WireEncode};
+
+use crate::delta::DeltaMsg;
+use crate::deltacrdt::DeltaCrdtMsg;
+
+impl<C: WireEncode> WireEncode for DeltaMsg<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DeltaMsg(C::decode(input)?))
+    }
+}
+
+impl<C: WireEncode> WireEncode for DeltaCrdtMsg<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DeltaCrdtMsg::Delta { upto, delta } => {
+                out.push(0);
+                upto.encode(out);
+                delta.encode(out);
+            }
+            DeltaCrdtMsg::Full { upto, state } => {
+                out.push(1);
+                upto.encode(out);
+                state.encode(out);
+            }
+            DeltaCrdtMsg::Ack { upto } => {
+                out.push(2);
+                upto.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(DeltaCrdtMsg::Delta { upto: u64::decode(input)?, delta: C::decode(input)? }),
+            1 => Ok(DeltaCrdtMsg::Full { upto: u64::decode(input)?, state: C::decode(input)? }),
+            2 => Ok(DeltaCrdtMsg::Ack { upto: u64::decode(input)? }),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{BpRrDelta, DeltaConfig, DeltaSync};
+    use crate::proto::{Measured, Params, Protocol};
+    use crdt_lattice::{ReplicaId, SizeModel};
+    use crdt_types::{GCounter, GCounterOp, GSet, GSetOp};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn delta_msg_roundtrips() {
+        let msg = DeltaMsg(GSet::from_iter(["x".to_string(), "y".to_string()]));
+        let bytes = msg.to_bytes();
+        let back = DeltaMsg::<GSet<String>>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.0, msg.0);
+    }
+
+    #[test]
+    fn deltacrdt_msg_variants_roundtrip() {
+        type M = DeltaCrdtMsg<GSet<u64>>;
+        for msg in [
+            M::Delta { upto: 7, delta: GSet::from_iter([1, 2]) },
+            M::Full { upto: 9, state: GSet::from_iter([1, 2, 3]) },
+            M::Ack { upto: 3 },
+        ] {
+            let bytes = msg.to_bytes();
+            let back = M::from_bytes(&bytes).unwrap();
+            match (&msg, &back) {
+                (M::Delta { upto: u1, delta: d1 }, M::Delta { upto: u2, delta: d2 }) => {
+                    assert_eq!(u1, u2);
+                    assert_eq!(d1, d2);
+                }
+                (M::Full { upto: u1, state: s1 }, M::Full { upto: u2, state: s2 }) => {
+                    assert_eq!(u1, u2);
+                    assert_eq!(s1, s2);
+                }
+                (M::Ack { upto: u1 }, M::Ack { upto: u2 }) => assert_eq!(u1, u2),
+                other => panic!("variant changed across the wire: {other:?}"),
+            }
+        }
+    }
+
+    /// A complete Fig.-4-style BP+RR exchange where every message crosses
+    /// a byte channel: encode → Vec<u8> → decode — the full production
+    /// path, no in-process shortcuts.
+    #[test]
+    fn bp_rr_exchange_over_byte_frames() {
+        let params = Params::new(2);
+        let mut a: BpRrDelta<GSet<String>> = Protocol::new(A, &params);
+        let mut b: BpRrDelta<GSet<String>> = Protocol::new(B, &params);
+
+        a.on_op(&GSetOp::Add("a".to_string()));
+        b.on_op(&GSetOp::Add("b".to_string()));
+
+        // Frame every message through bytes, both directions, twice
+        // (second round drains the forwarded buffers).
+        fn framed_step(
+            sender: &mut BpRrDelta<GSet<String>>,
+            sender_id: ReplicaId,
+            receiver: &mut BpRrDelta<GSet<String>>,
+            to: ReplicaId,
+        ) {
+            let mut out = Vec::new();
+            sender.on_sync(&[to], &mut out);
+            for (_, msg) in out {
+                let frame: Vec<u8> = msg.to_bytes();
+                let decoded = DeltaMsg::<GSet<String>>::from_bytes(&frame).unwrap();
+                receiver.on_msg(sender_id, decoded, &mut Vec::new());
+            }
+        }
+        for _ in 0..2 {
+            framed_step(&mut a, A, &mut b, B);
+            framed_step(&mut b, B, &mut a, A);
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.state().len(), 2);
+    }
+
+    /// The framed size equals what `Measured` predicts under a varint-
+    /// aware reading: frames never exceed the analytic model.
+    #[test]
+    fn framed_size_within_model() {
+        let model = SizeModel::compact();
+        let mut sync: DeltaSync<GCounter> = DeltaSync::with_config(A, DeltaConfig::BP_RR);
+        for _ in 0..10 {
+            sync.local_op(&GCounterOp::Inc(A));
+            sync.local_op(&GCounterOp::Inc(B));
+        }
+        let mut out = Vec::new();
+        sync.sync_step(&[B], &mut out);
+        let (_, msg) = out.pop().expect("one δ-group");
+        let frame = msg.to_bytes();
+        assert!(
+            (frame.len() as u64) <= msg.payload_bytes(&model) + 9,
+            "frame {} exceeds modeled {}",
+            frame.len(),
+            msg.payload_bytes(&model)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Protocol-level property tests: random workloads, random pairwise
+//! delivery schedules, all synchronization algorithms.
+//!
+//! The central invariant is the paper's correctness argument for BP and
+//! RR (§IV): the optimizations only remove *redundant* state, so for any
+//! execution the replicas still converge to the join of all updates, and
+//! BP+RR never transmits more than classic.
+
+use crdt_lattice::{join_all, Bottom, Lattice, ReplicaId};
+use crdt_sync::{
+    BpDelta, BpRrDelta, ClassicDelta, Measured, OpBased, Params, Protocol, RrDelta, Scuttlebutt,
+    ScuttlebuttGc, StateSync,
+};
+use crdt_types::{GSet, GSetOp};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+
+/// A randomized schedule over a fully scripted 3-replica execution:
+/// interleaves local ops, sync steps, and message deliveries.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Replica adds a fresh unique element.
+    Op(usize),
+    /// Replica runs its periodic synchronization step.
+    Sync(usize),
+    /// Deliver the oldest in-flight message to its recipient.
+    Deliver,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0usize..3).prop_map(Step::Op),
+        2 => (0usize..3).prop_map(Step::Sync),
+        4 => Just(Step::Deliver),
+    ]
+}
+
+/// Run a schedule against protocol `P` on a 3-node full mesh; finish with
+/// enough sync+deliver rounds to drain everything; return final states
+/// and total payload elements transmitted.
+fn run_schedule<P: Protocol<GSet<u64>>>(steps: &[Step]) -> (Vec<GSet<u64>>, u64) {
+    let params = Params::new(3);
+    let ids = [ReplicaId(0), ReplicaId(1), ReplicaId(2)];
+    let mut nodes: Vec<P> = ids.iter().map(|&i| P::new(i, &params)).collect();
+    let mut inflight: std::collections::VecDeque<(usize, usize, P::Msg)> =
+        Default::default();
+    let mut transmitted = 0u64;
+    let mut fresh = 0u64;
+
+    let neighbors = |me: usize| -> Vec<ReplicaId> {
+        ids.iter().copied().filter(|r| r.index() != me).collect()
+    };
+    let mut out = Vec::new();
+
+    let push_out =
+        |from: usize, out: &mut Vec<(ReplicaId, P::Msg)>,
+         inflight: &mut std::collections::VecDeque<(usize, usize, P::Msg)>,
+         transmitted: &mut u64| {
+            for (to, msg) in out.drain(..) {
+                *transmitted += msg.payload_elements();
+                inflight.push_back((from, to.index(), msg));
+            }
+        };
+
+    for step in steps {
+        match step {
+            Step::Op(i) => {
+                nodes[*i].on_op(&GSetOp::Add(fresh * 3 + *i as u64));
+                fresh += 1;
+            }
+            Step::Sync(i) => {
+                nodes[*i].on_sync(&neighbors(*i), &mut out);
+                push_out(*i, &mut out, &mut inflight, &mut transmitted);
+            }
+            Step::Deliver => {
+                if let Some((from, to, msg)) = inflight.pop_front() {
+                    nodes[to].on_msg(ReplicaId::from(from), msg, &mut out);
+                    push_out(to, &mut out, &mut inflight, &mut transmitted);
+                }
+            }
+        }
+    }
+
+    // Drain: alternate sync-everyone and deliver-everything until stable.
+    for _ in 0..24 {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.on_sync(&neighbors(i), &mut out);
+            push_out(i, &mut out, &mut inflight, &mut transmitted);
+        }
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            nodes[to].on_msg(ReplicaId::from(from), msg, &mut out);
+            push_out(to, &mut out, &mut inflight, &mut transmitted);
+        }
+        if nodes.windows(2).all(|w| w[0].state() == w[1].state()) {
+            break;
+        }
+    }
+
+    (nodes.iter().map(|n| n.state().clone()).collect(), transmitted)
+}
+
+macro_rules! schedule_suite {
+    ($name:ident, $proto:ty) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(32))]
+
+                /// Any schedule converges, and the converged state is the
+                /// join of everything any replica produced.
+                #[test]
+                fn converges_to_join_of_updates(steps in pvec(step_strategy(), 0..40)) {
+                    let (states, _) = run_schedule::<$proto>(&steps);
+                    prop_assert_eq!(&states[0], &states[1]);
+                    prop_assert_eq!(&states[1], &states[2]);
+                    // The drain phase must have reached quiescence with
+                    // every update everywhere: the union of all final
+                    // states equals each final state.
+                    let joined: GSet<u64> = join_all(states.iter().cloned());
+                    prop_assert_eq!(&joined, &states[0]);
+                }
+            }
+        }
+    };
+}
+
+schedule_suite!(state_schedules, StateSync<GSet<u64>>);
+schedule_suite!(classic_schedules, ClassicDelta<GSet<u64>>);
+schedule_suite!(bp_schedules, BpDelta<GSet<u64>>);
+schedule_suite!(rr_schedules, RrDelta<GSet<u64>>);
+schedule_suite!(bp_rr_schedules, BpRrDelta<GSet<u64>>);
+schedule_suite!(scuttlebutt_schedules, Scuttlebutt<GSet<u64>>);
+schedule_suite!(scuttlebutt_gc_schedules, ScuttlebuttGc<GSet<u64>>);
+schedule_suite!(op_based_schedules, OpBased<GSet<u64>>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The §IV claim, schedule-quantified: on identical schedules the
+    /// optimizations never transmit more than classic delta.
+    #[test]
+    fn optimizations_never_transmit_more(steps in pvec(step_strategy(), 0..40)) {
+        let (s_classic, t_classic) = run_schedule::<ClassicDelta<GSet<u64>>>(&steps);
+        let (s_bprr, t_bprr) = run_schedule::<BpRrDelta<GSet<u64>>>(&steps);
+        prop_assert_eq!(&s_classic[0], &s_bprr[0], "same final state");
+        prop_assert!(
+            t_bprr <= t_classic,
+            "BP+RR transmitted {t_bprr} > classic {t_classic}"
+        );
+    }
+
+    /// RR's extraction never stores ⊥ and never stores anything already
+    /// dominated by the local state.
+    #[test]
+    fn rr_buffer_holds_only_novelty(
+        local in pvec(0u64..32, 0..16),
+        incoming in pvec(0u64..32, 0..16),
+    ) {
+        use crdt_sync::{DeltaConfig, DeltaMsg, DeltaSync};
+        let mut p = DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), DeltaConfig::BP_RR);
+        let mut pre = GSet::bottom();
+        for e in &local {
+            p.local_op(&GSetOp::Add(*e));
+            let _ = pre.add(*e);
+        }
+        // Flush the local-op buffer.
+        p.sync_step(&[], &mut Vec::new());
+        let group: GSet<u64> = incoming.iter().copied().collect();
+        p.receive(ReplicaId(1), DeltaMsg(group.clone()));
+        for entry in p.buffer().iter() {
+            prop_assert!(!entry.delta.is_bottom());
+            // Everything buffered is novel w.r.t. the pre-receive state.
+            prop_assert!(
+                entry.delta.clone().join(pre.clone()) != pre,
+                "buffered redundant delta {:?}",
+                entry.delta
+            );
+        }
+    }
+}

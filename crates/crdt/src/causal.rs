@@ -1,0 +1,842 @@
+//! Causal (dot-store) CRDTs — removals without tombstone *values*.
+//!
+//! The paper's running examples are grow-only; its conclusion notes the
+//! techniques "can be extended to more complex ones". This module carries
+//! the extension out for the causal CRDTs of the delta-state literature
+//! (Almeida, Shoker, Baquero — the paper's \[13\]/\[14\]): state is a **dot
+//! store** (unique event identifiers mapped to payload) paired with a
+//! **causal context** (the set of all event identifiers ever observed).
+//! The join keeps an entry iff the peer also has it or has *not yet heard
+//! of it* — so a dot present in a context but absent from a store acts as
+//! a removal, with no per-element tombstone data.
+//!
+//! The decomposition theory extends cleanly:
+//!
+//! * join-irreducibles are **live parts** `({d ↦ v}, {d})` and **dead
+//!   parts** `(∅, {d})`;
+//! * `⇓x` = one live part per store entry + one dead part per
+//!   context-only dot — unique and irredundant;
+//! * a live part `⊑ y` iff `d ∈ ctx(y)`; a dead part `⊑ y` iff
+//!   `d ∈ ctx(y) ∧ d ∉ store(y)` — so the *generic* optimal delta
+//!   `Δ(a,b) = ⊔{ p ∈ ⇓a | p ⋢ b }` automatically ships exactly the new
+//!   events plus the removals the peer hasn't applied yet.
+//!
+//! Built on this: [`AWSet`] (add-wins set), [`EWFlag`] (enable-wins
+//! flag) and [`CCounter`] (a resettable causal counter). All three run
+//! unchanged under every synchronization protocol in `crdt-sync`,
+//! including BP+RR.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crdt_lattice::{
+    Bottom, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize, VClock,
+};
+
+use crate::Crdt;
+
+// ---------------------------------------------------------------------------
+// Causal context
+// ---------------------------------------------------------------------------
+
+/// The set of all dots a replica has ever observed, stored compactly as a
+/// contiguous vector-clock prefix plus a "cloud" of out-of-band dots
+/// (deltas carry non-contiguous dots; compaction folds the cloud into the
+/// clock as gaps fill).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CausalContext {
+    clock: VClock,
+    cloud: BTreeSet<Dot>,
+}
+
+impl CausalContext {
+    /// The empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context holding exactly one dot.
+    pub fn singleton(dot: Dot) -> Self {
+        let mut c = Self::new();
+        c.insert(dot);
+        c
+    }
+
+    /// Has this dot been observed?
+    pub fn contains(&self, dot: &Dot) -> bool {
+        self.clock.contains(dot) || self.cloud.contains(dot)
+    }
+
+    /// Observe a dot (compacting the cloud opportunistically).
+    pub fn insert(&mut self, dot: Dot) -> bool {
+        if self.contains(&dot) {
+            return false;
+        }
+        if dot.seq == self.clock.get(dot.replica) + 1 {
+            self.clock.observe(dot);
+            self.compact(dot.replica);
+        } else {
+            self.cloud.insert(dot);
+        }
+        true
+    }
+
+    /// Fold contiguous cloud dots of `replica` into the clock.
+    fn compact(&mut self, replica: ReplicaId) {
+        let mut next = self.clock.get(replica) + 1;
+        while self.cloud.remove(&Dot::new(replica, next)) {
+            self.clock.observe(Dot::new(replica, next));
+            next += 1;
+        }
+    }
+
+    /// The next fresh dot for `replica` (used by mutators at the owning
+    /// replica, whose own history is always contiguous).
+    pub fn next_dot(&mut self, replica: ReplicaId) -> Dot {
+        let dot = Dot::new(replica, self.clock.get(replica) + 1);
+        self.insert(dot);
+        dot
+    }
+
+    /// Number of observed dots.
+    pub fn len(&self) -> u64 {
+        self.clock.iter().map(|(_, s)| s).sum::<u64>() + self.cloud.len() as u64
+    }
+
+    /// Is the context empty?
+    pub fn is_empty(&self) -> bool {
+        self.clock.is_empty() && self.cloud.is_empty()
+    }
+
+    /// Iterate every observed dot (clock ranges then cloud).
+    pub fn iter(&self) -> impl Iterator<Item = Dot> + '_ {
+        self.clock
+            .iter()
+            .flat_map(|(r, s)| (1..=s).map(move |q| Dot::new(r, q)))
+            .chain(self.cloud.iter().copied())
+    }
+
+    /// Set inclusion.
+    pub fn subset_of(&self, other: &CausalContext) -> bool {
+        self.clock.iter().all(|(r, s)| {
+            let covered = other.clock.get(r);
+            covered >= s || ((covered + 1)..=s).all(|q| other.cloud.contains(&Dot::new(r, q)))
+        }) && self.cloud.iter().all(|d| other.contains(d))
+    }
+
+    /// Union with `other`; returns `true` if this context grew.
+    pub fn union(&mut self, other: &CausalContext) -> bool {
+        let mut grew = false;
+        for (r, s) in other.clock.iter() {
+            for q in (self.clock.get(r) + 1)..=s {
+                grew |= self.insert(Dot::new(r, q));
+            }
+        }
+        for d in &other.cloud {
+            grew |= self.insert(*d);
+        }
+        grew
+    }
+
+    /// Wire size: clock entries + cloud dots.
+    pub fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.clock.size_bytes(model) + self.cloud.len() as u64 * model.vector_entry_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The causal lattice
+// ---------------------------------------------------------------------------
+
+/// A dot store paired with a causal context: the state shape of every
+/// causal CRDT here. `V` is plain payload data (a dot uniquely determines
+/// its value for the lifetime of the system).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DotStore<V: Ord> {
+    store: BTreeMap<Dot, V>,
+    ctx: CausalContext,
+}
+
+impl<V: Ord> Default for DotStore<V> {
+    fn default() -> Self {
+        DotStore { store: BTreeMap::new(), ctx: CausalContext::default() }
+    }
+}
+
+impl<V: Ord + Clone + core::fmt::Debug> DotStore<V> {
+    /// An empty causal state.
+    pub fn new() -> Self {
+        DotStore { store: BTreeMap::new(), ctx: CausalContext::new() }
+    }
+
+    /// Live entries, in dot order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Dot, &V)> {
+        self.store.iter()
+    }
+
+    /// Number of live entries.
+    pub fn live_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The causal context.
+    pub fn context(&self) -> &CausalContext {
+        &self.ctx
+    }
+
+    /// Mutation primitive: add a fresh dot carrying `value` at `replica`,
+    /// simultaneously *superseding* the live dots selected by `kill`.
+    /// Returns the optimal delta.
+    fn mutate(
+        &mut self,
+        replica: ReplicaId,
+        value: Option<V>,
+        kill: impl Fn(&Dot, &V) -> bool,
+    ) -> Self {
+        let mut delta = Self::new();
+        // Cover superseded dots in the delta context (removal news).
+        let dead: Vec<Dot> = self
+            .store
+            .iter()
+            .filter(|(d, v)| kill(d, v))
+            .map(|(d, _)| *d)
+            .collect();
+        for d in dead {
+            self.store.remove(&d);
+            delta.ctx.insert(d);
+        }
+        if let Some(v) = value {
+            let dot = self.ctx.next_dot(replica);
+            self.store.insert(dot, v.clone());
+            delta.store.insert(dot, v);
+            delta.ctx.insert(dot);
+        }
+        delta
+    }
+}
+
+impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        // Drop my live dots the peer has already seen die.
+        let ours: Vec<Dot> = self.store.keys().copied().collect();
+        for d in ours {
+            if !other.store.contains_key(&d) && other.ctx.contains(&d) {
+                self.store.remove(&d);
+                changed = true;
+            }
+        }
+        // Adopt peer dots I have not yet heard of.
+        for (d, v) in other.store {
+            if !self.store.contains_key(&d) && !self.ctx.contains(&d) {
+                self.store.insert(d, v);
+                changed = true;
+            }
+        }
+        changed |= self.ctx.union(&other.ctx);
+        changed
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // a ⊑ b ⇔ a ⊔ b = b: my context is covered, and every dot b holds
+        // live is not one I have already removed.
+        self.ctx.subset_of(&other.ctx)
+            && other
+                .store
+                .keys()
+                .all(|d| self.store.contains_key(d) || !self.ctx.contains(d))
+    }
+}
+
+impl<V: Ord + Clone + core::fmt::Debug> Bottom for DotStore<V> {
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.store.is_empty() && self.ctx.is_empty()
+    }
+}
+
+impl<V: Ord + Clone + core::fmt::Debug> Decompose for DotStore<V> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        // Live parts: ({d ↦ v}, {d}).
+        for (d, v) in &self.store {
+            let mut part = Self::new();
+            part.store.insert(*d, v.clone());
+            part.ctx.insert(*d);
+            f(part);
+        }
+        // Dead parts: (∅, {d}) for context-only dots.
+        for d in self.ctx.iter() {
+            if !self.store.contains_key(&d) {
+                let mut part = Self::new();
+                part.ctx.insert(d);
+                f(part);
+            }
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        // Every observed dot is exactly one part (live or dead).
+        self.ctx.len()
+    }
+
+    /// Optimal delta, specialized (equivalent to the generic
+    /// decomposition fold, without materializing every part):
+    /// live parts the peer hasn't heard of, plus dead parts the peer
+    /// either hasn't heard of or still believes live.
+    fn delta(&self, other: &Self) -> Self {
+        let mut d = Self::new();
+        for (dot, v) in &self.store {
+            if !other.ctx.contains(dot) {
+                d.store.insert(*dot, v.clone());
+                d.ctx.insert(*dot);
+            }
+        }
+        for dot in self.ctx.iter() {
+            if !self.store.contains_key(&dot)
+                && (!other.ctx.contains(&dot) || other.store.contains_key(&dot))
+            {
+                d.ctx.insert(dot);
+            }
+        }
+        d
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.ctx.len() == 1
+    }
+}
+
+impl<V: Ord + Clone + core::fmt::Debug + Sizeable> StateSize for DotStore<V> {
+    fn count_elements(&self) -> u64 {
+        self.ctx.len()
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.store
+            .iter()
+            .map(|(d, v)| d.size_bytes(model) + v.payload_bytes(model))
+            .sum::<u64>()
+            + self.ctx.size_bytes(model)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AWSet
+// ---------------------------------------------------------------------------
+
+/// Operations on an [`AWSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AWSetOp<E> {
+    /// Add an element at a replica (add-wins over concurrent removes).
+    Add(ReplicaId, E),
+    /// Remove every visible copy of an element.
+    Remove(E),
+    /// Remove everything currently visible.
+    Clear,
+}
+
+/// An add-wins observed-remove set: elements can be added and removed any
+/// number of times; concurrent add/remove resolves to *add*.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AWSet<E: Ord>(DotStore<E>);
+
+impl<E: Ord> Default for AWSet<E> {
+    fn default() -> Self {
+        AWSet(DotStore::default())
+    }
+}
+
+crate::macros::delegate_join!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug]);
+crate::macros::delegate_decompose!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug]);
+crate::macros::delegate_size!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug + Sizeable]);
+
+impl<E: Ord + Clone + core::fmt::Debug> AWSet<E> {
+    /// A fresh, empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `e` at `replica`, superseding existing copies (so a later
+    /// remove of an *older* copy cannot erase this add). Returns the
+    /// optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, replica: ReplicaId, e: E) -> Self {
+        AWSet(self.0.mutate(replica, Some(e.clone()), |_, v| *v == e))
+    }
+
+    /// Remove all visible copies of `e`. Returns the optimal delta (pure
+    /// context — no tombstone values).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove(&mut self, e: &E) -> Self {
+        AWSet(self.0.mutate(ReplicaId(0), None, |_, v| v == e))
+    }
+
+    /// Remove everything visible. Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn clear(&mut self) -> Self {
+        AWSet(self.0.mutate(ReplicaId(0), None, |_, _| true))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: &E) -> bool {
+        self.0.store.values().any(|v| v == e)
+    }
+
+    /// Distinct visible elements, in order.
+    pub fn elements(&self) -> BTreeSet<&E> {
+        self.0.store.values().collect()
+    }
+
+    /// Number of distinct visible elements.
+    pub fn len(&self) -> usize {
+        self.elements().len()
+    }
+
+    /// Is the set observably empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.store.is_empty()
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug + Sizeable> Crdt for AWSet<E> {
+    type Op = AWSetOp<E>;
+    type Value = BTreeSet<E>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            AWSetOp::Add(r, e) => self.add(*r, e.clone()),
+            AWSetOp::Remove(e) => self.remove(e),
+            AWSetOp::Clear => self.clear(),
+        }
+    }
+
+    fn value(&self) -> BTreeSet<E> {
+        self.0.store.values().cloned().collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            AWSetOp::Add(_, e) => model.id_bytes + e.payload_bytes(model),
+            AWSetOp::Remove(e) => e.payload_bytes(model),
+            AWSetOp::Clear => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EWFlag
+// ---------------------------------------------------------------------------
+
+/// Operations on an [`EWFlag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EWFlagOp {
+    /// Set the flag (wins over concurrent disables).
+    Enable(ReplicaId),
+    /// Clear the flag.
+    Disable,
+}
+
+/// An enable-wins flag: concurrent enable/disable resolves to *enabled*.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EWFlag(DotStore<()>);
+
+crate::macros::delegate_join!(EWFlag where []);
+crate::macros::delegate_decompose!(EWFlag where []);
+crate::macros::delegate_size!(EWFlag where []);
+
+impl EWFlag {
+    /// A fresh, disabled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable at `replica`, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn enable(&mut self, replica: ReplicaId) -> Self {
+        EWFlag(self.0.mutate(replica, Some(()), |_, _| true))
+    }
+
+    /// Disable, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn disable(&mut self) -> Self {
+        EWFlag(self.0.mutate(ReplicaId(0), None, |_, _| true))
+    }
+
+    /// Is the flag set?
+    pub fn is_enabled(&self) -> bool {
+        !self.0.store.is_empty()
+    }
+}
+
+impl Crdt for EWFlag {
+    type Op = EWFlagOp;
+    type Value = bool;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            EWFlagOp::Enable(r) => self.enable(*r),
+            EWFlagOp::Disable => self.disable(),
+        }
+    }
+
+    fn value(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            EWFlagOp::Enable(_) => model.id_bytes,
+            EWFlagOp::Disable => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CCounter
+// ---------------------------------------------------------------------------
+
+/// Operations on a [`CCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CCounterOp {
+    /// Add `i64` (possibly negative) to the replica's contribution.
+    Add(ReplicaId, i64),
+    /// Reset the counter to zero (removes all visible contributions;
+    /// concurrent `Add`s win).
+    Reset,
+}
+
+/// A resettable causal counter: per-replica contributions live in dots,
+/// so `Reset` is a pure-context removal and concurrent increments
+/// survive it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CCounter(DotStore<i64>);
+
+crate::macros::delegate_join!(CCounter where []);
+crate::macros::delegate_decompose!(CCounter where []);
+crate::macros::delegate_size!(CCounter where []);
+
+impl CCounter {
+    /// A fresh, zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to `replica`'s contribution (superseding that replica's
+    /// previous dot). Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, replica: ReplicaId, by: i64) -> Self {
+        let current: i64 = self
+            .0
+            .store
+            .iter()
+            .filter(|(d, _)| d.replica == replica)
+            .map(|(_, v)| *v)
+            .sum();
+        CCounter(
+            self.0
+                .mutate(replica, Some(current + by), |d, _| d.replica == replica),
+        )
+    }
+
+    /// Reset to zero, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn reset(&mut self) -> Self {
+        CCounter(self.0.mutate(ReplicaId(0), None, |_, _| true))
+    }
+
+    /// The counter value: the sum of visible contributions.
+    pub fn total(&self) -> i64 {
+        self.0.store.values().sum()
+    }
+}
+
+impl Crdt for CCounter {
+    type Op = CCounterOp;
+    type Value = i64;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            CCounterOp::Add(r, by) => self.add(*r, *by),
+            CCounterOp::Reset => self.reset(),
+        }
+    }
+
+    fn value(&self) -> i64 {
+        self.total()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            CCounterOp::Add(_, _) => model.id_bytes + 8,
+            CCounterOp::Reset => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::check_crdt_op;
+    use crdt_lattice::testing::check_all_laws;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    // -- causal context ----------------------------------------------------
+
+    #[test]
+    fn context_compacts_contiguous_dots() {
+        let mut c = CausalContext::new();
+        c.insert(Dot::new(A, 2)); // gap: goes to the cloud
+        c.insert(Dot::new(A, 1)); // fills the gap: both compact
+        assert!(c.contains(&Dot::new(A, 1)));
+        assert!(c.contains(&Dot::new(A, 2)));
+        assert_eq!(c.len(), 2);
+        assert!(c.cloud.is_empty(), "cloud folded into the clock");
+    }
+
+    #[test]
+    fn context_union_and_subset() {
+        let mut a = CausalContext::new();
+        a.insert(Dot::new(A, 1));
+        let mut b = a.clone();
+        b.insert(Dot::new(B, 3)); // non-contiguous
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        assert!(a.union(&b));
+        assert!(b.subset_of(&a) && a.subset_of(&b));
+        assert!(!a.union(&b), "idempotent");
+    }
+
+    #[test]
+    fn context_iter_covers_everything() {
+        let mut c = CausalContext::new();
+        c.insert(Dot::new(A, 1));
+        c.insert(Dot::new(A, 2));
+        c.insert(Dot::new(B, 5));
+        let dots: BTreeSet<Dot> = c.iter().collect();
+        assert_eq!(dots.len(), 3);
+        assert!(dots.contains(&Dot::new(B, 5)));
+    }
+
+    // -- AWSet semantics ----------------------------------------------------
+
+    #[test]
+    fn add_remove_add_again() {
+        let mut s = AWSet::new();
+        let _ = s.add(A, "x");
+        assert!(s.contains(&"x"));
+        let _ = s.remove(&"x");
+        assert!(!s.contains(&"x"));
+        // Unlike 2P-sets, re-adding works.
+        let _ = s.add(A, "x");
+        assert!(s.contains(&"x"));
+    }
+
+    #[test]
+    fn concurrent_add_wins_over_remove() {
+        let mut a = AWSet::new();
+        let mut b = AWSet::new();
+        // Shared history: both know "x" added by A.
+        let d = a.add(A, "x");
+        b.join_assign(d);
+        // Concurrently: A removes x, B re-adds x.
+        let da = a.remove(&"x");
+        let db = b.add(B, "x");
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert!(a.contains(&"x"), "add wins");
+    }
+
+    #[test]
+    fn remove_needs_no_tombstone_values() {
+        use crdt_lattice::StateSize;
+        let model = SizeModel::compact();
+        let mut s: AWSet<String> = AWSet::new();
+        let _ = s.add(A, "a-large-element-payload".repeat(10));
+        let d = s.remove(&"a-large-element-payload".repeat(10));
+        // The removal delta carries only context (dots), no element data.
+        assert_eq!(d.0.store.len(), 0);
+        assert!(d.size_bytes(&model) <= 2 * model.vector_entry_bytes());
+    }
+
+    #[test]
+    fn clear_then_concurrent_add_survives() {
+        let mut a = AWSet::new();
+        let mut b = AWSet::new();
+        let d = a.add(A, 1u32);
+        b.join_assign(d);
+        let d_clear = a.clear();
+        let d_add = b.add(B, 2u32);
+        a.join_assign(d_add);
+        b.join_assign(d_clear);
+        assert_eq!(a, b);
+        assert_eq!(a.value(), BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn duplicated_reordered_deltas_converge() {
+        let mut a = AWSet::new();
+        let d1 = a.add(A, 1u32);
+        let d2 = a.remove(&1);
+        let d3 = a.add(A, 2u32);
+        for order in [[0, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let deltas = [d1.clone(), d2.clone(), d3.clone()];
+            let mut obs = AWSet::new();
+            for &i in &order {
+                obs.join_assign(deltas[i].clone());
+                obs.join_assign(deltas[i].clone()); // duplicate
+            }
+            assert_eq!(obs, a, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn awset_op_contract() {
+        let mut s = AWSet::new();
+        let _ = s.add(A, 1u32);
+        let _ = s.add(B, 2u32);
+        check_crdt_op(&s, &AWSetOp::Add(A, 3));
+        check_crdt_op(&s, &AWSetOp::Add(A, 1)); // re-add superseding
+        check_crdt_op(&s, &AWSetOp::Remove(2));
+        check_crdt_op(&s, &AWSetOp::Clear);
+    }
+
+    #[test]
+    fn awset_laws() {
+        let mut s1 = AWSet::new();
+        let _ = s1.add(A, 1u8);
+        let mut s2 = s1.clone();
+        let _ = s2.remove(&1);
+        let mut s3 = AWSet::new();
+        let _ = s3.add(B, 2u8);
+        let _ = s3.add(B, 1u8);
+        let merged = s2.clone().join(s3.clone());
+        let samples = vec![AWSet::bottom(), s1, s2, s3, merged];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn awset_delta_ships_removals_to_stale_peers() {
+        use crdt_lattice::Decompose;
+        let mut fresh = AWSet::new();
+        let d = fresh.add(A, 7u32);
+        let mut stale = AWSet::new();
+        stale.join_assign(d);
+        let _ = fresh.remove(&7);
+        // Δ must inform the stale peer of the removal even though the dot
+        // is inside fresh's context (dead-part case d ∈ b.store).
+        let delta = fresh.delta(&stale);
+        assert!(!delta.is_bottom());
+        stale.join_assign(delta);
+        assert_eq!(stale, fresh);
+        assert!(!stale.contains(&7));
+    }
+
+    // -- EWFlag --------------------------------------------------------------
+
+    #[test]
+    fn flag_enable_wins() {
+        let mut a = EWFlag::new();
+        let mut b = EWFlag::new();
+        let d = a.enable(A);
+        b.join_assign(d);
+        let da = a.disable();
+        let db = b.enable(B);
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert!(a.is_enabled(), "enable wins concurrent disable");
+    }
+
+    #[test]
+    fn flag_op_contract_and_laws() {
+        let mut f = EWFlag::new();
+        let _ = f.enable(A);
+        check_crdt_op(&f, &EWFlagOp::Enable(B));
+        check_crdt_op(&f, &EWFlagOp::Disable);
+        let mut off = f.clone();
+        let _ = off.disable();
+        check_all_laws(&[EWFlag::bottom(), f, off]);
+    }
+
+    // -- CCounter -------------------------------------------------------------
+
+    #[test]
+    fn ccounter_adds_and_resets() {
+        let mut c = CCounter::new();
+        let _ = c.add(A, 5);
+        let _ = c.add(B, 3);
+        let _ = c.add(A, -2);
+        assert_eq!(c.total(), 6);
+        let _ = c.reset();
+        assert_eq!(c.total(), 0);
+        let _ = c.add(A, 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn concurrent_add_survives_reset() {
+        let mut a = CCounter::new();
+        let mut b = CCounter::new();
+        let d = a.add(A, 10);
+        b.join_assign(d);
+        let d_reset = a.reset();
+        let d_add = b.add(B, 4);
+        a.join_assign(d_add);
+        b.join_assign(d_reset);
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 4, "the reset only covers observed dots");
+    }
+
+    #[test]
+    fn ccounter_compresses_own_contribution() {
+        // Repeated adds at one replica keep a single live dot — the
+        // compression GCounter gets from `max`, recovered causally.
+        let mut c = CCounter::new();
+        for _ in 0..10 {
+            let _ = c.add(A, 1);
+        }
+        assert_eq!(c.0.store.len(), 1);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn ccounter_op_contract_and_laws() {
+        let mut c = CCounter::new();
+        let _ = c.add(A, 2);
+        check_crdt_op(&c, &CCounterOp::Add(B, -7));
+        check_crdt_op(&c, &CCounterOp::Add(A, 3));
+        check_crdt_op(&c, &CCounterOp::Reset);
+        let mut c2 = c.clone();
+        let _ = c2.reset();
+        check_all_laws(&[CCounter::bottom(), c, c2]);
+    }
+
+    // -- decomposition ---------------------------------------------------------
+
+    #[test]
+    fn decomposition_has_live_and_dead_parts() {
+        use crdt_lattice::Decompose;
+        let mut s = AWSet::new();
+        let _ = s.add(A, 1u8);
+        let _ = s.add(A, 2u8);
+        let _ = s.remove(&1);
+        // Dots: A1 (dead, superseded? add(1) → A1; add(2) → A2; remove(1)
+        // kills A1). Parts: live A2, dead A1.
+        let parts = s.decompose();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(s.irreducible_count(), 2);
+        let live = parts.iter().filter(|p| p.0.store.len() == 1).count();
+        let dead = parts.iter().filter(|p| p.0.store.is_empty()).count();
+        assert_eq!((live, dead), (1, 1));
+        assert!(parts.iter().all(Decompose::is_irreducible));
+    }
+}

@@ -1,0 +1,1422 @@
+//! The generic dot-store framework of the delta-state literature.
+//!
+//! [`crate::causal`] implements three causal CRDTs over one flat store
+//! shape (`Dot ↪ V`). The delta-state papers the paper builds on
+//! (\[13\]/\[14\], Almeida–Shoker–Baquero) define causal CRDTs over a small
+//! *algebra* of dot stores instead, closed under nesting:
+//!
+//! * [`DotSet`] — `P(Dot)`: bare event identifiers (flags, per-element
+//!   presence);
+//! * [`DotFun`]`<V>` — `Dot ↪ V`: events carrying a payload value
+//!   (registers, counters);
+//! * [`DotMap`]`<K, S>` — `K ↪ S` for a nested store `S`: *keyed* causal
+//!   state (observed-remove maps, maps of sets, maps of maps, …).
+//!
+//! A causal CRDT is then [`Causal`]`<S>` — a store `S` paired with a
+//! [`CausalContext`] — and the framework join is defined once, by
+//! recursion on the store shape: a dot survives the join iff it is live
+//! on both sides, or live on one side and *unseen* by the other.
+//!
+//! ## Join decompositions (this paper's contribution, extended)
+//!
+//! The decomposition theory of §III extends to every store shape:
+//!
+//! * join-irreducibles are **live parts** — the minimal causal state
+//!   holding one store dot (for a `DotMap` that is the full key path down
+//!   to one dot) — and **dead parts** `(∅, {d})` for context-only dots;
+//! * `⇓x` is one live part per store dot plus one dead part per
+//!   context-only dot — unique and irredundant (the causal lattice is
+//!   distributive and satisfies DCC, Appendix A);
+//! * the optimal delta `Δ(a,b)` follows from the generic fold, and is
+//!   specialized here without materializing parts.
+//!
+//! Every type in this module therefore runs unchanged under every
+//! synchronization protocol in `crdt-sync`, including delta-based BP+RR.
+//!
+//! Built on the framework: [`ORMap`] (observed-remove map with
+//! multi-value-register leaves), [`ORSetMap`] (observed-remove map of
+//! add-wins sets — one level of nesting), [`RWSet`] (remove-wins set) and
+//! [`DWFlag`] (disable-wins flag), complementing the add-wins/enable-wins
+//! types of [`crate::causal`].
+
+use core::fmt::Debug;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crdt_lattice::{Bottom, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize};
+
+use crate::causal::CausalContext;
+use crate::Crdt;
+
+// ---------------------------------------------------------------------------
+// The store algebra
+// ---------------------------------------------------------------------------
+
+/// A dot store: the payload half of a causal CRDT state.
+///
+/// Implementations must maintain the framework invariant that a dot in the
+/// store uniquely identifies its payload for the lifetime of the system
+/// (dots are never reused with different data).
+pub trait DotStore: Clone + Debug + Eq + Default {
+    /// Visit every dot in the store (for a [`DotMap`], every dot of every
+    /// nested store).
+    fn for_each_dot(&self, f: &mut dyn FnMut(Dot));
+
+    /// Is `d` live in this store?
+    fn contains_dot(&self, d: &Dot) -> bool;
+
+    /// Does the store hold no dots?
+    fn is_empty(&self) -> bool;
+
+    /// The framework join `(self, self_ctx) ⊔ (other, other_ctx)`,
+    /// mutating `self` in place. Returns `true` if `self` changed.
+    ///
+    /// A dot survives iff it is live on both sides, or live on one side
+    /// and absent from the other's *context* (unseen news beats observed
+    /// death; observed death beats liveness).
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext)
+        -> bool;
+
+    /// Visit `(dot, minimal sub-store holding exactly that dot)` for every
+    /// live dot — the store half of the live parts of `⇓(self, ctx)`.
+    fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self));
+
+    /// Number of live dots.
+    fn dot_count(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_dot(&mut |_| n += 1);
+        n
+    }
+
+    /// Wire size of the store under `model`.
+    fn size_bytes(&self, model: &SizeModel) -> u64;
+}
+
+/// `P(Dot)` — bare event identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DotSet(BTreeSet<Dot>);
+
+impl DotSet {
+    /// The empty dot set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set holding exactly `d`.
+    pub fn singleton(d: Dot) -> Self {
+        DotSet(BTreeSet::from([d]))
+    }
+
+    /// Insert a dot.
+    pub fn insert(&mut self, d: Dot) -> bool {
+        self.0.insert(d)
+    }
+
+    /// Iterate the dots in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dot> {
+        self.0.iter()
+    }
+
+    /// Number of dots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Does the set hold no dots?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl DotStore for DotSet {
+    fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+        for d in &self.0 {
+            f(*d);
+        }
+    }
+
+    fn contains_dot(&self, d: &Dot) -> bool {
+        self.0.contains(d)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn join(
+        &mut self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        let mut changed = false;
+        // Drop my dots the peer has seen die.
+        let mine: Vec<Dot> = self.0.iter().copied().collect();
+        for d in mine {
+            if !other.0.contains(&d) && other_ctx.contains(&d) {
+                self.0.remove(&d);
+                changed = true;
+            }
+        }
+        // Adopt peer dots I have not heard of.
+        for d in &other.0 {
+            if !self.0.contains(d) && !self_ctx.contains(d) {
+                self.0.insert(*d);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
+        for d in &self.0 {
+            f(*d, DotSet::singleton(*d));
+        }
+    }
+
+    fn dot_count(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.len() as u64 * model.vector_entry_bytes()
+    }
+}
+
+/// `Dot ↪ V` — events carrying a payload value.
+///
+/// `V` is plain (not a lattice): a dot uniquely determines its value, so
+/// two stores never hold the same dot with different payloads and the
+/// join never needs to merge values.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DotFun<V>(BTreeMap<Dot, V>);
+
+impl<V> Default for DotFun<V> {
+    fn default() -> Self {
+        DotFun(BTreeMap::new())
+    }
+}
+
+impl<V: Clone> DotFun<V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map holding exactly `d ↦ v`.
+    pub fn singleton(d: Dot, v: V) -> Self {
+        DotFun(BTreeMap::from([(d, v)]))
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, d: Dot, v: V) {
+        self.0.insert(d, v);
+    }
+
+    /// Iterate entries in dot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Dot, &V)> {
+        self.0.iter()
+    }
+
+    /// The values, in dot order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.0.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Does the map hold no entries?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
+    fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+        for d in self.0.keys() {
+            f(*d);
+        }
+    }
+
+    fn contains_dot(&self, d: &Dot) -> bool {
+        self.0.contains_key(d)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn join(
+        &mut self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        let mut changed = false;
+        let mine: Vec<Dot> = self.0.keys().copied().collect();
+        for d in mine {
+            if !other.0.contains_key(&d) && other_ctx.contains(&d) {
+                self.0.remove(&d);
+                changed = true;
+            }
+        }
+        for (d, v) in &other.0 {
+            if !self.0.contains_key(d) && !self_ctx.contains(d) {
+                self.0.insert(*d, v.clone());
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
+        for (d, v) in &self.0 {
+            f(*d, DotFun::singleton(*d, v.clone()));
+        }
+    }
+
+    fn dot_count(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0
+            .values()
+            .map(|v| model.vector_entry_bytes() + v.payload_bytes(model))
+            .sum()
+    }
+}
+
+/// `K ↪ S` — keyed causal state, for a nested store `S`.
+///
+/// Keys with an empty nested store are never kept (`⊥` entries are
+/// represented by absence), so key removal needs no tombstones: joining
+/// with a peer whose context covers a key's dots removes the key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DotMap<K: Ord, S>(BTreeMap<K, S>);
+
+impl<K: Ord, S> Default for DotMap<K, S> {
+    fn default() -> Self {
+        DotMap(BTreeMap::new())
+    }
+}
+
+impl<K: Ord + Clone, S: DotStore> DotMap<K, S> {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map holding exactly `k ↦ s` (no entry if `s` is empty).
+    pub fn singleton(k: K, s: S) -> Self {
+        let mut m = Self::new();
+        if !s.is_empty() {
+            m.0.insert(k, s);
+        }
+        m
+    }
+
+    /// The nested store at `k`, if present.
+    pub fn get(&self, k: &K) -> Option<&S> {
+        self.0.get(k)
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &S)> {
+        self.0.iter()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Does the map hold no keys?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Drop empty nested stores.
+    fn prune(&mut self) {
+        self.0.retain(|_, s| !s.is_empty());
+    }
+}
+
+impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
+    fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+        for s in self.0.values() {
+            s.for_each_dot(f);
+        }
+    }
+
+    fn contains_dot(&self, d: &Dot) -> bool {
+        self.0.values().any(|s| s.contains_dot(d))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn join(
+        &mut self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        let mut changed = false;
+        // Keys on my side: join with the peer's nested store (or ⊥).
+        let empty = S::default();
+        let mine: Vec<K> = self.0.keys().cloned().collect();
+        for k in mine {
+            let theirs = other.0.get(&k).unwrap_or(&empty);
+            let s = self.0.get_mut(&k).expect("key just listed");
+            changed |= s.join(self_ctx, theirs, other_ctx);
+        }
+        // Keys only on the peer's side: join ⊥ with theirs.
+        for (k, theirs) in &other.0 {
+            if !self.0.contains_key(k) {
+                let mut s = S::default();
+                if s.join(self_ctx, theirs, other_ctx) {
+                    self.0.insert(k.clone(), s);
+                    changed = true;
+                }
+            }
+        }
+        self.prune();
+        changed
+    }
+
+    fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
+        for (k, s) in &self.0 {
+            s.for_each_part(&mut |d, part| f(d, DotMap::singleton(k.clone(), part)));
+        }
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0
+            .iter()
+            .map(|(k, s)| k.payload_bytes(model) + s.size_bytes(model))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal<S>: the lattice
+// ---------------------------------------------------------------------------
+
+/// A causal CRDT state: a dot store paired with a causal context.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Causal<S> {
+    store: S,
+    ctx: CausalContext,
+}
+
+impl<S: DotStore> Causal<S> {
+    /// A fresh, empty causal state.
+    pub fn new() -> Self {
+        Causal { store: S::default(), ctx: CausalContext::new() }
+    }
+
+    /// The store half.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The causal context.
+    pub fn context(&self) -> &CausalContext {
+        &self.ctx
+    }
+
+    /// Mutation primitive shared by every causal CRDT: claim a fresh dot
+    /// at `replica` (if `write` wants one), kill the live dots selected by
+    /// `kill`, and return the optimal delta.
+    ///
+    /// * `kill` selects dots to supersede (their death is published by
+    ///   covering them in the delta's context without storing them);
+    /// * `write` receives the fresh dot and returns the minimal store
+    ///   holding the new event (e.g. `{k ↦ {d ↦ v}}`), or is skipped for
+    ///   pure removals.
+    pub fn mutate(
+        &mut self,
+        replica: Option<ReplicaId>,
+        kill: impl Fn(&Dot) -> bool,
+        write: impl FnOnce(Dot) -> S,
+    ) -> Self {
+        let mut delta = Self::new();
+        // Collect and erase the superseded dots: join with a state whose
+        // context covers them but whose store does not hold them.
+        let mut dead_ctx = CausalContext::new();
+        self.store.for_each_dot(&mut |d| {
+            if kill(&d) {
+                dead_ctx.insert(d);
+            }
+        });
+        self.store.join(&self.ctx, &S::default(), &dead_ctx);
+        delta.ctx.union(&dead_ctx);
+        if let Some(r) = replica {
+            // Snapshot the context *before* claiming the fresh dot, so the
+            // framework join adopts the news as unseen.
+            let pre_ctx = self.ctx.clone();
+            let dot = self.ctx.next_dot(r);
+            let news = write(dot);
+            self.store.join(&pre_ctx, &news, &CausalContext::singleton(dot));
+            delta.store = news;
+            delta.ctx.insert(dot);
+        }
+        delta
+    }
+}
+
+impl<S: DotStore> Lattice for Causal<S> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        let mut changed = self.store.join(&self.ctx, &other.store, &other.ctx);
+        changed |= self.ctx.union(&other.ctx);
+        changed
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // a ⊑ b ⇔ a ⊔ b = b: my context is covered, and no dot live in b
+        // is one I have seen die.
+        if !self.ctx.subset_of(&other.ctx) {
+            return false;
+        }
+        let mut ok = true;
+        other.store.for_each_dot(&mut |d| {
+            if !self.store.contains_dot(&d) && self.ctx.contains(&d) {
+                ok = false;
+            }
+        });
+        ok
+    }
+}
+
+impl<S: DotStore> Bottom for Causal<S> {
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.store.is_empty() && self.ctx.is_empty()
+    }
+}
+
+impl<S: DotStore> Decompose for Causal<S> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        // Live parts.
+        self.store.for_each_part(&mut |d, part| {
+            f(Causal { store: part, ctx: CausalContext::singleton(d) });
+        });
+        // Dead parts.
+        for d in self.ctx.iter() {
+            if !self.store.contains_dot(&d) {
+                f(Causal { store: S::default(), ctx: CausalContext::singleton(d) });
+            }
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.ctx.len()
+    }
+
+    /// Optimal delta, specialized: live parts the peer hasn't heard of,
+    /// plus dead parts the peer hasn't heard of or still believes live.
+    fn delta(&self, other: &Self) -> Self {
+        let mut d = Self::new();
+        self.store.for_each_part(&mut |dot, part| {
+            if !other.ctx.contains(&dot) {
+                let self_ctx = d.ctx.clone();
+                let part_ctx = CausalContext::singleton(dot);
+                d.store.join(&self_ctx, &part, &part_ctx);
+                d.ctx.insert(dot);
+            }
+        });
+        for dot in self.ctx.iter() {
+            if !self.store.contains_dot(&dot)
+                && (!other.ctx.contains(&dot) || other.store.contains_dot(&dot))
+            {
+                d.ctx.insert(dot);
+            }
+        }
+        d
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.ctx.len() == 1
+    }
+}
+
+impl<S: DotStore> StateSize for Causal<S> {
+    fn count_elements(&self) -> u64 {
+        self.ctx.len()
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.store.size_bytes(model) + self.ctx.size_bytes(model)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ORMap: observed-remove map with multi-value leaves
+// ---------------------------------------------------------------------------
+
+/// Operations on an [`ORMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ORMapOp<K, V> {
+    /// Write `v` under `k` at a replica (supersedes the values of `k` it
+    /// has observed; concurrent writes to `k` all survive, as in a
+    /// multi-value register).
+    Put(ReplicaId, K, V),
+    /// Remove every observed value of `k` (concurrent puts win).
+    Remove(K),
+    /// Remove every observed entry.
+    Clear,
+}
+
+/// An observed-remove map with multi-value-register leaves:
+/// `Causal(K ↪ (Dot ↪ V))`.
+///
+/// `put` behaves per key like an [`crate::MVRegister`] write; `remove`
+/// deletes only the writes it has observed, so a concurrent `put` to the
+/// same key survives (add-wins at the key level). Re-inserting after a
+/// removal works, unlike a map built on 2P semantics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ORMap<K: Ord, V>(Causal<DotMap<K, DotFun<V>>>);
+
+impl<K: Ord, V> Default for ORMap<K, V> {
+    fn default() -> Self {
+        ORMap(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+    }
+}
+
+crate::macros::delegate_lattice!(ORMap<K, V> where
+    [K: Ord + Clone + Debug + Sizeable, V: Clone + Debug + Eq + Sizeable]);
+
+impl<K: Ord + Clone + Debug + Sizeable, V: Clone + Debug + Eq + Sizeable> ORMap<K, V> {
+    /// A fresh, empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `v` under `k` at `replica`, superseding observed values of
+    /// `k`. Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn put(&mut self, replica: ReplicaId, k: K, v: V) -> Self {
+        let kill: BTreeSet<Dot> = self.key_dots(&k);
+        ORMap(self.0.mutate(
+            Some(replica),
+            |d| kill.contains(d),
+            |dot| DotMap::singleton(k.clone(), DotFun::singleton(dot, v)),
+        ))
+    }
+
+    /// Remove every observed value of `k`. Returns the optimal delta
+    /// (pure context — no tombstones).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove(&mut self, k: &K) -> Self {
+        let kill: BTreeSet<Dot> = self.key_dots(k);
+        ORMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+    }
+
+    /// Remove every observed entry. Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn clear(&mut self) -> Self {
+        ORMap(self.0.mutate(None, |_| true, |_| DotMap::default()))
+    }
+
+    /// The concurrent values visible under `k` (empty if absent; more
+    /// than one after concurrent puts).
+    pub fn get(&self, k: &K) -> Vec<&V> {
+        self.0
+            .store
+            .get(k)
+            .map(|f| f.values().collect())
+            .unwrap_or_default()
+    }
+
+    /// Is `k` present?
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.0.store.get(k).is_some()
+    }
+
+    /// Live keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.0.store.iter().map(|(k, _)| k)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.0.store.len()
+    }
+
+    /// Is the map observably empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.store.is_empty()
+    }
+
+    fn key_dots(&self, k: &K) -> BTreeSet<Dot> {
+        let mut dots = BTreeSet::new();
+        if let Some(f) = self.0.store.get(k) {
+            f.for_each_dot(&mut |d| {
+                dots.insert(d);
+            });
+        }
+        dots
+    }
+}
+
+impl<K: Ord + Clone + Debug + Sizeable, V: Clone + Debug + Eq + Sizeable> Crdt for ORMap<K, V> {
+    type Op = ORMapOp<K, V>;
+    type Value = BTreeMap<K, Vec<V>>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            ORMapOp::Put(r, k, v) => self.put(*r, k.clone(), v.clone()),
+            ORMapOp::Remove(k) => self.remove(k),
+            ORMapOp::Clear => self.clear(),
+        }
+    }
+
+    fn value(&self) -> Self::Value {
+        self.0
+            .store
+            .iter()
+            .map(|(k, f)| (k.clone(), f.values().cloned().collect()))
+            .collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            ORMapOp::Put(_, k, v) => {
+                model.id_bytes + k.payload_bytes(model) + v.payload_bytes(model)
+            }
+            ORMapOp::Remove(k) => k.payload_bytes(model),
+            ORMapOp::Clear => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ORSetMap: observed-remove map of add-wins sets (one level of nesting)
+// ---------------------------------------------------------------------------
+
+/// Operations on an [`ORSetMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ORSetMapOp<K, E> {
+    /// Add `e` to the set under `k`.
+    Add(ReplicaId, K, E),
+    /// Remove `e` from the set under `k` (observed copies only).
+    RemoveElem(K, E),
+    /// Remove the whole entry under `k` (observed state only; concurrent
+    /// adds to `k` survive — and resurrect the key).
+    RemoveKey(K),
+}
+
+/// An observed-remove map whose values are add-wins sets:
+/// `Causal(K ↪ (E ↪ P(Dot)))` — a two-level [`DotMap`] nesting,
+/// demonstrating the framework's compositionality.
+///
+/// Removing a key removes only the element-copies observed locally, so an
+/// add racing with the key removal wins and keeps the key alive with that
+/// element — exactly the add-wins semantics, lifted through the nesting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ORSetMap<K: Ord, E: Ord>(Causal<DotMap<K, DotMap<E, DotSet>>>);
+
+impl<K: Ord, E: Ord> Default for ORSetMap<K, E> {
+    fn default() -> Self {
+        ORSetMap(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+    }
+}
+
+crate::macros::delegate_lattice!(ORSetMap<K, E> where
+    [K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable]);
+
+impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> ORSetMap<K, E> {
+    /// A fresh, empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `e` to the set under `k` at `replica` (superseding observed
+    /// copies of `e` there). Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, replica: ReplicaId, k: K, e: E) -> Self {
+        let kill = self.elem_dots(&k, &e);
+        ORSetMap(self.0.mutate(
+            Some(replica),
+            |d| kill.contains(d),
+            |dot| DotMap::singleton(k.clone(), DotMap::singleton(e.clone(), DotSet::singleton(dot))),
+        ))
+    }
+
+    /// Remove the observed copies of `e` under `k`. Returns the optimal
+    /// delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove_elem(&mut self, k: &K, e: &E) -> Self {
+        let kill = self.elem_dots(k, e);
+        ORSetMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+    }
+
+    /// Remove the observed entry under `k`. Returns the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove_key(&mut self, k: &K) -> Self {
+        let mut kill = BTreeSet::new();
+        if let Some(sets) = self.0.store.get(k) {
+            sets.for_each_dot(&mut |d| {
+                kill.insert(d);
+            });
+        }
+        ORSetMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+    }
+
+    /// The visible elements under `k`, in order.
+    pub fn get(&self, k: &K) -> BTreeSet<&E> {
+        self.0
+            .store
+            .get(k)
+            .map(|sets| sets.iter().map(|(e, _)| e).collect())
+            .unwrap_or_default()
+    }
+
+    /// Is `k` present (with at least one element)?
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.0.store.get(k).is_some()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.0.store.len()
+    }
+
+    /// Is the map observably empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.store.is_empty()
+    }
+
+    fn elem_dots(&self, k: &K, e: &E) -> BTreeSet<Dot> {
+        let mut dots = BTreeSet::new();
+        if let Some(sets) = self.0.store.get(k) {
+            if let Some(ds) = sets.get(e) {
+                ds.for_each_dot(&mut |d| {
+                    dots.insert(d);
+                });
+            }
+        }
+        dots
+    }
+}
+
+impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> Crdt
+    for ORSetMap<K, E>
+{
+    type Op = ORSetMapOp<K, E>;
+    type Value = BTreeMap<K, BTreeSet<E>>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            ORSetMapOp::Add(r, k, e) => self.add(*r, k.clone(), e.clone()),
+            ORSetMapOp::RemoveElem(k, e) => self.remove_elem(k, e),
+            ORSetMapOp::RemoveKey(k) => self.remove_key(k),
+        }
+    }
+
+    fn value(&self) -> Self::Value {
+        self.0
+            .store
+            .iter()
+            .map(|(k, sets)| {
+                (k.clone(), sets.iter().map(|(e, _)| e.clone()).collect())
+            })
+            .collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            ORSetMapOp::Add(_, k, e) => {
+                model.id_bytes + k.payload_bytes(model) + e.payload_bytes(model)
+            }
+            ORSetMapOp::RemoveElem(k, e) => k.payload_bytes(model) + e.payload_bytes(model),
+            ORSetMapOp::RemoveKey(k) => k.payload_bytes(model),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RWSet: remove-wins set
+// ---------------------------------------------------------------------------
+
+/// Operations on an [`RWSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RWSetOp<E> {
+    /// Add `e` (loses to a concurrent remove of `e`).
+    Add(ReplicaId, E),
+    /// Remove `e` (wins over concurrent adds of `e`).
+    Remove(ReplicaId, E),
+}
+
+/// A remove-wins set: `Causal(E ↪ (Dot ↪ bool))`, where `true` dots vote
+/// *present* and `false` dots vote *absent*.
+///
+/// Both `add` and `remove` supersede the votes they have observed and cast
+/// a fresh vote; an element is in the set iff it has at least one live
+/// `true` vote and **no** live `false` vote — so when an add races with a
+/// remove, both votes survive the join and the remove wins. The dual of
+/// [`crate::AWSet`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RWSet<E: Ord>(Causal<DotMap<E, DotFun<bool>>>);
+
+impl<E: Ord> Default for RWSet<E> {
+    fn default() -> Self {
+        RWSet(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+    }
+}
+
+crate::macros::delegate_lattice!(RWSet<E> where [E: Ord + Clone + Debug + Sizeable]);
+
+impl<E: Ord + Clone + Debug + Sizeable> RWSet<E> {
+    /// A fresh, empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cast a vote for `e` at `replica`.
+    fn vote(&mut self, replica: ReplicaId, e: E, present: bool) -> Self {
+        let mut kill = BTreeSet::new();
+        if let Some(votes) = self.0.store.get(&e) {
+            votes.for_each_dot(&mut |d| {
+                kill.insert(d);
+            });
+        }
+        RWSet(self.0.mutate(
+            Some(replica),
+            |d| kill.contains(d),
+            |dot| DotMap::singleton(e.clone(), DotFun::singleton(dot, present)),
+        ))
+    }
+
+    /// Add `e`, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, replica: ReplicaId, e: E) -> Self {
+        self.vote(replica, e, true)
+    }
+
+    /// Remove `e`, returning the optimal delta. Remove-wins semantics
+    /// require the removal itself to be a vote, so it carries a dot (and,
+    /// unlike [`crate::AWSet::remove`], needs an acting replica).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove(&mut self, replica: ReplicaId, e: E) -> Self {
+        self.vote(replica, e, false)
+    }
+
+    /// Membership: at least one `true` vote and no `false` vote.
+    pub fn contains(&self, e: &E) -> bool {
+        self.0
+            .store
+            .get(e)
+            .is_some_and(|votes| {
+                let mut any_true = false;
+                let mut any_false = false;
+                for v in votes.values() {
+                    any_true |= *v;
+                    any_false |= !*v;
+                }
+                any_true && !any_false
+            })
+    }
+
+    /// The visible elements.
+    pub fn elements(&self) -> BTreeSet<&E> {
+        self.0
+            .store
+            .iter()
+            .filter(|(e, _)| self.contains(e))
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.elements().len()
+    }
+
+    /// Is the set observably empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E: Ord + Clone + Debug + Sizeable> Crdt for RWSet<E> {
+    type Op = RWSetOp<E>;
+    type Value = BTreeSet<E>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            RWSetOp::Add(r, e) => self.add(*r, e.clone()),
+            RWSetOp::Remove(r, e) => self.remove(*r, e.clone()),
+        }
+    }
+
+    fn value(&self) -> BTreeSet<E> {
+        self.elements().into_iter().cloned().collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            RWSetOp::Add(_, e) | RWSetOp::Remove(_, e) => {
+                model.id_bytes + e.payload_bytes(model) + 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DWFlag: disable-wins flag
+// ---------------------------------------------------------------------------
+
+/// Operations on a [`DWFlag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DWFlagOp {
+    /// Set the flag (loses to a concurrent disable).
+    Enable(ReplicaId),
+    /// Clear the flag (wins over concurrent enables).
+    Disable(ReplicaId),
+}
+
+/// A disable-wins flag: `Causal(Dot ↪ bool)` with `true` = enable votes
+/// and `false` = disable votes; the flag reads enabled iff there is at
+/// least one live enable vote and no live disable vote. The dual of
+/// [`crate::EWFlag`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DWFlag(Causal<DotFun<bool>>);
+
+crate::macros::delegate_lattice!(DWFlag where []);
+
+impl DWFlag {
+    /// A fresh, disabled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn vote(&mut self, replica: ReplicaId, enabled: bool) -> Self {
+        DWFlag(self.0.mutate(
+            Some(replica),
+            |_| true,
+            |dot| DotFun::singleton(dot, enabled),
+        ))
+    }
+
+    /// Enable at `replica`, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn enable(&mut self, replica: ReplicaId) -> Self {
+        self.vote(replica, true)
+    }
+
+    /// Disable at `replica`, returning the optimal delta. Unlike
+    /// [`crate::EWFlag::disable`], the disable is itself a vote (it must
+    /// beat concurrent enables), so it carries a dot.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn disable(&mut self, replica: ReplicaId) -> Self {
+        self.vote(replica, false)
+    }
+
+    /// Is the flag set? At least one enable vote and no disable vote.
+    pub fn is_enabled(&self) -> bool {
+        let mut any_true = false;
+        let mut any_false = false;
+        for v in self.0.store.values() {
+            any_true |= *v;
+            any_false |= !*v;
+        }
+        any_true && !any_false
+    }
+}
+
+impl Crdt for DWFlag {
+    type Op = DWFlagOp;
+    type Value = bool;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            DWFlagOp::Enable(r) => self.enable(*r),
+            DWFlagOp::Disable(r) => self.disable(*r),
+        }
+    }
+
+    fn value(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn op_size_bytes(_op: &Self::Op, model: &SizeModel) -> u64 {
+        model.id_bytes + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::check_crdt_op;
+    use crdt_lattice::testing::check_all_laws;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+    const C: ReplicaId = ReplicaId(2);
+
+    // -- store algebra -------------------------------------------------------
+
+    #[test]
+    fn dotset_join_respects_contexts() {
+        // A has dot a1 live; B has seen a1 die.
+        let mut a_store = DotSet::singleton(Dot::new(A, 1));
+        let a_ctx = CausalContext::singleton(Dot::new(A, 1));
+        let b_store = DotSet::new();
+        let b_ctx = CausalContext::singleton(Dot::new(A, 1));
+        assert!(a_store.join(&a_ctx, &b_store, &b_ctx));
+        assert!(a_store.is_empty(), "observed death wins");
+
+        // Unseen news is adopted.
+        let mut empty = DotSet::new();
+        let fresh_ctx = CausalContext::new();
+        let news = DotSet::singleton(Dot::new(B, 1));
+        let news_ctx = CausalContext::singleton(Dot::new(B, 1));
+        assert!(empty.join(&fresh_ctx, &news, &news_ctx));
+        assert!(empty.contains_dot(&Dot::new(B, 1)));
+    }
+
+    #[test]
+    fn dotfun_join_is_idempotent_and_commutes() {
+        let d1 = Dot::new(A, 1);
+        let d2 = Dot::new(B, 1);
+        let mut x = DotFun::singleton(d1, 10u32);
+        let x_ctx = CausalContext::singleton(d1);
+        let y = DotFun::singleton(d2, 20u32);
+        let y_ctx = CausalContext::singleton(d2);
+
+        let mut xy = x.clone();
+        assert!(xy.join(&x_ctx, &y, &y_ctx));
+        let mut yx = y.clone();
+        assert!(yx.join(&y_ctx, &x, &x_ctx));
+        assert_eq!(xy, yx);
+        assert!(!x.join(&x_ctx, &x.clone(), &x_ctx), "idempotent");
+    }
+
+    #[test]
+    fn dotmap_prunes_emptied_keys() {
+        let d = Dot::new(A, 1);
+        let mut m: DotMap<&str, DotSet> = DotMap::singleton("k", DotSet::singleton(d));
+        let ctx = CausalContext::singleton(d);
+        // Peer saw the dot die.
+        let peer: DotMap<&str, DotSet> = DotMap::new();
+        let peer_ctx = CausalContext::singleton(d);
+        assert!(m.join(&ctx, &peer, &peer_ctx));
+        assert!(m.is_empty(), "key with no dots must disappear");
+    }
+
+    #[test]
+    fn nested_parts_carry_full_key_path() {
+        let d = Dot::new(A, 1);
+        let m: DotMap<&str, DotMap<u8, DotSet>> =
+            DotMap::singleton("k", DotMap::singleton(7, DotSet::singleton(d)));
+        let mut parts = Vec::new();
+        m.for_each_part(&mut |dot, part| parts.push((dot, part)));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, d);
+        assert_eq!(parts[0].1.get(&"k").unwrap().get(&7).unwrap().len(), 1);
+    }
+
+    // -- ORMap ----------------------------------------------------------------
+
+    #[test]
+    fn ormap_put_get_remove() {
+        let mut m = ORMap::new();
+        let _ = m.put(A, "k1", 1u32);
+        let _ = m.put(A, "k2", 2u32);
+        assert_eq!(m.get(&"k1"), vec![&1]);
+        assert_eq!(m.len(), 2);
+        let _ = m.remove(&"k1");
+        assert!(!m.contains_key(&"k1"));
+        assert_eq!(m.len(), 1);
+        // Re-insert after removal works.
+        let _ = m.put(B, "k1", 3u32);
+        assert_eq!(m.get(&"k1"), vec![&3]);
+    }
+
+    #[test]
+    fn ormap_concurrent_puts_both_visible() {
+        let mut a = ORMap::new();
+        let mut b = ORMap::new();
+        let da = a.put(A, "k", 1u32);
+        let db = b.put(B, "k", 2u32);
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert_eq!(a.get(&"k"), vec![&1, &2], "multi-value leaf keeps both");
+        // A sequential overwrite supersedes both.
+        let d = a.put(A, "k", 9u32);
+        b.join_assign(d);
+        assert_eq!(b.get(&"k"), vec![&9]);
+    }
+
+    #[test]
+    fn ormap_put_wins_concurrent_key_remove() {
+        let mut a = ORMap::new();
+        let mut b = ORMap::new();
+        let d = a.put(A, "k", 1u32);
+        b.join_assign(d);
+        let d_rm = a.remove(&"k");
+        let d_put = b.put(B, "k", 2u32);
+        a.join_assign(d_put);
+        b.join_assign(d_rm);
+        assert_eq!(a, b);
+        assert_eq!(a.get(&"k"), vec![&2], "concurrent put survives remove");
+    }
+
+    #[test]
+    fn ormap_remove_delta_is_pure_context() {
+        let model = SizeModel::compact();
+        let mut m = ORMap::new();
+        let _ = m.put(A, "key-with-a-long-name".to_string(), "x".repeat(100));
+        let d = m.remove(&"key-with-a-long-name".to_string());
+        assert_eq!(d.0.store.len(), 0, "no tombstone payload");
+        assert!(d.size_bytes(&model) <= 2 * model.vector_entry_bytes());
+    }
+
+    #[test]
+    fn ormap_op_contract_and_laws() {
+        let mut m = ORMap::new();
+        let _ = m.put(A, 1u8, 10u32);
+        let _ = m.put(B, 2u8, 20u32);
+        check_crdt_op(&m, &ORMapOp::Put(A, 1, 11));
+        check_crdt_op(&m, &ORMapOp::Remove(2));
+        check_crdt_op(&m, &ORMapOp::Clear);
+        let mut m2 = m.clone();
+        let _ = m2.remove(&1);
+        let mut m3 = ORMap::new();
+        let _ = m3.put(C, 3u8, 30u32);
+        let j = m2.clone().join(m3.clone());
+        check_all_laws(&[ORMap::bottom(), m, m2, m3, j]);
+    }
+
+    #[test]
+    fn ormap_delta_ships_removals_to_stale_peers() {
+        let mut fresh = ORMap::new();
+        let d = fresh.put(A, "k", 1u32);
+        let mut stale = ORMap::new();
+        stale.join_assign(d);
+        let _ = fresh.remove(&"k");
+        let delta = fresh.delta(&stale);
+        assert!(!delta.is_bottom());
+        stale.join_assign(delta);
+        assert_eq!(stale, fresh);
+        assert!(!stale.contains_key(&"k"));
+    }
+
+    // -- ORSetMap (nested) ------------------------------------------------------
+
+    #[test]
+    fn orsetmap_basic_nesting() {
+        let mut m = ORSetMap::new();
+        let _ = m.add(A, "tags", 1u32);
+        let _ = m.add(A, "tags", 2u32);
+        let _ = m.add(A, "refs", 9u32);
+        assert_eq!(m.get(&"tags"), BTreeSet::from([&1, &2]));
+        let _ = m.remove_elem(&"tags", &1);
+        assert_eq!(m.get(&"tags"), BTreeSet::from([&2]));
+        let _ = m.remove_key(&"tags");
+        assert!(!m.contains_key(&"tags"));
+        assert!(m.contains_key(&"refs"));
+    }
+
+    #[test]
+    fn orsetmap_add_survives_concurrent_key_remove() {
+        let mut a = ORSetMap::new();
+        let mut b = ORSetMap::new();
+        let d = a.add(A, "k", 1u32);
+        b.join_assign(d);
+        let d_rm = a.remove_key(&"k");
+        let d_add = b.add(B, "k", 2u32);
+        a.join_assign(d_add);
+        b.join_assign(d_rm);
+        assert_eq!(a, b);
+        assert_eq!(a.get(&"k"), BTreeSet::from([&2]), "add resurrects the key");
+    }
+
+    #[test]
+    fn orsetmap_op_contract_and_laws() {
+        let mut m = ORSetMap::new();
+        let _ = m.add(A, 1u8, 10u32);
+        let _ = m.add(B, 1u8, 20u32);
+        check_crdt_op(&m, &ORSetMapOp::Add(C, 2, 30));
+        check_crdt_op(&m, &ORSetMapOp::RemoveElem(1, 10));
+        check_crdt_op(&m, &ORSetMapOp::RemoveKey(1));
+        let mut m2 = m.clone();
+        let _ = m2.remove_key(&1);
+        check_all_laws(&[ORSetMap::bottom(), m, m2]);
+    }
+
+    // -- RWSet -------------------------------------------------------------------
+
+    #[test]
+    fn rwset_add_remove_sequential() {
+        let mut s = RWSet::new();
+        let _ = s.add(A, "x");
+        assert!(s.contains(&"x"));
+        let _ = s.remove(A, "x");
+        assert!(!s.contains(&"x"));
+        let _ = s.add(A, "x");
+        assert!(s.contains(&"x"), "re-add after remove works");
+    }
+
+    #[test]
+    fn rwset_remove_wins_concurrent_add() {
+        let mut a = RWSet::new();
+        let mut b = RWSet::new();
+        // Shared history: both know "x" present.
+        let d = a.add(A, "x");
+        b.join_assign(d);
+        // Concurrently: A removes, B re-adds.
+        let da = a.remove(A, "x");
+        let db = b.add(B, "x");
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert!(!a.contains(&"x"), "remove wins — dual of AWSet");
+    }
+
+    #[test]
+    fn rwset_vs_awset_on_the_same_schedule() {
+        use crate::AWSet;
+        // The same concurrent add/remove race, on both set flavors.
+        let (mut aw_a, mut aw_b) = (AWSet::new(), AWSet::new());
+        let d = aw_a.add(A, 1u8);
+        aw_b.join_assign(d);
+        let d_rm = aw_a.remove(&1);
+        let d_add = aw_b.add(B, 1u8);
+        aw_a.join_assign(d_add);
+        aw_b.join_assign(d_rm);
+        assert!(aw_a.contains(&1), "AWSet: add wins");
+
+        let (mut rw_a, mut rw_b) = (RWSet::new(), RWSet::new());
+        let d = rw_a.add(A, 1u8);
+        rw_b.join_assign(d);
+        let d_rm = rw_a.remove(A, 1u8);
+        let d_add = rw_b.add(B, 1u8);
+        rw_a.join_assign(d_add);
+        rw_b.join_assign(d_rm);
+        assert!(!rw_a.contains(&1), "RWSet: remove wins");
+    }
+
+    #[test]
+    fn rwset_op_contract_and_laws() {
+        let mut s = RWSet::new();
+        let _ = s.add(A, 1u8);
+        let _ = s.add(B, 2u8);
+        check_crdt_op(&s, &RWSetOp::Add(A, 3));
+        check_crdt_op(&s, &RWSetOp::Remove(B, 1));
+        let mut s2 = s.clone();
+        let _ = s2.remove(A, 2);
+        check_all_laws(&[RWSet::bottom(), s, s2]);
+    }
+
+    // -- DWFlag ---------------------------------------------------------------------
+
+    #[test]
+    fn dwflag_disable_wins() {
+        let mut a = DWFlag::new();
+        let mut b = DWFlag::new();
+        let d = a.enable(A);
+        b.join_assign(d);
+        let da = a.disable(A);
+        let db = b.enable(B);
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert!(!a.is_enabled(), "disable wins concurrent enable");
+    }
+
+    #[test]
+    fn dwflag_vs_ewflag_on_the_same_schedule() {
+        use crate::EWFlag;
+        let (mut ew_a, mut ew_b) = (EWFlag::new(), EWFlag::new());
+        let d = ew_a.enable(A);
+        ew_b.join_assign(d);
+        let d_dis = ew_a.disable();
+        let d_en = ew_b.enable(B);
+        ew_a.join_assign(d_en);
+        ew_b.join_assign(d_dis);
+        assert!(ew_a.is_enabled(), "EWFlag: enable wins");
+
+        let (mut dw_a, mut dw_b) = (DWFlag::new(), DWFlag::new());
+        let d = dw_a.enable(A);
+        dw_b.join_assign(d);
+        let d_dis = dw_a.disable(A);
+        let d_en = dw_b.enable(B);
+        dw_a.join_assign(d_en);
+        dw_b.join_assign(d_dis);
+        assert!(!dw_a.is_enabled(), "DWFlag: disable wins");
+    }
+
+    #[test]
+    fn dwflag_sequential_enable_after_disable() {
+        let mut f = DWFlag::new();
+        assert!(!f.is_enabled());
+        let _ = f.enable(A);
+        assert!(f.is_enabled());
+        let _ = f.disable(B);
+        assert!(!f.is_enabled());
+        let _ = f.enable(B);
+        assert!(f.is_enabled());
+    }
+
+    #[test]
+    fn dwflag_op_contract_and_laws() {
+        let mut f = DWFlag::new();
+        let _ = f.enable(A);
+        check_crdt_op(&f, &DWFlagOp::Disable(B));
+        check_crdt_op(&f, &DWFlagOp::Enable(B));
+        let mut off = f.clone();
+        let _ = off.disable(A);
+        check_all_laws(&[DWFlag::bottom(), f, off]);
+    }
+
+    // -- generic decomposition over nesting ----------------------------------------
+
+    #[test]
+    fn nested_decomposition_counts_and_reconstructs() {
+        let mut m = ORSetMap::new();
+        let _ = m.add(A, 1u8, 10u32);
+        let _ = m.add(B, 1u8, 20u32);
+        let _ = m.add(A, 2u8, 30u32);
+        let _ = m.remove_elem(&1, &10);
+        // Dots: A1 (dead), B1 (live), A2 (live). Parts: 2 live + 1 dead.
+        let parts = m.decompose();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(m.irreducible_count(), 3);
+        assert!(parts.iter().all(Decompose::is_irreducible));
+        let rebuilt = parts
+            .into_iter()
+            .fold(ORSetMap::bottom(), |acc, p| acc.join(p));
+        assert_eq!(rebuilt, m, "⊔⇓x = x through two map levels");
+    }
+
+    #[test]
+    fn duplicated_reordered_deltas_converge_rwset() {
+        let mut a = RWSet::new();
+        let d1 = a.add(A, 1u8);
+        let d2 = a.remove(A, 1u8);
+        let d3 = a.add(A, 2u8);
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let deltas = [d1.clone(), d2.clone(), d3.clone()];
+            let mut obs = RWSet::new();
+            for &i in &order {
+                obs.join_assign(deltas[i].clone());
+                obs.join_assign(deltas[i].clone());
+            }
+            assert_eq!(obs, a, "order {order:?}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Grow-only counter (paper, Fig. 2a).
+//!
+//! `GCounter = I ↪ ℕ`: per-replica increment tallies joined by pointwise
+//! max. `value` is the sum of all entries. The δ-mutator
+//! `incδᵢ(p) = {i ↦ p(i)+1}` returns only the updated entry — already
+//! optimal, as `Δ(incᵢ(p), p)` is exactly that singleton.
+
+use crdt_lattice::{Lattice, MapLattice, Max, ReplicaId, SizeModel};
+
+use crate::macros::delegate_lattice;
+use crate::Crdt;
+
+/// Operations on a [`GCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GCounterOp {
+    /// `incᵢ`: add one to replica `0`'s tally.
+    Inc(ReplicaId),
+    /// Add `by` to the replica's tally in one mutation.
+    IncBy(ReplicaId, u64),
+}
+
+/// A grow-only counter.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GCounter(MapLattice<ReplicaId, Max<u64>>);
+
+delegate_lattice!(GCounter where []);
+
+crate::macros::delegate_wire!(GCounter where []);
+
+impl GCounter {
+    /// A fresh counter (`⊥`).
+    pub fn new() -> Self {
+        GCounter(MapLattice::new())
+    }
+
+    /// The full mutator `incᵢ`; returns the optimal delta `incδᵢ`.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn inc(&mut self, replica: ReplicaId) -> Self {
+        self.inc_by(replica, 1)
+    }
+
+    /// Increment by `by`, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn inc_by(&mut self, replica: ReplicaId, by: u64) -> Self {
+        GCounter(self.0.mutate_entry(replica, |v| {
+            let next = v.plus(by);
+            v.join_assign(next);
+            next
+        }))
+    }
+
+    /// This replica's own tally.
+    pub fn local(&self, replica: ReplicaId) -> u64 {
+        self.0.get(&replica).map_or(0, |m| m.value())
+    }
+
+    /// Number of map entries (the paper's measurement unit, Table I).
+    pub fn entries(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Crdt for GCounter {
+    type Op = GCounterOp;
+    type Value = u64;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match *op {
+            GCounterOp::Inc(r) => self.inc(r),
+            GCounterOp::IncBy(r, by) => self.inc_by(r, by),
+        }
+    }
+
+    /// `value(p) = Σ { v | k ↦ v ∈ p }`.
+    fn value(&self) -> u64 {
+        self.0.values().map(Max::value).sum()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            GCounterOp::Inc(_) => model.id_bytes,
+            GCounterOp::IncBy(_, _) => model.id_bytes + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::StateSize;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn increments_accumulate() {
+        let mut c = GCounter::new();
+        let d1 = c.inc(A);
+        let d2 = c.inc(A);
+        let d3 = c.inc(B);
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.local(A), 2);
+        assert_eq!(c.local(B), 1);
+        // Deltas are single entries.
+        assert_eq!(d1.entries(), 1);
+        assert_eq!(d2.entries(), 1);
+        assert_eq!(d3.entries(), 1);
+    }
+
+    #[test]
+    fn delta_mutator_is_optimal() {
+        let mut c = GCounter::new();
+        let _ = c.inc_by(A, 4);
+        check_crdt_op(&c, &GCounterOp::Inc(A));
+        check_crdt_op(&c, &GCounterOp::Inc(B));
+        check_crdt_op(&c, &GCounterOp::IncBy(B, 10));
+    }
+
+    #[test]
+    fn hasse_diagram_example() {
+        // Fig. 3a: {A1,B1} reachable by inc from {A1}, from {B1}, or as a
+        // join of the two.
+        let mut a1 = GCounter::new();
+        let _ = a1.inc(A);
+        let mut b1 = GCounter::new();
+        let _ = b1.inc(B);
+
+        let mut via_mut_a = a1.clone();
+        let _ = via_mut_a.inc(B);
+        let mut via_mut_b = b1.clone();
+        let _ = via_mut_b.inc(A);
+        let via_join = a1.join(b1);
+
+        assert_eq!(via_mut_a, via_join);
+        assert_eq!(via_mut_b, via_join);
+        assert_eq!(via_join.value(), 2);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max_not_sum() {
+        let mut a = GCounter::new();
+        let _ = a.inc_by(A, 5);
+        let b = a.clone();
+        // Joining duplicated state must not double-count (idempotence —
+        // this is why state-based CRDTs tolerate duplicated messages).
+        let j = a.join(b);
+        assert_eq!(j.value(), 5);
+    }
+
+    #[test]
+    fn two_replica_convergence() {
+        check_two_replica_convergence::<GCounter>(
+            &[GCounterOp::Inc(A), GCounterOp::IncBy(A, 3)],
+            &[GCounterOp::Inc(B)],
+            GCounter::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let mut samples = vec![GCounter::new()];
+        let mut c = GCounter::new();
+        let _ = c.inc(A);
+        samples.push(c.clone());
+        let _ = c.inc(B);
+        samples.push(c.clone());
+        let _ = c.inc_by(A, 7);
+        samples.push(c);
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn size_metrics() {
+        let model = SizeModel::compact();
+        let mut c = GCounter::new();
+        let _ = c.inc(A);
+        let _ = c.inc(B);
+        assert_eq!(c.count_elements(), 2);
+        assert_eq!(c.size_bytes(&model), 2 * 16);
+        assert_eq!(
+            GCounter::op_size_bytes(&GCounterOp::Inc(A), &model),
+            8
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Grow-only map: keys mapped to an arbitrary value lattice.
+//!
+//! `GMap⟨K, V⟩ = K ↪ V` — the finite-function composition (Appendix B).
+//! "Grow-only" refers to the lattice order: entries appear and values
+//! inflate, but *application-level* values can still be overwritten when
+//! `V` is a register lattice (as in the paper's GMap K% micro-benchmark,
+//! where each update bumps a key to a new version, and in Retwis walls and
+//! timelines).
+
+use core::fmt::Debug;
+
+use crdt_lattice::{Bottom, MapLattice, SizeModel, Sizeable, StateSize};
+
+use crate::macros::{delegate_decompose, delegate_join, delegate_size};
+use crate::Crdt;
+
+/// Operations on a [`GMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GMapOp<K, V> {
+    /// Join a value state into the entry at `key`.
+    ///
+    /// The carried `V` is a lattice state (often an irreducible produced by
+    /// the writer), so replaying the op anywhere is a join — commutative,
+    /// associative and idempotent, which is what lets the op-based
+    /// middleware ship these ops without coordination.
+    Apply {
+        /// Target key.
+        key: K,
+        /// State joined into the entry.
+        value: V,
+    },
+}
+
+/// A map CRDT whose values are lattices.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GMap<K: Ord, V>(MapLattice<K, V>);
+
+delegate_join!(GMap<K, V> where [K: Ord + Clone + Debug, V: Bottom]);
+delegate_decompose!(GMap<K, V> where [K: Ord + Clone + Debug, V: crdt_lattice::Decompose]);
+delegate_size!(GMap<K, V> where [K: Ord + Clone + Debug + Sizeable, V: Bottom + StateSize]);
+crate::macros::delegate_wire!(GMap<K, V> where
+    [K: Ord + Clone + Debug + crdt_lattice::WireEncode,
+     V: crdt_lattice::Lattice + Bottom + crdt_lattice::WireEncode]);
+
+impl<K: Ord + Clone + Debug, V: Bottom> Default for GMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Bottom> GMap<K, V> {
+    /// A fresh, empty map (`⊥`).
+    pub fn new() -> Self {
+        GMap(MapLattice::new())
+    }
+
+    /// Join `value` into the entry at `key`, returning the optimal map
+    /// delta (`{key ↦ Δ(entry ⊔ value, entry)}`).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn apply_to_entry(&mut self, key: K, value: V) -> Self
+    where
+        V: crdt_lattice::Decompose,
+    {
+        GMap(self.0.mutate_entry(key, |e| {
+            let d = value.delta(e);
+            e.join_assign(value);
+            d
+        }))
+    }
+
+    /// Mutate the entry at `key` with a custom δ-mutator (see
+    /// [`MapLattice::mutate_entry`]).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn mutate_entry(&mut self, key: K, f: impl FnOnce(&mut V) -> V) -> Self {
+        GMap(self.0.mutate_entry(key, f))
+    }
+
+    /// Read the value at `key` (`None` = `⊥`).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.0.get(key)
+    }
+
+    /// Number of entries (the paper's measurement unit, Table I).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.0.iter()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Bottom> FromIterator<(K, V)> for GMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        GMap(MapLattice::from_iter(iter))
+    }
+}
+
+impl<K, V> Crdt for GMap<K, V>
+where
+    K: Ord + Clone + Debug + Sizeable,
+    V: crdt_lattice::Decompose + StateSize,
+{
+    type Op = GMapOp<K, V>;
+    type Value = MapLattice<K, V>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            GMapOp::Apply { key, value } => self.apply_to_entry(key.clone(), value.clone()),
+        }
+    }
+
+    fn value(&self) -> MapLattice<K, V> {
+        self.0.clone()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            GMapOp::Apply { key, value } => key.payload_bytes(model) + value.size_bytes(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Decompose, Max, SetLattice};
+
+    type VersionMap = GMap<u32, Max<u64>>;
+
+    #[test]
+    fn apply_to_entry_versions() {
+        // The GMap K% update pattern: bump a key to a new version.
+        let mut m = VersionMap::new();
+        let d1 = m.apply_to_entry(7, Max::new(1));
+        assert_eq!(d1.len(), 1);
+        let d2 = m.apply_to_entry(7, Max::new(2));
+        assert_eq!(d2.get(&7), Some(&Max::new(2)));
+        // Stale write: no delta.
+        let d3 = m.apply_to_entry(7, Max::new(1));
+        assert!(d3.is_empty());
+        assert_eq!(m.get(&7), Some(&Max::new(2)));
+    }
+
+    #[test]
+    fn set_valued_entries() {
+        let mut m: GMap<&str, SetLattice<u32>> = GMap::new();
+        let _ = m.apply_to_entry("tags", SetLattice::from_iter([1, 2]));
+        let d = m.apply_to_entry("tags", SetLattice::from_iter([2, 3]));
+        // Only the new element appears in the delta.
+        assert_eq!(d.get(&"tags"), Some(&SetLattice::from_iter([3])));
+    }
+
+    #[test]
+    fn op_contract() {
+        let m = VersionMap::from_iter([(1, Max::new(5))]);
+        check_crdt_op(&m, &GMapOp::Apply { key: 1, value: Max::new(9) });
+        check_crdt_op(&m, &GMapOp::Apply { key: 1, value: Max::new(2) });
+        check_crdt_op(&m, &GMapOp::Apply { key: 2, value: Max::new(1) });
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<VersionMap>(
+            &[
+                GMapOp::Apply { key: 1, value: Max::new(2) },
+                GMapOp::Apply { key: 2, value: Max::new(1) },
+            ],
+            &[GMapOp::Apply { key: 1, value: Max::new(3) }],
+            GMap::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let samples: Vec<VersionMap> = vec![
+            GMap::new(),
+            GMap::from_iter([(1, Max::new(1))]),
+            GMap::from_iter([(1, Max::new(2)), (2, Max::new(1))]),
+            GMap::from_iter([(3, Max::new(1))]),
+        ];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn decomposition_per_entry() {
+        let m = VersionMap::from_iter([(1, Max::new(2)), (2, Max::new(1))]);
+        assert_eq!(m.irreducible_count(), 2);
+        assert_eq!(m.decompose().len(), 2);
+    }
+
+    #[test]
+    fn size_metrics() {
+        use crdt_lattice::StateSize;
+        let model = SizeModel::compact();
+        let m = VersionMap::from_iter([(1, Max::new(2)), (2, Max::new(1))]);
+        assert_eq!(m.count_elements(), 2);
+        assert_eq!(m.size_bytes(&model), 2 * (4 + 8));
+        let op = GMapOp::Apply { key: 1u32, value: Max::new(2u64) };
+        assert_eq!(VersionMap::op_size_bytes(&op, &model), 12);
+    }
+}

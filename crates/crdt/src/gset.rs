@@ -1,0 +1,172 @@
+//! Grow-only set (paper, Fig. 2b).
+//!
+//! `GSet⟨E⟩ = P(E)`: a set under union. The optimal δ-mutator `addδ`
+//! returns `{e}` only when `e` was absent — the paper points out (§III-B)
+//! that the original δ-mutator of \[13\] returned `{e}` unconditionally,
+//! a source of redundant delta propagation.
+
+use core::fmt::Debug;
+
+use crdt_lattice::{SetLattice, Sizeable, SizeModel};
+
+use crate::macros::{delegate_decompose, delegate_join, delegate_size};
+use crate::Crdt;
+
+/// Operations on a [`GSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GSetOp<E> {
+    /// `add(e)`: insert an element.
+    Add(E),
+}
+
+/// A grow-only set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GSet<E: Ord>(SetLattice<E>);
+
+delegate_join!(GSet<E> where [E: Ord + Clone + Debug]);
+delegate_decompose!(GSet<E> where [E: Ord + Clone + Debug]);
+delegate_size!(GSet<E> where [E: Ord + Clone + Debug + Sizeable]);
+crate::macros::delegate_wire!(GSet<E> where
+    [E: Ord + Clone + Debug + crdt_lattice::WireEncode]);
+
+impl<E: Ord + Clone + Debug> GSet<E> {
+    /// A fresh, empty set (`⊥`).
+    pub fn new() -> Self {
+        GSet(SetLattice::new())
+    }
+
+    /// The mutator `add`; returns the optimal delta `addδ` (Fig. 2b).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, e: E) -> Self {
+        GSet(self.0.add_delta(e))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: &E) -> bool {
+        self.0.contains(e)
+    }
+
+    /// Number of elements (the paper's measurement unit, Table I).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.0.iter()
+    }
+}
+
+impl<E: Ord + Clone + Debug> FromIterator<E> for GSet<E> {
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        GSet(SetLattice::from_iter(iter))
+    }
+}
+
+impl<E: Ord + Clone + Debug + Sizeable> Crdt for GSet<E> {
+    type Op = GSetOp<E>;
+    type Value = SetLattice<E>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            GSetOp::Add(e) => self.add(e.clone()),
+        }
+    }
+
+    /// `value(s) = s`.
+    fn value(&self) -> SetLattice<E> {
+        self.0.clone()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            GSetOp::Add(e) => e.payload_bytes(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Bottom, Decompose, Lattice, StateSize};
+
+    #[test]
+    fn add_returns_singleton_delta_once() {
+        let mut s = GSet::new();
+        let d1 = s.add("a");
+        assert_eq!(d1.len(), 1);
+        // Adding again is the ⊥ case of addδ.
+        let d2 = s.add("a");
+        assert!(d2.is_bottom());
+        assert!(s.contains(&"a"));
+    }
+
+    #[test]
+    fn figure4_back_propagation_scenario() {
+        // Fig. 4: A adds a, B adds b; after exchange both hold {a,b}.
+        let mut a = GSet::new();
+        let mut b = GSet::new();
+        let da = a.add("a");
+        let db = b.add("b");
+        a.join_assign(db);
+        b.join_assign(da);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn crdt_op_contract() {
+        let mut s = GSet::from_iter([1u32, 2]);
+        let s2 = check_crdt_op(&s, &GSetOp::Add(3));
+        // Re-adding an existing element still satisfies the contract
+        // (delta = ⊥).
+        check_crdt_op(&s2, &GSetOp::Add(3));
+        let _ = s.add(9);
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<GSet<u32>>(
+            &[GSetOp::Add(1), GSetOp::Add(2)],
+            &[GSetOp::Add(2), GSetOp::Add(3)],
+            GSet::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let samples = vec![
+            GSet::new(),
+            GSet::from_iter([1u8]),
+            GSet::from_iter([2u8]),
+            GSet::from_iter([1u8, 2, 3]),
+        ];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn delta_is_difference() {
+        let a = GSet::from_iter([1u8, 2, 3]);
+        let b = GSet::from_iter([2u8]);
+        assert_eq!(a.delta(&b), GSet::from_iter([1u8, 3]));
+    }
+
+    #[test]
+    fn size_metrics() {
+        let model = SizeModel::compact();
+        let s = GSet::from_iter(["abc".to_string(), "de".to_string()]);
+        assert_eq!(s.count_elements(), 2);
+        assert_eq!(s.size_bytes(&model), 5);
+        assert_eq!(
+            GSet::<String>::op_size_bytes(&GSetOp::Add("abcd".into()), &model),
+            4
+        );
+    }
+}

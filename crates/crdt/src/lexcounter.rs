@@ -1,0 +1,189 @@
+//! Lex-counter: the Cassandra-style counter built from lexicographic
+//! pairs (paper, Appendix B).
+//!
+//! `LexCounter = I ↪ (ℕ ⋉ ℤ)`: each replica *owns* its entry (the
+//! single-writer principle \[36\]) and updates it by bumping the version
+//! chain and writing an arbitrary new payload — the typical use of `⋉`
+//! "with a chain as first component" that keeps the lattice distributive
+//! (Table III). The counter value is the sum of entry payloads.
+//!
+//! Unlike [`crate::PNCounter`], the payload is a plain integer that can
+//! move in either direction — the version chain is what makes the update
+//! an inflation.
+
+use crdt_lattice::{Lex, MapLattice, Max, ReplicaId, SizeModel};
+
+use crate::macros::delegate_lattice;
+use crate::Crdt;
+
+/// Per-replica entry: a version chain over a signed payload.
+///
+/// The payload is wrapped in `Max` purely to be a lattice; versions are
+/// bumped on every write, so two states never hold the same version with
+/// different payloads (single writer), making the `Max` tie-break inert.
+type Entry = Lex<Max<u64>, Max<i64>>;
+
+/// Operations on a [`LexCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LexCounterOp {
+    /// Add `amount` (possibly negative) to the replica's entry.
+    Add(ReplicaId, i64),
+}
+
+/// A counter where each replica owns a versioned slot (Cassandra 2.1
+/// counter design).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LexCounter(MapLattice<ReplicaId, Entry>);
+
+delegate_lattice!(LexCounter where []);
+
+impl LexCounter {
+    /// A fresh counter (`⊥`).
+    pub fn new() -> Self {
+        LexCounter(MapLattice::new())
+    }
+
+    /// Add `amount` on behalf of `replica`, returning the optimal delta.
+    ///
+    /// Must only be called by the owning replica (single-writer).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, replica: ReplicaId, amount: i64) -> Self {
+        LexCounter(self.0.mutate_entry(replica, |e| {
+            use crdt_lattice::Lattice;
+            let next = Lex::new(
+                Max::new(e.version().value() + 1),
+                Max::new(e.payload().value_i64() + amount),
+            );
+            e.join_assign(next);
+            next
+        }))
+    }
+
+    /// The counter value: sum of all entry payloads.
+    pub fn total(&self) -> i64 {
+        self.0.values().map(|e| e.payload().value_i64()).sum()
+    }
+
+    /// Number of map entries.
+    pub fn entries(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Payload accessor used by [`LexCounter`].
+trait I64Payload {
+    fn value_i64(&self) -> i64;
+}
+
+impl I64Payload for Max<i64> {
+    fn value_i64(&self) -> i64 {
+        *self.get()
+    }
+}
+
+impl Crdt for LexCounter {
+    type Op = LexCounterOp;
+    type Value = i64;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match *op {
+            LexCounterOp::Add(r, amount) => self.add(r, amount),
+        }
+    }
+
+    fn value(&self) -> i64 {
+        self.total()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            LexCounterOp::Add(_, _) => model.id_bytes + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Bottom, Lattice, StateSize};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn adds_and_subtracts() {
+        let mut c = LexCounter::new();
+        let _ = c.add(A, 10);
+        let _ = c.add(A, -4);
+        let _ = c.add(B, 1);
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.entries(), 2);
+    }
+
+    #[test]
+    fn entry_delta_is_one_versioned_cell() {
+        use crdt_lattice::Decompose;
+        let mut c = LexCounter::new();
+        let _ = c.add(A, 5);
+        let d = c.add(A, 3);
+        // One key, one lex irreducible.
+        assert_eq!(d.irreducible_count(), 1);
+        assert_eq!(d.total(), 8);
+    }
+
+    #[test]
+    fn single_writer_merge() {
+        // B replicates A's entry; A keeps writing; joins converge.
+        let mut a = LexCounter::new();
+        let mut b = LexCounter::new();
+        let d1 = a.add(A, 4);
+        b.join_assign(d1);
+        let d2 = a.add(A, -1);
+        // Duplicate + reordered delivery.
+        b.join_assign(d2.clone());
+        b.join_assign(d2);
+        assert_eq!(a, b);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn op_contract() {
+        let mut c = LexCounter::new();
+        let _ = c.add(A, 2);
+        check_crdt_op(&c, &LexCounterOp::Add(A, 5));
+        check_crdt_op(&c, &LexCounterOp::Add(B, -3));
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<LexCounter>(
+            &[LexCounterOp::Add(A, 3), LexCounterOp::Add(A, -1)],
+            &[LexCounterOp::Add(B, 10)],
+            LexCounter::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let mut c1 = LexCounter::new();
+        let _ = c1.add(A, 1);
+        let mut c2 = c1.clone();
+        let _ = c2.add(A, -5);
+        let mut c3 = LexCounter::new();
+        let _ = c3.add(B, 2);
+        let samples = vec![LexCounter::bottom(), c1, c2, c3];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn size_metrics() {
+        let model = SizeModel::compact();
+        let mut c = LexCounter::new();
+        let _ = c.add(A, 2);
+        // id + version u64 + payload i64.
+        assert_eq!(c.size_bytes(&model), 8 + 8 + 8);
+        assert_eq!(c.count_elements(), 1);
+    }
+}

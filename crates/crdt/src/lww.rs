@@ -1,0 +1,179 @@
+//! Last-writer-wins register: a lexicographic pair of a timestamp chain
+//! and a value.
+//!
+//! `LWWRegister⟨V⟩ = (ℕ × I) ⋉ Max⟨V⟩` — the canonical use of the
+//! lexicographic product (Appendix B): the first component is a **chain**
+//! (timestamps totally ordered, ties broken by replica id), which is
+//! exactly the condition under which `⋉` stays distributive (Table III)
+//! and unique irredundant decompositions exist. A strictly newer timestamp
+//! replaces the value wholesale; an identical timestamp from the same
+//! writer joins (and cannot conflict, as `(ts, replica)` pairs are unique
+//! per write).
+
+use core::fmt::Debug;
+
+use crdt_lattice::{Lex, Max, ReplicaId, SizeModel, Sizeable};
+
+use crate::macros::{delegate_decompose, delegate_join, delegate_size};
+use crate::Crdt;
+
+/// The write timestamp: `(clock, replica)` — unique and totally ordered.
+pub type WriteStamp = Max<(u64, ReplicaId)>;
+
+/// Operations on an [`LWWRegister`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LWWOp<V> {
+    /// Write `value` at time `ts` on behalf of `replica`.
+    Write {
+        /// Logical or physical timestamp of the write.
+        ts: u64,
+        /// The writing replica (tie-breaker).
+        replica: ReplicaId,
+        /// The written value.
+        value: V,
+    },
+}
+
+/// A last-writer-wins register.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LWWRegister<V: Ord>(Lex<WriteStamp, Max<V>>);
+
+delegate_join!(LWWRegister<V> where [V: Ord + Clone + Debug + Default]);
+delegate_decompose!(LWWRegister<V> where [V: Ord + Clone + Debug + Default]);
+delegate_size!(LWWRegister<V> where [V: Ord + Clone + Debug + Default + Sizeable]);
+
+impl<V: Ord + Clone + Debug + Default> LWWRegister<V> {
+    /// A fresh register holding `⊥` (i.e. `V::default()` at time zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a value, returning the optimal delta.
+    ///
+    /// Writes with a stale timestamp lose and yield a `⊥` delta — the
+    /// lex-pair analogue of `addδ` returning `⊥` for present elements.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn write(&mut self, ts: u64, replica: ReplicaId, value: V) -> Self {
+        use crdt_lattice::{Decompose, Lattice};
+        let update = LWWRegister(Lex::new(Max::new((ts, replica)), Max::new(value)));
+        let delta = update.delta(self);
+        self.join_assign(update);
+        delta
+    }
+
+    /// The current value.
+    pub fn get(&self) -> &V {
+        self.0.payload().get()
+    }
+
+    /// The timestamp of the winning write, if any write happened.
+    pub fn stamp(&self) -> Option<(u64, ReplicaId)> {
+        use crdt_lattice::Bottom;
+        if self.0.version().is_bottom() {
+            None
+        } else {
+            Some(*self.0.version().get())
+        }
+    }
+}
+
+impl<V: Ord + Clone + Debug + Default + Sizeable> Crdt for LWWRegister<V> {
+    type Op = LWWOp<V>;
+    type Value = V;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            LWWOp::Write { ts, replica, value } => self.write(*ts, *replica, value.clone()),
+        }
+    }
+
+    fn value(&self) -> V {
+        self.get().clone()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            LWWOp::Write { value, .. } => 8 + model.id_bytes + value.payload_bytes(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Bottom, Lattice};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn later_write_wins() {
+        let mut r = LWWRegister::new();
+        let _ = r.write(1, A, "first".to_string());
+        let _ = r.write(2, B, "second".to_string());
+        assert_eq!(r.get(), "second");
+        // A stale write changes nothing and produces no delta.
+        let d = r.write(1, A, "late".to_string());
+        assert!(d.is_bottom());
+        assert_eq!(r.get(), "second");
+    }
+
+    #[test]
+    fn replica_id_breaks_ties() {
+        let mut x = LWWRegister::new();
+        let mut y = LWWRegister::new();
+        let dx = x.write(5, B, "from-b".to_string());
+        let dy = y.write(5, A, "from-a".to_string());
+        x.join_assign(dy);
+        y.join_assign(dx);
+        assert_eq!(x, y);
+        // Higher replica id wins the tie deterministically.
+        assert_eq!(x.get(), "from-b");
+        assert_eq!(x.stamp(), Some((5, B)));
+    }
+
+    #[test]
+    fn op_contract() {
+        let mut r = LWWRegister::new();
+        let _ = r.write(3, A, 10u64);
+        check_crdt_op(&r, &LWWOp::Write { ts: 4, replica: B, value: 20 });
+        check_crdt_op(&r, &LWWOp::Write { ts: 1, replica: B, value: 5 });
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<LWWRegister<u64>>(
+            &[LWWOp::Write { ts: 1, replica: A, value: 1 }],
+            &[
+                LWWOp::Write { ts: 2, replica: B, value: 2 },
+                LWWOp::Write { ts: 3, replica: B, value: 3 },
+            ],
+            LWWRegister::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let mut r1 = LWWRegister::new();
+        let _ = r1.write(1, A, 5u64);
+        let mut r2 = LWWRegister::new();
+        let _ = r2.write(2, A, 3u64);
+        let mut r3 = LWWRegister::new();
+        let _ = r3.write(1, B, 9u64);
+        let samples = vec![LWWRegister::bottom(), r1, r2, r3];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn delta_of_newer_write_carries_full_value() {
+        use crdt_lattice::StateSize;
+        let model = SizeModel::compact();
+        let mut r = LWWRegister::new();
+        let d = r.write(7, A, "payload".to_string());
+        assert_eq!(d.count_elements(), 1);
+        // stamp (8 + 8 for (u64, id)) + string payload.
+        assert_eq!(d.size_bytes(&model), 16 + 7);
+    }
+}

@@ -1,0 +1,109 @@
+//! Delegation macros for newtype CRDTs.
+//!
+//! Most CRDTs in the catalog are domain-named newtypes over a lattice
+//! composition (`GCounter` over `I ↪ ℕ`, `GSet` over `P(E)`, …). These
+//! macros forward the lattice traits to the inner composition so each data
+//! type only writes its mutators, queries and op alphabet. Bounds are per
+//! trait group because generic wrappers (e.g. `GMap<K, V>`) implement
+//! `Lattice` under weaker bounds than `Decompose`/`StateSize`.
+
+/// Implement `Lattice` + `Bottom` for a newtype over an inner lattice.
+macro_rules! delegate_join {
+    ($name:ident $(< $($gp:ident),+ >)? where [$($bounds:tt)*]) => {
+        impl $(<$($gp),+>)? crdt_lattice::Lattice for $name $(<$($gp),+>)?
+        where $($bounds)*
+        {
+            fn join_assign(&mut self, other: Self) -> bool {
+                crdt_lattice::Lattice::join_assign(&mut self.0, other.0)
+            }
+
+            fn leq(&self, other: &Self) -> bool {
+                crdt_lattice::Lattice::leq(&self.0, &other.0)
+            }
+        }
+
+        impl $(<$($gp),+>)? crdt_lattice::Bottom for $name $(<$($gp),+>)?
+        where $($bounds)*
+        {
+            fn bottom() -> Self {
+                $name(crdt_lattice::Bottom::bottom())
+            }
+
+            fn is_bottom(&self) -> bool {
+                crdt_lattice::Bottom::is_bottom(&self.0)
+            }
+        }
+    };
+}
+
+/// Implement `Decompose` for a newtype over an inner decomposable lattice.
+macro_rules! delegate_decompose {
+    ($name:ident $(< $($gp:ident),+ >)? where [$($bounds:tt)*]) => {
+        impl $(<$($gp),+>)? crdt_lattice::Decompose for $name $(<$($gp),+>)?
+        where $($bounds)*
+        {
+            fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+                crdt_lattice::Decompose::for_each_irreducible(&self.0, &mut |inner| {
+                    f($name(inner))
+                });
+            }
+
+            fn irreducible_count(&self) -> u64 {
+                crdt_lattice::Decompose::irreducible_count(&self.0)
+            }
+
+            fn delta(&self, other: &Self) -> Self {
+                $name(crdt_lattice::Decompose::delta(&self.0, &other.0))
+            }
+
+            fn is_irreducible(&self) -> bool {
+                crdt_lattice::Decompose::is_irreducible(&self.0)
+            }
+        }
+    };
+}
+
+/// Implement `StateSize` for a newtype over an inner sized lattice.
+macro_rules! delegate_size {
+    ($name:ident $(< $($gp:ident),+ >)? where [$($bounds:tt)*]) => {
+        impl $(<$($gp),+>)? crdt_lattice::StateSize for $name $(<$($gp),+>)?
+        where $($bounds)*
+        {
+            fn count_elements(&self) -> u64 {
+                crdt_lattice::StateSize::count_elements(&self.0)
+            }
+
+            fn size_bytes(&self, model: &crdt_lattice::SizeModel) -> u64 {
+                crdt_lattice::StateSize::size_bytes(&self.0, model)
+            }
+        }
+    };
+}
+
+/// Implement `WireEncode` for a newtype over an inner encodable lattice.
+macro_rules! delegate_wire {
+    ($name:ident $(< $($gp:ident),+ >)? where [$($bounds:tt)*]) => {
+        impl $(<$($gp),+>)? crdt_lattice::WireEncode for $name $(<$($gp),+>)?
+        where $($bounds)*
+        {
+            fn encode(&self, out: &mut Vec<u8>) {
+                crdt_lattice::WireEncode::encode(&self.0, out)
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
+                Ok($name(crdt_lattice::WireEncode::decode(input)?))
+            }
+        }
+    };
+}
+
+/// Implement all four lattice traits with one shared bounds list.
+macro_rules! delegate_lattice {
+    ($name:ident $(< $($gp:ident),+ >)? where [$($bounds:tt)*]) => {
+        crate::macros::delegate_join!($name $(<$($gp),+>)? where [$($bounds)*]);
+        crate::macros::delegate_decompose!($name $(<$($gp),+>)? where [$($bounds)*]);
+        crate::macros::delegate_size!($name $(<$($gp),+>)? where [$($bounds)*]);
+    };
+}
+
+pub(crate) use {delegate_decompose, delegate_join, delegate_lattice, delegate_size, delegate_wire};

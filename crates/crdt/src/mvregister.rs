@@ -1,0 +1,213 @@
+//! Multi-value register: concurrent writes are all kept.
+//!
+//! `MVRegister⟨V⟩ = M(VClock × V)` — the maximal-elements composition
+//! (Appendix B) over versioned values, ordered by causal domination of
+//! their clocks. A write supersedes everything it causally saw; writes
+//! with concurrent clocks coexist on the frontier, and readers observe the
+//! full set of siblings (the "shopping-cart" semantics).
+//!
+//! Decomposition is by singletons (the `M(P)` rule of Appendix C), so the
+//! optimal delta for a write is exactly the one new versioned value.
+
+use core::fmt::Debug;
+
+use crdt_lattice::{
+    Antichain, Lattice, Poset, ReplicaId, SizeModel, Sizeable, StateSize, VClock,
+};
+
+use crate::macros::{delegate_decompose, delegate_join, delegate_size};
+use crate::Crdt;
+
+/// A value tagged with the vector clock of its write.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Versioned<V> {
+    /// Causal context of the write.
+    pub clock: VClock,
+    /// The written value.
+    pub value: V,
+}
+
+impl<V: Eq> Poset for Versioned<V> {
+    /// Causal domination: an older write is below a newer one iff the
+    /// newer clock dominates. Equal clocks with different values are
+    /// incomparable only in theory — writes always bump the writer's own
+    /// entry, so distinct writes have distinct clocks.
+    fn poset_le(&self, other: &Self) -> bool {
+        self.clock.leq(&other.clock) && (self.clock != other.clock || self.value == other.value)
+    }
+}
+
+/// Operations on an [`MVRegister`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MVOp<V> {
+    /// Write `value` with the (pre-computed) causal clock of the writer.
+    ///
+    /// The clock is part of the op so it can be replayed deterministically
+    /// by the op-based middleware; interactive callers use
+    /// [`MVRegister::write`], which computes it.
+    Write {
+        /// The write's causal context (already bumped at the writer).
+        clock: VClock,
+        /// The written value.
+        value: V,
+    },
+}
+
+/// A multi-value register.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MVRegister<V: Ord>(Antichain<Versioned<V>>);
+
+impl<V: Ord + Clone + core::fmt::Debug> Default for MVRegister<V> {
+    fn default() -> Self {
+        MVRegister(Antichain::new())
+    }
+}
+
+delegate_join!(MVRegister<V> where [V: Ord + Clone + Debug]);
+delegate_decompose!(MVRegister<V> where [V: Ord + Clone + Debug]);
+delegate_size!(MVRegister<V> where [V: Ord + Clone + Debug + Sizeable]);
+
+impl<V: Ord + Clone + Debug> MVRegister<V> {
+    /// A fresh register with no writes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `value` at `replica`, superseding all currently visible
+    /// siblings. Returns the optimal delta (the singleton new version).
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn write(&mut self, replica: ReplicaId, value: V) -> Self {
+        // The new clock dominates every sibling: join of all visible
+        // clocks, bumped at the writer.
+        let mut clock = VClock::new();
+        for v in self.0.iter() {
+            clock.join_assign(v.clock.clone());
+        }
+        clock.bump(replica);
+        let versioned = Versioned { clock, value };
+        let mut delta = Antichain::new();
+        delta.insert(versioned.clone());
+        self.0.insert(versioned);
+        MVRegister(delta)
+    }
+
+    /// The current siblings (concurrent values), in storage order.
+    pub fn read(&self) -> Vec<&V> {
+        self.0.iter().map(|v| &v.value).collect()
+    }
+
+    /// Number of concurrent siblings.
+    pub fn sibling_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl<V: Sizeable> Sizeable for Versioned<V> {
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        self.clock.size_bytes(model) + self.value.payload_bytes(model)
+    }
+}
+
+impl<V: Ord + Clone + Debug + Sizeable> Crdt for MVRegister<V> {
+    type Op = MVOp<V>;
+    type Value = Vec<V>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            MVOp::Write { clock, value } => {
+                let versioned = Versioned { clock: clock.clone(), value: value.clone() };
+                let mut delta = Antichain::new();
+                if self.0.insert(versioned.clone()) {
+                    delta.insert(versioned);
+                }
+                MVRegister(delta)
+            }
+        }
+    }
+
+    fn value(&self) -> Vec<V> {
+        self.0.iter().map(|v| v.value.clone()).collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            MVOp::Write { clock, value } => {
+                clock.size_bytes(model) + value.payload_bytes(model)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::check_crdt_op;
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::Bottom;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn sequential_writes_supersede() {
+        let mut r = MVRegister::new();
+        let _ = r.write(A, 1u32);
+        let _ = r.write(A, 2u32);
+        assert_eq!(r.read(), vec![&2]);
+        assert_eq!(r.sibling_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_writes_coexist() {
+        let mut x = MVRegister::new();
+        let mut y = MVRegister::new();
+        let dx = x.write(A, "from-a");
+        let dy = y.write(B, "from-b");
+        x.join_assign(dy);
+        y.join_assign(dx);
+        assert_eq!(x, y);
+        assert_eq!(x.sibling_count(), 2);
+        // A later write having seen both collapses the siblings.
+        let _ = x.write(A, "merged");
+        assert_eq!(x.read(), vec![&"merged"]);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut x = MVRegister::new();
+        let d = x.write(A, 7u64);
+        let mut y = MVRegister::new();
+        y.join_assign(d.clone());
+        y.join_assign(d);
+        assert_eq!(y.sibling_count(), 1);
+    }
+
+    #[test]
+    fn op_contract() {
+        let mut base = MVRegister::new();
+        let _ = base.write(A, 5u64);
+        let mut clock = VClock::new();
+        clock.bump(B);
+        check_crdt_op(&base, &MVOp::Write { clock, value: 9u64 });
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let mut r1 = MVRegister::new();
+        let _ = r1.write(A, 1u8);
+        let mut r2 = MVRegister::new();
+        let _ = r2.write(B, 2u8);
+        let merged = r1.clone().join(r2.clone());
+        let samples = vec![MVRegister::bottom(), r1, r2, merged];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn write_delta_is_singleton() {
+        use crdt_lattice::Decompose;
+        let mut r = MVRegister::new();
+        let d = r.write(A, 42u32);
+        assert_eq!(d.irreducible_count(), 1);
+        assert!(d.is_irreducible());
+    }
+}

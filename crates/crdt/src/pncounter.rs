@@ -1,0 +1,185 @@
+//! Positive-negative counter (paper, Appendix C worked example).
+//!
+//! `PNCounter = I ↪ (ℕ × ℕ)`: each replica entry is a product pair
+//! tracking increments and decrements separately. The appendix shows its
+//! decomposition explicitly: for
+//! `p = {A ↦ ⟨2,3⟩, B ↦ ⟨5,5⟩}`,
+//! `⇓p = {{A ↦ ⟨2,0⟩}, {A ↦ ⟨0,3⟩}, {B ↦ ⟨5,0⟩}, {B ↦ ⟨0,5⟩}}`.
+
+use crdt_lattice::{MapLattice, Max, Pair, ReplicaId, SizeModel};
+
+use crate::macros::delegate_lattice;
+use crate::Crdt;
+
+/// Operations on a [`PNCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PNCounterOp {
+    /// Add `1` on behalf of the replica.
+    Inc(ReplicaId),
+    /// Subtract `1` on behalf of the replica.
+    Dec(ReplicaId),
+    /// Add `n` on behalf of the replica.
+    IncBy(ReplicaId, u64),
+    /// Subtract `n` on behalf of the replica.
+    DecBy(ReplicaId, u64),
+}
+
+type Entry = Pair<Max<u64>, Max<u64>>;
+
+/// A counter supporting increments and decrements.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PNCounter(MapLattice<ReplicaId, Entry>);
+
+delegate_lattice!(PNCounter where []);
+
+crate::macros::delegate_wire!(PNCounter where []);
+
+impl PNCounter {
+    /// A fresh counter (`⊥`).
+    pub fn new() -> Self {
+        PNCounter(MapLattice::new())
+    }
+
+    /// The net value: total increments minus total decrements.
+    pub fn value_i128(&self) -> i128 {
+        let inc: u64 = self.0.values().map(|e| e.0.value()).sum();
+        let dec: u64 = self.0.values().map(|e| e.1.value()).sum();
+        i128::from(inc) - i128::from(dec)
+    }
+
+    /// Number of map entries.
+    pub fn entries(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Crdt for PNCounter {
+    type Op = PNCounterOp;
+    type Value = i128;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        let (replica, inc, by) = match *op {
+            PNCounterOp::Inc(r) => (r, true, 1),
+            PNCounterOp::Dec(r) => (r, false, 1),
+            PNCounterOp::IncBy(r, n) => (r, true, n),
+            PNCounterOp::DecBy(r, n) => (r, false, n),
+        };
+        PNCounter(self.0.mutate_entry(replica, |e| {
+            use crdt_lattice::Lattice;
+            let next = if inc {
+                Pair(e.0.plus(by), e.1)
+            } else {
+                Pair(e.0, e.1.plus(by))
+            };
+            let delta = if inc {
+                Pair(next.0, Max::new(0))
+            } else {
+                Pair(Max::new(0), next.1)
+            };
+            e.join_assign(next);
+            delta
+        }))
+    }
+
+    fn value(&self) -> i128 {
+        self.value_i128()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            PNCounterOp::Inc(_) | PNCounterOp::Dec(_) => model.id_bytes + 1,
+            PNCounterOp::IncBy(_, _) | PNCounterOp::DecBy(_, _) => model.id_bytes + 9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Bottom, StateSize};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    fn applied(ops: &[PNCounterOp]) -> PNCounter {
+        let mut c = PNCounter::new();
+        for op in ops {
+            let _ = c.apply(op);
+        }
+        c
+    }
+
+    #[test]
+    fn value_is_net() {
+        let c = applied(&[
+            PNCounterOp::IncBy(A, 5),
+            PNCounterOp::DecBy(A, 2),
+            PNCounterOp::Inc(B),
+            PNCounterOp::Dec(B),
+        ]);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn can_go_negative() {
+        let c = applied(&[PNCounterOp::DecBy(A, 10), PNCounterOp::IncBy(B, 4)]);
+        assert_eq!(c.value(), -6);
+    }
+
+    #[test]
+    fn op_contract() {
+        let c = applied(&[PNCounterOp::IncBy(A, 2), PNCounterOp::DecBy(A, 3)]);
+        check_crdt_op(&c, &PNCounterOp::Inc(A));
+        check_crdt_op(&c, &PNCounterOp::Dec(B));
+        check_crdt_op(&c, &PNCounterOp::IncBy(B, 7));
+        check_crdt_op(&c, &PNCounterOp::DecBy(A, 1));
+    }
+
+    #[test]
+    fn appendix_c_decomposition() {
+        use crdt_lattice::Decompose;
+        // p = {A ↦ ⟨2,3⟩, B ↦ ⟨5,5⟩} has the 4-part decomposition given in
+        // Appendix C.
+        let p = applied(&[
+            PNCounterOp::IncBy(A, 2),
+            PNCounterOp::DecBy(A, 3),
+            PNCounterOp::IncBy(B, 5),
+            PNCounterOp::DecBy(B, 5),
+        ]);
+        let parts = p.decompose();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(p.irreducible_count(), 4);
+        assert!(parts.iter().all(Decompose::is_irreducible));
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<PNCounter>(
+            &[PNCounterOp::IncBy(A, 3), PNCounterOp::Dec(A)],
+            &[PNCounterOp::DecBy(B, 2)],
+            PNCounter::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let samples = vec![
+            PNCounter::bottom(),
+            applied(&[PNCounterOp::Inc(A)]),
+            applied(&[PNCounterOp::Dec(A)]),
+            applied(&[PNCounterOp::IncBy(A, 2), PNCounterOp::DecBy(B, 3)]),
+        ];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn size_metrics() {
+        let model = SizeModel::compact();
+        let c = applied(&[PNCounterOp::IncBy(A, 2), PNCounterOp::DecBy(A, 3)]);
+        // One entry: id + two u64 components.
+        assert_eq!(c.size_bytes(&model), 8 + 16);
+        assert_eq!(c.count_elements(), 2);
+    }
+}

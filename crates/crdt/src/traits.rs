@@ -1,0 +1,81 @@
+//! The [`Crdt`] trait: lattice state + typed operations + optimal
+//! δ-mutators.
+//!
+//! The paper (§II) presents each data type as a lattice with *mutators*
+//! `m` (full-state updates) and *δ-mutators* `mδ` with
+//! `m(x) = x ⊔ mδ(x)`. §III-B shows that the optimal δ-mutator is derived
+//! mechanically: `mδ(x) = Δ(m(x), x)`. The [`Crdt`] trait packages that
+//! contract: [`Crdt::apply`] performs the mutation *and* returns its
+//! optimal delta.
+//!
+//! Operations are first-class values ([`Crdt::Op`]) so the op-based
+//! synchronization baseline (§V-B) can ship and replay them through its
+//! causal middleware, and so workload generators can drive every protocol
+//! from one description of "what happened".
+
+use core::fmt::Debug;
+
+use crdt_lattice::{Decompose, SizeModel, StateSize};
+
+/// A state-based CRDT: a decomposable lattice driven by typed operations.
+pub trait Crdt: Decompose + StateSize {
+    /// The operation alphabet of the data type. Ops carry the acting
+    /// replica where the semantics need it (e.g. `inc_i`).
+    type Op: Clone + Debug;
+
+    /// The query result type (the paper's `value(...)` function).
+    type Value;
+
+    /// Apply `op` as a mutation, returning the **optimal delta**
+    /// `mδ(x) = Δ(m(x), x)`.
+    ///
+    /// Contract (checked by [`crate::testing::check_crdt_op`]):
+    /// the mutation is an inflation, `delta ⊔ old = new`, and the returned
+    /// delta equals `new.delta(&old)`.
+    fn apply(&mut self, op: &Self::Op) -> Self;
+
+    /// Query the current value.
+    fn value(&self) -> Self::Value;
+
+    /// Wire size of an operation under the byte model — used by the
+    /// op-based baseline's transmission accounting.
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64;
+}
+
+/// Test helpers for [`Crdt`] implementations.
+pub mod testing {
+    use super::Crdt;
+    use crdt_lattice::testing::check_delta_mutation;
+
+    /// Apply `op` on a clone of `state` and assert the §III-B δ-mutator
+    /// contract (inflation, repair, optimality). Returns the mutated state.
+    pub fn check_crdt_op<C: Crdt>(state: &C, op: &C::Op) -> C {
+        let before = state.clone();
+        let mut after = state.clone();
+        let delta = after.apply(op);
+        check_delta_mutation(&before, &after, &delta);
+        after
+    }
+
+    /// Drive two replicas with interleaved ops, exchange optimal deltas,
+    /// and assert convergence to the same state.
+    pub fn check_two_replica_convergence<C: Crdt>(ops_a: &[C::Op], ops_b: &[C::Op], start: C) {
+        let mut a = start.clone();
+        let mut b = start;
+        let mut deltas_a = Vec::new();
+        let mut deltas_b = Vec::new();
+        for op in ops_a {
+            deltas_a.push(a.apply(op));
+        }
+        for op in ops_b {
+            deltas_b.push(b.apply(op));
+        }
+        for d in deltas_b {
+            a.join_assign(d);
+        }
+        for d in deltas_a {
+            b.join_assign(d);
+        }
+        assert_eq!(a, b, "replicas diverged after exchanging optimal deltas");
+    }
+}

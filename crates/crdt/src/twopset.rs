@@ -1,0 +1,172 @@
+//! Two-phase set: a set supporting removal, at the cost of no re-addition.
+//!
+//! `2PSet⟨E⟩ = P(E) × P(E)` — a product (Appendix B) of an *added* and a
+//! *removed* grow-only set. An element is present when added and not
+//! removed; removal is permanent ("tombstone"). Both sides decompose by
+//! the product rule, so optimal deltas fall out of the composition with no
+//! extra code.
+
+use core::fmt::Debug;
+
+use crdt_lattice::{Pair, SetLattice, Sizeable, SizeModel};
+
+use crate::macros::{delegate_decompose, delegate_join, delegate_size};
+use crate::Crdt;
+
+/// Operations on a [`TwoPSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwoPSetOp<E> {
+    /// Insert an element (no effect if already removed).
+    Add(E),
+    /// Remove an element permanently.
+    Remove(E),
+}
+
+/// A two-phase (add/remove-once) set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TwoPSet<E: Ord>(Pair<SetLattice<E>, SetLattice<E>>);
+
+delegate_join!(TwoPSet<E> where [E: Ord + Clone + Debug]);
+delegate_decompose!(TwoPSet<E> where [E: Ord + Clone + Debug]);
+delegate_size!(TwoPSet<E> where [E: Ord + Clone + Debug + Sizeable]);
+crate::macros::delegate_wire!(TwoPSet<E> where
+    [E: Ord + Clone + Debug + crdt_lattice::WireEncode]);
+
+impl<E: Ord + Clone + Debug> TwoPSet<E> {
+    /// A fresh, empty set (`⊥`).
+    pub fn new() -> Self {
+        TwoPSet(Pair(SetLattice::new(), SetLattice::new()))
+    }
+
+    /// Add an element, returning the optimal delta.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn add(&mut self, e: E) -> Self {
+        TwoPSet(Pair(self.0 .0.add_delta(e), SetLattice::new()))
+    }
+
+    /// Remove an element (tombstone), returning the optimal delta.
+    ///
+    /// Removing a never-added element is allowed and pre-blocks a future
+    /// add — the classic 2P-set semantics.
+    #[must_use = "the returned delta must be buffered for synchronization"]
+    pub fn remove(&mut self, e: E) -> Self {
+        TwoPSet(Pair(SetLattice::new(), self.0 .1.add_delta(e)))
+    }
+
+    /// Is `e` currently a member (added and not removed)?
+    pub fn contains(&self, e: &E) -> bool {
+        self.0 .0.contains(e) && !self.0 .1.contains(e)
+    }
+
+    /// Live elements, in order.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.0 .0.iter().filter(|e| !self.0 .1.contains(e))
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Are there no live elements?
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+impl<E: Ord + Clone + Debug + Sizeable> Crdt for TwoPSet<E> {
+    type Op = TwoPSetOp<E>;
+    type Value = Vec<E>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self {
+        match op {
+            TwoPSetOp::Add(e) => self.add(e.clone()),
+            TwoPSetOp::Remove(e) => self.remove(e.clone()),
+        }
+    }
+
+    fn value(&self) -> Vec<E> {
+        self.iter().cloned().collect()
+    }
+
+    fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
+        match op {
+            TwoPSetOp::Add(e) | TwoPSetOp::Remove(e) => 1 + e.payload_bytes(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testing::{check_crdt_op, check_two_replica_convergence};
+    use crdt_lattice::testing::check_all_laws;
+    use crdt_lattice::{Bottom, Lattice};
+
+    #[test]
+    fn add_then_remove() {
+        let mut s = TwoPSet::new();
+        let _ = s.add("x");
+        assert!(s.contains(&"x"));
+        let _ = s.remove("x");
+        assert!(!s.contains(&"x"));
+        // Re-add is futile: the tombstone wins.
+        let _ = s.add("x");
+        assert!(!s.contains(&"x"));
+    }
+
+    #[test]
+    fn remove_wins_across_replicas() {
+        let mut a = TwoPSet::new();
+        let mut b = TwoPSet::new();
+        let da = a.add(1u32);
+        b.join_assign(da);
+        let db = b.remove(1u32);
+        a.join_assign(db);
+        assert!(!a.contains(&1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn op_contract() {
+        let mut s = TwoPSet::new();
+        let _ = s.add(1u32);
+        check_crdt_op(&s, &TwoPSetOp::Add(2));
+        check_crdt_op(&s, &TwoPSetOp::Remove(1));
+        check_crdt_op(&s, &TwoPSetOp::Remove(9));
+        // Redundant add of an existing element: delta must be ⊥.
+        check_crdt_op(&s, &TwoPSetOp::Add(1));
+    }
+
+    #[test]
+    fn convergence() {
+        check_two_replica_convergence::<TwoPSet<u32>>(
+            &[TwoPSetOp::Add(1), TwoPSetOp::Remove(2)],
+            &[TwoPSetOp::Add(2), TwoPSetOp::Add(3)],
+            TwoPSet::new(),
+        );
+    }
+
+    #[test]
+    fn laws_hold_on_samples() {
+        let mut with_tombstone = TwoPSet::new();
+        let _ = with_tombstone.add(1u8);
+        let _ = with_tombstone.remove(1u8);
+        let mut live = TwoPSet::new();
+        let _ = live.add(2u8);
+        let samples = vec![TwoPSet::bottom(), with_tombstone, live];
+        check_all_laws(&samples);
+    }
+
+    #[test]
+    fn value_lists_live_elements() {
+        let mut s = TwoPSet::new();
+        let _ = s.add(3u32);
+        let _ = s.add(1u32);
+        let _ = s.add(2u32);
+        let _ = s.remove(2u32);
+        assert_eq!(s.value(), vec![1, 3]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! Property-based testing of the CRDT catalog.
+//!
+//! Three families of properties:
+//!
+//! 1. **δ-mutator optimality** (§III-B): for random states and ops,
+//!    `apply` must inflate, repair, and return exactly `Δ(m(x), x)`.
+//! 2. **Convergence under arbitrary delivery**: replicas applying random
+//!    op sequences and exchanging deltas in any order/duplication converge.
+//! 3. **Lattice laws** on states reachable through real operations (the
+//!    fixtures in unit tests are hand-picked; these are op-generated).
+
+use crdt_lattice::testing::check_all_laws;
+use crdt_lattice::{Bottom, Lattice, Max, ReplicaId};
+use crdt_types::testing::check_crdt_op;
+use crdt_types::{
+    Crdt, GCounter, GCounterOp, GMap, GMapOp, GSet, GSetOp, LWWOp, LWWRegister, LexCounter,
+    LexCounterOp, PNCounter, PNCounterOp, TwoPSet, TwoPSetOp,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Op strategies
+// ---------------------------------------------------------------------------
+
+fn replica() -> impl Strategy<Value = ReplicaId> {
+    (0u32..4).prop_map(ReplicaId)
+}
+
+fn gcounter_op() -> impl Strategy<Value = GCounterOp> {
+    prop_oneof![
+        replica().prop_map(GCounterOp::Inc),
+        (replica(), 1u64..10).prop_map(|(r, n)| GCounterOp::IncBy(r, n)),
+    ]
+}
+
+fn pncounter_op() -> impl Strategy<Value = PNCounterOp> {
+    prop_oneof![
+        replica().prop_map(PNCounterOp::Inc),
+        replica().prop_map(PNCounterOp::Dec),
+        (replica(), 1u64..10).prop_map(|(r, n)| PNCounterOp::IncBy(r, n)),
+        (replica(), 1u64..10).prop_map(|(r, n)| PNCounterOp::DecBy(r, n)),
+    ]
+}
+
+fn gset_op() -> impl Strategy<Value = GSetOp<u16>> {
+    (0u16..24).prop_map(GSetOp::Add)
+}
+
+fn twopset_op() -> impl Strategy<Value = TwoPSetOp<u16>> {
+    prop_oneof![
+        (0u16..16).prop_map(TwoPSetOp::Add),
+        (0u16..16).prop_map(TwoPSetOp::Remove),
+    ]
+}
+
+fn gmap_op() -> impl Strategy<Value = GMapOp<u16, Max<u64>>> {
+    (0u16..8, 1u64..12)
+        .prop_map(|(key, v)| GMapOp::Apply { key, value: Max::new(v) })
+}
+
+fn lww_op() -> impl Strategy<Value = LWWOp<u32>> {
+    (1u64..16, replica(), 0u32..100)
+        .prop_map(|(ts, replica, value)| LWWOp::Write { ts, replica, value })
+}
+
+fn lexcounter_op() -> impl Strategy<Value = LexCounterOp> {
+    // Single-writer constraint: ownership is enforced by the replica id
+    // embedded in the op; we route ops to their owner below.
+    (replica(), -10i64..10).prop_map(|(r, n)| LexCounterOp::Add(r, n))
+}
+
+// ---------------------------------------------------------------------------
+// Generic property drivers
+// ---------------------------------------------------------------------------
+
+/// Apply ops sequentially, checking the δ-mutator contract at every step,
+/// and return all intermediate states.
+fn run_checked<C: Crdt>(start: C, ops: &[C::Op]) -> Vec<C> {
+    let mut states = vec![start];
+    for op in ops {
+        let next = check_crdt_op(states.last().unwrap(), op);
+        states.push(next);
+    }
+    states
+}
+
+/// N replicas each apply their own op slice; all deltas are then delivered
+/// to everyone in a scrambled, duplicated order. All replicas must converge
+/// to the join of everything.
+fn scrambled_delivery_converges<C: Crdt>(per_replica_ops: Vec<Vec<C::Op>>, seed_order: u64) {
+    let n = per_replica_ops.len();
+    let mut replicas: Vec<C> = (0..n).map(|_| C::bottom()).collect();
+    let mut deltas: Vec<C> = Vec::new();
+    for (i, ops) in per_replica_ops.iter().enumerate() {
+        for op in ops {
+            deltas.push(replicas[i].apply(op));
+        }
+    }
+    // Deterministic scramble + duplication driven by the seed.
+    let mut order: Vec<usize> = (0..deltas.len()).collect();
+    let mut s = seed_order.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for i in (1..order.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        order.swap(i, (s as usize) % (i + 1));
+    }
+    for r in replicas.iter_mut() {
+        for &i in &order {
+            r.join_assign(deltas[i].clone());
+            if i % 3 == 0 {
+                // Duplicate delivery.
+                r.join_assign(deltas[i].clone());
+            }
+        }
+    }
+    for w in replicas.windows(2) {
+        assert_eq!(w[0], w[1], "replicas diverged under scrambled delivery");
+    }
+}
+
+macro_rules! crdt_property_suite {
+    ($mod_name:ident, $ty:ty, $op_strat:expr) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(48))]
+
+                #[test]
+                fn delta_mutators_optimal(ops in pvec($op_strat, 1..12)) {
+                    run_checked(<$ty>::bottom(), &ops);
+                }
+
+                #[test]
+                fn reachable_states_obey_laws(ops in pvec($op_strat, 1..8)) {
+                    let states = run_checked(<$ty>::bottom(), &ops);
+                    // Sub-sample to keep the O(n³) law check fast.
+                    let samples: Vec<_> = states.iter().step_by(2).cloned().collect();
+                    check_all_laws(&samples);
+                }
+
+                #[test]
+                fn converges_under_scrambled_delivery(
+                    ops_a in pvec($op_strat, 0..8),
+                    ops_b in pvec($op_strat, 0..8),
+                    ops_c in pvec($op_strat, 0..8),
+                    seed in any::<u64>(),
+                ) {
+                    scrambled_delivery_converges::<$ty>(vec![ops_a, ops_b, ops_c], seed);
+                }
+            }
+        }
+    };
+}
+
+crdt_property_suite!(gcounter_props, GCounter, gcounter_op());
+crdt_property_suite!(pncounter_props, PNCounter, pncounter_op());
+crdt_property_suite!(gset_props, GSet<u16>, gset_op());
+crdt_property_suite!(twopset_props, TwoPSet<u16>, twopset_op());
+crdt_property_suite!(gmap_props, GMap<u16, Max<u64>>, gmap_op());
+crdt_property_suite!(lww_props, LWWRegister<u32>, lww_op());
+
+// LexCounter needs the single-writer discipline: each replica only applies
+// its own ops, so the generic scrambled-delivery driver (which applies all
+// ops at one replica) is replaced by an owner-routed variant.
+mod lexcounter_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn delta_mutators_optimal(ops in pvec(lexcounter_op(), 1..10)) {
+            // Route each op through a per-owner replica, checking the
+            // contract against that owner's state.
+            let mut owners: std::collections::BTreeMap<ReplicaId, LexCounter> =
+                Default::default();
+            for op in &ops {
+                let LexCounterOp::Add(r, _) = *op;
+                let state = owners.entry(r).or_insert_with(LexCounter::bottom);
+                *state = check_crdt_op(state, op);
+            }
+        }
+
+        #[test]
+        fn owner_routed_convergence(
+            ops in pvec(lexcounter_op(), 0..12),
+            seed in any::<u64>(),
+        ) {
+            let mut owners: std::collections::BTreeMap<ReplicaId, LexCounter> =
+                Default::default();
+            let mut deltas = Vec::new();
+            let mut expected_total = 0i64;
+            for op in &ops {
+                let LexCounterOp::Add(r, n) = *op;
+                expected_total += n;
+                let state = owners.entry(r).or_insert_with(LexCounter::bottom);
+                deltas.push(state.apply(op));
+            }
+            // Two observers receive the deltas in different orders, with
+            // duplicates.
+            let mut x = LexCounter::bottom();
+            let mut y = LexCounter::bottom();
+            for d in &deltas {
+                x.join_assign(d.clone());
+            }
+            let mut order: Vec<usize> = (0..deltas.len()).collect();
+            let mut s = seed;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+                order.swap(i, (s as usize) % (i + 1));
+            }
+            for &i in &order {
+                y.join_assign(deltas[i].clone());
+                y.join_assign(deltas[i].clone());
+            }
+            prop_assert_eq!(&x, &y);
+            prop_assert_eq!(x.total(), expected_total);
+        }
+    }
+}
+
+// Cross-type sanity: GCounter value equals total increments regardless of
+// how deltas are interleaved.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gcounter_value_counts_all_ops(ops in pvec(gcounter_op(), 0..20)) {
+        // One replica per id, each applying its own ops (counters are
+        // per-replica structures; two replicas must not mutate the same
+        // entry concurrently).
+        let mut owners: std::collections::BTreeMap<ReplicaId, GCounter> = Default::default();
+        let mut expected = 0u64;
+        for op in &ops {
+            let (r, n) = match *op {
+                GCounterOp::Inc(r) => (r, 1),
+                GCounterOp::IncBy(r, n) => (r, n),
+            };
+            expected += n;
+            let c = owners.entry(r).or_insert_with(GCounter::bottom);
+            let _ = c.apply(op);
+        }
+        let mut merged = GCounter::bottom();
+        for c in owners.values() {
+            merged.join_assign(c.clone());
+        }
+        prop_assert_eq!(merged.value(), expected);
+    }
+
+    #[test]
+    fn gset_union_of_histories(a in pvec(0u16..64, 0..24), b in pvec(0u16..64, 0..24)) {
+        let mut x = GSet::new();
+        let mut y = GSet::new();
+        for e in &a { let _ = x.add(*e); }
+        for e in &b { let _ = y.add(*e); }
+        let merged = x.join(y);
+        let expect: std::collections::BTreeSet<u16> =
+            a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.len(), expect.len());
+        for e in expect {
+            prop_assert!(merged.contains(&e));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal CRDTs: ops include removals, so convergence exercises the
+// dot-store join's add-wins semantics under arbitrary delivery.
+// ---------------------------------------------------------------------------
+
+mod causal_props {
+    use super::*;
+    use crdt_types::{AWSet, AWSetOp, CCounter, CCounterOp, EWFlag, EWFlagOp};
+
+    fn awset_op() -> impl Strategy<Value = AWSetOp<u8>> {
+        prop_oneof![
+            4 => (replica(), 0u8..6).prop_map(|(r, e)| AWSetOp::Add(r, e)),
+            2 => (0u8..6).prop_map(AWSetOp::Remove),
+            1 => Just(AWSetOp::Clear),
+        ]
+    }
+
+    fn ewflag_op() -> impl Strategy<Value = EWFlagOp> {
+        prop_oneof![
+            replica().prop_map(EWFlagOp::Enable),
+            Just(EWFlagOp::Disable),
+        ]
+    }
+
+    fn ccounter_op() -> impl Strategy<Value = CCounterOp> {
+        prop_oneof![
+            4 => (replica(), -5i64..6).prop_map(|(r, n)| CCounterOp::Add(r, n)),
+            1 => Just(CCounterOp::Reset),
+        ]
+    }
+
+    /// Causal mutators mint dots from the *local* context, so the
+    /// scrambled-delivery driver must route each op through its owning
+    /// replica (two replicas generating the same dot would violate the
+    /// uniqueness invariant).
+    fn owner_routed_convergence<C, FK>(ops: Vec<C::Op>, owner_of: FK, seed: u64)
+    where
+        C: Crdt,
+        FK: Fn(&C::Op) -> Option<ReplicaId>,
+    {
+        let mut owners: std::collections::BTreeMap<ReplicaId, C> = Default::default();
+        let mut deltas = Vec::new();
+        for op in &ops {
+            // Ops without an owner (Remove/Clear/Disable/Reset) act on the
+            // replica that has seen the most so far (replica 0 by
+            // default) — any single replica is fine for dot uniqueness.
+            let owner = owner_of(op).unwrap_or(ReplicaId(0));
+            let state = owners.entry(owner).or_insert_with(C::bottom);
+            deltas.push(state.apply(op));
+        }
+        // Exchange all deltas between owners first (they diverge
+        // otherwise), then scramble-deliver everything to two observers.
+        let mut order: Vec<usize> = (0..deltas.len()).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let mut x = C::bottom();
+        let mut y = C::bottom();
+        for &i in &order {
+            x.join_assign(deltas[i].clone());
+            x.join_assign(deltas[i].clone());
+        }
+        for d in &deltas {
+            y.join_assign(d.clone());
+        }
+        assert_eq!(x, y, "scrambled/duplicated delivery diverged");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn awset_delta_mutators_optimal(ops in pvec(awset_op(), 1..10)) {
+            // Sequential application at one replica: every op must satisfy
+            // the δ-mutator contract.
+            run_checked(AWSet::<u8>::bottom(), &ops);
+        }
+
+        #[test]
+        fn awset_reachable_states_obey_laws(ops in pvec(awset_op(), 1..6)) {
+            let states = run_checked(AWSet::<u8>::bottom(), &ops);
+            let samples: Vec<_> = states.iter().step_by(2).cloned().collect();
+            check_all_laws(&samples);
+        }
+
+        #[test]
+        fn awset_converges_owner_routed(ops in pvec(awset_op(), 0..14), seed in any::<u64>()) {
+            owner_routed_convergence::<AWSet<u8>, _>(
+                ops,
+                |op| match op {
+                    AWSetOp::Add(r, _) => Some(*r),
+                    _ => None,
+                },
+                seed,
+            );
+        }
+
+        #[test]
+        fn ewflag_delta_mutators_optimal(ops in pvec(ewflag_op(), 1..10)) {
+            run_checked(EWFlag::bottom(), &ops);
+        }
+
+        #[test]
+        fn ccounter_delta_mutators_optimal(ops in pvec(ccounter_op(), 1..10)) {
+            run_checked(CCounter::bottom(), &ops);
+        }
+
+        #[test]
+        fn ccounter_reachable_states_obey_laws(ops in pvec(ccounter_op(), 1..6)) {
+            let states = run_checked(CCounter::bottom(), &ops);
+            let samples: Vec<_> = states.iter().step_by(2).cloned().collect();
+            check_all_laws(&samples);
+        }
+    }
+}

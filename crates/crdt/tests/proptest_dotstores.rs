@@ -1,0 +1,239 @@
+//! Property-based testing of the dot-store framework types
+//! ([`ORMap`], [`ORSetMap`], [`RWSet`], [`DWFlag`]).
+//!
+//! Same three property families as `proptest_crdts.rs` — δ-mutator
+//! optimality, lattice laws on op-reachable states, convergence under
+//! scrambled/duplicated delivery — plus framework-specific properties:
+//! the nested decomposition reconstructs the state, and the optimal delta
+//! to a random earlier snapshot repairs it exactly.
+
+use crdt_lattice::testing::check_all_laws;
+use crdt_lattice::{Bottom, Decompose, Lattice, ReplicaId};
+use crdt_types::testing::check_crdt_op;
+use crdt_types::{
+    Crdt, DWFlag, DWFlagOp, ORMap, ORMapOp, ORSetMap, ORSetMapOp, RWSet, RWSetOp,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn replica() -> impl Strategy<Value = ReplicaId> {
+    (0u32..4).prop_map(ReplicaId)
+}
+
+fn ormap_op() -> impl Strategy<Value = ORMapOp<u8, u16>> {
+    prop_oneof![
+        4 => (replica(), 0u8..5, 0u16..50).prop_map(|(r, k, v)| ORMapOp::Put(r, k, v)),
+        2 => (0u8..5).prop_map(ORMapOp::Remove),
+        1 => Just(ORMapOp::Clear),
+    ]
+}
+
+fn orsetmap_op() -> impl Strategy<Value = ORSetMapOp<u8, u16>> {
+    prop_oneof![
+        4 => (replica(), 0u8..4, 0u16..6).prop_map(|(r, k, e)| ORSetMapOp::Add(r, k, e)),
+        2 => (0u8..4, 0u16..6).prop_map(|(k, e)| ORSetMapOp::RemoveElem(k, e)),
+        1 => (0u8..4).prop_map(ORSetMapOp::RemoveKey),
+    ]
+}
+
+fn rwset_op() -> impl Strategy<Value = RWSetOp<u8>> {
+    prop_oneof![
+        (replica(), 0u8..6).prop_map(|(r, e)| RWSetOp::Add(r, e)),
+        (replica(), 0u8..6).prop_map(|(r, e)| RWSetOp::Remove(r, e)),
+    ]
+}
+
+fn dwflag_op() -> impl Strategy<Value = DWFlagOp> {
+    prop_oneof![
+        replica().prop_map(DWFlagOp::Enable),
+        replica().prop_map(DWFlagOp::Disable),
+    ]
+}
+
+/// Apply ops sequentially at one replica, checking the δ-mutator contract
+/// at every step; return all intermediate states.
+fn run_checked<C: Crdt>(start: C, ops: &[C::Op]) -> Vec<C> {
+    let mut states = vec![start];
+    for op in ops {
+        let next = check_crdt_op(states.last().unwrap(), op);
+        states.push(next);
+    }
+    states
+}
+
+/// Causal mutators mint dots from the local context, so each op is routed
+/// through its owning replica; the resulting deltas are then delivered to
+/// two observers in different (scrambled + duplicated) orders, which must
+/// agree.
+fn owner_routed_convergence<C, FK>(ops: Vec<C::Op>, owner_of: FK, seed: u64)
+where
+    C: Crdt,
+    FK: Fn(&C::Op) -> Option<ReplicaId>,
+{
+    let mut owners: std::collections::BTreeMap<ReplicaId, C> = Default::default();
+    let mut deltas = Vec::new();
+    for op in &ops {
+        let owner = owner_of(op).unwrap_or(ReplicaId(0));
+        let state = owners.entry(owner).or_insert_with(C::bottom);
+        deltas.push(state.apply(op));
+    }
+    let mut order: Vec<usize> = (0..deltas.len()).collect();
+    let mut s = seed;
+    for i in (1..order.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        order.swap(i, (s as usize) % (i + 1));
+    }
+    let mut x = C::bottom();
+    let mut y = C::bottom();
+    for &i in &order {
+        x.join_assign(deltas[i].clone());
+        x.join_assign(deltas[i].clone());
+    }
+    for d in &deltas {
+        y.join_assign(d.clone());
+    }
+    assert_eq!(x, y, "scrambled/duplicated delivery diverged");
+}
+
+/// `Δ(final, snapshot) ⊔ snapshot = final` for every prefix snapshot of an
+/// op-generated history (the repair property RR relies on, §III-B).
+fn delta_repairs_prefixes<C: Crdt>(ops: &[C::Op]) {
+    let mut state = C::bottom();
+    let mut snapshots = vec![state.clone()];
+    for op in ops {
+        let _ = state.apply(op);
+        snapshots.push(state.clone());
+    }
+    let fin = snapshots.last().unwrap().clone();
+    for snap in snapshots {
+        let d = fin.delta(&snap);
+        let repaired = snap.join(d);
+        assert_eq!(repaired, fin, "Δ to a prefix snapshot failed to repair");
+    }
+}
+
+macro_rules! dotstore_property_suite {
+    ($mod_name:ident, $ty:ty, $op_strat:expr, $owner:expr) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(40))]
+
+                #[test]
+                fn delta_mutators_optimal(ops in pvec($op_strat, 1..10)) {
+                    run_checked(<$ty>::bottom(), &ops);
+                }
+
+                #[test]
+                fn reachable_states_obey_laws(ops in pvec($op_strat, 1..6)) {
+                    let states = run_checked(<$ty>::bottom(), &ops);
+                    let samples: Vec<_> = states.iter().step_by(2).cloned().collect();
+                    check_all_laws(&samples);
+                }
+
+                #[test]
+                fn converges_owner_routed(ops in pvec($op_strat, 0..14), seed in any::<u64>()) {
+                    owner_routed_convergence::<$ty, _>(ops, $owner, seed);
+                }
+
+                #[test]
+                fn decomposition_reconstructs(ops in pvec($op_strat, 1..10)) {
+                    let mut state = <$ty>::bottom();
+                    for op in &ops {
+                        let _ = state.apply(op);
+                    }
+                    let rebuilt = state
+                        .decompose()
+                        .into_iter()
+                        .fold(<$ty>::bottom(), |acc, p| acc.join(p));
+                    prop_assert_eq!(rebuilt, state);
+                }
+
+                #[test]
+                fn delta_repairs_any_prefix(ops in pvec($op_strat, 1..10)) {
+                    delta_repairs_prefixes::<$ty>(&ops);
+                }
+            }
+        }
+    };
+}
+
+dotstore_property_suite!(ormap_props, ORMap<u8, u16>, ormap_op(), |op: &ORMapOp<u8, u16>| {
+    match op {
+        ORMapOp::Put(r, _, _) => Some(*r),
+        _ => None,
+    }
+});
+
+dotstore_property_suite!(
+    orsetmap_props,
+    ORSetMap<u8, u16>,
+    orsetmap_op(),
+    |op: &ORSetMapOp<u8, u16>| match op {
+        ORSetMapOp::Add(r, _, _) => Some(*r),
+        _ => None,
+    }
+);
+
+dotstore_property_suite!(rwset_props, RWSet<u8>, rwset_op(), |op: &RWSetOp<u8>| match op {
+    RWSetOp::Add(r, _) | RWSetOp::Remove(r, _) => Some(*r),
+});
+
+dotstore_property_suite!(dwflag_props, DWFlag, dwflag_op(), |op: &DWFlagOp| match op {
+    DWFlagOp::Enable(r) | DWFlagOp::Disable(r) => Some(*r),
+});
+
+// ---------------------------------------------------------------------------
+// Cross-flavor differential properties
+// ---------------------------------------------------------------------------
+
+mod differential {
+    use super::*;
+    use crdt_types::{AWSet, GSet, GSetOp};
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// With adds only (no removals anywhere in the history), AWSet,
+        /// RWSet and GSet must agree on the visible elements.
+        #[test]
+        fn add_only_sets_agree(adds in pvec((replica(), 0u8..8), 1..16)) {
+            let mut aw = AWSet::bottom();
+            let mut rw = RWSet::bottom();
+            let mut g = GSet::bottom();
+            for (r, e) in &adds {
+                let _ = aw.add(*r, *e);
+                let _ = rw.add(*r, *e);
+                let _ = g.apply(&GSetOp::Add(*e));
+            }
+            let aw_v: BTreeSet<u8> = aw.value();
+            let rw_v: BTreeSet<u8> = rw.value();
+            let g_v: BTreeSet<u8> = g.value().into_iter().collect();
+            prop_assert_eq!(&aw_v, &rw_v);
+            prop_assert_eq!(&aw_v, &g_v);
+        }
+
+        /// Sequential histories (single replica, no concurrency): AWSet and
+        /// RWSet agree — the flavors only differ on concurrent add/remove.
+        #[test]
+        fn sequential_sets_agree(ops in pvec((0u8..6, any::<bool>()), 1..20)) {
+            let r = ReplicaId(0);
+            let mut aw = AWSet::bottom();
+            let mut rw = RWSet::bottom();
+            for (e, is_add) in &ops {
+                if *is_add {
+                    let _ = aw.add(r, *e);
+                    let _ = rw.add(r, *e);
+                } else {
+                    let _ = aw.remove(e);
+                    let _ = rw.remove(r, *e);
+                }
+            }
+            let aw_v: BTreeSet<u8> = aw.value();
+            let rw_v: BTreeSet<u8> = rw.value();
+            prop_assert_eq!(aw_v, rw_v);
+        }
+    }
+}

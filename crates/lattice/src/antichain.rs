@@ -1,0 +1,243 @@
+//! The maximal-elements lattice `M(P)`: antichains of a poset under
+//! "union then keep maximals".
+//!
+//! `M(P)` (paper, Appendix B) turns any partial order into a lattice whose
+//! elements are antichains — sets with no two comparable elements — ordered
+//! by domination: `s ⊑ s'` iff every element of `s` is below some element
+//! of `s'`. It models "keep only the frontier" semantics (e.g. concurrent
+//! versions in a multi-value register). Decomposition (Appendix C) is by
+//! singletons: `⇓s = { {e} | e ∈ s }`.
+//!
+//! The *domination* order is supplied by [`Poset`], deliberately distinct
+//! from the `Ord` bound (which only fixes deterministic storage order in
+//! the backing `BTreeSet`).
+
+use std::collections::BTreeSet;
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, Sizeable, StateSize};
+
+/// A partial order used as the domination relation of [`Antichain`].
+///
+/// Must be reflexive, transitive and antisymmetric. It need not agree with
+/// the type's `Ord` (which is total and only used for storage).
+pub trait Poset {
+    /// Is `self ≤ other` in the partial order?
+    fn poset_le(&self, other: &Self) -> bool;
+}
+
+/// The antichain (maximal-elements) lattice `M(P)`.
+///
+/// Invariant: no stored element dominates another.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Antichain<P: Ord>(BTreeSet<P>);
+
+impl<P> Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset,
+{
+    /// The empty antichain (`⊥`).
+    pub fn new() -> Self {
+        Antichain(BTreeSet::new())
+    }
+
+    /// Insert an element, keeping only maximals.
+    ///
+    /// Returns `true` iff the antichain strictly inflated (the element was
+    /// not already dominated).
+    pub fn insert(&mut self, e: P) -> bool {
+        if self.0.iter().any(|x| e.poset_le(x)) {
+            // Dominated (or equal): no inflation. Note e ⊑ e, so presence
+            // is covered by this test.
+            return false;
+        }
+        self.0.retain(|x| !x.poset_le(&e));
+        self.0.insert(e);
+        true
+    }
+
+    /// Is `e` dominated by (or equal to) some element of the antichain?
+    pub fn dominates(&self, e: &P) -> bool {
+        self.0.iter().any(|x| e.poset_le(x))
+    }
+
+    /// Number of frontier elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the empty antichain?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the frontier in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = &P> {
+        self.0.iter()
+    }
+}
+
+impl<P> FromIterator<P> for Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset,
+{
+    fn from_iter<I: IntoIterator<Item = P>>(iter: I) -> Self {
+        let mut a = Self::new();
+        for e in iter {
+            a.insert(e);
+        }
+        a
+    }
+}
+
+impl<P> Lattice for Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset,
+{
+    fn join_assign(&mut self, other: Self) -> bool {
+        let mut inflated = false;
+        for e in other.0 {
+            inflated |= self.insert(e);
+        }
+        inflated
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.iter().all(|e| other.dominates(e))
+    }
+}
+
+impl<P> Bottom for Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset,
+{
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<P> Decompose for Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset,
+{
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        for e in &self.0 {
+            f(Antichain(BTreeSet::from_iter([e.clone()])));
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    /// Frontier elements not dominated by `other`.
+    fn delta(&self, other: &Self) -> Self {
+        Antichain(
+            self.0
+                .iter()
+                .filter(|e| !other.dominates(e))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+impl<P> StateSize for Antichain<P>
+where
+    P: Ord + Clone + core::fmt::Debug + Poset + Sizeable,
+{
+    fn count_elements(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.iter().map(|e| e.payload_bytes(model)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A poset of (coordinate-wise ordered) integer pairs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Pt(u32, u32);
+
+    impl Poset for Pt {
+        fn poset_le(&self, other: &Self) -> bool {
+            self.0 <= other.0 && self.1 <= other.1
+        }
+    }
+
+    impl Sizeable for Pt {
+        fn payload_bytes(&self, _m: &SizeModel) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn insert_keeps_maximals() {
+        let mut a = Antichain::new();
+        assert!(a.insert(Pt(1, 1)));
+        // Dominated: rejected.
+        assert!(!a.insert(Pt(0, 1)));
+        // Dominating: replaces.
+        assert!(a.insert(Pt(2, 2)));
+        assert_eq!(a.len(), 1);
+        // Incomparable: coexists.
+        assert!(a.insert(Pt(0, 5)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_inflate() {
+        let mut a = Antichain::from_iter([Pt(1, 1)]);
+        assert!(!a.insert(Pt(1, 1)));
+    }
+
+    #[test]
+    fn join_is_union_of_frontiers() {
+        let a = Antichain::from_iter([Pt(2, 0), Pt(0, 2)]);
+        let b = Antichain::from_iter([Pt(1, 1), Pt(3, 0)]);
+        let j = a.clone().join(b.clone());
+        assert_eq!(j, Antichain::from_iter([Pt(3, 0), Pt(1, 1), Pt(0, 2)]));
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn le_is_domination() {
+        let lo = Antichain::from_iter([Pt(1, 0)]);
+        let hi = Antichain::from_iter([Pt(2, 1)]);
+        assert!(lo.leq(&hi));
+        assert!(!hi.leq(&lo));
+        let incomparable = Antichain::from_iter([Pt(0, 9)]);
+        assert!(!lo.leq(&incomparable));
+    }
+
+    #[test]
+    fn decompose_and_delta() {
+        let a = Antichain::from_iter([Pt(2, 0), Pt(0, 2)]);
+        assert_eq!(a.decompose().len(), 2);
+        let b = Antichain::from_iter([Pt(3, 1)]);
+        // Pt(2,0) ⊑ Pt(3,1) is dominated; Pt(0,2) survives.
+        assert_eq!(a.delta(&b), Antichain::from_iter([Pt(0, 2)]));
+        assert_eq!(a.delta(&b).join(b.clone()), a.clone().join(b));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        let a = Antichain::from_iter([Pt(2, 0), Pt(0, 2)]);
+        assert_eq!(a.count_elements(), 2);
+        assert_eq!(a.size_bytes(&m), 16);
+    }
+}

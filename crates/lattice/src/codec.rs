@@ -1,0 +1,596 @@
+//! A compact binary wire codec for lattice states.
+//!
+//! The evaluation accounts transmission through the analytic
+//! [`crate::SizeModel`] ("what a reasonable serializer would emit"). This
+//! module *is* such a serializer: varint-based, schema-less, with no
+//! framing beyond length prefixes — so the tests can cross-check that the
+//! byte model tracks an actual encoding (`codec` tests assert encoded
+//! sizes never exceed the model's prediction for the compact model, and
+//! stay within a small constant of it).
+//!
+//! The codec is deliberately dependency-free (no serde): protocol
+//! messages are shaped like lattice states, and every lattice composition
+//! encodes by structural recursion, mirroring the decomposition rules of
+//! Appendix C.
+//!
+//! ## Format
+//!
+//! * unsigned integers — LEB128 varints;
+//! * signed integers — zigzag, then LEB128;
+//! * strings / byte payloads — varint length prefix + bytes;
+//! * maps / sets — varint cardinality + ordered entries;
+//! * [`Sum`] — 1 discriminant byte + payload;
+//! * compositions (`Pair`, `Lex`, `Max`, …) — concatenation of parts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Dot, Lex, MapLattice, Max, Min, Pair, ReplicaId, SetLattice, Sum, VClock};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a value.
+    UnexpectedEnd,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// An enum discriminant byte was not recognised.
+    BadDiscriminant(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "input ended mid-value"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::BadDiscriminant(d) => write!(f, "bad discriminant byte {d}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append an LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint.
+pub fn get_uvarint(input: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed integer.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Zigzag-decode.
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Binary encoding for a value that rides in protocol messages.
+pub trait WireEncode: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a complete buffer (trailing bytes are an error-free no-op;
+    /// use [`WireEncode::decode`] for streaming).
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode(&mut bytes)
+    }
+}
+
+macro_rules! impl_wire_uint {
+    ($($t:ty),*) => {
+        $(impl WireEncode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                put_uvarint(out, u64::from(*self));
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let v = get_uvarint(input)?;
+                <$t>::try_from(v).map_err(|_| CodecError::VarintOverflow)
+            }
+        })*
+    };
+}
+
+impl_wire_uint!(u8, u16, u32, u64);
+
+impl WireEncode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, *self as u64);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        usize::try_from(get_uvarint(input)?).map_err(|_| CodecError::VarintOverflow)
+    }
+}
+
+impl WireEncode for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, zigzag(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(unzigzag(get_uvarint(input)?))
+    }
+}
+
+impl WireEncode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&b, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        if input.len() < len {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let (bytes, rest) = input.split_at(len);
+        *input = rest;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+impl WireEncode for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match bool::decode(input)? {
+            false => Ok(None),
+            true => Ok(Some(T::decode(input)?)),
+        }
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        // Guard against hostile length prefixes: each element consumes at
+        // least one byte, so `len` can never exceed the remaining input.
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode + Ord> WireEncode for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: WireEncode + Ord, V: WireEncode> WireEncode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lattice compositions
+// ---------------------------------------------------------------------------
+
+impl WireEncode for ReplicaId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(ReplicaId(u32::decode(input)?))
+    }
+}
+
+impl WireEncode for Dot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.replica.encode(out);
+        self.seq.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Dot::new(ReplicaId::decode(input)?, u64::decode(input)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Max<T>
+where
+    T: Ord + Clone + core::fmt::Debug + Default,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.get().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Max::new(T::decode(input)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Min<T>
+where
+    T: Ord + Clone + core::fmt::Debug,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.get().cloned().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match Option::<T>::decode(input)? {
+            None => crate::Bottom::bottom(),
+            Some(v) => Min::new(v),
+        })
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for Pair<A, B> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Pair(A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<C: WireEncode, A: WireEncode> WireEncode for Lex<C, A> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Lex(C::decode(input)?, A::decode(input)?))
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for Sum<A, B> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Sum::Left(a) => {
+                out.push(0);
+                a.encode(out);
+            }
+            Sum::Right(b) => {
+                out.push(1);
+                b.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(Sum::Left(A::decode(input)?)),
+            1 => Ok(Sum::Right(B::decode(input)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<K, V> WireEncode for MapLattice<K, V>
+where
+    K: WireEncode + Ord + Clone + core::fmt::Debug,
+    V: WireEncode + crate::Lattice + crate::Bottom,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for (k, v) in self.iter() {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            entries.push((k, v));
+        }
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<E> WireEncode for SetLattice<E>
+where
+    E: WireEncode + Ord + Clone + core::fmt::Debug,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.len() as u64);
+        for e in self.iter() {
+            e.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            entries.push(E::decode(input)?);
+        }
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl WireEncode for VClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let entries: Vec<(ReplicaId, u64)> = self.iter().collect();
+        entries.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Vec::<(ReplicaId, u64)>::decode(input)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SizeModel, StateSize};
+
+    fn roundtrip<T: WireEncode + PartialEq + core::fmt::Debug>(v: &T) -> usize {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        bytes.len()
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(get_uvarint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_width_is_minimal() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_uvarint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = "hello".to_string().to_bytes();
+        assert_eq!(
+            String::from_bytes(&bytes[..3]),
+            Err(CodecError::UnexpectedEnd)
+        );
+        assert_eq!(u64::from_bytes(&[0x80]), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Claims 2^40 elements with 1 byte of payload.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 40);
+        buf.push(7);
+        assert_eq!(
+            Vec::<u64>::from_bytes(&buf),
+            Err(CodecError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn zigzag_roundtrips_negative() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            roundtrip(&v);
+        }
+        // Small magnitudes stay small on the wire.
+        assert_eq!((-1i64).to_bytes().len(), 1);
+    }
+
+    #[test]
+    fn scalar_and_composite_roundtrips() {
+        roundtrip(&true);
+        roundtrip(&"hello κόσμος".to_string());
+        roundtrip(&Some(42u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&BTreeSet::from([1u8, 5, 9]));
+        roundtrip(&BTreeMap::from([(1u8, "a".to_string()), (2, "b".to_string())]));
+        roundtrip(&ReplicaId(7));
+        roundtrip(&Dot::new(ReplicaId(3), 99));
+    }
+
+    #[test]
+    fn lattice_roundtrips() {
+        roundtrip(&Max::new(17u64));
+        roundtrip(&Min::new(3u32));
+        roundtrip(&<Min<u32> as crate::Bottom>::bottom());
+        roundtrip(&Pair(Max::new(1u64), SetLattice::from_iter([1u8, 2])));
+        roundtrip(&Lex(Max::new(4u64), Max::new(9u64)));
+        roundtrip(&Sum::<Max<u64>, SetLattice<u8>>::Left(Max::new(2)));
+        roundtrip(&Sum::<Max<u64>, SetLattice<u8>>::Right(SetLattice::from_iter([1])));
+        roundtrip(&SetLattice::from_iter(["a".to_string(), "bc".to_string()]));
+        roundtrip(&MapLattice::from_iter([
+            (ReplicaId(0), Max::new(5u64)),
+            (ReplicaId(2), Max::new(1u64)),
+        ]));
+        roundtrip(&VClock::from_iter([(ReplicaId(0), 4), (ReplicaId(9), 2)]));
+    }
+
+    #[test]
+    fn bad_discriminants_error() {
+        assert_eq!(
+            Sum::<Max<u64>, Max<u64>>::from_bytes(&[9]),
+            Err(CodecError::BadDiscriminant(9))
+        );
+        assert_eq!(bool::from_bytes(&[2]), Err(CodecError::BadDiscriminant(2)));
+    }
+
+    /// The analytic byte model upper-bounds the real encoding: varints
+    /// never exceed the model's fixed widths for in-range values, so for
+    /// every state the codec emits, `encoded ≤ model + small framing`.
+    #[test]
+    fn size_model_tracks_real_encoding() {
+        let model = SizeModel::compact();
+        // A GCounter-shaped state: 6 replicas with u64 counters.
+        let gcounter: MapLattice<ReplicaId, Max<u64>> = (0..6u32)
+            .map(|i| (ReplicaId(i), Max::new(1000 + u64::from(i))))
+            .collect();
+        let encoded = gcounter.to_bytes().len() as u64;
+        let modeled = gcounter.size_bytes(&model);
+        assert!(
+            encoded <= modeled + 9,
+            "encoded {encoded} should not exceed modeled {modeled} + framing"
+        );
+
+        // With values that actually exercise the model's fixed widths
+        // (large ids, near-max counters), the model is also *tight*: the
+        // encoding lands within 2x of it.
+        let big: MapLattice<ReplicaId, Max<u64>> = (0..6u32)
+            .map(|i| (ReplicaId(u32::MAX - i), Max::new(u64::MAX - u64::from(i))))
+            .collect();
+        let encoded = big.to_bytes().len() as u64;
+        let modeled = big.size_bytes(&model);
+        assert!(encoded <= modeled + 9);
+        assert!(encoded * 2 >= modeled, "model more than 2x the encoding ({encoded} vs {modeled})");
+
+        // A GSet-shaped state.
+        let gset: SetLattice<String> =
+            (0..40).map(|i| format!("element-{i:04}")).collect();
+        let encoded = gset.to_bytes().len() as u64;
+        let modeled = gset.size_bytes(&model);
+        assert!(encoded <= modeled + 9 + 40);
+    }
+}

@@ -1,0 +1,152 @@
+//! Irredundant join decompositions and optimal deltas (paper, §III and
+//! Appendices A–C).
+//!
+//! A state `x` is **join-irreducible** if it cannot be obtained as the join
+//! of a finite set of states not containing it (Definition 1). For a
+//! distributive lattice satisfying the descending chain condition, every
+//! element has a *unique irredundant* join decomposition `⇓x` — the maximals
+//! of the join-irreducibles below `x` (Birkhoff; Propositions 1–2).
+//!
+//! From `⇓` the paper derives the **optimal delta** between two states
+//! (§III-B):
+//!
+//! ```text
+//! Δ(a, b) = ⊔ { y ∈ ⇓a | y ⋢ b }
+//! ```
+//!
+//! which is the *minimum* state that joined with `b` yields `a ⊔ b`. Optimal
+//! δ-mutators follow as `mδ(x) = Δ(m(x), x)`, and the RR optimization of
+//! Algorithm 1 is `d' = Δ(d, xᵢ)` applied to every received δ-group.
+
+use crate::Bottom;
+
+/// Lattices supporting the unique irredundant join decomposition `⇓x`.
+///
+/// Implementations follow the per-composition rules of Appendix C; see the
+/// table below (where `C` is a chain, `U` an unordered set, `A`, `B`
+/// lattices and `P` a poset):
+///
+/// ```text
+/// c ∈ C:          ⇓c      = {c}                      (c ≠ ⊥)
+/// ⟨a,b⟩ ∈ A×B:    ⇓⟨a,b⟩  = ⇓a × {⊥} ∪ {⊥} × ⇓b
+/// ⟨c,a⟩ ∈ C⋉A:    ⇓⟨c,a⟩  = {c} × ⇓a                 (plus ⟨c,⊥⟩ if a = ⊥ ≠ c)
+/// Left a ∈ A⊕B:   ⇓Left a  = { Left v | v ∈ ⇓a }
+/// Right b ∈ A⊕B:  ⇓Right b = { Right v | v ∈ ⇓b }    (plus Right ⊥ if b = ⊥)
+/// f ∈ U↪A:        ⇓f      = { {k ↦ v} | k ∈ dom f, v ∈ ⇓f(k) }
+/// s ∈ P(U):       ⇓s      = { {e} | e ∈ s }
+/// s ∈ M(P):       ⇓s      = { {e} | e ∈ s }
+/// ```
+///
+/// Laws (checked by [`crate::testing::check_decompose_laws`]):
+///
+/// * **reconstruction**: `⊔ ⇓x = x`
+/// * **irredundancy**: for every `y ∈ ⇓x`, `⊔ (⇓x ∖ {y}) ⊏ x`
+/// * **irreducibility**: every `y ∈ ⇓x` satisfies `⇓y = {y}`
+/// * **delta correctness**: `Δ(a,b) ⊔ b = a ⊔ b`
+/// * **delta minimality**: `c ⊔ b = a ⊔ b ⇒ Δ(a,b) ⊑ c`
+pub trait Decompose: Bottom {
+    /// Visit every element of `⇓self` exactly once.
+    ///
+    /// The visitor style avoids allocating the decomposition when the caller
+    /// only folds over it (as [`Decompose::delta`] does). `⇓⊥ = ∅`, so the
+    /// visitor is never called on bottom.
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self));
+
+    /// Materialize `⇓self` as a vector.
+    fn decompose(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        self.for_each_irreducible(&mut |y| out.push(y));
+        out
+    }
+
+    /// `|⇓self|` — the number of join-irreducibles in the decomposition.
+    ///
+    /// This is exactly the paper's transmission/memory metric: "number of
+    /// entries in the map" for GCounter/GMap and "number of elements in the
+    /// set" for GSet (Table I). Override with a closed form when available.
+    fn irreducible_count(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_irreducible(&mut |_| n += 1);
+        n
+    }
+
+    /// The optimal delta `Δ(self, other) = ⊔ { y ∈ ⇓self | y ⋢ other }`.
+    ///
+    /// `Δ(a,b)` is the least state that, joined with `b`, produces `a ⊔ b`.
+    /// The generic implementation folds over the decomposition; compositions
+    /// override it with direct recursive forms that avoid materializing
+    /// irreducibles (e.g. set difference for powersets).
+    fn delta(&self, other: &Self) -> Self {
+        let mut acc = Self::bottom();
+        self.for_each_irreducible(&mut |y| {
+            if !y.leq(other) {
+                acc.join_assign(y);
+            }
+        });
+        acc
+    }
+
+    /// Is `self` itself join-irreducible (`self ∈ J(L)`)?
+    ///
+    /// Default: the decomposition is the singleton `{self}`.
+    fn is_irreducible(&self) -> bool {
+        let mut n = 0u32;
+        let mut only_self = true;
+        self.for_each_irreducible(&mut |y| {
+            n += 1;
+            if y != *self {
+                only_self = false;
+            }
+        });
+        n == 1 && only_self
+    }
+}
+
+/// Derive the optimal δ-mutator output from a full mutator application
+/// (paper §III-B: `mδ(x) = Δ(m(x), x)`).
+///
+/// `before` is the state prior to the mutation, `after` the state the full
+/// mutator produced. The result is the smallest delta `d` with
+/// `d ⊔ before = after` (mutators are inflations, so `after ⊒ before`).
+pub fn optimal_delta<L: Decompose>(after: &L, before: &L) -> L {
+    after.delta(before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, Max, SetLattice};
+
+    #[test]
+    fn optimal_delta_matches_manual() {
+        let mut before: SetLattice<u32> = SetLattice::bottom();
+        before.insert(1);
+        before.insert(2);
+        let mut after = before.clone();
+        after.insert(3);
+        let d = optimal_delta(&after, &before);
+        assert_eq!(d, SetLattice::from_iter([3]));
+    }
+
+    #[test]
+    fn delta_of_bottom_is_bottom() {
+        let a: Max<u64> = Max::bottom();
+        let b = Max::new(7);
+        assert!(a.delta(&b).is_bottom());
+        assert!(a.delta(&a).is_bottom());
+    }
+
+    #[test]
+    fn reconstruction_via_default_visitor() {
+        let s = SetLattice::from_iter(["a", "b", "c"]);
+        let rebuilt: SetLattice<&str> = join_all(s.decompose());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn is_irreducible_on_singletons() {
+        assert!(SetLattice::from_iter([1]).is_irreducible());
+        assert!(!SetLattice::from_iter([1, 2]).is_irreducible());
+        assert!(!SetLattice::<u32>::bottom().is_irreducible());
+    }
+}

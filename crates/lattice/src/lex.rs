@@ -1,0 +1,223 @@
+//! The lexicographic product `C ⋉ A` with a **chain** first component.
+//!
+//! Order: `⟨c,a⟩ ⊑ ⟨d,b⟩ ⇔ c ⊏ d ∨ (c = d ∧ a ⊑ b)`. The first component
+//! acts as a version/priority: a strictly newer version *replaces* the
+//! second component wholesale, an equal version joins it. This is the
+//! single-writer pattern of Cassandra counters and LWW registers
+//! (Appendix B).
+//!
+//! The paper's Table III shows the lexicographic product is distributive —
+//! and so has unique irredundant decompositions — **only when the first
+//! component is a chain**; Fig. 13 exhibits `P(U) ⋉ P(U)` as a
+//! counterexample with several distinct irredundant decompositions. The
+//! bound `C: TotalOrder` encodes that side condition in the type system.
+//!
+//! Decomposition (Appendix C, with the quotient-sublattice refinement of
+//! Table IV): `⇓⟨c,a⟩ = {c} × ⇓a`, except that `⟨c,⊥⟩` with `c ≠ ⊥` is
+//! itself join-irreducible — reaching first component `c` requires an
+//! element with first component `c`, and joins of such elements have second
+//! component `⊥` only if one of them is `⟨c,⊥⟩`.
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, StateSize, TotalOrder};
+
+/// Lexicographic pair: a chain `C` versioning a payload lattice `A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lex<C, A>(pub C, pub A);
+
+impl<C, A> Lex<C, A> {
+    /// Construct a lexicographic pair.
+    pub fn new(version: C, payload: A) -> Self {
+        Lex(version, payload)
+    }
+
+    /// The version (first, chain) component.
+    pub fn version(&self) -> &C {
+        &self.0
+    }
+
+    /// The payload (second) component.
+    pub fn payload(&self) -> &A {
+        &self.1
+    }
+}
+
+impl<C: TotalOrder, A: Lattice> Lattice for Lex<C, A> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        match self.0.cmp(&other.0) {
+            core::cmp::Ordering::Less => {
+                // Strictly newer version replaces the payload wholesale.
+                *self = other;
+                true
+            }
+            core::cmp::Ordering::Equal => self.1.join_assign(other.1),
+            core::cmp::Ordering::Greater => false,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match self.0.cmp(&other.0) {
+            core::cmp::Ordering::Less => true,
+            core::cmp::Ordering::Equal => self.1.leq(&other.1),
+            core::cmp::Ordering::Greater => false,
+        }
+    }
+}
+
+impl<C: TotalOrder + Bottom, A: Bottom> Bottom for Lex<C, A> {
+    fn bottom() -> Self {
+        Lex(C::bottom(), A::bottom())
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_bottom() && self.1.is_bottom()
+    }
+}
+
+impl<C, A> Decompose for Lex<C, A>
+where
+    C: TotalOrder + Bottom,
+    A: Decompose,
+{
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        if self.1.is_bottom() {
+            // ⟨c,⊥⟩ with c ≠ ⊥ is join-irreducible (Table IV quotient
+            // argument); ⟨⊥,⊥⟩ is bottom and decomposes to ∅.
+            if !self.0.is_bottom() {
+                f(self.clone());
+            }
+        } else {
+            let c = &self.0;
+            self.1
+                .for_each_irreducible(&mut |a| f(Lex(c.clone(), a)));
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        if self.1.is_bottom() {
+            u64::from(!self.0.is_bottom())
+        } else {
+            self.1.irreducible_count()
+        }
+    }
+
+    /// Case split on versions: a lower version contributes nothing, a
+    /// higher version contributes everything, an equal version recurses
+    /// into the payload (within the quotient `⟨c,·⟩`).
+    fn delta(&self, other: &Self) -> Self {
+        match self.0.cmp(&other.0) {
+            core::cmp::Ordering::Less => Self::bottom(),
+            core::cmp::Ordering::Greater => self.clone(),
+            core::cmp::Ordering::Equal => {
+                let d = self.1.delta(&other.1);
+                if d.is_bottom() {
+                    Self::bottom()
+                } else {
+                    Lex(self.0.clone(), d)
+                }
+            }
+        }
+    }
+
+    fn is_irreducible(&self) -> bool {
+        if self.1.is_bottom() {
+            !self.0.is_bottom()
+        } else {
+            self.1.is_irreducible()
+        }
+    }
+}
+
+impl<C: StateSize, A: StateSize> StateSize for Lex<C, A> {
+    fn count_elements(&self) -> u64 {
+        // A lex pair transmits as one versioned unit plus its payload
+        // irreducibles; count the payload (or one, for a bare version bump).
+        self.1.count_elements().max(1)
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.size_bytes(model) + self.1.size_bytes(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, Max, SetLattice};
+
+    type L = Lex<Max<u64>, SetLattice<&'static str>>;
+
+    #[test]
+    fn newer_version_replaces() {
+        let mut a = L::new(Max::new(1), SetLattice::from_iter(["old", "stuff"]));
+        assert!(a.join_assign(L::new(Max::new(2), SetLattice::from_iter(["new"]))));
+        assert_eq!(a, L::new(Max::new(2), SetLattice::from_iter(["new"])));
+    }
+
+    #[test]
+    fn equal_version_joins_payload() {
+        let mut a = L::new(Max::new(2), SetLattice::from_iter(["x"]));
+        assert!(a.join_assign(L::new(Max::new(2), SetLattice::from_iter(["y"]))));
+        assert_eq!(a.payload(), &SetLattice::from_iter(["x", "y"]));
+    }
+
+    #[test]
+    fn older_version_is_ignored() {
+        let mut a = L::new(Max::new(3), SetLattice::from_iter(["x"]));
+        assert!(!a.join_assign(L::new(Max::new(1), SetLattice::from_iter(["huge", "set"]))));
+        assert_eq!(a.version(), &Max::new(3));
+    }
+
+    #[test]
+    fn le_is_lexicographic() {
+        let lo = L::new(Max::new(1), SetLattice::from_iter(["anything"]));
+        let hi = L::new(Max::new(2), SetLattice::bottom());
+        assert!(lo.leq(&hi));
+        assert!(!hi.leq(&lo));
+    }
+
+    #[test]
+    fn decompose_shares_version() {
+        let a = L::new(Max::new(2), SetLattice::from_iter(["x", "y"]));
+        let d = a.decompose();
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|p| p.version() == &Max::new(2)));
+        assert!(d.iter().all(Decompose::is_irreducible));
+        assert_eq!(join_all::<L, _>(d), a);
+    }
+
+    #[test]
+    fn bare_version_is_irreducible() {
+        // ⟨c,⊥⟩, c ≠ ⊥: the Table IV edge case.
+        let bare = L::new(Max::new(4), SetLattice::bottom());
+        assert!(bare.is_irreducible());
+        assert_eq!(bare.decompose(), vec![bare.clone()]);
+        assert_eq!(join_all::<L, _>(bare.decompose()), bare);
+        assert!(L::bottom().decompose().is_empty());
+    }
+
+    #[test]
+    fn delta_cases() {
+        let newer = L::new(Max::new(3), SetLattice::from_iter(["a"]));
+        let older = L::new(Max::new(2), SetLattice::from_iter(["b", "c"]));
+        // Higher version: everything is new.
+        assert_eq!(newer.delta(&older), newer);
+        // Lower version: nothing to send.
+        assert!(older.delta(&newer).is_bottom());
+        // Equal version: payload difference under the shared version.
+        let a = L::new(Max::new(3), SetLattice::from_iter(["a", "z"]));
+        let d = a.delta(&newer);
+        assert_eq!(d, L::new(Max::new(3), SetLattice::from_iter(["z"])));
+        assert_eq!(d.join(newer.clone()), a.join(newer));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        let a = L::new(Max::new(2), SetLattice::from_iter(["ab"]));
+        assert_eq!(a.size_bytes(&m), 8 + 2);
+        assert_eq!(a.count_elements(), 1);
+        let bare = L::new(Max::new(2), SetLattice::<&str>::bottom());
+        assert_eq!(bare.count_elements(), 1);
+    }
+}

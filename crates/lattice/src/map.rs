@@ -1,0 +1,347 @@
+//! The finite-function lattice `U ↪ A`: maps from keys to a value lattice.
+//!
+//! This is the composition behind GCounter (`I ↪ ℕ`, paper Fig. 2a), GMap,
+//! PNCounter (`I ↪ ℕ×ℕ`), version vectors, and the Retwis object store.
+//! Join is pointwise, a missing key reads as `⊥`, and the decomposition rule
+//! (Appendix C) is
+//!
+//! ```text
+//! ⇓f = { {k ↦ v} | k ∈ dom f, v ∈ ⇓f(k) }
+//! ```
+//!
+//! **Canonical-form invariant:** no stored value is `⊥`. `{k ↦ ⊥}` and the
+//! map without `k` denote the same lattice element; keeping only the latter
+//! makes `Eq` coincide with lattice equality. All mutating entry points
+//! normalize.
+
+use std::collections::BTreeMap;
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, Sizeable, StateSize};
+
+/// A finite map into a lattice, itself a lattice under pointwise join.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MapLattice<K: Ord, V>(BTreeMap<K, V>);
+
+impl<K: Ord, V> Default for MapLattice<K, V> {
+    fn default() -> Self {
+        MapLattice(BTreeMap::new())
+    }
+}
+
+impl<K, V> MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug,
+    V: Bottom,
+{
+    /// The empty map (`⊥`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the value at `k`; `None` means `⊥`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.0.get(k)
+    }
+
+    /// Read the value at `k`, materializing `⊥` for missing keys.
+    pub fn get_or_bottom(&self, k: &K) -> V {
+        self.0.get(k).cloned().unwrap_or_else(V::bottom)
+    }
+
+    /// Join `v` into the entry at `k` (the map-level `join` restricted to a
+    /// single key). Returns `true` on strict inflation.
+    pub fn join_entry(&mut self, k: K, v: V) -> bool {
+        if v.is_bottom() {
+            return false;
+        }
+        match self.0.entry(k) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().join_assign(v),
+        }
+    }
+
+    /// Apply a mutation to the entry at `k` (starting from `⊥` if missing)
+    /// and return the resulting **map-level delta** `{k ↦ d}` where `d` is
+    /// the delta returned by `f`.
+    ///
+    /// This is how δ-mutators of composed CRDTs are built: the entry-level
+    /// δ-mutator runs inside `f` and the map re-wraps its delta under the
+    /// same key (the paper's `incδᵢ(p) = {i ↦ p(i)+1}` is exactly this for
+    /// GCounter).
+    ///
+    /// The entry is removed again if the mutation left it at `⊥`
+    /// (preserving the canonical-form invariant).
+    #[must_use]
+    pub fn mutate_entry(&mut self, k: K, f: impl FnOnce(&mut V) -> V) -> Self {
+        let mut slot = self.0.remove(&k).unwrap_or_else(V::bottom);
+        let delta = f(&mut slot);
+        if !slot.is_bottom() {
+            self.0.insert(k.clone(), slot);
+        }
+        if delta.is_bottom() {
+            Self::new()
+        } else {
+            let mut out = BTreeMap::new();
+            out.insert(k, delta);
+            MapLattice(out)
+        }
+    }
+
+    /// Build a singleton map `{k ↦ v}` (normalizing `⊥` to the empty map).
+    pub fn singleton(k: K, v: V) -> Self {
+        let mut m = BTreeMap::new();
+        if !v.is_bottom() {
+            m.insert(k, v);
+        }
+        MapLattice(m)
+    }
+
+    /// Number of (non-`⊥`) entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the map empty (`⊥`)?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Does `k` have a non-`⊥` value?
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.0.contains_key(k)
+    }
+
+    /// Iterate over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.0.iter()
+    }
+
+    /// Iterate over keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.0.keys()
+    }
+
+    /// Iterate over values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.0.values()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug,
+    V: Bottom,
+{
+    /// Collects entries, **joining** values on duplicate keys and dropping
+    /// `⊥` values (canonical form).
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (k, v) in iter {
+            m.join_entry(k, v);
+        }
+        m
+    }
+}
+
+impl<K, V> IntoIterator for MapLattice<K, V>
+where
+    K: Ord,
+{
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<K, V> Lattice for MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug,
+    V: Bottom,
+{
+    fn join_assign(&mut self, other: Self) -> bool {
+        let mut inflated = false;
+        for (k, v) in other.0 {
+            inflated |= self.join_entry(k, v);
+        }
+        inflated
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // Canonical form ⇒ a stored value is never ⊥, so a key missing from
+        // `other` immediately refutes the order.
+        self.0
+            .iter()
+            .all(|(k, v)| other.0.get(k).is_some_and(|w| v.leq(w)))
+    }
+}
+
+impl<K, V> Bottom for MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug,
+    V: Bottom,
+{
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<K, V> Decompose for MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug,
+    V: Decompose,
+{
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        for (k, v) in &self.0 {
+            v.for_each_irreducible(&mut |w| {
+                let mut m = BTreeMap::new();
+                m.insert(k.clone(), w);
+                f(MapLattice(m));
+            });
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.0.values().map(Decompose::irreducible_count).sum()
+    }
+
+    /// Per-key recursion: `Δ(f, g) = { k ↦ Δ(f(k), g(k)) | k ∈ dom f }`
+    /// with `g(k) = ⊥` for missing keys and `⊥` results dropped.
+    fn delta(&self, other: &Self) -> Self {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.0 {
+            let d = match other.0.get(k) {
+                Some(w) => v.delta(w),
+                None => v.clone(),
+            };
+            if !d.is_bottom() {
+                out.insert(k.clone(), d);
+            }
+        }
+        MapLattice(out)
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.0.len() == 1 && self.0.values().next().is_some_and(Decompose::is_irreducible)
+    }
+}
+
+impl<K, V> StateSize for MapLattice<K, V>
+where
+    K: Ord + Clone + core::fmt::Debug + Sizeable,
+    V: Bottom + StateSize,
+{
+    /// Paper metric: for flat value lattices (GCounter, GMap over
+    /// registers) this is the number of map entries; for nested lattices it
+    /// generalizes to the total irreducible count.
+    fn count_elements(&self) -> u64 {
+        self.0.values().map(StateSize::count_elements).sum()
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0
+            .iter()
+            .map(|(k, v)| k.payload_bytes(model) + v.size_bytes(model))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, Max};
+
+    type Counter = MapLattice<&'static str, Max<u64>>;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        // GCounter join (Fig. 2a): per-key max.
+        let a = Counter::from_iter([("a", Max::new(5)), ("b", Max::new(1))]);
+        let b = Counter::from_iter([("b", Max::new(7))]);
+        let j = a.join(b);
+        assert_eq!(j.get(&"a"), Some(&Max::new(5)));
+        assert_eq!(j.get(&"b"), Some(&Max::new(7)));
+    }
+
+    #[test]
+    fn le_handles_missing_keys() {
+        let small = Counter::from_iter([("a", Max::new(3))]);
+        let big = Counter::from_iter([("a", Max::new(5)), ("b", Max::new(1))]);
+        assert!(small.leq(&big));
+        assert!(!big.leq(&small));
+        assert!(Counter::bottom().leq(&small));
+    }
+
+    #[test]
+    fn canonical_form_drops_bottoms() {
+        let m = Counter::from_iter([("a", Max::bottom())]);
+        assert!(m.is_bottom());
+        assert_eq!(m, Counter::bottom());
+        assert_eq!(Counter::singleton("a", Max::bottom()), Counter::bottom());
+    }
+
+    #[test]
+    fn mutate_entry_returns_map_delta() {
+        // incδ for a GCounter: {i ↦ p(i)+1}.
+        let mut p = Counter::from_iter([("a", Max::new(4))]);
+        let d = p.mutate_entry("a", |v| {
+            let next = v.incremented();
+            v.join_assign(next);
+            next
+        });
+        assert_eq!(d, Counter::singleton("a", Max::new(5)));
+        assert_eq!(p.get(&"a"), Some(&Max::new(5)));
+    }
+
+    #[test]
+    fn decomposition_is_per_entry() {
+        // Example: ⇓{A5, B7} = {{A5}, {B7}} (P4 of Example 2).
+        let p = Counter::from_iter([("A", Max::new(5)), ("B", Max::new(7))]);
+        let d = p.decompose();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&Counter::singleton("A", Max::new(5))));
+        assert!(d.contains(&Counter::singleton("B", Max::new(7))));
+        assert_eq!(join_all::<Counter, _>(d), p);
+    }
+
+    #[test]
+    fn delta_recurses_per_key() {
+        let a = Counter::from_iter([("A", Max::new(5)), ("B", Max::new(7)), ("C", Max::new(2))]);
+        let b = Counter::from_iter([("A", Max::new(5)), ("B", Max::new(3))]);
+        let d = a.delta(&b);
+        assert_eq!(
+            d,
+            Counter::from_iter([("B", Max::new(7)), ("C", Max::new(2))])
+        );
+        assert_eq!(d.join(b.clone()), a.join(b));
+    }
+
+    #[test]
+    fn nested_maps_decompose_deeply() {
+        type Nested = MapLattice<u8, MapLattice<u8, Max<u64>>>;
+        let n = Nested::from_iter([(
+            1,
+            MapLattice::from_iter([(10, Max::new(2)), (11, Max::new(3))]),
+        )]);
+        assert_eq!(n.irreducible_count(), 2);
+        assert_eq!(n.decompose().len(), 2);
+        assert!(n.decompose().iter().all(Decompose::is_irreducible));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        let p = MapLattice::<u32, Max<u64>>::from_iter([(1, Max::new(5)), (2, Max::new(9))]);
+        assert_eq!(p.count_elements(), 2);
+        assert_eq!(p.size_bytes(&m), 2 * (4 + 8));
+    }
+}

@@ -1,0 +1,189 @@
+//! The max chain lattice: any totally ordered type under `max` as join.
+//!
+//! Chains (booleans, naturals, timestamps, …) are the base case of every
+//! CRDT composition in the paper (Appendix B): GCounter is `I ↪ ℕ` with ℕ
+//! the max chain, version vectors are the same shape, LWW registers put a
+//! chain first in a lexicographic pair. In a chain every non-bottom element
+//! is join-irreducible, so `⇓c = {c}` (Appendix C, first rule).
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, Sizeable, StateSize, TotalOrder};
+
+/// A totally ordered value as a join-semilattice with `⊔ = max`.
+///
+/// `⊥` is `T::default()`; for the common instantiations (`u64`, `bool`)
+/// `default` is the least value of the type, which the constructor does not
+/// verify but the law tests do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Max<T>(T);
+
+impl<T: Ord + Clone + core::fmt::Debug + Default> Max<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Max(value)
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Consume, returning the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug + Default> Lattice for Max<T> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        if other.0 > self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug + Default> Bottom for Max<T> {
+    fn bottom() -> Self {
+        Max(T::default())
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0 == T::default()
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug + Default> TotalOrder for Max<T> {}
+
+impl<T: Ord + Clone + core::fmt::Debug + Default> Decompose for Max<T> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        if !self.is_bottom() {
+            f(self.clone());
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        u64::from(!self.is_bottom())
+    }
+
+    fn delta(&self, other: &Self) -> Self {
+        if self.leq(other) {
+            Self::bottom()
+        } else {
+            self.clone()
+        }
+    }
+
+    fn is_irreducible(&self) -> bool {
+        !self.is_bottom()
+    }
+}
+
+impl<T: Sizeable + Ord + Clone + core::fmt::Debug + Default> StateSize for Max<T> {
+    fn count_elements(&self) -> u64 {
+        u64::from(self.0 != T::default())
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.payload_bytes(model)
+    }
+}
+
+/// Monotone counter helpers for the ubiquitous `Max<u64>`.
+impl Max<u64> {
+    /// The successor state (`self + 1`), used by counter δ-mutators.
+    #[must_use]
+    pub fn incremented(&self) -> Self {
+        Max(self.0 + 1)
+    }
+
+    /// The state increased by `n`.
+    #[must_use]
+    pub fn plus(&self, n: u64) -> Self {
+        Max(self.0 + n)
+    }
+
+    /// Raw counter value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl<T> From<T> for Max<T> {
+    fn from(value: T) -> Self {
+        Max(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_max() {
+        let mut a = Max::new(3u64);
+        assert!(a.join_assign(Max::new(5)));
+        assert_eq!(a, Max::new(5));
+        assert!(!a.join_assign(Max::new(4)));
+        assert_eq!(a, Max::new(5));
+    }
+
+    #[test]
+    fn le_is_numeric_order() {
+        assert!(Max::new(2u64).leq(&Max::new(2)));
+        assert!(Max::new(2u64).leq(&Max::new(3)));
+        assert!(!Max::new(3u64).leq(&Max::new(2)));
+    }
+
+    #[test]
+    fn bottom_is_default() {
+        assert_eq!(Max::<u64>::bottom(), Max::new(0));
+        assert!(Max::<u64>::bottom().is_bottom());
+        assert!(!Max::new(1u64).is_bottom());
+    }
+
+    #[test]
+    fn decomposition_is_singleton_or_empty() {
+        assert_eq!(Max::new(5u64).decompose(), vec![Max::new(5)]);
+        assert!(Max::<u64>::bottom().decompose().is_empty());
+        assert_eq!(Max::new(5u64).irreducible_count(), 1);
+    }
+
+    #[test]
+    fn delta_on_chain() {
+        let a = Max::new(5u64);
+        let b = Max::new(3u64);
+        assert_eq!(a.delta(&b), a);
+        assert!(b.delta(&a).is_bottom());
+        assert!(a.delta(&a).is_bottom());
+    }
+
+    #[test]
+    fn counter_helpers() {
+        let a = Max::new(5u64);
+        assert_eq!(a.incremented().value(), 6);
+        assert_eq!(a.plus(10).value(), 15);
+    }
+
+    #[test]
+    fn bool_chain() {
+        let mut f = Max::new(false);
+        assert!(f.join_assign(Max::new(true)));
+        assert_eq!(f, Max::new(true));
+        assert!(Max::<bool>::bottom().is_bottom());
+    }
+
+    #[test]
+    fn state_size() {
+        let m = SizeModel::default();
+        assert_eq!(Max::new(5u64).size_bytes(&m), 8);
+        assert_eq!(Max::new(5u64).count_elements(), 1);
+        assert_eq!(Max::<u64>::bottom().count_elements(), 0);
+    }
+}

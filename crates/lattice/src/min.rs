@@ -1,0 +1,178 @@
+//! The dual chain lattice: join is `min`.
+//!
+//! Some replicated aggregates converge downwards — "earliest timestamp
+//! seen", "cheapest offer", "shortest distance". Reversing the order of a
+//! chain is still a chain, so everything from Appendix B/C applies
+//! unchanged: `⇓c = {c}` for non-bottom `c`.
+//!
+//! Unlike [`crate::Max`], there is no natural least element inside `T`
+//! (it would be `T`'s *greatest* value), so `⊥` is represented explicitly
+//! as "no value yet".
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, Sizeable, StateSize, TotalOrder};
+
+/// A totally ordered value as a join-semilattice with `⊔ = min`.
+///
+/// `⊥` is the absent value; the lattice order is the *reverse* of `T`'s
+/// order on present values (smaller values are higher in the lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Min<T>(Option<T>);
+
+impl<T: Ord + Clone + core::fmt::Debug> Min<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Min(Some(value))
+    }
+
+    /// The wrapped value, if any.
+    pub fn get(&self) -> Option<&T> {
+        self.0.as_ref()
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug> Lattice for Min<T> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        match (self.0.as_ref(), other.0) {
+            (_, None) => false,
+            (None, Some(v)) => {
+                self.0 = Some(v);
+                true
+            }
+            (Some(cur), Some(v)) => {
+                if v < *cur {
+                    self.0 = Some(v);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            // Reversed: a lower numeric value is higher in the lattice.
+            (Some(a), Some(b)) => b <= a,
+        }
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug> Bottom for Min<T> {
+    fn bottom() -> Self {
+        Min(None)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug> PartialOrd for Min<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug> Ord for Min<T> {
+    /// Total order agreeing with the lattice order: `⊥` first, then values
+    /// in *descending* `T` order.
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        match (&self.0, &other.0) {
+            (None, None) => core::cmp::Ordering::Equal,
+            (None, Some(_)) => core::cmp::Ordering::Less,
+            (Some(_), None) => core::cmp::Ordering::Greater,
+            (Some(a), Some(b)) => b.cmp(a),
+        }
+    }
+}
+
+impl<T: Ord + Clone + core::fmt::Debug> TotalOrder for Min<T> {}
+
+impl<T: Ord + Clone + core::fmt::Debug> Decompose for Min<T> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        if !self.is_bottom() {
+            f(self.clone());
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        u64::from(!self.is_bottom())
+    }
+
+    fn delta(&self, other: &Self) -> Self {
+        if self.leq(other) {
+            Self::bottom()
+        } else {
+            self.clone()
+        }
+    }
+
+    fn is_irreducible(&self) -> bool {
+        !self.is_bottom()
+    }
+}
+
+impl<T: Sizeable + Ord + Clone + core::fmt::Debug> StateSize for Min<T> {
+    fn count_elements(&self) -> u64 {
+        u64::from(self.0.is_some())
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.as_ref().map_or(0, |v| v.payload_bytes(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_min() {
+        let mut a = Min::new(5u64);
+        assert!(a.join_assign(Min::new(3)));
+        assert_eq!(a, Min::new(3));
+        assert!(!a.join_assign(Min::new(4)));
+    }
+
+    #[test]
+    fn bottom_is_absent() {
+        let mut b = Min::<u64>::bottom();
+        assert!(b.is_bottom());
+        assert!(b.join_assign(Min::new(9)));
+        assert_eq!(b, Min::new(9));
+    }
+
+    #[test]
+    fn order_is_reversed() {
+        assert!(Min::new(5u64).leq(&Min::new(3)));
+        assert!(!Min::new(3u64).leq(&Min::new(5)));
+        assert!(Min::<u64>::bottom().leq(&Min::new(5)));
+    }
+
+    #[test]
+    fn ord_agrees_with_lattice() {
+        let b = Min::<u64>::bottom();
+        let lo = Min::new(9u64);
+        let hi = Min::new(1u64);
+        assert!(b < lo);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn delta_on_dual_chain() {
+        let a = Min::new(2u64);
+        let b = Min::new(7u64);
+        assert_eq!(a.delta(&b), a);
+        assert!(b.delta(&a).is_bottom());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        assert_eq!(Min::new(1u64).size_bytes(&m), 8);
+        assert_eq!(Min::<u64>::bottom().size_bytes(&m), 0);
+    }
+}

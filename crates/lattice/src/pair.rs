@@ -1,0 +1,168 @@
+//! The cartesian product lattice `A × B`.
+//!
+//! Join and order are componentwise; `⊥ = ⟨⊥, ⊥⟩`. The decomposition rule
+//! (Appendix C) embeds each component's irreducibles with the other side at
+//! bottom:
+//!
+//! ```text
+//! ⇓⟨a,b⟩ = ⇓a × {⊥}  ∪  {⊥} × ⇓b
+//! ```
+//!
+//! PNCounter uses this composition per replica entry (`ℕ × ℕ`: increments
+//! and decrements tracked separately — Appendix C's worked example).
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, StateSize};
+
+/// The product of two lattices, ordered componentwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A, B> Pair<A, B> {
+    /// Construct a pair.
+    pub fn new(a: A, b: B) -> Self {
+        Pair(a, b)
+    }
+
+    /// First component.
+    pub fn fst(&self) -> &A {
+        &self.0
+    }
+
+    /// Second component.
+    pub fn snd(&self) -> &B {
+        &self.1
+    }
+}
+
+impl<A: Lattice, B: Lattice> Lattice for Pair<A, B> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        // Note: `|` not `||` — both joins must run.
+        self.0.join_assign(other.0) | self.1.join_assign(other.1)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+}
+
+impl<A: Bottom, B: Bottom> Bottom for Pair<A, B> {
+    fn bottom() -> Self {
+        Pair(A::bottom(), B::bottom())
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_bottom() && self.1.is_bottom()
+    }
+}
+
+impl<A: Decompose, B: Decompose> Decompose for Pair<A, B> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        self.0
+            .for_each_irreducible(&mut |a| f(Pair(a, B::bottom())));
+        self.1
+            .for_each_irreducible(&mut |b| f(Pair(A::bottom(), b)));
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.0.irreducible_count() + self.1.irreducible_count()
+    }
+
+    /// Componentwise: `Δ(⟨a,b⟩, ⟨c,d⟩) = ⟨Δ(a,c), Δ(b,d)⟩`.
+    fn delta(&self, other: &Self) -> Self {
+        Pair(self.0.delta(&other.0), self.1.delta(&other.1))
+    }
+
+    fn is_irreducible(&self) -> bool {
+        (self.1.is_bottom() && self.0.is_irreducible())
+            || (self.0.is_bottom() && self.1.is_irreducible())
+    }
+}
+
+impl<A: StateSize, B: StateSize> StateSize for Pair<A, B> {
+    fn count_elements(&self) -> u64 {
+        self.0.count_elements() + self.1.count_elements()
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.size_bytes(model) + self.1.size_bytes(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, Max, SetLattice};
+
+    type P = Pair<Max<u64>, SetLattice<&'static str>>;
+
+    fn sample() -> P {
+        Pair(Max::new(3), SetLattice::from_iter(["x", "y"]))
+    }
+
+    #[test]
+    fn join_is_componentwise() {
+        let a = sample();
+        let b = Pair(Max::new(5), SetLattice::from_iter(["z"]));
+        let j = a.join(b);
+        assert_eq!(j.0, Max::new(5));
+        assert_eq!(j.1, SetLattice::from_iter(["x", "y", "z"]));
+    }
+
+    #[test]
+    fn join_assign_inflates_both_sides() {
+        // Regression guard for the `|` vs `||` pitfall: the right join must
+        // run even when the left one already inflated.
+        let mut a = sample();
+        let inflated = a.join_assign(Pair(Max::new(9), SetLattice::from_iter(["z"])));
+        assert!(inflated);
+        assert!(a.1.contains(&"z"));
+    }
+
+    #[test]
+    fn le_requires_both() {
+        let a = sample();
+        let more_counter = Pair(Max::new(9), a.1.clone());
+        assert!(a.leq(&more_counter));
+        assert!(!more_counter.leq(&a));
+        let incomparable = Pair(Max::new(9), SetLattice::bottom());
+        assert!(!a.leq(&incomparable));
+        assert!(!incomparable.leq(&a));
+    }
+
+    #[test]
+    fn decomposition_embeds_at_bottom() {
+        let a = sample();
+        let d = a.decompose();
+        // 1 irreducible from the chain + 2 singletons from the set.
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Pair(Max::new(3), SetLattice::bottom())));
+        assert!(d.contains(&Pair(Max::bottom(), SetLattice::from_iter(["x"]))));
+        assert!(d.iter().all(Decompose::is_irreducible));
+        assert_eq!(join_all::<P, _>(d), a);
+    }
+
+    #[test]
+    fn delta_componentwise() {
+        let a = Pair(Max::new(5), SetLattice::from_iter(["x", "y"]));
+        let b = Pair(Max::new(7), SetLattice::from_iter(["y"]));
+        let d = a.delta(&b);
+        assert_eq!(d, Pair(Max::bottom(), SetLattice::from_iter(["x"])));
+        assert_eq!(d.join(b.clone()), a.join(b));
+    }
+
+    #[test]
+    fn bottom_roundtrip() {
+        assert!(P::bottom().is_bottom());
+        assert!(!sample().is_bottom());
+        assert!(P::bottom().decompose().is_empty());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        let a = sample();
+        assert_eq!(a.count_elements(), 3);
+        assert_eq!(a.size_bytes(&m), 8 + 2);
+    }
+}

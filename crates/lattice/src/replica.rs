@@ -1,0 +1,53 @@
+//! Replica identifiers.
+
+/// Identifier of a replica/node (`i ∈ I` in the paper).
+///
+/// A plain integer in memory; its *wire* size is governed by
+/// [`crate::SizeModel::id_bytes`] so experiments can model, e.g., the 20 B
+/// identifiers of the paper's Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> Self {
+        ReplicaId(v)
+    }
+}
+
+impl From<usize> for ReplicaId {
+    fn from(v: usize) -> Self {
+        ReplicaId(u32::try_from(v).expect("replica index fits in u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let r = ReplicaId::from(3usize);
+        assert_eq!(r.to_string(), "r3");
+        assert_eq!(r.index(), 3);
+        assert_eq!(ReplicaId::from(3u32), r);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(ReplicaId(1) < ReplicaId(2));
+    }
+}

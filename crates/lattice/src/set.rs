@@ -1,0 +1,214 @@
+//! The powerset lattice `P(U)`: finite sets under union.
+//!
+//! This is the lattice behind GSet (paper, Fig. 2b). Join is set union,
+//! `⊑` is inclusion, `⊥ = ∅`, and the decomposition rule (Appendix C) is
+//! `⇓s = { {e} | e ∈ s }` — every singleton is join-irreducible, so the
+//! optimal delta `Δ(a, b)` degenerates to set difference `a ∖ b`.
+//!
+//! A `BTreeSet` backs the state so iteration order — and therefore every
+//! simulation in this workspace — is deterministic.
+
+use std::collections::BTreeSet;
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, Sizeable, StateSize};
+
+/// A finite set under union: the lattice `P(U)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SetLattice<E: Ord>(BTreeSet<E>);
+
+impl<E: Ord + Clone + core::fmt::Debug> SetLattice<E> {
+    /// The empty set.
+    pub fn new() -> Self {
+        SetLattice(BTreeSet::new())
+    }
+
+    /// Insert an element directly (full mutator `add`).
+    ///
+    /// Returns `true` if the element was new. For the optimal δ-mutator use
+    /// [`SetLattice::add_delta`].
+    pub fn insert(&mut self, e: E) -> bool {
+        self.0.insert(e)
+    }
+
+    /// The optimal δ-mutator `addδ` of Fig. 2b: inserts `e` and returns the
+    /// singleton `{e}` if `e` was absent, `⊥` otherwise.
+    ///
+    /// The original δ-mutator of \[13\] always returned `{e}`; §III-B points
+    /// out that returning `⊥` for an already-present element is what makes
+    /// the mutator optimal (`addδ(e, s) = Δ(add(e, s), s)`).
+    #[must_use]
+    pub fn add_delta(&mut self, e: E) -> Self {
+        if self.0.insert(e.clone()) {
+            SetLattice(BTreeSet::from_iter([e]))
+        } else {
+            Self::bottom()
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: &E) -> bool {
+        self.0.contains(e)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty (`⊥`)?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.0.iter()
+    }
+
+    /// Borrow the underlying set (the `value` query of Fig. 2b).
+    pub fn value(&self) -> &BTreeSet<E> {
+        &self.0
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug> FromIterator<E> for SetLattice<E> {
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        SetLattice(BTreeSet::from_iter(iter))
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug> IntoIterator for SetLattice<E> {
+    type Item = E;
+    type IntoIter = std::collections::btree_set::IntoIter<E>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug> Lattice for SetLattice<E> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        let before = self.0.len();
+        if other.0.len() > self.0.len() && self.0.is_empty() {
+            // Cheap fast path: absorbing into an empty set.
+            self.0 = other.0;
+            return !self.0.is_empty();
+        }
+        self.0.extend(other.0);
+        self.0.len() != before
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.is_subset(&other.0)
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug> Bottom for SetLattice<E> {
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug> Decompose for SetLattice<E> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        for e in &self.0 {
+            f(SetLattice(BTreeSet::from_iter([e.clone()])));
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    /// `Δ(a, b) = a ∖ b` — computed directly, without materializing
+    /// singleton irreducibles.
+    fn delta(&self, other: &Self) -> Self {
+        SetLattice(self.0.difference(&other.0).cloned().collect())
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+impl<E: Ord + Clone + core::fmt::Debug + Sizeable> StateSize for SetLattice<E> {
+    fn count_elements(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.iter().map(|e| e.payload_bytes(model)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_union() {
+        let mut a = SetLattice::from_iter([1, 2]);
+        assert!(a.join_assign(SetLattice::from_iter([2, 3])));
+        assert_eq!(a, SetLattice::from_iter([1, 2, 3]));
+        assert!(!a.join_assign(SetLattice::from_iter([1])));
+    }
+
+    #[test]
+    fn le_is_inclusion() {
+        let a = SetLattice::from_iter([1, 2]);
+        let b = SetLattice::from_iter([1, 2, 3]);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(SetLattice::<i32>::bottom().leq(&a));
+    }
+
+    #[test]
+    fn add_delta_is_optimal() {
+        // Fig. 2b: addδ returns {e} only when e is new.
+        let mut s = SetLattice::new();
+        assert_eq!(s.add_delta("a"), SetLattice::from_iter(["a"]));
+        assert!(s.add_delta("a").is_bottom());
+        assert!(s.contains(&"a"));
+    }
+
+    #[test]
+    fn decomposition_is_singletons() {
+        // Example 2: ⇓{a,b,c} = {{a},{b},{c}} (S4).
+        let s = SetLattice::from_iter(["a", "b", "c"]);
+        let d = s.decompose();
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|x| x.len() == 1));
+        assert_eq!(s.irreducible_count(), 3);
+    }
+
+    #[test]
+    fn delta_is_difference() {
+        let a = SetLattice::from_iter([1, 2, 3]);
+        let b = SetLattice::from_iter([2, 4]);
+        assert_eq!(a.delta(&b), SetLattice::from_iter([1, 3]));
+        // Δ(a,b) ⊔ b = a ⊔ b.
+        assert_eq!(a.delta(&b).join(b.clone()), a.join(b));
+    }
+
+    #[test]
+    fn join_with_empty_fast_path() {
+        let mut a = SetLattice::<u32>::bottom();
+        assert!(a.join_assign(SetLattice::from_iter([5, 6])));
+        assert_eq!(a.len(), 2);
+        let mut b = SetLattice::<u32>::bottom();
+        assert!(!b.join_assign(SetLattice::bottom()));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        let s = SetLattice::from_iter(["ab".to_string(), "cde".to_string()]);
+        assert_eq!(s.count_elements(), 2);
+        assert_eq!(s.size_bytes(&m), 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! State/size accounting used by the evaluation (paper, §V).
+//!
+//! The paper measures synchronization cost in two units:
+//!
+//! * **elements/entries** — "for GCounter and GMap K% we count the number of
+//!   map entries, while for GSet, the number of set elements" (Table I).
+//!   This is `|⇓x|`, surfaced as [`StateSize::count_elements`].
+//! * **bytes** — for the metadata study (Fig. 9: "each node identifier has
+//!   size 20B") and the Retwis study (§V-C: tweet identifiers 31 B, content
+//!   270 B). Byte sizes are computed against a [`SizeModel`] so experiments
+//!   can dial identifier width exactly like the paper does.
+
+use crate::ReplicaId;
+
+/// Parameters of the byte-size model.
+///
+/// Sizes are *wire-model* sizes (what a reasonable serializer would emit),
+/// not Rust in-memory sizes: the paper's byte numbers are transmission and
+/// buffer-content measurements, independent of any host representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeModel {
+    /// Bytes per replica/node identifier. Fig. 9 uses 20 B; elsewhere the
+    /// exact value only scales results uniformly.
+    pub id_bytes: u64,
+    /// Bytes per sequence number / integer counter value.
+    pub seq_bytes: u64,
+}
+
+impl SizeModel {
+    /// Model used by the metadata experiment (Fig. 9): 20 B ids, 8 B
+    /// sequence numbers.
+    pub const fn paper_metadata() -> Self {
+        SizeModel { id_bytes: 20, seq_bytes: 8 }
+    }
+
+    /// Compact default: 8 B ids, 8 B sequence numbers.
+    pub const fn compact() -> Self {
+        SizeModel { id_bytes: 8, seq_bytes: 8 }
+    }
+
+    /// Size of one version-vector entry (`id ↦ seq`).
+    pub const fn vector_entry_bytes(&self) -> u64 {
+        self.id_bytes + self.seq_bytes
+    }
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        Self::compact()
+    }
+}
+
+/// Wire size of payload *scalars* — set elements, map keys, register values.
+///
+/// Implemented for primitives, strings, tuples and [`ReplicaId`] (which is
+/// sized by the model, so Fig. 9's 20 B identifiers apply to CRDT states
+/// keyed by replica, like GCounter, as well as to protocol metadata).
+pub trait Sizeable {
+    /// Wire size in bytes under `model`.
+    fn payload_bytes(&self, model: &SizeModel) -> u64;
+}
+
+macro_rules! impl_sizeable_fixed {
+    ($($t:ty),* $(,)?) => {
+        $(impl Sizeable for $t {
+            #[inline]
+            fn payload_bytes(&self, _model: &SizeModel) -> u64 {
+                core::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+impl_sizeable_fixed!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char);
+
+impl Sizeable for () {
+    #[inline]
+    fn payload_bytes(&self, _model: &SizeModel) -> u64 {
+        0
+    }
+}
+
+impl Sizeable for String {
+    #[inline]
+    fn payload_bytes(&self, _model: &SizeModel) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Sizeable for &str {
+    #[inline]
+    fn payload_bytes(&self, _model: &SizeModel) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Sizeable for ReplicaId {
+    #[inline]
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        model.id_bytes
+    }
+}
+
+impl<A: Sizeable, B: Sizeable> Sizeable for (A, B) {
+    #[inline]
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.payload_bytes(model) + self.1.payload_bytes(model)
+    }
+}
+
+impl<A: Sizeable, B: Sizeable, C: Sizeable> Sizeable for (A, B, C) {
+    #[inline]
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.payload_bytes(model) + self.1.payload_bytes(model) + self.2.payload_bytes(model)
+    }
+}
+
+impl<T: Sizeable> Sizeable for Vec<T> {
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        self.iter().map(|x| x.payload_bytes(model)).sum()
+    }
+}
+
+impl<T: Sizeable> Sizeable for Option<T> {
+    fn payload_bytes(&self, model: &SizeModel) -> u64 {
+        1 + self.as_ref().map_or(0, |x| x.payload_bytes(model))
+    }
+}
+
+/// Size of a lattice *state* (and therefore of deltas and δ-groups, which
+/// are themselves lattice states).
+pub trait StateSize {
+    /// The paper's element/entry metric: `|⇓self|`.
+    fn count_elements(&self) -> u64;
+
+    /// Wire size in bytes under `model`.
+    fn size_bytes(&self, model: &SizeModel) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_scalars() {
+        let m = SizeModel::default();
+        assert_eq!(7u64.payload_bytes(&m), 8);
+        assert_eq!(7u32.payload_bytes(&m), 4);
+        assert_eq!(true.payload_bytes(&m), 1);
+    }
+
+    #[test]
+    fn strings_size_by_length() {
+        let m = SizeModel::default();
+        assert_eq!("hello".payload_bytes(&m), 5);
+        assert_eq!(String::from("hi").payload_bytes(&m), 2);
+    }
+
+    #[test]
+    fn replica_ids_follow_the_model() {
+        let paper = SizeModel::paper_metadata();
+        assert_eq!(ReplicaId(3).payload_bytes(&paper), 20);
+        assert_eq!(ReplicaId(3).payload_bytes(&SizeModel::compact()), 8);
+        assert_eq!(paper.vector_entry_bytes(), 28);
+    }
+
+    #[test]
+    fn tuples_and_containers_sum() {
+        let m = SizeModel::default();
+        assert_eq!((1u64, "ab").payload_bytes(&m), 10);
+        assert_eq!(vec![1u32, 2, 3].payload_bytes(&m), 12);
+        assert_eq!(Some(1u64).payload_bytes(&m), 9);
+        assert_eq!(None::<u64>.payload_bytes(&m), 1);
+    }
+}

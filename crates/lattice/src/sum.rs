@@ -1,0 +1,218 @@
+//! The linear sum lattice `A ⊕ B`: all of `B` stacked above all of `A`.
+//!
+//! Order: `Left a ⊑ Left a'` iff `a ⊑ a'`, `Right b ⊑ Right b'` iff
+//! `b ⊑ b'`, and `Left a ⊑ Right b` always. The sum models irreversible
+//! phase transitions — e.g. a "tombstone" phase that dominates a "live"
+//! phase. `⊥ = Left ⊥_A`.
+//!
+//! Decomposition (Appendix C): variants decompose within themselves, with
+//! the Table IV refinement that `Right ⊥_B` is join-irreducible (it sits
+//! strictly above all of `A` but its decomposition within `B` would be
+//! empty — the quotient `x/⟨Right,⊥⟩` is the finite sublattice to use).
+
+use crate::{Bottom, Decompose, Lattice, SizeModel, StateSize};
+
+/// Linear sum of two lattices; `Right` values dominate all `Left` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Sum<A, B> {
+    /// The lower summand.
+    Left(A),
+    /// The upper summand; dominates every `Left` value.
+    Right(B),
+}
+
+impl<A, B> Sum<A, B> {
+    /// Is this a `Left` value?
+    pub fn is_left(&self) -> bool {
+        matches!(self, Sum::Left(_))
+    }
+
+    /// Is this a `Right` value?
+    pub fn is_right(&self) -> bool {
+        matches!(self, Sum::Right(_))
+    }
+}
+
+impl<A: Lattice, B: Lattice> Lattice for Sum<A, B> {
+    fn join_assign(&mut self, other: Self) -> bool {
+        match (&mut *self, other) {
+            (Sum::Left(a), Sum::Left(a2)) => a.join_assign(a2),
+            (Sum::Right(b), Sum::Right(b2)) => b.join_assign(b2),
+            (Sum::Left(_), Sum::Right(b2)) => {
+                *self = Sum::Right(b2);
+                true
+            }
+            (Sum::Right(_), Sum::Left(_)) => false,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Sum::Left(a), Sum::Left(a2)) => a.leq(a2),
+            (Sum::Right(b), Sum::Right(b2)) => b.leq(b2),
+            (Sum::Left(_), Sum::Right(_)) => true,
+            (Sum::Right(_), Sum::Left(_)) => false,
+        }
+    }
+}
+
+impl<A: Bottom, B: Lattice> Bottom for Sum<A, B> {
+    fn bottom() -> Self {
+        Sum::Left(A::bottom())
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, Sum::Left(a) if a.is_bottom())
+    }
+}
+
+impl<A: Decompose, B: Decompose> Decompose for Sum<A, B> {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        match self {
+            Sum::Left(a) => a.for_each_irreducible(&mut |v| f(Sum::Left(v))),
+            Sum::Right(b) => {
+                if b.is_bottom() {
+                    // Right ⊥ dominates all of A yet has no proper parts:
+                    // join-irreducible (Table IV).
+                    f(Sum::Right(B::bottom()));
+                } else {
+                    b.for_each_irreducible(&mut |v| f(Sum::Right(v)));
+                }
+            }
+        }
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        match self {
+            Sum::Left(a) => a.irreducible_count(),
+            Sum::Right(b) => {
+                if b.is_bottom() {
+                    1
+                } else {
+                    b.irreducible_count()
+                }
+            }
+        }
+    }
+
+    fn delta(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Sum::Left(a), Sum::Left(a2)) => Sum::Left(a.delta(a2)),
+            // `other` is strictly above every Left: nothing to send.
+            (Sum::Left(_), Sum::Right(_)) => Self::bottom(),
+            // Everything in a Right is new to a Left holder.
+            (Sum::Right(_), Sum::Left(_)) => self.clone(),
+            (Sum::Right(b), Sum::Right(b2)) => {
+                let d = b.delta(b2);
+                if d.is_bottom() {
+                    Self::bottom()
+                } else {
+                    Sum::Right(d)
+                }
+            }
+        }
+    }
+
+    fn is_irreducible(&self) -> bool {
+        match self {
+            Sum::Left(a) => a.is_irreducible(),
+            Sum::Right(b) => b.is_bottom() || b.is_irreducible(),
+        }
+    }
+}
+
+impl<A: StateSize, B: StateSize> StateSize for Sum<A, B> {
+    fn count_elements(&self) -> u64 {
+        match self {
+            Sum::Left(a) => a.count_elements(),
+            Sum::Right(b) => b.count_elements().max(1),
+        }
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        // One tag byte plus the summand payload.
+        1 + match self {
+            Sum::Left(a) => a.size_bytes(model),
+            Sum::Right(b) => b.size_bytes(model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, Max, SetLattice};
+
+    type S = Sum<SetLattice<u32>, Max<u64>>;
+
+    #[test]
+    fn right_dominates_left() {
+        let mut a = S::Left(SetLattice::from_iter([1, 2, 3]));
+        assert!(a.join_assign(S::Right(Max::new(1))));
+        assert_eq!(a, S::Right(Max::new(1)));
+        // And stays there.
+        assert!(!a.join_assign(S::Left(SetLattice::from_iter([9]))));
+    }
+
+    #[test]
+    fn within_variant_joins() {
+        let mut a = S::Left(SetLattice::from_iter([1]));
+        assert!(a.join_assign(S::Left(SetLattice::from_iter([2]))));
+        assert_eq!(a, S::Left(SetLattice::from_iter([1, 2])));
+    }
+
+    #[test]
+    fn le_across_variants() {
+        let l = S::Left(SetLattice::from_iter([1, 2, 3]));
+        let r = S::Right(Max::bottom());
+        assert!(l.leq(&r));
+        assert!(!r.leq(&l));
+    }
+
+    #[test]
+    fn bottom_is_left_bottom() {
+        assert!(S::bottom().is_bottom());
+        assert!(!S::Right(Max::bottom()).is_bottom());
+    }
+
+    #[test]
+    fn right_bottom_is_irreducible() {
+        let r = S::Right(Max::<u64>::bottom());
+        assert!(r.is_irreducible());
+        assert_eq!(r.decompose(), vec![r.clone()]);
+        assert_eq!(join_all::<S, _>(r.decompose()), r);
+    }
+
+    #[test]
+    fn decompose_within_variant() {
+        let l = S::Left(SetLattice::from_iter([1, 2]));
+        assert_eq!(l.decompose().len(), 2);
+        assert_eq!(join_all::<S, _>(l.decompose()), l);
+        let r = S::Right(Max::new(5));
+        assert_eq!(r.decompose(), vec![r.clone()]);
+    }
+
+    #[test]
+    fn delta_cases() {
+        let l = S::Left(SetLattice::from_iter([1, 2]));
+        let l2 = S::Left(SetLattice::from_iter([2]));
+        assert_eq!(l.delta(&l2), S::Left(SetLattice::from_iter([1])));
+        let r = S::Right(Max::new(3));
+        // Left vs Right: nothing to send.
+        assert!(l.delta(&r).is_bottom());
+        // Right vs Left: send everything.
+        assert_eq!(r.delta(&l), r);
+        // Right vs Right recurses.
+        assert!(r.delta(&S::Right(Max::new(5))).is_bottom());
+        // Δ(a,b) ⊔ b = a ⊔ b on a mixed case.
+        assert_eq!(r.delta(&l).join(l.clone()), r.join(l));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = SizeModel::default();
+        assert_eq!(S::Right(Max::new(5)).size_bytes(&m), 9);
+        assert_eq!(S::Left(SetLattice::from_iter([1u32])).size_bytes(&m), 5);
+    }
+}

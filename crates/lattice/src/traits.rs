@@ -1,0 +1,139 @@
+//! Core lattice traits: [`Lattice`], [`Bottom`] and the [`TotalOrder`]
+//! marker.
+//!
+//! A state-based CRDT is a triple `(L, ⊑, ⊔)` where `L` is a
+//! join-semilattice, `⊑` a partial order and `⊔` a binary join computing the
+//! least upper bound of any two elements (paper, §II). The partial order is
+//! always derivable from the join: `x ⊑ y ⇔ x ⊔ y = y`, but implementations
+//! provide a direct (cheaper) [`Lattice::le`] and the law harness in
+//! [`crate::testing`] checks consistency between the two.
+
+use core::fmt::Debug;
+
+/// A join-semilattice.
+///
+/// Laws (checked by [`crate::testing::check_lattice_laws`]):
+///
+/// * **idempotence**: `x ⊔ x = x`
+/// * **commutativity**: `x ⊔ y = y ⊔ x`
+/// * **associativity**: `(x ⊔ y) ⊔ z = x ⊔ (y ⊔ z)`
+/// * **order consistency**: `x.leq(&y) ⇔ x ⊔ y = y`
+///
+/// The trait requires `Eq` because convergence of replicas — the whole point
+/// of a CRDT — is defined as state equality, and `Clone` because join
+/// decompositions (see [`crate::Decompose`]) produce owned fragments of the
+/// state.
+pub trait Lattice: Clone + Eq + Debug {
+    /// In-place join: `self = self ⊔ other`.
+    ///
+    /// Returns `true` iff `self` **strictly inflated**, i.e. the join
+    /// changed `self`. This flag is exactly the inflation check on line 16
+    /// of the paper's Algorithm 1 (`d ⋢ xᵢ`), so synchronization algorithms
+    /// get it for free without a second comparison.
+    fn join_assign(&mut self, other: Self) -> bool;
+
+    /// Owned join: `self ⊔ other`.
+    #[must_use]
+    fn join(mut self, other: Self) -> Self {
+        self.join_assign(other);
+        self
+    }
+
+    /// Partial order test `self ⊑ other`.
+    ///
+    /// Must agree with the join-induced order: `x ⊑ y ⇔ x ⊔ y = y`.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// Strict partial order test `self ⊏ other`.
+    fn lneq(&self, other: &Self) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Would joining `self` into `base` strictly inflate `base`?
+    ///
+    /// Equivalent to `!self.leq(base)`; named for readability at call sites
+    /// in the synchronization algorithms.
+    fn inflates(&self, base: &Self) -> bool {
+        !self.leq(base)
+    }
+}
+
+/// A lattice with a least element `⊥`.
+///
+/// All CRDT lattices in the paper are *bounded below*: replicas start from
+/// `⊥` and mutators are inflations. `⊥` is the identity of `⊔` and is, by
+/// definition, never join-irreducible (it is the join of the empty set).
+pub trait Bottom: Lattice {
+    /// The least element `⊥`.
+    fn bottom() -> Self;
+
+    /// Is this element `⊥`?
+    ///
+    /// Override when a cheaper check than structural equality exists
+    /// (e.g. `is_empty` on collections).
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+}
+
+/// Marker for lattices that are **chains** (totally ordered).
+///
+/// Appendix B of the paper shows that the lexicographic product `C ⋉ A`
+/// is distributive **only when the first component is a chain** (Table III;
+/// Fig. 13 gives the non-distributive counterexample `P(U) ⋉ P(U)`).
+/// Distributivity in turn is what guarantees a *unique* irredundant join
+/// decomposition (Proposition 1). Encoding the condition as a trait bound
+/// on [`crate::Lex`] makes the paper's side condition machine-checked.
+///
+/// Implementors must guarantee `x ⊑ y ∨ y ⊑ x` for all `x, y`, and that
+/// `Ord` agrees with the lattice order.
+pub trait TotalOrder: Lattice + Ord {}
+
+/// Joins an iterator of lattice elements, starting from `⊥`.
+///
+/// `⊔ ∅ = ⊥`, matching the paper's convention that bottom is the join over
+/// the empty set.
+pub fn join_all<L, I>(iter: I) -> L
+where
+    L: Bottom,
+    I: IntoIterator<Item = L>,
+{
+    let mut acc = L::bottom();
+    for x in iter {
+        acc.join_assign(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Max;
+
+    #[test]
+    fn join_all_empty_is_bottom() {
+        let x: Max<u64> = join_all(std::iter::empty());
+        assert!(x.is_bottom());
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let x: Max<u64> = join_all([Max::new(3), Max::new(9), Max::new(1)]);
+        assert_eq!(x, Max::new(9));
+    }
+
+    #[test]
+    fn inflates_is_not_le() {
+        let a = Max::new(5u64);
+        let b = Max::new(3u64);
+        assert!(a.inflates(&b));
+        assert!(!b.inflates(&a));
+    }
+
+    #[test]
+    fn lt_is_strict() {
+        let a = Max::new(5u64);
+        assert!(!a.lneq(&a));
+        assert!(Max::new(3u64).lneq(&a));
+    }
+}

@@ -1,0 +1,232 @@
+//! Vector clocks and dots.
+//!
+//! A vector clock `I ↪ ℕ` is itself a lattice — the map composition over
+//! the max chain, the very shape of a GCounter (paper, Fig. 2a). The
+//! synchronization baselines of §V use it as *metadata*: Scuttlebutt's
+//! summary vectors, the op-based middleware's causality tags, and
+//! Scuttlebutt-GC's knowledge matrix. Keeping it in the lattice crate lets
+//! the same decomposition/size machinery measure metadata exactly like CRDT
+//! payload.
+
+use crate::{
+    Bottom, Decompose, Lattice, MapLattice, Max, ReplicaId, SizeModel, StateSize,
+};
+
+/// A single event identifier: the `⟨i, s⟩ ∈ I × ℕ` version pairs of
+/// Scuttlebutt (§V-B) and of op-based causal delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dot {
+    /// The replica that produced the event.
+    pub replica: ReplicaId,
+    /// Its per-replica sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl Dot {
+    /// Construct a dot.
+    pub fn new(replica: ReplicaId, seq: u64) -> Self {
+        Dot { replica, seq }
+    }
+
+    /// Wire size: one identifier plus one sequence number.
+    pub fn size_bytes(&self, model: &SizeModel) -> u64 {
+        model.vector_entry_bytes()
+    }
+}
+
+impl core::fmt::Display for Dot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.replica, self.seq)
+    }
+}
+
+/// A vector clock: `I ↪ ℕ` with pointwise max as join.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VClock(MapLattice<ReplicaId, Max<u64>>);
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock(MapLattice::new())
+    }
+
+    /// The sequence number known for `replica` (0 if none).
+    pub fn get(&self, replica: ReplicaId) -> u64 {
+        self.0.get(&replica).map_or(0, |m| m.value())
+    }
+
+    /// Advance `replica`'s entry by one, returning the new [`Dot`].
+    pub fn bump(&mut self, replica: ReplicaId) -> Dot {
+        let next = self.get(replica) + 1;
+        self.0.join_entry(replica, Max::new(next));
+        Dot::new(replica, next)
+    }
+
+    /// Record `dot` (and everything before it from the same replica, as
+    /// vector clocks summarize contiguous prefixes).
+    pub fn observe(&mut self, dot: Dot) -> bool {
+        self.0.join_entry(dot.replica, Max::new(dot.seq))
+    }
+
+    /// Does the clock already cover `dot`?
+    pub fn contains(&self, dot: &Dot) -> bool {
+        self.get(dot.replica) >= dot.seq
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the zero clock?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate `(replica, seq)` pairs in replica order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.0.iter().map(|(r, m)| (*r, m.value()))
+    }
+
+    /// The dots in `self` that `other` has not seen: for each replica, the
+    /// sequence range `(other[r], self[r]]`.
+    ///
+    /// This is the reconciliation core of Scuttlebutt: the reply to a
+    /// received summary vector is exactly these missing versions.
+    pub fn dots_after<'a>(&'a self, other: &'a VClock) -> impl Iterator<Item = Dot> + 'a {
+        self.iter().flat_map(move |(r, mine)| {
+            let theirs = other.get(r);
+            (theirs + 1..=mine).map(move |s| Dot::new(r, s))
+        })
+    }
+}
+
+impl FromIterator<(ReplicaId, u64)> for VClock {
+    fn from_iter<I: IntoIterator<Item = (ReplicaId, u64)>>(iter: I) -> Self {
+        VClock(
+            iter.into_iter()
+                .map(|(r, s)| (r, Max::new(s)))
+                .collect(),
+        )
+    }
+}
+
+impl Lattice for VClock {
+    fn join_assign(&mut self, other: Self) -> bool {
+        self.0.join_assign(other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0)
+    }
+}
+
+impl Bottom for VClock {
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_bottom()
+    }
+}
+
+impl Decompose for VClock {
+    fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
+        self.0.for_each_irreducible(&mut |m| f(VClock(m)));
+    }
+
+    fn irreducible_count(&self) -> u64 {
+        self.0.irreducible_count()
+    }
+
+    fn delta(&self, other: &Self) -> Self {
+        VClock(self.0.delta(&other.0))
+    }
+
+    fn is_irreducible(&self) -> bool {
+        self.0.is_irreducible()
+    }
+}
+
+impl StateSize for VClock {
+    fn count_elements(&self) -> u64 {
+        self.0.count_elements()
+    }
+
+    fn size_bytes(&self, model: &SizeModel) -> u64 {
+        self.0.size_bytes(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn bump_produces_sequential_dots() {
+        let mut c = VClock::new();
+        assert_eq!(c.bump(A), Dot::new(A, 1));
+        assert_eq!(c.bump(A), Dot::new(A, 2));
+        assert_eq!(c.bump(B), Dot::new(B, 1));
+        assert_eq!(c.get(A), 2);
+    }
+
+    #[test]
+    fn observe_and_contains() {
+        let mut c = VClock::new();
+        assert!(c.observe(Dot::new(A, 3)));
+        assert!(c.contains(&Dot::new(A, 2)));
+        assert!(c.contains(&Dot::new(A, 3)));
+        assert!(!c.contains(&Dot::new(A, 4)));
+        assert!(!c.contains(&Dot::new(B, 1)));
+        // Observing an older dot does not inflate.
+        assert!(!c.observe(Dot::new(A, 1)));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = VClock::from_iter([(A, 3), (B, 1)]);
+        let b = VClock::from_iter([(B, 4)]);
+        let j = a.join(b);
+        assert_eq!(j.get(A), 3);
+        assert_eq!(j.get(B), 4);
+    }
+
+    #[test]
+    fn dots_after_yields_missing_range() {
+        let mine = VClock::from_iter([(A, 4), (B, 1)]);
+        let theirs = VClock::from_iter([(A, 2)]);
+        let missing: Vec<Dot> = mine.dots_after(&theirs).collect();
+        assert_eq!(
+            missing,
+            vec![Dot::new(A, 3), Dot::new(A, 4), Dot::new(B, 1)]
+        );
+        // Symmetric check: nothing missing when dominated.
+        assert_eq!(theirs.dots_after(&mine).count(), 0);
+    }
+
+    #[test]
+    fn lattice_structure() {
+        let small = VClock::from_iter([(A, 1)]);
+        let big = VClock::from_iter([(A, 2), (B, 1)]);
+        assert!(small.leq(&big));
+        assert!(!big.leq(&small));
+        assert_eq!(big.irreducible_count(), 2);
+        assert_eq!(big.delta(&small), VClock::from_iter([(A, 2), (B, 1)]));
+    }
+
+    #[test]
+    fn metadata_size_matches_model() {
+        let model = SizeModel::paper_metadata();
+        let c = VClock::from_iter([(A, 1), (B, 2)]);
+        // Two entries × (20 B id + 8 B seq).
+        assert_eq!(c.size_bytes(&model), 56);
+        assert_eq!(Dot::new(A, 1).size_bytes(&model), 28);
+    }
+}

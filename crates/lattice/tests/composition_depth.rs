@@ -1,0 +1,148 @@
+//! Deep-composition integration tests: the Appendix C rules must compose
+//! arbitrarily (the paper: "more complex states by lattice composition"),
+//! so decomposition/delta laws are exercised on towers of combinators that
+//! no single module test builds.
+
+use crdt_lattice::testing::check_all_laws;
+use crdt_lattice::{
+    join_all, Bottom, Decompose, Lattice, Lex, MapLattice, Max, Min, Pair, SetLattice, Sum,
+};
+
+/// `Sum<Sum<…>, …>`: a three-phase state machine (draft → review →
+/// published), each phase with its own lattice.
+type ThreePhase = Sum<SetLattice<u8>, Sum<MapLattice<u8, Max<u64>>, Max<u64>>>;
+
+#[test]
+fn sum_of_sums_phases() {
+    let draft = ThreePhase::Left(SetLattice::from_iter([1, 2]));
+    let review = ThreePhase::Right(Sum::Left(MapLattice::singleton(1, Max::new(3))));
+    let published = ThreePhase::Right(Sum::Right(Max::new(9)));
+
+    // Later phases dominate earlier ones, transitively.
+    assert!(draft.leq(&review));
+    assert!(review.leq(&published));
+    assert!(draft.leq(&published));
+    assert_eq!(draft.clone().join(published.clone()), published);
+
+    check_all_laws(&[ThreePhase::bottom(),
+        draft,
+        review,
+        ThreePhase::Right(Sum::Left(MapLattice::singleton(2, Max::new(1)))),
+        published]);
+}
+
+/// `Pair<Lex<…>, Map<…>>`: a versioned document with per-section edit
+/// counters.
+type VersionedDoc = Pair<Lex<Max<u64>, SetLattice<&'static str>>, MapLattice<u8, Max<u64>>>;
+
+#[test]
+fn pair_of_lex_document() {
+    let v1 = VersionedDoc::new(
+        Lex::new(Max::new(1), SetLattice::from_iter(["intro"])),
+        MapLattice::singleton(0, Max::new(2)),
+    );
+    let v2 = VersionedDoc::new(
+        Lex::new(Max::new(2), SetLattice::from_iter(["rewrite"])),
+        MapLattice::singleton(1, Max::new(1)),
+    );
+    let j = v1.clone().join(v2.clone());
+    // Lex side replaced wholesale; map side merged pointwise.
+    assert_eq!(j.fst().payload(), &SetLattice::from_iter(["rewrite"]));
+    assert_eq!(j.snd().len(), 2);
+
+    // Decomposition: 1 lex irreducible + 2 map entries.
+    assert_eq!(j.irreducible_count(), 3);
+    assert_eq!(join_all::<VersionedDoc, _>(j.decompose()), j);
+
+    check_all_laws(&[VersionedDoc::bottom(), v1, v2, j]);
+}
+
+/// `Map<…, Pair<Set, Lex>>`: a store of (tags, versioned body) records —
+/// the fully general GMap shape.
+type RecordStore = MapLattice<u8, Pair<SetLattice<u8>, Lex<Max<u64>, Max<u64>>>>;
+
+#[test]
+fn map_of_pairs_of_lex() {
+    let a = RecordStore::from_iter([
+        (
+            1,
+            Pair(SetLattice::from_iter([10, 11]), Lex::new(Max::new(1), Max::new(7))),
+        ),
+        (2, Pair(SetLattice::from_iter([20]), Lex::bottom())),
+    ]);
+    let b = RecordStore::from_iter([(
+        1,
+        Pair(SetLattice::from_iter([12]), Lex::new(Max::new(2), Max::new(9))),
+    )]);
+
+    // Δ(a, b): everything of key 2, plus key 1's tags (the lex side lost
+    // to b's newer version).
+    let d = a.delta(&b);
+    assert!(d.contains_key(&2));
+    let k1 = d.get(&1).expect("tag news under key 1");
+    assert_eq!(k1.fst(), &SetLattice::from_iter([10, 11]));
+    assert!(k1.snd().is_bottom(), "older lex version must not ship");
+    assert_eq!(d.clone().join(b.clone()), a.clone().join(b.clone()));
+
+    check_all_laws(&[RecordStore::bottom(), a, b, d]);
+}
+
+/// `Min` composed under a map: "shortest observed latency per route".
+type LatencyTable = MapLattice<&'static str, Min<u64>>;
+
+#[test]
+fn map_of_min_latencies() {
+    let mut a = LatencyTable::new();
+    assert!(a.join_entry("eu-west", Min::new(120)));
+    assert!(a.join_entry("eu-west", Min::new(80)), "lower is an inflation");
+    assert!(!a.join_entry("eu-west", Min::new(200)), "higher is absorbed");
+    let b = LatencyTable::from_iter([("us-east", Min::new(40))]);
+    let j = a.clone().join(b.clone());
+    assert_eq!(j.get(&"eu-west"), Some(&Min::new(80)));
+    assert_eq!(j.irreducible_count(), 2);
+    check_all_laws(&[LatencyTable::bottom(), a, b, j]);
+}
+
+/// Decomposition counts multiply correctly through three layers of maps.
+#[test]
+fn triple_nested_map_counts() {
+    type L3 = MapLattice<u8, MapLattice<u8, MapLattice<u8, Max<u64>>>>;
+    let mut x = L3::bottom();
+    for i in 0..3u8 {
+        for j in 0..2u8 {
+            for k in 0..2u8 {
+                x.join_entry(
+                    i,
+                    MapLattice::singleton(
+                        j,
+                        MapLattice::singleton(k, Max::new(u64::from(i + j + k) + 1)),
+                    ),
+                );
+            }
+        }
+    }
+    assert_eq!(x.irreducible_count(), 3 * 2 * 2);
+    let parts = x.decompose();
+    assert_eq!(parts.len(), 12);
+    assert!(parts.iter().all(Decompose::is_irreducible));
+    assert_eq!(join_all::<L3, _>(parts), x);
+}
+
+/// The Fig. 14 shape: `ℕ ⋉ P(U)` — infinite ideals, finite quotients.
+/// Decomposition and Δ behave exactly as the Table IV argument predicts.
+#[test]
+fn lex_over_powerset_quotient_behavior() {
+    type NP = Lex<Max<u64>, SetLattice<char>>;
+    let n1 = NP::new(Max::new(1), SetLattice::from_iter(['a', 'b']));
+    // ⇓⟨1,{a,b}⟩ = {⟨1,{a}⟩, ⟨1,{b}⟩} — within the quotient ⟨1,·⟩.
+    let parts = n1.decompose();
+    assert_eq!(parts.len(), 2);
+    assert!(parts.iter().all(|p| p.version() == &Max::new(1)));
+
+    // Bumping the version with an empty payload is the ⟨n,⊥⟩ irreducible.
+    let n2 = NP::new(Max::new(2), SetLattice::bottom());
+    assert!(n2.is_irreducible());
+    assert!(n1.leq(&n2), "lex order ignores the payload across versions");
+    assert_eq!(n1.delta(&n2), NP::bottom(), "nothing to send upward");
+    assert_eq!(n2.delta(&n1), n2, "the version bump itself is the delta");
+}

@@ -1,0 +1,205 @@
+//! Property-based law checking for every lattice composition.
+//!
+//! Strategy: generate small random sample sets of each lattice type and run
+//! the full law battery from `crdt_lattice::testing` on them. Randomized
+//! samples catch interactions (e.g. partially overlapping maps, equal-key
+//! different-value entries) that hand-picked fixtures miss.
+
+use crdt_lattice::testing::{check_all_laws, check_delta_mutation};
+use crdt_lattice::{
+    Antichain, Bottom, Lattice, Lex, MapLattice, Max, Min, Pair, Poset, ReplicaId, SetLattice,
+    Sum, VClock,
+};
+use proptest::collection::{btree_map, btree_set, vec as pvec};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn max_u64() -> impl Strategy<Value = Max<u64>> {
+    (0u64..6).prop_map(Max::new)
+}
+
+fn min_u64() -> impl Strategy<Value = Min<u64>> {
+    prop_oneof![
+        Just(Min::bottom()),
+        (0u64..6).prop_map(Min::new),
+    ]
+}
+
+fn set_u8() -> impl Strategy<Value = SetLattice<u8>> {
+    btree_set(0u8..6, 0..4).prop_map(|s| s.into_iter().collect())
+}
+
+fn map_counter() -> impl Strategy<Value = MapLattice<u8, Max<u64>>> {
+    btree_map(0u8..4, 0u64..5, 0..4)
+        .prop_map(|m| m.into_iter().map(|(k, v)| (k, Max::new(v))).collect())
+}
+
+fn pair_lat() -> impl Strategy<Value = Pair<Max<u64>, SetLattice<u8>>> {
+    (max_u64(), set_u8()).prop_map(|(a, b)| Pair(a, b))
+}
+
+fn lex_lat() -> impl Strategy<Value = Lex<Max<u64>, SetLattice<u8>>> {
+    ((0u64..4).prop_map(Max::new), set_u8()).prop_map(|(c, a)| Lex(c, a))
+}
+
+fn sum_lat() -> impl Strategy<Value = Sum<Max<u64>, SetLattice<u8>>> {
+    prop_oneof![
+        max_u64().prop_map(Sum::Left),
+        set_u8().prop_map(Sum::Right),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Pt(u8, u8);
+
+impl Poset for Pt {
+    fn poset_le(&self, other: &Self) -> bool {
+        self.0 <= other.0 && self.1 <= other.1
+    }
+}
+
+fn antichain_lat() -> impl Strategy<Value = Antichain<Pt>> {
+    pvec((0u8..4, 0u8..4).prop_map(|(a, b)| Pt(a, b)), 0..4)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn vclock_lat() -> impl Strategy<Value = VClock> {
+    btree_map(0u32..4, 1u64..5, 0..4)
+        .prop_map(|m| m.into_iter().map(|(r, s)| (ReplicaId(r), s)).collect())
+}
+
+fn nested_map() -> impl Strategy<Value = MapLattice<u8, MapLattice<u8, Max<u64>>>> {
+    btree_map(0u8..3, btree_map(0u8..3, 1u64..4, 0..3), 0..3).prop_map(|outer| {
+        outer
+            .into_iter()
+            .map(|(k, inner)| {
+                (
+                    k,
+                    inner
+                        .into_iter()
+                        .map(|(k2, v)| (k2, Max::new(v)))
+                        .collect::<MapLattice<u8, Max<u64>>>(),
+                )
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Law batteries (4 samples each keeps the O(n³) harness fast)
+// ---------------------------------------------------------------------------
+
+macro_rules! law_battery {
+    ($name:ident, $strat:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(samples in pvec($strat, 1..5)) {
+                check_all_laws(&samples);
+            }
+        }
+    };
+}
+
+law_battery!(max_laws, max_u64());
+law_battery!(min_laws, min_u64());
+law_battery!(set_laws, set_u8());
+law_battery!(map_laws, map_counter());
+law_battery!(pair_laws, pair_lat());
+law_battery!(lex_laws, lex_lat());
+law_battery!(sum_laws, sum_lat());
+law_battery!(antichain_laws, antichain_lat());
+law_battery!(vclock_laws, vclock_lat());
+law_battery!(nested_map_laws, nested_map());
+
+// Deep composition: the Retwis-store shape (map of lex pairs of sets).
+law_battery!(
+    deep_composition_laws,
+    btree_map(0u8..3, ((0u64..3).prop_map(Max::new), set_u8()), 0..3).prop_map(|m| {
+        m.into_iter()
+            .map(|(k, (c, s))| (k, Lex(c, s)))
+            .collect::<MapLattice<u8, Lex<Max<u64>, SetLattice<u8>>>>()
+    })
+);
+
+// PNCounter shape: map of pairs of max chains (Appendix C example).
+law_battery!(
+    pncounter_shape_laws,
+    btree_map(0u32..3, (0u64..4, 0u64..4), 0..3).prop_map(|m| {
+        m.into_iter()
+            .map(|(r, (p, n))| (ReplicaId(r), Pair(Max::new(p), Max::new(n))))
+            .collect::<MapLattice<ReplicaId, Pair<Max<u64>, Max<u64>>>>()
+    })
+);
+
+// ---------------------------------------------------------------------------
+// Mutator / delta-specific properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// addδ is always the optimal delta of add (§III-B contract).
+    #[test]
+    fn gset_add_delta_is_optimal(s in set_u8(), e in 0u8..8) {
+        let before = s.clone();
+        let mut after = s;
+        let delta = after.add_delta(e);
+        check_delta_mutation(&before, &after, &delta);
+    }
+
+    /// mutate_entry wraps the entry delta under the key and stays optimal.
+    #[test]
+    fn map_mutate_entry_is_optimal(m in map_counter(), k in 0u8..4, by in 1u64..4) {
+        let before = m.clone();
+        let mut after = m;
+        let delta = after.mutate_entry(k, |v| {
+            let next = v.plus(by);
+            v.join_assign(next);
+            next
+        });
+        check_delta_mutation(&before, &after, &delta);
+    }
+
+    /// Δ(a,b) transmitted instead of a loses nothing: b ⊔ Δ(a,b) ⊒ a ⊓-free
+    /// formulation — joining the delta catches b up to a ⊔ b.
+    #[test]
+    fn delta_repairs_divergence(a in map_counter(), b in map_counter()) {
+        use crdt_lattice::Decompose;
+        let d = a.delta(&b);
+        let repaired = d.join(b.clone());
+        prop_assert_eq!(repaired, a.join(b));
+    }
+
+    /// Decomposition size is monotone under join (|⇓(a⊔b)| ≥ |⇓a| for
+    /// distributive lattices built here).
+    #[test]
+    fn irreducible_count_monotone(a in map_counter(), b in map_counter()) {
+        use crdt_lattice::Decompose;
+        let na = a.irreducible_count();
+        let j = a.join(b);
+        prop_assert!(j.irreducible_count() >= na);
+    }
+
+    /// VClock::dots_after returns exactly the dots missing from `other`.
+    #[test]
+    fn vclock_dots_after_exact(a in vclock_lat(), b in vclock_lat()) {
+        let missing: Vec<_> = a.dots_after(&b).collect();
+        for d in &missing {
+            prop_assert!(a.contains(d));
+            prop_assert!(!b.contains(d));
+        }
+        // Completeness: every dot of a not in b is listed.
+        for (r, s) in a.iter() {
+            for seq in 1..=s {
+                let dot = crdt_lattice::Dot::new(r, seq);
+                if !b.contains(&dot) {
+                    prop_assert!(missing.contains(&dot));
+                }
+            }
+        }
+    }
+}

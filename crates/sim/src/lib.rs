@@ -1,0 +1,37 @@
+//! # crdt-sim
+//!
+//! Deterministic round-based network simulator for CRDT synchronization
+//! experiments — the substrate standing in for the paper's Emulab/
+//! Kubernetes cluster (§V-A).
+//!
+//! * [`Topology`] — the paper's 15-node partial mesh and tree (Fig. 6)
+//!   plus rings, lines, stars, full meshes and seeded random graphs;
+//! * [`Network`] — a message fabric with seeded duplication/reordering
+//!   (the §II channel model) and optional drops for the acked variant;
+//! * [`Runner`] — drives one [`crdt_sync::Protocol`] per node through
+//!   rounds of "update, synchronize, deliver" and collects
+//! * [`RunMetrics`] — transmission in elements and payload/metadata bytes,
+//!   per-round memory snapshots, and protocol CPU time: exactly the
+//!   quantities of Figs. 1 and 7–12.
+//!
+//! Every quantity the paper reports is a *protocol* property, not a
+//! network property, so a deterministic simulation reproduces the shapes
+//! (who wins, by what factor) without a testbed; see DESIGN.md for the
+//! substitution argument.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod network;
+mod parallel;
+mod runner;
+mod sharded;
+mod topology;
+
+pub use metrics::{RoundMetrics, RunMetrics};
+pub use network::{Envelope, Network, NetworkConfig};
+pub use parallel::ParallelRunner;
+pub use runner::{run_experiment, Runner, Workload};
+pub use sharded::{KeyedOp, ShardedDeltaRunner};
+pub use topology::Topology;

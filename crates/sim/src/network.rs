@@ -1,0 +1,187 @@
+//! The simulated message fabric.
+//!
+//! State-based CRDTs demand little of the network: "messages can be
+//! dropped, duplicated, and reordered" (§II). The simulator reproduces the
+//! conditions of Algorithm 1 — duplication and reordering allowed, drops
+//! disabled by default (the algorithm clears its buffer assuming no loss;
+//! enable drops only for [`crdt_sync::AckedDeltaSync`]) — deterministically
+//! from a seed.
+
+use crdt_lattice::ReplicaId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Probability that a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Shuffle delivery order each flush.
+    pub reorder: bool,
+    /// Probability that a message is lost. **Must stay 0.0 for protocols
+    /// that assume reliable channels** (all except the acked variant).
+    pub drop_prob: f64,
+    /// RNG seed (simulations are reproducible).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// Reliable, in-order delivery.
+    pub fn reliable(seed: u64) -> Self {
+        NetworkConfig { duplicate_prob: 0.0, reorder: false, drop_prob: 0.0, seed }
+    }
+
+    /// The §II channel model: duplication + reordering, no loss.
+    pub fn chaotic(seed: u64) -> Self {
+        NetworkConfig { duplicate_prob: 0.1, reorder: true, drop_prob: 0.0, seed }
+    }
+
+    /// A lossy channel (for the acked delta variant only).
+    pub fn lossy(seed: u64, drop_prob: f64) -> Self {
+        NetworkConfig { duplicate_prob: 0.05, reorder: true, drop_prob, seed }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::reliable(0)
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: ReplicaId,
+    /// Recipient.
+    pub to: ReplicaId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// The message fabric: collects sends, then flushes them (with configured
+/// faults) for delivery.
+#[derive(Debug)]
+pub struct Network<M> {
+    cfg: NetworkConfig,
+    rng: StdRng,
+    in_flight: Vec<Envelope<M>>,
+    /// Counters for observability.
+    pub sent: u64,
+    /// Messages duplicated by the fabric.
+    pub duplicated: u64,
+    /// Messages dropped by the fabric.
+    pub dropped: u64,
+}
+
+impl<M: Clone> Network<M> {
+    /// A fabric with the given fault model.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            in_flight: Vec::new(),
+            sent: 0,
+            duplicated: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Submit a message for delivery.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
+        self.sent += 1;
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.dropped += 1;
+            return;
+        }
+        if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob) {
+            self.duplicated += 1;
+            self.in_flight.push(Envelope { from, to, msg: msg.clone() });
+        }
+        self.in_flight.push(Envelope { from, to, msg });
+    }
+
+    /// Take everything currently in flight, in (possibly shuffled)
+    /// delivery order.
+    pub fn flush(&mut self) -> Vec<Envelope<M>> {
+        let mut batch = std::mem::take(&mut self.in_flight);
+        if self.cfg.reorder {
+            // Fisher-Yates with the seeded RNG.
+            for i in (1..batch.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                batch.swap(i, j);
+            }
+        }
+        batch
+    }
+
+    /// Anything still queued?
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    #[test]
+    fn reliable_fabric_delivers_in_order() {
+        let mut net: Network<u32> = Network::new(NetworkConfig::reliable(1));
+        net.send(A, B, 1);
+        net.send(A, B, 2);
+        let got: Vec<u32> = net.flush().into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, vec![1, 2]);
+        assert!(net.is_idle());
+        assert_eq!(net.sent, 2);
+        assert_eq!(net.dropped, 0);
+    }
+
+    #[test]
+    fn duplication_produces_extra_copies() {
+        let mut net: Network<u32> = Network::new(NetworkConfig {
+            duplicate_prob: 1.0,
+            reorder: false,
+            drop_prob: 0.0,
+            seed: 7,
+        });
+        net.send(A, B, 9);
+        let got = net.flush();
+        assert_eq!(got.len(), 2, "always-duplicate config doubles messages");
+        assert_eq!(net.duplicated, 1);
+    }
+
+    #[test]
+    fn drops_remove_messages() {
+        let mut net: Network<u32> = Network::new(NetworkConfig {
+            duplicate_prob: 0.0,
+            reorder: false,
+            drop_prob: 1.0,
+            seed: 7,
+        });
+        net.send(A, B, 9);
+        assert!(net.flush().is_empty());
+        assert_eq!(net.dropped, 1);
+    }
+
+    #[test]
+    fn reordering_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net: Network<u32> = Network::new(NetworkConfig {
+                duplicate_prob: 0.0,
+                reorder: true,
+                drop_prob: 0.0,
+                seed,
+            });
+            for i in 0..20 {
+                net.send(A, B, i);
+            }
+            net.flush().into_iter().map(|e| e.msg).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed, same order");
+        assert_ne!(run(42), run(43), "different seed, different order");
+    }
+}

@@ -1,0 +1,276 @@
+//! Network topologies (paper, Fig. 6).
+//!
+//! The evaluation uses two 15-node topologies: a **partial mesh** where
+//! each node has 4 neighbors (cycles ⇒ redundant delivery paths ⇒ the RR
+//! optimization matters) and a **tree** with 3 neighbors per inner node
+//! (acyclic ⇒ BP alone suffices). This module builds those plus the usual
+//! suspects for tests and extensions.
+
+use crdt_lattice::ReplicaId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An undirected connected graph over replicas `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    adj: Vec<Vec<ReplicaId>>,
+}
+
+impl Topology {
+    fn from_edges(name: impl Into<String>, n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop {a}");
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            let (ra, rb) = (ReplicaId::from(a), ReplicaId::from(b));
+            if !adj[a].contains(&rb) {
+                adj[a].push(rb);
+                adj[b].push(ra);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        Topology { name: name.into(), adj }
+    }
+
+    /// Every node connected to every other node.
+    pub fn full_mesh(n: usize) -> Self {
+        let edges: Vec<_> = (0..n)
+            .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+            .collect();
+        Self::from_edges(format!("full-mesh({n})"), n, &edges)
+    }
+
+    /// The paper's partial mesh: a circulant graph where node `i` links to
+    /// `i ± 1, …, i ± degree/2` (mod n). With `degree = 4` and `n = 15`
+    /// this is the left topology of Fig. 6: 4 neighbors per node, plenty
+    /// of cycles.
+    pub fn partial_mesh(n: usize, degree: usize) -> Self {
+        assert!(degree.is_multiple_of(2), "circulant mesh needs an even degree");
+        assert!(degree / 2 < n, "degree too large for {n} nodes");
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for d in 1..=degree / 2 {
+                edges.push((a, (a + d) % n));
+            }
+        }
+        Self::from_edges(format!("mesh({n},deg{degree})"), n, &edges)
+    }
+
+    /// The paper's tree: a complete binary tree — the root has 2
+    /// neighbors, inner nodes 3, leaves 1 (right topology of Fig. 6).
+    pub fn binary_tree(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 1..n {
+            edges.push(((a - 1) / 2, a));
+        }
+        Self::from_edges(format!("tree({n})"), n, &edges)
+    }
+
+    /// A simple cycle.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs ≥ 3 nodes");
+        let edges: Vec<_> = (0..n).map(|a| (a, (a + 1) % n)).collect();
+        Self::from_edges(format!("ring({n})"), n, &edges)
+    }
+
+    /// A path graph.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|a| (a - 1, a)).collect();
+        Self::from_edges(format!("line({n})"), n, &edges)
+    }
+
+    /// A hub-and-spoke star centered on node 0.
+    pub fn star(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|a| (0, a)).collect();
+        Self::from_edges(format!("star({n})"), n, &edges)
+    }
+
+    /// A random connected graph: a random spanning tree plus `extra`
+    /// random edges (deterministic for a given seed).
+    pub fn random_connected(n: usize, extra: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let parent = order[rng.gen_range(0..i)];
+            edges.push((order[i], parent));
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < extra && guard < extra * 20 + 100 {
+            guard += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+                added += 1;
+            }
+        }
+        Self::from_edges(format!("random({n},+{extra},seed{seed})"), n, &edges)
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Is the topology empty?
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.adj.len()).map(ReplicaId::from)
+    }
+
+    /// Sorted neighbor list of `node`.
+    pub fn neighbors(&self, node: ReplicaId) -> &[ReplicaId] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: ReplicaId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Total undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Is the graph connected? (Required for convergence.)
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(a) = stack.pop() {
+            for &b in &self.adj[a] {
+                if !seen[b.index()] {
+                    seen[b.index()] = true;
+                    stack.push(b.index());
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Does the graph contain a cycle? (Determines whether BP alone
+    /// suffices — §V-B.)
+    pub fn has_cycle(&self) -> bool {
+        // For a connected undirected graph: cycle ⇔ |E| ≥ |V|.
+        self.edge_count() >= self.adj.len()
+    }
+
+    /// Graph diameter (longest shortest path), via BFS from every node.
+    pub fn diameter(&self) -> usize {
+        let n = self.adj.len();
+        let mut best = 0;
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(a) = queue.pop_front() {
+                for &b in &self.adj[a] {
+                    if dist[b.index()] == usize::MAX {
+                        dist[b.index()] = dist[a] + 1;
+                        queue.push_back(b.index());
+                    }
+                }
+            }
+            best = best.max(dist.into_iter().filter(|d| *d != usize::MAX).max().unwrap_or(0));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_shape() {
+        // Fig. 6 left: 15 nodes, 4 neighbors each.
+        let t = Topology::partial_mesh(15, 4);
+        assert_eq!(t.len(), 15);
+        for node in t.nodes() {
+            assert_eq!(t.degree(node), 4, "node {node}");
+        }
+        assert!(t.is_connected());
+        assert!(t.has_cycle());
+        assert_eq!(t.edge_count(), 30);
+    }
+
+    #[test]
+    fn paper_tree_shape() {
+        // Fig. 6 right: root 2 neighbors, inner 3, leaves 1.
+        let t = Topology::binary_tree(15);
+        assert_eq!(t.degree(ReplicaId(0)), 2);
+        for i in 1..7 {
+            assert_eq!(t.degree(ReplicaId(i)), 3, "inner node {i}");
+        }
+        for i in 7..15 {
+            assert_eq!(t.degree(ReplicaId(i)), 1, "leaf {i}");
+        }
+        assert!(t.is_connected());
+        assert!(!t.has_cycle());
+        assert_eq!(t.edge_count(), 14);
+    }
+
+    #[test]
+    fn full_mesh_is_complete() {
+        let t = Topology::full_mesh(5);
+        assert_eq!(t.edge_count(), 10);
+        for node in t.nodes() {
+            assert_eq!(t.degree(node), 4);
+        }
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn ring_line_star() {
+        let r = Topology::ring(6);
+        assert!(r.has_cycle());
+        assert_eq!(r.diameter(), 3);
+        let l = Topology::line(6);
+        assert!(!l.has_cycle());
+        assert_eq!(l.diameter(), 5);
+        let s = Topology::star(6);
+        assert!(!s.has_cycle());
+        assert_eq!(s.degree(ReplicaId(0)), 5);
+        assert_eq!(s.diameter(), 2);
+    }
+
+    #[test]
+    fn random_graphs_are_connected_and_deterministic() {
+        for seed in 0..5 {
+            let t = Topology::random_connected(12, 6, seed);
+            assert!(t.is_connected(), "seed {seed}");
+            let t2 = Topology::random_connected(12, 6, seed);
+            assert_eq!(t, t2, "determinism for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = Topology::partial_mesh(10, 4);
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert!(t.neighbors(b).contains(&a), "{a} ↔ {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! A set of store replicas wired through a transport.
+
+use std::collections::BTreeSet;
+
+use crdt_lattice::{ReplicaId, SizeModel, Sizeable};
+use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::DeltaMsg;
+use crdt_types::Crdt;
+
+use crate::metrics::TrafficStats;
+use crate::replica::{StoreConfig, StoreReplica};
+use crate::transport::{LoopbackTransport, Transport};
+
+/// A cluster of [`StoreReplica`]s over a neighbor graph and a
+/// [`Transport`].
+///
+/// The cluster drives rounds exactly like the paper's deployments: every
+/// replica runs one synchronization step (shipping per-object δ-group
+/// batches to its neighbors), then absorbs everything the transport
+/// delivered. Traffic is accounted in [`TrafficStats`].
+#[derive(Debug)]
+pub struct Cluster<K: Ord, C, T = LoopbackTransport<K, C>> {
+    replicas: Vec<StoreReplica<K, C>>,
+    neighbors: Vec<Vec<ReplicaId>>,
+    transport: T,
+    stats: TrafficStats,
+    model: SizeModel,
+}
+
+impl<K, C> Cluster<K, C, LoopbackTransport<K, C>>
+where
+    K: Ord + Clone + Sizeable,
+    C: Crdt,
+{
+    /// A fully connected cluster of `n` replicas over the in-memory
+    /// transport.
+    pub fn full_mesh(n: usize, cfg: StoreConfig) -> Self {
+        let neighbors = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|j| *j != i)
+                    .map(ReplicaId::from)
+                    .collect()
+            })
+            .collect();
+        Self::with_neighbors(neighbors, cfg)
+    }
+
+    /// A cluster with an explicit neighbor graph (entry `i` lists the
+    /// replicas `i` pushes to), over the in-memory transport.
+    pub fn with_neighbors(neighbors: Vec<Vec<ReplicaId>>, cfg: StoreConfig) -> Self {
+        let n = neighbors.len();
+        Cluster {
+            replicas: (0..n)
+                .map(|i| StoreReplica::new(ReplicaId::from(i), cfg))
+                .collect(),
+            neighbors,
+            transport: LoopbackTransport::new(n),
+            stats: TrafficStats::default(),
+            model: SizeModel::compact(),
+        }
+    }
+
+    /// Partition the cluster: sever every link between `group` and the
+    /// rest, in both directions.
+    pub fn partition(&mut self, group: &[usize]) {
+        let in_group: BTreeSet<usize> = group.iter().copied().collect();
+        let n = self.replicas.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && in_group.contains(&i) != in_group.contains(&j) {
+                    self.transport.sever(ReplicaId::from(i), ReplicaId::from(j));
+                }
+            }
+        }
+    }
+
+    /// Heal every severed link.
+    pub fn heal(&mut self) {
+        self.transport.heal_all();
+    }
+}
+
+impl<K, C, T> Cluster<K, C, T>
+where
+    K: Ord + Clone + Sizeable,
+    C: Crdt,
+    T: Transport<K, C>,
+{
+    /// A cluster over a custom transport.
+    pub fn with_transport(neighbors: Vec<Vec<ReplicaId>>, cfg: StoreConfig, transport: T) -> Self {
+        let n = neighbors.len();
+        Cluster {
+            replicas: (0..n)
+                .map(|i| StoreReplica::new(ReplicaId::from(i), cfg))
+                .collect(),
+            neighbors,
+            transport,
+            stats: TrafficStats::default(),
+            model: SizeModel::compact(),
+        }
+    }
+
+    /// Override the byte model used for traffic accounting.
+    pub fn set_model(&mut self, model: SizeModel) {
+        self.model = model;
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Is the cluster empty?
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Read access to replica `i`.
+    pub fn replica(&self, i: usize) -> &StoreReplica<K, C> {
+        &self.replicas[i]
+    }
+
+    /// Mutable access to replica `i`.
+    pub fn replica_mut(&mut self, i: usize) -> &mut StoreReplica<K, C> {
+        &mut self.replicas[i]
+    }
+
+    /// Apply `op` at replica `i` to the object at `key`.
+    pub fn update(&mut self, i: usize, key: K, op: &C::Op) {
+        self.replicas[i].update(key, op);
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// One synchronization round: every replica runs its sync step, then
+    /// absorbs everything delivered.
+    pub fn sync_round(&mut self) {
+        for (i, replica) in self.replicas.iter_mut().enumerate() {
+            let from = ReplicaId::from(i);
+            for (to, msg) in replica.sync_step(&self.neighbors[i]) {
+                self.stats.record(&msg, &self.model);
+                self.transport.send(from, to, msg);
+            }
+        }
+        for (i, replica) in self.replicas.iter_mut().enumerate() {
+            for (from, msg) in self.transport.poll(ReplicaId::from(i)) {
+                replica.absorb(from, msg);
+            }
+        }
+    }
+
+    /// Have all replicas converged on every object?
+    ///
+    /// Objects still at `⊥` are ignored: a no-op update (e.g. removing an
+    /// element from an empty set) creates the key locally but produces no
+    /// delta, so peers legitimately never hear of it.
+    pub fn converged(&self) -> bool {
+        let live = |r: &StoreReplica<K, C>| {
+            r.iter()
+                .filter(|(_, x)| !x.is_bottom())
+                .map(|(k, x)| (k.clone(), x.clone()))
+                .collect::<Vec<_>>()
+        };
+        self.replicas.windows(2).all(|w| live(&w[0]) == live(&w[1]))
+    }
+
+    /// Run sync rounds until convergence (or `max_rounds`); returns the
+    /// number of rounds taken.
+    pub fn run_until_converged(&mut self, max_rounds: usize) -> Option<usize> {
+        for round in 0..max_rounds {
+            if self.converged() && self.transport.in_flight() == 0 {
+                return Some(round);
+            }
+            self.sync_round();
+        }
+        (self.converged() && self.transport.in_flight() == 0).then_some(max_rounds)
+    }
+
+    /// Digest-driven pairwise repair between replicas `a` and `b` (the
+    /// paper's §VI, \[30\]): for every object either side holds, exchange
+    /// digests and ship only the join-irreducibles the other side is
+    /// missing — never full states. Repaired deltas enter the ordinary
+    /// δ-buffers, so they continue to propagate to other replicas.
+    ///
+    /// Use after healing a partition whose duration exceeded what the
+    /// cleared δ-buffers can replay.
+    pub fn digest_repair(&mut self, a: usize, b: usize) -> PairSyncStats {
+        assert_ne!(a, b, "repair needs two distinct replicas");
+        let keys: BTreeSet<K> = self.replicas[a]
+            .keys()
+            .chain(self.replicas[b].keys())
+            .cloned()
+            .collect();
+        let id_a = self.replicas[a].id();
+        let id_b = self.replicas[b].id();
+        let mut total = PairSyncStats::default();
+        for key in keys {
+            let xa = self.replicas[a]
+                .get(key.clone())
+                .cloned()
+                .unwrap_or_else(C::bottom);
+            let xb = self.replicas[b]
+                .get(key.clone())
+                .cloned()
+                .unwrap_or_else(C::bottom);
+            // Run the 3-message protocol on copies to obtain the stats and
+            // the converged state…
+            let (mut ca, mut cb) = (xa.clone(), xb.clone());
+            let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+            total.messages += stats.messages;
+            total.payload_elements += stats.payload_elements;
+            total.payload_bytes += stats.payload_bytes;
+            total.metadata_bytes += stats.metadata_bytes;
+            // …then feed each side's missing delta through the ordinary
+            // receive path (RR extraction + buffering for propagation).
+            let delta_for_a = ca.delta(&xa);
+            if !delta_for_a.is_bottom() {
+                self.replicas[a]
+                    .object_mut(key.clone())
+                    .receive(id_b, DeltaMsg(delta_for_a));
+            }
+            let delta_for_b = cb.delta(&xb);
+            if !delta_for_b.is_bottom() {
+                self.replicas[b]
+                    .object_mut(key)
+                    .receive(id_a, DeltaMsg(delta_for_b));
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_types::{GSet, GSetOp};
+
+    type Cl = Cluster<&'static str, GSet<u32>>;
+
+    #[test]
+    fn full_mesh_converges_in_one_round() {
+        let mut c: Cl = Cluster::full_mesh(4, StoreConfig::default());
+        c.update(0, "x", &GSetOp::Add(1));
+        c.update(3, "y", &GSetOp::Add(2));
+        c.sync_round();
+        assert!(c.converged());
+        assert!(c.replica(2).get("x").unwrap().contains(&1));
+        assert!(c.replica(1).get("y").unwrap().contains(&2));
+    }
+
+    #[test]
+    fn line_graph_needs_diameter_rounds() {
+        // 0 – 1 – 2 – 3 line.
+        let neighbors = vec![
+            vec![ReplicaId(1)],
+            vec![ReplicaId(0), ReplicaId(2)],
+            vec![ReplicaId(1), ReplicaId(3)],
+            vec![ReplicaId(2)],
+        ];
+        let mut c: Cl = Cluster::with_neighbors(neighbors, StoreConfig::default());
+        c.update(0, "x", &GSetOp::Add(1));
+        c.sync_round();
+        assert!(c.replica(1).get("x").is_some());
+        assert!(c.replica(3).get("x").is_none(), "3 hops away");
+        let rounds = c.run_until_converged(16).expect("converges");
+        assert!(rounds >= 2, "needed more than the first round");
+        assert!(c.replica(3).get("x").unwrap().contains(&1));
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let mut c: Cl = Cluster::full_mesh(3, StoreConfig::default());
+        c.update(0, "x", &GSetOp::Add(1));
+        c.sync_round();
+        let stats = c.stats();
+        assert!(stats.messages >= 2, "replica 0 pushed to both neighbors");
+        assert!(stats.payload_elements >= 2);
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn partition_blocks_then_heal_repairs() {
+        let mut c: Cl = Cluster::full_mesh(4, StoreConfig::default());
+        c.partition(&[0, 1]);
+        c.update(0, "left", &GSetOp::Add(1));
+        c.update(2, "right", &GSetOp::Add(2));
+        for _ in 0..4 {
+            c.sync_round();
+        }
+        // Sides converged internally but not across the cut.
+        assert!(c.replica(1).get("left").is_some());
+        assert!(c.replica(1).get("right").is_none());
+        assert!(!c.converged());
+        // Heal. δ-buffers were cleared during the partition (their sends
+        // were dropped), so ordinary rounds cannot repair: digest repair
+        // across the cut restores convergence.
+        c.heal();
+        let stats = c.digest_repair(1, 2);
+        assert!(stats.payload_elements > 0);
+        // Repaired deltas propagate onward through normal rounds.
+        c.run_until_converged(8).expect("converges after repair");
+        assert!(c.replica(3).get("left").unwrap().contains(&1));
+        assert!(c.replica(0).get("right").unwrap().contains(&2));
+    }
+
+    #[test]
+    fn digest_repair_ships_only_differences() {
+        let mut c: Cl = Cluster::full_mesh(2, StoreConfig::default());
+        // Build a large shared object…
+        for e in 0..100 {
+            c.update(0, "big", &GSetOp::Add(e));
+        }
+        c.run_until_converged(4).expect("converges");
+        // …then diverge by one element on each side, without syncing.
+        c.replicas[0].update("big", &GSetOp::Add(1000));
+        c.replicas[1].update("big", &GSetOp::Add(2000));
+        // Clear the pending buffers by severing both directions and
+        // syncing into the void.
+        c.transport.sever(ReplicaId(0), ReplicaId(1));
+        c.transport.sever(ReplicaId(1), ReplicaId(0));
+        c.sync_round();
+        c.heal();
+        let stats = c.digest_repair(0, 1);
+        assert_eq!(
+            stats.payload_elements, 2,
+            "only the two divergent elements ship — not the 100 shared"
+        );
+        assert!(c.converged());
+    }
+}

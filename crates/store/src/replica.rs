@@ -1,0 +1,277 @@
+//! One replica of the multi-object store.
+
+use std::collections::BTreeMap;
+
+use crdt_lattice::{ReplicaId, SizeModel, Sizeable};
+use crdt_sync::{DeltaConfig, DeltaMsg, DeltaSync, MemoryUsage};
+use crdt_types::Crdt;
+
+use crate::message::StoreMsg;
+
+/// Store-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Which of the paper's optimizations each object's synchronizer
+    /// runs with. Defaults to BP+RR (the paper's best variant); set to
+    /// [`DeltaConfig::CLASSIC`] to reproduce the anomaly of Fig. 1.
+    pub delta: DeltaConfig,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { delta: DeltaConfig::BP_RR }
+    }
+}
+
+/// One replica of a keyspace of CRDT objects, each object synchronized by
+/// its own Algorithm-1 instance.
+///
+/// Objects are created lazily: updating (or receiving a δ-group for) an
+/// unknown key instantiates it at `⊥`, so new objects propagate through
+/// ordinary synchronization with no naming service.
+#[derive(Debug, Clone)]
+pub struct StoreReplica<K: Ord, C> {
+    id: ReplicaId,
+    cfg: StoreConfig,
+    objects: BTreeMap<K, DeltaSync<C>>,
+}
+
+impl<K: Ord + Clone + Sizeable, C: Crdt> StoreReplica<K, C> {
+    /// Create replica `id`.
+    pub fn new(id: ReplicaId, cfg: StoreConfig) -> Self {
+        StoreReplica { id, cfg, objects: BTreeMap::new() }
+    }
+
+    /// This replica's identifier (also the id operations act under).
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Apply `op` to the object at `key`, creating it at `⊥` first if
+    /// unknown. The optimal delta is buffered for the next sync round.
+    pub fn update(&mut self, key: K, op: &C::Op) {
+        let id = self.id;
+        let cfg = self.cfg;
+        self.objects
+            .entry(key)
+            .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
+            .local_op(op);
+    }
+
+    /// The object's lattice state, if the key exists.
+    pub fn get(&self, key: K) -> Option<&C>
+    where
+        K: Ord,
+    {
+        self.objects.get(&key).map(|o| o.state_ref())
+    }
+
+    /// The object's query value, if the key exists.
+    pub fn value(&self, key: K) -> Option<C::Value> {
+        self.objects.get(&key).map(|o| o.state_ref().value())
+    }
+
+    /// All live keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.objects.keys()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Does the replica hold no objects?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate `(key, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &C)> {
+        self.objects.iter().map(|(k, o)| (k, o.state_ref()))
+    }
+
+    /// Run one synchronization step (Algorithm 1 lines 9–13, per object):
+    /// per neighbor, batch every object's δ-group into one [`StoreMsg`].
+    /// Buffers are cleared, so messages must not be dropped (pair with an
+    /// acked variant or digest repair for lossy links).
+    pub fn sync_step(&mut self, neighbors: &[ReplicaId]) -> Vec<(ReplicaId, StoreMsg<K, C>)> {
+        let mut batches: BTreeMap<ReplicaId, StoreMsg<K, C>> = BTreeMap::new();
+        let mut out = Vec::new();
+        for (key, obj) in self.objects.iter_mut() {
+            obj.sync_step(neighbors, &mut out);
+            for (to, DeltaMsg(d)) in out.drain(..) {
+                batches.entry(to).or_default().entries.push((key.clone(), d));
+            }
+        }
+        batches.into_iter().filter(|(_, b)| !b.is_empty()).collect()
+    }
+
+    /// Absorb a batch from `from` (Algorithm 1 lines 14–17, per object).
+    pub fn absorb(&mut self, from: ReplicaId, msg: StoreMsg<K, C>) {
+        let id = self.id;
+        let cfg = self.cfg;
+        for (key, delta) in msg.entries {
+            self.objects
+                .entry(key)
+                .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
+                .receive(from, DeltaMsg(delta));
+        }
+    }
+
+    /// Memory snapshot summed over all objects (CRDT state + δ-buffers).
+    pub fn memory(&self, model: &SizeModel) -> MemoryUsage {
+        let mut total = MemoryUsage::default();
+        for obj in self.objects.values() {
+            let m = obj.memory_usage(model);
+            total.crdt_elements += m.crdt_elements;
+            total.crdt_bytes += m.crdt_bytes;
+            total.meta_elements += m.meta_elements;
+            total.meta_bytes += m.meta_bytes;
+        }
+        // Key storage is metadata too.
+        total.meta_bytes += self
+            .objects
+            .keys()
+            .map(|k| k.payload_bytes(model))
+            .sum::<u64>();
+        total
+    }
+
+    /// Direct access to one object's synchronizer (tests, repair).
+    pub(crate) fn object_mut(&mut self, key: K) -> &mut DeltaSync<C> {
+        let id = self.id;
+        let cfg = self.cfg;
+        self.objects
+            .entry(key)
+            .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_lattice::Lattice;
+    use crdt_types::{GSet, GSetOp};
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    fn replica(id: ReplicaId) -> StoreReplica<&'static str, GSet<u32>> {
+        StoreReplica::new(id, StoreConfig::default())
+    }
+
+    #[test]
+    fn update_creates_objects_lazily() {
+        let mut r = replica(A);
+        assert!(r.is_empty());
+        r.update("x", &GSetOp::Add(1));
+        r.update("y", &GSetOp::Add(2));
+        assert_eq!(r.len(), 2);
+        assert!(r.get("x").unwrap().contains(&1));
+        assert!(r.value("z").is_none());
+    }
+
+    #[test]
+    fn sync_batches_all_objects_per_neighbor() {
+        let mut r = replica(A);
+        r.update("x", &GSetOp::Add(1));
+        r.update("y", &GSetOp::Add(2));
+        let batches = r.sync_step(&[B]);
+        assert_eq!(batches.len(), 1);
+        let (to, msg) = &batches[0];
+        assert_eq!(*to, B);
+        assert_eq!(msg.len(), 2, "both objects in one batch");
+        // Buffers cleared: next step ships nothing.
+        assert!(r.sync_step(&[B]).is_empty());
+    }
+
+    #[test]
+    fn absorb_creates_unknown_objects() {
+        let mut a = replica(A);
+        let mut b = replica(B);
+        a.update("new-object", &GSetOp::Add(7));
+        for (to, msg) in a.sync_step(&[B]) {
+            assert_eq!(to, B);
+            b.absorb(A, msg);
+        }
+        assert!(b.get("new-object").unwrap().contains(&7));
+    }
+
+    #[test]
+    fn rr_extracts_only_novelty_per_object() {
+        let mut a = replica(A);
+        let mut b = replica(B);
+        // Both already know {1} under "x".
+        a.update("x", &GSetOp::Add(1));
+        for (_, msg) in a.sync_step(&[B]) {
+            b.absorb(A, msg);
+        }
+        // B adds 2; A concurrently adds 3. B's batch to A contains {2}
+        // only (its buffer was consumed), and when A's {1,3}-era buffer
+        // arrives at B, RR strips the known part.
+        b.update("x", &GSetOp::Add(2));
+        a.update("x", &GSetOp::Add(3));
+        for (_, msg) in b.sync_step(&[A]) {
+            a.absorb(B, msg);
+        }
+        let batches = a.sync_step(&[B]);
+        let total: u64 = batches
+            .iter()
+            .map(|(_, m)| crdt_sync::Measured::payload_elements(m))
+            .sum();
+        // BP keeps B's own {2} out of the reply; only {3} ships.
+        assert_eq!(total, 1);
+        for (_, msg) in batches {
+            b.absorb(A, msg);
+        }
+        assert_eq!(a.get("x"), b.get("x"));
+        assert_eq!(a.get("x").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn memory_sums_objects_and_keys() {
+        let model = SizeModel::compact();
+        let mut r = replica(A);
+        r.update("x", &GSetOp::Add(1));
+        r.update("y", &GSetOp::Add(2));
+        let m = r.memory(&model);
+        assert_eq!(m.crdt_elements, 2);
+        assert_eq!(m.meta_elements, 2, "δ-buffers hold the two deltas");
+        assert!(m.meta_bytes >= 2, "keys counted as metadata");
+    }
+
+    #[test]
+    fn classic_config_buffers_whole_received_groups() {
+        let classic = StoreConfig { delta: DeltaConfig::CLASSIC };
+        let mut a: StoreReplica<&str, GSet<u32>> = StoreReplica::new(A, classic);
+        a.update("x", &GSetOp::Add(1));
+        // A received group that inflates: classic buffers all of it.
+        a.absorb(
+            B,
+            StoreMsg { entries: vec![("x", GSet::from_iter([1, 2, 3]))] },
+        );
+        let m = a.memory(&SizeModel::compact());
+        assert_eq!(m.meta_elements, 1 + 3, "local delta + whole group");
+    }
+
+    #[test]
+    fn independent_objects_do_not_cross_talk() {
+        let mut a = replica(A);
+        let mut b = replica(B);
+        a.update("x", &GSetOp::Add(1));
+        b.update("y", &GSetOp::Add(2));
+        for (_, msg) in a.sync_step(&[B]) {
+            b.absorb(A, msg);
+        }
+        for (_, msg) in b.sync_step(&[A]) {
+            a.absorb(B, msg);
+        }
+        assert_eq!(a.get("x").unwrap().len(), 1);
+        assert_eq!(a.get("y").unwrap().len(), 1);
+        assert_eq!(a.get("x"), b.get("x"));
+        assert_eq!(a.get("y"), b.get("y"));
+        // The two objects never merged.
+        assert!(a.get("x").unwrap().clone().join(a.get("y").unwrap().clone()).len() == 2);
+    }
+}

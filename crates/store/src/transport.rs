@@ -1,0 +1,129 @@
+//! The message-passing boundary between replicas.
+
+use std::collections::VecDeque;
+
+use crdt_lattice::ReplicaId;
+
+use crate::message::StoreMsg;
+
+/// Moves [`StoreMsg`] batches between replicas.
+///
+/// Implementations may reorder and duplicate freely (state-based CRDT
+/// messages are join-idempotent) but must not drop messages, because
+/// Algorithm 1 clears δ-buffers at each sync step. A dropping transport
+/// needs the digest repair path ([`crate::Cluster::digest_repair`]) to
+/// restore convergence.
+pub trait Transport<K, C> {
+    /// Enqueue a batch from `from` to `to`.
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K, C>);
+
+    /// Drain every batch waiting at `at`, in delivery order.
+    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K, C>)>;
+
+    /// Are any messages still in flight (to any replica)?
+    fn in_flight(&self) -> usize;
+}
+
+/// In-memory transport: one FIFO queue per recipient. Supports severing
+/// individual directed links, for partition testing.
+#[derive(Debug)]
+pub struct LoopbackTransport<K, C> {
+    queues: Vec<VecDeque<(ReplicaId, StoreMsg<K, C>)>>,
+    /// `severed[from][to]` — messages on this directed link are dropped.
+    severed: Vec<Vec<bool>>,
+    dropped: u64,
+}
+
+impl<K, C> LoopbackTransport<K, C> {
+    /// A transport connecting `n` replicas.
+    pub fn new(n: usize) -> Self {
+        LoopbackTransport {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            severed: vec![vec![false; n]; n],
+            dropped: 0,
+        }
+    }
+
+    /// Sever the directed link `from → to` (messages silently dropped).
+    pub fn sever(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.severed[from.index()][to.index()] = true;
+    }
+
+    /// Restore the directed link `from → to`.
+    pub fn heal(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.severed[from.index()][to.index()] = false;
+    }
+
+    /// Restore every link.
+    pub fn heal_all(&mut self) {
+        for row in &mut self.severed {
+            row.fill(false);
+        }
+    }
+
+    /// Messages dropped on severed links so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<K, C> Transport<K, C> for LoopbackTransport<K, C> {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K, C>) {
+        if self.severed[from.index()][to.index()] {
+            self.dropped += 1;
+            return;
+        }
+        self.queues[to.index()].push_back((from, msg));
+    }
+
+    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K, C>)> {
+        self.queues[at.index()].drain(..).collect()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_types::GSet;
+
+    type Msg = StoreMsg<&'static str, GSet<u8>>;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+
+    fn msg() -> Msg {
+        StoreMsg { entries: vec![("x", GSet::from_iter([1]))] }
+    }
+
+    #[test]
+    fn fifo_per_recipient() {
+        let mut t: LoopbackTransport<&str, GSet<u8>> = LoopbackTransport::new(2);
+        t.send(A, B, StoreMsg { entries: vec![("first", GSet::from_iter([1]))] });
+        t.send(A, B, StoreMsg { entries: vec![("second", GSet::from_iter([2]))] });
+        assert_eq!(t.in_flight(), 2);
+        let got = t.poll(B);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1.entries[0].0, "first");
+        assert_eq!(got[1].1.entries[0].0, "second");
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn severed_links_drop_silently() {
+        let mut t: LoopbackTransport<&str, GSet<u8>> = LoopbackTransport::new(2);
+        t.sever(A, B);
+        t.send(A, B, msg());
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.dropped(), 1);
+        // The reverse direction still works.
+        t.send(B, A, msg());
+        assert_eq!(t.poll(A).len(), 1);
+        t.heal(A, B);
+        t.send(A, B, msg());
+        assert_eq!(t.poll(B).len(), 1);
+    }
+}

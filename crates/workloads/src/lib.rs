@@ -1,0 +1,34 @@
+//! # crdt-workloads
+//!
+//! Workload generators for the paper's evaluation (§V):
+//!
+//! * [`micro`] — the Table I micro-benchmarks: GSet unique additions,
+//!   GCounter increments, and GMap K% key updates (K ∈ {10, 30, 60, 100},
+//!   1000 keys, 100 events per replica);
+//! * [`retwis`] — the §V-C Twitter clone: follower sets, walls and
+//!   timelines as one composed lattice, driven by the Table II op mix
+//!   (15% follow / 35% post / 50% timeline read) under Zipf-distributed
+//!   object selection;
+//! * [`zipf`] — the seeded Zipf sampler behind it.
+//!
+//! All generators implement [`crdt_sim::Workload`] and are deterministic
+//! per seed, so every synchronization protocol replays an identical
+//! operation stream — the property that makes cross-protocol ratios
+//! (Figs. 7–12) meaningful.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod micro;
+pub mod retwis;
+pub mod zipf;
+
+pub use micro::{
+    GCounterWorkload, GMapCrdt, GMapValue, GMapWorkload, GSetWorkload, WorkloadInfo,
+    DEFAULT_EVENTS_PER_REPLICA, DEFAULT_GMAP_KEYS, TABLE1,
+};
+pub use retwis::{
+    NodeTraceOps, RetwisConfig, RetwisOp, RetwisStats, RetwisStore, RetwisSummary, RetwisTrace,
+    RetwisWorkload, Timeline, UserId, Wall,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,309 @@
+//! The paper's micro-benchmarks (Table I).
+//!
+//! | Type | Periodic event | Measurement |
+//! |---|---|---|
+//! | GCounter | single increment | number of entries in the map |
+//! | GSet | addition of unique element | number of elements in the set |
+//! | GMap K% | change the value of K⁄N % keys | number of entries in the map |
+//!
+//! "Note how the GCounter benchmark is a particular case of GMap K%, in
+//! which K = 100. For GMap K% we set the total number of keys to 1000,
+//! and for all benchmarks, the number of events per replica is set to
+//! 100." (§V-B)
+
+use crdt_lattice::{Max, ReplicaId};
+use crdt_sim::Workload;
+use crdt_types::{GCounterOp, GMap, GMapOp, GSetOp};
+
+/// Default events per replica (paper: 100).
+pub const DEFAULT_EVENTS_PER_REPLICA: usize = 100;
+
+/// Default GMap key-space size (paper: 1000).
+pub const DEFAULT_GMAP_KEYS: usize = 1000;
+
+/// Static description of a micro-benchmark (regenerates Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// CRDT type under test.
+    pub crdt: &'static str,
+    /// What each node does per round.
+    pub periodic_event: &'static str,
+    /// The transmission/memory unit.
+    pub measurement: &'static str,
+}
+
+/// Table I, as data (printed by the `table1_micro` experiment binary).
+pub const TABLE1: &[WorkloadInfo] = &[
+    WorkloadInfo {
+        crdt: "GCounter",
+        periodic_event: "single increment",
+        measurement: "number of entries in the map",
+    },
+    WorkloadInfo {
+        crdt: "GSet",
+        periodic_event: "addition of unique element",
+        measurement: "number of elements in the set",
+    },
+    WorkloadInfo {
+        crdt: "GMap K%",
+        periodic_event: "change the value of K/N % keys",
+        measurement: "number of entries in the map",
+    },
+];
+
+/// GSet micro-benchmark: each node adds one globally unique element per
+/// round, for `events_per_replica` rounds.
+#[derive(Debug, Clone)]
+pub struct GSetWorkload {
+    n_nodes: usize,
+    events_per_replica: usize,
+}
+
+impl GSetWorkload {
+    /// Paper-default workload for `n_nodes` replicas (100 events each).
+    pub fn new(n_nodes: usize) -> Self {
+        Self::with_events(n_nodes, DEFAULT_EVENTS_PER_REPLICA)
+    }
+
+    /// Custom event budget.
+    pub fn with_events(n_nodes: usize, events_per_replica: usize) -> Self {
+        GSetWorkload { n_nodes, events_per_replica }
+    }
+
+    /// Rounds needed to exhaust the event budget (one event per round).
+    pub fn rounds(&self) -> usize {
+        self.events_per_replica
+    }
+
+    /// Total elements all replicas will eventually hold.
+    pub fn expected_final_size(&self) -> usize {
+        self.n_nodes * self.events_per_replica
+    }
+}
+
+impl Workload<crdt_types::GSet<u64>> for GSetWorkload {
+    fn ops(&mut self, node: ReplicaId, round: usize) -> Vec<GSetOp<u64>> {
+        if round >= self.events_per_replica {
+            return Vec::new();
+        }
+        // Globally unique element: round-major, node-minor.
+        vec![GSetOp::Add((round * self.n_nodes + node.index()) as u64)]
+    }
+}
+
+/// GCounter micro-benchmark: each node increments once per round.
+#[derive(Debug, Clone)]
+pub struct GCounterWorkload {
+    events_per_replica: usize,
+}
+
+impl GCounterWorkload {
+    /// Paper-default workload (100 increments per replica).
+    pub fn new() -> Self {
+        Self::with_events(DEFAULT_EVENTS_PER_REPLICA)
+    }
+
+    /// Custom event budget.
+    pub fn with_events(events_per_replica: usize) -> Self {
+        GCounterWorkload { events_per_replica }
+    }
+
+    /// Rounds needed to exhaust the event budget.
+    pub fn rounds(&self) -> usize {
+        self.events_per_replica
+    }
+}
+
+impl Default for GCounterWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload<crdt_types::GCounter> for GCounterWorkload {
+    fn ops(&mut self, node: ReplicaId, round: usize) -> Vec<GCounterOp> {
+        if round >= self.events_per_replica {
+            return Vec::new();
+        }
+        vec![GCounterOp::Inc(node)]
+    }
+}
+
+/// The GMap value lattice used by the micro-benchmark: a monotone version
+/// register per key.
+pub type GMapValue = Max<u64>;
+
+/// The GMap CRDT under test.
+pub type GMapCrdt = GMap<u32, GMapValue>;
+
+/// GMap K% micro-benchmark.
+///
+/// Globally, K% of the `total_keys` keys change per round; each node
+/// updates its `K/N %` share. Keys rotate each round so the touched window
+/// sweeps the key space; values carry a per-round version so every write
+/// is a strict inflation (a fresh "change the value" event).
+#[derive(Debug, Clone)]
+pub struct GMapWorkload {
+    n_nodes: usize,
+    total_keys: usize,
+    percent: usize,
+    events_per_replica: usize,
+}
+
+impl GMapWorkload {
+    /// Paper-default workload: 1000 keys, 100 events per replica.
+    pub fn new(n_nodes: usize, percent: usize) -> Self {
+        Self::custom(n_nodes, percent, DEFAULT_GMAP_KEYS, DEFAULT_EVENTS_PER_REPLICA)
+    }
+
+    /// Fully parameterized workload.
+    pub fn custom(
+        n_nodes: usize,
+        percent: usize,
+        total_keys: usize,
+        events_per_replica: usize,
+    ) -> Self {
+        assert!((1..=100).contains(&percent), "K must be in 1..=100");
+        GMapWorkload { n_nodes, total_keys, percent, events_per_replica }
+    }
+
+    /// Keys each node updates per round.
+    pub fn keys_per_node_per_round(&self) -> usize {
+        (self.total_keys * self.percent / 100 / self.n_nodes).max(1)
+    }
+
+    /// Keys changed globally per round (≈ K% of the key space).
+    pub fn keys_per_round(&self) -> usize {
+        self.keys_per_node_per_round() * self.n_nodes
+    }
+
+    /// Rounds needed to exhaust the event budget.
+    pub fn rounds(&self) -> usize {
+        self.events_per_replica
+    }
+
+    /// The Zipf-free deterministic key for a given (node, round, slot).
+    fn key(&self, node: usize, round: usize, slot: usize) -> u32 {
+        let per_round = self.keys_per_round();
+        let base = (round * per_round) % self.total_keys;
+        let offset = node * self.keys_per_node_per_round() + slot;
+        ((base + offset) % self.total_keys) as u32
+    }
+}
+
+impl Workload<GMapCrdt> for GMapWorkload {
+    fn ops(&mut self, node: ReplicaId, round: usize) -> Vec<GMapOp<u32, GMapValue>> {
+        if round >= self.events_per_replica {
+            return Vec::new();
+        }
+        (0..self.keys_per_node_per_round())
+            .map(|slot| GMapOp::Apply {
+                key: self.key(node.index(), round, slot),
+                value: Max::new(round as u64 + 1),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdt_sim::Workload;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn gset_elements_are_globally_unique() {
+        let n = 5;
+        let mut w = GSetWorkload::with_events(n, 10);
+        let mut seen = BTreeSet::new();
+        for round in 0..10 {
+            for node in 0..n {
+                for op in w.ops(ReplicaId::from(node), round) {
+                    let GSetOp::Add(e) = op;
+                    assert!(seen.insert(e), "duplicate element {e}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), w.expected_final_size());
+    }
+
+    #[test]
+    fn gset_stops_after_event_budget() {
+        let mut w = GSetWorkload::with_events(3, 4);
+        assert!(!w.ops(ReplicaId(0), 3).is_empty());
+        assert!(w.ops(ReplicaId(0), 4).is_empty());
+    }
+
+    #[test]
+    fn gcounter_one_increment_per_round() {
+        let mut w = GCounterWorkload::with_events(2);
+        assert_eq!(w.ops(ReplicaId(1), 0), vec![GCounterOp::Inc(ReplicaId(1))]);
+        assert_eq!(w.ops(ReplicaId(1), 1).len(), 1);
+        assert!(w.ops(ReplicaId(1), 2).is_empty());
+    }
+
+    #[test]
+    fn gmap_touches_k_percent_globally() {
+        let n = 10;
+        for percent in [10, 30, 60, 100] {
+            let mut w = GMapWorkload::custom(n, percent, 1000, 5);
+            let mut keys = BTreeSet::new();
+            for node in 0..n {
+                for op in w.ops(ReplicaId::from(node), 0) {
+                    let GMapOp::Apply { key, .. } = op;
+                    keys.insert(key);
+                }
+            }
+            let expect = 1000 * percent / 100;
+            assert_eq!(keys.len(), expect, "K = {percent}%");
+        }
+    }
+
+    #[test]
+    fn gmap_nodes_touch_disjoint_keys_within_a_round() {
+        let n = 10;
+        let mut w = GMapWorkload::custom(n, 60, 1000, 5);
+        let mut keys = Vec::new();
+        for node in 0..n {
+            for op in w.ops(ReplicaId::from(node), 2) {
+                let GMapOp::Apply { key, .. } = op;
+                keys.push(key);
+            }
+        }
+        let unique: BTreeSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "no intra-round contention");
+    }
+
+    #[test]
+    fn gmap_100_percent_touches_every_key() {
+        let n = 10;
+        let mut w = GMapWorkload::custom(n, 100, 1000, 2);
+        let mut keys = BTreeSet::new();
+        for node in 0..n {
+            for op in w.ops(ReplicaId::from(node), 1) {
+                let GMapOp::Apply { key, .. } = op;
+                keys.insert(key);
+            }
+        }
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn gmap_versions_inflate_across_rounds() {
+        let mut w = GMapWorkload::custom(2, 100, 10, 3);
+        let v0 = match w.ops(ReplicaId(0), 0)[0] {
+            GMapOp::Apply { value, .. } => value,
+        };
+        let v1 = match w.ops(ReplicaId(0), 1)[0] {
+            GMapOp::Apply { value, .. } => value,
+        };
+        assert!(v0 < v1, "later rounds carry higher versions");
+    }
+
+    #[test]
+    fn table1_is_complete() {
+        assert_eq!(TABLE1.len(), 3);
+        assert_eq!(TABLE1[0].crdt, "GCounter");
+        assert_eq!(TABLE1[2].measurement, "number of entries in the map");
+    }
+}

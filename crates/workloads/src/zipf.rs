@@ -1,0 +1,135 @@
+//! Zipf-distributed sampling.
+//!
+//! The Retwis experiment (§V-C) draws object updates "following a Zipf
+//! distribution, with coefficients ranging from 0.5 (low contention) to
+//! 1.5 (high contention)". This sampler builds the cumulative weight
+//! table once (`O(n)`) and samples by binary search (`O(log n)`),
+//! deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1 / (k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` is uniform; larger `s` concentrates probability on low
+    /// ranks (higher contention).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Is the domain empty? (Never true — construction requires `n > 0`.)
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0usize; z.len()];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 100_000, 1);
+        for &count in &h {
+            let p = count as f64 / 100_000.0;
+            assert!((p - 0.1).abs() < 0.01, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn skews_towards_low_ranks() {
+        let z = Zipf::new(100, 1.5);
+        let h = histogram(&z, 100_000, 2);
+        assert!(h[0] > h[10] && h[10] >= h[50], "h0={} h10={} h50={}", h[0], h[10], h[50]);
+        // Rank 0 should take the lion's share at s = 1.5.
+        assert!(h[0] as f64 / 100_000.0 > 0.3);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // PMF is monotone decreasing.
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_theory_at_s1() {
+        // With s = 1 over 3 ranks, weights are 1, 1/2, 1/3 → H = 11/6.
+        let z = Zipf::new(3, 1.0);
+        assert!((z.pmf(0) - 6.0 / 11.0).abs() < 1e-9);
+        assert!((z.pmf(1) - 3.0 / 11.0).abs() < 1e-9);
+        assert!((z.pmf(2) - 2.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(100, 0.8);
+        assert_eq!(histogram(&z, 1000, 7), histogram(&z, 1000, 7));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Collaborative tagging with the dot-store framework types: an
+//! observed-remove map of tag sets ([`ORSetMap`]), a remove-wins
+//! moderation set ([`RWSet`]), and a disable-wins kill switch
+//! ([`DWFlag`]) — three different conflict-resolution policies, all
+//! synchronized by the same optimal deltas.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --example collaborative_tags
+//! ```
+
+use crdt_lattice::{Lattice, ReplicaId};
+use crdt_types::{Crdt, DWFlag, ORSetMap, RWSet};
+
+fn main() {
+    let alice = ReplicaId(0);
+    let bob = ReplicaId(1);
+
+    // -- tags: add-wins at both levels ---------------------------------------
+    // Editors tag documents; removing a tag (or a whole document's entry)
+    // only covers what the remover had seen, so concurrent tags survive.
+    let mut tags_a: ORSetMap<&str, &str> = ORSetMap::new();
+    let mut tags_b: ORSetMap<&str, &str> = ORSetMap::new();
+
+    let d = tags_a.add(alice, "doc-7", "draft");
+    tags_b.join_assign(d);
+
+    // Concurrently: Alice clears doc-7's entry; Bob tags it "urgent".
+    let d_clear = tags_a.remove_key(&"doc-7");
+    let d_tag = tags_b.add(bob, "doc-7", "urgent");
+    tags_a.join_assign(d_tag);
+    tags_b.join_assign(d_clear);
+    assert_eq!(tags_a, tags_b);
+    println!("doc-7 tags after clear ∥ tag race: {:?}", tags_a.get(&"doc-7"));
+    assert!(tags_a.get(&"doc-7").contains(&&"urgent"), "concurrent tag survives");
+    assert!(!tags_a.get(&"doc-7").contains(&&"draft"), "observed tag removed");
+
+    // -- moderation: remove-wins ----------------------------------------------
+    // A banned-words list where un-banning must never race-win against a
+    // moderator's concurrent ban: remove-wins is the wrong tool (a ban IS
+    // an add here), so bans go in an RWSet of *allowed* exceptions — an
+    // exception added concurrently with its revocation stays revoked.
+    let mut allow_a: RWSet<&str> = RWSet::new();
+    let mut allow_b: RWSet<&str> = RWSet::new();
+
+    let d = allow_a.add(alice, "slang-42");
+    allow_b.join_assign(d);
+
+    let d_revoke = allow_a.remove(alice, "slang-42");
+    let d_re_add = allow_b.add(bob, "slang-42");
+    allow_a.join_assign(d_re_add);
+    allow_b.join_assign(d_revoke);
+    assert_eq!(allow_a, allow_b);
+    println!("allow-list after revoke ∥ re-add race: {:?}", allow_a.value());
+    assert!(!allow_a.contains(&"slang-42"), "revocation wins");
+
+    // -- kill switch: disable-wins ----------------------------------------------
+    // The feature gate for the tagging UI: if any operator disables it
+    // concurrently with an enable, disabled wins.
+    let mut gate_a = DWFlag::new();
+    let mut gate_b = DWFlag::new();
+
+    let d = gate_a.enable(alice);
+    gate_b.join_assign(d);
+
+    let d_off = gate_a.disable(alice);
+    let d_on = gate_b.enable(bob);
+    gate_a.join_assign(d_on);
+    gate_b.join_assign(d_off);
+    assert_eq!(gate_a, gate_b);
+    println!("kill switch after disable ∥ enable race: enabled = {}", gate_a.is_enabled());
+    assert!(!gate_a.is_enabled(), "disable wins");
+
+    // A later (causally sequenced) enable turns it back on.
+    let d = gate_a.enable(alice);
+    gate_b.join_assign(d);
+    assert!(gate_b.is_enabled());
+    println!("after a sequenced re-enable:                  enabled = {}", gate_b.is_enabled());
+}
