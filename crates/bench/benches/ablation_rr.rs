@@ -11,10 +11,10 @@
 //! * `amplification/*` — the downstream cost: joining the buffered groups
 //!   into the next outgoing δ-group.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use crdt_lattice::{Decompose, Lattice, ReplicaId, SetLattice};
 use crdt_sync::{DeltaConfig, DeltaMsg, DeltaSync};
 use crdt_types::{GSet, GSetOp};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Local state of `n` elements plus a received group of `n/4` elements of
 /// which `redundant_pct`% are already known.
@@ -40,10 +40,8 @@ fn bench_receive(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || {
-                        let mut p = DeltaSync::<GSet<u64>>::with_config(
-                            ReplicaId(0),
-                            DeltaConfig::CLASSIC,
-                        );
+                        let mut p =
+                            DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), DeltaConfig::CLASSIC);
                         seed(&mut p, &state);
                         p
                     },
@@ -62,10 +60,8 @@ fn bench_receive(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || {
-                        let mut p = DeltaSync::<GSet<u64>>::with_config(
-                            ReplicaId(0),
-                            DeltaConfig::BP_RR,
-                        );
+                        let mut p =
+                            DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), DeltaConfig::BP_RR);
                         seed(&mut p, &state);
                         p
                     },
@@ -96,33 +92,31 @@ fn seed(p: &mut DeltaSync<GSet<u64>>, state: &GSet<u64>) {
 fn bench_amplification(c: &mut Criterion) {
     let mut g = c.benchmark_group("amplification");
     for &pct in &[50u64, 90] {
-        for (label, cfg) in [("classic", DeltaConfig::CLASSIC), ("bp_rr", DeltaConfig::BP_RR)] {
+        for (label, cfg) in [
+            ("classic", DeltaConfig::CLASSIC),
+            ("bp_rr", DeltaConfig::BP_RR),
+        ] {
             let (state, group) = scenario(4096, pct);
-            g.bench_with_input(
-                BenchmarkId::new(label, pct),
-                &pct,
-                |b, _| {
-                    b.iter_batched(
-                        || {
-                            let mut p =
-                                DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), cfg);
-                            seed(&mut p, &state);
-                            // Receive 4 overlapping groups (one per mesh
-                            // neighbor).
-                            for i in 0..4u32 {
-                                p.receive(ReplicaId(1 + i), DeltaMsg(group.clone()));
-                            }
-                            p
-                        },
-                        |mut p| {
-                            let mut out = Vec::new();
-                            p.sync_step(&[ReplicaId(9)], &mut out);
-                            out
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, pct), &pct, |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut p = DeltaSync::<GSet<u64>>::with_config(ReplicaId(0), cfg);
+                        seed(&mut p, &state);
+                        // Receive 4 overlapping groups (one per mesh
+                        // neighbor).
+                        for i in 0..4u32 {
+                            p.receive(ReplicaId(1 + i), DeltaMsg(group.clone()));
+                        }
+                        p
+                    },
+                    |mut p| {
+                        let mut out = Vec::new();
+                        p.sync_step(&[ReplicaId(9)], &mut out);
+                        out
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     g.finish();
@@ -144,5 +138,10 @@ fn bench_primitives(c: &mut Criterion) {
     });
 }
 
-criterion_group!(ablation_rr, bench_receive, bench_amplification, bench_primitives);
+criterion_group!(
+    ablation_rr,
+    bench_receive,
+    bench_amplification,
+    bench_primitives
+);
 criterion_main!(ablation_rr);

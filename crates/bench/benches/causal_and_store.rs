@@ -13,12 +13,12 @@
 //! * `codec/*` — encode/decode of lattice states vs their analytic size;
 //! * `store_round/*` — one multi-object sync round, classic vs BP+RR.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use crdt_lattice::{Decompose, MapLattice, Max, ReplicaId, WireEncode};
-use crdt_sync::DeltaConfig;
-use crdt_types::{AWSet, ORMap, RWSet};
-use delta_store::{Cluster, StoreConfig};
+use crdt_sync::ProtocolKind;
 use crdt_types::AWSetOp;
+use crdt_types::{AWSet, ORMap, RWSet};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_store::{Cluster, StoreConfig};
 
 const A: ReplicaId = ReplicaId(0);
 const B: ReplicaId = ReplicaId(1);
@@ -114,9 +114,7 @@ fn bench_codec(c: &mut Criterion) {
         let bytes = state.to_bytes();
         g.bench_with_input(BenchmarkId::new("decode_gcounter", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    MapLattice::<ReplicaId, Max<u64>>::from_bytes(black_box(&bytes)).unwrap(),
-                )
+                black_box(MapLattice::<ReplicaId, Max<u64>>::from_bytes(black_box(&bytes)).unwrap())
             })
         });
     }
@@ -127,45 +125,38 @@ fn bench_store_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_round");
     for &objects in &[16u64, 128] {
         for (label, cfg) in [
-            ("classic", StoreConfig { delta: DeltaConfig::CLASSIC }),
+            ("classic", StoreConfig::new(ProtocolKind::Classic)),
             ("bp_rr", StoreConfig::default()),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, objects),
-                &objects,
-                |b, &objects| {
-                    b.iter_batched(
-                        || {
-                            // 4 replicas, ring; every object hot on every replica.
-                            let neighbors: Vec<Vec<ReplicaId>> = (0..4usize)
-                                .map(|i| {
-                                    vec![
-                                        ReplicaId::from((i + 1) % 4),
-                                        ReplicaId::from((i + 3) % 4),
-                                    ]
-                                })
-                                .collect();
-                            let mut cl: Cluster<u64, AWSet<u64>> =
-                                Cluster::with_neighbors(neighbors, cfg);
-                            for k in 0..objects {
-                                for r in 0..4usize {
-                                    cl.update(
-                                        r,
-                                        k,
-                                        &AWSetOp::Add(ReplicaId::from(r), k * 10 + r as u64),
-                                    );
-                                }
+            g.bench_with_input(BenchmarkId::new(label, objects), &objects, |b, &objects| {
+                b.iter_batched(
+                    || {
+                        // 4 replicas, ring; every object hot on every replica.
+                        let neighbors: Vec<Vec<ReplicaId>> = (0..4usize)
+                            .map(|i| {
+                                vec![ReplicaId::from((i + 1) % 4), ReplicaId::from((i + 3) % 4)]
+                            })
+                            .collect();
+                        let mut cl: Cluster<u64, AWSet<u64>> =
+                            Cluster::with_neighbors(neighbors, cfg);
+                        for k in 0..objects {
+                            for r in 0..4usize {
+                                cl.update(
+                                    r,
+                                    k,
+                                    &AWSetOp::Add(ReplicaId::from(r), k * 10 + r as u64),
+                                );
                             }
-                            cl
-                        },
-                        |mut cl| {
-                            cl.sync_round();
-                            black_box(cl.stats())
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+                        }
+                        cl
+                    },
+                    |mut cl| {
+                        cl.sync_round();
+                        black_box(cl.stats())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     g.finish();

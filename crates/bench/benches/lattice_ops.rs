@@ -7,8 +7,8 @@
 //! δ-groups, while RR pays one `Δ` extraction — the `delta/*` group here
 //! prices that extraction.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use crdt_lattice::{Bottom, Decompose, Lattice, MapLattice, Max, ReplicaId, SetLattice};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 type GCounterShape = MapLattice<ReplicaId, Max<u64>>;
 
@@ -32,9 +32,11 @@ fn bench_join(c: &mut Criterion) {
         });
         let ca = gcounter(n as u32, 0);
         let cb = gcounter(n as u32, 5);
-        g.bench_with_input(BenchmarkId::new("gcounter_pointwise_max", n), &n, |bench, _| {
-            bench.iter(|| black_box(ca.clone()).join(black_box(cb.clone())))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gcounter_pointwise_max", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(ca.clone()).join(black_box(cb.clone()))),
+        );
     }
     g.finish();
 }
@@ -82,9 +84,11 @@ fn bench_delta(c: &mut Criterion) {
             bench.iter(|| black_box(&a).delta(black_box(&b)))
         });
         // Fully redundant: the RR fast path that drops a δ-group.
-        g.bench_with_input(BenchmarkId::new("gset_fully_redundant", n), &n, |bench, _| {
-            bench.iter(|| black_box(&a).delta(black_box(&a)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gset_fully_redundant", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(&a).delta(black_box(&a))),
+        );
         let ca = gcounter(n as u32, 5);
         let cb = gcounter(n as u32, 0);
         g.bench_with_input(BenchmarkId::new("gcounter_all_newer", n), &n, |bench, _| {

@@ -5,11 +5,11 @@
 //! Fig. 12's CPU comparison: classic delta's rounds get slower as its
 //! δ-groups snowball; BP+RR rounds stay flat.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crdt_lattice::{ReplicaId, SizeModel};
 use crdt_sim::{NetworkConfig, Runner, Topology};
 use crdt_sync::{BpRrDelta, ClassicDelta, OpBased, Protocol, Scuttlebutt, StateSync};
 use crdt_types::{GSet, GSetOp};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 const N: usize = 15;
 

@@ -1,0 +1,24 @@
+//! Runtime protocol selection over the type-erased engine layer.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin protocol_select -- \
+//!     --protocol bp_rr --protocol scuttlebutt --protocol state
+//! cargo run --release -p crdt-bench --bin protocol_select -- --protocol all --quick
+//! ```
+//!
+//! Accepts any [`crdt_sync::ProtocolKind`] spelling (`bp_rr`,
+//! `delta+BP+RR`, `scuttlebutt-gc`, …); defaults to classic vs BP+RR vs
+//! state. Every run goes through `Box<dyn SyncEngine>` with encoded
+//! envelope payloads — the deployment path, not the monomorphized
+//! experiment path.
+
+use crdt_sync::ProtocolKind;
+
+fn main() {
+    let kinds = crdt_bench::protocols_from_args(&[
+        ProtocolKind::Classic,
+        ProtocolKind::BpRr,
+        ProtocolKind::State,
+    ]);
+    crdt_bench::experiments::protocol_select(crdt_bench::Scale::from_args(), &kinds);
+}

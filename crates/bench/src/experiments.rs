@@ -5,16 +5,16 @@
 use crdt_lattice::SizeModel;
 use crdt_sim::{run_experiment, NetworkConfig, RunMetrics, ShardedDeltaRunner, Topology};
 use crdt_sync::{AckedDeltaSync, DeltaConfig, OpBased, Scuttlebutt, ScuttlebuttGc};
-use crdt_types::{GCounter, GSet};
 use crdt_types::GSet as GSetCrdt;
+use crdt_types::{GCounter, GSet};
 use crdt_workloads::{
     GCounterWorkload, GMapCrdt, GMapWorkload, GSetWorkload, RetwisConfig, RetwisTrace,
     RetwisWorkload, Timeline, UserId, Wall, TABLE1,
 };
 
 use crate::{
-    find, fmt_bytes, fmt_ratio, print_table, ratio, run_suite, transmission_ratio_rows, Run,
-    Scale, Suite, TRANSMISSION_HEADERS,
+    find, fmt_bytes, fmt_ratio, print_table, ratio, run_suite, transmission_ratio_rows, Run, Scale,
+    Suite, TRANSMISSION_HEADERS,
 };
 
 const MODEL: SizeModel = SizeModel::compact();
@@ -60,7 +60,11 @@ pub fn fig1(scale: Scale) {
         rows.push(vec![
             format!("{}", idx + 1),
             s_state[idx].to_string(),
-            s_classic.get(idx).copied().unwrap_or(*s_classic.last().unwrap()).to_string(),
+            s_classic
+                .get(idx)
+                .copied()
+                .unwrap_or(*s_classic.last().unwrap())
+                .to_string(),
         ]);
     }
     print_table(
@@ -75,7 +79,10 @@ pub fn fig1(scale: Scale) {
         .map(|r| {
             vec![
                 r.name.to_string(),
-                fmt_ratio(ratio(r.metrics.total_cpu_nanos(), state.metrics.total_cpu_nanos())),
+                fmt_ratio(ratio(
+                    r.metrics.total_cpu_nanos(),
+                    state.metrics.total_cpu_nanos(),
+                )),
             ]
         })
         .collect();
@@ -189,7 +196,13 @@ pub fn fig9(scale: Scale) {
     }
     print_table(
         "Fig. 9: measured metadata per node over the run (20 B ids, degree-4 mesh, GSet)",
-        &["nodes", "scuttlebutt", "scuttlebutt-gc", "op-based", "delta (acked)"],
+        &[
+            "nodes",
+            "scuttlebutt",
+            "scuttlebutt-gc",
+            "op-based",
+            "delta (acked)",
+        ],
         &rows,
     );
 
@@ -211,7 +224,13 @@ pub fn fig9(scale: Scale) {
         .collect();
     print_table(
         "Fig. 9 (model): per-sync metadata — NP / N²P / NPU / P vector entries",
-        &["nodes", "scuttlebutt", "scuttlebutt-gc", "op-based", "delta"],
+        &[
+            "nodes",
+            "scuttlebutt",
+            "scuttlebutt-gc",
+            "op-based",
+            "delta",
+        ],
         &analytic,
     );
 
@@ -283,7 +302,12 @@ pub fn fig10(scale: Scale) {
 
     print_table(
         "Fig. 10: average memory (elements/node/round) and ratio w.r.t. BP+RR — mesh",
-        &["workload", "protocol", "avg elements/node", "ratio vs BP+RR"],
+        &[
+            "workload",
+            "protocol",
+            "avg elements/node",
+            "ratio vs BP+RR",
+        ],
         &rows,
     );
 }
@@ -324,9 +348,13 @@ fn run_retwis_config(trace: &RetwisTrace, topo: &Topology, cfg: DeltaConfig) -> 
         walls.step(&w);
         timelines.step(&t);
     }
-    followers.run_to_convergence(slack).expect("followers converge");
+    followers
+        .run_to_convergence(slack)
+        .expect("followers converge");
     walls.run_to_convergence(slack).expect("walls converge");
-    timelines.run_to_convergence(slack).expect("timelines converge");
+    timelines
+        .run_to_convergence(slack)
+        .expect("timelines converge");
 
     followers
         .into_metrics()
@@ -381,8 +409,7 @@ pub fn fig11_from(points: &[ZipfPoint]) {
         };
         let (c1, c2) = halves(&p.classic);
         let (b1, b2) = halves(&p.bprr);
-        let per_node_round =
-            |m: &RunMetrics| m.total_bytes() / (m.rounds.len().max(1) as u64) / n;
+        let per_node_round = |m: &RunMetrics| m.total_bytes() / (m.rounds.len().max(1) as u64) / n;
         tx_rows.push(vec![
             format!("{:.2}", p.zipf),
             fmt_bytes(per_node_round(&c1)),
@@ -400,12 +427,24 @@ pub fn fig11_from(points: &[ZipfPoint]) {
     }
     print_table(
         "Fig. 11 (top): Retwis transmission per node per round — first and second half",
-        &["zipf", "classic (1st)", "BP+RR (1st)", "classic (2nd)", "BP+RR (2nd)"],
+        &[
+            "zipf",
+            "classic (1st)",
+            "BP+RR (1st)",
+            "classic (2nd)",
+            "BP+RR (2nd)",
+        ],
         &tx_rows,
     );
     print_table(
         "Fig. 11 (bottom): Retwis average memory per node — first and second half",
-        &["zipf", "classic (1st)", "BP+RR (1st)", "classic (2nd)", "BP+RR (2nd)"],
+        &[
+            "zipf",
+            "classic (1st)",
+            "BP+RR (1st)",
+            "classic (2nd)",
+            "BP+RR (2nd)",
+        ],
         &mem_rows,
     );
 }
@@ -473,7 +512,11 @@ pub fn table2(scale: Scale) {
         seed: 7,
     });
     // Generate one big batch.
-    let _ops = crdt_sim::Workload::<crdt_workloads::RetwisStore>::ops(&mut w, crdt_lattice::ReplicaId(0), 0);
+    let _ops = crdt_sim::Workload::<crdt_workloads::RetwisStore>::ops(
+        &mut w,
+        crdt_lattice::ReplicaId(0),
+        0,
+    );
     let s = w.stats;
     let rows = vec![
         vec![
@@ -484,7 +527,10 @@ pub fn table2(scale: Scale) {
         ],
         vec![
             "Post Tweet".to_string(),
-            format!("1 + #Followers (measured avg {:.2})", s.avg_updates_per_post()),
+            format!(
+                "1 + #Followers (measured avg {:.2})",
+                s.avg_updates_per_post()
+            ),
             format!("{:.1}%", s.share(s.posts)),
             "35%".to_string(),
         ],
@@ -500,6 +546,32 @@ pub fn table2(scale: Scale) {
         &["Operation", "#Updates", "measured %", "paper %"],
         &rows,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Runtime protocol selection (engine layer)
+// ---------------------------------------------------------------------------
+
+/// Transmission/memory comparison for a **runtime-chosen** protocol set:
+/// the `protocol_select` binary's engine, also reused by
+/// `all_experiments`. Unlike the `fig*` functions (monomorphized per
+/// protocol), every run here goes through `Box<dyn SyncEngine>` over
+/// encoded [`crdt_sync::WireEnvelope`]s — the deployment path.
+pub fn protocol_select(scale: Scale, kinds: &[crdt_sync::ProtocolKind]) {
+    for (topo_name, topo) in [("tree", tree(scale)), ("mesh", mesh(scale))] {
+        let n = topo.len();
+        let rounds = events(scale);
+        let runs = crate::run_dyn_suite::<GSet<u64>, _>(kinds, &topo, 1, MODEL, rounds, || {
+            GSetWorkload::with_events(n, rounds)
+        });
+        print_table(
+            &format!(
+                "Runtime-selected protocols (dyn engine): GSet transmission, {topo_name} ({n} nodes)"
+            ),
+            TRANSMISSION_HEADERS,
+            &crate::transmission_rows_vs_best(&runs),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -549,7 +621,14 @@ pub fn ablation_topologies(scale: Scale) {
     }
     print_table(
         "Ablation (extension): transmission saved vs classic delta, per optimization",
-        &["topology", "cycles", "classic elems", "BP saves", "RR saves", "BP+RR saves"],
+        &[
+            "topology",
+            "cycles",
+            "classic elems",
+            "BP saves",
+            "RR saves",
+            "BP+RR saves",
+        ],
         &rows,
     );
     println!(

@@ -14,11 +14,11 @@
 
 #![warn(missing_docs)]
 
-use crdt_lattice::SizeModel;
-use crdt_sim::{run_experiment, NetworkConfig, RunMetrics, Topology, Workload};
+use crdt_lattice::{SizeModel, WireEncode};
+use crdt_sim::{run_dyn_experiment, run_experiment, NetworkConfig, RunMetrics, Topology, Workload};
 use crdt_sync::{
-    BpDelta, BpRrDelta, ClassicDelta, DeltaCrdt, DeltaCrdtSmallLog, OpBased, Protocol, RrDelta,
-    Scuttlebutt, ScuttlebuttGc, StateSync,
+    BpDelta, BpRrDelta, ClassicDelta, DeltaCrdt, DeltaCrdtSmallLog, OpBased, Protocol,
+    ProtocolKind, RrDelta, Scuttlebutt, ScuttlebuttGc, StateSync,
 };
 use crdt_types::Crdt;
 
@@ -105,6 +105,88 @@ where
     runs
 }
 
+/// Run a **runtime-selected** set of protocols over identical replayed
+/// workloads, through the type-erased engine layer (`DynRunner`).
+///
+/// The erased path produces byte-identical accounting to the generic
+/// path (the engine-parity tests pin that), so [`run_suite`] and
+/// `run_dyn_suite` rows are interchangeable in the figures; this variant
+/// exists so binaries can accept `--protocol` flags instead of being
+/// monomorphized over a fixed list.
+pub fn run_dyn_suite<C, W>(
+    kinds: &[ProtocolKind],
+    topology: &Topology,
+    net_seed: u64,
+    model: SizeModel,
+    rounds: usize,
+    make: impl Fn() -> W,
+) -> Vec<Run>
+where
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
+    W: Workload<C>,
+{
+    let net = NetworkConfig::reliable(net_seed);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut w = make();
+            Run {
+                name: kind.name(),
+                metrics: run_dyn_experiment::<C>(
+                    kind,
+                    topology.clone(),
+                    net,
+                    model,
+                    &mut w,
+                    rounds,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Parse every `--protocol <kind>` (repeatable, any [`ProtocolKind`]
+/// spelling) from `std::env::args`; `default` when none given.
+///
+/// `--protocol all` selects the full suite. Invalid or missing values
+/// print the accepted spellings to stderr and exit with status 2.
+pub fn protocols_from_args(default: &[ProtocolKind]) -> Vec<ProtocolKind> {
+    let usage_exit = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: --protocol <kind> (repeatable), where <kind> is `all` or one of: {}",
+            ProtocolKind::ALL.map(|k| k.id()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut kinds = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--protocol" {
+            let Some(value) = args.get(i + 1) else {
+                usage_exit("--protocol needs a value");
+            };
+            if value == "all" {
+                kinds.extend(ProtocolKind::ALL);
+            } else {
+                match value.parse() {
+                    Ok(kind) => kinds.push(kind),
+                    Err(e) => usage_exit(&format!("{e}")),
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if kinds.is_empty() {
+        kinds.extend_from_slice(default);
+    }
+    kinds
+}
+
 /// Find a run by protocol name.
 pub fn find<'a>(runs: &'a [Run], name: &str) -> &'a Run {
     runs.iter()
@@ -175,7 +257,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&headers_owned));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -207,9 +292,25 @@ pub fn fmt_bytes(b: u64) -> String {
 }
 
 /// Canonical transmission-ratio rows (each protocol vs BP+RR) used by the
-/// Fig. 7/8 binaries.
+/// Fig. 7/8 binaries. Panics if BP+RR is absent — the figure suites always
+/// include it; runtime-selected sets should use
+/// [`transmission_rows_vs_best`].
 pub fn transmission_ratio_rows(runs: &[Run]) -> Vec<Vec<String>> {
-    let base = &find(runs, "delta+BP+RR").metrics;
+    transmission_rows_vs(runs, &find(runs, "delta+BP+RR").metrics)
+}
+
+/// Transmission-ratio rows against BP+RR when present, else against the
+/// first run — for runtime-selected protocol sets where the baseline is
+/// not guaranteed to be in the mix.
+pub fn transmission_rows_vs_best(runs: &[Run]) -> Vec<Vec<String>> {
+    let base = runs
+        .iter()
+        .find(|r| r.name == ProtocolKind::BpRr.name())
+        .unwrap_or(&runs[0]);
+    transmission_rows_vs(runs, &base.metrics.clone())
+}
+
+fn transmission_rows_vs(runs: &[Run], base: &RunMetrics) -> Vec<Vec<String>> {
     let (base_elems, base_bytes) = (base.total_elements(), base.total_bytes());
     runs.iter()
         .map(|r| {
@@ -257,14 +358,10 @@ mod tests {
     fn full_suite_runs_and_converges() {
         let n = 6;
         let topo = Topology::partial_mesh(n, 4);
-        let runs = run_suite::<GSet<u64>, _>(
-            Suite::Full,
-            &topo,
-            1,
-            SizeModel::compact(),
-            5,
-            || unique_adds(n, 5),
-        );
+        let runs =
+            run_suite::<GSet<u64>, _>(Suite::Full, &topo, 1, SizeModel::compact(), 5, || {
+                unique_adds(n, 5)
+            });
         assert_eq!(runs.len(), 8);
         for r in &runs {
             assert!(r.metrics.total_messages() > 0, "{} sent nothing", r.name);

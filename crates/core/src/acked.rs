@@ -140,7 +140,13 @@ impl<C: Crdt> Protocol<C> for AckedDeltaSync<C> {
                     .map(|(_, (d, _))| d.clone()),
             );
             if !group.is_bottom() {
-                out.push((j, AckedMsg::Delta { group, seq: self.next_seq }));
+                out.push((
+                    j,
+                    AckedMsg::Delta {
+                        group,
+                        seq: self.next_seq,
+                    },
+                ));
             }
         }
     }
@@ -193,7 +199,7 @@ mod tests {
 
     const A: ReplicaId = ReplicaId(0);
     const B: ReplicaId = ReplicaId(1);
-    const PARAMS: Params = Params { n_nodes: 2 };
+    const PARAMS: Params = Params::new(2);
 
     type P = AckedDeltaSync<GSet<u32>>;
 

@@ -45,7 +45,9 @@ pub struct DeltaBuffer<L> {
 impl<L: Bottom + StateSize> DeltaBuffer<L> {
     /// An empty buffer (`B⁰ᵢ = ∅`).
     pub fn new() -> Self {
-        DeltaBuffer { entries: Vec::new() }
+        DeltaBuffer {
+            entries: Vec::new(),
+        }
     }
 
     /// Append a δ-group (the buffer half of `store`, Algorithm 1 line 20).

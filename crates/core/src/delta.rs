@@ -49,11 +49,20 @@ pub struct DeltaConfig {
 
 impl DeltaConfig {
     /// Classic delta-based synchronization \[13\], \[14\].
-    pub const CLASSIC: Self = DeltaConfig { bp: false, rr: false };
+    pub const CLASSIC: Self = DeltaConfig {
+        bp: false,
+        rr: false,
+    };
     /// Classic + avoid back-propagation.
-    pub const BP: Self = DeltaConfig { bp: true, rr: false };
+    pub const BP: Self = DeltaConfig {
+        bp: true,
+        rr: false,
+    };
     /// Classic + remove redundant received state.
-    pub const RR: Self = DeltaConfig { bp: false, rr: true };
+    pub const RR: Self = DeltaConfig {
+        bp: false,
+        rr: true,
+    };
     /// Both optimizations (the paper's best variant).
     pub const BP_RR: Self = DeltaConfig { bp: true, rr: true };
 
@@ -105,7 +114,12 @@ pub struct DeltaSync<C> {
 impl<C: Crdt> DeltaSync<C> {
     /// Create replica `id` with the given optimizations.
     pub fn with_config(id: ReplicaId, cfg: DeltaConfig) -> Self {
-        DeltaSync { id, cfg, state: C::bottom(), buffer: DeltaBuffer::new() }
+        DeltaSync {
+            id,
+            cfg,
+            state: C::bottom(),
+            buffer: DeltaBuffer::new(),
+        }
     }
 
     /// The replica id.
@@ -294,11 +308,7 @@ mod tests {
 
             // •2: A → B. Classic sends {a,b}; BP sends {a}.
             a.sync_step(&[B], &mut out);
-            assert_eq!(
-                sent_elements(&out),
-                expect_at_2,
-                "cfg = {cfg:?}"
-            );
+            assert_eq!(sent_elements(&out), expect_at_2, "cfg = {cfg:?}");
             for (_, m) in out.drain(..) {
                 b.receive(A, m);
             }

@@ -173,9 +173,15 @@ impl<C: Crdt> DeltaCrdtSync<C> {
                         delta.join_assign(d.clone());
                     }
                 }
-                DeltaCrdtMsg::Delta { upto: self.seq, delta }
+                DeltaCrdtMsg::Delta {
+                    upto: self.seq,
+                    delta,
+                }
             } else {
-                DeltaCrdtMsg::Full { upto: self.seq, state: self.state.clone() }
+                DeltaCrdtMsg::Full {
+                    upto: self.seq,
+                    state: self.state.clone(),
+                }
             };
             out.push((j, msg));
         }
@@ -190,8 +196,14 @@ impl<C: Crdt> DeltaCrdtSync<C> {
         out: &mut Vec<(ReplicaId, DeltaCrdtMsg<C>)>,
     ) {
         match msg {
-            DeltaCrdtMsg::Delta { upto, delta: payload }
-            | DeltaCrdtMsg::Full { upto, state: payload } => {
+            DeltaCrdtMsg::Delta {
+                upto,
+                delta: payload,
+            }
+            | DeltaCrdtMsg::Full {
+                upto,
+                state: payload,
+            } => {
                 let novelty = payload.delta(&self.state);
                 if !novelty.is_bottom() {
                     self.state.join_assign(novelty.clone());
@@ -427,7 +439,10 @@ mod tests {
         let mut out = Vec::new();
         b.receive(
             A,
-            DeltaCrdtMsg::Delta { upto: 3, delta: GSet::from_iter([1, 2]) },
+            DeltaCrdtMsg::Delta {
+                upto: 3,
+                delta: GSet::from_iter([1, 2]),
+            },
             &mut out,
         );
         // Log: own {1} + extracted {2} — not the whole received {1, 2}.
@@ -439,7 +454,10 @@ mod tests {
     #[test]
     fn message_accounting() {
         let model = SizeModel::compact();
-        let delta: Msg = DeltaCrdtMsg::Delta { upto: 1, delta: GSet::from_iter([1, 2]) };
+        let delta: Msg = DeltaCrdtMsg::Delta {
+            upto: 1,
+            delta: GSet::from_iter([1, 2]),
+        };
         assert_eq!(delta.payload_elements(), 2);
         assert_eq!(delta.metadata_bytes(&model), model.seq_bytes);
         let ack: Msg = DeltaCrdtMsg::Ack { upto: 9 };
@@ -457,7 +475,10 @@ mod tests {
         let m = nodes[0].memory_usage(&model);
         assert_eq!(m.crdt_elements, 1);
         assert_eq!(m.meta_elements, 1, "the log entry");
-        assert!(m.meta_bytes >= model.vector_entry_bytes(), "ack vector counted");
+        assert!(
+            m.meta_bytes >= model.vector_entry_bytes(),
+            "ack vector counted"
+        );
     }
 
     #[test]

@@ -21,6 +21,42 @@
 //! [`Measured`], so the simulator in `crdt-sim` reproduces the paper's
 //! element/byte/memory/CPU measurements uniformly.
 //!
+//! ## The engine layer: runtime protocol selection
+//!
+//! [`Protocol`] is generic (associated `Msg` type, `const NAME`) and
+//! therefore not object-safe; the [`engine`] module adds the type-erased
+//! twin for deployments that pick the protocol at runtime:
+//!
+//! | Engine item | Role |
+//! |---|---|
+//! | [`SyncEngine`] | object-safe mirror of [`Protocol`] (`Box<dyn SyncEngine>`) |
+//! | [`WireEnvelope`] | the one concrete message: encoded payload + [`WireAccounting`] |
+//! | [`EngineAdapter`] | blanket bridge wrapping any wire-encodable `P: Protocol<C>` |
+//! | [`ProtocolKind`] | the suite as a value — `"bp_rr".parse()`, `kind.name()` |
+//! | [`build_engine`] | factory: `ProtocolKind` → boxed engine over any CRDT |
+//!
+//! Generic and erased paths are behaviorally identical (pinned by the
+//! `engine_parity` property tests); the erased path additionally runs
+//! every payload through [`crdt_lattice::codec`], so its
+//! `WireAccounting::encoded_bytes` is a measurement of real bytes, not a
+//! model. Use [`Protocol`] directly for monomorphized experiments, the
+//! engine layer for runtime-configurable systems (`crdt-sim`'s
+//! `DynRunner`, `delta-store`); ARCHITECTURE.md has the full decision
+//! guide.
+//!
+//! ```
+//! use crdt_lattice::ReplicaId;
+//! use crdt_sync::{build_engine, OpBytes, Params, ProtocolKind};
+//! use crdt_types::{GSet, GSetOp};
+//!
+//! // Protocol chosen from a string — e.g. a `--protocol` CLI flag.
+//! let kind: ProtocolKind = "scuttlebutt".parse().unwrap();
+//! let mut engine = build_engine::<GSet<u64>>(kind, ReplicaId(0), &Params::new(3));
+//! engine.on_op(&OpBytes::encode(&GSetOp::Add(1u64))).unwrap();
+//! let digests = engine.on_sync(&[ReplicaId(1), ReplicaId(2)]);
+//! assert_eq!(digests.len(), 2);
+//! ```
+//!
 //! ## Example: the Fig. 4 anomaly in eight lines
 //!
 //! ```
@@ -48,6 +84,7 @@ mod buffer;
 mod delta;
 mod deltacrdt;
 pub mod digest;
+pub mod engine;
 mod opbased;
 mod proto;
 mod scuttlebutt;
@@ -59,6 +96,10 @@ pub use buffer::{DeltaBuffer, Entry, Origin};
 pub use delta::{BpDelta, BpRrDelta, ClassicDelta, DeltaConfig, DeltaMsg, DeltaSync, RrDelta};
 pub use deltacrdt::{
     DeltaCrdt, DeltaCrdtMsg, DeltaCrdtSmallLog, DeltaCrdtSync, DEFAULT_LOG_CAPACITY,
+};
+pub use engine::{
+    build_engine, build_engine_with_model, EngineAdapter, EngineError, OpBytes, ProtocolKind,
+    SyncEngine, UnknownProtocol, WireAccounting, WireEnvelope,
 };
 pub use opbased::{OpBased, OpMsg, TaggedOp};
 pub use proto::{Measured, MemoryUsage, Params, Protocol};

@@ -45,8 +45,11 @@ pub struct OpMsg<C: Crdt> {
 }
 
 impl<C: Crdt> OpMsg<C> {
-    fn new(ops: Vec<TaggedOp<C::Op>>) -> Self {
-        OpMsg { ops, _marker: core::marker::PhantomData }
+    pub(crate) fn new(ops: Vec<TaggedOp<C::Op>>) -> Self {
+        OpMsg {
+            ops,
+            _marker: core::marker::PhantomData,
+        }
     }
 }
 
@@ -159,7 +162,14 @@ impl<C: Crdt> Protocol<C> for OpBased<C> {
         seen.insert(self.id);
         self.buffer.insert(
             dot,
-            BufEntry { tagged: TaggedOp { dot, deps, op: op.clone() }, seen },
+            BufEntry {
+                tagged: TaggedOp {
+                    dot,
+                    deps,
+                    op: op.clone(),
+                },
+                seen,
+            },
         );
     }
 
@@ -227,9 +237,7 @@ impl<C: Crdt> Protocol<C> for OpBased<C> {
             .pending
             .iter()
             .map(|t| {
-                C::op_size_bytes(&t.op, model)
-                    + t.dot.size_bytes(model)
-                    + t.deps.size_bytes(model)
+                C::op_size_bytes(&t.op, model) + t.dot.size_bytes(model) + t.deps.size_bytes(model)
             })
             .sum();
         MemoryUsage {
@@ -249,7 +257,7 @@ mod tests {
     const A: ReplicaId = ReplicaId(0);
     const B: ReplicaId = ReplicaId(1);
     const C_: ReplicaId = ReplicaId(2);
-    const PARAMS: Params = Params { n_nodes: 3 };
+    const PARAMS: Params = Params::new(3);
 
     fn deliver<C: Crdt>(to: &mut OpBased<C>, from: ReplicaId, msgs: Vec<(ReplicaId, OpMsg<C>)>) {
         for (_, m) in msgs {
@@ -281,10 +289,7 @@ mod tests {
         let first: Vec<_> = a.buffer.values().map(|e| e.tagged.clone()).collect();
         a.on_op(&GSetOp::Add(2));
         let both: Vec<_> = a.buffer.values().map(|e| e.tagged.clone()).collect();
-        let second: Vec<_> = both
-            .into_iter()
-            .filter(|t| t.dot.seq == 2)
-            .collect();
+        let second: Vec<_> = both.into_iter().filter(|t| t.dot.seq == 2).collect();
 
         let mut b: OpBased<GSet<u32>> = Protocol::new(B, &PARAMS);
         b.on_msg(A, OpMsg::new(second), &mut Vec::new());

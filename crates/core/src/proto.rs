@@ -19,7 +19,20 @@ use crdt_lattice::{ReplicaId, SizeModel};
 use crdt_types::Crdt;
 
 /// Per-protocol construction parameters.
+///
+/// `Params` is `#[non_exhaustive]` and built through a chainable
+/// constructor so future knobs never break `Protocol::new` call sites:
+///
+/// ```
+/// use crdt_sync::Params;
+///
+/// let p = Params::new(16).fan_out(4).sync_interval(2);
+/// assert_eq!(p.n_nodes, 16);
+/// assert_eq!(p.fan_out, Some(4));
+/// assert_eq!(p.sync_interval, 2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Params {
     /// Total number of replicas in the system.
     ///
@@ -27,12 +40,48 @@ pub struct Params {
     /// knowledge matrix spans all nodes); delta-based protocols ignore it —
     /// that asymmetry *is* the paper's metadata argument (§V-B2).
     pub n_nodes: usize,
+
+    /// Cap on how many neighbors one synchronization step addresses.
+    ///
+    /// `None` (the default) synchronizes with every neighbor, the paper's
+    /// experiment loop. Drivers that support it (the engine-layer
+    /// `DynRunner`) rotate deterministically through the neighbor list so
+    /// a capped replica still addresses everyone over successive rounds.
+    ///
+    /// Meant for anti-entropy protocols (Scuttlebutt keeps its key-delta
+    /// store, so partial gossip loses nothing). The Algorithm-1 delta
+    /// variants clear their δ-buffer after *every* sync step, so capping
+    /// their fan-out silently drops deltas for the unaddressed neighbors —
+    /// exactly the lossy-channel situation the acked variant exists for.
+    pub fan_out: Option<usize>,
+
+    /// Rounds between synchronization steps (`1` = every round, the
+    /// paper's loop). Interval-aware drivers skip `on_sync` on off
+    /// rounds; deltas keep accumulating in the buffers meanwhile.
+    pub sync_interval: usize,
 }
 
 impl Params {
-    /// Parameters for an `n`-node system.
-    pub fn new(n_nodes: usize) -> Self {
-        Params { n_nodes }
+    /// Parameters for an `n`-node system, with default knobs: unlimited
+    /// fan-out, synchronization every round.
+    pub const fn new(n_nodes: usize) -> Self {
+        Params {
+            n_nodes,
+            fan_out: None,
+            sync_interval: 1,
+        }
+    }
+
+    /// Cap synchronization fan-out per step.
+    pub const fn fan_out(mut self, fan_out: usize) -> Self {
+        self.fan_out = Some(fan_out);
+        self
+    }
+
+    /// Set the number of rounds between synchronization steps.
+    pub const fn sync_interval(mut self, interval: usize) -> Self {
+        self.sync_interval = interval;
+        self
     }
 }
 
@@ -130,5 +179,7 @@ mod tests {
     #[test]
     fn params_carry_system_size() {
         assert_eq!(Params::new(15).n_nodes, 15);
+        assert_eq!(Params::new(15).fan_out(3).fan_out, Some(3));
+        assert_eq!(Params::new(15).sync_interval(4).sync_interval, 4);
     }
 }

@@ -34,7 +34,8 @@ use crate::proto::{Measured, MemoryUsage, Params, Protocol};
 pub type Knowledge = BTreeMap<ReplicaId, VClock>;
 
 fn knowledge_bytes(k: &Knowledge, model: &SizeModel) -> u64 {
-    k.values().map(|v| model.id_bytes + v.size_bytes(model))
+    k.values()
+        .map(|v| model.id_bytes + v.size_bytes(model))
         .sum()
 }
 
@@ -99,7 +100,11 @@ impl<C: StateSize> Measured for SbMsg<C> {
         let know = |k: &Option<Knowledge>| k.as_ref().map_or(0, |k| knowledge_bytes(k, model));
         match self {
             SbMsg::Digest { clock, knowledge } => clock.size_bytes(model) + know(knowledge),
-            SbMsg::Reply { deltas, clock, knowledge } => {
+            SbMsg::Reply {
+                deltas,
+                clock,
+                knowledge,
+            } => {
                 deltas.len() as u64 * model.vector_entry_bytes()
                     + clock.size_bytes(model)
                     + know(knowledge)
@@ -194,7 +199,12 @@ impl<C: Crdt> ScuttlebuttCore<C> {
     }
 
     /// Record a peer's summary vector / knowledge and prune safe deltas.
-    fn learn(&mut self, from: ReplicaId, their_clock: &VClock, their_knowledge: &Option<Knowledge>) {
+    fn learn(
+        &mut self,
+        from: ReplicaId,
+        their_clock: &VClock,
+        their_knowledge: &Option<Knowledge>,
+    ) {
         if !self.gc {
             return;
         }
@@ -218,9 +228,8 @@ impl<C: Crdt> ScuttlebuttCore<C> {
             return;
         }
         let knowledge = &self.knowledge;
-        self.store.retain(|dot, _| {
-            !knowledge.values().all(|v| v.contains(dot))
-        });
+        self.store
+            .retain(|dot, _| !knowledge.values().all(|v| v.contains(dot)));
     }
 
     fn shared_knowledge(&self) -> Option<Knowledge> {
@@ -244,12 +253,7 @@ impl<C: Crdt> ScuttlebuttCore<C> {
         }
     }
 
-    fn handle(
-        &mut self,
-        from: ReplicaId,
-        msg: SbMsg<C>,
-        out: &mut Vec<(ReplicaId, SbMsg<C>)>,
-    ) {
+    fn handle(&mut self, from: ReplicaId, msg: SbMsg<C>, out: &mut Vec<(ReplicaId, SbMsg<C>)>) {
         match msg {
             SbMsg::Digest { clock, knowledge } => {
                 let deltas = self.missing_for(&clock);
@@ -263,13 +267,20 @@ impl<C: Crdt> ScuttlebuttCore<C> {
                     },
                 ));
             }
-            SbMsg::Reply { deltas, clock, knowledge } => {
+            SbMsg::Reply {
+                deltas,
+                clock,
+                knowledge,
+            } => {
                 self.absorb(deltas);
                 let back = self.missing_for(&clock);
                 self.learn(from, &clock, &knowledge);
                 out.push((
                     from,
-                    SbMsg::Final { deltas: back, knowledge: self.shared_knowledge() },
+                    SbMsg::Final {
+                        deltas: back,
+                        knowledge: self.shared_knowledge(),
+                    },
                 ));
             }
             SbMsg::Final { deltas, knowledge } => {
@@ -464,7 +475,10 @@ mod tests {
     fn digest_metadata_grows_with_system_size() {
         let model = SizeModel::paper_metadata();
         let clock = VClock::from_iter((0..8).map(|i| (ReplicaId(i), 3u64)));
-        let digest: SbMsg<GSet<u32>> = SbMsg::Digest { clock, knowledge: None };
+        let digest: SbMsg<GSet<u32>> = SbMsg::Digest {
+            clock,
+            knowledge: None,
+        };
         // 8 entries × 28 B.
         assert_eq!(digest.metadata_bytes(&model), 224);
         assert_eq!(digest.payload_bytes(&model), 0);

@@ -36,7 +36,11 @@ impl<C: Crdt> Protocol<C> for StateSync<C> {
     const NAME: &'static str = "state";
 
     fn new(id: ReplicaId, _params: &Params) -> Self {
-        StateSync { id, state: C::bottom(), dirty: false }
+        StateSync {
+            id,
+            state: C::bottom(),
+            dirty: false,
+        }
     }
 
     fn on_op(&mut self, op: &C::Op) {
@@ -86,7 +90,7 @@ mod tests {
 
     const A: ReplicaId = ReplicaId(0);
     const B: ReplicaId = ReplicaId(1);
-    const P: Params = Params { n_nodes: 2 };
+    const P: Params = Params::new(2);
 
     #[test]
     fn sends_full_state_each_round() {

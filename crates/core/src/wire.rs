@@ -6,10 +6,14 @@
 //! The end-to-end test below runs a complete BP+RR exchange through
 //! `Vec<u8>` frames — the full path a production system would use.
 
-use crdt_lattice::{CodecError, WireEncode};
+use crdt_lattice::{CodecError, Dot, VClock, WireEncode};
+use crdt_types::Crdt;
 
+use crate::acked::AckedMsg;
 use crate::delta::DeltaMsg;
 use crate::deltacrdt::DeltaCrdtMsg;
+use crate::opbased::{OpMsg, TaggedOp};
+use crate::scuttlebutt::{Knowledge, SbMsg};
 
 impl<C: WireEncode> WireEncode for DeltaMsg<C> {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -45,11 +49,127 @@ impl<C: WireEncode> WireEncode for DeltaCrdtMsg<C> {
         let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
         *input = rest;
         match tag {
-            0 => Ok(DeltaCrdtMsg::Delta { upto: u64::decode(input)?, delta: C::decode(input)? }),
-            1 => Ok(DeltaCrdtMsg::Full { upto: u64::decode(input)?, state: C::decode(input)? }),
-            2 => Ok(DeltaCrdtMsg::Ack { upto: u64::decode(input)? }),
+            0 => Ok(DeltaCrdtMsg::Delta {
+                upto: u64::decode(input)?,
+                delta: C::decode(input)?,
+            }),
+            1 => Ok(DeltaCrdtMsg::Full {
+                upto: u64::decode(input)?,
+                state: C::decode(input)?,
+            }),
+            2 => Ok(DeltaCrdtMsg::Ack {
+                upto: u64::decode(input)?,
+            }),
             d => Err(CodecError::BadDiscriminant(d)),
         }
+    }
+}
+
+impl<C: WireEncode> WireEncode for SbMsg<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SbMsg::Digest { clock, knowledge } => {
+                out.push(0);
+                clock.encode(out);
+                knowledge.encode(out);
+            }
+            SbMsg::Reply {
+                deltas,
+                clock,
+                knowledge,
+            } => {
+                out.push(1);
+                deltas.encode(out);
+                clock.encode(out);
+                knowledge.encode(out);
+            }
+            SbMsg::Final { deltas, knowledge } => {
+                out.push(2);
+                deltas.encode(out);
+                knowledge.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(SbMsg::Digest {
+                clock: VClock::decode(input)?,
+                knowledge: Option::<Knowledge>::decode(input)?,
+            }),
+            1 => Ok(SbMsg::Reply {
+                deltas: Vec::<(Dot, C)>::decode(input)?,
+                clock: VClock::decode(input)?,
+                knowledge: Option::<Knowledge>::decode(input)?,
+            }),
+            2 => Ok(SbMsg::Final {
+                deltas: Vec::<(Dot, C)>::decode(input)?,
+                knowledge: Option::<Knowledge>::decode(input)?,
+            }),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<C: WireEncode> WireEncode for AckedMsg<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AckedMsg::Delta { group, seq } => {
+                out.push(0);
+                group.encode(out);
+                seq.encode(out);
+            }
+            AckedMsg::Ack { seq } => {
+                out.push(1);
+                seq.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(AckedMsg::Delta {
+                group: C::decode(input)?,
+                seq: u64::decode(input)?,
+            }),
+            1 => Ok(AckedMsg::Ack {
+                seq: u64::decode(input)?,
+            }),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<O: WireEncode> WireEncode for TaggedOp<O> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dot.encode(out);
+        self.deps.encode(out);
+        self.op.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(TaggedOp {
+            dot: Dot::decode(input)?,
+            deps: VClock::decode(input)?,
+            op: O::decode(input)?,
+        })
+    }
+}
+
+impl<C: Crdt> WireEncode for OpMsg<C>
+where
+    C::Op: WireEncode,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(OpMsg::new(Vec::<TaggedOp<C::Op>>::decode(input)?))
     }
 }
 
@@ -76,18 +196,42 @@ mod tests {
     fn deltacrdt_msg_variants_roundtrip() {
         type M = DeltaCrdtMsg<GSet<u64>>;
         for msg in [
-            M::Delta { upto: 7, delta: GSet::from_iter([1, 2]) },
-            M::Full { upto: 9, state: GSet::from_iter([1, 2, 3]) },
+            M::Delta {
+                upto: 7,
+                delta: GSet::from_iter([1, 2]),
+            },
+            M::Full {
+                upto: 9,
+                state: GSet::from_iter([1, 2, 3]),
+            },
             M::Ack { upto: 3 },
         ] {
             let bytes = msg.to_bytes();
             let back = M::from_bytes(&bytes).unwrap();
             match (&msg, &back) {
-                (M::Delta { upto: u1, delta: d1 }, M::Delta { upto: u2, delta: d2 }) => {
+                (
+                    M::Delta {
+                        upto: u1,
+                        delta: d1,
+                    },
+                    M::Delta {
+                        upto: u2,
+                        delta: d2,
+                    },
+                ) => {
                     assert_eq!(u1, u2);
                     assert_eq!(d1, d2);
                 }
-                (M::Full { upto: u1, state: s1 }, M::Full { upto: u2, state: s2 }) => {
+                (
+                    M::Full {
+                        upto: u1,
+                        state: s1,
+                    },
+                    M::Full {
+                        upto: u2,
+                        state: s2,
+                    },
+                ) => {
                     assert_eq!(u1, u2);
                     assert_eq!(s1, s2);
                 }

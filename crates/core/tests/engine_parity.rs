@@ -1,0 +1,251 @@
+//! Engine-parity property tests: the type-erased path ([`EngineAdapter`]
+//! over [`WireEnvelope`]s with truly encoded payloads) is behaviorally
+//! identical to the generic [`Protocol`] path.
+//!
+//! For random schedules (ops per node per round, random reliable
+//! delivery order fixed by a seed) both paths are driven in lockstep and
+//! must produce:
+//!
+//! * identical lattice states at every replica after every round, and
+//! * identical transmission accounting (element counts per round) —
+//!   the quantity every figure of the paper is measured in.
+
+use crdt_lattice::{ReplicaId, SizeModel, WireEncode};
+use crdt_sync::{
+    BpRrDelta, ClassicDelta, EngineAdapter, Measured, OpBytes, Params, Protocol, SyncEngine,
+    WireEnvelope,
+};
+use crdt_types::{Crdt, GSet, GSetOp, PNCounter, PNCounterOp};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// One round's schedule: for each node, the ops it performs.
+type Schedule<O> = Vec<Vec<Vec<O>>>;
+
+/// Drive the generic path: full-mesh, synchronous rounds, in-order
+/// delivery. Returns (per-round element counts, final states).
+fn run_generic<C, P>(n: usize, schedule: &Schedule<C::Op>) -> (Vec<u64>, Vec<C>)
+where
+    C: Crdt,
+    P: Protocol<C>,
+{
+    let params = Params::new(n);
+    let mut nodes: Vec<P> = (0..n)
+        .map(|i| P::new(ReplicaId::from(i), &params))
+        .collect();
+    let neighbors: Vec<Vec<ReplicaId>> = (0..n)
+        .map(|i| (0..n).filter(|j| *j != i).map(ReplicaId::from).collect())
+        .collect();
+    let mut per_round = Vec::new();
+    for round in schedule {
+        for (i, ops) in round.iter().enumerate() {
+            for op in ops {
+                nodes[i].on_op(op);
+            }
+        }
+        let mut elements = 0u64;
+        let mut deliveries: Vec<(usize, ReplicaId, P::Msg)> = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..n {
+            nodes[i].on_sync(&neighbors[i], &mut out);
+            for (to, msg) in out.drain(..) {
+                elements += msg.payload_elements();
+                deliveries.push((to.index(), ReplicaId::from(i), msg));
+            }
+        }
+        while let Some((to, from, msg)) = deliveries.pop() {
+            let mut replies = Vec::new();
+            nodes[to].on_msg(from, msg, &mut replies);
+            for (reply_to, reply) in replies {
+                elements += reply.payload_elements();
+                deliveries.push((reply_to.index(), ReplicaId::from(to), reply));
+            }
+        }
+        per_round.push(elements);
+    }
+    (per_round, nodes.iter().map(|p| p.state().clone()).collect())
+}
+
+/// Drive the erased path through the identical schedule and delivery
+/// discipline (LIFO drain, matching `run_generic`).
+fn run_erased<C>(
+    n: usize,
+    schedule: &Schedule<C::Op>,
+    build: impl Fn(ReplicaId, &Params) -> Box<dyn SyncEngine>,
+) -> (Vec<u64>, Vec<C>)
+where
+    C: Crdt + 'static,
+    C::Op: WireEncode,
+{
+    let params = Params::new(n);
+    let mut nodes: Vec<Box<dyn SyncEngine>> =
+        (0..n).map(|i| build(ReplicaId::from(i), &params)).collect();
+    let neighbors: Vec<Vec<ReplicaId>> = (0..n)
+        .map(|i| (0..n).filter(|j| *j != i).map(ReplicaId::from).collect())
+        .collect();
+    let mut per_round = Vec::new();
+    for round in schedule {
+        for (i, ops) in round.iter().enumerate() {
+            for op in ops {
+                nodes[i].on_op(&OpBytes::encode(op)).expect("op decodes");
+            }
+        }
+        let mut elements = 0u64;
+        let mut deliveries: Vec<WireEnvelope> = Vec::new();
+        for i in 0..n {
+            for env in nodes[i].on_sync(&neighbors[i]) {
+                elements += env.accounting.payload_elements;
+                deliveries.push(env);
+            }
+        }
+        while let Some(env) = deliveries.pop() {
+            let to = env.to.index();
+            for reply in nodes[to].on_msg(env).expect("kind matches") {
+                elements += reply.accounting.payload_elements;
+                deliveries.push(reply);
+            }
+        }
+        per_round.push(elements);
+    }
+    let states = nodes
+        .iter()
+        .map(|e| {
+            e.state_any()
+                .downcast_ref::<C>()
+                .expect("engines built over C")
+                .clone()
+        })
+        .collect();
+    (per_round, states)
+}
+
+fn gset_schedule() -> impl Strategy<Value = Schedule<GSetOp<u16>>> {
+    // 2..=4 nodes × 1..=4 rounds × 0..3 ops per node per round.
+    (2usize..5, 1usize..5).prop_flat_map(|(n, rounds)| {
+        pvec(
+            pvec(pvec((0u16..40).prop_map(GSetOp::Add), 0..3), n..n + 1),
+            rounds..rounds + 1,
+        )
+    })
+}
+
+fn pncounter_schedule() -> impl Strategy<Value = Schedule<PNCounterOp>> {
+    let op = prop_oneof![
+        (0u32..4).prop_map(|r| PNCounterOp::Inc(ReplicaId(r))),
+        (0u32..4).prop_map(|r| PNCounterOp::Dec(ReplicaId(r))),
+        (0u32..4, 1u64..5).prop_map(|(r, by)| PNCounterOp::IncBy(ReplicaId(r), by)),
+    ];
+    (2usize..5, 1usize..4).prop_flat_map(move |(n, rounds)| {
+        pvec(pvec(pvec(op.clone(), 0..3), n..n + 1), rounds..rounds + 1)
+    })
+}
+
+fn assert_parity<C: Crdt>(generic: (Vec<u64>, Vec<C>), erased: (Vec<u64>, Vec<C>)) {
+    assert_eq!(
+        generic.0, erased.0,
+        "transmission element counts diverged between generic and erased paths"
+    );
+    assert_eq!(generic.1.len(), erased.1.len());
+    for (i, (g, e)) in generic.1.iter().zip(&erased.1).enumerate() {
+        assert_eq!(
+            g, e,
+            "replica {i} state diverged between generic and erased paths"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ClassicDelta: erased == generic for every random schedule.
+    #[test]
+    fn classic_delta_parity(schedule in gset_schedule()) {
+        let n = schedule[0].len();
+        let generic = run_generic::<GSet<u16>, ClassicDelta<GSet<u16>>>(n, &schedule);
+        let erased = run_erased::<GSet<u16>>(n, &schedule, |id, params| {
+            Box::new(EngineAdapter::<GSet<u16>, ClassicDelta<GSet<u16>>>::new(id, params))
+        });
+        assert_parity(generic, erased);
+    }
+
+    /// BP+RR: erased == generic for every random schedule.
+    #[test]
+    fn bp_rr_delta_parity(schedule in gset_schedule()) {
+        let n = schedule[0].len();
+        let generic = run_generic::<GSet<u16>, BpRrDelta<GSet<u16>>>(n, &schedule);
+        let erased = run_erased::<GSet<u16>>(n, &schedule, |id, params| {
+            Box::new(EngineAdapter::<GSet<u16>, BpRrDelta<GSet<u16>>>::new(id, params))
+        });
+        assert_parity(generic, erased);
+    }
+
+    /// Parity holds beyond grow-only sets: PNCounter (map-of-pairs shape)
+    /// through BP+RR.
+    #[test]
+    fn bp_rr_pncounter_parity(schedule in pncounter_schedule()) {
+        let n = schedule[0].len();
+        let generic = run_generic::<PNCounter, BpRrDelta<PNCounter>>(n, &schedule);
+        let erased = run_erased::<PNCounter>(n, &schedule, |id, params| {
+            Box::new(EngineAdapter::<PNCounter, BpRrDelta<PNCounter>>::new(id, params))
+        });
+        assert_parity(generic, erased);
+    }
+
+    /// After enough extra sync rounds both paths converge to the same
+    /// totals — and to each other across paths.
+    #[test]
+    fn converged_states_agree_across_paths(schedule in gset_schedule()) {
+        let n = schedule[0].len();
+        // Extend the schedule with idle rounds so both paths converge.
+        let mut extended = schedule.clone();
+        for _ in 0..4 {
+            extended.push(vec![Vec::new(); n]);
+        }
+        let (_, generic) = run_generic::<GSet<u16>, BpRrDelta<GSet<u16>>>(n, &extended);
+        let (_, erased) = run_erased::<GSet<u16>>(n, &extended, |id, params| {
+            Box::new(EngineAdapter::<GSet<u16>, BpRrDelta<GSet<u16>>>::new(id, params))
+        });
+        // Convergence within each path…
+        for w in generic.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+        // …and equality across paths.
+        prop_assert_eq!(&generic[0], &erased[0]);
+        // Element counts agree with the op multiset (unique adds only).
+        let mut expected = std::collections::BTreeSet::new();
+        for round in &schedule {
+            for ops in round {
+                for GSetOp::Add(e) in ops {
+                    expected.insert(*e);
+                }
+            }
+        }
+        prop_assert_eq!(generic[0].len(), expected.len());
+    }
+}
+
+/// The model-view accounting in envelopes equals the generic `Measured`
+/// numbers under the same size model (not just elements — bytes too).
+#[test]
+fn envelope_accounting_equals_measured() {
+    let params = Params::new(2);
+    let model = SizeModel::compact();
+    let a = ReplicaId(0);
+    let b = ReplicaId(1);
+
+    let mut generic: BpRrDelta<GSet<u16>> = Protocol::new(a, &params);
+    let mut erased = EngineAdapter::<GSet<u16>, BpRrDelta<GSet<u16>>>::new(a, &params);
+    for e in 0..20u16 {
+        generic.on_op(&GSetOp::Add(e));
+        erased.on_op(&OpBytes::encode(&GSetOp::Add(e))).unwrap();
+    }
+    let mut out = Vec::new();
+    generic.on_sync(&[b], &mut out);
+    let (_, msg) = out.pop().unwrap();
+    let env = erased.on_sync(&[b]).pop().unwrap();
+
+    assert_eq!(env.accounting.payload_elements, msg.payload_elements());
+    assert_eq!(env.accounting.payload_bytes, msg.payload_bytes(&model));
+    assert_eq!(env.accounting.metadata_bytes, msg.metadata_bytes(&model));
+    assert_eq!(env.accounting.encoded_bytes, env.payload.len() as u64);
+}

@@ -15,7 +15,6 @@ use crdt_types::{GSet, GSetOp};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
-
 /// A randomized schedule over a fully scripted 3-replica execution:
 /// interleaves local ops, sync steps, and message deliveries.
 #[derive(Debug, Clone)]
@@ -43,25 +42,23 @@ fn run_schedule<P: Protocol<GSet<u64>>>(steps: &[Step]) -> (Vec<GSet<u64>>, u64)
     let params = Params::new(3);
     let ids = [ReplicaId(0), ReplicaId(1), ReplicaId(2)];
     let mut nodes: Vec<P> = ids.iter().map(|&i| P::new(i, &params)).collect();
-    let mut inflight: std::collections::VecDeque<(usize, usize, P::Msg)> =
-        Default::default();
+    let mut inflight: std::collections::VecDeque<(usize, usize, P::Msg)> = Default::default();
     let mut transmitted = 0u64;
     let mut fresh = 0u64;
 
-    let neighbors = |me: usize| -> Vec<ReplicaId> {
-        ids.iter().copied().filter(|r| r.index() != me).collect()
-    };
+    let neighbors =
+        |me: usize| -> Vec<ReplicaId> { ids.iter().copied().filter(|r| r.index() != me).collect() };
     let mut out = Vec::new();
 
-    let push_out =
-        |from: usize, out: &mut Vec<(ReplicaId, P::Msg)>,
-         inflight: &mut std::collections::VecDeque<(usize, usize, P::Msg)>,
-         transmitted: &mut u64| {
-            for (to, msg) in out.drain(..) {
-                *transmitted += msg.payload_elements();
-                inflight.push_back((from, to.index(), msg));
-            }
-        };
+    let push_out = |from: usize,
+                    out: &mut Vec<(ReplicaId, P::Msg)>,
+                    inflight: &mut std::collections::VecDeque<(usize, usize, P::Msg)>,
+                    transmitted: &mut u64| {
+        for (to, msg) in out.drain(..) {
+            *transmitted += msg.payload_elements();
+            inflight.push_back((from, to.index(), msg));
+        }
+    };
 
     for step in steps {
         match step {
@@ -97,7 +94,10 @@ fn run_schedule<P: Protocol<GSet<u64>>>(steps: &[Step]) -> (Vec<GSet<u64>>, u64)
         }
     }
 
-    (nodes.iter().map(|n| n.state().clone()).collect(), transmitted)
+    (
+        nodes.iter().map(|n| n.state().clone()).collect(),
+        transmitted,
+    )
 }
 
 macro_rules! schedule_suite {

@@ -158,14 +158,20 @@ pub struct DotStore<V: Ord> {
 
 impl<V: Ord> Default for DotStore<V> {
     fn default() -> Self {
-        DotStore { store: BTreeMap::new(), ctx: CausalContext::default() }
+        DotStore {
+            store: BTreeMap::new(),
+            ctx: CausalContext::default(),
+        }
     }
 }
 
 impl<V: Ord + Clone + core::fmt::Debug> DotStore<V> {
     /// An empty causal state.
     pub fn new() -> Self {
-        DotStore { store: BTreeMap::new(), ctx: CausalContext::new() }
+        DotStore {
+            store: BTreeMap::new(),
+            ctx: CausalContext::new(),
+        }
     }
 
     /// Live entries, in dot order.
@@ -308,6 +314,37 @@ impl<V: Ord + Clone + core::fmt::Debug> Decompose for DotStore<V> {
     }
 }
 
+impl crdt_lattice::WireEncode for CausalContext {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.clock.encode(out);
+        self.cloud.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
+        Ok(CausalContext {
+            clock: crdt_lattice::VClock::decode(input)?,
+            cloud: std::collections::BTreeSet::<Dot>::decode(input)?,
+        })
+    }
+}
+
+impl<V> crdt_lattice::WireEncode for DotStore<V>
+where
+    V: Ord + crdt_lattice::WireEncode,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        self.ctx.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
+        Ok(DotStore {
+            store: BTreeMap::<Dot, V>::decode(input)?,
+            ctx: CausalContext::decode(input)?,
+        })
+    }
+}
+
 impl<V: Ord + Clone + core::fmt::Debug + Sizeable> StateSize for DotStore<V> {
     fn count_elements(&self) -> u64 {
         self.ctx.len()
@@ -351,6 +388,8 @@ impl<E: Ord> Default for AWSet<E> {
 crate::macros::delegate_join!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug]);
 crate::macros::delegate_decompose!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug]);
 crate::macros::delegate_size!(AWSet<E> where [E: Ord + Clone + core::fmt::Debug + Sizeable]);
+crate::macros::delegate_wire!(AWSet<E> where
+    [E: Ord + Clone + core::fmt::Debug + crdt_lattice::WireEncode]);
 
 impl<E: Ord + Clone + core::fmt::Debug> AWSet<E> {
     /// A fresh, empty set.
@@ -442,6 +481,7 @@ pub enum EWFlagOp {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EWFlag(DotStore<()>);
 
+crate::macros::delegate_wire!(EWFlag where []);
 crate::macros::delegate_join!(EWFlag where []);
 crate::macros::delegate_decompose!(EWFlag where []);
 crate::macros::delegate_size!(EWFlag where []);
@@ -513,6 +553,7 @@ pub enum CCounterOp {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CCounter(DotStore<i64>);
 
+crate::macros::delegate_wire!(CCounter where []);
 crate::macros::delegate_join!(CCounter where []);
 crate::macros::delegate_decompose!(CCounter where []);
 crate::macros::delegate_size!(CCounter where []);

@@ -42,7 +42,10 @@
 use core::fmt::Debug;
 use std::collections::{BTreeMap, BTreeSet};
 
-use crdt_lattice::{Bottom, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize};
+use crdt_lattice::{
+    Bottom, CodecError, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize,
+    WireEncode,
+};
 
 use crate::causal::CausalContext;
 use crate::Crdt;
@@ -73,8 +76,7 @@ pub trait DotStore: Clone + Debug + Eq + Default {
     /// A dot survives iff it is live on both sides, or live on one side
     /// and absent from the other's *context* (unseen news beats observed
     /// death; observed death beats liveness).
-    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext)
-        -> bool;
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool;
 
     /// Visit `(dot, minimal sub-store holding exactly that dot)` for every
     /// live dot — the store half of the live parts of `⇓(self, ctx)`.
@@ -142,12 +144,7 @@ impl DotStore for DotSet {
         self.0.is_empty()
     }
 
-    fn join(
-        &mut self,
-        self_ctx: &CausalContext,
-        other: &Self,
-        other_ctx: &CausalContext,
-    ) -> bool {
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
         let mut changed = false;
         // Drop my dots the peer has seen die.
         let mine: Vec<Dot> = self.0.iter().copied().collect();
@@ -248,12 +245,7 @@ impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
         self.0.is_empty()
     }
 
-    fn join(
-        &mut self,
-        self_ctx: &CausalContext,
-        other: &Self,
-        other_ctx: &CausalContext,
-    ) -> bool {
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
         let mut changed = false;
         let mine: Vec<Dot> = self.0.keys().copied().collect();
         for d in mine {
@@ -359,12 +351,7 @@ impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
         self.0.is_empty()
     }
 
-    fn join(
-        &mut self,
-        self_ctx: &CausalContext,
-        other: &Self,
-        other_ctx: &CausalContext,
-    ) -> bool {
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
         let mut changed = false;
         // Keys on my side: join with the peer's nested store (or ⊥).
         let empty = S::default();
@@ -416,7 +403,10 @@ pub struct Causal<S> {
 impl<S: DotStore> Causal<S> {
     /// A fresh, empty causal state.
     pub fn new() -> Self {
-        Causal { store: S::default(), ctx: CausalContext::new() }
+        Causal {
+            store: S::default(),
+            ctx: CausalContext::new(),
+        }
     }
 
     /// The store half.
@@ -461,7 +451,8 @@ impl<S: DotStore> Causal<S> {
             let pre_ctx = self.ctx.clone();
             let dot = self.ctx.next_dot(r);
             let news = write(dot);
-            self.store.join(&pre_ctx, &news, &CausalContext::singleton(dot));
+            self.store
+                .join(&pre_ctx, &news, &CausalContext::singleton(dot));
             delta.store = news;
             delta.ctx.insert(dot);
         }
@@ -506,12 +497,18 @@ impl<S: DotStore> Decompose for Causal<S> {
     fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
         // Live parts.
         self.store.for_each_part(&mut |d, part| {
-            f(Causal { store: part, ctx: CausalContext::singleton(d) });
+            f(Causal {
+                store: part,
+                ctx: CausalContext::singleton(d),
+            });
         });
         // Dead parts.
         for d in self.ctx.iter() {
             if !self.store.contains_dot(&d) {
-                f(Causal { store: S::default(), ctx: CausalContext::singleton(d) });
+                f(Causal {
+                    store: S::default(),
+                    ctx: CausalContext::singleton(d),
+                });
             }
         }
     }
@@ -586,7 +583,10 @@ pub struct ORMap<K: Ord, V>(Causal<DotMap<K, DotFun<V>>>);
 
 impl<K: Ord, V> Default for ORMap<K, V> {
     fn default() -> Self {
-        ORMap(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+        ORMap(Causal {
+            store: DotMap::default(),
+            ctx: CausalContext::default(),
+        })
     }
 }
 
@@ -616,7 +616,10 @@ impl<K: Ord + Clone + Debug + Sizeable, V: Clone + Debug + Eq + Sizeable> ORMap<
     #[must_use = "the returned delta must be buffered for synchronization"]
     pub fn remove(&mut self, k: &K) -> Self {
         let kill: BTreeSet<Dot> = self.key_dots(k);
-        ORMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+        ORMap(
+            self.0
+                .mutate(None, |d| kill.contains(d), |_| DotMap::default()),
+        )
     }
 
     /// Remove every observed entry. Returns the optimal delta.
@@ -725,7 +728,10 @@ pub struct ORSetMap<K: Ord, E: Ord>(Causal<DotMap<K, DotMap<E, DotSet>>>);
 
 impl<K: Ord, E: Ord> Default for ORSetMap<K, E> {
     fn default() -> Self {
-        ORSetMap(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+        ORSetMap(Causal {
+            store: DotMap::default(),
+            ctx: CausalContext::default(),
+        })
     }
 }
 
@@ -746,7 +752,12 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> ORSet
         ORSetMap(self.0.mutate(
             Some(replica),
             |d| kill.contains(d),
-            |dot| DotMap::singleton(k.clone(), DotMap::singleton(e.clone(), DotSet::singleton(dot))),
+            |dot| {
+                DotMap::singleton(
+                    k.clone(),
+                    DotMap::singleton(e.clone(), DotSet::singleton(dot)),
+                )
+            },
         ))
     }
 
@@ -755,7 +766,10 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> ORSet
     #[must_use = "the returned delta must be buffered for synchronization"]
     pub fn remove_elem(&mut self, k: &K, e: &E) -> Self {
         let kill = self.elem_dots(k, e);
-        ORSetMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+        ORSetMap(
+            self.0
+                .mutate(None, |d| kill.contains(d), |_| DotMap::default()),
+        )
     }
 
     /// Remove the observed entry under `k`. Returns the optimal delta.
@@ -767,7 +781,10 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> ORSet
                 kill.insert(d);
             });
         }
-        ORSetMap(self.0.mutate(None, |d| kill.contains(d), |_| DotMap::default()))
+        ORSetMap(
+            self.0
+                .mutate(None, |d| kill.contains(d), |_| DotMap::default()),
+        )
     }
 
     /// The visible elements under `k`, in order.
@@ -807,9 +824,7 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> ORSet
     }
 }
 
-impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> Crdt
-    for ORSetMap<K, E>
-{
+impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> Crdt for ORSetMap<K, E> {
     type Op = ORSetMapOp<K, E>;
     type Value = BTreeMap<K, BTreeSet<E>>;
 
@@ -825,9 +840,7 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> Crdt
         self.0
             .store
             .iter()
-            .map(|(k, sets)| {
-                (k.clone(), sets.iter().map(|(e, _)| e.clone()).collect())
-            })
+            .map(|(k, sets)| (k.clone(), sets.iter().map(|(e, _)| e.clone()).collect()))
             .collect()
     }
 
@@ -868,7 +881,10 @@ pub struct RWSet<E: Ord>(Causal<DotMap<E, DotFun<bool>>>);
 
 impl<E: Ord> Default for RWSet<E> {
     fn default() -> Self {
-        RWSet(Causal { store: DotMap::default(), ctx: CausalContext::default() })
+        RWSet(Causal {
+            store: DotMap::default(),
+            ctx: CausalContext::default(),
+        })
     }
 }
 
@@ -911,18 +927,15 @@ impl<E: Ord + Clone + Debug + Sizeable> RWSet<E> {
 
     /// Membership: at least one `true` vote and no `false` vote.
     pub fn contains(&self, e: &E) -> bool {
-        self.0
-            .store
-            .get(e)
-            .is_some_and(|votes| {
-                let mut any_true = false;
-                let mut any_false = false;
-                for v in votes.values() {
-                    any_true |= *v;
-                    any_false |= !*v;
-                }
-                any_true && !any_false
-            })
+        self.0.store.get(e).is_some_and(|votes| {
+            let mut any_true = false;
+            let mut any_false = false;
+            for v in votes.values() {
+                any_true |= *v;
+                any_false |= !*v;
+            }
+            any_true && !any_false
+        })
     }
 
     /// The visible elements.
@@ -1049,6 +1062,190 @@ impl Crdt for DWFlag {
 
     fn op_size_bytes(_op: &Self::Op, model: &SizeModel) -> u64 {
         model.id_bytes + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire encodings — by structural recursion over the store algebra, so any
+// causal composition built from DotSet/DotFun/DotMap encodes for free.
+// ---------------------------------------------------------------------------
+
+impl WireEncode for DotSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DotSet(BTreeSet::<Dot>::decode(input)?))
+    }
+}
+
+impl<V: WireEncode> WireEncode for DotFun<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DotFun(BTreeMap::<Dot, V>::decode(input)?))
+    }
+}
+
+impl<K: Ord + WireEncode, S: WireEncode> WireEncode for DotMap<K, S> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DotMap(BTreeMap::<K, S>::decode(input)?))
+    }
+}
+
+impl<S: WireEncode> WireEncode for Causal<S> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        self.ctx.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Causal {
+            store: S::decode(input)?,
+            ctx: CausalContext::decode(input)?,
+        })
+    }
+}
+
+crate::macros::delegate_wire!(ORMap<K, V> where
+    [K: Ord + Clone + Debug + Sizeable + WireEncode,
+     V: Clone + Debug + Eq + Sizeable + WireEncode]);
+crate::macros::delegate_wire!(ORSetMap<K, E> where
+    [K: Ord + Clone + Debug + Sizeable + WireEncode,
+     E: Ord + Clone + Debug + Sizeable + WireEncode]);
+crate::macros::delegate_wire!(RWSet<E> where
+    [E: Ord + Clone + Debug + Sizeable + WireEncode]);
+crate::macros::delegate_wire!(DWFlag where []);
+
+impl<K: WireEncode, V: WireEncode> WireEncode for ORMapOp<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ORMapOp::Put(r, k, v) => {
+                out.push(0);
+                r.encode(out);
+                k.encode(out);
+                v.encode(out);
+            }
+            ORMapOp::Remove(k) => {
+                out.push(1);
+                k.encode(out);
+            }
+            ORMapOp::Clear => out.push(2),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(ORMapOp::Put(
+                ReplicaId::decode(input)?,
+                K::decode(input)?,
+                V::decode(input)?,
+            )),
+            1 => Ok(ORMapOp::Remove(K::decode(input)?)),
+            2 => Ok(ORMapOp::Clear),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<K: WireEncode, E: WireEncode> WireEncode for ORSetMapOp<K, E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ORSetMapOp::Add(r, k, e) => {
+                out.push(0);
+                r.encode(out);
+                k.encode(out);
+                e.encode(out);
+            }
+            ORSetMapOp::RemoveElem(k, e) => {
+                out.push(1);
+                k.encode(out);
+                e.encode(out);
+            }
+            ORSetMapOp::RemoveKey(k) => {
+                out.push(2);
+                k.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(ORSetMapOp::Add(
+                ReplicaId::decode(input)?,
+                K::decode(input)?,
+                E::decode(input)?,
+            )),
+            1 => Ok(ORSetMapOp::RemoveElem(K::decode(input)?, E::decode(input)?)),
+            2 => Ok(ORSetMapOp::RemoveKey(K::decode(input)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<E: WireEncode> WireEncode for RWSetOp<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RWSetOp::Add(r, e) => {
+                out.push(0);
+                r.encode(out);
+                e.encode(out);
+            }
+            RWSetOp::Remove(r, e) => {
+                out.push(1);
+                r.encode(out);
+                e.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(RWSetOp::Add(ReplicaId::decode(input)?, E::decode(input)?)),
+            1 => Ok(RWSetOp::Remove(
+                ReplicaId::decode(input)?,
+                E::decode(input)?,
+            )),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl WireEncode for DWFlagOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DWFlagOp::Enable(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            DWFlagOp::Disable(r) => {
+                out.push(1);
+                r.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(DWFlagOp::Enable(ReplicaId::decode(input)?)),
+            1 => Ok(DWFlagOp::Disable(ReplicaId::decode(input)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
     }
 }
 

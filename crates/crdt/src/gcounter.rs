@@ -179,9 +179,6 @@ mod tests {
         let _ = c.inc(B);
         assert_eq!(c.count_elements(), 2);
         assert_eq!(c.size_bytes(&model), 2 * 16);
-        assert_eq!(
-            GCounter::op_size_bytes(&GCounterOp::Inc(A), &model),
-            8
-        );
+        assert_eq!(GCounter::op_size_bytes(&GCounterOp::Inc(A), &model), 8);
     }
 }

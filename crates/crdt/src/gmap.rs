@@ -162,19 +162,46 @@ mod tests {
     #[test]
     fn op_contract() {
         let m = VersionMap::from_iter([(1, Max::new(5))]);
-        check_crdt_op(&m, &GMapOp::Apply { key: 1, value: Max::new(9) });
-        check_crdt_op(&m, &GMapOp::Apply { key: 1, value: Max::new(2) });
-        check_crdt_op(&m, &GMapOp::Apply { key: 2, value: Max::new(1) });
+        check_crdt_op(
+            &m,
+            &GMapOp::Apply {
+                key: 1,
+                value: Max::new(9),
+            },
+        );
+        check_crdt_op(
+            &m,
+            &GMapOp::Apply {
+                key: 1,
+                value: Max::new(2),
+            },
+        );
+        check_crdt_op(
+            &m,
+            &GMapOp::Apply {
+                key: 2,
+                value: Max::new(1),
+            },
+        );
     }
 
     #[test]
     fn convergence() {
         check_two_replica_convergence::<VersionMap>(
             &[
-                GMapOp::Apply { key: 1, value: Max::new(2) },
-                GMapOp::Apply { key: 2, value: Max::new(1) },
+                GMapOp::Apply {
+                    key: 1,
+                    value: Max::new(2),
+                },
+                GMapOp::Apply {
+                    key: 2,
+                    value: Max::new(1),
+                },
             ],
-            &[GMapOp::Apply { key: 1, value: Max::new(3) }],
+            &[GMapOp::Apply {
+                key: 1,
+                value: Max::new(3),
+            }],
             GMap::new(),
         );
     }
@@ -204,7 +231,10 @@ mod tests {
         let m = VersionMap::from_iter([(1, Max::new(2)), (2, Max::new(1))]);
         assert_eq!(m.count_elements(), 2);
         assert_eq!(m.size_bytes(&model), 2 * (4 + 8));
-        let op = GMapOp::Apply { key: 1u32, value: Max::new(2u64) };
+        let op = GMapOp::Apply {
+            key: 1u32,
+            value: Max::new(2u64),
+        };
         assert_eq!(VersionMap::op_size_bytes(&op, &model), 12);
     }
 }

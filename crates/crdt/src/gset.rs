@@ -7,7 +7,7 @@
 
 use core::fmt::Debug;
 
-use crdt_lattice::{SetLattice, Sizeable, SizeModel};
+use crdt_lattice::{SetLattice, SizeModel, Sizeable};
 
 use crate::macros::{delegate_decompose, delegate_join, delegate_size};
 use crate::Crdt;

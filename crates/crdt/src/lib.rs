@@ -63,11 +63,12 @@ mod mvregister;
 mod pncounter;
 mod traits;
 mod twopset;
+mod wire_ops;
 
 pub use causal::{AWSet, AWSetOp, CCounter, CCounterOp, CausalContext, DotStore, EWFlag, EWFlagOp};
 pub use dotstores::{
-    Causal, DWFlag, DWFlagOp, DotFun, DotMap, DotSet, ORMap, ORMapOp, ORSetMap, ORSetMapOp,
-    RWSet, RWSetOp,
+    Causal, DWFlag, DWFlagOp, DotFun, DotMap, DotSet, ORMap, ORMapOp, ORSetMap, ORSetMapOp, RWSet,
+    RWSetOp,
 };
 pub use gcounter::{GCounter, GCounterOp};
 pub use gmap::{GMap, GMapOp};

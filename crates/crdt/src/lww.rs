@@ -138,17 +138,43 @@ mod tests {
     fn op_contract() {
         let mut r = LWWRegister::new();
         let _ = r.write(3, A, 10u64);
-        check_crdt_op(&r, &LWWOp::Write { ts: 4, replica: B, value: 20 });
-        check_crdt_op(&r, &LWWOp::Write { ts: 1, replica: B, value: 5 });
+        check_crdt_op(
+            &r,
+            &LWWOp::Write {
+                ts: 4,
+                replica: B,
+                value: 20,
+            },
+        );
+        check_crdt_op(
+            &r,
+            &LWWOp::Write {
+                ts: 1,
+                replica: B,
+                value: 5,
+            },
+        );
     }
 
     #[test]
     fn convergence() {
         check_two_replica_convergence::<LWWRegister<u64>>(
-            &[LWWOp::Write { ts: 1, replica: A, value: 1 }],
+            &[LWWOp::Write {
+                ts: 1,
+                replica: A,
+                value: 1,
+            }],
             &[
-                LWWOp::Write { ts: 2, replica: B, value: 2 },
-                LWWOp::Write { ts: 3, replica: B, value: 3 },
+                LWWOp::Write {
+                    ts: 2,
+                    replica: B,
+                    value: 2,
+                },
+                LWWOp::Write {
+                    ts: 3,
+                    replica: B,
+                    value: 3,
+                },
             ],
             LWWRegister::new(),
         );

@@ -106,4 +106,6 @@ macro_rules! delegate_lattice {
     };
 }
 
-pub(crate) use {delegate_decompose, delegate_join, delegate_lattice, delegate_size, delegate_wire};
+pub(crate) use {
+    delegate_decompose, delegate_join, delegate_lattice, delegate_size, delegate_wire,
+};

@@ -11,9 +11,7 @@
 
 use core::fmt::Debug;
 
-use crdt_lattice::{
-    Antichain, Lattice, Poset, ReplicaId, SizeModel, Sizeable, StateSize, VClock,
-};
+use crdt_lattice::{Antichain, Lattice, Poset, ReplicaId, SizeModel, Sizeable, StateSize, VClock};
 
 use crate::macros::{delegate_decompose, delegate_join, delegate_size};
 use crate::Crdt;
@@ -115,7 +113,10 @@ impl<V: Ord + Clone + Debug + Sizeable> Crdt for MVRegister<V> {
     fn apply(&mut self, op: &Self::Op) -> Self {
         match op {
             MVOp::Write { clock, value } => {
-                let versioned = Versioned { clock: clock.clone(), value: value.clone() };
+                let versioned = Versioned {
+                    clock: clock.clone(),
+                    value: value.clone(),
+                };
                 let mut delta = Antichain::new();
                 if self.0.insert(versioned.clone()) {
                     delta.insert(versioned);
@@ -131,9 +132,7 @@ impl<V: Ord + Clone + Debug + Sizeable> Crdt for MVRegister<V> {
 
     fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
         match op {
-            MVOp::Write { clock, value } => {
-                clock.size_bytes(model) + value.payload_bytes(model)
-            }
+            MVOp::Write { clock, value } => clock.size_bytes(model) + value.payload_bytes(model),
         }
     }
 }

@@ -1,0 +1,262 @@
+//! Wire encodings for operation types.
+//!
+//! The type-erased engine layer (`crdt_sync::engine`) moves operations
+//! across its boundary as encoded bytes, and the op-based baseline ships
+//! them inside its causal middleware messages — both require `C::Op:
+//! WireEncode`. Encodings follow the codec conventions of
+//! [`crdt_lattice::codec`]: one discriminant byte per enum, then the
+//! fields by structural recursion.
+
+use crdt_lattice::{CodecError, ReplicaId, WireEncode};
+
+use crate::causal::{AWSetOp, CCounterOp, EWFlagOp};
+use crate::gcounter::GCounterOp;
+use crate::gmap::GMapOp;
+use crate::gset::GSetOp;
+use crate::pncounter::PNCounterOp;
+use crate::twopset::TwoPSetOp;
+
+impl<E: WireEncode> WireEncode for GSetOp<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GSetOp::Add(e) => e.encode(out),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(GSetOp::Add(E::decode(input)?))
+    }
+}
+
+impl WireEncode for GCounterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GCounterOp::Inc(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            GCounterOp::IncBy(r, n) => {
+                out.push(1);
+                r.encode(out);
+                n.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(GCounterOp::Inc(ReplicaId::decode(input)?)),
+            1 => Ok(GCounterOp::IncBy(
+                ReplicaId::decode(input)?,
+                u64::decode(input)?,
+            )),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl WireEncode for PNCounterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PNCounterOp::Inc(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            PNCounterOp::Dec(r) => {
+                out.push(1);
+                r.encode(out);
+            }
+            PNCounterOp::IncBy(r, n) => {
+                out.push(2);
+                r.encode(out);
+                n.encode(out);
+            }
+            PNCounterOp::DecBy(r, n) => {
+                out.push(3);
+                r.encode(out);
+                n.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(PNCounterOp::Inc(ReplicaId::decode(input)?)),
+            1 => Ok(PNCounterOp::Dec(ReplicaId::decode(input)?)),
+            2 => Ok(PNCounterOp::IncBy(
+                ReplicaId::decode(input)?,
+                u64::decode(input)?,
+            )),
+            3 => Ok(PNCounterOp::DecBy(
+                ReplicaId::decode(input)?,
+                u64::decode(input)?,
+            )),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<E: WireEncode> WireEncode for TwoPSetOp<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TwoPSetOp::Add(e) => {
+                out.push(0);
+                e.encode(out);
+            }
+            TwoPSetOp::Remove(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(TwoPSetOp::Add(E::decode(input)?)),
+            1 => Ok(TwoPSetOp::Remove(E::decode(input)?)),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl<K: WireEncode, V: WireEncode> WireEncode for GMapOp<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GMapOp::Apply { key, value } => {
+                key.encode(out);
+                value.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(GMapOp::Apply {
+            key: K::decode(input)?,
+            value: V::decode(input)?,
+        })
+    }
+}
+
+impl<E: WireEncode> WireEncode for AWSetOp<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AWSetOp::Add(r, e) => {
+                out.push(0);
+                r.encode(out);
+                e.encode(out);
+            }
+            AWSetOp::Remove(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+            AWSetOp::Clear => out.push(2),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(AWSetOp::Add(ReplicaId::decode(input)?, E::decode(input)?)),
+            1 => Ok(AWSetOp::Remove(E::decode(input)?)),
+            2 => Ok(AWSetOp::Clear),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl WireEncode for EWFlagOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EWFlagOp::Enable(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            EWFlagOp::Disable => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(EWFlagOp::Enable(ReplicaId::decode(input)?)),
+            1 => Ok(EWFlagOp::Disable),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl WireEncode for CCounterOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CCounterOp::Add(r, n) => {
+                out.push(0);
+                r.encode(out);
+                n.encode(out);
+            }
+            CCounterOp::Reset => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        match tag {
+            0 => Ok(CCounterOp::Add(
+                ReplicaId::decode(input)?,
+                i64::decode(input)?,
+            )),
+            1 => Ok(CCounterOp::Reset),
+            d => Err(CodecError::BadDiscriminant(d)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + PartialEq + core::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).expect("decode"), v);
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let r = ReplicaId(3);
+        roundtrip(GSetOp::Add(42u64));
+        roundtrip(GSetOp::Add("elem".to_string()));
+        roundtrip(GCounterOp::Inc(r));
+        roundtrip(GCounterOp::IncBy(r, 9));
+        roundtrip(PNCounterOp::Inc(r));
+        roundtrip(PNCounterOp::Dec(r));
+        roundtrip(PNCounterOp::IncBy(r, 4));
+        roundtrip(PNCounterOp::DecBy(r, 2));
+        roundtrip(TwoPSetOp::Add(7u32));
+        roundtrip(TwoPSetOp::Remove(7u32));
+        roundtrip(GMapOp::Apply {
+            key: 5u16,
+            value: crdt_lattice::Max::new(10u64),
+        });
+        roundtrip(AWSetOp::Add(r, "x".to_string()));
+        roundtrip(AWSetOp::Remove("x".to_string()));
+        roundtrip(AWSetOp::<String>::Clear);
+        roundtrip(EWFlagOp::Enable(r));
+        roundtrip(EWFlagOp::Disable);
+        roundtrip(CCounterOp::Add(r, -5));
+        roundtrip(CCounterOp::Reset);
+    }
+
+    #[test]
+    fn bad_discriminants_error() {
+        assert!(GCounterOp::from_bytes(&[9]).is_err());
+        assert!(AWSetOp::<u64>::from_bytes(&[9]).is_err());
+    }
+}

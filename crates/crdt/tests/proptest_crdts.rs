@@ -55,13 +55,18 @@ fn twopset_op() -> impl Strategy<Value = TwoPSetOp<u16>> {
 }
 
 fn gmap_op() -> impl Strategy<Value = GMapOp<u16, Max<u64>>> {
-    (0u16..8, 1u64..12)
-        .prop_map(|(key, v)| GMapOp::Apply { key, value: Max::new(v) })
+    (0u16..8, 1u64..12).prop_map(|(key, v)| GMapOp::Apply {
+        key,
+        value: Max::new(v),
+    })
 }
 
 fn lww_op() -> impl Strategy<Value = LWWOp<u32>> {
-    (1u64..16, replica(), 0u32..100)
-        .prop_map(|(ts, replica, value)| LWWOp::Write { ts, replica, value })
+    (1u64..16, replica(), 0u32..100).prop_map(|(ts, replica, value)| LWWOp::Write {
+        ts,
+        replica,
+        value,
+    })
 }
 
 fn lexcounter_op() -> impl Strategy<Value = LexCounterOp> {
@@ -101,7 +106,9 @@ fn scrambled_delivery_converges<C: Crdt>(per_replica_ops: Vec<Vec<C::Op>>, seed_
     let mut order: Vec<usize> = (0..deltas.len()).collect();
     let mut s = seed_order.wrapping_add(0x9e37_79b9_7f4a_7c15);
     for i in (1..order.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         order.swap(i, (s as usize) % (i + 1));
     }
     for r in replicas.iter_mut() {

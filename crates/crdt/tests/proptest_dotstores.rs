@@ -10,9 +10,7 @@
 use crdt_lattice::testing::check_all_laws;
 use crdt_lattice::{Bottom, Decompose, Lattice, ReplicaId};
 use crdt_types::testing::check_crdt_op;
-use crdt_types::{
-    Crdt, DWFlag, DWFlagOp, ORMap, ORMapOp, ORSetMap, ORSetMapOp, RWSet, RWSetOp,
-};
+use crdt_types::{Crdt, DWFlag, DWFlagOp, ORMap, ORMapOp, ORSetMap, ORSetMapOp, RWSet, RWSetOp};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
@@ -176,13 +174,23 @@ dotstore_property_suite!(
     }
 );
 
-dotstore_property_suite!(rwset_props, RWSet<u8>, rwset_op(), |op: &RWSetOp<u8>| match op {
-    RWSetOp::Add(r, _) | RWSetOp::Remove(r, _) => Some(*r),
-});
+dotstore_property_suite!(
+    rwset_props,
+    RWSet<u8>,
+    rwset_op(),
+    |op: &RWSetOp<u8>| match op {
+        RWSetOp::Add(r, _) | RWSetOp::Remove(r, _) => Some(*r),
+    }
+);
 
-dotstore_property_suite!(dwflag_props, DWFlag, dwflag_op(), |op: &DWFlagOp| match op {
-    DWFlagOp::Enable(r) | DWFlagOp::Disable(r) => Some(*r),
-});
+dotstore_property_suite!(
+    dwflag_props,
+    DWFlag,
+    dwflag_op(),
+    |op: &DWFlagOp| match op {
+        DWFlagOp::Enable(r) | DWFlagOp::Disable(r) => Some(*r),
+    }
+);
 
 // ---------------------------------------------------------------------------
 // Cross-flavor differential properties

@@ -451,7 +451,9 @@ impl WireEncode for VClock {
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(Vec::<(ReplicaId, u64)>::decode(input)?.into_iter().collect())
+        Ok(Vec::<(ReplicaId, u64)>::decode(input)?
+            .into_iter()
+            .collect())
     }
 }
 
@@ -504,10 +506,7 @@ mod tests {
         let mut buf = Vec::new();
         put_uvarint(&mut buf, 1 << 40);
         buf.push(7);
-        assert_eq!(
-            Vec::<u64>::from_bytes(&buf),
-            Err(CodecError::UnexpectedEnd)
-        );
+        assert_eq!(Vec::<u64>::from_bytes(&buf), Err(CodecError::UnexpectedEnd));
     }
 
     #[test]
@@ -527,7 +526,10 @@ mod tests {
         roundtrip(&Option::<u64>::None);
         roundtrip(&vec![1u32, 2, 3]);
         roundtrip(&BTreeSet::from([1u8, 5, 9]));
-        roundtrip(&BTreeMap::from([(1u8, "a".to_string()), (2, "b".to_string())]));
+        roundtrip(&BTreeMap::from([
+            (1u8, "a".to_string()),
+            (2, "b".to_string()),
+        ]));
         roundtrip(&ReplicaId(7));
         roundtrip(&Dot::new(ReplicaId(3), 99));
     }
@@ -540,7 +542,9 @@ mod tests {
         roundtrip(&Pair(Max::new(1u64), SetLattice::from_iter([1u8, 2])));
         roundtrip(&Lex(Max::new(4u64), Max::new(9u64)));
         roundtrip(&Sum::<Max<u64>, SetLattice<u8>>::Left(Max::new(2)));
-        roundtrip(&Sum::<Max<u64>, SetLattice<u8>>::Right(SetLattice::from_iter([1])));
+        roundtrip(&Sum::<Max<u64>, SetLattice<u8>>::Right(
+            SetLattice::from_iter([1]),
+        ));
         roundtrip(&SetLattice::from_iter(["a".to_string(), "bc".to_string()]));
         roundtrip(&MapLattice::from_iter([
             (ReplicaId(0), Max::new(5u64)),
@@ -584,11 +588,13 @@ mod tests {
         let encoded = big.to_bytes().len() as u64;
         let modeled = big.size_bytes(&model);
         assert!(encoded <= modeled + 9);
-        assert!(encoded * 2 >= modeled, "model more than 2x the encoding ({encoded} vs {modeled})");
+        assert!(
+            encoded * 2 >= modeled,
+            "model more than 2x the encoding ({encoded} vs {modeled})"
+        );
 
         // A GSet-shaped state.
-        let gset: SetLattice<String> =
-            (0..40).map(|i| format!("element-{i:04}")).collect();
+        let gset: SetLattice<String> = (0..40).map(|i| format!("element-{i:04}")).collect();
         let encoded = gset.to_bytes().len() as u64;
         let modeled = gset.size_bytes(&model);
         assert!(encoded <= modeled + 9 + 40);

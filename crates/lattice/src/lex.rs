@@ -88,8 +88,7 @@ where
             }
         } else {
             let c = &self.0;
-            self.1
-                .for_each_irreducible(&mut |a| f(Lex(c.clone(), a)));
+            self.1.for_each_irreducible(&mut |a| f(Lex(c.clone(), a)));
         }
     }
 

@@ -231,7 +231,12 @@ where
     }
 
     fn is_irreducible(&self) -> bool {
-        self.0.len() == 1 && self.0.values().next().is_some_and(Decompose::is_irreducible)
+        self.0.len() == 1
+            && self
+                .0
+                .values()
+                .next()
+                .is_some_and(Decompose::is_irreducible)
     }
 }
 

@@ -30,12 +30,18 @@ impl SizeModel {
     /// Model used by the metadata experiment (Fig. 9): 20 B ids, 8 B
     /// sequence numbers.
     pub const fn paper_metadata() -> Self {
-        SizeModel { id_bytes: 20, seq_bytes: 8 }
+        SizeModel {
+            id_bytes: 20,
+            seq_bytes: 8,
+        }
     }
 
     /// Compact default: 8 B ids, 8 B sequence numbers.
     pub const fn compact() -> Self {
-        SizeModel { id_bytes: 8, seq_bytes: 8 }
+        SizeModel {
+            id_bytes: 8,
+            seq_bytes: 8,
+        }
     }
 
     /// Size of one version-vector entry (`id ↦ seq`).

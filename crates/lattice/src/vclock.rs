@@ -8,9 +8,7 @@
 //! the same decomposition/size machinery measure metadata exactly like CRDT
 //! payload.
 
-use crate::{
-    Bottom, Decompose, Lattice, MapLattice, Max, ReplicaId, SizeModel, StateSize,
-};
+use crate::{Bottom, Decompose, Lattice, MapLattice, Max, ReplicaId, SizeModel, StateSize};
 
 /// A single event identifier: the `⟨i, s⟩ ∈ I × ℕ` version pairs of
 /// Scuttlebutt (§V-B) and of op-based causal delivery.
@@ -105,11 +103,7 @@ impl VClock {
 
 impl FromIterator<(ReplicaId, u64)> for VClock {
     fn from_iter<I: IntoIterator<Item = (ReplicaId, u64)>>(iter: I) -> Self {
-        VClock(
-            iter.into_iter()
-                .map(|(r, s)| (r, Max::new(s)))
-                .collect(),
-        )
+        VClock(iter.into_iter().map(|(r, s)| (r, Max::new(s))).collect())
     }
 }
 

@@ -24,11 +24,13 @@ fn sum_of_sums_phases() {
     assert!(draft.leq(&published));
     assert_eq!(draft.clone().join(published.clone()), published);
 
-    check_all_laws(&[ThreePhase::bottom(),
+    check_all_laws(&[
+        ThreePhase::bottom(),
         draft,
         review,
         ThreePhase::Right(Sum::Left(MapLattice::singleton(2, Max::new(1)))),
-        published]);
+        published,
+    ]);
 }
 
 /// `Pair<Lex<…>, Map<…>>`: a versioned document with per-section edit
@@ -66,13 +68,19 @@ fn map_of_pairs_of_lex() {
     let a = RecordStore::from_iter([
         (
             1,
-            Pair(SetLattice::from_iter([10, 11]), Lex::new(Max::new(1), Max::new(7))),
+            Pair(
+                SetLattice::from_iter([10, 11]),
+                Lex::new(Max::new(1), Max::new(7)),
+            ),
         ),
         (2, Pair(SetLattice::from_iter([20]), Lex::bottom())),
     ]);
     let b = RecordStore::from_iter([(
         1,
-        Pair(SetLattice::from_iter([12]), Lex::new(Max::new(2), Max::new(9))),
+        Pair(
+            SetLattice::from_iter([12]),
+            Lex::new(Max::new(2), Max::new(9)),
+        ),
     )]);
 
     // Δ(a, b): everything of key 2, plus key 1's tags (the lex side lost
@@ -94,8 +102,14 @@ type LatencyTable = MapLattice<&'static str, Min<u64>>;
 fn map_of_min_latencies() {
     let mut a = LatencyTable::new();
     assert!(a.join_entry("eu-west", Min::new(120)));
-    assert!(a.join_entry("eu-west", Min::new(80)), "lower is an inflation");
-    assert!(!a.join_entry("eu-west", Min::new(200)), "higher is absorbed");
+    assert!(
+        a.join_entry("eu-west", Min::new(80)),
+        "lower is an inflation"
+    );
+    assert!(
+        !a.join_entry("eu-west", Min::new(200)),
+        "higher is absorbed"
+    );
     let b = LatencyTable::from_iter([("us-east", Min::new(40))]);
     let j = a.clone().join(b.clone());
     assert_eq!(j.get(&"eu-west"), Some(&Min::new(80)));

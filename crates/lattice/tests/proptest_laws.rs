@@ -7,8 +7,8 @@
 
 use crdt_lattice::testing::{check_all_laws, check_delta_mutation};
 use crdt_lattice::{
-    Antichain, Bottom, Lattice, Lex, MapLattice, Max, Min, Pair, Poset, ReplicaId, SetLattice,
-    Sum, VClock,
+    Antichain, Bottom, Lattice, Lex, MapLattice, Max, Min, Pair, Poset, ReplicaId, SetLattice, Sum,
+    VClock,
 };
 use proptest::collection::{btree_map, btree_set, vec as pvec};
 use proptest::prelude::*;
@@ -22,10 +22,7 @@ fn max_u64() -> impl Strategy<Value = Max<u64>> {
 }
 
 fn min_u64() -> impl Strategy<Value = Min<u64>> {
-    prop_oneof![
-        Just(Min::bottom()),
-        (0u64..6).prop_map(Min::new),
-    ]
+    prop_oneof![Just(Min::bottom()), (0u64..6).prop_map(Min::new),]
 }
 
 fn set_u8() -> impl Strategy<Value = SetLattice<u8>> {
@@ -46,10 +43,7 @@ fn lex_lat() -> impl Strategy<Value = Lex<Max<u64>, SetLattice<u8>>> {
 }
 
 fn sum_lat() -> impl Strategy<Value = Sum<Max<u64>, SetLattice<u8>>> {
-    prop_oneof![
-        max_u64().prop_map(Sum::Left),
-        set_u8().prop_map(Sum::Right),
-    ]
+    prop_oneof![max_u64().prop_map(Sum::Left), set_u8().prop_map(Sum::Right),]
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,8 +56,7 @@ impl Poset for Pt {
 }
 
 fn antichain_lat() -> impl Strategy<Value = Antichain<Pt>> {
-    pvec((0u8..4, 0u8..4).prop_map(|(a, b)| Pt(a, b)), 0..4)
-        .prop_map(|v| v.into_iter().collect())
+    pvec((0u8..4, 0u8..4).prop_map(|(a, b)| Pt(a, b)), 0..4).prop_map(|v| v.into_iter().collect())
 }
 
 fn vclock_lat() -> impl Strategy<Value = VClock> {

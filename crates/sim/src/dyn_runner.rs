@@ -1,0 +1,482 @@
+//! The engine-layer twin of [`crate::Runner`]: one simulation driver for
+//! **runtime-selected** protocols.
+//!
+//! [`crate::Runner`] is monomorphized per protocol (`Runner<C, P>`), which
+//! is perfect for experiments but means every binary must instantiate
+//! every protocol it might run. `DynRunner` instead drives
+//! `Box<dyn SyncEngine>` replicas built by [`crdt_sync::build_engine`]
+//! from a [`ProtocolKind`] value — the same replica/network substrate, the
+//! protocol chosen by a CLI flag. Messages are [`WireEnvelope`]s carrying
+//! truly encoded payloads, so this runner also exercises the full
+//! encode/decode path a production transport would.
+//!
+//! The workload side stays typed (`Workload<C>`): operations are encoded
+//! at the boundary via [`OpBytes`]. Round structure, metric collection and
+//! convergence driving mirror [`crate::Runner`] exactly — the parity
+//! property test in `crdt-sync` relies on that.
+
+use std::time::Instant;
+
+use crdt_lattice::{ReplicaId, SizeModel, WireEncode};
+use crdt_sync::{build_engine_with_model, OpBytes, Params, ProtocolKind, SyncEngine, WireEnvelope};
+use crdt_types::Crdt;
+
+use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::network::{Network, NetworkConfig};
+use crate::runner::Workload;
+use crate::topology::Topology;
+
+/// Simulation driver for one runtime-selected protocol over one topology.
+///
+/// ```
+/// use crdt_sim::{DynRunner, NetworkConfig, Topology};
+/// use crdt_sync::ProtocolKind;
+/// use crdt_lattice::{ReplicaId, SizeModel};
+/// use crdt_types::{GSet, GSetOp};
+///
+/// let kind: ProtocolKind = "bp_rr".parse().unwrap();
+/// let mut runner: DynRunner<GSet<u64>> = DynRunner::new(
+///     kind,
+///     Topology::ring(4),
+///     NetworkConfig::reliable(1),
+///     SizeModel::compact(),
+/// );
+/// let mut workload = |node: ReplicaId, round: usize| {
+///     vec![GSetOp::Add((round * 4 + node.index()) as u64)]
+/// };
+/// runner.run(&mut workload, 3);
+/// runner.run_to_convergence(16).expect("converges");
+/// assert_eq!(runner.protocol_name(), "delta+BP+RR");
+/// ```
+#[derive(Debug)]
+pub struct DynRunner<C: Crdt> {
+    kind: ProtocolKind,
+    topology: Topology,
+    nodes: Vec<Box<dyn SyncEngine>>,
+    net: Network<WireEnvelope>,
+    metrics: RunMetrics,
+    params: Params,
+    round: usize,
+    _crdt: core::marker::PhantomData<fn() -> C>,
+}
+
+impl<C> DynRunner<C>
+where
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
+{
+    /// Build a runner with default parameters: one engine per topology
+    /// node, all of protocol `kind`.
+    pub fn new(
+        kind: ProtocolKind,
+        topology: Topology,
+        net_cfg: NetworkConfig,
+        model: SizeModel,
+    ) -> Self {
+        Self::with_params(kind, topology, net_cfg, model, None)
+    }
+
+    /// Build a runner, overriding the [`Params`] knobs (`fan_out`,
+    /// `sync_interval`). `params.n_nodes` is always taken from the
+    /// topology.
+    pub fn with_params(
+        kind: ProtocolKind,
+        topology: Topology,
+        net_cfg: NetworkConfig,
+        model: SizeModel,
+        params: Option<Params>,
+    ) -> Self {
+        let mut params = params.unwrap_or_else(|| Params::new(topology.len()));
+        params.n_nodes = topology.len();
+        let nodes = topology
+            .nodes()
+            .map(|id| build_engine_with_model::<C>(kind, id, &params, model))
+            .collect();
+        let n = topology.len();
+        DynRunner {
+            kind,
+            topology,
+            nodes,
+            net: Network::new(net_cfg),
+            metrics: RunMetrics::new(n),
+            params,
+            round: 0,
+            _crdt: core::marker::PhantomData,
+        }
+    }
+
+    /// The protocol every node runs.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The protocol's display name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Access a node's engine.
+    pub fn node(&self, id: ReplicaId) -> &dyn SyncEngine {
+        self.nodes[id.index()].as_ref()
+    }
+
+    /// A node's lattice state, typed (`None` if `T` is not the CRDT this
+    /// runner was built over).
+    pub fn state_of<T: 'static>(&self, id: ReplicaId) -> Option<&T> {
+        self.nodes[id.index()].state_any().downcast_ref::<T>()
+    }
+
+    /// The topology driving this run.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The collected metrics so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consume the runner, returning the metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Have all replicas reached the same lattice state?
+    pub fn converged(&self) -> bool {
+        self.nodes.windows(2).all(|w| w[0].state_eq(w[1].as_ref()))
+    }
+
+    /// Run `rounds` rounds of workload + synchronization.
+    pub fn run(&mut self, workload: &mut impl Workload<C>, rounds: usize) {
+        for _ in 0..rounds {
+            self.step(workload);
+        }
+    }
+
+    /// The neighbors node `id` synchronizes with this round: everyone,
+    /// unless `params.fan_out` caps the count — then a deterministic
+    /// rotating window, so capped replicas still address every neighbor
+    /// over successive sync steps.
+    ///
+    /// The window advances by *sync step* (`round / sync_interval`), not
+    /// by raw round: with an interval of `s`, only every `s`-th round
+    /// syncs, and stepping the window by rounds would skip the same
+    /// neighbor indices forever whenever `s` and the neighbor count share
+    /// a factor.
+    fn sync_targets(&self, id: ReplicaId) -> Vec<ReplicaId> {
+        let all = self.topology.neighbors(id);
+        match self.params.fan_out {
+            Some(f) if f < all.len() => {
+                let step = self.round / self.params.sync_interval.max(1);
+                (0..f).map(|i| all[(step * f + i) % all.len()]).collect()
+            }
+            _ => all.to_vec(),
+        }
+    }
+
+    /// Run one round: workload ops, one synchronization step per node
+    /// (respecting `sync_interval`), delivery to quiescence, then a memory
+    /// snapshot — the same four phases as [`crate::Runner::step`].
+    pub fn step(&mut self, workload: &mut impl Workload<C>) {
+        let mut rm = RoundMetrics::default();
+
+        // Phase 1: update operations, encoded across the erased boundary.
+        for id in 0..self.nodes.len() {
+            let node_id = ReplicaId::from(id);
+            for op in workload.ops(node_id, self.round) {
+                let bytes = OpBytes::encode(&op);
+                let t0 = Instant::now();
+                self.nodes[id]
+                    .on_op(&bytes)
+                    .expect("engine rejected its own CRDT's op encoding");
+                rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
+            }
+        }
+
+        // Phase 2: synchronization step (skipped on off rounds when a
+        // sync_interval > 1 is configured; buffers keep accumulating).
+        if self.round.is_multiple_of(self.params.sync_interval.max(1)) {
+            for id in 0..self.nodes.len() {
+                let node_id = ReplicaId::from(id);
+                let targets = self.sync_targets(node_id);
+                let t0 = Instant::now();
+                let out = self.nodes[id].on_sync(&targets);
+                rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
+                for env in out {
+                    self.account(&mut rm, &env);
+                    self.net.send(env.from, env.to, env);
+                }
+            }
+        }
+
+        // Phase 3: deliver to quiescence (push-pull replies included).
+        while !self.net.is_idle() {
+            for delivery in self.net.flush() {
+                let to = delivery.to;
+                let t0 = Instant::now();
+                let replies = self.nodes[to.index()]
+                    .on_msg(delivery.msg)
+                    .expect("uniform-protocol run cannot mismatch kinds");
+                rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
+                for reply in replies {
+                    self.account(&mut rm, &reply);
+                    self.net.send(reply.from, reply.to, reply);
+                }
+            }
+        }
+
+        // Phase 4: end-of-round memory snapshot.
+        for node in &self.nodes {
+            let m = node.memory();
+            rm.memory.crdt_elements += m.crdt_elements;
+            rm.memory.crdt_bytes += m.crdt_bytes;
+            rm.memory.meta_elements += m.meta_elements;
+            rm.memory.meta_bytes += m.meta_bytes;
+        }
+
+        self.metrics.push_round(rm);
+        self.round += 1;
+    }
+
+    fn account(&self, rm: &mut RoundMetrics, env: &WireEnvelope) {
+        rm.messages += 1;
+        rm.payload_elements += env.accounting.payload_elements;
+        rm.payload_bytes += env.accounting.payload_bytes;
+        rm.metadata_bytes += env.accounting.metadata_bytes;
+    }
+
+    /// After the workload ends, keep synchronizing (no new ops) until all
+    /// replicas agree, up to `max_rounds` extra rounds. Returns the extra
+    /// rounds taken, or `None` if convergence was not reached.
+    pub fn run_to_convergence(&mut self, max_rounds: usize) -> Option<usize> {
+        let mut idle = |_: ReplicaId, _: usize| -> Vec<C::Op> { Vec::new() };
+        for extra in 0..=max_rounds {
+            if self.converged() {
+                return Some(extra);
+            }
+            self.step(&mut idle);
+        }
+        self.converged().then_some(max_rounds)
+    }
+}
+
+/// Convenience mirror of [`crate::run_experiment`] for the erased path:
+/// run `kind` over `topology` with `workload` for `rounds` rounds, then
+/// drive to convergence; panic if the replicas do not converge.
+pub fn run_dyn_experiment<C>(
+    kind: ProtocolKind,
+    topology: Topology,
+    net_cfg: NetworkConfig,
+    model: SizeModel,
+    workload: &mut impl Workload<C>,
+    rounds: usize,
+) -> RunMetrics
+where
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
+{
+    let mut runner: DynRunner<C> = DynRunner::new(kind, topology, net_cfg, model);
+    runner.run(workload, rounds);
+    let diameter_slack = runner.topology().diameter() * 4 + 16;
+    runner
+        .run_to_convergence(diameter_slack)
+        .unwrap_or_else(|| {
+            panic!(
+                "{} did not converge within {} extra rounds",
+                kind, diameter_slack
+            )
+        });
+    runner.into_metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, Runner};
+    use crdt_sync::{BpRrDelta, ClassicDelta};
+    use crdt_types::{GSet, GSetOp};
+
+    fn unique_adds(n: usize) -> impl FnMut(ReplicaId, usize) -> Vec<GSetOp<u64>> {
+        move |node: ReplicaId, round: usize| vec![GSetOp::Add((round * n + node.index()) as u64)]
+    }
+
+    #[test]
+    fn every_kind_converges_on_a_mesh() {
+        let n = 6;
+        let rounds = 4;
+        for kind in ProtocolKind::ALL {
+            let topo = Topology::partial_mesh(n, 4);
+            let mut runner: DynRunner<GSet<u64>> =
+                DynRunner::new(kind, topo, NetworkConfig::reliable(3), SizeModel::compact());
+            runner.run(&mut unique_adds(n), rounds);
+            runner
+                .run_to_convergence(64)
+                .unwrap_or_else(|| panic!("{kind} failed to converge"));
+            let state = runner.state_of::<GSet<u64>>(ReplicaId(0)).unwrap();
+            assert_eq!(state.len(), n * rounds, "{kind} lost elements");
+        }
+    }
+
+    /// The headline parity claim at runner level: identical schedule in,
+    /// identical transmission accounting and final state out.
+    #[test]
+    fn dyn_runner_matches_generic_runner_exactly() {
+        let n = 8;
+        let rounds = 5;
+        for (kind, generic) in [
+            (ProtocolKind::Classic, {
+                let topo = Topology::partial_mesh(n, 4);
+                run_experiment::<GSet<u64>, ClassicDelta<GSet<u64>>>(
+                    topo,
+                    NetworkConfig::reliable(7),
+                    SizeModel::compact(),
+                    &mut unique_adds(n),
+                    rounds,
+                )
+            }),
+            (ProtocolKind::BpRr, {
+                let topo = Topology::partial_mesh(n, 4);
+                run_experiment::<GSet<u64>, BpRrDelta<GSet<u64>>>(
+                    topo,
+                    NetworkConfig::reliable(7),
+                    SizeModel::compact(),
+                    &mut unique_adds(n),
+                    rounds,
+                )
+            }),
+        ] {
+            let topo = Topology::partial_mesh(n, 4);
+            let erased = run_dyn_experiment::<GSet<u64>>(
+                kind,
+                topo,
+                NetworkConfig::reliable(7),
+                SizeModel::compact(),
+                &mut unique_adds(n),
+                rounds,
+            );
+            assert_eq!(erased.total_elements(), generic.total_elements(), "{kind}");
+            assert_eq!(erased.total_bytes(), generic.total_bytes(), "{kind}");
+            assert_eq!(erased.total_messages(), generic.total_messages(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn fan_out_cap_still_converges_for_anti_entropy() {
+        // Scuttlebutt keeps its key-delta store (nothing is cleared on
+        // sync), so gossiping to one rotating peer per round is a valid
+        // anti-entropy deployment — the scenario `fan_out` models.
+        let n = 8;
+        let params = Params::new(n).fan_out(1);
+        let mut runner: DynRunner<GSet<u64>> = DynRunner::with_params(
+            ProtocolKind::Scuttlebutt,
+            Topology::full_mesh(n),
+            NetworkConfig::reliable(5),
+            SizeModel::compact(),
+            Some(params),
+        );
+        runner.run(&mut unique_adds(n), 3);
+        runner
+            .run_to_convergence(64)
+            .expect("capped fan-out converges");
+        assert_eq!(
+            runner.state_of::<GSet<u64>>(ReplicaId(0)).unwrap().len(),
+            n * 3
+        );
+    }
+
+    #[test]
+    fn fan_out_with_sync_interval_still_addresses_every_neighbor() {
+        // Regression: the rotating window must advance by sync *step*, not
+        // raw round — otherwise interval 2 over an even neighbor count
+        // would address the same neighbor indices forever.
+        let n = 5; // full mesh → 4 neighbors, sharing factor 2 with the interval
+        let params = Params::new(n).fan_out(1).sync_interval(2);
+        let mut runner: DynRunner<GSet<u64>> = DynRunner::with_params(
+            ProtocolKind::Scuttlebutt,
+            Topology::full_mesh(n),
+            NetworkConfig::reliable(9),
+            SizeModel::compact(),
+            Some(params),
+        );
+        runner.run(&mut unique_adds(n), 2);
+        runner
+            .run_to_convergence(64)
+            .expect("window rotation reaches all neighbors");
+        assert_eq!(
+            runner.state_of::<GSet<u64>>(ReplicaId(0)).unwrap().len(),
+            n * 2
+        );
+    }
+
+    #[test]
+    fn fan_out_cap_limits_messages_per_round() {
+        let n = 8;
+        let capped: DynRunner<GSet<u64>> = {
+            let mut r = DynRunner::with_params(
+                ProtocolKind::BpRr,
+                Topology::full_mesh(n),
+                NetworkConfig::reliable(5),
+                SizeModel::compact(),
+                Some(Params::new(n).fan_out(2)),
+            );
+            r.run(&mut unique_adds(n), 1);
+            r
+        };
+        // Each node addressed exactly 2 of its 7 neighbors.
+        assert_eq!(capped.metrics().rounds[0].messages, (n * 2) as u64);
+    }
+
+    #[test]
+    fn sync_interval_batches_rounds() {
+        let n = 4;
+        let params = Params::new(n).sync_interval(2);
+        let mut runner: DynRunner<GSet<u64>> = DynRunner::with_params(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(n),
+            NetworkConfig::reliable(5),
+            SizeModel::compact(),
+            Some(params),
+        );
+        runner.run(&mut unique_adds(n), 4);
+        // Rounds 1 and 3 are off rounds: no messages recorded.
+        let per_round: Vec<u64> = runner.metrics().rounds.iter().map(|r| r.messages).collect();
+        assert_eq!(per_round[1], 0);
+        assert_eq!(per_round[3], 0);
+        assert!(per_round[0] > 0 && per_round[2] > 0);
+        runner.run_to_convergence(16).expect("still converges");
+    }
+
+    #[test]
+    fn mixed_protocol_state_comparison_is_type_safe() {
+        let topo = Topology::ring(3);
+        let a: DynRunner<GSet<u64>> = DynRunner::new(
+            ProtocolKind::BpRr,
+            topo.clone(),
+            NetworkConfig::reliable(1),
+            SizeModel::compact(),
+        );
+        // Engines of the same CRDT but different protocols still compare
+        // states (both are at ⊥ here).
+        let b: DynRunner<GSet<u64>> = DynRunner::new(
+            ProtocolKind::Scuttlebutt,
+            topo,
+            NetworkConfig::reliable(1),
+            SizeModel::compact(),
+        );
+        assert!(a.node(ReplicaId(0)).state_eq(b.node(ReplicaId(0))));
+    }
+
+    /// `Runner` (generic) and `DynRunner` (erased) expose the same
+    /// protocol naming so experiment tables line up.
+    #[test]
+    fn names_agree_with_generic_runner() {
+        assert_eq!(
+            Runner::<GSet<u64>, BpRrDelta<GSet<u64>>>::protocol_name(),
+            ProtocolKind::BpRr.name()
+        );
+        assert_eq!(
+            Runner::<GSet<u64>, ClassicDelta<GSet<u64>>>::protocol_name(),
+            ProtocolKind::Classic.name()
+        );
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod dyn_runner;
 mod metrics;
 mod network;
 mod parallel;
@@ -29,6 +30,7 @@ mod runner;
 mod sharded;
 mod topology;
 
+pub use dyn_runner::{run_dyn_experiment, DynRunner};
 pub use metrics::{RoundMetrics, RunMetrics};
 pub use network::{Envelope, Network, NetworkConfig};
 pub use parallel::ParallelRunner;

@@ -48,7 +48,10 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Start a run over `n_nodes` replicas.
     pub fn new(n_nodes: usize) -> Self {
-        RunMetrics { rounds: Vec::new(), n_nodes }
+        RunMetrics {
+            rounds: Vec::new(),
+            n_nodes,
+        }
     }
 
     /// Append a finished round.
@@ -174,7 +177,10 @@ impl RunMetrics {
             }
             rounds.push(r);
         }
-        RunMetrics { rounds, n_nodes: self.n_nodes.max(other.n_nodes) }
+        RunMetrics {
+            rounds,
+            n_nodes: self.n_nodes.max(other.n_nodes),
+        }
     }
 
     /// Restrict to a sub-range of rounds (Fig. 11 reports first and second

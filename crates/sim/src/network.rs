@@ -28,17 +28,32 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// Reliable, in-order delivery.
     pub fn reliable(seed: u64) -> Self {
-        NetworkConfig { duplicate_prob: 0.0, reorder: false, drop_prob: 0.0, seed }
+        NetworkConfig {
+            duplicate_prob: 0.0,
+            reorder: false,
+            drop_prob: 0.0,
+            seed,
+        }
     }
 
     /// The §II channel model: duplication + reordering, no loss.
     pub fn chaotic(seed: u64) -> Self {
-        NetworkConfig { duplicate_prob: 0.1, reorder: true, drop_prob: 0.0, seed }
+        NetworkConfig {
+            duplicate_prob: 0.1,
+            reorder: true,
+            drop_prob: 0.0,
+            seed,
+        }
     }
 
     /// A lossy channel (for the acked delta variant only).
     pub fn lossy(seed: u64, drop_prob: f64) -> Self {
-        NetworkConfig { duplicate_prob: 0.05, reorder: true, drop_prob, seed }
+        NetworkConfig {
+            duplicate_prob: 0.05,
+            reorder: true,
+            drop_prob,
+            seed,
+        }
     }
 }
 
@@ -96,7 +111,11 @@ impl<M: Clone> Network<M> {
         }
         if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob) {
             self.duplicated += 1;
-            self.in_flight.push(Envelope { from, to, msg: msg.clone() });
+            self.in_flight.push(Envelope {
+                from,
+                to,
+                msg: msg.clone(),
+            });
         }
         self.in_flight.push(Envelope { from, to, msg });
     }

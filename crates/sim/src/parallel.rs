@@ -114,8 +114,10 @@ where
                 .zip(results.chunks_mut(chunk.max(1)))
             {
                 scope.spawn(move || {
-                    for (offset, (node, slot)) in
-                        node_chunk.iter_mut().zip(result_chunk.iter_mut()).enumerate()
+                    for (offset, (node, slot)) in node_chunk
+                        .iter_mut()
+                        .zip(result_chunk.iter_mut())
+                        .enumerate()
                     {
                         *slot = work(start + offset, node);
                     }
@@ -256,8 +258,11 @@ mod tests {
         let events = 8;
         let topo = Topology::partial_mesh(n, 4);
 
-        let mut seq: Runner<GSet<u64>, BpRrDelta<GSet<u64>>> =
-            Runner::new(topo.clone(), NetworkConfig::reliable(0), SizeModel::compact());
+        let mut seq: Runner<GSet<u64>, BpRrDelta<GSet<u64>>> = Runner::new(
+            topo.clone(),
+            NetworkConfig::reliable(0),
+            SizeModel::compact(),
+        );
         seq.run(&mut unique_adds(n, events), events);
         seq.run_to_convergence(64).unwrap();
 
@@ -266,14 +271,20 @@ mod tests {
         par.run(&mut unique_adds(n, events), events);
         par.run_to_convergence(64).unwrap();
 
-        assert_eq!(seq.node(ReplicaId(0)).state(), par.node(ReplicaId(0)).state());
+        assert_eq!(
+            seq.node(ReplicaId(0)).state(),
+            par.node(ReplicaId(0)).state()
+        );
         // Transmission accounting is identical (message contents and
         // counts do not depend on scheduling).
         assert_eq!(
             seq.metrics().total_elements(),
             par.metrics().total_elements()
         );
-        assert_eq!(seq.metrics().total_messages(), par.metrics().total_messages());
+        assert_eq!(
+            seq.metrics().total_messages(),
+            par.metrics().total_messages()
+        );
         assert_eq!(seq.metrics().total_bytes(), par.metrics().total_bytes());
     }
 
@@ -285,7 +296,8 @@ mod tests {
         let mut par: ParallelRunner<GSet<u64>, Scuttlebutt<GSet<u64>>> =
             ParallelRunner::new(topo, SizeModel::compact(), 3);
         par.run(&mut unique_adds(n, events), events);
-        par.run_to_convergence(32).expect("scuttlebutt converges in parallel");
+        par.run_to_convergence(32)
+            .expect("scuttlebutt converges in parallel");
         assert_eq!(par.node(ReplicaId(3)).state().len(), n * events);
     }
 

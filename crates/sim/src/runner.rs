@@ -93,9 +93,7 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
 
     /// Have all replicas reached the same lattice state?
     pub fn converged(&self) -> bool {
-        self.nodes
-            .windows(2)
-            .all(|w| w[0].state() == w[1].state())
+        self.nodes.windows(2).all(|w| w[0].state() == w[1].state())
     }
 
     /// Run `rounds` rounds of workload + synchronization.
@@ -219,9 +217,7 @@ mod tests {
     /// Each node adds one globally unique element per round (the paper's
     /// GSet micro-benchmark).
     fn unique_adds(n: usize) -> impl FnMut(ReplicaId, usize) -> Vec<GSetOp<u64>> {
-        move |node: ReplicaId, round: usize| {
-            vec![GSetOp::Add((round * n + node.index()) as u64)]
-        }
+        move |node: ReplicaId, round: usize| vec![GSetOp::Add((round * n + node.index()) as u64)]
     }
 
     fn total_expected(n: usize, rounds: usize) -> usize {

@@ -84,7 +84,11 @@ where
     /// dirty object with every neighbor (messages delivered immediately —
     /// delta protocols never reply).
     pub fn step(&mut self, ops_per_node: &[Vec<KeyedOp<K, C>>]) {
-        assert_eq!(ops_per_node.len(), self.nodes.len(), "ops per node mismatch");
+        assert_eq!(
+            ops_per_node.len(),
+            self.nodes.len(),
+            "ops per node mismatch"
+        );
         let mut rm = RoundMetrics::default();
 
         // Phase 1: local operations, routed to their object.

@@ -33,7 +33,10 @@ impl Topology {
         for l in &mut adj {
             l.sort_unstable();
         }
-        Topology { name: name.into(), adj }
+        Topology {
+            name: name.into(),
+            adj,
+        }
     }
 
     /// Every node connected to every other node.
@@ -49,7 +52,10 @@ impl Topology {
     /// this is the left topology of Fig. 6: 4 neighbors per node, plenty
     /// of cycles.
     pub fn partial_mesh(n: usize, degree: usize) -> Self {
-        assert!(degree.is_multiple_of(2), "circulant mesh needs an even degree");
+        assert!(
+            degree.is_multiple_of(2),
+            "circulant mesh needs an even degree"
+        );
         assert!(degree / 2 < n, "degree too large for {n} nodes");
         let mut edges = Vec::new();
         for a in 0..n {
@@ -191,7 +197,12 @@ impl Topology {
                     }
                 }
             }
-            best = best.max(dist.into_iter().filter(|d| *d != usize::MAX).max().unwrap_or(0));
+            best = best.max(
+                dist.into_iter()
+                    .filter(|d| *d != usize::MAX)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         best
     }

@@ -2,9 +2,9 @@
 
 use std::collections::BTreeSet;
 
-use crdt_lattice::{ReplicaId, SizeModel, Sizeable};
+use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
 use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
-use crdt_sync::DeltaMsg;
+use crdt_sync::Params;
 use crdt_types::Crdt;
 
 use crate::metrics::TrafficStats;
@@ -12,36 +12,36 @@ use crate::replica::{StoreConfig, StoreReplica};
 use crate::transport::{LoopbackTransport, Transport};
 
 /// A cluster of [`StoreReplica`]s over a neighbor graph and a
-/// [`Transport`].
+/// [`Transport`], running whichever [`crdt_sync::ProtocolKind`] the
+/// [`StoreConfig`] selects — the protocol is a deploy-time value, not a
+/// type parameter.
 ///
 /// The cluster drives rounds exactly like the paper's deployments: every
-/// replica runs one synchronization step (shipping per-object δ-group
+/// replica runs one synchronization step (shipping per-object envelope
 /// batches to its neighbors), then absorbs everything the transport
-/// delivered. Traffic is accounted in [`TrafficStats`].
+/// delivered. Push-pull protocols' replies re-enter the transport and
+/// complete over subsequent rounds. Traffic is accounted in
+/// [`TrafficStats`].
 #[derive(Debug)]
-pub struct Cluster<K: Ord, C, T = LoopbackTransport<K, C>> {
+pub struct Cluster<K: Ord, C, T = LoopbackTransport<K>> {
     replicas: Vec<StoreReplica<K, C>>,
     neighbors: Vec<Vec<ReplicaId>>,
     transport: T,
     stats: TrafficStats,
-    model: SizeModel,
+    cfg: StoreConfig,
 }
 
-impl<K, C> Cluster<K, C, LoopbackTransport<K, C>>
+impl<K, C> Cluster<K, C, LoopbackTransport<K>>
 where
     K: Ord + Clone + Sizeable,
-    C: Crdt,
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
 {
     /// A fully connected cluster of `n` replicas over the in-memory
     /// transport.
     pub fn full_mesh(n: usize, cfg: StoreConfig) -> Self {
         let neighbors = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|j| *j != i)
-                    .map(ReplicaId::from)
-                    .collect()
-            })
+            .map(|i| (0..n).filter(|j| *j != i).map(ReplicaId::from).collect())
             .collect();
         Self::with_neighbors(neighbors, cfg)
     }
@@ -50,15 +50,7 @@ where
     /// replicas `i` pushes to), over the in-memory transport.
     pub fn with_neighbors(neighbors: Vec<Vec<ReplicaId>>, cfg: StoreConfig) -> Self {
         let n = neighbors.len();
-        Cluster {
-            replicas: (0..n)
-                .map(|i| StoreReplica::new(ReplicaId::from(i), cfg))
-                .collect(),
-            neighbors,
-            transport: LoopbackTransport::new(n),
-            stats: TrafficStats::default(),
-            model: SizeModel::compact(),
-        }
+        Self::with_transport(neighbors, cfg, LoopbackTransport::new(n))
     }
 
     /// Partition the cluster: sever every link between `group` and the
@@ -84,26 +76,28 @@ where
 impl<K, C, T> Cluster<K, C, T>
 where
     K: Ord + Clone + Sizeable,
-    C: Crdt,
-    T: Transport<K, C>,
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
+    T: Transport<K>,
 {
     /// A cluster over a custom transport.
     pub fn with_transport(neighbors: Vec<Vec<ReplicaId>>, cfg: StoreConfig, transport: T) -> Self {
         let n = neighbors.len();
         Cluster {
             replicas: (0..n)
-                .map(|i| StoreReplica::new(ReplicaId::from(i), cfg))
+                .map(|i| StoreReplica::with_params(ReplicaId::from(i), cfg, Params::new(n)))
                 .collect(),
             neighbors,
             transport,
             stats: TrafficStats::default(),
-            model: SizeModel::compact(),
+            cfg,
         }
     }
 
-    /// Override the byte model used for traffic accounting.
-    pub fn set_model(&mut self, model: SizeModel) {
-        self.model = model;
+    /// The configuration in effect (including the runtime-selected
+    /// protocol).
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
     }
 
     /// Number of replicas.
@@ -137,18 +131,36 @@ where
     }
 
     /// One synchronization round: every replica runs its sync step, then
-    /// absorbs everything delivered.
+    /// everything delivered is absorbed **to quiescence** — replies
+    /// (push-pull protocols) re-enter the transport and are themselves
+    /// delivered until nothing is in flight, so a Scuttlebutt
+    /// digest/reply/final exchange completes within the round, exactly
+    /// like the paper's experiment loop.
     pub fn sync_round(&mut self) {
+        let model = self.cfg.model;
         for (i, replica) in self.replicas.iter_mut().enumerate() {
             let from = ReplicaId::from(i);
             for (to, msg) in replica.sync_step(&self.neighbors[i]) {
-                self.stats.record(&msg, &self.model);
+                self.stats.record(&msg, &model);
                 self.transport.send(from, to, msg);
             }
         }
-        for (i, replica) in self.replicas.iter_mut().enumerate() {
-            for (from, msg) in self.transport.poll(ReplicaId::from(i)) {
-                replica.absorb(from, msg);
+        while self.transport.in_flight() > 0 {
+            for i in 0..self.replicas.len() {
+                let at = ReplicaId::from(i);
+                for (_, msg) in self.transport.poll(at) {
+                    // Every replica of this cluster was built from the same
+                    // StoreConfig and the transport moves values, so
+                    // mismatch/corruption cannot occur here; real
+                    // byte-transport deployments handle the Err arm.
+                    let replies = self.replicas[i]
+                        .absorb(msg)
+                        .expect("uniform in-process cluster cannot produce decode errors");
+                    for (reply_to, reply) in replies {
+                        self.stats.record(&reply, &model);
+                        self.transport.send(at, reply_to, reply);
+                    }
+                }
             }
         }
     }
@@ -184,12 +196,25 @@ where
     /// paper's §VI, \[30\]): for every object either side holds, exchange
     /// digests and ship only the join-irreducibles the other side is
     /// missing — never full states. Repaired deltas enter the ordinary
-    /// δ-buffers, so they continue to propagate to other replicas.
+    /// receive path, so they continue to propagate to other replicas.
     ///
     /// Use after healing a partition whose duration exceeded what the
     /// cleared δ-buffers can replay.
+    ///
+    /// # Panics
+    ///
+    /// If the configured protocol does not exchange bare δ-groups
+    /// ([`crdt_sync::ProtocolKind::accepts_raw_delta`]): the anti-entropy
+    /// and op-based kinds carry their own recovery metadata and neither
+    /// need nor accept digest injection.
     pub fn digest_repair(&mut self, a: usize, b: usize) -> PairSyncStats {
         assert_ne!(a, b, "repair needs two distinct replicas");
+        assert!(
+            self.cfg.protocol.accepts_raw_delta(),
+            "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+            self.cfg.protocol
+        );
+        let model = self.cfg.model;
         let keys: BTreeSet<K> = self.replicas[a]
             .keys()
             .chain(self.replicas[b].keys())
@@ -210,7 +235,7 @@ where
             // Run the 3-message protocol on copies to obtain the stats and
             // the converged state…
             let (mut ca, mut cb) = (xa.clone(), xb.clone());
-            let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+            let stats = digest_driven_sync(&mut ca, &mut cb, &model);
             total.messages += stats.messages;
             total.payload_elements += stats.payload_elements;
             total.payload_bytes += stats.payload_bytes;
@@ -219,15 +244,11 @@ where
             // receive path (RR extraction + buffering for propagation).
             let delta_for_a = ca.delta(&xa);
             if !delta_for_a.is_bottom() {
-                self.replicas[a]
-                    .object_mut(key.clone())
-                    .receive(id_b, DeltaMsg(delta_for_a));
+                self.replicas[a].inject_delta(key.clone(), id_b, delta_for_a);
             }
             let delta_for_b = cb.delta(&xb);
             if !delta_for_b.is_bottom() {
-                self.replicas[b]
-                    .object_mut(key)
-                    .receive(id_a, DeltaMsg(delta_for_b));
+                self.replicas[b].inject_delta(key, id_a, delta_for_b);
             }
         }
         total
@@ -237,6 +258,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crdt_sync::ProtocolKind;
     use crdt_types::{GSet, GSetOp};
 
     type Cl = Cluster<&'static str, GSet<u32>>;
@@ -330,5 +352,46 @@ mod tests {
             "only the two divergent elements ship — not the 100 shared"
         );
         assert!(c.converged());
+    }
+
+    #[test]
+    fn scuttlebutt_cluster_converges_via_reply_routing() {
+        // The protocol is a runtime value: the same Cluster code drives
+        // anti-entropy push-pull, with replies crossing the transport.
+        let mut c: Cl = Cluster::full_mesh(3, StoreConfig::new(ProtocolKind::Scuttlebutt));
+        c.update(0, "x", &GSetOp::Add(1));
+        c.update(2, "y", &GSetOp::Add(9));
+        c.run_until_converged(16).expect("anti-entropy converges");
+        // The digest/reply/final exchange crossed the transport: more
+        // batches than the two digests alone.
+        assert!(c.stats().messages > 2);
+        assert!(c.replica(1).get("x").unwrap().contains(&1));
+        assert!(c.replica(0).get("y").unwrap().contains(&9));
+    }
+
+    #[test]
+    fn every_raw_delta_kind_runs_the_store() {
+        for kind in [
+            ProtocolKind::Classic,
+            ProtocolKind::Bp,
+            ProtocolKind::Rr,
+            ProtocolKind::BpRr,
+            ProtocolKind::State,
+        ] {
+            let mut c: Cl = Cluster::full_mesh(3, StoreConfig::new(kind));
+            c.update(0, "x", &GSetOp::Add(1));
+            c.update(1, "x", &GSetOp::Add(2));
+            c.run_until_converged(16)
+                .unwrap_or_else(|| panic!("{kind} store did not converge"));
+            assert_eq!(c.replica(2).get("x").unwrap().len(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digest repair applies")]
+    fn digest_repair_rejects_anti_entropy_kinds() {
+        let mut c: Cl = Cluster::full_mesh(2, StoreConfig::new(ProtocolKind::Scuttlebutt));
+        c.update(0, "x", &GSetOp::Add(1));
+        let _ = c.digest_repair(0, 1);
     }
 }

@@ -1,15 +1,20 @@
 //! # delta-store
 //!
-//! A **multi-object replicated store** built on the paper's delta-based
-//! BP+RR synchronization — the library layer a downstream system would
-//! embed, as opposed to the experiment harness in `crdt-sim`.
+//! A **multi-object replicated store** over runtime-selectable
+//! synchronization — the library layer a downstream system would embed,
+//! as opposed to the experiment harness in `crdt-sim`.
 //!
 //! Each replica ([`StoreReplica`]) holds a keyspace of independent CRDT
-//! objects, every object synchronized by its own Algorithm-1 instance
-//! (δ-buffer with the BP and RR optimizations, configurable via
-//! [`StoreConfig`]). Synchronization batches all objects' δ-groups per
+//! objects, every object synchronized by its own type-erased engine
+//! ([`crdt_sync::SyncEngine`]) of the [`crdt_sync::ProtocolKind`] the
+//! [`StoreConfig`] selects — BP+RR by default (the paper's proposal), or
+//! any baseline (`classic`, `state`, `scuttlebutt`, …) for comparison,
+//! chosen at **runtime** (e.g. from a `--protocol` flag), not compiled
+//! per protocol. Synchronization batches all objects' envelopes per
 //! neighbor into a single [`StoreMsg`], the granularity the paper's
-//! Retwis deployment uses (§V-C: 30 K objects, per-object δ-buffers).
+//! Retwis deployment uses (§V-C: 30 K objects, per-object δ-buffers);
+//! envelope payloads are real encoded bytes, so batches serialize for
+//! any byte transport.
 //!
 //! On top of the replica sit:
 //!
@@ -28,19 +33,21 @@
 //! use crdt_types::{AWSet, AWSetOp};
 //! use delta_store::{Cluster, StoreConfig};
 //!
-//! // Three replicas of a keyspace of add-wins sets, fully connected.
-//! let mut cluster: Cluster<&str, AWSet<&str>> = Cluster::full_mesh(3, StoreConfig::default());
+//! // Three replicas of a keyspace of add-wins sets, fully connected,
+//! // running the protocol named at runtime.
+//! let cfg = StoreConfig::new("bp_rr".parse().unwrap());
+//! let mut cluster: Cluster<&str, AWSet<String>> = Cluster::full_mesh(3, cfg);
 //!
 //! // Replica 0 builds a shopping cart; replica 2 builds another.
-//! cluster.update(0, "cart:alice", &AWSetOp::Add(ReplicaId(0), "oat milk"));
-//! cluster.update(2, "cart:bob", &AWSetOp::Add(ReplicaId(2), "espresso"));
+//! cluster.update(0, "cart:alice", &AWSetOp::Add(ReplicaId(0), "oat milk".into()));
+//! cluster.update(2, "cart:bob", &AWSetOp::Add(ReplicaId(2), "espresso".into()));
 //!
 //! // One synchronization round ships only the deltas.
 //! cluster.sync_round();
 //!
 //! // Every replica now sees both objects.
-//! assert!(cluster.replica(1).get("cart:alice").unwrap().contains(&"oat milk"));
-//! assert!(cluster.replica(0).get("cart:bob").unwrap().contains(&"espresso"));
+//! assert!(cluster.replica(1).get("cart:alice").unwrap().contains(&"oat milk".into()));
+//! assert!(cluster.replica(0).get("cart:bob").unwrap().contains(&"espresso".into()));
 //! ```
 
 #![warn(missing_docs)]

@@ -1,13 +1,11 @@
 //! Traffic accounting for the cluster.
 
-use crdt_lattice::{SizeModel, Sizeable, StateSize};
+use crdt_lattice::SizeModel;
 use crdt_sync::Measured;
-
-use crate::message::StoreMsg;
 
 /// Cumulative transmission statistics, in the paper's units: messages,
 /// payload elements (join-irreducibles), payload bytes, and metadata
-/// bytes (object keys, digests).
+/// bytes (object keys, digests, protocol vectors).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Batches sent.
@@ -21,8 +19,8 @@ pub struct TrafficStats {
 }
 
 impl TrafficStats {
-    /// Account one outgoing batch.
-    pub fn record<K: Sizeable, C: StateSize>(&mut self, msg: &StoreMsg<K, C>, model: &SizeModel) {
+    /// Account one outgoing batch (anything [`Measured`]).
+    pub fn record<M: Measured>(&mut self, msg: &M, model: &SizeModel) {
         self.messages += 1;
         self.payload_elements += msg.payload_elements();
         self.payload_bytes += msg.payload_bytes(model);
@@ -38,13 +36,33 @@ impl TrafficStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::StoreMsg;
+    use crdt_lattice::{ReplicaId, WireEncode};
+    use crdt_sync::{ProtocolKind, WireAccounting, WireEnvelope};
     use crdt_types::GSet;
 
     #[test]
     fn record_accumulates() {
         let model = SizeModel::compact();
         let mut stats = TrafficStats::default();
-        let msg = StoreMsg { entries: vec![(1u8, GSet::from_iter([1u64, 2]))] };
+        let payload = GSet::from_iter([1u64, 2]).to_bytes();
+        let msg = StoreMsg {
+            entries: vec![(
+                1u8,
+                WireEnvelope {
+                    from: ReplicaId(0),
+                    to: ReplicaId(1),
+                    kind: ProtocolKind::BpRr,
+                    accounting: WireAccounting {
+                        payload_elements: 2,
+                        payload_bytes: 16,
+                        metadata_bytes: 0,
+                        encoded_bytes: payload.len() as u64,
+                    },
+                    payload,
+                },
+            )],
+        };
         stats.record(&msg, &model);
         stats.record(&msg, &model);
         assert_eq!(stats.messages, 2);

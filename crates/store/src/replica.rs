@@ -1,45 +1,103 @@
 //! One replica of the multi-object store.
 
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 
-use crdt_lattice::{ReplicaId, SizeModel, Sizeable};
-use crdt_sync::{DeltaConfig, DeltaMsg, DeltaSync, MemoryUsage};
+use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
+use crdt_sync::{
+    build_engine_with_model, DeltaMsg, EngineError, Measured, MemoryUsage, OpBytes, Params,
+    ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+};
 use crdt_types::Crdt;
 
 use crate::message::StoreMsg;
 
 /// Store-wide configuration.
+///
+/// The protocol is a **runtime value**: one store binary serves any of
+/// the paper's synchronization strategies, selected per deployment (e.g.
+/// from a `--protocol bp_rr` flag via [`ProtocolKind::from_str`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
-    /// Which of the paper's optimizations each object's synchronizer
-    /// runs with. Defaults to BP+RR (the paper's best variant); set to
-    /// [`DeltaConfig::CLASSIC`] to reproduce the anomaly of Fig. 1.
-    pub delta: DeltaConfig,
+    /// Which synchronization protocol every object runs. Defaults to
+    /// BP+RR (the paper's best variant); set [`ProtocolKind::Classic`] to
+    /// reproduce the anomaly of Fig. 1, or any other kind to compare
+    /// baselines through the same store API.
+    pub protocol: ProtocolKind,
+    /// Byte model used for traffic/memory accounting.
+    pub model: SizeModel,
+}
+
+impl StoreConfig {
+    /// Configuration running `protocol` under the compact byte model.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        StoreConfig {
+            protocol,
+            model: SizeModel::compact(),
+        }
+    }
+
+    /// Override the accounting byte model.
+    pub fn with_model(mut self, model: SizeModel) -> Self {
+        self.model = model;
+        self
+    }
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { delta: DeltaConfig::BP_RR }
+        Self::new(ProtocolKind::BpRr)
     }
 }
 
 /// One replica of a keyspace of CRDT objects, each object synchronized by
-/// its own Algorithm-1 instance.
+/// its own engine of the configured [`ProtocolKind`].
 ///
-/// Objects are created lazily: updating (or receiving a δ-group for) an
+/// Objects are created lazily: updating (or receiving an envelope for) an
 /// unknown key instantiates it at `⊥`, so new objects propagate through
 /// ordinary synchronization with no naming service.
-#[derive(Debug, Clone)]
+///
+/// The object engines are type-erased ([`SyncEngine`]); the replica keeps
+/// the CRDT type `C` only at its *API boundary* — typed operations in,
+/// typed state out (via checked downcasts).
+#[derive(Debug)]
 pub struct StoreReplica<K: Ord, C> {
     id: ReplicaId,
     cfg: StoreConfig,
-    objects: BTreeMap<K, DeltaSync<C>>,
+    params: Params,
+    objects: BTreeMap<K, Box<dyn SyncEngine>>,
+    _crdt: PhantomData<fn() -> C>,
 }
 
-impl<K: Ord + Clone + Sizeable, C: Crdt> StoreReplica<K, C> {
-    /// Create replica `id`.
+impl<K, C> StoreReplica<K, C>
+where
+    K: Ord + Clone + Sizeable,
+    C: Crdt + WireEncode + 'static,
+    C::Op: WireEncode + 'static,
+{
+    /// Create replica `id` with the system size **unknown**
+    /// (`n_nodes = usize::MAX`); use [`StoreReplica::with_params`] when
+    /// the size is known (as [`crate::Cluster`] does).
+    ///
+    /// Unknown size is the *safe* default for every protocol: the only
+    /// consumer of `n_nodes` is Scuttlebutt-GC's safe-delete rule, which
+    /// under `usize::MAX` simply never prunes (plain-Scuttlebutt
+    /// behavior) instead of wrongly pruning deltas no peer has seen —
+    /// which a small default like `1` would cause, silently breaking
+    /// convergence.
     pub fn new(id: ReplicaId, cfg: StoreConfig) -> Self {
-        StoreReplica { id, cfg, objects: BTreeMap::new() }
+        Self::with_params(id, cfg, Params::new(usize::MAX))
+    }
+
+    /// Create replica `id` with explicit system parameters.
+    pub fn with_params(id: ReplicaId, cfg: StoreConfig, params: Params) -> Self {
+        StoreReplica {
+            id,
+            cfg,
+            params,
+            objects: BTreeMap::new(),
+            _crdt: PhantomData,
+        }
     }
 
     /// This replica's identifier (also the id operations act under).
@@ -47,28 +105,45 @@ impl<K: Ord + Clone + Sizeable, C: Crdt> StoreReplica<K, C> {
         self.id
     }
 
-    /// Apply `op` to the object at `key`, creating it at `⊥` first if
-    /// unknown. The optimal delta is buffered for the next sync round.
-    pub fn update(&mut self, key: K, op: &C::Op) {
-        let id = self.id;
-        let cfg = self.cfg;
+    /// The configuration in effect.
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
+    }
+
+    fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine> {
+        let (id, cfg, params) = (self.id, self.cfg, self.params);
         self.objects
             .entry(key)
-            .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
-            .local_op(op);
+            .or_insert_with(|| build_engine_with_model::<C>(cfg.protocol, id, &params, cfg.model))
+    }
+
+    fn typed_state(engine: &dyn SyncEngine) -> &C {
+        engine
+            .state_any()
+            .downcast_ref::<C>()
+            .expect("store engines are always built over the replica's CRDT type")
+    }
+
+    /// Apply `op` to the object at `key`, creating it at `⊥` first if
+    /// unknown. The resulting delta (or log entry, op record, … — per
+    /// protocol) is buffered for the next sync round.
+    pub fn update(&mut self, key: K, op: &C::Op) {
+        let bytes = OpBytes::encode(op);
+        self.engine(key)
+            .on_op(&bytes)
+            .expect("engine rejected its own CRDT's op encoding");
     }
 
     /// The object's lattice state, if the key exists.
-    pub fn get(&self, key: K) -> Option<&C>
-    where
-        K: Ord,
-    {
-        self.objects.get(&key).map(|o| o.state_ref())
+    pub fn get(&self, key: K) -> Option<&C> {
+        self.objects
+            .get(&key)
+            .map(|e| Self::typed_state(e.as_ref()))
     }
 
     /// The object's query value, if the key exists.
     pub fn value(&self, key: K) -> Option<C::Value> {
-        self.objects.get(&key).map(|o| o.state_ref().value())
+        self.get(key).map(Crdt::value)
     }
 
     /// All live keys, in order.
@@ -88,42 +163,71 @@ impl<K: Ord + Clone + Sizeable, C: Crdt> StoreReplica<K, C> {
 
     /// Iterate `(key, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &C)> {
-        self.objects.iter().map(|(k, o)| (k, o.state_ref()))
+        self.objects
+            .iter()
+            .map(|(k, e)| (k, Self::typed_state(e.as_ref())))
     }
 
-    /// Run one synchronization step (Algorithm 1 lines 9–13, per object):
-    /// per neighbor, batch every object's δ-group into one [`StoreMsg`].
-    /// Buffers are cleared, so messages must not be dropped (pair with an
-    /// acked variant or digest repair for lossy links).
-    pub fn sync_step(&mut self, neighbors: &[ReplicaId]) -> Vec<(ReplicaId, StoreMsg<K, C>)> {
-        let mut batches: BTreeMap<ReplicaId, StoreMsg<K, C>> = BTreeMap::new();
-        let mut out = Vec::new();
-        for (key, obj) in self.objects.iter_mut() {
-            obj.sync_step(neighbors, &mut out);
-            for (to, DeltaMsg(d)) in out.drain(..) {
-                batches.entry(to).or_default().entries.push((key.clone(), d));
+    /// Run one synchronization step (per object): per neighbor, batch
+    /// every object's envelope into one [`StoreMsg`].
+    ///
+    /// For the delta family this is Algorithm 1 lines 9–13 — buffers are
+    /// cleared, so messages must not be dropped (pair with the acked
+    /// protocol or digest repair for lossy links). Anti-entropy kinds
+    /// (Scuttlebutt) emit digests here and complete their exchange through
+    /// the replies returned by [`StoreReplica::absorb`].
+    pub fn sync_step(&mut self, neighbors: &[ReplicaId]) -> Vec<(ReplicaId, StoreMsg<K>)> {
+        let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
+        for (key, engine) in self.objects.iter_mut() {
+            for env in engine.on_sync(neighbors) {
+                batches
+                    .entry(env.to)
+                    .or_default()
+                    .entries
+                    .push((key.clone(), env));
             }
         }
         batches.into_iter().filter(|(_, b)| !b.is_empty()).collect()
     }
 
-    /// Absorb a batch from `from` (Algorithm 1 lines 14–17, per object).
-    pub fn absorb(&mut self, from: ReplicaId, msg: StoreMsg<K, C>) {
-        let id = self.id;
-        let cfg = self.cfg;
-        for (key, delta) in msg.entries {
-            self.objects
-                .entry(key)
-                .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
-                .receive(from, DeltaMsg(delta));
+    /// Absorb a batch (per object), creating unknown objects at `⊥`.
+    /// Returns reply batches (push-pull protocols answer digests; the
+    /// delta family replies with nothing).
+    ///
+    /// # Errors
+    ///
+    /// Batches can arrive from real peers over a byte transport, so
+    /// malformed payloads and mismatched protocols are runtime
+    /// conditions, not bugs: an envelope of a different
+    /// [`ProtocolKind`] (peer misconfiguration) or an undecodable
+    /// payload (corruption) returns [`EngineError`] instead of
+    /// panicking. Entries before the bad one are already applied —
+    /// harmless, since CRDT deltas are idempotent and a retransmitted
+    /// batch re-applies cleanly.
+    pub fn absorb(
+        &mut self,
+        msg: StoreMsg<K>,
+    ) -> Result<Vec<(ReplicaId, StoreMsg<K>)>, EngineError> {
+        let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
+        for (key, env) in msg.entries {
+            let replies = self.engine(key.clone()).on_msg(env)?;
+            for reply in replies {
+                batches
+                    .entry(reply.to)
+                    .or_default()
+                    .entries
+                    .push((key.clone(), reply));
+            }
         }
+        Ok(batches.into_iter().filter(|(_, b)| !b.is_empty()).collect())
     }
 
-    /// Memory snapshot summed over all objects (CRDT state + δ-buffers).
-    pub fn memory(&self, model: &SizeModel) -> MemoryUsage {
+    /// Memory snapshot summed over all objects (CRDT state + per-object
+    /// synchronization buffers), plus key storage as metadata.
+    pub fn memory(&self) -> MemoryUsage {
         let mut total = MemoryUsage::default();
-        for obj in self.objects.values() {
-            let m = obj.memory_usage(model);
+        for engine in self.objects.values() {
+            let m = engine.memory();
             total.crdt_elements += m.crdt_elements;
             total.crdt_bytes += m.crdt_bytes;
             total.meta_elements += m.meta_elements;
@@ -133,18 +237,43 @@ impl<K: Ord + Clone + Sizeable, C: Crdt> StoreReplica<K, C> {
         total.meta_bytes += self
             .objects
             .keys()
-            .map(|k| k.payload_bytes(model))
+            .map(|k| k.payload_bytes(&self.cfg.model))
             .sum::<u64>();
         total
     }
 
-    /// Direct access to one object's synchronizer (tests, repair).
-    pub(crate) fn object_mut(&mut self, key: K) -> &mut DeltaSync<C> {
-        let id = self.id;
-        let cfg = self.cfg;
-        self.objects
-            .entry(key)
-            .or_insert_with(|| DeltaSync::with_config(id, cfg.delta))
+    /// Feed a repaired delta into the object at `key` through the
+    /// ordinary receive path, as if `from` had sent it — so RR extraction
+    /// applies and the novelty is re-buffered for onward propagation.
+    ///
+    /// Only meaningful for kinds whose wire message is a bare δ-group
+    /// ([`ProtocolKind::accepts_raw_delta`]); the digest-repair path in
+    /// [`crate::Cluster`] checks that before calling.
+    pub(crate) fn inject_delta(&mut self, key: K, from: ReplicaId, delta: C) {
+        let kind = self.cfg.protocol;
+        debug_assert!(kind.accepts_raw_delta());
+        let msg = DeltaMsg(delta);
+        let payload = msg.to_bytes();
+        let model = self.cfg.model;
+        let accounting = WireAccounting {
+            payload_elements: msg.payload_elements(),
+            payload_bytes: msg.payload_bytes(&model),
+            metadata_bytes: msg.metadata_bytes(&model),
+            encoded_bytes: payload.len() as u64,
+        };
+        let to = self.id;
+        let env = WireEnvelope {
+            from,
+            to,
+            kind,
+            payload,
+            accounting,
+        };
+        let replies = self
+            .engine(key)
+            .on_msg(env)
+            .expect("raw delta injection matches the configured protocol");
+        debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }
 }
 
@@ -193,7 +322,10 @@ mod tests {
         a.update("new-object", &GSetOp::Add(7));
         for (to, msg) in a.sync_step(&[B]) {
             assert_eq!(to, B);
-            b.absorb(A, msg);
+            assert!(
+                b.absorb(msg).unwrap().is_empty(),
+                "delta family: no replies"
+            );
         }
         assert!(b.get("new-object").unwrap().contains(&7));
     }
@@ -205,7 +337,7 @@ mod tests {
         // Both already know {1} under "x".
         a.update("x", &GSetOp::Add(1));
         for (_, msg) in a.sync_step(&[B]) {
-            b.absorb(A, msg);
+            b.absorb(msg).unwrap();
         }
         // B adds 2; A concurrently adds 3. B's batch to A contains {2}
         // only (its buffer was consumed), and when A's {1,3}-era buffer
@@ -213,17 +345,14 @@ mod tests {
         b.update("x", &GSetOp::Add(2));
         a.update("x", &GSetOp::Add(3));
         for (_, msg) in b.sync_step(&[A]) {
-            a.absorb(B, msg);
+            a.absorb(msg).unwrap();
         }
         let batches = a.sync_step(&[B]);
-        let total: u64 = batches
-            .iter()
-            .map(|(_, m)| crdt_sync::Measured::payload_elements(m))
-            .sum();
+        let total: u64 = batches.iter().map(|(_, m)| m.payload_elements()).sum();
         // BP keeps B's own {2} out of the reply; only {3} ships.
         assert_eq!(total, 1);
         for (_, msg) in batches {
-            b.absorb(A, msg);
+            b.absorb(msg).unwrap();
         }
         assert_eq!(a.get("x"), b.get("x"));
         assert_eq!(a.get("x").unwrap().len(), 3);
@@ -231,11 +360,10 @@ mod tests {
 
     #[test]
     fn memory_sums_objects_and_keys() {
-        let model = SizeModel::compact();
         let mut r = replica(A);
         r.update("x", &GSetOp::Add(1));
         r.update("y", &GSetOp::Add(2));
-        let m = r.memory(&model);
+        let m = r.memory();
         assert_eq!(m.crdt_elements, 2);
         assert_eq!(m.meta_elements, 2, "δ-buffers hold the two deltas");
         assert!(m.meta_bytes >= 2, "keys counted as metadata");
@@ -243,16 +371,44 @@ mod tests {
 
     #[test]
     fn classic_config_buffers_whole_received_groups() {
-        let classic = StoreConfig { delta: DeltaConfig::CLASSIC };
+        let classic = StoreConfig::new(ProtocolKind::Classic);
         let mut a: StoreReplica<&str, GSet<u32>> = StoreReplica::new(A, classic);
+        let mut b: StoreReplica<&str, GSet<u32>> = StoreReplica::new(B, classic);
         a.update("x", &GSetOp::Add(1));
         // A received group that inflates: classic buffers all of it.
-        a.absorb(
-            B,
-            StoreMsg { entries: vec![("x", GSet::from_iter([1, 2, 3]))] },
-        );
-        let m = a.memory(&SizeModel::compact());
+        b.update("x", &GSetOp::Add(1));
+        b.update("x", &GSetOp::Add(2));
+        b.update("x", &GSetOp::Add(3));
+        for (_, msg) in b.sync_step(&[A]) {
+            a.absorb(msg).unwrap();
+        }
+        let m = a.memory();
         assert_eq!(m.meta_elements, 1 + 3, "local delta + whole group");
+    }
+
+    #[test]
+    fn scuttlebutt_store_replicates_via_push_pull() {
+        // The generalized store runs anti-entropy kinds end to end: the
+        // digest goes out in sync_step, the payload comes back through
+        // absorb's reply batches.
+        let cfg = StoreConfig::new(ProtocolKind::Scuttlebutt);
+        let params = Params::new(2);
+        let mut a: StoreReplica<&str, GSet<u32>> = StoreReplica::with_params(A, cfg, params);
+        let mut b: StoreReplica<&str, GSet<u32>> = StoreReplica::with_params(B, cfg, params);
+        b.update("x", &GSetOp::Add(9));
+
+        // B initiates (it holds the only object): digest → A replies with
+        // its (empty) missing set and clock → B's final ships {9} to A.
+        let mut to_a = b.sync_step(&[A]);
+        assert_eq!(to_a.len(), 1);
+        let replies = a.absorb(to_a.pop().unwrap().1).unwrap();
+        assert_eq!(replies.len(), 1, "A answers the digest");
+        for (_, msg) in replies {
+            for (_, finals) in b.absorb(msg).unwrap() {
+                a.absorb(finals).unwrap();
+            }
+        }
+        assert!(a.get("x").unwrap().contains(&9));
     }
 
     #[test]
@@ -262,16 +418,23 @@ mod tests {
         a.update("x", &GSetOp::Add(1));
         b.update("y", &GSetOp::Add(2));
         for (_, msg) in a.sync_step(&[B]) {
-            b.absorb(A, msg);
+            b.absorb(msg).unwrap();
         }
         for (_, msg) in b.sync_step(&[A]) {
-            a.absorb(B, msg);
+            a.absorb(msg).unwrap();
         }
         assert_eq!(a.get("x").unwrap().len(), 1);
         assert_eq!(a.get("y").unwrap().len(), 1);
         assert_eq!(a.get("x"), b.get("x"));
         assert_eq!(a.get("y"), b.get("y"));
         // The two objects never merged.
-        assert!(a.get("x").unwrap().clone().join(a.get("y").unwrap().clone()).len() == 2);
+        assert!(
+            a.get("x")
+                .unwrap()
+                .clone()
+                .join(a.get("y").unwrap().clone())
+                .len()
+                == 2
+        );
     }
 }

@@ -9,16 +9,21 @@ use crate::message::StoreMsg;
 /// Moves [`StoreMsg`] batches between replicas.
 ///
 /// Implementations may reorder and duplicate freely (state-based CRDT
-/// messages are join-idempotent) but must not drop messages, because
-/// Algorithm 1 clears δ-buffers at each sync step. A dropping transport
-/// needs the digest repair path ([`crate::Cluster::digest_repair`]) to
+/// messages are join-idempotent) but must not drop messages when the
+/// configured protocol assumes reliable channels (every kind except the
+/// acked variant). A dropping transport needs either the acked protocol
+/// or the digest repair path ([`crate::Cluster::digest_repair`]) to
 /// restore convergence.
-pub trait Transport<K, C> {
+///
+/// The batch type is protocol-agnostic: entries carry encoded
+/// [`crdt_sync::WireEnvelope`]s, so one transport implementation serves
+/// every [`crdt_sync::ProtocolKind`].
+pub trait Transport<K> {
     /// Enqueue a batch from `from` to `to`.
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K, C>);
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K>);
 
     /// Drain every batch waiting at `at`, in delivery order.
-    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K, C>)>;
+    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K>)>;
 
     /// Are any messages still in flight (to any replica)?
     fn in_flight(&self) -> usize;
@@ -27,14 +32,14 @@ pub trait Transport<K, C> {
 /// In-memory transport: one FIFO queue per recipient. Supports severing
 /// individual directed links, for partition testing.
 #[derive(Debug)]
-pub struct LoopbackTransport<K, C> {
-    queues: Vec<VecDeque<(ReplicaId, StoreMsg<K, C>)>>,
+pub struct LoopbackTransport<K> {
+    queues: Vec<VecDeque<(ReplicaId, StoreMsg<K>)>>,
     /// `severed[from][to]` — messages on this directed link are dropped.
     severed: Vec<Vec<bool>>,
     dropped: u64,
 }
 
-impl<K, C> LoopbackTransport<K, C> {
+impl<K> LoopbackTransport<K> {
     /// A transport connecting `n` replicas.
     pub fn new(n: usize) -> Self {
         LoopbackTransport {
@@ -67,8 +72,8 @@ impl<K, C> LoopbackTransport<K, C> {
     }
 }
 
-impl<K, C> Transport<K, C> for LoopbackTransport<K, C> {
-    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K, C>) {
+impl<K> Transport<K> for LoopbackTransport<K> {
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: StoreMsg<K>) {
         if self.severed[from.index()][to.index()] {
             self.dropped += 1;
             return;
@@ -76,7 +81,7 @@ impl<K, C> Transport<K, C> for LoopbackTransport<K, C> {
         self.queues[to.index()].push_back((from, msg));
     }
 
-    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K, C>)> {
+    fn poll(&mut self, at: ReplicaId) -> Vec<(ReplicaId, StoreMsg<K>)> {
         self.queues[at.index()].drain(..).collect()
     }
 
@@ -88,22 +93,39 @@ impl<K, C> Transport<K, C> for LoopbackTransport<K, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crdt_lattice::WireEncode;
+    use crdt_sync::{ProtocolKind, WireAccounting, WireEnvelope};
     use crdt_types::GSet;
-
-    type Msg = StoreMsg<&'static str, GSet<u8>>;
 
     const A: ReplicaId = ReplicaId(0);
     const B: ReplicaId = ReplicaId(1);
 
-    fn msg() -> Msg {
-        StoreMsg { entries: vec![("x", GSet::from_iter([1]))] }
+    fn msg(key: &'static str) -> StoreMsg<&'static str> {
+        let payload = GSet::from_iter([1u8]).to_bytes();
+        StoreMsg {
+            entries: vec![(
+                key,
+                WireEnvelope {
+                    from: A,
+                    to: B,
+                    kind: ProtocolKind::BpRr,
+                    accounting: WireAccounting {
+                        payload_elements: 1,
+                        payload_bytes: 1,
+                        metadata_bytes: 0,
+                        encoded_bytes: payload.len() as u64,
+                    },
+                    payload,
+                },
+            )],
+        }
     }
 
     #[test]
     fn fifo_per_recipient() {
-        let mut t: LoopbackTransport<&str, GSet<u8>> = LoopbackTransport::new(2);
-        t.send(A, B, StoreMsg { entries: vec![("first", GSet::from_iter([1]))] });
-        t.send(A, B, StoreMsg { entries: vec![("second", GSet::from_iter([2]))] });
+        let mut t: LoopbackTransport<&str> = LoopbackTransport::new(2);
+        t.send(A, B, msg("first"));
+        t.send(A, B, msg("second"));
         assert_eq!(t.in_flight(), 2);
         let got = t.poll(B);
         assert_eq!(got.len(), 2);
@@ -114,16 +136,16 @@ mod tests {
 
     #[test]
     fn severed_links_drop_silently() {
-        let mut t: LoopbackTransport<&str, GSet<u8>> = LoopbackTransport::new(2);
+        let mut t: LoopbackTransport<&str> = LoopbackTransport::new(2);
         t.sever(A, B);
-        t.send(A, B, msg());
+        t.send(A, B, msg("x"));
         assert_eq!(t.in_flight(), 0);
         assert_eq!(t.dropped(), 1);
         // The reverse direction still works.
-        t.send(B, A, msg());
+        t.send(B, A, msg("x"));
         assert_eq!(t.poll(A).len(), 1);
         t.heal(A, B);
-        t.send(A, B, msg());
+        t.send(A, B, msg("x"));
         assert_eq!(t.poll(B).len(), 1);
     }
 }

@@ -3,7 +3,7 @@
 //! convergence over random graphs.
 
 use crdt_lattice::ReplicaId;
-use crdt_sync::DeltaConfig;
+use crdt_sync::ProtocolKind;
 use crdt_types::{AWSet, AWSetOp, ORMap, ORMapOp, RWSet, RWSetOp};
 use delta_store::{Cluster, StoreConfig, TrafficStats};
 use proptest::collection::vec as pvec;
@@ -12,7 +12,10 @@ use proptest::prelude::*;
 fn ring_with_chords(n: usize) -> Vec<Vec<ReplicaId>> {
     (0..n)
         .map(|i| {
-            let mut ns = vec![ReplicaId::from((i + 1) % n), ReplicaId::from((i + n - 1) % n)];
+            let mut ns = vec![
+                ReplicaId::from((i + 1) % n),
+                ReplicaId::from((i + n - 1) % n),
+            ];
             if n > 4 {
                 ns.push(ReplicaId::from((i + n / 2) % n));
             }
@@ -26,20 +29,31 @@ fn ring_with_chords(n: usize) -> Vec<Vec<ReplicaId>> {
 #[test]
 fn shopping_carts_across_a_ring() {
     let n = 6;
-    let mut cluster: Cluster<String, AWSet<&'static str>> =
+    let mut cluster: Cluster<String, AWSet<String>> =
         Cluster::with_neighbors(ring_with_chords(n), StoreConfig::default());
 
     // Each replica serves one user's cart; carts are independent objects.
     let items = ["bread", "milk", "eggs", "tea", "rice", "jam"];
     for (i, item) in items.iter().enumerate() {
-        cluster.update(i, format!("cart:user{i}"), &AWSetOp::Add(ReplicaId::from(i), item));
+        cluster.update(
+            i,
+            format!("cart:user{i}"),
+            &AWSetOp::Add(ReplicaId::from(i), item.to_string()),
+        );
     }
     // User 0's cart is edited from two replicas concurrently.
-    cluster.update(3, "cart:user0".to_string(), &AWSetOp::Add(ReplicaId(3), "coffee"));
+    cluster.update(
+        3,
+        "cart:user0".to_string(),
+        &AWSetOp::Add(ReplicaId(3), "coffee".to_string()),
+    );
 
     cluster.run_until_converged(16).expect("cluster converges");
-    let cart0 = cluster.replica(5).get("cart:user0".to_string()).expect("replicated");
-    assert!(cart0.contains(&"bread") && cart0.contains(&"coffee"));
+    let cart0 = cluster
+        .replica(5)
+        .get("cart:user0".to_string())
+        .expect("replicated");
+    assert!(cart0.contains(&"bread".to_string()) && cart0.contains(&"coffee".to_string()));
     assert_eq!(cluster.replica(0).len(), n, "all carts everywhere");
 }
 
@@ -67,13 +81,13 @@ fn removal_semantics_survive_the_store_path() {
 #[test]
 fn ormap_user_profiles_with_partition_and_repair() {
     let n = 5;
-    let mut cluster: Cluster<String, ORMap<&'static str, String>> =
+    let mut cluster: Cluster<String, ORMap<String, String>> =
         Cluster::full_mesh(n, StoreConfig::default());
 
     cluster.update(
         0,
         "profile:ada".to_string(),
-        &ORMapOp::Put(ReplicaId(0), "city", "London".to_string()),
+        &ORMapOp::Put(ReplicaId(0), "city".to_string(), "London".to_string()),
     );
     cluster.run_until_converged(8).expect("initial convergence");
 
@@ -82,12 +96,12 @@ fn ormap_user_profiles_with_partition_and_repair() {
     cluster.update(
         1,
         "profile:ada".to_string(),
-        &ORMapOp::Put(ReplicaId(1), "city", "Cambridge".to_string()),
+        &ORMapOp::Put(ReplicaId(1), "city".to_string(), "Cambridge".to_string()),
     );
     cluster.update(
         3,
         "profile:ada".to_string(),
-        &ORMapOp::Put(ReplicaId(3), "lang", "Rust".to_string()),
+        &ORMapOp::Put(ReplicaId(3), "lang".to_string(), "Rust".to_string()),
     );
     for _ in 0..3 {
         cluster.sync_round(); // cross-cut sends are dropped; buffers drain
@@ -98,11 +112,16 @@ fn ormap_user_profiles_with_partition_and_repair() {
     cluster.heal();
     let stats = cluster.digest_repair(0, 4);
     assert!(stats.payload_elements > 0);
-    cluster.run_until_converged(8).expect("converges after repair");
+    cluster
+        .run_until_converged(8)
+        .expect("converges after repair");
 
     let profile = cluster.replica(2).get("profile:ada".to_string()).unwrap();
-    assert_eq!(profile.get(&"city"), vec![&"Cambridge".to_string()]);
-    assert_eq!(profile.get(&"lang"), vec![&"Rust".to_string()]);
+    assert_eq!(
+        profile.get(&"city".to_string()),
+        vec![&"Cambridge".to_string()]
+    );
+    assert_eq!(profile.get(&"lang".to_string()), vec![&"Rust".to_string()]);
 }
 
 #[test]
@@ -126,7 +145,7 @@ fn classic_config_ships_more_than_bp_rr() {
         cluster.run_until_converged(32).expect("converges");
         cluster.stats()
     }
-    let classic = run(StoreConfig { delta: DeltaConfig::CLASSIC });
+    let classic = run(StoreConfig::new(ProtocolKind::Classic));
     let bprr = run(StoreConfig::default());
     assert!(
         classic.payload_elements > 2 * bprr.payload_elements,

@@ -1,0 +1,280 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Supports the surface the workspace benches use — [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`] and
+//! [`black_box`] — with a simple adaptive wall-clock measurement and
+//! plain-text reporting instead of statistics/plots. Passing `--test`
+//! (as `cargo test` does for benches) runs each benchmark once, so
+//! benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Total time and iterations of the measured run.
+    measured: Option<(Duration, u64)>,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Time `routine` adaptively: double the batch until the measurement
+    /// window is long enough to trust the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                self.measured = Some((elapsed, iters));
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 16 {
+                self.measured = Some((elapsed, iters));
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>) {
+    match measured {
+        Some((elapsed, iters)) if iters > 0 && !elapsed.is_zero() => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if ns >= 1e9 {
+                (ns / 1e9, "s")
+            } else if ns >= 1e6 {
+                (ns / 1e6, "ms")
+            } else if ns >= 1e3 {
+                (ns / 1e3, "µs")
+            } else {
+                (ns, "ns")
+            };
+            println!("{name:<56} {value:>10.3} {unit}/iter  ({iters} iters)");
+        }
+        _ => println!("{name:<56}        ok (smoke)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test` invokes bench targets with `--test`; `--bench` is
+        // what `cargo bench` passes. Any other free argument filters by
+        // substring, mirroring criterion's CLI.
+        let smoke = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion { smoke, filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(name) {
+            let mut b = Bencher {
+                measured: None,
+                smoke: self.smoke,
+            };
+            f(&mut b);
+            report(name, b.measured);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes adaptively.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&name) {
+            let mut b = Bencher {
+                measured: None,
+                smoke: self.parent.smoke,
+            };
+            f(&mut b);
+            report(&name, b.measured);
+        }
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&name) {
+            let mut b = Bencher {
+                measured: None,
+                smoke: self.parent.smoke,
+            };
+            f(&mut b, input);
+            report(&name, b.measured);
+        }
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! Provides the slice of rand 0.8's surface the workspace uses:
+//! [`rngs::StdRng`] (a SplitMix64 generator — **not** the ChaCha12 of real
+//! rand, but deterministic per seed, which is all the simulator requires),
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng`],
+//! and [`seq::SliceRandom::shuffle`].
+
+/// Values samplable from the uniform "standard" distribution.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "gen_range on empty range");
+                    let span = (hi - lo + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The random-generation surface.
+pub trait Rng {
+    /// Next full-width value (the primitive every method builds on).
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Build deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Deterministic per
+    /// seed; not cryptographic (neither is the simulator's use of it).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-scramble so consecutive small seeds land far apart in
+            // the sequence space.
+            let mut z = seed.wrapping_add(0xc4ceb9fe1a85ec53);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: z ^ (z >> 31),
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::Rng;
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() as usize) % self.len()])
+            }
+        }
+    }
+}

@@ -67,7 +67,10 @@ impl GSetWorkload {
 
     /// Custom event budget.
     pub fn with_events(n_nodes: usize, events_per_replica: usize) -> Self {
-        GSetWorkload { n_nodes, events_per_replica }
+        GSetWorkload {
+            n_nodes,
+            events_per_replica,
+        }
     }
 
     /// Rounds needed to exhaust the event budget (one event per round).
@@ -153,7 +156,12 @@ pub struct GMapWorkload {
 impl GMapWorkload {
     /// Paper-default workload: 1000 keys, 100 events per replica.
     pub fn new(n_nodes: usize, percent: usize) -> Self {
-        Self::custom(n_nodes, percent, DEFAULT_GMAP_KEYS, DEFAULT_EVENTS_PER_REPLICA)
+        Self::custom(
+            n_nodes,
+            percent,
+            DEFAULT_GMAP_KEYS,
+            DEFAULT_EVENTS_PER_REPLICA,
+        )
     }
 
     /// Fully parameterized workload.
@@ -164,7 +172,12 @@ impl GMapWorkload {
         events_per_replica: usize,
     ) -> Self {
         assert!((1..=100).contains(&percent), "K must be in 1..=100");
-        GMapWorkload { n_nodes, total_keys, percent, events_per_replica }
+        GMapWorkload {
+            n_nodes,
+            total_keys,
+            percent,
+            events_per_replica,
+        }
     }
 
     /// Keys each node updates per round.

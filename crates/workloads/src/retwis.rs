@@ -156,13 +156,22 @@ impl Bottom for RetwisStore {
 impl Decompose for RetwisStore {
     fn for_each_irreducible(&self, f: &mut dyn FnMut(Self)) {
         self.followers.for_each_irreducible(&mut |m| {
-            f(RetwisStore { followers: m, ..Default::default() })
+            f(RetwisStore {
+                followers: m,
+                ..Default::default()
+            })
         });
         self.walls.for_each_irreducible(&mut |m| {
-            f(RetwisStore { walls: m, ..Default::default() })
+            f(RetwisStore {
+                walls: m,
+                ..Default::default()
+            })
         });
         self.timelines.for_each_irreducible(&mut |m| {
-            f(RetwisStore { timelines: m, ..Default::default() })
+            f(RetwisStore {
+                timelines: m,
+                ..Default::default()
+            })
         });
     }
 
@@ -209,20 +218,27 @@ impl Crdt for RetwisStore {
     fn apply(&mut self, op: &Self::Op) -> Self {
         match op {
             RetwisOp::Follow { follower, followee } => {
-                let d = self
-                    .followers
-                    .mutate_entry(*followee, |s| s.add(*follower));
-                RetwisStore { followers: d, ..Default::default() }
+                let d = self.followers.mutate_entry(*followee, |s| s.add(*follower));
+                RetwisStore {
+                    followers: d,
+                    ..Default::default()
+                }
             }
-            RetwisOp::Post { author, tweet_id, content, ts, recipients } => {
+            RetwisOp::Post {
+                author,
+                tweet_id,
+                content,
+                ts,
+                recipients,
+            } => {
                 let wall_delta = self.walls.mutate_entry(*author, |w| {
                     w.apply_to_entry(tweet_id.clone(), Max::new(content.clone()))
                 });
                 let mut timeline_delta = GMap::new();
                 for &r in recipients {
-                    let d = self.timelines.mutate_entry(r, |t| {
-                        t.apply_to_entry(*ts, Max::new(tweet_id.clone()))
-                    });
+                    let d = self
+                        .timelines
+                        .mutate_entry(r, |t| t.apply_to_entry(*ts, Max::new(tweet_id.clone())));
                     timeline_delta.join_assign(d);
                 }
                 RetwisStore {
@@ -245,7 +261,12 @@ impl Crdt for RetwisStore {
     fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
         match op {
             RetwisOp::Follow { .. } => 8,
-            RetwisOp::Post { tweet_id, content, recipients, .. } => {
+            RetwisOp::Post {
+                tweet_id,
+                content,
+                recipients,
+                ..
+            } => {
                 4 + tweet_id.payload_bytes(model)
                     + content.payload_bytes(model)
                     + 8
@@ -395,7 +416,13 @@ impl RetwisWorkload {
             let content = format!("{:0270}", ts);
             self.stats.posts += 1;
             self.stats.post_updates += 1 + recipients.len() as u64;
-            Some(RetwisOp::Post { author, tweet_id, content, ts, recipients })
+            Some(RetwisOp::Post {
+                author,
+                tweet_id,
+                content,
+                ts,
+                recipients,
+            })
         } else {
             // Timeline read: 50%, zero updates.
             let _reader = self.next_user();
@@ -412,7 +439,6 @@ impl Workload<RetwisStore> for RetwisWorkload {
             .collect()
     }
 }
-
 
 /// Keyed per-object-family operations for one node in one round.
 ///
@@ -462,7 +488,13 @@ impl RetwisTrace {
                         RetwisOp::Follow { follower, followee } => {
                             ops.followers.push((followee, GSetOp::Add(follower)));
                         }
-                        RetwisOp::Post { author, tweet_id, content, ts, recipients } => {
+                        RetwisOp::Post {
+                            author,
+                            tweet_id,
+                            content,
+                            ts,
+                            recipients,
+                        } => {
                             ops.walls.push((
                                 author,
                                 GMapOp::Apply {
@@ -473,7 +505,10 @@ impl RetwisTrace {
                             for r in recipients {
                                 ops.timelines.push((
                                     r,
-                                    GMapOp::Apply { key: ts, value: Max::new(tweet_id.clone()) },
+                                    GMapOp::Apply {
+                                        key: ts,
+                                        value: Max::new(tweet_id.clone()),
+                                    },
                                 ));
                             }
                         }
@@ -483,7 +518,10 @@ impl RetwisTrace {
             }
             out.push(per_node);
         }
-        RetwisTrace { rounds: out, stats: w.stats }
+        RetwisTrace {
+            rounds: out,
+            stats: w.stats,
+        }
     }
 
     /// Total CRDT updates across the trace.
@@ -515,13 +553,25 @@ mod tests {
     #[test]
     fn follow_then_post_reaches_timelines() {
         let mut store = RetwisStore::new();
-        let _ = store.apply(&RetwisOp::Follow { follower: 1, followee: 0 });
-        let _ = store.apply(&RetwisOp::Follow { follower: 2, followee: 0 });
+        let _ = store.apply(&RetwisOp::Follow {
+            follower: 1,
+            followee: 0,
+        });
+        let _ = store.apply(&RetwisOp::Follow {
+            follower: 2,
+            followee: 0,
+        });
         let _ = store.apply(&post(0, 7, vec![1, 2]));
         assert_eq!(store.followers_of(0).unwrap().len(), 2);
         assert_eq!(store.timeline(1).len(), 1);
         assert_eq!(store.timeline(2).len(), 1);
-        assert_eq!(store.tweet(0, "tweet:0000000000000000000000007").unwrap().len(), 270);
+        assert_eq!(
+            store
+                .tweet(0, "tweet:0000000000000000000000007")
+                .unwrap()
+                .len(),
+            270
+        );
         let v = store.value();
         assert_eq!(v.follow_edges, 2);
         assert_eq!(v.wall_tweets, 1);
@@ -543,17 +593,35 @@ mod tests {
     #[test]
     fn ops_satisfy_delta_mutator_contract() {
         let mut store = RetwisStore::new();
-        let _ = store.apply(&RetwisOp::Follow { follower: 3, followee: 0 });
-        check_crdt_op(&store, &RetwisOp::Follow { follower: 4, followee: 0 });
+        let _ = store.apply(&RetwisOp::Follow {
+            follower: 3,
+            followee: 0,
+        });
+        check_crdt_op(
+            &store,
+            &RetwisOp::Follow {
+                follower: 4,
+                followee: 0,
+            },
+        );
         check_crdt_op(&store, &post(0, 9, vec![3, 4]));
         // Redundant follow: delta must be ⊥.
-        check_crdt_op(&store, &RetwisOp::Follow { follower: 3, followee: 0 });
+        check_crdt_op(
+            &store,
+            &RetwisOp::Follow {
+                follower: 3,
+                followee: 0,
+            },
+        );
     }
 
     #[test]
     fn store_obeys_lattice_laws() {
         let mut s1 = RetwisStore::new();
-        let _ = s1.apply(&RetwisOp::Follow { follower: 1, followee: 0 });
+        let _ = s1.apply(&RetwisOp::Follow {
+            follower: 1,
+            followee: 0,
+        });
         let mut s2 = RetwisStore::new();
         let _ = s2.apply(&post(1, 3, vec![0]));
         let mut s3 = s1.clone();
@@ -565,7 +633,10 @@ mod tests {
     #[test]
     fn tweet_sizes_match_the_paper() {
         let op = post(0, 1, vec![]);
-        if let RetwisOp::Post { tweet_id, content, .. } = &op {
+        if let RetwisOp::Post {
+            tweet_id, content, ..
+        } = &op
+        {
             assert_eq!(tweet_id.len(), 31);
             assert_eq!(content.len(), 270);
         } else {
@@ -584,8 +655,16 @@ mod tests {
         });
         let _ops = w.ops(ReplicaId(0), 0);
         let s = w.stats;
-        assert!((s.share(s.follows) - 15.0).abs() < 3.0, "follow share {}", s.share(s.follows));
-        assert!((s.share(s.posts) - 35.0).abs() < 3.0, "post share {}", s.share(s.posts));
+        assert!(
+            (s.share(s.follows) - 15.0).abs() < 3.0,
+            "follow share {}",
+            s.share(s.follows)
+        );
+        assert!(
+            (s.share(s.posts) - 35.0).abs() < 3.0,
+            "post share {}",
+            s.share(s.posts)
+        );
         assert!(
             (s.share(s.timeline_reads) - 50.0).abs() < 3.0,
             "read share {}",
@@ -622,7 +701,10 @@ mod tests {
     #[test]
     fn generator_is_deterministic() {
         let gen = |seed| {
-            let mut w = RetwisWorkload::new(RetwisConfig { seed, ..Default::default() });
+            let mut w = RetwisWorkload::new(RetwisConfig {
+                seed,
+                ..Default::default()
+            });
             (w.ops(ReplicaId(0), 0), w.stats)
         };
         assert_eq!(gen(9), gen(9));
@@ -632,7 +714,10 @@ mod tests {
     fn concurrent_stores_converge_via_deltas() {
         let mut a = RetwisStore::new();
         let mut b = RetwisStore::new();
-        let da = a.apply(&RetwisOp::Follow { follower: 1, followee: 2 });
+        let da = a.apply(&RetwisOp::Follow {
+            follower: 1,
+            followee: 2,
+        });
         let db = b.apply(&post(2, 5, vec![9]));
         a.join_assign(db);
         b.join_assign(da);
@@ -642,7 +727,11 @@ mod tests {
     #[test]
     fn trace_splits_ops_by_family() {
         let trace = RetwisTrace::generate(
-            RetwisConfig { n_users: 50, ops_per_node_per_round: 20, ..Default::default() },
+            RetwisConfig {
+                n_users: 50,
+                ops_per_node_per_round: 20,
+                ..Default::default()
+            },
             4,
             3,
         );
@@ -656,7 +745,11 @@ mod tests {
 
     #[test]
     fn trace_is_deterministic() {
-        let cfg = RetwisConfig { n_users: 50, ops_per_node_per_round: 5, ..Default::default() };
+        let cfg = RetwisConfig {
+            n_users: 50,
+            ops_per_node_per_round: 5,
+            ..Default::default()
+        };
         let a = RetwisTrace::generate(cfg, 3, 2);
         let b = RetwisTrace::generate(cfg, 3, 2);
         assert_eq!(a.stats, b.stats);

@@ -93,7 +93,13 @@ mod tests {
     fn skews_towards_low_ranks() {
         let z = Zipf::new(100, 1.5);
         let h = histogram(&z, 100_000, 2);
-        assert!(h[0] > h[10] && h[10] >= h[50], "h0={} h10={} h50={}", h[0], h[10], h[50]);
+        assert!(
+            h[0] > h[10] && h[10] >= h[50],
+            "h0={} h10={} h50={}",
+            h[0],
+            h[10],
+            h[50]
+        );
         // Rank 0 should take the lion's share at s = 1.5.
         assert!(h[0] as f64 / 100_000.0 > 0.3);
     }

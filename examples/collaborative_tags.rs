@@ -30,9 +30,18 @@ fn main() {
     tags_a.join_assign(d_tag);
     tags_b.join_assign(d_clear);
     assert_eq!(tags_a, tags_b);
-    println!("doc-7 tags after clear ∥ tag race: {:?}", tags_a.get(&"doc-7"));
-    assert!(tags_a.get(&"doc-7").contains(&&"urgent"), "concurrent tag survives");
-    assert!(!tags_a.get(&"doc-7").contains(&&"draft"), "observed tag removed");
+    println!(
+        "doc-7 tags after clear ∥ tag race: {:?}",
+        tags_a.get(&"doc-7")
+    );
+    assert!(
+        tags_a.get(&"doc-7").contains(&&"urgent"),
+        "concurrent tag survives"
+    );
+    assert!(
+        !tags_a.get(&"doc-7").contains(&&"draft"),
+        "observed tag removed"
+    );
 
     // -- moderation: remove-wins ----------------------------------------------
     // A banned-words list where un-banning must never race-win against a
@@ -50,7 +59,10 @@ fn main() {
     allow_a.join_assign(d_re_add);
     allow_b.join_assign(d_revoke);
     assert_eq!(allow_a, allow_b);
-    println!("allow-list after revoke ∥ re-add race: {:?}", allow_a.value());
+    println!(
+        "allow-list after revoke ∥ re-add race: {:?}",
+        allow_a.value()
+    );
     assert!(!allow_a.contains(&"slang-42"), "revocation wins");
 
     // -- kill switch: disable-wins ----------------------------------------------
@@ -67,12 +79,18 @@ fn main() {
     gate_a.join_assign(d_on);
     gate_b.join_assign(d_off);
     assert_eq!(gate_a, gate_b);
-    println!("kill switch after disable ∥ enable race: enabled = {}", gate_a.is_enabled());
+    println!(
+        "kill switch after disable ∥ enable race: enabled = {}",
+        gate_a.is_enabled()
+    );
     assert!(!gate_a.is_enabled(), "disable wins");
 
     // A later (causally sequenced) enable turns it back on.
     let d = gate_a.enable(alice);
     gate_b.join_assign(d);
     assert!(gate_b.is_enabled());
-    println!("after a sequenced re-enable:                  enabled = {}", gate_b.is_enabled());
+    println!(
+        "after a sequenced re-enable:                  enabled = {}",
+        gate_b.is_enabled()
+    );
 }

@@ -23,8 +23,16 @@ fn main() {
         let _ = right.add(2_000_000 + i);
     }
 
-    println!("after the partition: left {} elements, right {}", left.len(), right.len());
-    println!("digest of left: {} hashes ({} B)", Digest::of(&left).len(), Digest::of(&left).size_bytes());
+    println!(
+        "after the partition: left {} elements, right {}",
+        left.len(),
+        right.len()
+    );
+    println!(
+        "digest of left: {} hashes ({} B)",
+        Digest::of(&left).len(),
+        Digest::of(&left).size_bytes()
+    );
 
     // Naive repair: both sides ship their full state (what plain
     // state-based synchronization would do).
@@ -43,8 +51,14 @@ fn main() {
 
     println!("\nrepair cost (payload elements):");
     println!("  bidirectional full state : {naive_elements}");
-    println!("  state-driven  (2 msgs)   : {} (+ {} B metadata)", sd.payload_elements, sd.metadata_bytes);
-    println!("  digest-driven (3 msgs)   : {} (+ {} B metadata)", dd.payload_elements, dd.metadata_bytes);
+    println!(
+        "  state-driven  (2 msgs)   : {} (+ {} B metadata)",
+        sd.payload_elements, sd.metadata_bytes
+    );
+    println!(
+        "  digest-driven (3 msgs)   : {} (+ {} B metadata)",
+        dd.payload_elements, dd.metadata_bytes
+    );
     println!(
         "  digest-driven shipped {}x less payload than full-state repair",
         naive_elements as u64 / dd.payload_elements.max(1)

@@ -23,11 +23,17 @@ fn main() {
     let d3 = x.add("apple"); // already present: δ = ⊥
     println!("add(apple)  -> delta {:?}", d1.value());
     println!("add(banana) -> delta {:?}", d2.value());
-    println!("add(apple)  -> delta {:?} (redundant, optimal δ-mutator returns ⊥)", d3.value());
+    println!(
+        "add(apple)  -> delta {:?} (redundant, optimal δ-mutator returns ⊥)",
+        d3.value()
+    );
 
     // --- 2. join decompositions and optimal deltas -----------------------
     let y: GSet<&str> = GSet::from_iter(["banana", "cherry"]);
-    println!("\n⇓x = {:?}", x.decompose().iter().map(GSet::value).collect::<Vec<_>>());
+    println!(
+        "\n⇓x = {:?}",
+        x.decompose().iter().map(GSet::value).collect::<Vec<_>>()
+    );
     let delta = x.delta(&y);
     println!("Δ(x, y) = {:?} (only what y is missing)", delta.value());
     assert_eq!(delta.join(y.clone()), x.clone().join(y));

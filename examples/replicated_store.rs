@@ -16,14 +16,25 @@ use delta_store::{Cluster, StoreConfig};
 
 fn main() {
     // Datacenters: 0 = us-east, 1 = eu-west, 2 = ap-south, fully meshed.
-    let mut cluster: Cluster<String, AWSet<&'static str>> =
-        Cluster::full_mesh(3, StoreConfig::default());
+    let mut cluster: Cluster<String, AWSet<String>> = Cluster::full_mesh(3, StoreConfig::default());
     let dc = ["us-east", "eu-west", "ap-south"];
 
     // -- normal operation ----------------------------------------------------
-    cluster.update(0, "cart:alice".into(), &AWSetOp::Add(ReplicaId(0), "oat milk"));
-    cluster.update(0, "cart:alice".into(), &AWSetOp::Add(ReplicaId(0), "rye bread"));
-    cluster.update(1, "cart:bob".into(), &AWSetOp::Add(ReplicaId(1), "espresso"));
+    cluster.update(
+        0,
+        "cart:alice".into(),
+        &AWSetOp::Add(ReplicaId(0), "oat milk".to_string()),
+    );
+    cluster.update(
+        0,
+        "cart:alice".into(),
+        &AWSetOp::Add(ReplicaId(0), "rye bread".to_string()),
+    );
+    cluster.update(
+        1,
+        "cart:bob".into(),
+        &AWSetOp::Add(ReplicaId(1), "espresso".to_string()),
+    );
     cluster.sync_round();
 
     println!("after one sync round:");
@@ -35,12 +46,27 @@ fn main() {
 
     // -- partition: ap-south is cut off ---------------------------------------
     cluster.partition(&[2]);
-    println!("\n-- partition: {{{}}} | {{{}, {}}} --", dc[2], dc[0], dc[1]);
+    println!(
+        "\n-- partition: {{{}}} | {{{}, {}}} --",
+        dc[2], dc[0], dc[1]
+    );
 
     // Both sides keep accepting writes (availability under partition).
-    cluster.update(0, "cart:alice".into(), &AWSetOp::Remove("oat milk"));
-    cluster.update(2, "cart:alice".into(), &AWSetOp::Add(ReplicaId(2), "matcha"));
-    cluster.update(2, "cart:carol".into(), &AWSetOp::Add(ReplicaId(2), "noodles"));
+    cluster.update(
+        0,
+        "cart:alice".into(),
+        &AWSetOp::Remove("oat milk".to_string()),
+    );
+    cluster.update(
+        2,
+        "cart:alice".into(),
+        &AWSetOp::Add(ReplicaId(2), "matcha".to_string()),
+    );
+    cluster.update(
+        2,
+        "cart:carol".into(),
+        &AWSetOp::Add(ReplicaId(2), "noodles".to_string()),
+    );
     for _ in 0..3 {
         cluster.sync_round(); // cross-cut messages are silently dropped
     }
@@ -60,14 +86,16 @@ fn main() {
         "\ndigest repair: {} messages, {} elements, {} payload B + {} digest B",
         stats.messages, stats.payload_elements, stats.payload_bytes, stats.metadata_bytes
     );
-    cluster.run_until_converged(8).expect("converged after repair");
+    cluster
+        .run_until_converged(8)
+        .expect("converged after repair");
 
     let merged = cluster.replica(1).get("cart:alice".into()).unwrap();
     println!("\nconverged cart:alice = {:?}", merged.value());
     // The remove at us-east happened after "oat milk" was known there;
     // the concurrent "matcha" add survives — add-wins semantics.
-    assert!(!merged.contains(&"oat milk"));
-    assert!(merged.contains(&"matcha") && merged.contains(&"rye bread"));
+    assert!(!merged.contains(&"oat milk".to_string()));
+    assert!(merged.contains(&"matcha".to_string()) && merged.contains(&"rye bread".to_string()));
     assert!(cluster.replica(0).get("cart:carol".into()).is_some());
 
     let t = cluster.stats();

@@ -6,11 +6,11 @@
 //! ```
 
 use crdt_lattice::ReplicaId;
+use crdt_lattice::SizeModel;
 use crdt_sim::{ShardedDeltaRunner, Topology};
 use crdt_sync::DeltaConfig;
 use crdt_types::GSet;
 use crdt_workloads::{RetwisConfig, RetwisStore, RetwisTrace, Timeline, UserId, Wall};
-use crdt_lattice::SizeModel;
 
 fn main() {
     let topo = Topology::partial_mesh(10, 4);
@@ -42,20 +42,37 @@ fn main() {
         ShardedDeltaRunner::new(topo.clone(), DeltaConfig::BP_RR, model);
 
     for round in &trace.rounds {
-        followers.step(&round.iter().map(|n| n.followers.clone()).collect::<Vec<_>>());
+        followers.step(
+            &round
+                .iter()
+                .map(|n| n.followers.clone())
+                .collect::<Vec<_>>(),
+        );
         walls.step(&round.iter().map(|n| n.walls.clone()).collect::<Vec<_>>());
-        timelines.step(&round.iter().map(|n| n.timelines.clone()).collect::<Vec<_>>());
+        timelines.step(
+            &round
+                .iter()
+                .map(|n| n.timelines.clone())
+                .collect::<Vec<_>>(),
+        );
     }
-    let f = followers.run_to_convergence(64).expect("followers converge");
+    let f = followers
+        .run_to_convergence(64)
+        .expect("followers converge");
     let w = walls.run_to_convergence(64).expect("walls converge");
-    let t = timelines.run_to_convergence(64).expect("timelines converge");
+    let t = timelines
+        .run_to_convergence(64)
+        .expect("timelines converge");
     println!("converged after {} extra rounds", f.max(w).max(t));
 
     // Read the hot user's world from an arbitrary replica.
     let observer = ReplicaId(7);
     let hot: UserId = 0;
     if let Some(set) = followers.object_state(observer, &hot) {
-        println!("\nuser {hot} has {} followers (read at node {observer})", set.len());
+        println!(
+            "\nuser {hot} has {} followers (read at node {observer})",
+            set.len()
+        );
     }
     if let Some(wall) = walls.object_state(observer, &hot) {
         println!("user {hot} posted {} tweets", wall.len());
@@ -63,7 +80,10 @@ fn main() {
     if let Some(tl) = timelines.object_state(observer, &hot) {
         let mut entries: Vec<_> = tl.iter().map(|(ts, id)| (*ts, id.get().clone())).collect();
         entries.sort_by_key(|e| std::cmp::Reverse(e.0));
-        println!("user {hot}'s timeline, newest first (top {}):", entries.len().min(5));
+        println!(
+            "user {hot}'s timeline, newest first (top {}):",
+            entries.len().min(5)
+        );
         for (ts, id) in entries.iter().take(5) {
             println!("  ts={ts:<6} {id}");
         }
@@ -73,13 +93,19 @@ fn main() {
     // rather hold it in a single value:
     let mut composed = RetwisStore::new();
     use crdt_types::Crdt;
-    let _ = composed.apply(&crdt_workloads::RetwisOp::Follow { follower: 1, followee: 0 });
+    let _ = composed.apply(&crdt_workloads::RetwisOp::Follow {
+        follower: 1,
+        followee: 0,
+    });
     println!(
         "\n(composed-store view also available: {:?})",
         composed.value()
     );
 
-    let m = followers.metrics().merged(walls.metrics()).merged(timelines.metrics());
+    let m = followers
+        .metrics()
+        .merged(walls.metrics())
+        .merged(timelines.metrics());
     println!(
         "totals: {} messages, {} elements, {} payload bytes",
         m.total_messages(),

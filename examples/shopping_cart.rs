@@ -26,7 +26,10 @@ fn main() {
 
     // Sync both ways.
     exchange(&mut cart_phone, &mut cart_laptop, phone, laptop);
-    println!("after first sync, both devices see: {:?}", cart_phone.state().value());
+    println!(
+        "after first sync, both devices see: {:?}",
+        cart_phone.state().value()
+    );
 
     // Concurrent conflict: the phone removes the grinder while the laptop
     // re-adds it (having seen it). Add wins.
@@ -71,12 +74,7 @@ fn main() {
     );
 }
 
-fn exchange<C: Crdt>(
-    a: &mut BpRrDelta<C>,
-    b: &mut BpRrDelta<C>,
-    ida: ReplicaId,
-    idb: ReplicaId,
-) {
+fn exchange<C: Crdt>(a: &mut BpRrDelta<C>, b: &mut BpRrDelta<C>, ida: ReplicaId, idb: ReplicaId) {
     // Two rounds so novelty buffered from the first delivery drains.
     for _ in 0..2 {
         let mut wire = Vec::new();

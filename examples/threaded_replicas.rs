@@ -91,7 +91,8 @@ fn worker(
 
     for round in 0..ROUNDS {
         // Local work: append a ledger entry, count it.
-        w.ledger.on_op(&GSetOp::Add(format!("r{}-tx{round}", id.index())));
+        w.ledger
+            .on_op(&GSetOp::Add(format!("r{}-tx{round}", id.index())));
         w.counter.on_op(&GCounterOp::Inc(id));
         w.sync();
         // Threads run at their own pace; CRDT joins make any
@@ -140,7 +141,10 @@ fn main() {
     }
     drop(senders);
 
-    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect();
 
     let (ledger0, counter0) = &results[0];
     for (i, (ledger, counter)) in results.iter().enumerate() {

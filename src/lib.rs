@@ -1,0 +1,26 @@
+//! Umbrella crate for the delta-CRDT synchronization suite.
+//!
+//! The workspace reproduces and extends *"Efficient Synchronization of
+//! State-based CRDTs"* (Enes, Almeida, Baquero, Leitão — ICDE 2019).
+//! This crate re-exports every layer so downstream users (and the
+//! repository's own end-to-end tests and examples) can depend on a single
+//! package:
+//!
+//! * [`lattice`] — join-semilattices, decompositions, codec, size models;
+//! * [`types`] — the CRDT catalog with optimal δ-mutators;
+//! * [`sync`] — the synchronization protocols and the type-erased
+//!   [`sync::SyncEngine`] layer;
+//! * [`sim`] — the deterministic round-based simulator;
+//! * [`workloads`] — micro and Retwis workload generators;
+//! * [`store`] — the multi-object replicated store;
+//! * [`bench`] — the experiment harness regenerating the paper artifacts.
+
+#![warn(missing_docs)]
+
+pub use crdt_bench as bench;
+pub use crdt_lattice as lattice;
+pub use crdt_sim as sim;
+pub use crdt_sync as sync;
+pub use crdt_types as types;
+pub use crdt_workloads as workloads;
+pub use delta_store as store;

@@ -261,8 +261,11 @@ fn ormap_with_removals_converges_under_protocols() {
             if round >= rounds {
                 return Vec::new();
             }
-            let mut ops =
-                vec![ORMapOp::Put(node, (node.index() % 4) as u8, (round * n) as u64)];
+            let mut ops = vec![ORMapOp::Put(
+                node,
+                (node.index() % 4) as u8,
+                (round * n) as u64,
+            )];
             if round >= 1 {
                 ops.push(ORMapOp::Remove((round % 4) as u8));
             }

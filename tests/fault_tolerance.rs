@@ -4,9 +4,7 @@
 
 use crdt_lattice::{ReplicaId, SizeModel};
 use crdt_sim::{NetworkConfig, Runner, Topology};
-use crdt_sync::{
-    AckedDeltaSync, BpRrDelta, ClassicDelta, Protocol, Scuttlebutt, StateSync,
-};
+use crdt_sync::{AckedDeltaSync, BpRrDelta, ClassicDelta, Protocol, Scuttlebutt, StateSync};
 use crdt_types::{GSet, GSetOp};
 
 const MODEL: SizeModel = SizeModel::compact();
@@ -36,7 +34,12 @@ fn duplication_and_reordering_are_harmless() {
         }};
     }
 
-    let nasty = NetworkConfig { duplicate_prob: 0.5, reorder: true, drop_prob: 0.0, seed: 3 };
+    let nasty = NetworkConfig {
+        duplicate_prob: 0.5,
+        reorder: true,
+        drop_prob: 0.0,
+        seed: 3,
+    };
     let clean = NetworkConfig::reliable(3);
 
     assert_eq!(
@@ -86,7 +89,12 @@ fn acked_buffer_retains_until_acked() {
     let n = 4;
     let topo = Topology::ring(n);
     // Drop everything: buffers may never empty.
-    let all_lost = NetworkConfig { duplicate_prob: 0.0, reorder: false, drop_prob: 1.0, seed: 1 };
+    let all_lost = NetworkConfig {
+        duplicate_prob: 0.0,
+        reorder: false,
+        drop_prob: 1.0,
+        seed: 1,
+    };
     let mut runner: Runner<GSet<u64>, AckedDeltaSync<GSet<u64>>> =
         Runner::new(topo, all_lost, MODEL);
     let mut w = |node: ReplicaId, round: usize| {
@@ -113,7 +121,12 @@ fn acked_buffer_retains_until_acked() {
 fn unacked_delta_diverges_under_loss_as_expected() {
     let n = 4;
     let topo = Topology::line(n);
-    let all_lost = NetworkConfig { duplicate_prob: 0.0, reorder: false, drop_prob: 1.0, seed: 1 };
+    let all_lost = NetworkConfig {
+        duplicate_prob: 0.0,
+        reorder: false,
+        drop_prob: 1.0,
+        seed: 1,
+    };
     let mut runner: Runner<GSet<u64>, BpRrDelta<GSet<u64>>> = Runner::new(topo, all_lost, MODEL);
     let mut w = |node: ReplicaId, round: usize| {
         if round == 0 && node.index() == 0 {
@@ -125,7 +138,10 @@ fn unacked_delta_diverges_under_loss_as_expected() {
     runner.run(&mut w, 3);
     // The δ-buffer was cleared after the (lost) send: the update can never
     // reach the other nodes again.
-    assert!(!runner.converged(), "documented limitation: Algorithm 1 assumes no loss");
+    assert!(
+        !runner.converged(),
+        "documented limitation: Algorithm 1 assumes no loss"
+    );
     assert_eq!(runner.node(ReplicaId(1)).state().len(), 0);
 }
 

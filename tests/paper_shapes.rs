@@ -93,8 +93,14 @@ fn fig7_gset_vector_protocols_beat_classic() {
     let bprr = find(&runs, "delta+BP+RR").metrics.total_bytes();
     for name in ["scuttlebutt", "op-based"] {
         let v = find(&runs, name).metrics.total_bytes();
-        assert!(v < classic, "{name} must beat classic delta on GSet ({v} vs {classic})");
-        assert!(v > bprr, "{name} must not beat BP+RR on GSet ({v} vs {bprr})");
+        assert!(
+            v < classic,
+            "{name} must beat classic delta on GSet ({v} vs {classic})"
+        );
+        assert!(
+            v > bprr,
+            "{name} must not beat BP+RR on GSet ({v} vs {bprr})"
+        );
     }
 }
 
@@ -171,10 +177,16 @@ fn fig9_metadata_ordering() {
 
     assert!(delta.total_metadata_bytes() * 10 < sb.total_metadata_bytes());
     assert!(sb.total_metadata_bytes() < sbgc.total_metadata_bytes());
-    assert!(sb.metadata_fraction() > 0.5, "scuttlebutt metadata dominates");
+    assert!(
+        sb.metadata_fraction() > 0.5,
+        "scuttlebutt metadata dominates"
+    );
     assert!(sbgc.metadata_fraction() > 0.9);
     assert!(ob.metadata_fraction() > 0.5);
-    assert!(delta.metadata_fraction() < 0.25, "delta metadata stays small");
+    assert!(
+        delta.metadata_fraction() < 0.25,
+        "delta metadata stays small"
+    );
 }
 
 /// Fig. 10: memory — state-based optimal; classic ≥ BP+RR; original
@@ -183,8 +195,14 @@ fn fig9_metadata_ordering() {
 fn fig10_memory_ordering() {
     let runs = gset_runs(&mesh());
     let mem = |name: &str| find(&runs, name).metrics.avg_memory_elements_per_node();
-    assert!(mem("state") <= mem("delta+BP+RR") + 1e-9, "state-based is the floor");
-    assert!(mem("delta") > mem("delta+BP+RR"), "classic buffers redundant groups");
+    assert!(
+        mem("state") <= mem("delta+BP+RR") + 1e-9,
+        "state-based is the floor"
+    );
+    assert!(
+        mem("delta") > mem("delta+BP+RR"),
+        "classic buffers redundant groups"
+    );
     assert!(mem("scuttlebutt") > mem("scuttlebutt-gc"), "GC must help");
 }
 
@@ -213,9 +231,19 @@ fn fig11_retwis_contention_crossover() {
         let mut timelines: ShardedDeltaRunner<UserId, Timeline> =
             ShardedDeltaRunner::new(topo.clone(), cfg, MODEL);
         for round in &trace.rounds {
-            followers.step(&round.iter().map(|n| n.followers.clone()).collect::<Vec<_>>());
+            followers.step(
+                &round
+                    .iter()
+                    .map(|n| n.followers.clone())
+                    .collect::<Vec<_>>(),
+            );
             walls.step(&round.iter().map(|n| n.walls.clone()).collect::<Vec<_>>());
-            timelines.step(&round.iter().map(|n| n.timelines.clone()).collect::<Vec<_>>());
+            timelines.step(
+                &round
+                    .iter()
+                    .map(|n| n.timelines.clone())
+                    .collect::<Vec<_>>(),
+            );
         }
         followers.run_to_convergence(40).unwrap();
         walls.run_to_convergence(40).unwrap();
@@ -263,11 +291,23 @@ fn ext_deltacrdt_log_capacity_shapes() {
     let small = bytes("deltacrdt-small");
     eprintln!("state={state} bprr={bprr} roomy={roomy} small={small}");
     // Roomy log: within a small factor of BP+RR, far below state-based.
-    assert!(roomy < 3 * bprr, "roomy ∆-CRDT ({roomy}) should be ≲2x BP+RR ({bprr})");
-    assert!(roomy * 4 < state, "roomy ∆-CRDT must beat state-based clearly");
+    assert!(
+        roomy < 3 * bprr,
+        "roomy ∆-CRDT ({roomy}) should be ≲2x BP+RR ({bprr})"
+    );
+    assert!(
+        roomy * 4 < state,
+        "roomy ∆-CRDT must beat state-based clearly"
+    );
     // Tiny log: the full-state fallback kicks in once per-neighbor lag
     // exceeds 4 entries, costing a clear multiple of the roomy log (the
     // gap widens with run length — 42x at the full scale of EXP-X2).
-    assert!(small > 2 * roomy, "capacity is the decisive parameter ({small} vs {roomy})");
-    assert!(small * 3 > state, "tiny-log ∆-CRDT ({small}) trends toward state ({state})");
+    assert!(
+        small > 2 * roomy,
+        "capacity is the decisive parameter ({small} vs {roomy})"
+    );
+    assert!(
+        small * 3 > state,
+        "tiny-log ∆-CRDT ({small}) trends toward state ({state})"
+    );
 }

@@ -25,16 +25,28 @@ fn run_trace(trace: &RetwisTrace, topo: &Topology, cfg: DeltaConfig) -> RetwisRu
         timelines: ShardedDeltaRunner::new(topo.clone(), cfg, MODEL),
     };
     for round in &trace.rounds {
-        run.followers
-            .step(&round.iter().map(|n| n.followers.clone()).collect::<Vec<_>>());
+        run.followers.step(
+            &round
+                .iter()
+                .map(|n| n.followers.clone())
+                .collect::<Vec<_>>(),
+        );
         run.walls
             .step(&round.iter().map(|n| n.walls.clone()).collect::<Vec<_>>());
-        run.timelines
-            .step(&round.iter().map(|n| n.timelines.clone()).collect::<Vec<_>>());
+        run.timelines.step(
+            &round
+                .iter()
+                .map(|n| n.timelines.clone())
+                .collect::<Vec<_>>(),
+        );
     }
-    run.followers.run_to_convergence(64).expect("followers converge");
+    run.followers
+        .run_to_convergence(64)
+        .expect("followers converge");
     run.walls.run_to_convergence(64).expect("walls converge");
-    run.timelines.run_to_convergence(64).expect("timelines converge");
+    run.timelines
+        .run_to_convergence(64)
+        .expect("timelines converge");
     run
 }
 
@@ -68,15 +80,27 @@ fn all_delta_variants_agree_on_application_state() {
     let observer_b = ReplicaId(5);
     for user in 0..10u32 {
         let f = classic.followers.object_state(observer_a, &user);
-        assert_eq!(f, bprr.followers.object_state(observer_b, &user), "user {user} followers");
+        assert_eq!(
+            f,
+            bprr.followers.object_state(observer_b, &user),
+            "user {user} followers"
+        );
         assert_eq!(f, bp.followers.object_state(observer_a, &user));
         assert_eq!(f, rr.followers.object_state(observer_b, &user));
 
         let w = classic.walls.object_state(observer_a, &user);
-        assert_eq!(w, bprr.walls.object_state(observer_b, &user), "user {user} wall");
+        assert_eq!(
+            w,
+            bprr.walls.object_state(observer_b, &user),
+            "user {user} wall"
+        );
 
         let t = classic.timelines.object_state(observer_a, &user);
-        assert_eq!(t, bprr.timelines.object_state(observer_b, &user), "user {user} timeline");
+        assert_eq!(
+            t,
+            bprr.timelines.object_state(observer_b, &user),
+            "user {user} timeline"
+        );
     }
 }
 
@@ -91,7 +115,12 @@ fn replicated_data_matches_a_sequential_oracle() {
     use crdt_types::{Crdt, GMapOp, GSetOp};
     let mut oracle = RetwisStore::new();
     for round in &trace.rounds {
-        for NodeTraceOps { followers, walls, timelines } in round {
+        for NodeTraceOps {
+            followers,
+            walls,
+            timelines,
+        } in round
+        {
             for (owner, GSetOp::Add(follower)) in followers {
                 let _ = oracle.apply(&crdt_workloads::RetwisOp::Follow {
                     follower: *follower,
