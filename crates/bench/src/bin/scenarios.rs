@@ -1,0 +1,91 @@
+//! Fault & churn scenario experiments with a machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin scenarios -- \
+//!     --scenario partition_heal --protocol all --quick
+//! cargo run --release -p crdt-bench --bin scenarios -- \
+//!     --scenario all --protocol bp_rr --protocol scuttlebutt \
+//!     --out BENCH_scenarios.json \
+//!     --baseline ci/bench-baseline/BENCH_scenarios.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--scenario <name>` (repeatable; `all`) — which fault schedules to
+//!   run: `partition_heal`, `churn`, `flapping_link`, `rolling_restart`.
+//! * `--protocol <kind>` (repeatable; `all`) — which
+//!   [`crdt_sync::ProtocolKind`]s to drive through them.
+//! * `--quick` — CI scale (6 nodes, 12 rounds) instead of paper scale.
+//! * `--out <path>` — where to write the JSON report
+//!   (default `BENCH_scenarios.json`).
+//! * `--baseline <path>` — compare against a checked-in report; any
+//!   gated metric more than `--tolerance` (default `0.25` = 25%) worse
+//!   exits with status 1, listing the violations.
+
+use crdt_bench::scenarios::{
+    check_regression, run_scenario_suite, scenarios_from_args, write_report,
+};
+use crdt_bench::{json::Json, protocols_from_args, Scale};
+use crdt_sync::ProtocolKind;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            }
+        })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let scenarios = scenarios_from_args(&["partition_heal"]);
+    let kinds = protocols_from_args(&ProtocolKind::ALL);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let outcomes = run_scenario_suite(scale, &scenarios, &kinds);
+    write_report(&out_path, &outcomes, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} rows)", outcomes.len());
+
+    if let Some(never) = outcomes.iter().find(|o| !o.converged) {
+        eprintln!(
+            "FAIL: {} did not re-converge under `{}`",
+            never.protocol, never.scenario
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::scenarios::report_to_json(&outcomes, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

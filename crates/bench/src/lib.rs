@@ -11,6 +11,26 @@
 //! ```text
 //! cargo run --release -p crdt-bench --bin all_experiments
 //! ```
+//!
+//! ## Beyond the paper: the `scenarios` experiment family
+//!
+//! The paper's evaluation is a static 15-node topology. The `scenarios`
+//! binary (module [`scenarios`]) extends the BP/RR ablation into fault
+//! regimes, driving every [`crdt_sync::ProtocolKind`] through built-in
+//! fault schedules and emitting machine-readable `BENCH_scenarios.json`
+//! (consumed by CI's `bench-smoke` regression gate):
+//!
+//! | scenario | shape | what it stresses |
+//! |---|---|---|
+//! | `partition_heal` | cluster splits in half at ¼ of the run, heals at ¾ | staleness windows, repair traffic vs. built-in recovery |
+//! | `churn` | durable crash/restart + non-durable crash/restart + a join | bootstrap cost, stale-ack/vector handling after cold restarts |
+//! | `flapping_link` | one edge flaps lossy (drop+dup+reorder) three times | loss tolerance: acked/anti-entropy self-heal, delta family needs repair |
+//! | `rolling_restart` | every node durably restarted, one at a time | steady-state recovery cost of operational maintenance |
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin scenarios -- \
+//!     --scenario partition_heal --protocol all --quick
+//! ```
 
 #![warn(missing_docs)]
 
@@ -391,3 +411,5 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod json;
+pub mod scenarios;

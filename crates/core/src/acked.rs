@@ -176,6 +176,23 @@ impl<C: Crdt> Protocol<C> for AckedDeltaSync<C> {
         &self.state
     }
 
+    fn bootstrap(&mut self, source: &Self) {
+        // Absorb the novelty of the peer snapshot through the ordinary
+        // store path: it gets a fresh sequence number and is retained
+        // (and retransmitted) until every neighbor acks it. A replica
+        // restarted from scratch also restarts its sequence space; peers'
+        // recorded acks index *their own* buffers, so stale ack state
+        // cannot wedge retransmission — the lost content arrives here.
+        if self.cfg.rr {
+            let d = source.state.delta(&self.state);
+            if !d.is_bottom() {
+                self.store(d, Origin::From(source.id));
+            }
+        } else if source.state.inflates(&self.state) {
+            self.store(source.state.clone(), Origin::From(source.id));
+        }
+    }
+
     fn memory(&self, model: &SizeModel) -> MemoryUsage {
         let buf_elems: u64 = self.buffer.values().map(|(d, _)| d.count_elements()).sum();
         let buf_bytes: u64 = self

@@ -186,6 +186,15 @@ impl<C: Crdt> DeltaSync<C> {
         }
     }
 
+    /// Bootstrap from a peer snapshot: the peer's full state enters
+    /// through the ordinary receive path, so RR (when enabled) extracts
+    /// only the novelty and the absorbed part is re-buffered (tagged with
+    /// the peer's id, so BP keeps it from bouncing straight back) for
+    /// onward propagation to this replica's other neighbors.
+    pub fn bootstrap_from_peer(&mut self, source: &Self) {
+        self.receive(source.id, DeltaMsg(source.state.clone()));
+    }
+
     /// Memory snapshot: CRDT state + δ-buffer contents.
     pub fn memory_usage(&self, model: &SizeModel) -> MemoryUsage {
         MemoryUsage {
@@ -239,6 +248,10 @@ macro_rules! delta_protocol {
 
             fn memory(&self, model: &SizeModel) -> MemoryUsage {
                 self.0.memory_usage(model)
+            }
+
+            fn bootstrap(&mut self, source: &Self) {
+                self.0.bootstrap_from_peer(&source.0);
             }
         }
     };

@@ -223,6 +223,17 @@ impl<C: Crdt> DeltaCrdtSync<C> {
         &self.state
     }
 
+    /// Bootstrap from a peer snapshot: the novelty is logged like any
+    /// received delta, so it propagates onward (or falls back to a full
+    /// state send once evicted — the usual \[31\] behavior).
+    pub fn bootstrap_from_peer(&mut self, source: &Self) {
+        let novelty = source.state.delta(&self.state);
+        if !novelty.is_bottom() {
+            self.state.join_assign(novelty.clone());
+            self.append(novelty);
+        }
+    }
+
     /// Memory snapshot: CRDT state, the delta log, and the per-neighbor
     /// acknowledgment vector.
     pub fn memory_usage(&self, model: &SizeModel) -> MemoryUsage {
@@ -289,6 +300,10 @@ macro_rules! deltacrdt_protocol {
 
             fn memory(&self, model: &SizeModel) -> MemoryUsage {
                 self.0.memory_usage(model)
+            }
+
+            fn bootstrap(&mut self, source: &Self) {
+                self.0.bootstrap_from_peer(&source.0);
             }
         }
     };

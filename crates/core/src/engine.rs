@@ -133,6 +133,24 @@ impl ProtocolKind {
         self.is_delta_family() || matches!(self, ProtocolKind::State)
     }
 
+    /// Does the protocol *detect and recover* lost messages on its own?
+    ///
+    /// True for the kinds that carry recovery metadata: Scuttlebutt's
+    /// summary vectors re-request anything a dropped message carried, and
+    /// the acked variant retransmits until acknowledged. Everything else
+    /// assumes reliable channels — the Algorithm-1 delta family clears
+    /// its δ-buffer after sending, `state` relies on a dirty flag that a
+    /// lost send can strand, and the op-based middleware prunes its
+    /// transmission buffer on sync — so after a partition, crash, or
+    /// lossy-link episode those kinds need out-of-band repair
+    /// (digest-driven or bootstrap; see `crdt-sim`'s scenario layer).
+    pub const fn recovers_from_loss(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Scuttlebutt | ProtocolKind::ScuttlebuttGc | ProtocolKind::Acked
+        )
+    }
+
     const fn wire_tag(self) -> u8 {
         match self {
             ProtocolKind::Classic => 0,
@@ -378,6 +396,10 @@ pub enum EngineError {
         /// The envelope's protocol.
         got: ProtocolKind,
     },
+    /// A bootstrap source is not an engine of the same concrete protocol
+    /// and CRDT, so its snapshot (state **and** protocol metadata) cannot
+    /// be adopted.
+    BootstrapMismatch,
 }
 
 impl fmt::Display for EngineError {
@@ -389,6 +411,9 @@ impl fmt::Display for EngineError {
                     f,
                     "protocol mismatch: engine runs {expected}, envelope carries {got}"
                 )
+            }
+            EngineError::BootstrapMismatch => {
+                f.write_str("bootstrap source is not the same protocol/CRDT as this engine")
             }
         }
     }
@@ -449,6 +474,39 @@ pub trait SyncEngine: fmt::Debug {
     /// Do two engines hold the same lattice state? `false` when the
     /// underlying CRDT types differ.
     fn state_eq(&self, other: &dyn SyncEngine) -> bool;
+
+    /// The engine itself as `Any` — lets [`SyncEngine::bootstrap_from`]
+    /// recover a same-typed peer and adopt protocol metadata, not just
+    /// lattice state.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Discard all protocol state, returning the engine to the freshly
+    /// constructed `⊥` replica — the semantics of a **non-durable crash**.
+    /// Pair with [`SyncEngine::bootstrap_from`] to rejoin from a live
+    /// peer.
+    fn reset(&mut self);
+
+    /// The cluster grew (or shrank) to `n_nodes` replicas. Drivers call
+    /// this on every existing engine when a replica joins; protocols
+    /// whose safety depends on the system size react through
+    /// [`Protocol::on_params_change`] (Scuttlebutt-GC must not prune
+    /// deltas the joiner has not seen).
+    fn set_system_size(&mut self, n_nodes: usize);
+
+    /// Out-of-band state transfer from a peer engine (crash recovery and
+    /// join-with-bootstrap): adopt `source`'s lattice state plus whatever
+    /// protocol metadata the wrapped [`Protocol::bootstrap`] carries over
+    /// (δ-buffers, version vectors, delivery clocks, …).
+    ///
+    /// Returns the accounting of the shipped snapshot — a full-state
+    /// transfer under this engine's size model — so fault-scenario
+    /// drivers can charge recovery traffic honestly.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BootstrapMismatch`] when `source` is not an engine
+    /// of the same concrete protocol and CRDT.
+    fn bootstrap_from(&mut self, source: &dyn SyncEngine) -> Result<WireAccounting, EngineError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -479,6 +537,9 @@ pub struct EngineAdapter<C: Crdt, P: Protocol<C>> {
     kind: ProtocolKind,
     inner: P,
     model: SizeModel,
+    /// Construction parameters, retained so [`SyncEngine::reset`] can
+    /// rebuild the wrapped protocol from scratch.
+    params: Params,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -513,6 +574,7 @@ impl<C: Crdt, P: Protocol<C>> EngineAdapter<C, P> {
             kind,
             inner: P::new(id, params),
             model,
+            params: *params,
             _crdt: PhantomData,
         }
     }
@@ -609,6 +671,35 @@ where
             .state_any()
             .downcast_ref::<C>()
             .is_some_and(|s| s == self.inner.state())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn reset(&mut self) {
+        self.inner = P::new(self.id, &self.params);
+    }
+
+    fn set_system_size(&mut self, n_nodes: usize) {
+        self.params.n_nodes = n_nodes;
+        self.inner.on_params_change(&self.params);
+    }
+
+    fn bootstrap_from(&mut self, source: &dyn SyncEngine) -> Result<WireAccounting, EngineError> {
+        let peer = source
+            .as_any()
+            .downcast_ref::<Self>()
+            .ok_or(EngineError::BootstrapMismatch)?;
+        let snapshot = peer.inner.state();
+        let accounting = WireAccounting {
+            payload_elements: snapshot.count_elements(),
+            payload_bytes: snapshot.size_bytes(&self.model),
+            metadata_bytes: 0,
+            encoded_bytes: 0,
+        };
+        self.inner.bootstrap(&peer.inner);
+        Ok(accounting)
     }
 }
 
@@ -798,6 +889,47 @@ mod tests {
         // …and the encoded view is the literal payload length.
         assert_eq!(env.accounting.encoded_bytes, env.payload.len() as u64);
         assert!(env.accounting.encoded_bytes > 0);
+    }
+
+    /// Drive envelopes between two engines to quiescence for `rounds`
+    /// sync rounds.
+    fn pump(a: &mut Box<dyn SyncEngine>, b: &mut Box<dyn SyncEngine>, rounds: usize) {
+        for _ in 0..rounds {
+            let mut in_flight: Vec<WireEnvelope> = Vec::new();
+            in_flight.extend(a.on_sync(&[B]));
+            in_flight.extend(b.on_sync(&[A]));
+            while let Some(env) = in_flight.pop() {
+                let target = if env.to == A { &mut *a } else { &mut *b };
+                in_flight.extend(target.on_msg(env).unwrap());
+            }
+        }
+    }
+
+    /// A join must raise Scuttlebutt-GC's safe-delete bar on *existing*
+    /// engines before the joiner is heard from — otherwise deltas the
+    /// joiner has not seen are pruned beyond recovery (Scuttlebutt never
+    /// re-ships pruned entries).
+    #[test]
+    fn set_system_size_blocks_premature_gc_prune() {
+        let params = Params::new(2);
+        let mut a = build_engine::<GSet<u64>>(ProtocolKind::ScuttlebuttGc, A, &params);
+        let mut b = build_engine::<GSet<u64>>(ProtocolKind::ScuttlebuttGc, B, &params);
+        a.on_op(&OpBytes::encode(&GSetOp::Add(1u64))).unwrap();
+        pump(&mut a, &mut b, 3);
+        // Two-node membership complete: the delta was safely pruned.
+        assert_eq!(a.memory().meta_elements, 0, "2-node GC prunes");
+
+        // A third replica is joining; existing engines learn first.
+        a.set_system_size(3);
+        b.set_system_size(3);
+        a.on_op(&OpBytes::encode(&GSetOp::Add(2u64))).unwrap();
+        pump(&mut a, &mut b, 3);
+        assert!(a.state_eq(b.as_ref()));
+        // The new delta must be *retained*: the joiner has not seen it.
+        assert!(
+            a.memory().meta_elements >= 1 && b.memory().meta_elements >= 1,
+            "3-node bar keeps the delta for the joiner"
+        );
     }
 
     #[test]

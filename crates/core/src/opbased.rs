@@ -222,6 +222,40 @@ impl<C: Crdt> Protocol<C> for OpBased<C> {
         &self.state
     }
 
+    /// Bootstrap from a peer snapshot: adopt the peer's state *and* its
+    /// delivery clock together.
+    ///
+    /// Ops are not idempotent, so the state join alone would be unsound:
+    /// a later redelivery of an op the snapshot already reflects must be
+    /// recognized as a duplicate. Joining `delivered` records exactly
+    /// that. The peer's transmission buffer and causally blocked ops are
+    /// adopted too, so this replica can keep forwarding in-flight ops the
+    /// peer had not yet spread.
+    fn bootstrap(&mut self, source: &Self) {
+        self.state.join_assign(source.state.clone());
+        self.delivered.join_assign(source.delivered.clone());
+        for (dot, e) in &source.buffer {
+            match self.buffer.get_mut(dot) {
+                Some(mine) => {
+                    mine.seen.extend(e.seen.iter().copied());
+                }
+                None => {
+                    let mut entry = e.clone();
+                    entry.seen.insert(self.id);
+                    self.buffer.insert(*dot, entry);
+                }
+            }
+        }
+        for t in &source.pending {
+            if !self.delivered.contains(&t.dot) && !self.pending.iter().any(|p| p.dot == t.dot) {
+                self.pending.push(t.clone());
+            }
+        }
+        // The adopted clock may unblock (or mark as duplicate) ops that
+        // were causally stuck here.
+        self.drain_pending();
+    }
+
     fn memory(&self, model: &SizeModel) -> MemoryUsage {
         let op_bytes: u64 = self
             .buffer

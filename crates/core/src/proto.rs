@@ -158,6 +158,30 @@ pub trait Protocol<C: Crdt>: Debug {
 
     /// Memory snapshot under `model`.
     fn memory(&self, model: &SizeModel) -> MemoryUsage;
+
+    /// The system parameters changed mid-run (a replica joined). The
+    /// default is a no-op; protocols whose *safety* depends on the
+    /// system size must react — Scuttlebutt-GC's safe-delete rule prunes
+    /// once "every node" has seen a delta, and an under-counted
+    /// membership prunes deltas a joiner has not seen yet, with no
+    /// recovery path (plain Scuttlebutt never re-ships pruned entries).
+    fn on_params_change(&mut self, _params: &Params) {}
+
+    /// Absorb an out-of-band state transfer from `source` — the bootstrap
+    /// half of crash-recovery and join-with-bootstrap.
+    ///
+    /// After the call this replica's lattice state covers `source`'s, and
+    /// any protocol metadata needed for the snapshot to keep flowing
+    /// (δ-buffers, version vectors, delivery clocks, …) is consistent with
+    /// it: a replica restarted from scratch can be pointed at a live peer
+    /// and rejoin synchronization without replaying history.
+    ///
+    /// Implementations route the snapshot through their ordinary receive
+    /// machinery where possible, so for buffering protocols the absorbed
+    /// novelty is re-buffered and propagates onward to other neighbors.
+    fn bootstrap(&mut self, source: &Self)
+    where
+        Self: Sized;
 }
 
 #[cfg(test)]

@@ -232,6 +232,25 @@ impl<C: Crdt> ScuttlebuttCore<C> {
             .retain(|dot, _| !knowledge.values().all(|v| v.contains(dot)));
     }
 
+    /// Bootstrap from a peer snapshot: adopt the peer's state, summary
+    /// vector, key-delta store, and knowledge.
+    ///
+    /// Adopting the vector is the load-bearing part for cold restarts: a
+    /// replica that restarted from scratch would otherwise re-issue dots
+    /// `⟨i, 1⟩, ⟨i, 2⟩, …` that peers' vectors already cover — and
+    /// therefore never pull — silently losing every post-restart update.
+    /// With the peer's vector joined in, the next local `bump` continues
+    /// above anything the system has seen from this replica.
+    fn bootstrap(&mut self, source: &Self) {
+        self.state.join_assign(source.state.clone());
+        self.clock.join_assign(source.clock.clone());
+        for (dot, d) in &source.store {
+            self.store.entry(*dot).or_insert_with(|| d.clone());
+        }
+        merge_knowledge(&mut self.knowledge, &source.knowledge);
+        self.update_own_knowledge();
+    }
+
     fn shared_knowledge(&self) -> Option<Knowledge> {
         self.gc.then(|| self.knowledge.clone())
     }
@@ -345,6 +364,18 @@ macro_rules! scuttlebutt_protocol {
 
             fn memory(&self, model: &SizeModel) -> MemoryUsage {
                 self.0.memory(model)
+            }
+
+            fn bootstrap(&mut self, source: &Self) {
+                self.0.bootstrap(&source.0);
+            }
+
+            fn on_params_change(&mut self, params: &Params) {
+                // The safe-delete rule counts knowledge entries against
+                // the system size; a join must raise the bar before the
+                // joiner is heard from, or deltas it still needs get
+                // pruned beyond recovery.
+                self.0.n_nodes = params.n_nodes;
             }
         }
     };

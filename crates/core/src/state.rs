@@ -79,6 +79,13 @@ impl<C: Crdt> Protocol<C> for StateSync<C> {
             meta_bytes: 0,
         }
     }
+
+    fn bootstrap(&mut self, source: &Self) {
+        if self.state.join_assign(source.state.clone()) {
+            // The snapshot was news: re-gossip it like any received state.
+            self.dirty = true;
+        }
+    }
 }
 
 #[cfg(test)]

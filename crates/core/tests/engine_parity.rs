@@ -224,6 +224,274 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: partition→heal, crash→restart, stale acks
+// ---------------------------------------------------------------------------
+
+use crdt_sync::{build_engine, ProtocolKind};
+use crdt_types::{GCounter, GCounterOp};
+
+/// One engine round over a full mesh with a fault filter: live nodes run
+/// their ops and a sync step towards *every* neighbor (senders do not
+/// learn of faults), then LIFO delivery to quiescence drops anything the
+/// filter rejects — crashed recipients and cross-partition edges.
+fn faulted_round(
+    nodes: &mut [Box<dyn SyncEngine>],
+    ops: &[Vec<GSetOp<u16>>],
+    alive: &[bool],
+    side: Option<&[usize]>,
+) {
+    let n = nodes.len();
+    let open =
+        |from: usize, to: usize| alive[from] && alive[to] && side.is_none_or(|s| s[from] == s[to]);
+    let mut deliveries: Vec<WireEnvelope> = Vec::new();
+    for i in 0..n {
+        if !alive[i] {
+            continue;
+        }
+        for op in &ops[i] {
+            nodes[i].on_op(&OpBytes::encode(op)).expect("op decodes");
+        }
+    }
+    for i in 0..n {
+        if !alive[i] {
+            continue;
+        }
+        let neighbors: Vec<ReplicaId> = (0..n).filter(|j| *j != i).map(ReplicaId::from).collect();
+        deliveries.extend(nodes[i].on_sync(&neighbors));
+    }
+    while let Some(env) = deliveries.pop() {
+        if !open(env.from.index(), env.to.index()) {
+            continue;
+        }
+        let to = env.to.index();
+        deliveries.extend(nodes[to].on_msg(env).expect("kind matches"));
+    }
+}
+
+/// Bidirectional snapshot exchange through the engine bootstrap hooks.
+fn bootstrap_pair(nodes: &mut [Box<dyn SyncEngine>], a: usize, b: usize) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    let (left, right) = nodes.split_at_mut(hi);
+    left[lo]
+        .bootstrap_from(right[0].as_ref())
+        .expect("same kind");
+    right[0]
+        .bootstrap_from(left[lo].as_ref())
+        .expect("same kind");
+}
+
+/// The repair policy of the scenario layer, at engine level: protocols
+/// that recover from loss on their own are left alone; everything else is
+/// stitched via two bootstrap passes through node 0.
+fn stitch(nodes: &mut [Box<dyn SyncEngine>], kind: ProtocolKind) {
+    if kind.recovers_from_loss() {
+        return;
+    }
+    for _pass in 0..2 {
+        for i in 1..nodes.len() {
+            bootstrap_pair(nodes, 0, i);
+        }
+    }
+}
+
+fn assert_all_converged(nodes: &[Box<dyn SyncEngine>], alive: &[bool], expected: usize, ctx: &str) {
+    let live: Vec<usize> = (0..nodes.len()).filter(|i| alive[*i]).collect();
+    for w in live.windows(2) {
+        assert!(
+            nodes[w[0]].state_eq(nodes[w[1]].as_ref()),
+            "{ctx}: replicas {} and {} diverged",
+            w[0],
+            w[1]
+        );
+    }
+    assert_eq!(
+        nodes[live[0]].state_elements(),
+        expected as u64,
+        "{ctx}: element count wrong"
+    );
+}
+
+fn expected_elements(schedule: &Schedule<GSetOp<u16>>, skip_node: Option<usize>) -> usize {
+    let mut set = std::collections::BTreeSet::new();
+    for round in schedule {
+        for (i, ops) in round.iter().enumerate() {
+            if Some(i) == skip_node {
+                continue;
+            }
+            for GSetOp::Add(e) in ops {
+                set.insert(*e);
+            }
+        }
+    }
+    set.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every protocol kind re-converges after a partition heals: the
+    /// cluster splits in half mid-run, keeps updating on both sides, then
+    /// heals with the scenario repair policy applied.
+    #[test]
+    fn every_kind_reconverges_after_partition_heal(schedule in gset_schedule()) {
+        let n = schedule[0].len().max(3);
+        // One side is {0}, the other the rest (smallest cut that exists
+        // for every generated n).
+        let side: Vec<usize> = (0..n).map(|i| usize::from(i > 0)).collect();
+        let alive = vec![true; n];
+        for kind in ProtocolKind::ALL {
+            let params = Params::new(n);
+            let mut nodes: Vec<Box<dyn SyncEngine>> = (0..n)
+                .map(|i| build_engine::<GSet<u16>>(kind, ReplicaId::from(i), &params))
+                .collect();
+            let pad = vec![Vec::new(); n - schedule[0].len()];
+            for round in &schedule {
+                let mut ops = round.clone();
+                ops.extend_from_slice(&pad);
+                faulted_round(&mut nodes, &ops, &alive, Some(&side));
+            }
+            stitch(&mut nodes, kind);
+            let idle = vec![Vec::new(); n];
+            for _ in 0..4 {
+                faulted_round(&mut nodes, &idle, &alive, None);
+            }
+            assert_all_converged(&nodes, &alive, expected_elements(&schedule, None),
+                &format!("{kind} partition→heal"));
+        }
+    }
+
+    /// Every protocol kind re-converges after a crash with durable state
+    /// and a restart: node n-1 is down for the whole schedule (its
+    /// pre-crash state survives), the rest keep updating, then it
+    /// restarts and is repaired per policy.
+    #[test]
+    fn every_kind_reconverges_after_durable_crash_restart(schedule in gset_schedule()) {
+        let n = schedule[0].len().max(3);
+        let crashed = n - 1;
+        for kind in ProtocolKind::ALL {
+            let params = Params::new(n);
+            let mut nodes: Vec<Box<dyn SyncEngine>> = (0..n)
+                .map(|i| build_engine::<GSet<u16>>(kind, ReplicaId::from(i), &params))
+                .collect();
+            let mut alive = vec![true; n];
+            alive[crashed] = false;
+            let pad = vec![Vec::new(); n - schedule[0].len()];
+            for round in &schedule {
+                let mut ops = round.clone();
+                ops.extend_from_slice(&pad);
+                faulted_round(&mut nodes, &ops, &alive, None);
+            }
+            alive[crashed] = true;
+            // Durable restart: loss-recovering kinds come back on their
+            // own; the rest need the bootstrap exchange.
+            if !kind.recovers_from_loss() {
+                bootstrap_pair(&mut nodes, crashed, 0);
+            }
+            let idle = vec![Vec::new(); n];
+            for _ in 0..4 {
+                faulted_round(&mut nodes, &idle, &alive, None);
+            }
+            assert_all_converged(&nodes, &alive,
+                expected_elements(&schedule, Some(crashed)),
+                &format!("{kind} durable crash→restart"));
+        }
+    }
+
+    /// Non-durable restart of the acked variant must not deadlock on
+    /// stale acks: peers hold `acked[node]` positions from before the
+    /// crash and have pruned those buffer entries, so only the bootstrap
+    /// exchange can restore the content — after it, the protocol's own
+    /// retransmission machinery finishes the job instead of wedging.
+    #[test]
+    fn acked_non_durable_restart_does_not_deadlock(schedule in gset_schedule()) {
+        let kind = ProtocolKind::Acked;
+        let n = schedule[0].len().max(3);
+        let params = Params::new(n);
+        let mut nodes: Vec<Box<dyn SyncEngine>> = (0..n)
+            .map(|i| build_engine::<GSet<u16>>(kind, ReplicaId::from(i), &params))
+            .collect();
+        let alive = vec![true; n];
+        // Normal operation (acks flow, buffers prune).
+        let pad = vec![Vec::new(); n - schedule[0].len()];
+        for round in &schedule {
+            let mut ops = round.clone();
+            ops.extend_from_slice(&pad);
+            faulted_round(&mut nodes, &ops, &alive, None);
+        }
+        // Node 1 loses its state and restarts cold from a live peer.
+        nodes[1].reset();
+        prop_assert_eq!(nodes[1].state_elements(), 0);
+        bootstrap_pair(&mut nodes, 1, 0);
+        // Bounded idle rounds must reach convergence — a stale-ack wedge
+        // would leave node 1 permanently behind.
+        let idle = vec![Vec::new(); n];
+        for _ in 0..4 {
+            faulted_round(&mut nodes, &idle, &alive, None);
+        }
+        assert_all_converged(&nodes, &alive, expected_elements(&schedule, None),
+            "acked non-durable restart");
+    }
+}
+
+/// Without repair, a healed partition leaves the delta family diverged —
+/// the gap the scenario subsystem's repair policy exists to close.
+#[test]
+fn delta_family_stays_diverged_without_repair() {
+    let n = 4;
+    let params = Params::new(n);
+    let mut nodes: Vec<Box<dyn SyncEngine>> = (0..n)
+        .map(|i| build_engine::<GSet<u16>>(ProtocolKind::BpRr, ReplicaId::from(i), &params))
+        .collect();
+    let alive = vec![true; n];
+    let side = vec![0, 0, 1, 1];
+    let ops: Vec<Vec<GSetOp<u16>>> = (0..n).map(|i| vec![GSetOp::Add(i as u16)]).collect();
+    faulted_round(&mut nodes, &ops, &alive, Some(&side));
+    // A further partitioned round drains the δ-buffers within each side —
+    // the partition-era novelty is now nowhere but in the states.
+    let idle = vec![Vec::new(); n];
+    faulted_round(&mut nodes, &idle, &alive, Some(&side));
+    // Healed, but no repair: the cross-cut deltas are gone for good.
+    for _ in 0..6 {
+        faulted_round(&mut nodes, &idle, &alive, None);
+    }
+    assert!(
+        !nodes[0].state_eq(nodes[3].as_ref()),
+        "partition-era novelty cannot be recovered by rounds alone"
+    );
+    // The stitch closes exactly that gap.
+    stitch(&mut nodes, ProtocolKind::BpRr);
+    for _ in 0..4 {
+        faulted_round(&mut nodes, &idle, &alive, None);
+    }
+    assert!(nodes[0].state_eq(nodes[3].as_ref()));
+    assert_eq!(nodes[0].state_elements(), n as u64);
+}
+
+/// Op-based bootstrap adopts the delivery clock with the state: ops the
+/// snapshot already reflects must be recognized as duplicates on
+/// redelivery. GCounter makes double-application visible (`Inc` is not
+/// idempotent).
+#[test]
+fn opbased_bootstrap_does_not_double_apply() {
+    let params = Params::new(2);
+    let a = ReplicaId(0);
+    let b = ReplicaId(1);
+    let mut ea = build_engine::<GCounter>(ProtocolKind::OpBased, a, &params);
+    let mut eb = build_engine::<GCounter>(ProtocolKind::OpBased, b, &params);
+    for _ in 0..3 {
+        ea.on_op(&OpBytes::encode(&GCounterOp::Inc(a))).unwrap();
+    }
+    // B bootstraps from A (state + delivered clock)…
+    eb.bootstrap_from(ea.as_ref()).unwrap();
+    // …then receives A's original ops through the normal channel.
+    for env in ea.on_sync(&[b]) {
+        eb.on_msg(env).unwrap();
+    }
+    let count = eb.state_any().downcast_ref::<GCounter>().unwrap().value();
+    assert_eq!(count, 3, "redelivered ops must be deduplicated");
+}
+
 /// The model-view accounting in envelopes equals the generic `Measured`
 /// numbers under the same size model (not just elements — bytes too).
 #[test]

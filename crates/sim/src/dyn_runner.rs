@@ -18,13 +18,17 @@
 use std::time::Instant;
 
 use crdt_lattice::{ReplicaId, SizeModel, WireEncode};
-use crdt_sync::{build_engine_with_model, OpBytes, Params, ProtocolKind, SyncEngine, WireEnvelope};
+use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::{
+    build_engine_with_model, DeltaMsg, Measured, OpBytes, Params, ProtocolKind, SyncEngine,
+    WireAccounting, WireEnvelope,
+};
 use crdt_types::Crdt;
 
 use crate::metrics::{RoundMetrics, RunMetrics};
-use crate::network::{Network, NetworkConfig};
+use crate::network::{LinkFault, Network, NetworkConfig};
 use crate::runner::Workload;
-use crate::topology::Topology;
+use crate::topology::{DynamicTopology, Topology};
 
 /// Simulation driver for one runtime-selected protocol over one topology.
 ///
@@ -51,12 +55,19 @@ use crate::topology::Topology;
 #[derive(Debug)]
 pub struct DynRunner<C: Crdt> {
     kind: ProtocolKind,
-    topology: Topology,
+    topo: DynamicTopology,
     nodes: Vec<Box<dyn SyncEngine>>,
     net: Network<WireEnvelope>,
     metrics: RunMetrics,
     params: Params,
+    model: SizeModel,
     round: usize,
+    /// Messages addressed to down nodes or across an active partition,
+    /// discarded at delivery time.
+    undeliverable: u64,
+    /// Cumulative out-of-band recovery traffic (digest repair and
+    /// bootstrap transfers).
+    repair: PairSyncStats,
     _crdt: core::marker::PhantomData<fn() -> C>,
 }
 
@@ -95,12 +106,15 @@ where
         let n = topology.len();
         DynRunner {
             kind,
-            topology,
+            topo: DynamicTopology::new(topology),
             nodes,
             net: Network::new(net_cfg),
             metrics: RunMetrics::new(n),
             params,
+            model,
             round: 0,
+            undeliverable: 0,
+            repair: PairSyncStats::default(),
             _crdt: core::marker::PhantomData,
         }
     }
@@ -126,9 +140,14 @@ where
         self.nodes[id.index()].state_any().downcast_ref::<T>()
     }
 
-    /// The topology driving this run.
+    /// The (base) topology driving this run.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.topo.base()
+    }
+
+    /// The live membership/partition view.
+    pub fn membership(&self) -> &DynamicTopology {
+        &self.topo
     }
 
     /// The collected metrics so far.
@@ -141,9 +160,25 @@ where
         self.metrics
     }
 
-    /// Have all replicas reached the same lattice state?
+    /// Messages discarded because the recipient was down or unreachable
+    /// across a partition, plus messages the fabric itself dropped
+    /// (global `drop_prob` and per-link faults).
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable + self.net.dropped
+    }
+
+    /// Cumulative out-of-band recovery traffic (digest repairs and
+    /// bootstrap state transfers).
+    pub fn repair_stats(&self) -> PairSyncStats {
+        self.repair
+    }
+
+    /// Have all **live** replicas reached the same lattice state?
     pub fn converged(&self) -> bool {
-        self.nodes.windows(2).all(|w| w[0].state_eq(w[1].as_ref()))
+        let alive = self.topo.alive_nodes();
+        alive
+            .windows(2)
+            .all(|w| self.nodes[w[0].index()].state_eq(self.nodes[w[1].index()].as_ref()))
     }
 
     /// Run `rounds` rounds of workload + synchronization.
@@ -164,7 +199,7 @@ where
     /// neighbor indices forever whenever `s` and the neighbor count share
     /// a factor.
     fn sync_targets(&self, id: ReplicaId) -> Vec<ReplicaId> {
-        let all = self.topology.neighbors(id);
+        let all = self.topo.base().neighbors(id);
         match self.params.fan_out {
             Some(f) if f < all.len() => {
                 let step = self.round / self.params.sync_interval.max(1);
@@ -181,8 +216,12 @@ where
         let mut rm = RoundMetrics::default();
 
         // Phase 1: update operations, encoded across the erased boundary.
+        // Down nodes execute nothing.
         for id in 0..self.nodes.len() {
             let node_id = ReplicaId::from(id);
+            if !self.topo.is_alive(node_id) {
+                continue;
+            }
             for op in workload.ops(node_id, self.round) {
                 let bytes = OpBytes::encode(&op);
                 let t0 = Instant::now();
@@ -195,9 +234,15 @@ where
 
         // Phase 2: synchronization step (skipped on off rounds when a
         // sync_interval > 1 is configured; buffers keep accumulating).
+        // Live senders still address their *full* neighbor list — nodes
+        // do not learn about crashes or cuts synchronously; undeliverable
+        // traffic is discarded in phase 3, like a real fabric.
         if self.round.is_multiple_of(self.params.sync_interval.max(1)) {
             for id in 0..self.nodes.len() {
                 let node_id = ReplicaId::from(id);
+                if !self.topo.is_alive(node_id) {
+                    continue;
+                }
                 let targets = self.sync_targets(node_id);
                 let t0 = Instant::now();
                 let out = self.nodes[id].on_sync(&targets);
@@ -210,9 +255,15 @@ where
         }
 
         // Phase 3: deliver to quiescence (push-pull replies included).
+        // Deliveries to down nodes, or across an active partition, are
+        // dropped here.
         while !self.net.is_idle() {
             for delivery in self.net.flush() {
                 let to = delivery.to;
+                if !self.topo.link_open(delivery.from, to) {
+                    self.undeliverable += 1;
+                    continue;
+                }
                 let t0 = Instant::now();
                 let replies = self.nodes[to.index()]
                     .on_msg(delivery.msg)
@@ -225,8 +276,12 @@ where
             }
         }
 
-        // Phase 4: end-of-round memory snapshot.
-        for node in &self.nodes {
+        // Phase 4: end-of-round memory snapshot (live nodes — a down
+        // process occupies no memory, durable or not).
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !self.topo.is_alive(ReplicaId::from(id)) {
+                continue;
+            }
             let m = node.memory();
             rm.memory.crdt_elements += m.crdt_elements;
             rm.memory.crdt_bytes += m.crdt_bytes;
@@ -236,6 +291,7 @@ where
 
         self.metrics.push_round(rm);
         self.round += 1;
+        self.net.advance_round();
     }
 
     fn account(&self, rm: &mut RoundMetrics, env: &WireEnvelope) {
@@ -257,6 +313,205 @@ where
             self.step(&mut idle);
         }
         self.converged().then_some(max_rounds)
+    }
+
+    // -----------------------------------------------------------------
+    // Fault & membership control (the scenario layer drives these)
+    // -----------------------------------------------------------------
+
+    /// Crash `node`. While down it executes no phases and everything
+    /// addressed to it is discarded. `durable: true` models a process
+    /// crash with intact storage (the engine's state survives for the
+    /// restart); `durable: false` wipes the engine immediately — a cold
+    /// restart starts from `⊥` and should be pointed at a live peer via
+    /// [`DynRunner::restart_node`]'s `bootstrap`.
+    pub fn crash_node(&mut self, node: ReplicaId, durable: bool) {
+        self.topo.set_alive(node, false);
+        if !durable {
+            self.nodes[node.index()].reset();
+        }
+    }
+
+    /// Bring a crashed `node` back. With `bootstrap = Some(peer)` the
+    /// restarted node and the peer exchange state snapshots out-of-band
+    /// (both directions — a durable restart may hold novelty the cluster
+    /// lost track of), charged to [`DynRunner::repair_stats`].
+    pub fn restart_node(&mut self, node: ReplicaId, bootstrap: Option<ReplicaId>) {
+        self.topo.set_alive(node, true);
+        if let Some(peer) = bootstrap {
+            self.bootstrap_pair(node, peer);
+        }
+    }
+
+    /// Grow the cluster by one node linked to `links`, running a fresh
+    /// engine of the same protocol, bootstrapped from `bootstrap` when
+    /// given. Returns the joiner's id.
+    pub fn join_node(&mut self, links: &[ReplicaId], bootstrap: Option<ReplicaId>) -> ReplicaId {
+        let new = self.topo.join(links);
+        self.params.n_nodes = self.topo.len();
+        self.metrics.n_nodes = self.topo.len();
+        // Existing engines must learn the new size *before* the joiner is
+        // heard from: Scuttlebutt-GC's safe-delete rule would otherwise
+        // prune deltas the joiner has not seen, beyond recovery.
+        for node in &mut self.nodes {
+            node.set_system_size(self.params.n_nodes);
+        }
+        self.nodes.push(build_engine_with_model::<C>(
+            self.kind,
+            new,
+            &self.params,
+            self.model,
+        ));
+        if let Some(peer) = bootstrap {
+            self.repair_pair(new, peer);
+        }
+        new
+    }
+
+    /// Install a partition (each entry of `groups` is one side; unlisted
+    /// nodes form the implicit last side). Cross-side traffic is
+    /// discarded until [`DynRunner::heal_partition`].
+    pub fn set_partition(&mut self, groups: &[Vec<usize>]) {
+        self.topo.set_partition(groups);
+    }
+
+    /// Heal the active partition and stitch the sides back together: the
+    /// lowest live representative of each side pairwise-repairs with the
+    /// first side's representative (two passes, so every side sees every
+    /// other side's novelty), using [`DynRunner::repair_pair`].
+    ///
+    /// Kinds that [`ProtocolKind::recovers_from_loss`] get no repair —
+    /// their own metadata re-requests or retransmits what the cut
+    /// swallowed, which is exactly the property the scenario experiments
+    /// measure.
+    pub fn heal_partition(&mut self) {
+        let reps = self.topo.side_representatives();
+        self.topo.clear_partition();
+        if reps.len() < 2 || self.kind.recovers_from_loss() {
+            return;
+        }
+        // δ-group kinds repair one representative per side: the injected
+        // novelty re-enters their buffers and propagates to the rest of
+        // each side over ordinary rounds. The op-based middleware cannot
+        // re-ship a state join as operations, so every live node must be
+        // reconciled directly — the honest (and expensive) price of
+        // partition recovery without join semantics.
+        let peers: Vec<ReplicaId> = if self.kind.accepts_raw_delta() {
+            reps[1..].to_vec()
+        } else {
+            self.topo
+                .alive_nodes()
+                .into_iter()
+                .filter(|&n| n != reps[0])
+                .collect()
+        };
+        // Gather into reps[0], then scatter back out. The second pass
+        // re-ships only what the earlier peers are still missing —
+        // digest-driven repair sends differences, not states.
+        for _pass in 0..2 {
+            for &peer in &peers {
+                self.repair_pair(reps[0], peer);
+            }
+        }
+    }
+
+    /// Overlay a fault on both directions of the edge `a ↔ b`.
+    pub fn set_edge_fault(&mut self, a: ReplicaId, b: ReplicaId, fault: LinkFault) {
+        self.net.set_link_fault(a, b, fault);
+        self.net.set_link_fault(b, a, fault);
+    }
+
+    /// Clear any fault overlay from both directions of `a ↔ b`.
+    pub fn clear_edge_fault(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.net.clear_link_fault(a, b);
+        self.net.clear_link_fault(b, a);
+    }
+
+    /// Pairwise repair between two live replicas, the §VI mechanism:
+    ///
+    /// * kinds whose wire message is a bare δ-group (the delta family and
+    ///   `state`) run **digest-driven** repair — only the
+    ///   join-irreducibles each side is missing cross the wire, injected
+    ///   through the ordinary receive path so the novelty is re-buffered
+    ///   and keeps propagating to other neighbors;
+    /// * the remaining kinds (anti-entropy, op-based) adopt each other's
+    ///   snapshot via [`SyncEngine::bootstrap_from`] — their own recovery
+    ///   metadata (vectors, delivery clocks, ack state) travels with it.
+    ///
+    /// Traffic is charged to [`DynRunner::repair_stats`].
+    pub fn repair_pair(&mut self, a: ReplicaId, b: ReplicaId) {
+        assert_ne!(a, b, "repair needs two distinct replicas");
+        if self.kind.accepts_raw_delta() {
+            let xa = self
+                .state_of::<C>(a)
+                .expect("runner engines are built over C")
+                .clone();
+            let xb = self
+                .state_of::<C>(b)
+                .expect("runner engines are built over C")
+                .clone();
+            let (mut ca, mut cb) = (xa.clone(), xb.clone());
+            let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+            self.repair.messages += stats.messages;
+            self.repair.payload_elements += stats.payload_elements;
+            self.repair.payload_bytes += stats.payload_bytes;
+            self.repair.metadata_bytes += stats.metadata_bytes;
+            let delta_for_a = ca.delta(&xa);
+            if !delta_for_a.is_bottom() {
+                self.inject_delta(b, a, delta_for_a);
+            }
+            let delta_for_b = cb.delta(&xb);
+            if !delta_for_b.is_bottom() {
+                self.inject_delta(a, b, delta_for_b);
+            }
+        } else {
+            self.bootstrap_pair(a, b);
+        }
+    }
+
+    /// Bidirectional out-of-band snapshot exchange between `a` and `b`
+    /// through the engines' bootstrap hooks.
+    fn bootstrap_pair(&mut self, a: ReplicaId, b: ReplicaId) {
+        assert_ne!(a, b, "bootstrap needs two distinct replicas");
+        let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
+        let (left, right) = self.nodes.split_at_mut(hi);
+        let x = &mut left[lo];
+        let y = &mut right[0];
+        let acc1 = x
+            .bootstrap_from(y.as_ref())
+            .expect("uniform-protocol run cannot mismatch kinds");
+        let acc2 = y
+            .bootstrap_from(x.as_ref())
+            .expect("uniform-protocol run cannot mismatch kinds");
+        for acc in [acc1, acc2] {
+            self.repair.messages += 1;
+            self.repair.payload_elements += acc.payload_elements;
+            self.repair.payload_bytes += acc.payload_bytes;
+        }
+    }
+
+    /// Feed a repaired δ-group into `to`'s engine as if `from` had sent
+    /// it, through the ordinary receive path.
+    fn inject_delta(&mut self, from: ReplicaId, to: ReplicaId, delta: C) {
+        let msg = DeltaMsg(delta);
+        let payload = msg.to_bytes();
+        let accounting = WireAccounting {
+            payload_elements: msg.payload_elements(),
+            payload_bytes: msg.payload_bytes(&self.model),
+            metadata_bytes: msg.metadata_bytes(&self.model),
+            encoded_bytes: payload.len() as u64,
+        };
+        let env = WireEnvelope {
+            from,
+            to,
+            kind: self.kind,
+            payload,
+            accounting,
+        };
+        let replies = self.nodes[to.index()]
+            .on_msg(env)
+            .expect("raw delta injection matches the configured protocol");
+        debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }
 }
 

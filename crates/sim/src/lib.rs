@@ -12,7 +12,12 @@
 //!   rounds of "update, synchronize, deliver" and collects
 //! * [`RunMetrics`] — transmission in elements and payload/metadata bytes,
 //!   per-round memory snapshots, and protocol CPU time: exactly the
-//!   quantities of Figs. 1 and 7–12.
+//!   quantities of Figs. 1 and 7–12;
+//! * [`ScenarioSchedule`] / [`run_scenario`] — fault & churn scenarios
+//!   beyond the paper's static setup: partitions that heal, crashes with
+//!   and without durable state, joins with bootstrap, flapping links —
+//!   driven on the clock against [`DynRunner`], measuring convergence
+//!   rounds, bytes to re-converge, repair traffic and staleness windows.
 //!
 //! Every quantity the paper reports is a *protocol* property, not a
 //! network property, so a deterministic simulation reproduces the shapes
@@ -27,13 +32,15 @@ mod metrics;
 mod network;
 mod parallel;
 mod runner;
+mod scenario;
 mod sharded;
 mod topology;
 
 pub use dyn_runner::{run_dyn_experiment, DynRunner};
 pub use metrics::{RoundMetrics, RunMetrics};
-pub use network::{Envelope, Network, NetworkConfig};
+pub use network::{Envelope, LinkFault, Network, NetworkConfig};
 pub use parallel::ParallelRunner;
 pub use runner::{run_experiment, Runner, Workload};
+pub use scenario::{run_scenario, ScenarioEvent, ScenarioOutcome, ScenarioSchedule};
 pub use sharded::{KeyedOp, ShardedDeltaRunner};
-pub use topology::Topology;
+pub use topology::{DynamicTopology, Topology};

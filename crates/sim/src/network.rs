@@ -7,6 +7,9 @@
 //! enable drops only for [`crdt_sync::AckedDeltaSync`]) — deterministically
 //! from a seed.
 
+use std::collections::BTreeMap;
+use std::ops::Range;
+
 use crdt_lattice::ReplicaId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +66,54 @@ impl Default for NetworkConfig {
     }
 }
 
+/// A fault configuration for **one directed link**, layered on top of the
+/// fabric-wide [`NetworkConfig`] — the per-edge knob a fault scenario
+/// turns (`LinkFault` events, partitions-as-blocked-links).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability a message on this link is lost.
+    pub drop_prob: f64,
+    /// Probability a message on this link is delivered twice.
+    pub duplicate_prob: f64,
+    /// Shuffle this link's messages among themselves at flush.
+    pub reorder: bool,
+}
+
+impl LinkFault {
+    /// A fully severed link: everything sent on it is dropped.
+    pub const BLOCKED: LinkFault = LinkFault {
+        drop_prob: 1.0,
+        duplicate_prob: 0.0,
+        reorder: false,
+    };
+
+    /// A lossy (but not dead) link.
+    pub fn lossy(drop_prob: f64) -> Self {
+        LinkFault {
+            drop_prob,
+            duplicate_prob: 0.0,
+            reorder: false,
+        }
+    }
+
+    /// A flaky link: losses plus duplication plus reordering.
+    pub fn flaky(drop_prob: f64, duplicate_prob: f64) -> Self {
+        LinkFault {
+            drop_prob,
+            duplicate_prob,
+            reorder: true,
+        }
+    }
+}
+
+/// A [`LinkFault`] plus the round window it is active in (`None` ⇒
+/// active until cleared).
+#[derive(Debug, Clone, PartialEq)]
+struct TimedFault {
+    fault: LinkFault,
+    window: Option<Range<u64>>,
+}
+
 /// An in-flight message.
 #[derive(Debug, Clone)]
 pub struct Envelope<M> {
@@ -81,6 +132,10 @@ pub struct Network<M> {
     cfg: NetworkConfig,
     rng: StdRng,
     in_flight: Vec<Envelope<M>>,
+    /// Per-directed-link fault overlays, possibly time-windowed.
+    link_faults: BTreeMap<(ReplicaId, ReplicaId), TimedFault>,
+    /// Simulation round, advanced by the driver; gates fault windows.
+    round: u64,
     /// Counters for observability.
     pub sent: u64,
     /// Messages duplicated by the fabric.
@@ -96,20 +151,101 @@ impl<M: Clone> Network<M> {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             in_flight: Vec::new(),
+            link_faults: BTreeMap::new(),
+            round: 0,
             sent: 0,
             duplicated: 0,
             dropped: 0,
         }
     }
 
+    /// Advance the fabric's clock by one round. Drivers call this once
+    /// per simulation round so time-windowed link faults engage and
+    /// expire on schedule.
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+        let round = self.round;
+        self.link_faults
+            .retain(|_, t| t.window.as_ref().is_none_or(|w| round < w.end));
+    }
+
+    /// The fabric's current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Overlay `fault` on the directed link `from → to` until cleared.
+    pub fn set_link_fault(&mut self, from: ReplicaId, to: ReplicaId, fault: LinkFault) {
+        self.link_faults.insert(
+            (from, to),
+            TimedFault {
+                fault,
+                window: None,
+            },
+        );
+    }
+
+    /// Overlay `fault` on the directed link `from → to` for the round
+    /// window `rounds` (self-clearing — the time-varying form for
+    /// drivers that program the fabric up front; the scenario layer
+    /// instead sets/clears faults event-by-event, because a link *heal*
+    /// is also where its repair policy runs).
+    pub fn set_link_fault_during(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        fault: LinkFault,
+        rounds: Range<u64>,
+    ) {
+        self.link_faults.insert(
+            (from, to),
+            TimedFault {
+                fault,
+                window: Some(rounds),
+            },
+        );
+    }
+
+    /// Remove any fault overlay from the directed link `from → to`.
+    pub fn clear_link_fault(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.link_faults.remove(&(from, to));
+    }
+
+    /// Sever both directions of the edge `a ↔ b` (a partition cut).
+    pub fn block_edge(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.set_link_fault(a, b, LinkFault::BLOCKED);
+        self.set_link_fault(b, a, LinkFault::BLOCKED);
+    }
+
+    /// Restore both directions of the edge `a ↔ b`.
+    pub fn unblock_edge(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.clear_link_fault(a, b);
+        self.clear_link_fault(b, a);
+    }
+
+    /// The fault currently active on `from → to`, if any.
+    pub fn link_fault(&self, from: ReplicaId, to: ReplicaId) -> Option<LinkFault> {
+        self.link_faults.get(&(from, to)).and_then(|t| {
+            t.window
+                .as_ref()
+                .is_none_or(|w| w.contains(&self.round))
+                .then_some(t.fault)
+        })
+    }
+
     /// Submit a message for delivery.
     pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
         self.sent += 1;
-        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+        let link = self.link_fault(from, to);
+        let drop_prob = link.map_or(0.0, |l| l.drop_prob).max(self.cfg.drop_prob);
+        if drop_prob > 0.0 && (drop_prob >= 1.0 || self.rng.gen_bool(drop_prob)) {
             self.dropped += 1;
             return;
         }
-        if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob) {
+        let dup_prob = link
+            .map_or(0.0, |l| l.duplicate_prob)
+            .max(self.cfg.duplicate_prob);
+        if dup_prob > 0.0 && self.rng.gen_bool(dup_prob) {
             self.duplicated += 1;
             self.in_flight.push(Envelope {
                 from,
@@ -129,6 +265,28 @@ impl<M: Clone> Network<M> {
             for i in (1..batch.len()).rev() {
                 let j = self.rng.gen_range(0..=i);
                 batch.swap(i, j);
+            }
+        } else if !self.link_faults.is_empty() {
+            // Per-link reordering: shuffle each reordering link's
+            // messages among their own positions, leaving other traffic
+            // in order.
+            let links: Vec<(ReplicaId, ReplicaId)> = self
+                .link_faults
+                .keys()
+                .copied()
+                .filter(|(f, t)| self.link_fault(*f, *t).is_some_and(|l| l.reorder))
+                .collect();
+            for (f, t) in links {
+                let idx: Vec<usize> = batch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.from == f && e.to == t)
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in (1..idx.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    batch.swap(idx[i], idx[j]);
+                }
             }
         }
         batch
@@ -184,6 +342,85 @@ mod tests {
         net.send(A, B, 9);
         assert!(net.flush().is_empty());
         assert_eq!(net.dropped, 1);
+    }
+
+    #[test]
+    fn blocked_links_drop_everything_and_unblock_restores() {
+        let mut net: Network<u32> = Network::new(NetworkConfig::reliable(3));
+        net.block_edge(A, B);
+        net.send(A, B, 1);
+        net.send(B, A, 2);
+        assert!(net.flush().is_empty());
+        assert_eq!(net.dropped, 2);
+        // Unrelated links are unaffected.
+        net.send(A, ReplicaId(2), 3);
+        assert_eq!(net.flush().len(), 1);
+        net.unblock_edge(A, B);
+        net.send(A, B, 4);
+        assert_eq!(net.flush().len(), 1);
+    }
+
+    #[test]
+    fn windowed_link_fault_expires_with_the_clock() {
+        let mut net: Network<u32> = Network::new(NetworkConfig::reliable(3));
+        // Active for rounds 0..2.
+        net.set_link_fault_during(A, B, LinkFault::BLOCKED, 0..2);
+        net.send(A, B, 1);
+        assert!(net.flush().is_empty(), "round 0: blocked");
+        net.advance_round();
+        net.send(A, B, 2);
+        assert!(net.flush().is_empty(), "round 1: still blocked");
+        net.advance_round();
+        net.send(A, B, 3);
+        assert_eq!(net.flush().len(), 1, "round 2: window expired");
+        assert!(net.link_fault(A, B).is_none(), "expired fault is pruned");
+    }
+
+    #[test]
+    fn per_link_duplication_composes_with_reliable_fabric() {
+        let mut net: Network<u32> = Network::new(NetworkConfig::reliable(7));
+        net.set_link_fault(
+            A,
+            B,
+            LinkFault {
+                drop_prob: 0.0,
+                duplicate_prob: 1.0,
+                reorder: false,
+            },
+        );
+        net.send(A, B, 9);
+        net.send(B, A, 9);
+        let got = net.flush();
+        assert_eq!(got.len(), 3, "A→B doubled, B→A untouched");
+        assert_eq!(net.duplicated, 1);
+    }
+
+    #[test]
+    fn per_link_reorder_shuffles_only_that_link() {
+        let run = |seed| {
+            let mut net: Network<u32> = Network::new(NetworkConfig::reliable(seed));
+            net.set_link_fault(A, B, LinkFault::flaky(0.0, 0.0));
+            for i in 0..12 {
+                net.send(A, B, i);
+                net.send(B, A, i);
+            }
+            let batch = net.flush();
+            let ab: Vec<u32> = batch
+                .iter()
+                .filter(|e| e.from == A)
+                .map(|e| e.msg)
+                .collect();
+            let ba: Vec<u32> = batch
+                .iter()
+                .filter(|e| e.from == B)
+                .map(|e| e.msg)
+                .collect();
+            (ab, ba)
+        };
+        let (ab, ba) = run(11);
+        assert_eq!(ba, (0..12).collect::<Vec<u32>>(), "untouched link in order");
+        assert_ne!(ab, (0..12).collect::<Vec<u32>>(), "faulted link shuffled");
+        assert_eq!(run(11), run(11), "deterministic per seed");
     }
 
     #[test]

@@ -44,6 +44,7 @@ where
 pub struct Runner<C: Crdt, P: Protocol<C>> {
     topology: Topology,
     nodes: Vec<P>,
+    alive: Vec<bool>,
     net: Network<(ReplicaId, P::Msg)>,
     model: SizeModel,
     metrics: RunMetrics,
@@ -59,6 +60,7 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
         Runner {
             topology,
             nodes,
+            alive: vec![true; n],
             net: Network::new(net_cfg),
             model,
             metrics: RunMetrics::new(n),
@@ -91,9 +93,48 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
         self.metrics
     }
 
-    /// Have all replicas reached the same lattice state?
+    /// Have all **live** replicas reached the same lattice state?
     pub fn converged(&self) -> bool {
-        self.nodes.windows(2).all(|w| w[0].state() == w[1].state())
+        let states: Vec<&C> = self
+            .nodes
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, a)| **a)
+            .map(|(p, _)| p.state())
+            .collect();
+        states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Crash `node`: it stops executing and everything addressed to it is
+    /// discarded. `durable: false` additionally wipes its state (cold
+    /// restart from `⊥`); pair the restart with
+    /// [`Runner::bootstrap_pair`] to rejoin.
+    pub fn crash_node(&mut self, node: ReplicaId, durable: bool) {
+        self.alive[node.index()] = false;
+        if !durable {
+            self.nodes[node.index()] = P::new(node, &Params::new(self.topology.len()));
+        }
+    }
+
+    /// Bring a crashed `node` back (state as the crash left it).
+    pub fn restart_node(&mut self, node: ReplicaId) {
+        self.alive[node.index()] = true;
+    }
+
+    /// Is `node` currently up?
+    pub fn is_alive(&self, node: ReplicaId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Out-of-band bidirectional snapshot exchange between `a` and `b`
+    /// through [`Protocol::bootstrap`] — the state-transfer half of a
+    /// restart or join.
+    pub fn bootstrap_pair(&mut self, a: ReplicaId, b: ReplicaId) {
+        assert_ne!(a, b, "bootstrap needs two distinct replicas");
+        let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
+        let (left, right) = self.nodes.split_at_mut(hi);
+        left[lo].bootstrap(&right[0]);
+        right[0].bootstrap(&left[lo]);
     }
 
     /// Run `rounds` rounds of workload + synchronization.
@@ -108,9 +149,12 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
         let mut rm = RoundMetrics::default();
 
         // Phase 1: update operations (paper: one update event per node per
-        // synchronization interval).
+        // synchronization interval). Down nodes execute nothing.
         for id in 0..self.nodes.len() {
             let node_id = ReplicaId::from(id);
+            if !self.alive[id] {
+                continue;
+            }
             for op in workload.ops(node_id, self.round) {
                 let t0 = Instant::now();
                 self.nodes[id].on_op(&op);
@@ -118,10 +162,15 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
             }
         }
 
-        // Phase 2: synchronization step at every node.
+        // Phase 2: synchronization step at every live node (senders keep
+        // addressing their full neighbor list — crashes are not learned
+        // synchronously).
         let mut outbox: Vec<(ReplicaId, P::Msg)> = Vec::new();
         for id in 0..self.nodes.len() {
             let node_id = ReplicaId::from(id);
+            if !self.alive[id] {
+                continue;
+            }
             let t0 = Instant::now();
             self.nodes[id].on_sync(self.topology.neighbors(node_id), &mut outbox);
             rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
@@ -132,11 +181,15 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
         }
 
         // Phase 3: deliver to quiescence (replies may generate replies —
-        // Scuttlebutt's 3-message exchange completes here).
+        // Scuttlebutt's 3-message exchange completes here). Deliveries to
+        // down nodes are discarded.
         while !self.net.is_idle() {
             for env in self.net.flush() {
                 let (from, msg) = env.msg;
                 let to = env.to;
+                if !self.alive[to.index()] {
+                    continue;
+                }
                 let t0 = Instant::now();
                 self.nodes[to.index()].on_msg(from, msg, &mut outbox);
                 rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
@@ -149,7 +202,10 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
 
         // Phase 4: end-of-round memory snapshot (paper §V-B3: "during the
         // experiments, we periodically measure the amount of state").
-        for node in &self.nodes {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !self.alive[id] {
+                continue;
+            }
             let m = node.memory(&self.model);
             rm.memory.crdt_elements += m.crdt_elements;
             rm.memory.crdt_bytes += m.crdt_bytes;
@@ -159,6 +215,7 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
 
         self.metrics.push_round(rm);
         self.round += 1;
+        self.net.advance_round();
     }
 
     fn account(&self, rm: &mut RoundMetrics, msg: &P::Msg) {
@@ -315,6 +372,33 @@ mod tests {
             ratio > 0.5,
             "classic should be within the state-based ballpark, got ratio {ratio:.3}"
         );
+    }
+
+    #[test]
+    fn crash_restart_bootstrap_reconverges() {
+        // Durable and non-durable crashes of a BP+RR node: the restarted
+        // node misses the deltas sent while it was down (buffers were
+        // cleared into the void), so a bootstrap exchange with a live
+        // peer is what restores convergence.
+        for durable in [true, false] {
+            let n = 6;
+            let topo = Topology::partial_mesh(n, 4);
+            let mut runner: Runner<GSet<u64>, BpRrDelta<GSet<u64>>> =
+                Runner::new(topo, NetworkConfig::reliable(5), SizeModel::compact());
+            runner.run(&mut unique_adds(n), 2);
+            runner.crash_node(ReplicaId(3), durable);
+            assert!(!runner.is_alive(ReplicaId(3)));
+            runner.run(&mut unique_adds(n), 3);
+            runner.restart_node(ReplicaId(3));
+            runner.bootstrap_pair(ReplicaId(3), ReplicaId(0));
+            runner
+                .run_to_convergence(64)
+                .unwrap_or_else(|| panic!("durable={durable}: no re-convergence"));
+            assert_eq!(
+                runner.node(ReplicaId(3)).state(),
+                runner.node(ReplicaId(0)).state()
+            );
+        }
     }
 
     #[test]

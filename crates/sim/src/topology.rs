@@ -120,6 +120,30 @@ impl Topology {
         Self::from_edges(format!("random({n},+{extra},seed{seed})"), n, &edges)
     }
 
+    /// Grow the graph by one node linked to `links`, returning the new
+    /// node's id — the structural half of a mid-run **join** (the
+    /// membership half lives in [`DynamicTopology`]).
+    ///
+    /// # Panics
+    ///
+    /// If `links` is empty (the joiner would be unreachable) or names an
+    /// unknown node.
+    pub fn add_node(&mut self, links: &[ReplicaId]) -> ReplicaId {
+        assert!(!links.is_empty(), "a joining node needs at least one link");
+        let new = ReplicaId::from(self.adj.len());
+        self.adj.push(Vec::new());
+        for &peer in links {
+            assert!(peer.index() < new.index(), "link to unknown node {peer}");
+            if !self.adj[new.index()].contains(&peer) {
+                self.adj[new.index()].push(peer);
+                self.adj[peer.index()].push(new);
+                self.adj[peer.index()].sort_unstable();
+            }
+        }
+        self.adj[new.index()].sort_unstable();
+        new
+    }
+
     /// Human-readable topology name.
     pub fn name(&self) -> &str {
         &self.name
@@ -208,6 +232,148 @@ impl Topology {
     }
 }
 
+/// A [`Topology`] with **mutable membership**: which nodes are alive, and
+/// which partition side each node currently sits on.
+///
+/// The base graph stays the source of truth for *links*; this wrapper
+/// answers the time-varying questions a fault scenario asks — is this
+/// node up, can a message cross this edge right now, who are the live
+/// representatives of each partition side. Drivers
+/// ([`crate::DynRunner`], the scenario layer) consult it at delivery
+/// time; senders keep addressing their full neighbor list, exactly like
+/// real deployments that do not learn about crashes or cuts synchronously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicTopology {
+    base: Topology,
+    alive: Vec<bool>,
+    /// Partition side per node (`None` ⇒ no partition active).
+    side: Option<Vec<usize>>,
+}
+
+impl DynamicTopology {
+    /// Wrap a static topology; every node starts alive, unpartitioned.
+    pub fn new(base: Topology) -> Self {
+        let n = base.len();
+        DynamicTopology {
+            base,
+            alive: vec![true; n],
+            side: None,
+        }
+    }
+
+    /// The underlying link graph.
+    pub fn base(&self) -> &Topology {
+        &self.base
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Is the membership empty?
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Is `node` currently up?
+    pub fn is_alive(&self, node: ReplicaId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Mark `node` down (crash) or up (restart).
+    pub fn set_alive(&mut self, node: ReplicaId, alive: bool) {
+        self.alive[node.index()] = alive;
+    }
+
+    /// All currently live nodes, in id order.
+    pub fn alive_nodes(&self) -> Vec<ReplicaId> {
+        self.base.nodes().filter(|n| self.is_alive(*n)).collect()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Install a partition: each entry of `groups` is one side; nodes not
+    /// listed form one extra implicit side. Replaces any active partition.
+    pub fn set_partition(&mut self, groups: &[Vec<usize>]) {
+        let n = self.base.len();
+        let mut side = vec![groups.len(); n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                assert!(m < n, "partition names unknown node {m}");
+                side[m] = g;
+            }
+        }
+        self.side = Some(side);
+    }
+
+    /// Remove the active partition (heal).
+    pub fn clear_partition(&mut self) {
+        self.side = None;
+    }
+
+    /// Is a partition currently active?
+    pub fn is_partitioned(&self) -> bool {
+        self.side.is_some()
+    }
+
+    /// Can a message currently cross `from → to`? `false` while the two
+    /// ends sit on different partition sides or either end is down.
+    pub fn link_open(&self, from: ReplicaId, to: ReplicaId) -> bool {
+        if !self.is_alive(from) || !self.is_alive(to) {
+            return false;
+        }
+        match &self.side {
+            Some(side) => side[from.index()] == side[to.index()],
+            None => true,
+        }
+    }
+
+    /// The base-graph neighbors of `node` it can currently reach.
+    pub fn reachable_neighbors(&self, node: ReplicaId) -> Vec<ReplicaId> {
+        self.base
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&p| self.link_open(node, p))
+            .collect()
+    }
+
+    /// One live representative per partition side (lowest id), in side
+    /// order — the nodes a repair pass stitches back together after a
+    /// heal. Without an active partition: the single lowest live node.
+    pub fn side_representatives(&self) -> Vec<ReplicaId> {
+        match &self.side {
+            None => self.alive_nodes().into_iter().take(1).collect(),
+            Some(side) => {
+                let mut reps: Vec<(usize, ReplicaId)> = Vec::new();
+                for node in self.base.nodes() {
+                    if self.is_alive(node) && !reps.iter().any(|(g, _)| *g == side[node.index()]) {
+                        reps.push((side[node.index()], node));
+                    }
+                }
+                reps.sort_unstable();
+                reps.into_iter().map(|(_, n)| n).collect()
+            }
+        }
+    }
+
+    /// Grow the base graph by one (live) node — a join. Delegates to
+    /// [`Topology::add_node`].
+    pub fn join(&mut self, links: &[ReplicaId]) -> ReplicaId {
+        let new = self.base.add_node(links);
+        self.alive.push(true);
+        if let Some(side) = &mut self.side {
+            // A joiner lands on the side of its first link.
+            side.push(side[links[0].index()]);
+        }
+        new
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +449,52 @@ mod tests {
                 assert!(t.neighbors(b).contains(&a), "{a} ↔ {b}");
             }
         }
+    }
+
+    #[test]
+    fn add_node_links_both_directions() {
+        let mut t = Topology::ring(4);
+        let new = t.add_node(&[ReplicaId(0), ReplicaId(2)]);
+        assert_eq!(new, ReplicaId(4));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.neighbors(new), &[ReplicaId(0), ReplicaId(2)]);
+        assert!(t.neighbors(ReplicaId(0)).contains(&new));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn dynamic_topology_tracks_membership_and_partitions() {
+        let mut d = DynamicTopology::new(Topology::full_mesh(5));
+        assert_eq!(d.alive_count(), 5);
+        assert!(d.link_open(ReplicaId(0), ReplicaId(4)));
+
+        d.set_alive(ReplicaId(4), false);
+        assert!(!d.link_open(ReplicaId(0), ReplicaId(4)));
+        assert_eq!(d.alive_nodes().len(), 4);
+
+        d.set_partition(&[vec![0, 1]]);
+        assert!(d.is_partitioned());
+        assert!(d.link_open(ReplicaId(0), ReplicaId(1)));
+        assert!(!d.link_open(ReplicaId(0), ReplicaId(2)));
+        // Unlisted nodes form the implicit other side, together.
+        assert!(d.link_open(ReplicaId(2), ReplicaId(3)));
+        assert_eq!(
+            d.side_representatives(),
+            vec![ReplicaId(0), ReplicaId(2)],
+            "one live representative per side"
+        );
+        assert_eq!(
+            d.reachable_neighbors(ReplicaId(0)),
+            vec![ReplicaId(1)],
+            "cross-cut and dead peers filtered"
+        );
+
+        d.clear_partition();
+        assert!(d.link_open(ReplicaId(0), ReplicaId(2)));
+        assert_eq!(d.side_representatives(), vec![ReplicaId(0)]);
+
+        let joined = d.join(&[ReplicaId(0)]);
+        assert!(d.is_alive(joined));
+        assert_eq!(d.len(), 6);
     }
 }

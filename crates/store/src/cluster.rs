@@ -1,5 +1,6 @@
 //! A set of store replicas wired through a transport.
 
+use core::fmt;
 use std::collections::BTreeSet;
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
@@ -26,9 +27,60 @@ use crate::transport::{LoopbackTransport, Transport};
 pub struct Cluster<K: Ord, C, T = LoopbackTransport<K>> {
     replicas: Vec<StoreReplica<K, C>>,
     neighbors: Vec<Vec<ReplicaId>>,
+    /// Crashed replicas: excluded from rounds and convergence; traffic
+    /// addressed to them is discarded.
+    down: Vec<bool>,
     transport: T,
     stats: TrafficStats,
     cfg: StoreConfig,
+}
+
+/// The diagnostic outcome of [`Cluster::run_until_converged`]: enough to
+/// tell from a CI log *why* a scenario failed, not just that it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Did every live replica agree on every live object?
+    pub converged: bool,
+    /// Synchronization rounds executed.
+    pub rounds: usize,
+    /// Batches still in the transport when the run stopped.
+    pub in_flight: usize,
+    /// Live replicas disagreeing with the reference (the first live
+    /// replica), as `(replica index, number of divergent objects)`.
+    pub divergent: Vec<(usize, usize)>,
+}
+
+impl ConvergenceReport {
+    /// `Some(rounds)` when converged — the drop-in for the old
+    /// `Option<usize>` shape.
+    pub fn ok(&self) -> Option<usize> {
+        self.converged.then_some(self.rounds)
+    }
+
+    /// The rounds taken; panics with the full report when convergence
+    /// was not reached.
+    #[track_caller]
+    pub fn expect_converged(&self, context: &str) -> usize {
+        assert!(self.converged, "{context}: {self}");
+        self.rounds
+    }
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.converged {
+            return write!(f, "converged after {} rounds", self.rounds);
+        }
+        write!(
+            f,
+            "NOT converged after {} rounds ({} batches in flight; divergent replicas:",
+            self.rounds, self.in_flight
+        )?;
+        for (replica, objects) in &self.divergent {
+            write!(f, " #{replica}×{objects}")?;
+        }
+        f.write_str(")")
+    }
 }
 
 impl<K, C> Cluster<K, C, LoopbackTransport<K>>
@@ -88,6 +140,7 @@ where
                 .map(|i| StoreReplica::with_params(ReplicaId::from(i), cfg, Params::new(n)))
                 .collect(),
             neighbors,
+            down: vec![false; n],
             transport,
             stats: TrafficStats::default(),
             cfg,
@@ -139,6 +192,9 @@ where
     pub fn sync_round(&mut self) {
         let model = self.cfg.model;
         for (i, replica) in self.replicas.iter_mut().enumerate() {
+            if self.down[i] {
+                continue;
+            }
             let from = ReplicaId::from(i);
             for (to, msg) in replica.sync_step(&self.neighbors[i]) {
                 self.stats.record(&msg, &model);
@@ -148,6 +204,12 @@ where
         while self.transport.in_flight() > 0 {
             for i in 0..self.replicas.len() {
                 let at = ReplicaId::from(i);
+                if self.down[i] {
+                    // A crashed process is not there to receive: whatever
+                    // the transport delivers to it is lost.
+                    self.transport.poll(at);
+                    continue;
+                }
                 for (_, msg) in self.transport.poll(at) {
                     // Every replica of this cluster was built from the same
                     // StoreConfig and the transport moves values, so
@@ -165,31 +227,133 @@ where
         }
     }
 
-    /// Have all replicas converged on every object?
+    /// Is replica `i` currently up?
+    pub fn is_alive(&self, i: usize) -> bool {
+        !self.down[i]
+    }
+
+    /// Crash replica `i`: it drops out of rounds and convergence checks,
+    /// and traffic addressed to it is discarded. `durable: false` also
+    /// wipes its objects — a later [`Cluster::restart`] starts from `⊥`.
+    pub fn crash(&mut self, i: usize, durable: bool) {
+        self.down[i] = true;
+        if !durable {
+            self.replicas[i].reset();
+        }
+    }
+
+    /// Bring a crashed replica back. With `bootstrap = Some(peer)` the
+    /// pair exchange per-object snapshots in both directions (state plus
+    /// protocol recovery metadata) — required after a non-durable crash,
+    /// and after any crash for the delta family, whose peers cleared
+    /// their δ-buffers into the void while the replica was down.
+    pub fn restart(&mut self, i: usize, bootstrap: Option<usize>) {
+        self.down[i] = false;
+        if let Some(peer) = bootstrap {
+            self.bootstrap_pair(i, peer);
+        }
+    }
+
+    /// Bidirectional per-object snapshot exchange between two live
+    /// replicas (out-of-band state transfer).
+    pub fn bootstrap_pair(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "bootstrap needs two distinct replicas");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (left, right) = self.replicas.split_at_mut(hi);
+        left[lo].bootstrap_from(&right[0]);
+        right[0].bootstrap_from(&left[lo]);
+    }
+
+    /// A new replica joins the cluster, pushing to `links` (which start
+    /// pushing back), bootstrapped from `bootstrap` when given. Returns
+    /// the joiner's index.
+    pub fn join(&mut self, links: Vec<ReplicaId>, bootstrap: Option<usize>) -> usize {
+        assert!(!links.is_empty(), "a joining replica needs neighbors");
+        let i = self.replicas.len();
+        let id = ReplicaId::from(i);
+        for &peer in &links {
+            assert!(peer.index() < i, "link to unknown replica {peer}");
+            self.neighbors[peer.index()].push(id);
+        }
+        self.neighbors.push(links);
+        self.down.push(false);
+        self.transport.add_node();
+        let n = self.replicas.len() + 1;
+        // Existing replicas must learn the new size before the joiner is
+        // heard from (Scuttlebutt-GC safe-delete safety).
+        for replica in &mut self.replicas {
+            replica.set_system_size(n);
+        }
+        self.replicas
+            .push(StoreReplica::with_params(id, self.cfg, Params::new(n)));
+        if let Some(peer) = bootstrap {
+            self.bootstrap_pair(i, peer);
+        }
+        i
+    }
+
+    /// Have all live replicas converged on every object?
     ///
     /// Objects still at `⊥` are ignored: a no-op update (e.g. removing an
     /// element from an empty set) creates the key locally but produces no
     /// delta, so peers legitimately never hear of it.
     pub fn converged(&self) -> bool {
+        self.divergence().is_empty()
+    }
+
+    /// Live replicas disagreeing with the first live replica, as
+    /// `(replica index, divergent object count)`.
+    fn divergence(&self) -> Vec<(usize, usize)> {
         let live = |r: &StoreReplica<K, C>| {
             r.iter()
                 .filter(|(_, x)| !x.is_bottom())
                 .map(|(k, x)| (k.clone(), x.clone()))
                 .collect::<Vec<_>>()
         };
-        self.replicas.windows(2).all(|w| live(&w[0]) == live(&w[1]))
+        let Some(reference) = (0..self.replicas.len()).find(|i| !self.down[*i]) else {
+            return Vec::new();
+        };
+        let base = live(&self.replicas[reference]);
+        let mut out = Vec::new();
+        for i in reference + 1..self.replicas.len() {
+            if self.down[i] {
+                continue;
+            }
+            let mine = live(&self.replicas[i]);
+            let differing = base
+                .iter()
+                .filter(|(k, x)| mine.iter().find(|(mk, _)| mk == k).map(|(_, mx)| mx) != Some(x))
+                .count()
+                + mine
+                    .iter()
+                    .filter(|(k, _)| !base.iter().any(|(bk, _)| bk == k))
+                    .count();
+            if differing > 0 {
+                out.push((i, differing));
+            }
+        }
+        out
     }
 
-    /// Run sync rounds until convergence (or `max_rounds`); returns the
-    /// number of rounds taken.
-    pub fn run_until_converged(&mut self, max_rounds: usize) -> Option<usize> {
+    /// Run sync rounds until convergence (or `max_rounds`), reporting
+    /// what happened either way — on timeout the report names the
+    /// divergent replicas and their object counts, so a failed CI
+    /// scenario is debuggable from its log.
+    pub fn run_until_converged(&mut self, max_rounds: usize) -> ConvergenceReport {
+        let mut rounds = max_rounds;
         for round in 0..max_rounds {
             if self.converged() && self.transport.in_flight() == 0 {
-                return Some(round);
+                rounds = round;
+                break;
             }
             self.sync_round();
         }
-        (self.converged() && self.transport.in_flight() == 0).then_some(max_rounds)
+        ConvergenceReport {
+            converged: self.converged() && self.transport.in_flight() == 0,
+            rounds,
+            in_flight: self.transport.in_flight(),
+            divergent: self.divergence(),
+        }
     }
 
     /// Digest-driven pairwise repair between replicas `a` and `b` (the
@@ -288,7 +452,7 @@ mod tests {
         c.sync_round();
         assert!(c.replica(1).get("x").is_some());
         assert!(c.replica(3).get("x").is_none(), "3 hops away");
-        let rounds = c.run_until_converged(16).expect("converges");
+        let rounds = c.run_until_converged(16).expect_converged("converges");
         assert!(rounds >= 2, "needed more than the first round");
         assert!(c.replica(3).get("x").unwrap().contains(&1));
     }
@@ -324,7 +488,8 @@ mod tests {
         let stats = c.digest_repair(1, 2);
         assert!(stats.payload_elements > 0);
         // Repaired deltas propagate onward through normal rounds.
-        c.run_until_converged(8).expect("converges after repair");
+        c.run_until_converged(8)
+            .expect_converged("converges after repair");
         assert!(c.replica(3).get("left").unwrap().contains(&1));
         assert!(c.replica(0).get("right").unwrap().contains(&2));
     }
@@ -336,7 +501,7 @@ mod tests {
         for e in 0..100 {
             c.update(0, "big", &GSetOp::Add(e));
         }
-        c.run_until_converged(4).expect("converges");
+        c.run_until_converged(4).expect_converged("converges");
         // …then diverge by one element on each side, without syncing.
         c.replicas[0].update("big", &GSetOp::Add(1000));
         c.replicas[1].update("big", &GSetOp::Add(2000));
@@ -361,7 +526,8 @@ mod tests {
         let mut c: Cl = Cluster::full_mesh(3, StoreConfig::new(ProtocolKind::Scuttlebutt));
         c.update(0, "x", &GSetOp::Add(1));
         c.update(2, "y", &GSetOp::Add(9));
-        c.run_until_converged(16).expect("anti-entropy converges");
+        c.run_until_converged(16)
+            .expect_converged("anti-entropy converges");
         // The digest/reply/final exchange crossed the transport: more
         // batches than the two digests alone.
         assert!(c.stats().messages > 2);
@@ -382,9 +548,66 @@ mod tests {
             c.update(0, "x", &GSetOp::Add(1));
             c.update(1, "x", &GSetOp::Add(2));
             c.run_until_converged(16)
-                .unwrap_or_else(|| panic!("{kind} store did not converge"));
+                .expect_converged(&format!("{kind} store"));
             assert_eq!(c.replica(2).get("x").unwrap().len(), 2, "{kind}");
         }
+    }
+
+    #[test]
+    fn crash_restart_with_bootstrap_reconverges() {
+        for durable in [true, false] {
+            let mut c: Cl = Cluster::full_mesh(4, StoreConfig::default());
+            c.update(0, "x", &GSetOp::Add(1));
+            c.run_until_converged(4).expect_converged("warm-up");
+            c.crash(3, durable);
+            assert!(!c.is_alive(3));
+            // Progress while #3 is down: its peers' δ-buffers drain into
+            // the void.
+            c.update(1, "x", &GSetOp::Add(2));
+            c.sync_round();
+            c.sync_round();
+            assert!(c.converged(), "live replicas agree without #3");
+            c.restart(3, Some(0));
+            assert!(c.is_alive(3));
+            c.run_until_converged(8)
+                .expect_converged(&format!("durable={durable}"));
+            assert_eq!(c.replica(3).get("x").unwrap().len(), 2, "{durable}");
+        }
+    }
+
+    #[test]
+    fn join_bootstraps_and_participates() {
+        let mut c: Cl = Cluster::full_mesh(3, StoreConfig::default());
+        for e in 0..5 {
+            c.update(0, "history", &GSetOp::Add(e));
+        }
+        c.run_until_converged(4).expect_converged("pre-join");
+        let joined = c.join(vec![ReplicaId(0), ReplicaId(2)], Some(1));
+        assert_eq!(joined, 3);
+        assert_eq!(c.len(), 4);
+        // The joiner got the history by bootstrap, not gossip.
+        assert_eq!(c.replica(joined).get("history").unwrap().len(), 5);
+        // And it participates in ordinary rounds both ways.
+        c.update(joined, "history", &GSetOp::Add(100));
+        c.run_until_converged(8).expect_converged("post-join");
+        assert!(c.replica(1).get("history").unwrap().contains(&100));
+    }
+
+    #[test]
+    fn timeout_report_names_divergent_replicas() {
+        let mut c: Cl = Cluster::full_mesh(4, StoreConfig::default());
+        c.partition(&[0, 1]);
+        c.update(0, "left", &GSetOp::Add(1));
+        c.update(2, "right", &GSetOp::Add(2));
+        let report = c.run_until_converged(4);
+        assert!(!report.converged);
+        assert!(report.ok().is_none());
+        assert!(
+            !report.divergent.is_empty(),
+            "the cut must be visible: {report}"
+        );
+        let rendered = report.to_string();
+        assert!(rendered.contains("NOT converged"), "{rendered}");
     }
 
     #[test]

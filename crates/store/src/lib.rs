@@ -24,7 +24,11 @@
 //!   arbitrary neighbor graph, with link-level partitions, traffic
 //!   accounting ([`TrafficStats`]), and **digest-driven pairwise repair**
 //!   (the \[30\] protocol of the paper's §VI) for reconciling after
-//!   partitions without full state exchange.
+//!   partitions without full state exchange. Membership is dynamic:
+//!   replicas crash (durably or with state loss), restart with a
+//!   bootstrap exchange, and [`Cluster::join`] mid-run with a
+//!   state-transfer from a live peer; convergence runs report a
+//!   diagnostic [`ConvergenceReport`] instead of a bare option.
 //!
 //! ## Quickstart
 //!
@@ -59,7 +63,7 @@ mod metrics;
 mod replica;
 mod transport;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ConvergenceReport};
 pub use message::StoreMsg;
 pub use metrics::TrafficStats;
 pub use replica::{StoreConfig, StoreReplica};

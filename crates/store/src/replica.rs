@@ -222,6 +222,44 @@ where
         Ok(batches.into_iter().filter(|(_, b)| !b.is_empty()).collect())
     }
 
+    /// The cluster grew (or shrank) to `n_nodes` replicas: update the
+    /// construction parameters for future objects and notify every
+    /// existing engine (Scuttlebutt-GC's safe-delete rule depends on the
+    /// system size; see [`crdt_sync::SyncEngine::set_system_size`]).
+    pub fn set_system_size(&mut self, n_nodes: usize) {
+        self.params.n_nodes = n_nodes;
+        for engine in self.objects.values_mut() {
+            engine.set_system_size(n_nodes);
+        }
+    }
+
+    /// Discard every object — the state loss of a **non-durable crash**.
+    /// Pair with [`StoreReplica::bootstrap_from`] to rejoin from a live
+    /// peer.
+    pub fn reset(&mut self) {
+        self.objects.clear();
+    }
+
+    /// Out-of-band state transfer: for every object `source` holds,
+    /// bootstrap the local engine (created at `⊥` if unknown) from the
+    /// peer's — snapshot state plus protocol recovery metadata travel
+    /// together (see [`crdt_sync::SyncEngine::bootstrap_from`]). Returns
+    /// the number of lattice elements shipped.
+    ///
+    /// Both replicas must run the same [`StoreConfig`] protocol — the
+    /// invariant [`crate::Cluster`] maintains by construction.
+    pub fn bootstrap_from(&mut self, source: &StoreReplica<K, C>) -> u64 {
+        let mut elements = 0;
+        for (key, engine) in &source.objects {
+            let acc = self
+                .engine(key.clone())
+                .bootstrap_from(engine.as_ref())
+                .expect("uniform store cluster cannot mismatch protocols");
+            elements += acc.payload_elements;
+        }
+        elements
+    }
+
     /// Memory snapshot summed over all objects (CRDT state + per-object
     /// synchronization buffers), plus key storage as metadata.
     pub fn memory(&self) -> MemoryUsage {

@@ -27,6 +27,10 @@ pub trait Transport<K> {
 
     /// Are any messages still in flight (to any replica)?
     fn in_flight(&self) -> usize;
+
+    /// Extend the transport by one endpoint (a replica joining the
+    /// cluster); the new endpoint's id is the previous replica count.
+    fn add_node(&mut self);
 }
 
 /// In-memory transport: one FIFO queue per recipient. Supports severing
@@ -87,6 +91,15 @@ impl<K> Transport<K> for LoopbackTransport<K> {
 
     fn in_flight(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn add_node(&mut self) {
+        let n = self.queues.len() + 1;
+        self.queues.push(VecDeque::new());
+        for row in &mut self.severed {
+            row.push(false);
+        }
+        self.severed.push(vec![false; n]);
     }
 }
 

@@ -88,7 +88,7 @@ fn main() {
     );
     cluster
         .run_until_converged(8)
-        .expect("converged after repair");
+        .expect_converged("converged after repair");
 
     let merged = cluster.replica(1).get("cart:alice".into()).unwrap();
     println!("\nconverged cart:alice = {:?}", merged.value());
