@@ -1,0 +1,86 @@
+//! Retwis at the paper's per-object granularity on the unified sharded
+//! runner, with a machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin retwis_sharded -- --quick \
+//!     --protocol classic --protocol bp_rr --threads 1 --threads 4
+//! cargo run --release -p crdt-bench --bin retwis_sharded -- \
+//!     --zipf 0.5 --zipf 1.0 --zipf 1.5 \
+//!     --out BENCH_retwis_sharded.json \
+//!     --baseline ci/bench-baseline/BENCH_retwis_sharded.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--protocol <kind>` (repeatable; `all`) — which
+//!   [`crdt_sync::ProtocolKind`]s to run (default: `classic`, `bp_rr` —
+//!   the Fig. 11/12 comparison).
+//! * `--zipf <s>` (repeatable) — Zipf coefficients (default 0.5, 1.0,
+//!   1.5, the paper's range).
+//! * `--threads <n>` (repeatable) — worker threads (default 1, 4, 8).
+//! * `--quick` — CI scale (10 nodes, 300 users, 8 rounds) instead of
+//!   paper scale (50 nodes, 10 000 users → 30 K objects, 30 rounds).
+//! * `--out <path>` — where to write the JSON report
+//!   (default `BENCH_retwis_sharded.json`).
+//! * `--baseline <path>` / `--tolerance <t>` — regression-gate the
+//!   deterministic metrics (bytes, elements, frames, envelopes) against
+//!   a checked-in report; violations exit with status 1. Timing fields
+//!   are artifacts, never gated.
+
+use crdt_bench::retwis_sharded::{
+    check_regression, print_report, run_retwis_sharded, threads_from_args, write_report,
+    zipfs_from_args,
+};
+use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
+use crdt_sync::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kinds = protocols_from_args(&[ProtocolKind::Classic, ProtocolKind::BpRr]);
+    let zipfs = zipfs_from_args(&[0.5, 1.0, 1.5]);
+    let threads = threads_from_args(&[1, 4, 8]);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_retwis_sharded.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let rows = run_retwis_sharded(scale, &kinds, &zipfs, &threads);
+    print_report(&rows);
+    write_report(&out_path, &rows, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} rows)", rows.len());
+
+    if let Some(never) = rows.iter().find(|r| !r.converged) {
+        eprintln!(
+            "FAIL: {} did not converge (zipf {}, threads {})",
+            never.protocol, never.zipf, never.threads
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::retwis_sharded::report_to_json(&rows, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

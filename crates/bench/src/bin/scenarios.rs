@@ -25,21 +25,8 @@
 use crdt_bench::scenarios::{
     check_regression, run_scenario_suite, scenarios_from_args, write_report,
 };
-use crdt_bench::{json::Json, protocols_from_args, Scale};
+use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
 use crdt_sync::ProtocolKind;
-
-fn flag_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .map(|i| match args.get(i + 1) {
-            Some(v) => v.clone(),
-            None => {
-                eprintln!("error: {name} needs a value");
-                std::process::exit(2);
-            }
-        })
-}
 
 fn main() {
     let scale = Scale::from_args();

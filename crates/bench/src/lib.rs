@@ -214,6 +214,111 @@ pub fn find<'a>(runs: &'a [Run], name: &str) -> &'a Run {
         .unwrap_or_else(|| panic!("protocol {name} missing from suite"))
 }
 
+/// The pass limit for a gated regression metric:
+/// `max(base × (1 + tolerance), epsilon)`.
+///
+/// The multiplicative rule alone misbehaves at the bottom of the range.
+/// At a **zero** baseline it degenerates to `limit = 0` — a ratio-based
+/// formulation divides by zero, and any non-zero current value (or
+/// none, under `>=` spellings) trips the gate — yet several metrics are
+/// legitimately zero (the self-healing kinds report zero repair bytes)
+/// and must still be caught if they suddenly need kilobytes of repair.
+/// At **tiny** baselines it forbids harmless absolute jitter: a
+/// convergence-rounds baseline of 1 would fail on any +1. The absolute
+/// `epsilon` is therefore a floor on the limit, sized per metric to the
+/// smallest regression worth failing CI over.
+pub fn gate_limit(base: f64, tolerance: f64, epsilon: f64) -> f64 {
+    (base * (1.0 + tolerance)).max(epsilon)
+}
+
+/// Shared regression-gate core for `BENCH_*.json` reports.
+///
+/// Rows are matched by rendering each of `key_fields` (strings verbatim,
+/// numbers as `{:.3}`). For every baseline row, the current report must
+/// contain the row, the row must have `"converged": true`, and each
+/// `(metric, epsilon)` of `gated` must satisfy
+/// `current ≤ gate_limit(baseline, tolerance, epsilon)`. A metric absent
+/// from the *current* row is skipped — the only such case in practice is
+/// a `null` `convergence_rounds`, which the converged check already
+/// reports. Improvements always pass. Returns human-readable violations.
+pub fn check_regression_gate(
+    current: &json::Json,
+    baseline: &json::Json,
+    tolerance: f64,
+    key_fields: &[&str],
+    gated: &[(&str, f64)],
+) -> Vec<String> {
+    use json::Json;
+    let mut violations = Vec::new();
+    let empty: &[Json] = &[];
+    let rows = |doc: &Json| -> Vec<Json> {
+        doc.get("results")
+            .and_then(Json::as_array)
+            .unwrap_or(empty)
+            .to_vec()
+    };
+    let key = |row: &Json| -> Vec<String> {
+        key_fields
+            .iter()
+            .map(|f| match row.get(f) {
+                Some(Json::Str(s)) => s.clone(),
+                Some(v) => v.as_f64().map_or_else(String::new, |n| format!("{n:.3}")),
+                None => String::new(),
+            })
+            .collect()
+    };
+    let label = |row: &Json| -> String {
+        key_fields
+            .iter()
+            .zip(key(row))
+            .map(|(f, v)| format!("{f}={v}"))
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    let current_rows = rows(current);
+    for base in rows(baseline) {
+        let label = label(&base);
+        let Some(cur) = current_rows.iter().find(|r| key(r) == key(&base)) else {
+            violations.push(format!("{label}: missing from current run"));
+            continue;
+        };
+        if cur.get("converged").and_then(Json::as_bool) != Some(true) {
+            violations.push(format!("{label}: did not converge"));
+            continue;
+        }
+        for &(metric, epsilon) in gated {
+            let base_v = base.get(metric).and_then(Json::as_f64).unwrap_or(0.0);
+            let Some(cur_v) = cur.get(metric).and_then(Json::as_f64) else {
+                continue;
+            };
+            let limit = gate_limit(base_v, tolerance, epsilon);
+            if cur_v > limit {
+                violations.push(format!(
+                    "{label}: {metric} regressed {base_v:.0} → {cur_v:.0} \
+                     (limit {limit:.0} at {:.0}% tolerance)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// The value following a `--flag` in `std::env::args`, if the flag is
+/// present; exits with status 2 when the flag is given without a value.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            }
+        })
+}
+
 /// Ratio `a / b`, guarding division by zero.
 pub fn ratio(a: u64, b: u64) -> f64 {
     if b == 0 {
@@ -394,6 +499,17 @@ mod tests {
     }
 
     #[test]
+    fn gate_limit_floors_zero_and_tiny_baselines() {
+        // Zero baseline: the epsilon is the whole limit.
+        assert_eq!(gate_limit(0.0, 0.25, 256.0), 256.0);
+        // Tiny integer baseline (1 convergence round): the floor keeps
+        // ±1 absolute jitter from failing a 25% gate.
+        assert_eq!(gate_limit(1.0, 0.25, 2.0), 2.0);
+        // Ordinary baselines gate multiplicatively.
+        assert_eq!(gate_limit(1000.0, 0.25, 256.0), 1250.0);
+    }
+
+    #[test]
     fn ratio_and_formatting() {
         assert_eq!(ratio(10, 5), 2.0);
         assert_eq!(ratio(0, 0), 1.0);
@@ -412,4 +528,5 @@ mod tests {
 
 pub mod experiments;
 pub mod json;
+pub mod retwis_sharded;
 pub mod scenarios;

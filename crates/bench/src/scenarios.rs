@@ -178,66 +178,28 @@ pub fn write_report(path: &str, outcomes: &[ScenarioOutcome], quick: bool) -> st
 ///
 /// For every `(scenario, protocol)` row of the baseline, the current run
 /// must (a) exist, (b) have converged, and (c) keep the gated metrics —
-/// `total_bytes`, `bytes_to_reconverge`, and `convergence_rounds` —
-/// within `(1 + tolerance)×` of the baseline (plus a small absolute
-/// slack, so near-zero baselines don't gate on noise). Improvements
-/// always pass; returns the list of violations.
+/// `total_bytes`, `bytes_to_reconverge`, `repair_bytes`, and
+/// `convergence_rounds` — within `(1 + tolerance)×` of the baseline,
+/// floored by a per-metric absolute epsilon (see [`crate::gate_limit`]):
+/// zero baselines would otherwise flag any non-zero current value — or,
+/// in ratio form, divide by zero — and several metrics are legitimately
+/// zero (the self-healing kinds report zero repair bytes; full-mesh
+/// scenarios converge in zero extra rounds), while tiny integer
+/// baselines (1 convergence round) would fail on harmless ±1 jitter.
+/// Improvements always pass; returns the list of violations.
 pub fn check_regression(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
-    let mut violations = Vec::new();
-    let empty: &[Json] = &[];
-    let rows = |doc: &Json| -> Vec<Json> {
-        doc.get("results")
-            .and_then(Json::as_array)
-            .unwrap_or(empty)
-            .to_vec()
-    };
-    let key = |row: &Json| -> (String, String) {
-        (
-            row.get("scenario")
-                .and_then(Json::as_str)
-                .unwrap_or_default()
-                .to_string(),
-            row.get("protocol")
-                .and_then(Json::as_str)
-                .unwrap_or_default()
-                .to_string(),
-        )
-    };
-    let current_rows = rows(current);
-    for base in rows(baseline) {
-        let (scenario, protocol) = key(&base);
-        let label = format!("{scenario}/{protocol}");
-        let Some(cur) = current_rows.iter().find(|r| key(r) == key(&base)) else {
-            violations.push(format!("{label}: missing from current run"));
-            continue;
-        };
-        if cur.get("converged").and_then(Json::as_bool) != Some(true) {
-            violations.push(format!("{label}: did not converge"));
-            continue;
-        }
-        for (metric, abs_slack) in [
+    crate::check_regression_gate(
+        current,
+        baseline,
+        tolerance,
+        &["scenario", "protocol"],
+        &[
             ("total_bytes", 256.0),
             ("bytes_to_reconverge", 256.0),
+            ("repair_bytes", 256.0),
             ("convergence_rounds", 2.0),
-        ] {
-            let base_v = base.get(metric).and_then(Json::as_f64).unwrap_or(0.0);
-            let cur_v = match cur.get(metric).and_then(Json::as_f64) {
-                Some(v) => v,
-                // convergence_rounds: null means never converged —
-                // already reported above; other metrics must be present.
-                None => continue,
-            };
-            let limit = base_v * (1.0 + tolerance) + abs_slack;
-            if cur_v > limit {
-                violations.push(format!(
-                    "{label}: {metric} regressed {base_v:.0} → {cur_v:.0} \
-                     (limit {limit:.0} at {:.0}% tolerance)",
-                    tolerance * 100.0
-                ));
-            }
-        }
-    }
-    violations
+        ],
+    )
 }
 
 #[cfg(test)]
@@ -304,6 +266,45 @@ mod tests {
         assert_eq!(violations.len(), 2, "{violations:?}");
         assert!(violations.iter().any(|v| v.contains("total_bytes")));
         assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn zero_baselines_gate_on_the_absolute_epsilon() {
+        // Scuttlebutt self-heals a partition: its baseline repair_bytes
+        // is genuinely 0. The multiplicative rule degenerates there
+        // (`0 × (1 + t) = 0` flags any jitter; a ratio divides by zero),
+        // so zero baselines use the defined absolute epsilon instead.
+        let outcomes = quick_outcomes();
+        let sb = outcomes
+            .iter()
+            .find(|o| o.protocol == ProtocolKind::Scuttlebutt)
+            .unwrap();
+        assert_eq!(sb.repair_bytes, 0, "precondition: self-healing baseline");
+        let baseline = report_to_json(&outcomes, true);
+
+        // Within the epsilon: passes.
+        let mut nudged = outcomes.clone();
+        nudged
+            .iter_mut()
+            .find(|o| o.protocol == ProtocolKind::Scuttlebutt)
+            .unwrap()
+            .repair_bytes = 200;
+        let current = report_to_json(&nudged, true);
+        assert!(
+            check_regression(&current, &baseline, 0.25).is_empty(),
+            "≤ epsilon over a zero baseline is not a regression"
+        );
+
+        // Beyond the epsilon: a real regression, caught.
+        nudged
+            .iter_mut()
+            .find(|o| o.protocol == ProtocolKind::Scuttlebutt)
+            .unwrap()
+            .repair_bytes = 10_000;
+        let current = report_to_json(&nudged, true);
+        let violations = check_regression(&current, &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("repair_bytes"), "{violations:?}");
     }
 
     #[test]

@@ -98,8 +98,9 @@ pub use deltacrdt::{
     DeltaCrdt, DeltaCrdtMsg, DeltaCrdtSmallLog, DeltaCrdtSync, DEFAULT_LOG_CAPACITY,
 };
 pub use engine::{
-    build_engine, build_engine_with_model, EngineAdapter, EngineError, OpBytes, ProtocolKind,
-    SyncEngine, UnknownProtocol, WireAccounting, WireEnvelope,
+    build_engine, build_engine_send, build_engine_send_with_model, build_engine_with_model,
+    BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind, SyncEngine, UnknownProtocol,
+    WireAccounting, WireEnvelope,
 };
 pub use opbased::{OpBased, OpMsg, TaggedOp};
 pub use proto::{Measured, MemoryUsage, Params, Protocol};

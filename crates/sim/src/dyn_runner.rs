@@ -222,7 +222,10 @@ where
             if !self.topo.is_alive(node_id) {
                 continue;
             }
-            for op in workload.ops(node_id, self.round) {
+            let t_draw = Instant::now();
+            let ops = workload.ops(node_id, self.round);
+            rm.workload_nanos += t_draw.elapsed().as_nanos() as u64;
+            for op in ops {
                 let bytes = OpBytes::encode(&op);
                 let t0 = Instant::now();
                 self.nodes[id]
@@ -289,6 +292,8 @@ where
             rm.memory.meta_bytes += m.meta_bytes;
         }
 
+        // One worker did everything: the critical path is the total work.
+        rm.critical_path_nanos = rm.cpu_nanos;
         self.metrics.push_round(rm);
         self.round += 1;
         self.net.advance_round();
@@ -296,6 +301,7 @@ where
 
     fn account(&self, rm: &mut RoundMetrics, env: &WireEnvelope) {
         rm.messages += 1;
+        rm.envelopes += 1;
         rm.payload_elements += env.accounting.payload_elements;
         rm.payload_bytes += env.accounting.payload_bytes;
         rm.metadata_bytes += env.accounting.metadata_bytes;

@@ -13,6 +13,11 @@
 //! * [`RunMetrics`] — transmission in elements and payload/metadata bytes,
 //!   per-round memory snapshots, and protocol CPU time: exactly the
 //!   quantities of Figs. 1 and 7–12;
+//! * [`ShardedEngineRunner`] — the unified sharded runner: per-object
+//!   engines of any [`crdt_sync::ProtocolKind`] (the paper's 30 K-object
+//!   Retwis granularity), thread-parallel phases, scenario events at
+//!   node level, and per-destination [`crdt_sync::BatchEnvelope`]
+//!   batching so wire frames per round are O(links), not O(objects);
 //! * [`ScenarioSchedule`] / [`run_scenario`] — fault & churn scenarios
 //!   beyond the paper's static setup: partitions that heal, crashes with
 //!   and without durable state, joins with bootstrap, flapping links —
@@ -34,6 +39,7 @@ mod parallel;
 mod runner;
 mod scenario;
 mod sharded;
+mod sharded_engine;
 mod topology;
 
 pub use dyn_runner::{run_dyn_experiment, DynRunner};
@@ -43,4 +49,5 @@ pub use parallel::ParallelRunner;
 pub use runner::{run_experiment, Runner, Workload};
 pub use scenario::{run_scenario, ScenarioEvent, ScenarioOutcome, ScenarioSchedule};
 pub use sharded::{KeyedOp, ShardedDeltaRunner};
+pub use sharded_engine::ShardedEngineRunner;
 pub use topology::{DynamicTopology, Topology};

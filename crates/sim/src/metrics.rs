@@ -4,11 +4,33 @@
 
 use crdt_sync::MemoryUsage;
 
+/// Per-worker phase timings → `(summed work, critical path)`: the sum
+/// over all per-node entries, and the busiest thread-chunk's sum under
+/// contiguous `threads`-way chunking (the chunking both parallel runners
+/// use).
+pub(crate) fn phase_split(nanos: &[u64], threads: usize) -> (u64, u64) {
+    let chunk = nanos.len().div_ceil(threads).max(1);
+    let critical = nanos
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    (nanos.iter().sum(), critical)
+}
+
 /// Measurements for one synchronization round.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundMetrics {
-    /// Messages handed to the fabric.
+    /// Messages handed to the fabric. Batching runners
+    /// (`ShardedEngineRunner`) count one per wire frame — O(links) —
+    /// while [`RoundMetrics::envelopes`] keeps counting per-object
+    /// protocol envelopes.
     pub messages: u64,
+    /// Per-object protocol envelopes produced this round, *before* any
+    /// per-destination batching. For unbatched runners this equals
+    /// [`RoundMetrics::messages`]; `envelopes / messages` is the
+    /// batch-amortization ratio.
+    pub envelopes: u64,
     /// Lattice elements of CRDT payload transmitted (Table I's unit).
     pub payload_elements: u64,
     /// Payload bytes transmitted.
@@ -17,8 +39,19 @@ pub struct RoundMetrics {
     pub metadata_bytes: u64,
     /// Sum of per-node memory snapshots at the end of the round.
     pub memory: MemoryUsage,
-    /// Nanoseconds spent inside protocol callbacks this round.
+    /// Nanoseconds spent inside protocol callbacks this round, **summed
+    /// over all nodes/threads** — total work, the Fig. 12 quantity.
     pub cpu_nanos: u64,
+    /// Nanoseconds on the round's critical path: per phase, the busiest
+    /// worker's time; summed over phases. For sequential runners this
+    /// equals [`RoundMetrics::cpu_nanos`] (one worker does everything),
+    /// so parallel speedup is `seq.critical_path / par.critical_path` —
+    /// never a ratio of a wall-clock quantity to a summed one.
+    pub critical_path_nanos: u64,
+    /// Nanoseconds spent drawing and routing workload operations —
+    /// driver overhead, deliberately kept *out* of `cpu_nanos` so
+    /// per-round protocol CPU is comparable across runners.
+    pub workload_nanos: u64,
 }
 
 impl RoundMetrics {
@@ -29,10 +62,13 @@ impl RoundMetrics {
 
     fn absorb(&mut self, other: &RoundMetrics) {
         self.messages += other.messages;
+        self.envelopes += other.envelopes;
         self.payload_elements += other.payload_elements;
         self.payload_bytes += other.payload_bytes;
         self.metadata_bytes += other.metadata_bytes;
         self.cpu_nanos += other.cpu_nanos;
+        self.critical_path_nanos += other.critical_path_nanos;
+        self.workload_nanos += other.workload_nanos;
     }
 }
 
@@ -94,9 +130,37 @@ impl RunMetrics {
         self.rounds.iter().map(|r| r.messages).sum()
     }
 
-    /// Total protocol CPU time.
+    /// Total protocol CPU time (work summed over all nodes/threads).
     pub fn total_cpu_nanos(&self) -> u64 {
         self.rounds.iter().map(|r| r.cpu_nanos).sum()
+    }
+
+    /// Total critical-path time (per phase, the busiest worker). The
+    /// denominator/numerator for parallel speedup comparisons.
+    pub fn total_critical_path_nanos(&self) -> u64 {
+        self.rounds.iter().map(|r| r.critical_path_nanos).sum()
+    }
+
+    /// Total time spent drawing/routing workload operations (driver
+    /// overhead, excluded from protocol CPU).
+    pub fn total_workload_nanos(&self) -> u64 {
+        self.rounds.iter().map(|r| r.workload_nanos).sum()
+    }
+
+    /// Total per-object protocol envelopes (pre-batching).
+    pub fn total_envelopes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.envelopes).sum()
+    }
+
+    /// Envelopes per wire frame — how much per-destination batching
+    /// amortizes (1.0 for unbatched runners).
+    pub fn batch_amortization(&self) -> f64 {
+        let messages = self.total_messages();
+        if messages == 0 {
+            1.0
+        } else {
+            self.total_envelopes() as f64 / messages as f64
+        }
     }
 
     /// Metadata as a fraction of all transmitted bytes (§V-B2: "75%, 99%,
@@ -166,10 +230,13 @@ impl RunMetrics {
             let mut r = self.rounds.get(i).copied().unwrap_or_default();
             if let Some(o) = other.rounds.get(i) {
                 r.messages += o.messages;
+                r.envelopes += o.envelopes;
                 r.payload_elements += o.payload_elements;
                 r.payload_bytes += o.payload_bytes;
                 r.metadata_bytes += o.metadata_bytes;
                 r.cpu_nanos += o.cpu_nanos;
+                r.critical_path_nanos += o.critical_path_nanos;
+                r.workload_nanos += o.workload_nanos;
                 r.memory.crdt_elements += o.memory.crdt_elements;
                 r.memory.crdt_bytes += o.memory.crdt_bytes;
                 r.memory.meta_elements += o.memory.meta_elements;
@@ -200,6 +267,7 @@ mod tests {
     fn round(elements: u64, payload: u64, meta: u64) -> RoundMetrics {
         RoundMetrics {
             messages: 1,
+            envelopes: 3,
             payload_elements: elements,
             payload_bytes: payload,
             metadata_bytes: meta,
@@ -210,6 +278,8 @@ mod tests {
                 meta_bytes: meta,
             },
             cpu_nanos: 10,
+            critical_path_nanos: 4,
+            workload_nanos: 2,
         }
     }
 
@@ -224,6 +294,11 @@ mod tests {
         assert_eq!(m.total_bytes(), 80);
         assert_eq!(m.total_messages(), 2);
         assert_eq!(m.total_cpu_nanos(), 20);
+        assert_eq!(m.total_critical_path_nanos(), 8);
+        assert_eq!(m.total_workload_nanos(), 4);
+        assert_eq!(m.total_envelopes(), 6);
+        assert!((m.batch_amortization() - 3.0).abs() < 1e-12);
+        assert_eq!(RunMetrics::new(1).batch_amortization(), 1.0);
     }
 
     #[test]

@@ -32,6 +32,43 @@ use crate::topology::Topology;
 /// `(recipient, message)` pairs.
 type PhaseOutput<M> = (u64, Vec<(ReplicaId, M)>);
 
+/// Split `items` into contiguous per-thread chunks and run `work` on each
+/// `(index, item)` in parallel; collect per-item outputs in item order.
+///
+/// The chunking is identical to [`crate::metrics::phase_split`]'s — the
+/// two must stay in lockstep, or per-phase critical paths would be
+/// computed over chunks that never ran. Shared by [`ParallelRunner`] and
+/// `ShardedEngineRunner`.
+pub(crate) fn par_map_chunked<N: Send, T: Send + Default>(
+    items: &mut [N],
+    threads: usize,
+    work: impl Fn(usize, &mut N) -> T + Sync,
+) -> Vec<T> {
+    let n = items.len();
+    let chunk = n.div_ceil(threads).max(1);
+    let mut results: Vec<T> = Vec::with_capacity(n);
+    results.resize_with(n, T::default);
+    std::thread::scope(|scope| {
+        let work = &work;
+        for ((start, item_chunk), result_chunk) in (0..n)
+            .step_by(chunk)
+            .zip(items.chunks_mut(chunk))
+            .zip(results.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for (offset, (item, slot)) in item_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = work(start + offset, item);
+                }
+            });
+        }
+    });
+    results
+}
+
 /// Thread-parallel counterpart of [`crate::Runner`] (reliable fabric
 /// only).
 #[derive(Debug)]
@@ -102,29 +139,22 @@ where
         threads: usize,
         work: impl Fn(usize, &mut P) -> T + Sync,
     ) -> Vec<T> {
-        let n = nodes.len();
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<T> = Vec::with_capacity(n);
-        results.resize_with(n, T::default);
-        std::thread::scope(|scope| {
-            let work = &work;
-            for ((start, node_chunk), result_chunk) in (0..n)
-                .step_by(chunk.max(1))
-                .zip(nodes.chunks_mut(chunk.max(1)))
-                .zip(results.chunks_mut(chunk.max(1)))
-            {
-                scope.spawn(move || {
-                    for (offset, (node, slot)) in node_chunk
-                        .iter_mut()
-                        .zip(result_chunk.iter_mut())
-                        .enumerate()
-                    {
-                        *slot = work(start + offset, node);
-                    }
-                });
-            }
-        });
-        results
+        par_map_chunked(nodes, threads, work)
+    }
+
+    /// Per-node phase timings → `(summed work, critical path)`: the sum
+    /// over all nodes, and the busiest thread-chunk's sum under the same
+    /// contiguous chunking [`ParallelRunner::par_map`] uses. Speedup
+    /// claims must compare critical paths, never a wall-clock quantity
+    /// against a cross-thread sum.
+    fn phase_nanos(nanos: &[u64], threads: usize) -> (u64, u64) {
+        crate::metrics::phase_split(nanos, threads)
+    }
+
+    fn absorb_phase(rm: &mut RoundMetrics, nanos: &[u64], threads: usize) {
+        let (work, critical) = Self::phase_nanos(nanos, threads);
+        rm.cpu_nanos += work;
+        rm.critical_path_nanos += critical;
     }
 
     /// Run one round.
@@ -133,10 +163,12 @@ where
         let n = self.nodes.len();
 
         // Ops are drawn sequentially (stateful generator), applied in
-        // parallel.
+        // parallel. Draw time is driver overhead, not protocol CPU.
+        let t_draw = Instant::now();
         let ops: Vec<Vec<C::Op>> = (0..n)
             .map(|i| workload.ops(ReplicaId::from(i), self.round))
             .collect();
+        rm.workload_nanos += t_draw.elapsed().as_nanos() as u64;
         let ops_ref = &ops;
         let nanos = Self::par_map(&mut self.nodes, self.threads, |i, node| {
             let t0 = Instant::now();
@@ -145,7 +177,7 @@ where
             }
             t0.elapsed().as_nanos() as u64
         });
-        rm.cpu_nanos += nanos.iter().sum::<u64>();
+        Self::absorb_phase(&mut rm, &nanos, self.threads);
 
         // Sync phase: each node emits its messages in parallel.
         let topology = &self.topology;
@@ -159,13 +191,15 @@ where
 
         // Delivery waves until quiescence.
         let mut wave: Vec<(ReplicaId, ReplicaId, P::Msg)> = Vec::new();
+        let mut phase: Vec<u64> = Vec::with_capacity(n);
         for (i, (nanos, msgs)) in sync_out.into_iter().enumerate() {
-            rm.cpu_nanos += nanos;
+            phase.push(nanos);
             for (to, msg) in msgs {
                 self.account(&mut rm, &msg);
                 wave.push((ReplicaId::from(i), to, msg));
             }
         }
+        Self::absorb_phase(&mut rm, &phase, self.threads);
         while !wave.is_empty() {
             // Group by recipient, preserving (sender, emission) order.
             let mut inboxes: Vec<Vec<(ReplicaId, P::Msg)>> = Vec::with_capacity(n);
@@ -189,13 +223,15 @@ where
                     }
                     (t0.elapsed().as_nanos() as u64, out)
                 });
+            let mut phase: Vec<u64> = Vec::with_capacity(n);
             for (i, (nanos, msgs)) in replies.into_iter().enumerate() {
-                rm.cpu_nanos += nanos;
+                phase.push(nanos);
                 for (to, msg) in msgs {
                     self.account(&mut rm, &msg);
                     wave.push((ReplicaId::from(i), to, msg));
                 }
             }
+            Self::absorb_phase(&mut rm, &phase, self.threads);
         }
 
         // Memory snapshot (parallel, read-only).
@@ -217,6 +253,7 @@ where
 
     fn account(&self, rm: &mut RoundMetrics, msg: &P::Msg) {
         rm.messages += 1;
+        rm.envelopes += 1;
         rm.payload_elements += msg.payload_elements();
         rm.payload_bytes += msg.payload_bytes(&self.model);
         rm.metadata_bytes += msg.metadata_bytes(&self.model);
@@ -299,6 +336,38 @@ mod tests {
         par.run_to_convergence(32)
             .expect("scuttlebutt converges in parallel");
         assert_eq!(par.node(ReplicaId(3)).state().len(), n * events);
+    }
+
+    #[test]
+    fn phase_nanos_splits_work_and_critical_path() {
+        type R = ParallelRunner<GSet<u64>, BpRrDelta<GSet<u64>>>;
+        // 4 nodes on 2 threads → chunks [7, 1] and [4, 4].
+        let (work, critical) = R::phase_nanos(&[7, 1, 4, 4], 2);
+        assert_eq!(work, 16);
+        assert_eq!(critical, 8);
+        // One thread: critical path is all the work.
+        let (work, critical) = R::phase_nanos(&[7, 1, 4, 4], 1);
+        assert_eq!(work, critical);
+        assert_eq!(R::phase_nanos(&[], 4), (0, 0));
+    }
+
+    #[test]
+    fn critical_path_is_bounded_by_total_work() {
+        let n = 10;
+        let topo = Topology::partial_mesh(n, 4);
+        let mut par: ParallelRunner<GSet<u64>, BpRrDelta<GSet<u64>>> =
+            ParallelRunner::new(topo, SizeModel::compact(), 4);
+        par.run(&mut unique_adds(n, 6), 6);
+        par.run_to_convergence(64).unwrap();
+        let m = par.metrics();
+        assert!(m.total_cpu_nanos() > 0);
+        assert!(m.total_critical_path_nanos() > 0);
+        assert!(
+            m.total_critical_path_nanos() <= m.total_cpu_nanos(),
+            "critical path {} must never exceed summed work {}",
+            m.total_critical_path_nanos(),
+            m.total_cpu_nanos()
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
             if !self.alive[id] {
                 continue;
             }
-            for op in workload.ops(node_id, self.round) {
+            let t_draw = Instant::now();
+            let ops = workload.ops(node_id, self.round);
+            rm.workload_nanos += t_draw.elapsed().as_nanos() as u64;
+            for op in ops {
                 let t0 = Instant::now();
                 self.nodes[id].on_op(&op);
                 rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
@@ -213,6 +216,8 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
             rm.memory.meta_bytes += m.meta_bytes;
         }
 
+        // One worker did everything: the critical path is the total work.
+        rm.critical_path_nanos = rm.cpu_nanos;
         self.metrics.push_round(rm);
         self.round += 1;
         self.net.advance_round();
@@ -220,6 +225,7 @@ impl<C: Crdt, P: Protocol<C>> Runner<C, P> {
 
     fn account(&self, rm: &mut RoundMetrics, msg: &P::Msg) {
         rm.messages += 1;
+        rm.envelopes += 1;
         rm.payload_elements += msg.payload_elements();
         rm.payload_bytes += msg.payload_bytes(&self.model);
         rm.metadata_bytes += msg.metadata_bytes(&self.model);

@@ -91,13 +91,21 @@ where
         );
         let mut rm = RoundMetrics::default();
 
-        // Phase 1: local operations, routed to their object.
+        // Phase 1: local operations, routed to their object. Routing
+        // (shard lookup/creation) is driver work and metered as
+        // `workload_nanos`; only the protocol callback itself counts as
+        // protocol CPU — otherwise this runner's per-round CPU is
+        // inflated relative to every other runner, which time `on_op`
+        // alone.
         for (node, ops) in ops_per_node.iter().enumerate() {
-            let t0 = Instant::now();
             for (key, op) in ops {
-                self.shard(node, key).local_op(op);
+                let t_route = Instant::now();
+                let shard = self.shard(node, key);
+                rm.workload_nanos += t_route.elapsed().as_nanos() as u64;
+                let t0 = Instant::now();
+                shard.local_op(op);
+                rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
             }
-            rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
         }
 
         // Phase 2: per-object synchronization step at every node.
@@ -114,6 +122,7 @@ where
                 shard.sync_step(&neighbors, &mut out);
                 for (to, msg) in out.drain(..) {
                     rm.messages += 1;
+                    rm.envelopes += 1;
                     rm.payload_elements += msg.payload_elements();
                     rm.payload_bytes += msg.payload_bytes(&self.model);
                     // The object key rides along as per-group metadata.
@@ -124,10 +133,13 @@ where
             rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
         }
 
-        // Phase 3: deliver.
+        // Phase 3: deliver (routing metered apart, as in phase 1).
         for (to, from, key, msg) in deliveries {
+            let t_route = Instant::now();
+            let shard = self.shard(to, &key);
+            rm.workload_nanos += t_route.elapsed().as_nanos() as u64;
             let t0 = Instant::now();
-            self.shard(to, &key).receive(from, msg);
+            shard.receive(from, msg);
             rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
         }
 
@@ -142,6 +154,8 @@ where
             }
         }
 
+        // One worker did everything: the critical path is the total work.
+        rm.critical_path_nanos = rm.cpu_nanos;
         self.metrics.push_round(rm);
     }
 

@@ -1,0 +1,883 @@
+//! The unified sharded runner: per-object engines of **any**
+//! [`ProtocolKind`], thread-parallel, scenario-capable, with
+//! per-destination envelope batching.
+//!
+//! [`crate::ShardedDeltaRunner`] runs the paper's Retwis granularity (one
+//! independent δ-buffer per object, §V-C) but is hard-wired to
+//! `DeltaSync`, single-threaded, and fault-free. This runner closes that
+//! gap by combining the workspace's three orthogonal subsystems:
+//!
+//! * **protocol-generic** — every object is a `Box<dyn SyncEngine + Send>`
+//!   built by [`crdt_sync::build_engine_send_with_model`], so the same
+//!   runner drives all nine [`ProtocolKind`]s at 30 K-object scale;
+//! * **thread-parallel** — nodes share nothing within a phase, so the
+//!   expensive phases parallelize across nodes exactly like
+//!   [`crate::ParallelRunner`]'s deterministic phase model: contiguous
+//!   node chunks per thread, delivery grouped by recipient, replies
+//!   looping to quiescence. Deterministic accounting is identical across
+//!   thread counts;
+//! * **batched** — all of one node's per-object envelopes bound for one
+//!   recipient in a round coalesce into a single
+//!   [`crdt_sync::BatchEnvelope`] wire frame (the same frame
+//!   `delta-store`'s transport ships), so [`RoundMetrics::messages`] is
+//!   O(links) per round, independent of object count, while
+//!   [`RoundMetrics::envelopes`] keeps counting per-object protocol
+//!   envelopes — their ratio is the batch-amortization factor;
+//! * **scenario-capable** — [`crate::ScenarioEvent`]s apply at the *node*
+//!   level across all of its objects: a crash takes every shard down (a
+//!   non-durable one wipes them), a heal repairs every object pairwise, a
+//!   join bootstraps the full keyspace. Link-level fault overlays need
+//!   the seeded [`crate::Network`] fabric and stay with
+//!   [`crate::DynRunner`].
+//!
+//! At `threads = 1` with a δ-kind, deterministic accounting (elements,
+//! payload/metadata bytes, memory, per-object envelopes) is byte-identical
+//! to [`crate::ShardedDeltaRunner`] — the parity property test in
+//! `tests/sharded_engine_parity.rs` pins that.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
+use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::{
+    build_engine_send_with_model, BatchEnvelope, DeltaMsg, Measured, OpBytes, Params, ProtocolKind,
+    SyncEngine, WireAccounting, WireEnvelope,
+};
+use crdt_types::Crdt;
+
+use crate::metrics::{phase_split, RoundMetrics, RunMetrics};
+use crate::scenario::ScenarioEvent;
+use crate::sharded::KeyedOp;
+use crate::topology::{DynamicTopology, Topology};
+
+/// One node's keyspace: object key → that object's type-erased engine.
+type EngineMap<K> = BTreeMap<K, Box<dyn SyncEngine + Send>>;
+
+/// One node's phase output: driver (routing/framing) nanos, protocol
+/// nanos, and per-destination batches.
+type PhaseOutput<K> = (u64, u64, Vec<(ReplicaId, BatchEnvelope<K>)>);
+
+/// A batch in flight: `(from, to, frame)`.
+type InFlight<K> = (ReplicaId, ReplicaId, BatchEnvelope<K>);
+
+use crate::parallel::par_map_chunked as par_map;
+
+/// The unified sharded runner (see module docs).
+#[derive(Debug)]
+pub struct ShardedEngineRunner<K: Ord, C: Crdt> {
+    kind: ProtocolKind,
+    topo: DynamicTopology,
+    model: SizeModel,
+    params: Params,
+    threads: usize,
+    nodes: Vec<EngineMap<K>>,
+    metrics: RunMetrics,
+    /// Cumulative out-of-band recovery traffic (digest repair and
+    /// bootstrap transfers).
+    repair: PairSyncStats,
+    /// Batches discarded at delivery because the recipient was down or
+    /// across an active partition.
+    undeliverable: u64,
+    /// Last crash durability per node (drives the restart repair policy).
+    durability: Vec<bool>,
+    round: usize,
+    _crdt: PhantomData<fn() -> C>,
+}
+
+impl<K, C> ShardedEngineRunner<K, C>
+where
+    K: Ord + Clone + core::fmt::Debug + Sizeable + Send + Sync,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + Sync + 'static,
+{
+    /// Build a runner over `topology`: protocol `kind` for every object,
+    /// `threads` worker threads (clamped to ≥ 1). Objects are created
+    /// lazily at `⊥` when first updated or received.
+    pub fn new(kind: ProtocolKind, topology: Topology, model: SizeModel, threads: usize) -> Self {
+        let n = topology.len();
+        ShardedEngineRunner {
+            kind,
+            topo: DynamicTopology::new(topology),
+            model,
+            params: Params::new(n),
+            threads: threads.max(1),
+            nodes: (0..n).map(|_| BTreeMap::new()).collect(),
+            metrics: RunMetrics::new(n),
+            repair: PairSyncStats::default(),
+            undeliverable: 0,
+            durability: vec![true; n],
+            round: 0,
+            _crdt: PhantomData,
+        }
+    }
+
+    /// The protocol every object runs.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The (base) topology driving this run.
+    pub fn topology(&self) -> &Topology {
+        self.topo.base()
+    }
+
+    /// The live membership/partition view.
+    pub fn membership(&self) -> &DynamicTopology {
+        &self.topo
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consume, returning the metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Cumulative out-of-band recovery traffic.
+    pub fn repair_stats(&self) -> PairSyncStats {
+        self.repair
+    }
+
+    /// Batches dropped because the recipient was down or unreachable.
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable
+    }
+
+    /// Number of distinct objects hosted at `node`.
+    pub fn objects_at(&self, node: ReplicaId) -> usize {
+        self.nodes[node.index()].len()
+    }
+
+    /// A node's replica of one object, typed, if it exists.
+    pub fn object_state(&self, node: ReplicaId, key: &K) -> Option<&C> {
+        self.nodes[node.index()]
+            .get(key)
+            .map(|e| Self::typed_state(e.as_ref()))
+    }
+
+    fn typed_state(engine: &dyn SyncEngine) -> &C {
+        engine
+            .state_any()
+            .downcast_ref::<C>()
+            .expect("runner engines are always built over C")
+    }
+
+    fn engine_at<'a>(
+        map: &'a mut EngineMap<K>,
+        key: &K,
+        node: ReplicaId,
+        kind: ProtocolKind,
+        params: &Params,
+        model: SizeModel,
+    ) -> &'a mut Box<dyn SyncEngine + Send> {
+        map.entry(key.clone())
+            .or_insert_with(|| build_engine_send_with_model::<C>(kind, node, params, model))
+    }
+
+    fn account_batch(rm: &mut RoundMetrics, batch: &BatchEnvelope<K>, model: &SizeModel) {
+        rm.messages += 1;
+        rm.envelopes += batch.len() as u64;
+        rm.payload_elements += batch.payload_elements();
+        rm.payload_bytes += batch.payload_bytes(model);
+        rm.metadata_bytes += batch.metadata_bytes(model);
+    }
+
+    /// Run one round: apply this round's keyed ops, synchronize every
+    /// object, deliver per-destination batches (and push-pull replies) to
+    /// quiescence, snapshot memory — the four phases of every runner in
+    /// this crate, each parallelized across nodes.
+    ///
+    /// `ops_per_node` may be *shorter* than the current node count:
+    /// replicas that joined after the trace was materialized simply
+    /// execute no workload ops (they still synchronize). It must never
+    /// be longer.
+    pub fn step(&mut self, ops_per_node: &[Vec<KeyedOp<K, C>>]) {
+        assert!(
+            ops_per_node.len() <= self.nodes.len(),
+            "ops for {} nodes but the cluster has {}",
+            ops_per_node.len(),
+            self.nodes.len()
+        );
+        let mut rm = RoundMetrics::default();
+        let (kind, params, model, threads) = (self.kind, self.params, self.model, self.threads);
+        let topo = &self.topo;
+
+        // Phase 1: local operations, routed to their object, in parallel
+        // across nodes. Encoding and shard routing are driver work
+        // (workload_nanos); only `on_op` is protocol CPU.
+        let timings: Vec<(u64, u64)> = par_map(&mut self.nodes, threads, |i, shards| {
+            let node = ReplicaId::from(i);
+            if !topo.is_alive(node) {
+                return (0, 0);
+            }
+            let (mut route, mut cpu) = (0u64, 0u64);
+            let ops = ops_per_node.get(i).map_or(&[][..], Vec::as_slice);
+            for (key, op) in ops {
+                let t_route = Instant::now();
+                let bytes = OpBytes::encode(op);
+                let engine = Self::engine_at(shards, key, node, kind, &params, model);
+                route += t_route.elapsed().as_nanos() as u64;
+                let t0 = Instant::now();
+                engine
+                    .on_op(&bytes)
+                    .expect("engine rejected its own CRDT's op encoding");
+                cpu += t0.elapsed().as_nanos() as u64;
+            }
+            (route, cpu)
+        });
+        rm.workload_nanos += timings.iter().map(|(r, _)| r).sum::<u64>();
+        let cpu: Vec<u64> = timings.iter().map(|(_, c)| *c).collect();
+        let (work, critical) = phase_split(&cpu, threads);
+        rm.cpu_nanos += work;
+        rm.critical_path_nanos += critical;
+
+        // Phase 2: per-object synchronization at every live node, in
+        // parallel; each node coalesces everything bound for one
+        // neighbor into a single batch frame. Senders address their full
+        // neighbor list — crashes and cuts are not learned synchronously;
+        // undeliverable frames are discarded in phase 3.
+        // Per node: (framing nanos, protocol nanos, batches). Only the
+        // `on_sync` callbacks are protocol CPU; coalescing envelopes
+        // into per-destination frames (key clones, map inserts) is
+        // driver work, metered as workload_nanos — the same split every
+        // other phase and runner uses, so cpu_nanos stays comparable
+        // across runners.
+        let sync_out: Vec<PhaseOutput<K>> = par_map(&mut self.nodes, threads, |i, shards| {
+            let node = ReplicaId::from(i);
+            if !topo.is_alive(node) {
+                return (0, 0, Vec::new());
+            }
+            let targets = topo.base().neighbors(node).to_vec();
+            let (mut route, mut cpu) = (0u64, 0u64);
+            let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
+            for (key, engine) in shards.iter_mut() {
+                let t0 = Instant::now();
+                let out = engine.on_sync(&targets);
+                cpu += t0.elapsed().as_nanos() as u64;
+                let t_route = Instant::now();
+                for env in out {
+                    batches.entry(env.to).or_default().push(key.clone(), env);
+                }
+                route += t_route.elapsed().as_nanos() as u64;
+            }
+            (route, cpu, batches.into_iter().collect())
+        });
+        let mut wave: Vec<InFlight<K>> = Vec::new();
+        let mut phase: Vec<u64> = Vec::with_capacity(sync_out.len());
+        for (i, (route, cpu, batches)) in sync_out.into_iter().enumerate() {
+            rm.workload_nanos += route;
+            phase.push(cpu);
+            for (to, batch) in batches {
+                Self::account_batch(&mut rm, &batch, &model);
+                wave.push((ReplicaId::from(i), to, batch));
+            }
+        }
+        let (work, critical) = phase_split(&phase, threads);
+        rm.cpu_nanos += work;
+        rm.critical_path_nanos += critical;
+
+        // Phase 3: delivery waves until quiescence. Each recipient
+        // absorbs its inbox (in deterministic (sender, emission) order)
+        // on exactly one thread; push-pull replies re-batch per
+        // destination and ride the next wave. Frames to down nodes or
+        // across an active partition are dropped.
+        while !wave.is_empty() {
+            let n = self.nodes.len();
+            let mut inboxes: Vec<Vec<InFlight<K>>> = Vec::with_capacity(n);
+            inboxes.resize_with(n, Vec::new);
+            for (from, to, batch) in wave.drain(..) {
+                if !topo.link_open(from, to) {
+                    self.undeliverable += 1;
+                    continue;
+                }
+                inboxes[to.index()].push((from, to, batch));
+            }
+            let inboxes_ref = Mutex::new(inboxes);
+            // Shard lookup and lazy engine construction are driver work,
+            // metered apart from the `on_msg` callbacks — the same split
+            // as phase 1 and `ShardedDeltaRunner`'s delivery phase.
+            let replies: Vec<PhaseOutput<K>> = par_map(&mut self.nodes, threads, |i, shards| {
+                let inbox = {
+                    let mut guard = inboxes_ref.lock().expect("inbox lock");
+                    std::mem::take(&mut guard[i])
+                };
+                if inbox.is_empty() {
+                    return (0, 0, Vec::new());
+                }
+                let node = ReplicaId::from(i);
+                let (mut route, mut cpu) = (0u64, 0u64);
+                let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
+                for (_, _, batch) in inbox {
+                    for (key, env) in batch.entries {
+                        let t_route = Instant::now();
+                        let engine = Self::engine_at(shards, &key, node, kind, &params, model);
+                        route += t_route.elapsed().as_nanos() as u64;
+                        let t0 = Instant::now();
+                        let out = engine
+                            .on_msg(env)
+                            .expect("uniform-protocol run cannot mismatch kinds");
+                        cpu += t0.elapsed().as_nanos() as u64;
+                        for reply in out {
+                            batches
+                                .entry(reply.to)
+                                .or_default()
+                                .push(key.clone(), reply);
+                        }
+                    }
+                }
+                (route, cpu, batches.into_iter().collect())
+            });
+            let mut phase: Vec<u64> = Vec::with_capacity(replies.len());
+            for (i, (route, cpu, batches)) in replies.into_iter().enumerate() {
+                rm.workload_nanos += route;
+                phase.push(cpu);
+                for (to, batch) in batches {
+                    Self::account_batch(&mut rm, &batch, &model);
+                    wave.push((ReplicaId::from(i), to, batch));
+                }
+            }
+            let (work, critical) = phase_split(&phase, threads);
+            rm.cpu_nanos += work;
+            rm.critical_path_nanos += critical;
+        }
+
+        // Phase 4: memory snapshot over live nodes (a down process
+        // occupies no memory), in parallel. Keys are charged to CRDT
+        // bytes exactly like `ShardedDeltaRunner` — parity depends on it.
+        let mems: Vec<(u64, u64, u64, u64)> = par_map(&mut self.nodes, threads, |i, shards| {
+            if !topo.is_alive(ReplicaId::from(i)) {
+                return (0, 0, 0, 0);
+            }
+            let mut acc = (0, 0, 0, 0);
+            for (key, engine) in shards.iter() {
+                let m = engine.memory();
+                acc.0 += m.crdt_elements;
+                acc.1 += m.crdt_bytes + key.payload_bytes(&model);
+                acc.2 += m.meta_elements;
+                acc.3 += m.meta_bytes;
+            }
+            acc
+        });
+        for (ce, cb, me, mb) in mems {
+            rm.memory.crdt_elements += ce;
+            rm.memory.crdt_bytes += cb;
+            rm.memory.meta_elements += me;
+            rm.memory.meta_bytes += mb;
+        }
+
+        self.metrics.push_round(rm);
+        self.round += 1;
+    }
+
+    /// Have all **live** replicas of every object reached the same state?
+    /// (Key sets must match: missing key = `⊥` ≠ non-`⊥`.)
+    pub fn converged(&self) -> bool {
+        let alive = self.topo.alive_nodes();
+        let Some((&first, rest)) = alive.split_first() else {
+            return true;
+        };
+        let reference = &self.nodes[first.index()];
+        rest.iter().all(|&id| {
+            let node = &self.nodes[id.index()];
+            node.len() == reference.len()
+                && node
+                    .iter()
+                    .zip(reference.iter())
+                    .all(|((k1, e1), (k2, e2))| k1 == k2 && e1.state_eq(e2.as_ref()))
+        })
+    }
+
+    /// Keep synchronizing without new ops until convergence (or give up
+    /// after `max_rounds`). Returns the extra rounds taken — the exact
+    /// contract of [`crate::ShardedDeltaRunner::run_to_convergence`]
+    /// (`None` once the budget is exhausted, even if the final step
+    /// happened to converge), which the parity property test compares
+    /// round for round.
+    pub fn run_to_convergence(&mut self, max_rounds: usize) -> Option<usize> {
+        let idle: Vec<Vec<KeyedOp<K, C>>> = vec![Vec::new(); self.nodes.len()];
+        for extra in 0..=max_rounds {
+            if self.converged() {
+                return Some(extra);
+            }
+            self.step(&idle);
+        }
+        None
+    }
+
+    /// Run `rounds[r][node]` keyed operations round by round (the shape
+    /// `crdt-workloads`' `RetwisTrace` materializes).
+    pub fn run_rounds(&mut self, rounds: &[Vec<Vec<KeyedOp<K, C>>>]) {
+        for ops in rounds {
+            self.step(ops);
+        }
+    }
+
+    /// Drive a [`crate::ScenarioSchedule`]'s events against the trace:
+    /// events scheduled at round `r` apply before round `r` runs; events
+    /// at or past the trace length fire after the last round.
+    ///
+    /// # Panics
+    ///
+    /// On [`ScenarioEvent::LinkFault`]/[`ScenarioEvent::LinkHeal`] —
+    /// link-level fault overlays need the seeded [`crate::Network`]
+    /// fabric; drive those scenarios with [`crate::DynRunner`].
+    pub fn run_schedule(
+        &mut self,
+        rounds: &[Vec<Vec<KeyedOp<K, C>>>],
+        schedule: &crate::scenario::ScenarioSchedule,
+    ) {
+        for (r, ops) in rounds.iter().enumerate() {
+            for event in schedule.events_at(r) {
+                self.apply_event(event);
+            }
+            self.step(ops);
+        }
+        let boundary: Vec<ScenarioEvent> = schedule.events_from(rounds.len()).cloned().collect();
+        for event in boundary {
+            self.apply_event(&event);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault & membership control — node-level, across all objects
+    // -----------------------------------------------------------------
+
+    /// Apply one scenario event at node granularity. Restarts follow the
+    /// repair policy of the scenario layer: a durable restart of a
+    /// loss-recovering protocol needs no help; everything else is
+    /// stitched back through a live peer, per object.
+    pub fn apply_event(&mut self, event: &ScenarioEvent) {
+        match event {
+            ScenarioEvent::Partition { groups } => self.set_partition(groups),
+            ScenarioEvent::Heal => self.heal_partition(),
+            ScenarioEvent::Crash { node, durable } => {
+                self.crash_node(ReplicaId::from(*node), *durable);
+            }
+            ScenarioEvent::Restart { node } => {
+                let id = ReplicaId::from(*node);
+                self.topo.set_alive(id, true);
+                if self.durability[*node] && self.kind.recovers_from_loss() {
+                    return;
+                }
+                let peer = {
+                    let m = &self.topo;
+                    m.reachable_neighbors(id)
+                        .into_iter()
+                        .next()
+                        .or_else(|| m.alive_nodes().into_iter().find(|&p| p != id))
+                };
+                if let Some(peer) = peer {
+                    self.repair_pair(id, peer);
+                }
+            }
+            ScenarioEvent::Join { links, bootstrap } => {
+                let links: Vec<ReplicaId> = links.iter().map(|&l| ReplicaId::from(l)).collect();
+                self.join_node(&links, Some(ReplicaId::from(*bootstrap)));
+            }
+            ScenarioEvent::LinkFault { .. } | ScenarioEvent::LinkHeal { .. } => {
+                panic!(
+                    "link-level fault overlays need the seeded Network fabric; \
+                     drive this schedule with DynRunner/run_scenario"
+                );
+            }
+        }
+    }
+
+    /// Crash `node`: while down it executes no phases and every frame
+    /// addressed to it is discarded. `durable: false` wipes its entire
+    /// keyspace — a cold restart starts from `⊥`.
+    pub fn crash_node(&mut self, node: ReplicaId, durable: bool) {
+        self.topo.set_alive(node, false);
+        self.durability[node.index()] = durable;
+        if !durable {
+            self.nodes[node.index()].clear();
+        }
+    }
+
+    /// Bring a crashed `node` back; with `bootstrap = Some(peer)` the
+    /// pair repairs every object (both directions), charged to
+    /// [`ShardedEngineRunner::repair_stats`].
+    pub fn restart_node(&mut self, node: ReplicaId, bootstrap: Option<ReplicaId>) {
+        self.topo.set_alive(node, true);
+        if let Some(peer) = bootstrap {
+            self.repair_pair(node, peer);
+        }
+    }
+
+    /// Grow the cluster by one node linked to `links`, with an empty
+    /// keyspace, bootstrapped per object from `bootstrap` when given.
+    /// Returns the joiner's id.
+    pub fn join_node(&mut self, links: &[ReplicaId], bootstrap: Option<ReplicaId>) -> ReplicaId {
+        let new = self.topo.join(links);
+        self.params.n_nodes = self.topo.len();
+        self.metrics.n_nodes = self.topo.len();
+        self.durability.push(true);
+        // Existing engines learn the new size before the joiner is heard
+        // from (Scuttlebutt-GC safe-delete safety).
+        for shards in &mut self.nodes {
+            for engine in shards.values_mut() {
+                engine.set_system_size(self.params.n_nodes);
+            }
+        }
+        self.nodes.push(BTreeMap::new());
+        if let Some(peer) = bootstrap {
+            self.repair_pair(new, peer);
+        }
+        new
+    }
+
+    /// Install a partition (see [`DynamicTopology::set_partition`]).
+    pub fn set_partition(&mut self, groups: &[Vec<usize>]) {
+        self.topo.set_partition(groups);
+    }
+
+    /// Heal the active partition and stitch the sides back together —
+    /// the same policy as [`crate::DynRunner::heal_partition`], applied
+    /// per object: loss-recovering kinds get nothing, δ-group kinds
+    /// repair one representative per side, the op-based middleware
+    /// reconciles every live node.
+    pub fn heal_partition(&mut self) {
+        let reps = self.topo.side_representatives();
+        self.topo.clear_partition();
+        if reps.len() < 2 || self.kind.recovers_from_loss() {
+            return;
+        }
+        let peers: Vec<ReplicaId> = if self.kind.accepts_raw_delta() {
+            reps[1..].to_vec()
+        } else {
+            self.topo
+                .alive_nodes()
+                .into_iter()
+                .filter(|&n| n != reps[0])
+                .collect()
+        };
+        for _pass in 0..2 {
+            for &peer in &peers {
+                self.repair_pair(reps[0], peer);
+            }
+        }
+    }
+
+    /// Pairwise repair between two live replicas, per object — the §VI
+    /// mechanism at sharded granularity. δ-group kinds run digest-driven
+    /// repair per object (only missing join-irreducibles cross the wire,
+    /// re-entering the ordinary receive path so novelty keeps
+    /// propagating); the remaining kinds bootstrap per object, protocol
+    /// metadata included. Traffic lands in
+    /// [`ShardedEngineRunner::repair_stats`].
+    pub fn repair_pair(&mut self, a: ReplicaId, b: ReplicaId) {
+        assert_ne!(a, b, "repair needs two distinct replicas");
+        if self.kind.accepts_raw_delta() {
+            let keys: Vec<K> = self.nodes[a.index()]
+                .keys()
+                .chain(self.nodes[b.index()].keys())
+                .cloned()
+                .collect::<std::collections::BTreeSet<K>>()
+                .into_iter()
+                .collect();
+            for key in keys {
+                let xa = self
+                    .object_state(a, &key)
+                    .cloned()
+                    .unwrap_or_else(C::bottom);
+                let xb = self
+                    .object_state(b, &key)
+                    .cloned()
+                    .unwrap_or_else(C::bottom);
+                let (mut ca, mut cb) = (xa.clone(), xb.clone());
+                let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+                self.repair.messages += stats.messages;
+                self.repair.payload_elements += stats.payload_elements;
+                self.repair.payload_bytes += stats.payload_bytes;
+                self.repair.metadata_bytes += stats.metadata_bytes;
+                let delta_for_a = ca.delta(&xa);
+                if !delta_for_a.is_bottom() {
+                    self.inject_delta(b, a, &key, delta_for_a);
+                }
+                let delta_for_b = cb.delta(&xb);
+                if !delta_for_b.is_bottom() {
+                    self.inject_delta(a, b, &key, delta_for_b);
+                }
+            }
+        } else {
+            self.bootstrap_pair(a, b);
+        }
+    }
+
+    /// Bidirectional out-of-band snapshot exchange between `a` and `b`,
+    /// object by object (engines created at `⊥` for keys only one side
+    /// holds). Each direction is one batched snapshot frame in the
+    /// repair accounting.
+    fn bootstrap_pair(&mut self, a: ReplicaId, b: ReplicaId) {
+        assert_ne!(a, b, "bootstrap needs two distinct replicas");
+        let (kind, params, model) = (self.kind, self.params, self.model);
+        for (dst, src) in [(a, b), (b, a)] {
+            let keys: Vec<K> = self.nodes[src.index()].keys().cloned().collect();
+            if keys.is_empty() {
+                continue;
+            }
+            let (lo, hi) = (dst.index().min(src.index()), dst.index().max(src.index()));
+            let (left, right) = self.nodes.split_at_mut(hi);
+            let (dst_map, src_map) = if dst.index() < src.index() {
+                (&mut left[lo], &mut right[0])
+            } else {
+                (&mut right[0], &mut left[lo])
+            };
+            self.repair.messages += 1;
+            for key in keys {
+                let source = src_map.get(&key).expect("key listed from src");
+                let acc = Self::engine_at(dst_map, &key, dst, kind, &params, model)
+                    .bootstrap_from(source.as_ref())
+                    .expect("uniform-protocol run cannot mismatch kinds");
+                self.repair.payload_elements += acc.payload_elements;
+                self.repair.payload_bytes += acc.payload_bytes;
+            }
+        }
+    }
+
+    /// Feed a repaired δ-group for `key` into `to`'s engine as if `from`
+    /// had sent it, through the ordinary receive path.
+    fn inject_delta(&mut self, from: ReplicaId, to: ReplicaId, key: &K, delta: C) {
+        let msg = DeltaMsg(delta);
+        let payload = msg.to_bytes();
+        let accounting = WireAccounting {
+            payload_elements: msg.payload_elements(),
+            payload_bytes: msg.payload_bytes(&self.model),
+            metadata_bytes: msg.metadata_bytes(&self.model),
+            encoded_bytes: payload.len() as u64,
+        };
+        let env = WireEnvelope {
+            from,
+            to,
+            kind: self.kind,
+            payload,
+            accounting,
+        };
+        let (kind, params, model) = (self.kind, self.params, self.model);
+        let replies = Self::engine_at(&mut self.nodes[to.index()], key, to, kind, &params, model)
+            .on_msg(env)
+            .expect("raw delta injection matches the configured protocol");
+        debug_assert!(replies.is_empty(), "delta-family kinds never reply");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSchedule;
+    use crdt_types::{GSet, GSetOp};
+
+    type R = ShardedEngineRunner<u32, GSet<u64>>;
+    type RoundOps = Vec<Vec<KeyedOp<u32, GSet<u64>>>>;
+
+    fn keyed(n_nodes: usize, per_node: &[(usize, u32, u64)]) -> RoundOps {
+        let mut out = vec![Vec::new(); n_nodes];
+        for &(node, key, elem) in per_node {
+            out[node].push((key, GSetOp::Add(elem)));
+        }
+        out
+    }
+
+    #[test]
+    fn every_kind_converges_at_object_granularity() {
+        for kind in ProtocolKind::ALL {
+            let mut r: R = ShardedEngineRunner::new(
+                kind,
+                Topology::partial_mesh(6, 4),
+                SizeModel::compact(),
+                3,
+            );
+            for round in 0..4u64 {
+                let ops: Vec<Vec<KeyedOp<u32, GSet<u64>>>> = (0..6)
+                    .map(|node| {
+                        vec![
+                            ((node % 3) as u32, GSetOp::Add(round * 6 + node as u64)),
+                            (100, GSetOp::Add(round * 6 + node as u64)),
+                        ]
+                    })
+                    .collect();
+                r.step(&ops);
+            }
+            r.run_to_convergence(64)
+                .unwrap_or_else(|| panic!("{kind} failed to converge"));
+            assert_eq!(r.objects_at(ReplicaId(0)), 4, "{kind}");
+            assert_eq!(
+                r.object_state(ReplicaId(5), &100).unwrap().len(),
+                24,
+                "{kind} hot object lost elements"
+            );
+        }
+    }
+
+    #[test]
+    fn batching_sends_one_frame_per_link_regardless_of_object_count() {
+        // 4-node full mesh, every node updates 50 distinct objects: the
+        // round must emit 4 × 3 = 12 frames, not 600 envelopes' worth.
+        let mut r: R = ShardedEngineRunner::new(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(4),
+            SizeModel::compact(),
+            2,
+        );
+        let ops: Vec<Vec<KeyedOp<u32, GSet<u64>>>> = (0..4)
+            .map(|node| {
+                (0..50)
+                    .map(|k| (k as u32, GSetOp::Add((node * 50 + k) as u64)))
+                    .collect()
+            })
+            .collect();
+        r.step(&ops);
+        let round = &r.metrics().rounds[0];
+        assert_eq!(round.messages, 12, "one frame per directed link");
+        assert_eq!(round.envelopes, 4 * 3 * 50, "every object still ships");
+        assert!(r.metrics().batch_amortization() > 40.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_accounting() {
+        let run = |threads: usize| {
+            let mut r: R = ShardedEngineRunner::new(
+                ProtocolKind::Scuttlebutt,
+                Topology::partial_mesh(9, 4),
+                SizeModel::compact(),
+                threads,
+            );
+            for round in 0..5u64 {
+                let ops: Vec<Vec<KeyedOp<u32, GSet<u64>>>> = (0..9)
+                    .map(|node| vec![((node % 4) as u32, GSetOp::Add(round * 9 + node as u64))])
+                    .collect();
+                r.step(&ops);
+            }
+            r.run_to_convergence(64).expect("converges");
+            let m = r.metrics();
+            (
+                m.total_elements(),
+                m.total_bytes(),
+                m.total_messages(),
+                m.total_envelopes(),
+                r.object_state(ReplicaId(0), &0).unwrap().clone(),
+            )
+        };
+        let (e1, b1, m1, v1, s1) = run(1);
+        let (e4, b4, m4, v4, s4) = run(4);
+        let (e16, b16, m16, v16, s16) = run(16);
+        assert_eq!((e1, b1, m1, v1), (e4, b4, m4, v4));
+        assert_eq!((e4, b4, m4, v4), (e16, b16, m16, v16));
+        assert_eq!(s1, s4);
+        assert_eq!(s4, s16);
+    }
+
+    #[test]
+    fn partition_heal_repairs_every_object() {
+        let schedule = ScenarioSchedule::new("cut", 8).partition_during(2..6, vec![vec![0, 1]]);
+        let mut r: R = ShardedEngineRunner::new(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(4),
+            SizeModel::compact(),
+            2,
+        );
+        let rounds: Vec<RoundOps> = (0..8u64)
+            .map(|round| {
+                (0..4)
+                    .map(|node| vec![(node as u32 % 2, GSetOp::Add(round * 4 + node as u64))])
+                    .collect()
+            })
+            .collect();
+        r.run_schedule(&rounds, &schedule);
+        assert!(r.undeliverable() > 0, "cross-cut frames were dropped");
+        assert!(
+            r.repair_stats().payload_elements > 0,
+            "heal repaired objects"
+        );
+        r.run_to_convergence(32).expect("re-converges");
+    }
+
+    #[test]
+    fn non_durable_crash_restart_rebuilds_the_keyspace() {
+        for kind in [
+            ProtocolKind::BpRr,
+            ProtocolKind::Scuttlebutt,
+            ProtocolKind::OpBased,
+        ] {
+            let mut r: R =
+                ShardedEngineRunner::new(kind, Topology::full_mesh(4), SizeModel::compact(), 2);
+            r.step(&keyed(4, &[(0, 1, 10), (1, 2, 20), (2, 3, 30)]));
+            r.run_to_convergence(16).expect("warm-up");
+            r.crash_node(ReplicaId(3), false);
+            assert_eq!(r.objects_at(ReplicaId(3)), 0, "{kind}: cold crash wipes");
+            r.step(&keyed(4, &[(0, 1, 11)]));
+            r.restart_node(ReplicaId(3), Some(ReplicaId(0)));
+            r.run_to_convergence(32)
+                .unwrap_or_else(|| panic!("{kind} did not re-converge"));
+            assert_eq!(r.objects_at(ReplicaId(3)), 3, "{kind}: keyspace restored");
+        }
+    }
+
+    #[test]
+    fn join_bootstraps_all_objects() {
+        let mut r: R = ShardedEngineRunner::new(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(3),
+            SizeModel::compact(),
+            2,
+        );
+        r.step(&keyed(3, &[(0, 1, 1), (1, 2, 2)]));
+        r.run_to_convergence(16).expect("warm-up");
+        let new = r.join_node(&[ReplicaId(0), ReplicaId(2)], Some(ReplicaId(1)));
+        assert_eq!(new, ReplicaId(3));
+        assert_eq!(r.objects_at(new), 2, "joiner got the whole keyspace");
+        let ops = keyed(4, &[(3, 2, 99)]);
+        r.step(&ops);
+        r.run_to_convergence(16).expect("joiner participates");
+        assert!(r.object_state(ReplicaId(0), &2).unwrap().contains(&99));
+    }
+
+    #[test]
+    fn mid_trace_join_runs_with_a_shorter_trace() {
+        // A Join mid-schedule grows the cluster past the materialized
+        // trace's node count; later rounds must still run (the joiner
+        // executes no workload ops, but synchronizes).
+        let schedule = ScenarioSchedule::new("grow", 6).at(
+            3,
+            ScenarioEvent::Join {
+                links: vec![0, 2],
+                bootstrap: 0,
+            },
+        );
+        let mut r: R = ShardedEngineRunner::new(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(3),
+            SizeModel::compact(),
+            2,
+        );
+        let rounds: Vec<RoundOps> = (0..6u64)
+            .map(|round| {
+                (0..3)
+                    .map(|node| vec![(node as u32, GSetOp::Add(round * 3 + node as u64))])
+                    .collect()
+            })
+            .collect();
+        r.run_schedule(&rounds, &schedule);
+        r.run_to_convergence(16).expect("grown cluster converges");
+        assert_eq!(r.membership().len(), 4);
+        assert_eq!(r.objects_at(ReplicaId(3)), 3, "joiner caught up");
+    }
+
+    #[test]
+    #[should_panic(expected = "link-level fault overlays")]
+    fn link_faults_are_rejected() {
+        let mut r: R = ShardedEngineRunner::new(
+            ProtocolKind::BpRr,
+            Topology::full_mesh(4),
+            SizeModel::compact(),
+            1,
+        );
+        r.apply_event(&ScenarioEvent::LinkHeal { a: 0, b: 1 });
+    }
+}

@@ -1,0 +1,152 @@
+//! Engine-parity property tests for the unified sharded runner.
+//!
+//! Two pinned properties:
+//!
+//! 1. **Accounting parity with the legacy sharded runner.** For the
+//!    δ-kinds (`classic`, `bp`, `rr`, `bp_rr`),
+//!    [`ShardedEngineRunner`] at `threads = 1` over a random keyed
+//!    schedule produces **byte-identical** deterministic accounting to
+//!    [`ShardedDeltaRunner`] round by round: per-object envelopes (the
+//!    legacy runner's per-object messages), payload elements,
+//!    payload/metadata bytes, and memory snapshots. Only the frame count
+//!    differs — batching collapses it to O(links) — which is exactly the
+//!    claim the `retwis_sharded` bench measures.
+//!
+//! 2. **Thread-count invariance for every kind.** All nine
+//!    [`ProtocolKind`]s produce identical final states *and* identical
+//!    deterministic accounting across thread counts.
+
+use crdt_lattice::{ReplicaId, SizeModel};
+use crdt_sim::{KeyedOp, ShardedDeltaRunner, ShardedEngineRunner, Topology};
+use crdt_sync::{DeltaConfig, ProtocolKind};
+use crdt_types::{GSet, GSetOp};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+/// One round's keyed ops per node, from a flat (node, key, elem) list.
+type Schedule = Vec<Vec<Vec<KeyedOp<u32, GSet<u64>>>>>;
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    // 1–3 rounds; per round up to 8 keyed ops spread over N nodes and a
+    // 4-key space. Element values collide across nodes on purpose
+    // (concurrent duplicate adds exercise RR extraction).
+    pvec(pvec((0usize..N, 0u32..4, 0u64..16), 0..8), 1..4).prop_map(|rounds| {
+        rounds
+            .into_iter()
+            .map(|ops| {
+                let mut per_node = vec![Vec::new(); N];
+                for (node, key, elem) in ops {
+                    per_node[node].push((key, GSetOp::Add(elem)));
+                }
+                per_node
+            })
+            .collect()
+    })
+}
+
+fn delta_kinds() -> [(DeltaConfig, ProtocolKind); 4] {
+    [
+        (DeltaConfig::CLASSIC, ProtocolKind::Classic),
+        (DeltaConfig::BP, ProtocolKind::Bp),
+        (DeltaConfig::RR, ProtocolKind::Rr),
+        (DeltaConfig::BP_RR, ProtocolKind::BpRr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threads1_matches_sharded_delta_runner_byte_for_byte(schedule in schedule_strategy()) {
+        for (cfg, kind) in delta_kinds() {
+            let topo = Topology::partial_mesh(N, 4);
+            let mut legacy: ShardedDeltaRunner<u32, GSet<u64>> =
+                ShardedDeltaRunner::new(topo.clone(), cfg, SizeModel::compact());
+            let mut unified: ShardedEngineRunner<u32, GSet<u64>> =
+                ShardedEngineRunner::new(kind, topo, SizeModel::compact(), 1);
+            for round in &schedule {
+                legacy.step(round);
+                unified.step(round);
+            }
+            let extra_legacy = legacy.run_to_convergence(64).expect("legacy converges");
+            let extra_unified = unified.run_to_convergence(64).expect("unified converges");
+            prop_assert_eq!(extra_legacy, extra_unified, "{}: convergence rounds", kind);
+
+            let (lm, um) = (legacy.metrics(), unified.metrics());
+            prop_assert_eq!(lm.rounds.len(), um.rounds.len(), "{}: round count", kind);
+            for (r, (lr, ur)) in lm.rounds.iter().zip(um.rounds.iter()).enumerate() {
+                // The legacy runner's per-object messages are the unified
+                // runner's pre-batching envelopes.
+                prop_assert_eq!(lr.messages, ur.envelopes, "{} round {}: envelopes", kind, r);
+                prop_assert_eq!(
+                    lr.payload_elements, ur.payload_elements,
+                    "{} round {}: elements", kind, r
+                );
+                prop_assert_eq!(
+                    lr.payload_bytes, ur.payload_bytes,
+                    "{} round {}: payload bytes", kind, r
+                );
+                prop_assert_eq!(
+                    lr.metadata_bytes, ur.metadata_bytes,
+                    "{} round {}: metadata bytes", kind, r
+                );
+                prop_assert_eq!(lr.memory, ur.memory, "{} round {}: memory", kind, r);
+                // Batching can only reduce frame count.
+                prop_assert!(ur.messages <= lr.messages, "{} round {}: frames", kind, r);
+            }
+            for node in 0..N {
+                let id = ReplicaId::from(node);
+                prop_assert_eq!(
+                    legacy.objects_at(id),
+                    unified.objects_at(id),
+                    "{} node {}: object count", kind, node
+                );
+                for key in 0u32..4 {
+                    prop_assert_eq!(
+                        legacy.object_state(id, &key),
+                        unified.object_state(id, &key),
+                        "{} node {} key {}: state", kind, node, key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_is_thread_count_invariant(schedule in schedule_strategy()) {
+        for kind in ProtocolKind::ALL {
+            let run = |threads: usize| {
+                let mut r: ShardedEngineRunner<u32, GSet<u64>> = ShardedEngineRunner::new(
+                    kind,
+                    Topology::partial_mesh(N, 4),
+                    SizeModel::compact(),
+                    threads,
+                );
+                for round in &schedule {
+                    r.step(round);
+                }
+                r.run_to_convergence(64)
+                    .unwrap_or_else(|| panic!("{kind} did not converge"));
+                let states: Vec<Option<GSet<u64>>> = (0..N)
+                    .flat_map(|node| {
+                        (0u32..4).map(move |key| (node, key))
+                    })
+                    .map(|(node, key)| r.object_state(ReplicaId::from(node), &key).cloned())
+                    .collect();
+                let m = r.metrics();
+                (
+                    m.total_elements(),
+                    m.total_bytes(),
+                    m.total_messages(),
+                    m.total_envelopes(),
+                    states,
+                )
+            };
+            let one = run(1);
+            let four = run(4);
+            prop_assert_eq!(&one, &four, "{}: threads 1 vs 4", kind);
+        }
+    }
+}

@@ -1,143 +1,25 @@
 //! The wire message of the store: one batch of per-object engine
 //! envelopes.
+//!
+//! The frame itself — [`crdt_sync::BatchEnvelope`] — lives in `crdt-sync`
+//! so every sharded deployment (this store's [`crate::Transport`],
+//! `crdt-sim`'s `ShardedEngineRunner`) ships the identical per-destination
+//! batched format: the envelope payloads are already encoded bytes, so a
+//! batch serializes with no further per-protocol knowledge, and the store
+//! layer stays protocol-agnostic end to end.
 
-use crdt_lattice::{CodecError, SizeModel, Sizeable, WireEncode};
-use crdt_sync::{Measured, WireEnvelope};
+pub use crdt_sync::BatchEnvelope;
 
-/// A synchronization batch: for each object key, the [`WireEnvelope`] its
-/// engine produced for one neighbor. Objects with nothing new are simply
-/// absent.
-///
-/// The envelope payloads are already encoded bytes, so a batch serializes
-/// to a frame with no further per-protocol knowledge — the store layer is
-/// protocol-agnostic end to end.
-#[derive(Debug, Clone)]
-pub struct StoreMsg<K> {
-    /// `(object key, envelope)` pairs.
-    pub entries: Vec<(K, WireEnvelope)>,
-}
-
-impl<K> StoreMsg<K> {
-    /// An empty batch.
-    pub fn new() -> Self {
-        StoreMsg {
-            entries: Vec::new(),
-        }
-    }
-
-    /// Number of objects in the batch.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Does the batch carry nothing?
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-}
-
-impl<K> Default for StoreMsg<K> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<K: Sizeable> Measured for StoreMsg<K> {
-    fn payload_elements(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|(_, e)| e.accounting.payload_elements)
-            .sum()
-    }
-
-    fn payload_bytes(&self, _model: &SizeModel) -> u64 {
-        self.entries
-            .iter()
-            .map(|(_, e)| e.accounting.payload_bytes)
-            .sum()
-    }
-
-    /// Object keys are addressing metadata (exactly like the per-object
-    /// identifiers of the paper's Retwis measurements), on top of whatever
-    /// protocol metadata the envelopes carry.
-    fn metadata_bytes(&self, model: &SizeModel) -> u64 {
-        self.entries
-            .iter()
-            .map(|(k, e)| k.payload_bytes(model) + e.accounting.metadata_bytes)
-            .sum()
-    }
-}
-
-/// A batch is one replica talking to one neighbor under one configured
-/// protocol, so `from`/`to`/`kind` are identical across its envelopes.
-/// The frame encodes them **once** (after the count, when non-empty),
-/// then `(key, payload, accounting)` per entry — ~10 B per object saved
-/// at the paper's 30 K-object Retwis granularity versus re-encoding the
-/// full envelope each time.
-impl<K: WireEncode> WireEncode for StoreMsg<K> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        crdt_lattice::codec::put_uvarint(out, self.entries.len() as u64);
-        let Some((_, first)) = self.entries.first() else {
-            return;
-        };
-        debug_assert!(
-            self.entries
-                .iter()
-                .all(|(_, e)| (e.from, e.to, e.kind) == (first.from, first.to, first.kind)),
-            "a StoreMsg batch spans one (from, to, kind) route"
-        );
-        first.from.encode(out);
-        first.to.encode(out);
-        first.kind.encode(out);
-        for (k, e) in &self.entries {
-            k.encode(out);
-            e.payload.len().encode(out);
-            out.extend_from_slice(&e.payload);
-            e.accounting.encode(out);
-        }
-    }
-
-    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        let len = usize::decode(input)?;
-        if len > input.len() {
-            return Err(CodecError::UnexpectedEnd);
-        }
-        if len == 0 {
-            return Ok(StoreMsg::new());
-        }
-        let from = crdt_lattice::ReplicaId::decode(input)?;
-        let to = crdt_lattice::ReplicaId::decode(input)?;
-        let kind = crdt_sync::ProtocolKind::decode(input)?;
-        let mut entries = Vec::with_capacity(len);
-        for _ in 0..len {
-            let k = K::decode(input)?;
-            let payload_len = usize::decode(input)?;
-            if input.len() < payload_len {
-                return Err(CodecError::UnexpectedEnd);
-            }
-            let (payload, rest) = input.split_at(payload_len);
-            *input = rest;
-            let accounting = crdt_sync::WireAccounting::decode(input)?;
-            entries.push((
-                k,
-                WireEnvelope {
-                    from,
-                    to,
-                    kind,
-                    payload: payload.to_vec(),
-                    accounting,
-                },
-            ));
-        }
-        Ok(StoreMsg { entries })
-    }
-}
+/// A synchronization batch: for each object key, the
+/// [`crdt_sync::WireEnvelope`] its engine produced for one neighbor.
+/// Objects with nothing new are simply absent.
+pub type StoreMsg<K> = BatchEnvelope<K>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crdt_lattice::ReplicaId;
-    use crdt_sync::{ProtocolKind, WireAccounting};
+    use crdt_lattice::{ReplicaId, SizeModel};
+    use crdt_sync::{Measured, ProtocolKind, WireAccounting, WireEnvelope};
     use crdt_types::GSet;
 
     fn envelope(elements: u64, payload: Vec<u8>) -> WireEnvelope {
@@ -198,5 +80,16 @@ mod tests {
         let msg: StoreMsg<u8> = StoreMsg::new();
         assert!(msg.is_empty());
         assert_eq!(msg.payload_elements(), 0);
+        assert!(msg.route().is_none());
+    }
+
+    #[test]
+    fn route_reads_the_shared_header() {
+        let mut msg: StoreMsg<&str> = StoreMsg::new();
+        msg.push("k", envelope(1, vec![9]));
+        assert_eq!(
+            msg.route(),
+            Some((ReplicaId(0), ReplicaId(1), ProtocolKind::BpRr))
+        );
     }
 }

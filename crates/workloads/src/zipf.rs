@@ -15,6 +15,11 @@ pub struct Zipf {
     cdf: Vec<f64>,
 }
 
+// `len` without `is_empty` is deliberate: construction asserts `n > 0`,
+// so an `is_empty` method could only ever return `false` — shipping a
+// constant-false predicate as API is dishonest (and an earlier version
+// did exactly that).
+#[allow(clippy::len_without_is_empty)]
 impl Zipf {
     /// Build a sampler over `n` ranks with exponent `s ≥ 0`.
     ///
@@ -41,11 +46,6 @@ impl Zipf {
     /// Number of ranks.
     pub fn len(&self) -> usize {
         self.cdf.len()
-    }
-
-    /// Is the domain empty? (Never true — construction requires `n > 0`.)
-    pub fn is_empty(&self) -> bool {
-        self.cdf.is_empty()
     }
 
     /// Draw a rank in `0..n`.
@@ -136,6 +136,69 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    /// Statistical agreement between the analytic pmf and the sampler:
+    /// for every rank, the empirical frequency over many draws must sit
+    /// within a few standard errors of `pmf(k)` — the histogram and the
+    /// pmf describe the same distribution, not merely similar shapes.
+    #[test]
+    fn histogram_agrees_with_pmf() {
+        let n = 50;
+        let draws = 200_000usize;
+        for s in [0.0, 0.5, 1.0, 1.5] {
+            let z = Zipf::new(n, s);
+            let h = histogram(&z, draws, 11);
+            for (k, &count) in h.iter().enumerate() {
+                let p = z.pmf(k);
+                let freq = count as f64 / draws as f64;
+                // Normal approximation to the binomial: 5σ + a small
+                // absolute floor for near-zero cells.
+                let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+                let slack = 5.0 * sigma + 2e-4;
+                assert!(
+                    (freq - p).abs() <= slack,
+                    "s={s} rank {k}: freq {freq:.5} vs pmf {p:.5} (slack {slack:.5})"
+                );
+            }
+        }
+    }
+
+    /// An `Rng` stub pinning `next_u64`, hence `gen::<f64>()`, to chosen
+    /// values — for driving `sample` through exact edge uniforms.
+    struct FixedRng(u64);
+
+    impl Rng for FixedRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn top_rank_draw_clamps_into_range() {
+        // u64::MAX maps to u = (2^53 − 1)/2^53 ≈ 1.0 — past every cdf
+        // entry except the final (exactly-1.0) one. The clamp in
+        // `sample` must land on the last rank, never at `len`.
+        let z = Zipf::new(7, 1.0);
+        assert_eq!(z.sample(&mut FixedRng(u64::MAX)), 6);
+        // u = 0.0 sits below the whole table: rank 0.
+        assert_eq!(z.sample(&mut FixedRng(0)), 0);
+        // A single-rank domain absorbs every draw.
+        let single = Zipf::new(1, 1.5);
+        assert_eq!(single.sample(&mut FixedRng(u64::MAX)), 0);
+        assert_eq!(single.sample(&mut FixedRng(0)), 0);
+    }
+
+    /// The cdf's last entry is pinned to exactly 1.0 (the float-shortfall
+    /// guard), so the pmf still sums to 1 at skews where naive
+    /// accumulation falls short.
+    #[test]
+    fn cdf_top_is_exact_after_normalization() {
+        for (n, s) in [(3, 0.0), (1000, 1.5), (10_000, 0.5)] {
+            let z = Zipf::new(n, s);
+            let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} s={s}: {total}");
         }
     }
 }
