@@ -1,0 +1,73 @@
+//! Wire-codec throughput and allocation-discipline report
+//! (`BENCH_codec.json`).
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin codec_throughput -- --quick \
+//!     --out BENCH_codec.json \
+//!     --baseline ci/bench-baseline/BENCH_codec.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — CI scale (smaller batch shapes, fewer repetitions; the
+//!   allocation metrics are per-frame/per-round and scale-independent).
+//! * `--out <path>` — where to write the JSON report (default
+//!   `BENCH_codec.json`).
+//! * `--baseline <path>` / `--tolerance <t>` — regression-gate the
+//!   deterministic metrics (frame layout bytes, decode allocations,
+//!   corrupt-input allocation budget, allocations per sharded-runner
+//!   round); violations exit with status 1. Throughput (MB/s) is wall
+//!   clock and never gated.
+//!
+//! This binary installs [`testkit_alloc::CountingAllocator`] as the
+//! global allocator so the allocation metrics are real measurements.
+
+use crdt_bench::codec_bench::{check_regression, print_report, run_codec_throughput, write_report};
+use crdt_bench::{flag_value, json::Json, Scale};
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_codec.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let report = run_codec_throughput(scale);
+    print_report(&report);
+    write_report(&out_path, &report, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!(
+        "\nwrote {out_path} ({} frame rows, {} runner rows)",
+        report.frames.len(),
+        report.runner.len()
+    );
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::codec_bench::report_to_json(&report, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -526,6 +526,7 @@ mod tests {
     }
 }
 
+pub mod codec_bench;
 pub mod experiments;
 pub mod json;
 pub mod retwis_sharded;

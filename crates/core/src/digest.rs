@@ -162,6 +162,53 @@ pub fn digest_driven_sync<C: Decompose + StateSize>(
     stats
 }
 
+/// Digest-driven pairwise repair **by reference**: compute the δ-groups
+/// each replica is missing from the other, without mutating (or
+/// requiring ownership of) either input state.
+///
+/// Every repair-capable driver in the workspace used to open-code the
+/// same four-clone dance — clone both states out of `self`, clone both
+/// again into scratch for [`digest_driven_sync`], then diff the merged
+/// scratch against the originals. This helper is that dance, once:
+/// callers pass `&xa, &xb` and get back
+/// `(delta_for_a, delta_for_b, stats)` where each delta is exactly what
+/// the scratch-based formulation injected (`(x ⊔ received).delta(&x)` —
+/// bottom when the side was already current), and `stats` is
+/// byte-identical to [`digest_driven_sync`]'s three-message accounting.
+/// Only the two intermediate merges are materialized internally; the
+/// call site clones nothing.
+pub fn digest_repair_deltas<C: Decompose + StateSize>(
+    xa: &C,
+    xb: &C,
+    model: &SizeModel,
+) -> (C, C, PairSyncStats) {
+    let mut stats = PairSyncStats::default();
+
+    // Message 1: A → B, digest(x_A).
+    let digest_a = Digest::of(xa);
+    stats.messages += 1;
+    stats.metadata_bytes += digest_a.size_bytes();
+
+    // Message 2: B → A, delta for A + digest(x_B before merge).
+    let received_a = delta_for_digest(xb, &digest_a);
+    let digest_b = Digest::of(xb);
+    stats.messages += 1;
+    stats.payload_elements += received_a.count_elements();
+    stats.payload_bytes += received_a.size_bytes(model);
+    stats.metadata_bytes += digest_b.size_bytes();
+    let merged_a = xa.clone().join(received_a);
+
+    // Message 3: A → B, delta for B (computed against B's digest, from
+    // A's merged state).
+    let received_b = delta_for_digest(&merged_a, &digest_b);
+    stats.messages += 1;
+    stats.payload_elements += received_b.count_elements();
+    stats.payload_bytes += received_b.size_bytes(model);
+    let merged_b = xb.clone().join(received_b);
+
+    (merged_a.delta(xa), merged_b.delta(xb), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +289,39 @@ mod tests {
         s.for_each_irreducible(&mut |y| assert!(d.covers(&y)));
         assert!(!d.covers(&S::from_iter([9])));
         assert!(Digest::of(&S::bottom()).is_empty());
+    }
+
+    /// The by-reference helper must be indistinguishable from the
+    /// scratch-based formulation every runner used to open-code: same
+    /// three-message stats, same injected deltas, inputs untouched.
+    #[test]
+    fn repair_deltas_match_the_scratch_formulation() {
+        let model = SizeModel::compact();
+        let cases: Vec<(S, S)> = vec![
+            (S::from_iter([1, 2, 3]), S::from_iter([3, 4])),
+            (S::from_iter([1]), S::from_iter([1])),
+            (S::bottom(), S::from_iter([7, 8])),
+            (S::bottom(), S::bottom()),
+        ];
+        for (xa, xb) in cases {
+            let (mut ca, mut cb) = (xa.clone(), xb.clone());
+            let scratch_stats = digest_driven_sync(&mut ca, &mut cb, &model);
+            let (da, db, stats) = digest_repair_deltas(&xa, &xb, &model);
+            assert_eq!(stats, scratch_stats);
+            assert_eq!(da, ca.delta(&xa));
+            assert_eq!(db, cb.delta(&xb));
+            assert_eq!(xa.clone().join(da), ca, "A side converges identically");
+            assert_eq!(xb.clone().join(db), cb, "B side converges identically");
+        }
+        // Chain-valued entries (the over-send corner): still identical.
+        let ga = GC::from_iter([(ReplicaId(0), Max::new(5)), (ReplicaId(1), Max::new(2))]);
+        let gb = GC::from_iter([(ReplicaId(0), Max::new(3)), (ReplicaId(2), Max::new(7))]);
+        let (mut ca, mut cb) = (ga.clone(), gb.clone());
+        let scratch_stats = digest_driven_sync(&mut ca, &mut cb, &model);
+        let (da, db, stats) = digest_repair_deltas(&ga, &gb, &model);
+        assert_eq!(stats, scratch_stats);
+        assert_eq!(da, ca.delta(&ga));
+        assert_eq!(db, cb.delta(&gb));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crdt_lattice::{CodecError, ReplicaId, SizeModel, WireEncode};
 use crdt_types::Crdt;
 
 use crate::acked::AckedDeltaSync;
+use crate::bytes::{BufferPool, Bytes};
 use crate::delta::{BpDelta, BpRrDelta, ClassicDelta, RrDelta};
 use crate::opbased::OpBased;
 use crate::proto::{Measured, MemoryUsage, Params, Protocol};
@@ -281,6 +282,12 @@ impl WireAccounting {
 /// [`WireEncode`] — not a boxed value — so a deployment can hand
 /// envelopes to any byte transport, and `accounting.encoded_bytes` is a
 /// measurement, not a model.
+///
+/// The payload is a shared [`Bytes`] slice: cloning an envelope (or
+/// fanning a batch out into per-object envelopes) bumps a reference
+/// count instead of copying the encoded message, and engines produced by
+/// [`EngineAdapter`] encode a whole sync step into **one** pooled buffer
+/// that every resulting envelope slices (see [`BufferPool`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireEnvelope {
     /// Sending replica.
@@ -289,10 +296,107 @@ pub struct WireEnvelope {
     pub to: ReplicaId,
     /// Which protocol's message the payload encodes.
     pub kind: ProtocolKind,
-    /// The encoded protocol message.
-    pub payload: Vec<u8>,
+    /// The encoded protocol message (shared, zero-copy slice).
+    pub payload: Bytes,
     /// Cost accounting (model view + encoded view).
     pub accounting: WireAccounting,
+}
+
+/// A borrowed view of a [`WireEnvelope`], decoded straight off a
+/// received byte frame without copying the payload out.
+///
+/// This is the receive-path mirror of the shared-[`Bytes`] payload: a
+/// transport that holds an incoming frame can [`WireEnvelopeRef::decode`]
+/// views whose `payload` borrows the frame, hand them to
+/// [`SyncEngine::on_msg_ref`] (which decodes the protocol message
+/// directly from the borrow), and never materialize an owned envelope at
+/// all. When an owned envelope *is* needed, [`WireEnvelopeRef::shared`]
+/// produces one whose payload is a zero-copy slice of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEnvelopeRef<'a> {
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Destination replica.
+    pub to: ReplicaId,
+    /// Which protocol's message the payload encodes.
+    pub kind: ProtocolKind,
+    /// The encoded protocol message, borrowed from the frame.
+    pub payload: &'a [u8],
+    /// Cost accounting (model view + encoded view).
+    pub accounting: WireAccounting,
+}
+
+impl<'a> WireEnvelopeRef<'a> {
+    /// Decode one envelope view from the front of `input`, advancing it.
+    /// The payload is borrowed, not copied; corrupt length fields error
+    /// out before any allocation.
+    pub fn decode(input: &mut &'a [u8]) -> Result<Self, CodecError> {
+        let from = ReplicaId::decode(input)?;
+        let to = ReplicaId::decode(input)?;
+        let kind = ProtocolKind::decode(input)?;
+        let len = usize::decode(input)?;
+        if input.len() < len {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let (payload, rest) = input.split_at(len);
+        *input = rest;
+        Ok(WireEnvelopeRef {
+            from,
+            to,
+            kind,
+            payload,
+            accounting: WireAccounting::decode(input)?,
+        })
+    }
+
+    /// An owned envelope, copying the payload into a fresh buffer.
+    pub fn to_envelope(self) -> WireEnvelope {
+        WireEnvelope {
+            from: self.from,
+            to: self.to,
+            kind: self.kind,
+            payload: Bytes::copy_from_slice(self.payload),
+            accounting: self.accounting,
+        }
+    }
+
+    /// An owned envelope whose payload **shares** `frame`'s allocation
+    /// when this view borrows from it (the zero-copy path); falls back to
+    /// a copy for foreign borrows.
+    pub fn shared(self, frame: &Bytes) -> WireEnvelope {
+        let payload = match frame.offset_of(self.payload) {
+            Some(off) => frame.slice(off..off + self.payload.len()),
+            None => Bytes::copy_from_slice(self.payload),
+        };
+        WireEnvelope {
+            from: self.from,
+            to: self.to,
+            kind: self.kind,
+            payload,
+            accounting: self.accounting,
+        }
+    }
+}
+
+impl WireEnvelope {
+    /// A borrowed view of this envelope.
+    pub fn view(&self) -> WireEnvelopeRef<'_> {
+        WireEnvelopeRef {
+            from: self.from,
+            to: self.to,
+            kind: self.kind,
+            payload: &self.payload,
+            accounting: self.accounting,
+        }
+    }
+
+    /// Decode one envelope from a cursor into `frame`, advancing the
+    /// cursor; the payload is a zero-copy slice of `frame`. `input` must
+    /// be a sub-slice of `frame` (as produced by iterating over
+    /// `&frame[..]`); cursors into other buffers degrade to a copy.
+    pub fn decode_shared(frame: &Bytes, input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(WireEnvelopeRef::decode(input)?.shared(frame))
+    }
 }
 
 impl WireEncode for WireAccounting {
@@ -323,25 +427,12 @@ impl WireEncode for WireEnvelope {
         self.accounting.encode(out);
     }
 
+    /// Streaming decode; the payload is copied out of `input` (the
+    /// cursor's backing buffer is unknown here). Transports holding the
+    /// frame as [`Bytes`] should use [`WireEnvelope::decode_shared`]
+    /// (zero-copy) or [`WireEnvelopeRef::decode`] (borrowed) instead.
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        let from = ReplicaId::decode(input)?;
-        let to = ReplicaId::decode(input)?;
-        let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
-        *input = rest;
-        let kind = ProtocolKind::from_wire_tag(tag).ok_or(CodecError::BadDiscriminant(tag))?;
-        let len = usize::decode(input)?;
-        if input.len() < len {
-            return Err(CodecError::UnexpectedEnd);
-        }
-        let (payload, rest) = input.split_at(len);
-        *input = rest;
-        Ok(WireEnvelope {
-            from,
-            to,
-            kind,
-            payload: payload.to_vec(),
-            accounting: WireAccounting::decode(input)?,
-        })
+        Ok(WireEnvelopeRef::decode(input)?.to_envelope())
     }
 }
 
@@ -478,39 +569,140 @@ impl<K: WireEncode> WireEncode for BatchEnvelope<K> {
         }
     }
 
+    /// Streaming decode; entry payloads are copied out of `input`.
+    /// Transports holding the frame as [`Bytes`] should use
+    /// [`BatchEnvelope::decode_shared`] (every entry payload a zero-copy
+    /// slice of the frame) or iterate [`BatchEntries`] (fully borrowed).
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let mut iter = BatchEntries::<K>::parse(input)?;
+        let mut entries = Vec::with_capacity(iter.remaining());
+        for item in &mut iter {
+            let (k, env) = item?;
+            entries.push((k, env.to_envelope()));
+        }
+        *input = iter.rest();
+        Ok(BatchEnvelope { entries })
+    }
+}
+
+impl<K: WireEncode> BatchEnvelope<K> {
+    /// Decode one received batch frame, zero-copy: every entry's payload
+    /// is a shared slice of `frame`, so fanning a 30 K-object batch out
+    /// to its per-object engines re-vectors nothing. The frame must
+    /// contain exactly one batch ([`CodecError::TrailingBytes`]
+    /// otherwise — a transport frame is the unit of transmission).
+    pub fn decode_shared(frame: &Bytes) -> Result<Self, CodecError> {
+        let mut input: &[u8] = frame;
+        let mut iter = BatchEntries::<K>::parse(&mut input)?;
+        let mut entries = Vec::with_capacity(iter.remaining());
+        for item in &mut iter {
+            let (k, env) = item?;
+            entries.push((k, env.shared(frame)));
+        }
+        if !iter.rest().is_empty() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(BatchEnvelope { entries })
+    }
+}
+
+/// A borrowed, lazily-decoded iterator over a batch frame's entries:
+/// yields `(key, envelope view)` pairs whose payloads borrow the frame —
+/// no per-entry copy, no up-front `Vec` of entries.
+///
+/// Obtained from [`BatchEntries::parse`]. Decoding errors surface as the
+/// iterator's `Err` item (after which iteration stops); corrupt length
+/// fields are rejected before any proportional allocation.
+#[derive(Debug)]
+pub struct BatchEntries<'a, K> {
+    remaining: usize,
+    route: Option<(ReplicaId, ReplicaId, ProtocolKind)>,
+    cursor: &'a [u8],
+    _key: PhantomData<fn() -> K>,
+}
+
+impl<'a, K: WireEncode> BatchEntries<'a, K> {
+    /// Parse the batch header from the front of `input`, advancing it
+    /// past the header; the returned iterator consumes the entries.
+    pub fn parse(input: &mut &'a [u8]) -> Result<Self, CodecError> {
         let len = usize::decode(input)?;
+        // Hostile count guard: every entry costs ≥ 1 byte, so a count
+        // beyond the remaining input cannot be honest — reject before
+        // anyone trusts it for a preallocation.
         if len > input.len() {
             return Err(CodecError::UnexpectedEnd);
         }
-        if len == 0 {
-            return Ok(BatchEnvelope::new());
+        let route = if len == 0 {
+            None
+        } else {
+            let from = ReplicaId::decode(input)?;
+            let to = ReplicaId::decode(input)?;
+            let kind = ProtocolKind::decode(input)?;
+            Some((from, to, kind))
+        };
+        let iter = BatchEntries {
+            remaining: len,
+            route,
+            cursor: input,
+            _key: PhantomData,
+        };
+        Ok(iter)
+    }
+
+    /// The batch's shared `(from, to, kind)` header; `None` when empty.
+    pub fn route(&self) -> Option<(ReplicaId, ReplicaId, ProtocolKind)> {
+        self.route
+    }
+
+    /// Entries not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The unconsumed input after the last yielded entry. Only the whole
+    /// batch's worth once the iterator is exhausted.
+    pub fn rest(&self) -> &'a [u8] {
+        self.cursor
+    }
+
+    fn next_entry(&mut self) -> Result<(K, WireEnvelopeRef<'a>), CodecError> {
+        let (from, to, kind) = self.route.expect("non-empty batch has a route");
+        let input = &mut self.cursor;
+        let k = K::decode(input)?;
+        let payload_len = usize::decode(input)?;
+        if input.len() < payload_len {
+            return Err(CodecError::UnexpectedEnd);
         }
-        let from = ReplicaId::decode(input)?;
-        let to = ReplicaId::decode(input)?;
-        let kind = ProtocolKind::decode(input)?;
-        let mut entries = Vec::with_capacity(len);
-        for _ in 0..len {
-            let k = K::decode(input)?;
-            let payload_len = usize::decode(input)?;
-            if input.len() < payload_len {
-                return Err(CodecError::UnexpectedEnd);
-            }
-            let (payload, rest) = input.split_at(payload_len);
-            *input = rest;
-            let accounting = WireAccounting::decode(input)?;
-            entries.push((
-                k,
-                WireEnvelope {
-                    from,
-                    to,
-                    kind,
-                    payload: payload.to_vec(),
-                    accounting,
-                },
-            ));
+        let (payload, rest) = input.split_at(payload_len);
+        *input = rest;
+        let accounting = WireAccounting::decode(input)?;
+        Ok((
+            k,
+            WireEnvelopeRef {
+                from,
+                to,
+                kind,
+                payload,
+                accounting,
+            },
+        ))
+    }
+}
+
+impl<'a, K: WireEncode> Iterator for BatchEntries<'a, K> {
+    type Item = Result<(K, WireEnvelopeRef<'a>), CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
         }
-        Ok(BatchEnvelope { entries })
+        self.remaining -= 1;
+        let item = self.next_entry();
+        if item.is_err() {
+            // A corrupt entry poisons the rest of the frame.
+            self.remaining = 0;
+        }
+        Some(item)
     }
 }
 
@@ -607,12 +799,52 @@ pub trait SyncEngine: fmt::Debug {
     /// Handle a local update operation (encoded; see [`OpBytes`]).
     fn on_op(&mut self, op: &OpBytes) -> Result<(), EngineError>;
 
-    /// Periodic synchronization step towards `neighbors`.
-    fn on_sync(&mut self, neighbors: &[ReplicaId]) -> Vec<WireEnvelope>;
+    /// Periodic synchronization step towards `neighbors`, encoding
+    /// through `pool`'s recycled scratch: the whole step's messages land
+    /// in **one** shared payload allocation (zero when nothing is sent),
+    /// and the scratch buffer returns to the pool for the next round.
+    /// This is the hot-path primitive every runner calls.
+    fn on_sync_pooled(
+        &mut self,
+        neighbors: &[ReplicaId],
+        pool: &mut BufferPool,
+    ) -> Vec<WireEnvelope>;
+
+    /// Handle an incoming envelope *view* — the payload is decoded
+    /// straight from the borrowed frame slice, never copied into an
+    /// owned buffer first. Replies (push-pull protocols) encode through
+    /// `pool` like [`SyncEngine::on_sync_pooled`].
+    fn on_msg_ref(
+        &mut self,
+        env: WireEnvelopeRef<'_>,
+        pool: &mut BufferPool,
+    ) -> Result<Vec<WireEnvelope>, EngineError>;
+
+    /// Periodic synchronization step towards `neighbors` (convenience:
+    /// throwaway scratch; prefer [`SyncEngine::on_sync_pooled`] in
+    /// per-round loops).
+    fn on_sync(&mut self, neighbors: &[ReplicaId]) -> Vec<WireEnvelope> {
+        self.on_sync_pooled(neighbors, &mut BufferPool::new())
+    }
+
+    /// Handle an incoming envelope with pooled reply encoding. The
+    /// envelope's payload is already a shared [`Bytes`] slice, so
+    /// passing it by value is reference-count cheap.
+    fn on_msg_pooled(
+        &mut self,
+        env: WireEnvelope,
+        pool: &mut BufferPool,
+    ) -> Result<Vec<WireEnvelope>, EngineError> {
+        self.on_msg_ref(env.view(), pool)
+    }
 
     /// Handle an incoming envelope; may return replies (push-pull
-    /// protocols).
-    fn on_msg(&mut self, env: WireEnvelope) -> Result<Vec<WireEnvelope>, EngineError>;
+    /// protocols). Convenience with throwaway scratch; prefer
+    /// [`SyncEngine::on_msg_pooled`] or [`SyncEngine::on_msg_ref`] in
+    /// per-round loops.
+    fn on_msg(&mut self, env: WireEnvelope) -> Result<Vec<WireEnvelope>, EngineError> {
+        self.on_msg_pooled(env, &mut BufferPool::new())
+    }
 
     /// Memory snapshot under the engine's size model.
     fn memory(&self) -> MemoryUsage;
@@ -737,24 +969,40 @@ impl<C: Crdt, P: Protocol<C>> EngineAdapter<C, P> {
         &self.inner
     }
 
-    fn envelope(&self, to: ReplicaId, msg: &P::Msg) -> WireEnvelope
+    /// Encode a step's `(to, msg)` output through the pool's scratch:
+    /// one shared frame allocation for the whole step, each envelope's
+    /// payload a zero-copy slice of it.
+    fn seal(&self, msgs: &[(ReplicaId, P::Msg)], pool: &mut BufferPool) -> Vec<WireEnvelope>
     where
         P::Msg: WireEncode,
     {
-        let payload = msg.to_bytes();
-        let accounting = WireAccounting {
-            payload_elements: msg.payload_elements(),
-            payload_bytes: msg.payload_bytes(&self.model),
-            metadata_bytes: msg.metadata_bytes(&self.model),
-            encoded_bytes: payload.len() as u64,
-        };
-        WireEnvelope {
-            from: self.id,
-            to,
-            kind: self.kind,
-            payload,
-            accounting,
+        if msgs.is_empty() {
+            return Vec::new();
         }
+        let mut scratch = pool.take();
+        let mut pending = Vec::with_capacity(msgs.len());
+        for (to, msg) in msgs {
+            let start = scratch.len();
+            msg.encode(&mut scratch);
+            let accounting = WireAccounting {
+                payload_elements: msg.payload_elements(),
+                payload_bytes: msg.payload_bytes(&self.model),
+                metadata_bytes: msg.metadata_bytes(&self.model),
+                encoded_bytes: (scratch.len() - start) as u64,
+            };
+            pending.push((*to, start..scratch.len(), accounting));
+        }
+        let frame = pool.freeze(scratch);
+        pending
+            .into_iter()
+            .map(|(to, range, accounting)| WireEnvelope {
+                from: self.id,
+                to,
+                kind: self.kind,
+                payload: frame.slice(range),
+                accounting,
+            })
+            .collect()
     }
 }
 
@@ -783,28 +1031,31 @@ where
         Ok(())
     }
 
-    fn on_sync(&mut self, neighbors: &[ReplicaId]) -> Vec<WireEnvelope> {
+    fn on_sync_pooled(
+        &mut self,
+        neighbors: &[ReplicaId],
+        pool: &mut BufferPool,
+    ) -> Vec<WireEnvelope> {
         let mut out = Vec::new();
         self.inner.on_sync(neighbors, &mut out);
-        out.iter()
-            .map(|(to, msg)| self.envelope(*to, msg))
-            .collect()
+        self.seal(&out, pool)
     }
 
-    fn on_msg(&mut self, env: WireEnvelope) -> Result<Vec<WireEnvelope>, EngineError> {
+    fn on_msg_ref(
+        &mut self,
+        env: WireEnvelopeRef<'_>,
+        pool: &mut BufferPool,
+    ) -> Result<Vec<WireEnvelope>, EngineError> {
         if env.kind != self.kind {
             return Err(EngineError::ProtocolMismatch {
                 expected: self.kind,
                 got: env.kind,
             });
         }
-        let msg = P::Msg::from_bytes(&env.payload)?;
+        let msg = P::Msg::from_bytes(env.payload)?;
         let mut out = Vec::new();
         self.inner.on_msg(env.from, msg, &mut out);
-        Ok(out
-            .iter()
-            .map(|(to, reply)| self.envelope(*to, reply))
-            .collect())
+        Ok(self.seal(&out, pool))
     }
 
     fn memory(&self) -> MemoryUsage {
@@ -994,7 +1245,7 @@ mod tests {
             from: A,
             to: B,
             kind: ProtocolKind::BpRr,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from(vec![1, 2, 3]),
             accounting: WireAccounting {
                 payload_elements: 3,
                 payload_bytes: 24,
@@ -1051,7 +1302,7 @@ mod tests {
             from: B,
             to: A,
             kind: ProtocolKind::Scuttlebutt,
-            payload: Vec::new(),
+            payload: Bytes::new(),
             accounting: WireAccounting::default(),
         };
         assert_eq!(
@@ -1144,7 +1395,7 @@ mod tests {
             to: A,
             kind: ProtocolKind::BpRr,
             // Claims 2^40 set elements with no bytes behind them.
-            payload: vec![0x80, 0x80, 0x80, 0x80, 0x80, 0x01],
+            payload: Bytes::from(vec![0x80, 0x80, 0x80, 0x80, 0x80, 0x01]),
             accounting: WireAccounting::default(),
         };
         assert!(matches!(engine.on_msg(env), Err(EngineError::Codec(_))));

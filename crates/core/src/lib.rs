@@ -81,6 +81,7 @@
 
 mod acked;
 mod buffer;
+pub mod bytes;
 mod delta;
 mod deltacrdt;
 pub mod digest;
@@ -93,14 +94,15 @@ mod wire;
 
 pub use acked::{AckedDeltaSync, AckedMsg};
 pub use buffer::{DeltaBuffer, Entry, Origin};
+pub use bytes::{BufferPool, Bytes};
 pub use delta::{BpDelta, BpRrDelta, ClassicDelta, DeltaConfig, DeltaMsg, DeltaSync, RrDelta};
 pub use deltacrdt::{
     DeltaCrdt, DeltaCrdtMsg, DeltaCrdtSmallLog, DeltaCrdtSync, DEFAULT_LOG_CAPACITY,
 };
 pub use engine::{
     build_engine, build_engine_send, build_engine_send_with_model, build_engine_with_model,
-    BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind, SyncEngine, UnknownProtocol,
-    WireAccounting, WireEnvelope,
+    BatchEntries, BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind, SyncEngine,
+    UnknownProtocol, WireAccounting, WireEnvelope, WireEnvelopeRef,
 };
 pub use opbased::{OpBased, OpMsg, TaggedOp};
 pub use proto::{Measured, MemoryUsage, Params, Protocol};

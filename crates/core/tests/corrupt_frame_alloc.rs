@@ -1,0 +1,139 @@
+//! Allocation budget of corrupt-frame decoding: no decode path may
+//! allocate more than a small constant multiple of the input it was
+//! handed, no matter what length fields the frame claims.
+//!
+//! This is the teeth behind the `Vec::with_capacity` length caps: a
+//! frame claiming 2^40 entries must fail with `CodecError` *before* any
+//! proportional preallocation, not abort the process on a multi-GB
+//! `Vec`. The counting allocator is installed process-wide, so this
+//! binary holds exactly one measuring test (parallel tests would bleed
+//! into each other's windows).
+
+use crdt_lattice::WireEncode;
+use crdt_sync::{
+    BatchEnvelope, Bytes, DeltaMsg, ProtocolKind, SbMsg, WireAccounting, WireEnvelope,
+};
+use crdt_types::GSet;
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+/// Worst-case bytes a decoder may allocate per input byte. Entries
+/// materialize as `(key, WireEnvelope)` pairs (~100 B each) from ~4 wire
+/// bytes, so the honest constant is a couple dozen; 256 leaves room for
+/// container rounding without ever excusing a length-trusting decoder
+/// (the attack frames below claim *gigabytes*).
+const BYTES_PER_INPUT_BYTE: u64 = 256;
+const SLACK: u64 = 2048;
+
+fn assert_bounded(label: &str, input: &[u8], stats: testkit_alloc::AllocStats) {
+    let limit = BYTES_PER_INPUT_BYTE * input.len() as u64 + SLACK;
+    assert!(
+        stats.allocated_bytes <= limit,
+        "{label}: decoding {} input bytes allocated {} bytes (peak request {}; limit {limit})",
+        input.len(),
+        stats.allocated_bytes,
+        stats.peak_request,
+    );
+}
+
+fn stamp_varint(frame: &[u8], pos: usize) -> Vec<u8> {
+    let mut bad = frame.to_vec();
+    for (i, b) in [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]
+        .into_iter()
+        .enumerate()
+    {
+        if pos + i < bad.len() {
+            bad[pos + i] = b;
+        }
+    }
+    bad
+}
+
+#[test]
+fn corrupt_frames_never_overallocate() {
+    assert!(
+        testkit_alloc::is_installed(),
+        "the counting allocator must be this binary's global allocator"
+    );
+
+    // A realistic batch frame: 64 objects, small payloads.
+    let mut batch: BatchEnvelope<u32> = BatchEnvelope::new();
+    for k in 0..64u32 {
+        let payload = GSet::from_iter([u64::from(k), u64::from(k) + 1]).to_bytes();
+        batch.push(
+            k,
+            WireEnvelope {
+                from: crdt_lattice::ReplicaId(0),
+                to: crdt_lattice::ReplicaId(1),
+                kind: ProtocolKind::BpRr,
+                accounting: WireAccounting {
+                    payload_elements: 2,
+                    payload_bytes: 16,
+                    metadata_bytes: 0,
+                    encoded_bytes: payload.len() as u64,
+                },
+                payload: payload.into(),
+            },
+        );
+    }
+    let frame = batch.to_bytes();
+
+    // Stamp a maximal varint over every position: whichever field lands
+    // there (entry count, key, payload length, accounting) now claims
+    // an absurd value. Decode must error (or survive benignly) within
+    // the allocation budget.
+    for pos in 0..frame.len() {
+        let bad = stamp_varint(&frame, pos);
+        let (result, stats) =
+            testkit_alloc::measure(|| BatchEnvelope::<u32>::from_bytes(&bad).map(|b| b.len()));
+        std::hint::black_box(&result);
+        assert_bounded("batch/from_bytes", &bad, stats);
+
+        let shared = Bytes::copy_from_slice(&bad);
+        let (result, stats) = testkit_alloc::measure(|| {
+            BatchEnvelope::<u32>::decode_shared(&shared).map(|b| b.len())
+        });
+        std::hint::black_box(&result);
+        assert_bounded("batch/decode_shared", &bad, stats);
+    }
+
+    // Truncations of the honest frame.
+    for cut in 0..frame.len() {
+        let (result, stats) = testkit_alloc::measure(|| {
+            BatchEnvelope::<u32>::from_bytes(&frame[..cut]).map(|b| b.len())
+        });
+        assert!(result.is_err(), "strict prefix cannot decode");
+        assert_bounded("batch/truncated", &frame[..cut], stats);
+    }
+
+    // The classic attack on bare collections: tiny frames claiming 2^40
+    // elements, against each protocol-message decoder.
+    let mut huge = Vec::new();
+    crdt_lattice::codec::put_uvarint(&mut huge, 1 << 40);
+    huge.push(7);
+    let (r, stats) = testkit_alloc::measure(|| DeltaMsg::<GSet<u64>>::from_bytes(&huge).is_err());
+    assert!(r);
+    assert_bounded("delta/hostile-count", &huge, stats);
+    let mut sb = vec![1u8]; // SbMsg::Reply discriminant
+    crdt_lattice::codec::put_uvarint(&mut sb, 1 << 40);
+    let (r, stats) = testkit_alloc::measure(|| SbMsg::<GSet<u64>>::from_bytes(&sb).is_err());
+    assert!(r);
+    assert_bounded("scuttlebutt/hostile-count", &sb, stats);
+
+    // And against the envelope layer: a payload length claiming ~2^62.
+    let env = WireEnvelope {
+        from: crdt_lattice::ReplicaId(0),
+        to: crdt_lattice::ReplicaId(1),
+        kind: ProtocolKind::BpRr,
+        payload: Bytes::from(vec![1u8, 2, 3]),
+        accounting: WireAccounting::default(),
+    };
+    let env_frame = env.to_bytes();
+    for pos in 0..env_frame.len() {
+        let bad = stamp_varint(&env_frame, pos);
+        let (result, stats) = testkit_alloc::measure(|| WireEnvelope::from_bytes(&bad).is_err());
+        std::hint::black_box(result);
+        assert_bounded("envelope/from_bytes", &bad, stats);
+    }
+}

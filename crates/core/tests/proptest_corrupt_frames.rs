@@ -1,0 +1,158 @@
+//! Decode robustness: random truncations, bit flips and length-field
+//! mutations of valid wire frames must decode to `Err` (or, for benign
+//! flips, to another valid value) — **never panic**, and never trust a
+//! wire-supplied length for a proportional preallocation.
+//!
+//! Covers the three frame layers a byte transport ships: bare protocol
+//! messages, [`WireEnvelope`] frames, and [`BatchEnvelope`] frames —
+//! through all three decode paths (copying `from_bytes`, zero-copy
+//! `decode_shared`, borrowed [`BatchEntries`] / [`WireEnvelopeRef`]).
+//!
+//! The companion allocation-budget check (corrupt input never allocates
+//! more than a small multiple of its length) lives in
+//! `tests/corrupt_frame_alloc.rs`, which installs the counting
+//! allocator; CI runs both with a raised `PROPTEST_CASES`.
+
+use crdt_lattice::{ReplicaId, WireEncode};
+use crdt_sync::{
+    AckedMsg, BatchEntries, BatchEnvelope, Bytes, DeltaMsg, OpMsg, ProtocolKind, SbMsg,
+    WireAccounting, WireEnvelope, WireEnvelopeRef,
+};
+use crdt_types::GSet;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Deterministically corrupt `frame` from a mutation seed: truncate,
+/// flip a bit, or stamp a maximal varint over a random position (the
+/// length-field attack).
+fn corrupt(mut frame: Vec<u8>, mutation: u64) -> Vec<u8> {
+    if frame.is_empty() {
+        return vec![(mutation & 0xff) as u8];
+    }
+    let pos = (mutation as usize / 8) % frame.len();
+    match mutation % 4 {
+        0 => frame.truncate(pos),
+        1 => frame[pos] ^= 1 << (mutation % 8),
+        2 => {
+            // Overwrite with a huge LEB128 varint (≈ 2^63): whatever
+            // field lands here now claims an absurd length or value.
+            for (i, b) in [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]
+                .into_iter()
+                .enumerate()
+            {
+                if pos + i < frame.len() {
+                    frame[pos + i] = b;
+                } else {
+                    frame.push(b);
+                }
+            }
+        }
+        _ => {
+            // Append garbage: exercises the trailing-bytes check.
+            frame.extend_from_slice(&[0xaa, 0x55, (mutation & 0xff) as u8]);
+        }
+    }
+    frame
+}
+
+fn envelope(elems: &[u64], kind: ProtocolKind) -> WireEnvelope {
+    let payload = DeltaMsg(GSet::from_iter(elems.iter().copied())).to_bytes();
+    WireEnvelope {
+        from: ReplicaId(1),
+        to: ReplicaId(2),
+        kind,
+        accounting: WireAccounting {
+            payload_elements: elems.len() as u64,
+            payload_bytes: 8 * elems.len() as u64,
+            metadata_bytes: 0,
+            encoded_bytes: payload.len() as u64,
+        },
+        payload: payload.into(),
+    }
+}
+
+/// Every decode path over one corrupted frame; the assertion is simply
+/// "no panic, and errors are errors" (a benign flip may still decode).
+fn decode_all_paths(bytes: &[u8]) {
+    let _ = WireEnvelope::from_bytes(bytes);
+    let mut cursor = bytes;
+    let _ = WireEnvelopeRef::decode(&mut cursor);
+    let frame = Bytes::copy_from_slice(bytes);
+    let mut cursor: &[u8] = &frame;
+    let _ = WireEnvelope::decode_shared(&frame, &mut cursor);
+
+    let _ = BatchEnvelope::<String>::from_bytes(bytes);
+    let _ = BatchEnvelope::<u32>::decode_shared(&frame);
+    let mut cursor = bytes;
+    if let Ok(entries) = BatchEntries::<String>::parse(&mut cursor) {
+        for item in entries {
+            let _ = item;
+        }
+    }
+
+    let _ = DeltaMsg::<GSet<String>>::from_bytes(bytes);
+    let _ = SbMsg::<GSet<u64>>::from_bytes(bytes);
+    let _ = AckedMsg::<GSet<u64>>::from_bytes(bytes);
+    let _ = OpMsg::<GSet<u64>>::from_bytes(bytes);
+}
+
+proptest! {
+    #[test]
+    fn corrupted_envelope_frames_never_panic(
+        elems in pvec(any::<u64>(), 0..12),
+        mutation in any::<u64>(),
+    ) {
+        let frame = envelope(&elems, ProtocolKind::BpRr).to_bytes();
+        decode_all_paths(&corrupt(frame, mutation));
+    }
+
+    #[test]
+    fn corrupted_batch_frames_never_panic(
+        keys in pvec(".{0,6}", 1..6),
+        elems in pvec(any::<u64>(), 0..8),
+        mutation in any::<u64>(),
+    ) {
+        let mut batch: BatchEnvelope<String> = BatchEnvelope::new();
+        for key in keys {
+            batch.push(key.to_string(), envelope(&elems, ProtocolKind::Scuttlebutt));
+        }
+        decode_all_paths(&corrupt(batch.to_bytes(), mutation));
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in pvec(any::<u8>(), 0..80)) {
+        decode_all_paths(&bytes);
+    }
+
+    #[test]
+    fn truncations_always_error(
+        elems in pvec(any::<u64>(), 1..10),
+        cut in any::<u64>(),
+    ) {
+        // Unlike bit flips, a strict prefix can never decode to a
+        // complete envelope: every truncation point must error.
+        let frame = envelope(&elems, ProtocolKind::Classic).to_bytes();
+        let cut = (cut as usize) % frame.len();
+        prop_assert!(WireEnvelope::from_bytes(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(
+        elems in pvec(any::<u64>(), 0..10),
+        tail in pvec(any::<u8>(), 1..8),
+    ) {
+        let env = envelope(&elems, ProtocolKind::BpRr);
+        let mut frame = env.to_bytes();
+        frame.extend_from_slice(&tail);
+        prop_assert_eq!(
+            WireEnvelope::from_bytes(&frame),
+            Err(crdt_lattice::CodecError::TrailingBytes)
+        );
+        // The streaming decoder still stops exactly at the value
+        // boundary and leaves the tail unconsumed.
+        let mut cursor: &[u8] = &frame;
+        let view = WireEnvelopeRef::decode(&mut cursor).expect("prefix is valid");
+        prop_assert_eq!(cursor, &tail[..]);
+        prop_assert_eq!(view.to_envelope(), env);
+    }
+}

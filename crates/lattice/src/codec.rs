@@ -37,6 +37,10 @@ pub enum CodecError {
     BadDiscriminant(u8),
     /// A string payload was not valid UTF-8.
     BadUtf8,
+    /// A complete-buffer decode ([`WireEncode::from_bytes`]) left input
+    /// behind: the frame carries garbage past the value, which a framed
+    /// transport must treat as corruption, not slack.
+    TrailingBytes,
 }
 
 impl core::fmt::Display for CodecError {
@@ -46,6 +50,7 @@ impl core::fmt::Display for CodecError {
             CodecError::VarintOverflow => write!(f, "varint overflow"),
             CodecError::BadDiscriminant(d) => write!(f, "bad discriminant byte {d}"),
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string payload"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after a complete value"),
         }
     }
 }
@@ -108,10 +113,17 @@ pub trait WireEncode: Sized {
         out
     }
 
-    /// Decode a complete buffer (trailing bytes are an error-free no-op;
-    /// use [`WireEncode::decode`] for streaming).
+    /// Decode a complete buffer. The value must consume the buffer
+    /// exactly — trailing bytes are corruption
+    /// ([`CodecError::TrailingBytes`]), never silently accepted slack;
+    /// use [`WireEncode::decode`] for streaming several values out of
+    /// one buffer.
     fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
-        Self::decode(&mut bytes)
+        let value = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(value)
     }
 }
 

@@ -18,10 +18,10 @@
 use std::time::Instant;
 
 use crdt_lattice::{ReplicaId, SizeModel, WireEncode};
-use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
 use crdt_sync::{
-    build_engine_with_model, DeltaMsg, Measured, OpBytes, Params, ProtocolKind, SyncEngine,
-    WireAccounting, WireEnvelope,
+    build_engine_with_model, BufferPool, DeltaMsg, Measured, OpBytes, Params, ProtocolKind,
+    SyncEngine, WireAccounting, WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -68,6 +68,9 @@ pub struct DynRunner<C: Crdt> {
     /// Cumulative out-of-band recovery traffic (digest repair and
     /// bootstrap transfers).
     repair: PairSyncStats,
+    /// Recycled encode scratch shared by every engine this (sequential)
+    /// runner drives — payload buffers are reused round after round.
+    pool: BufferPool,
     _crdt: core::marker::PhantomData<fn() -> C>,
 }
 
@@ -115,6 +118,7 @@ where
             round: 0,
             undeliverable: 0,
             repair: PairSyncStats::default(),
+            pool: BufferPool::new(),
             _crdt: core::marker::PhantomData,
         }
     }
@@ -248,7 +252,7 @@ where
                 }
                 let targets = self.sync_targets(node_id);
                 let t0 = Instant::now();
-                let out = self.nodes[id].on_sync(&targets);
+                let out = self.nodes[id].on_sync_pooled(&targets, &mut self.pool);
                 rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
                 for env in out {
                     self.account(&mut rm, &env);
@@ -269,7 +273,7 @@ where
                 }
                 let t0 = Instant::now();
                 let replies = self.nodes[to.index()]
-                    .on_msg(delivery.msg)
+                    .on_msg_pooled(delivery.msg, &mut self.pool)
                     .expect("uniform-protocol run cannot mismatch kinds");
                 rm.cpu_nanos += t0.elapsed().as_nanos() as u64;
                 for reply in replies {
@@ -448,25 +452,22 @@ where
     pub fn repair_pair(&mut self, a: ReplicaId, b: ReplicaId) {
         assert_ne!(a, b, "repair needs two distinct replicas");
         if self.kind.accepts_raw_delta() {
-            let xa = self
-                .state_of::<C>(a)
-                .expect("runner engines are built over C")
-                .clone();
-            let xb = self
-                .state_of::<C>(b)
-                .expect("runner engines are built over C")
-                .clone();
-            let (mut ca, mut cb) = (xa.clone(), xb.clone());
-            let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+            let (delta_for_a, delta_for_b, stats) = {
+                let xa = self
+                    .state_of::<C>(a)
+                    .expect("runner engines are built over C");
+                let xb = self
+                    .state_of::<C>(b)
+                    .expect("runner engines are built over C");
+                digest_repair_deltas(xa, xb, &self.model)
+            };
             self.repair.messages += stats.messages;
             self.repair.payload_elements += stats.payload_elements;
             self.repair.payload_bytes += stats.payload_bytes;
             self.repair.metadata_bytes += stats.metadata_bytes;
-            let delta_for_a = ca.delta(&xa);
             if !delta_for_a.is_bottom() {
                 self.inject_delta(b, a, delta_for_a);
             }
-            let delta_for_b = cb.delta(&xb);
             if !delta_for_b.is_bottom() {
                 self.inject_delta(a, b, delta_for_b);
             }
@@ -511,11 +512,11 @@ where
             from,
             to,
             kind: self.kind,
-            payload,
+            payload: payload.into(),
             accounting,
         };
         let replies = self.nodes[to.index()]
-            .on_msg(env)
+            .on_msg_pooled(env, &mut self.pool)
             .expect("raw delta injection matches the configured protocol");
         debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }

@@ -44,16 +44,46 @@ pub(crate) fn par_map_chunked<N: Send, T: Send + Default>(
     threads: usize,
     work: impl Fn(usize, &mut N) -> T + Sync,
 ) -> Vec<T> {
+    let mut no_ctx: Vec<()> = Vec::new();
+    par_map_chunked_ctx(
+        items,
+        threads,
+        &mut no_ctx,
+        || (),
+        |i, item, ()| work(i, item),
+    )
+}
+
+/// [`par_map_chunked`] with **per-worker mutable context**: worker `w`
+/// (the thread running contiguous chunk `w`) gets exclusive access to
+/// `ctxs[w]` for its whole chunk. `ctxs` is grown on demand with
+/// `make_ctx` and persists across calls, which is exactly the shape the
+/// wire path's [`crdt_sync::BufferPool`]s need — each worker reuses its
+/// own encode scratch round after round, with no cross-thread
+/// synchronization (the phase model already gives workers disjoint
+/// state).
+pub(crate) fn par_map_chunked_ctx<N: Send, T: Send + Default, Cx: Send>(
+    items: &mut [N],
+    threads: usize,
+    ctxs: &mut Vec<Cx>,
+    make_ctx: impl Fn() -> Cx,
+    work: impl Fn(usize, &mut N, &mut Cx) -> T + Sync,
+) -> Vec<T> {
     let n = items.len();
     let chunk = n.div_ceil(threads).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    if ctxs.len() < n_chunks {
+        ctxs.resize_with(n_chunks, make_ctx);
+    }
     let mut results: Vec<T> = Vec::with_capacity(n);
     results.resize_with(n, T::default);
     std::thread::scope(|scope| {
         let work = &work;
-        for ((start, item_chunk), result_chunk) in (0..n)
+        for (((start, item_chunk), result_chunk), ctx) in (0..n)
             .step_by(chunk)
             .zip(items.chunks_mut(chunk))
             .zip(results.chunks_mut(chunk))
+            .zip(ctxs.iter_mut())
         {
             scope.spawn(move || {
                 for (offset, (item, slot)) in item_chunk
@@ -61,7 +91,7 @@ pub(crate) fn par_map_chunked<N: Send, T: Send + Default>(
                     .zip(result_chunk.iter_mut())
                     .enumerate()
                 {
-                    *slot = work(start + offset, item);
+                    *slot = work(start + offset, item, ctx);
                 }
             });
         }

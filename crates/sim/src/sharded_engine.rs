@@ -41,10 +41,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
-use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
 use crdt_sync::{
-    build_engine_send_with_model, BatchEnvelope, DeltaMsg, Measured, OpBytes, Params, ProtocolKind,
-    SyncEngine, WireAccounting, WireEnvelope,
+    build_engine_send_with_model, BatchEnvelope, BufferPool, DeltaMsg, Measured, OpBytes, Params,
+    ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -63,7 +63,7 @@ type PhaseOutput<K> = (u64, u64, Vec<(ReplicaId, BatchEnvelope<K>)>);
 /// A batch in flight: `(from, to, frame)`.
 type InFlight<K> = (ReplicaId, ReplicaId, BatchEnvelope<K>);
 
-use crate::parallel::par_map_chunked as par_map;
+use crate::parallel::{par_map_chunked as par_map, par_map_chunked_ctx as par_map_ctx};
 
 /// The unified sharded runner (see module docs).
 #[derive(Debug)]
@@ -74,6 +74,11 @@ pub struct ShardedEngineRunner<K: Ord, C: Crdt> {
     params: Params,
     threads: usize,
     nodes: Vec<EngineMap<K>>,
+    /// Per-worker encode scratch, round-robin across rounds: worker `w`
+    /// owns `pools[w]` for every phase it runs, so steady-state rounds
+    /// reuse the same buffers instead of allocating per envelope (see
+    /// `crdt_sync::BufferPool`). Grown lazily by the chunked par-map.
+    pools: Vec<BufferPool>,
     metrics: RunMetrics,
     /// Cumulative out-of-band recovery traffic (digest repair and
     /// bootstrap transfers).
@@ -105,6 +110,7 @@ where
             params: Params::new(n),
             threads: threads.max(1),
             nodes: (0..n).map(|_| BTreeMap::new()).collect(),
+            pools: Vec::new(),
             metrics: RunMetrics::new(n),
             repair: PairSyncStats::default(),
             undeliverable: 0,
@@ -248,26 +254,32 @@ where
         // driver work, metered as workload_nanos — the same split every
         // other phase and runner uses, so cpu_nanos stays comparable
         // across runners.
-        let sync_out: Vec<PhaseOutput<K>> = par_map(&mut self.nodes, threads, |i, shards| {
-            let node = ReplicaId::from(i);
-            if !topo.is_alive(node) {
-                return (0, 0, Vec::new());
-            }
-            let targets = topo.base().neighbors(node).to_vec();
-            let (mut route, mut cpu) = (0u64, 0u64);
-            let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
-            for (key, engine) in shards.iter_mut() {
-                let t0 = Instant::now();
-                let out = engine.on_sync(&targets);
-                cpu += t0.elapsed().as_nanos() as u64;
-                let t_route = Instant::now();
-                for env in out {
-                    batches.entry(env.to).or_default().push(key.clone(), env);
+        let sync_out: Vec<PhaseOutput<K>> = par_map_ctx(
+            &mut self.nodes,
+            threads,
+            &mut self.pools,
+            BufferPool::new,
+            |i, shards, pool| {
+                let node = ReplicaId::from(i);
+                if !topo.is_alive(node) {
+                    return (0, 0, Vec::new());
                 }
-                route += t_route.elapsed().as_nanos() as u64;
-            }
-            (route, cpu, batches.into_iter().collect())
-        });
+                let targets = topo.base().neighbors(node).to_vec();
+                let (mut route, mut cpu) = (0u64, 0u64);
+                let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
+                for (key, engine) in shards.iter_mut() {
+                    let t0 = Instant::now();
+                    let out = engine.on_sync_pooled(&targets, pool);
+                    cpu += t0.elapsed().as_nanos() as u64;
+                    let t_route = Instant::now();
+                    for env in out {
+                        batches.entry(env.to).or_default().push(key.clone(), env);
+                    }
+                    route += t_route.elapsed().as_nanos() as u64;
+                }
+                (route, cpu, batches.into_iter().collect())
+            },
+        );
         let mut wave: Vec<InFlight<K>> = Vec::new();
         let mut phase: Vec<u64> = Vec::with_capacity(sync_out.len());
         for (i, (route, cpu, batches)) in sync_out.into_iter().enumerate() {
@@ -302,37 +314,43 @@ where
             // Shard lookup and lazy engine construction are driver work,
             // metered apart from the `on_msg` callbacks — the same split
             // as phase 1 and `ShardedDeltaRunner`'s delivery phase.
-            let replies: Vec<PhaseOutput<K>> = par_map(&mut self.nodes, threads, |i, shards| {
-                let inbox = {
-                    let mut guard = inboxes_ref.lock().expect("inbox lock");
-                    std::mem::take(&mut guard[i])
-                };
-                if inbox.is_empty() {
-                    return (0, 0, Vec::new());
-                }
-                let node = ReplicaId::from(i);
-                let (mut route, mut cpu) = (0u64, 0u64);
-                let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
-                for (_, _, batch) in inbox {
-                    for (key, env) in batch.entries {
-                        let t_route = Instant::now();
-                        let engine = Self::engine_at(shards, &key, node, kind, &params, model);
-                        route += t_route.elapsed().as_nanos() as u64;
-                        let t0 = Instant::now();
-                        let out = engine
-                            .on_msg(env)
-                            .expect("uniform-protocol run cannot mismatch kinds");
-                        cpu += t0.elapsed().as_nanos() as u64;
-                        for reply in out {
-                            batches
-                                .entry(reply.to)
-                                .or_default()
-                                .push(key.clone(), reply);
+            let replies: Vec<PhaseOutput<K>> = par_map_ctx(
+                &mut self.nodes,
+                threads,
+                &mut self.pools,
+                BufferPool::new,
+                |i, shards, pool| {
+                    let inbox = {
+                        let mut guard = inboxes_ref.lock().expect("inbox lock");
+                        std::mem::take(&mut guard[i])
+                    };
+                    if inbox.is_empty() {
+                        return (0, 0, Vec::new());
+                    }
+                    let node = ReplicaId::from(i);
+                    let (mut route, mut cpu) = (0u64, 0u64);
+                    let mut batches: BTreeMap<ReplicaId, BatchEnvelope<K>> = BTreeMap::new();
+                    for (_, _, batch) in inbox {
+                        for (key, env) in batch.entries {
+                            let t_route = Instant::now();
+                            let engine = Self::engine_at(shards, &key, node, kind, &params, model);
+                            route += t_route.elapsed().as_nanos() as u64;
+                            let t0 = Instant::now();
+                            let out = engine
+                                .on_msg_pooled(env, pool)
+                                .expect("uniform-protocol run cannot mismatch kinds");
+                            cpu += t0.elapsed().as_nanos() as u64;
+                            for reply in out {
+                                batches
+                                    .entry(reply.to)
+                                    .or_default()
+                                    .push(key.clone(), reply);
+                            }
                         }
                     }
-                }
-                (route, cpu, batches.into_iter().collect())
-            });
+                    (route, cpu, batches.into_iter().collect())
+                },
+            );
             let mut phase: Vec<u64> = Vec::with_capacity(replies.len());
             for (i, (route, cpu, batches)) in replies.into_iter().enumerate() {
                 rm.workload_nanos += route;
@@ -582,25 +600,19 @@ where
                 .into_iter()
                 .collect();
             for key in keys {
-                let xa = self
-                    .object_state(a, &key)
-                    .cloned()
-                    .unwrap_or_else(C::bottom);
-                let xb = self
-                    .object_state(b, &key)
-                    .cloned()
-                    .unwrap_or_else(C::bottom);
-                let (mut ca, mut cb) = (xa.clone(), xb.clone());
-                let stats = digest_driven_sync(&mut ca, &mut cb, &self.model);
+                let (delta_for_a, delta_for_b, stats) = {
+                    let bottom = C::bottom();
+                    let xa = self.object_state(a, &key).unwrap_or(&bottom);
+                    let xb = self.object_state(b, &key).unwrap_or(&bottom);
+                    digest_repair_deltas(xa, xb, &self.model)
+                };
                 self.repair.messages += stats.messages;
                 self.repair.payload_elements += stats.payload_elements;
                 self.repair.payload_bytes += stats.payload_bytes;
                 self.repair.metadata_bytes += stats.metadata_bytes;
-                let delta_for_a = ca.delta(&xa);
                 if !delta_for_a.is_bottom() {
                     self.inject_delta(b, a, &key, delta_for_a);
                 }
-                let delta_for_b = cb.delta(&xb);
                 if !delta_for_b.is_bottom() {
                     self.inject_delta(a, b, &key, delta_for_b);
                 }
@@ -656,12 +668,16 @@ where
             from,
             to,
             kind: self.kind,
-            payload,
+            payload: payload.into(),
             accounting,
         };
         let (kind, params, model) = (self.kind, self.params, self.model);
+        if self.pools.is_empty() {
+            self.pools.push(BufferPool::new());
+        }
+        let pool = &mut self.pools[0];
         let replies = Self::engine_at(&mut self.nodes[to.index()], key, to, kind, &params, model)
-            .on_msg(env)
+            .on_msg_pooled(env, pool)
             .expect("raw delta injection matches the configured protocol");
         debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }

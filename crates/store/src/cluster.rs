@@ -4,7 +4,7 @@ use core::fmt;
 use std::collections::BTreeSet;
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
-use crdt_sync::digest::{digest_driven_sync, PairSyncStats};
+use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
 use crdt_sync::Params;
 use crdt_types::Crdt;
 
@@ -388,29 +388,23 @@ where
         let id_b = self.replicas[b].id();
         let mut total = PairSyncStats::default();
         for key in keys {
-            let xa = self.replicas[a]
-                .get(key.clone())
-                .cloned()
-                .unwrap_or_else(C::bottom);
-            let xb = self.replicas[b]
-                .get(key.clone())
-                .cloned()
-                .unwrap_or_else(C::bottom);
-            // Run the 3-message protocol on copies to obtain the stats and
-            // the converged state…
-            let (mut ca, mut cb) = (xa.clone(), xb.clone());
-            let stats = digest_driven_sync(&mut ca, &mut cb, &model);
+            // Run the 3-message protocol by reference to obtain the stats
+            // and each side's missing delta…
+            let (delta_for_a, delta_for_b, stats) = {
+                let bottom = C::bottom();
+                let xa = self.replicas[a].get(key.clone()).unwrap_or(&bottom);
+                let xb = self.replicas[b].get(key.clone()).unwrap_or(&bottom);
+                digest_repair_deltas(xa, xb, &model)
+            };
             total.messages += stats.messages;
             total.payload_elements += stats.payload_elements;
             total.payload_bytes += stats.payload_bytes;
             total.metadata_bytes += stats.metadata_bytes;
-            // …then feed each side's missing delta through the ordinary
-            // receive path (RR extraction + buffering for propagation).
-            let delta_for_a = ca.delta(&xa);
+            // …then feed each through the ordinary receive path (RR
+            // extraction + buffering for propagation).
             if !delta_for_a.is_bottom() {
                 self.replicas[a].inject_delta(key.clone(), id_b, delta_for_a);
             }
-            let delta_for_b = cb.delta(&xb);
             if !delta_for_b.is_bottom() {
                 self.replicas[b].inject_delta(key, id_a, delta_for_b);
             }

@@ -28,7 +28,7 @@ mod tests {
             from: ReplicaId(0),
             to: ReplicaId(1),
             kind: ProtocolKind::BpRr,
-            payload,
+            payload: payload.into(),
             accounting: WireAccounting {
                 payload_elements: elements,
                 payload_bytes: elements * 8,

@@ -59,7 +59,7 @@ mod tests {
                         metadata_bytes: 0,
                         encoded_bytes: payload.len() as u64,
                     },
-                    payload,
+                    payload: payload.into(),
                 },
             )],
         };

@@ -5,8 +5,8 @@ use std::marker::PhantomData;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
 use crdt_sync::{
-    build_engine_with_model, DeltaMsg, EngineError, Measured, MemoryUsage, OpBytes, Params,
-    ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    build_engine_with_model, BufferPool, DeltaMsg, EngineError, Measured, MemoryUsage, OpBytes,
+    Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -66,6 +66,10 @@ pub struct StoreReplica<K: Ord, C> {
     cfg: StoreConfig,
     params: Params,
     objects: BTreeMap<K, Box<dyn SyncEngine>>,
+    /// Recycled encode scratch shared by every object engine at this
+    /// replica: a sync step's (or absorb's reply) payloads land in
+    /// pooled buffers reused round after round.
+    pool: BufferPool,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -96,6 +100,7 @@ where
             cfg,
             params,
             objects: BTreeMap::new(),
+            pool: BufferPool::new(),
             _crdt: PhantomData,
         }
     }
@@ -110,11 +115,23 @@ where
         self.cfg
     }
 
-    fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine> {
-        let (id, cfg, params) = (self.id, self.cfg, self.params);
-        self.objects
+    /// The engine at `key` in `objects`, created lazily at `⊥`. An
+    /// associated fn over the map (not `&mut self`) so callers can hold
+    /// `self.pool` mutably at the same time.
+    fn engine_at<'a>(
+        objects: &'a mut BTreeMap<K, Box<dyn SyncEngine>>,
+        key: K,
+        id: ReplicaId,
+        cfg: StoreConfig,
+        params: &Params,
+    ) -> &'a mut Box<dyn SyncEngine> {
+        objects
             .entry(key)
-            .or_insert_with(|| build_engine_with_model::<C>(cfg.protocol, id, &params, cfg.model))
+            .or_insert_with(|| build_engine_with_model::<C>(cfg.protocol, id, params, cfg.model))
+    }
+
+    fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine> {
+        Self::engine_at(&mut self.objects, key, self.id, self.cfg, &self.params)
     }
 
     fn typed_state(engine: &dyn SyncEngine) -> &C {
@@ -179,7 +196,7 @@ where
     pub fn sync_step(&mut self, neighbors: &[ReplicaId]) -> Vec<(ReplicaId, StoreMsg<K>)> {
         let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
         for (key, engine) in self.objects.iter_mut() {
-            for env in engine.on_sync(neighbors) {
+            for env in engine.on_sync_pooled(neighbors, &mut self.pool) {
                 batches
                     .entry(env.to)
                     .or_default()
@@ -210,7 +227,14 @@ where
     ) -> Result<Vec<(ReplicaId, StoreMsg<K>)>, EngineError> {
         let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
         for (key, env) in msg.entries {
-            let replies = self.engine(key.clone()).on_msg(env)?;
+            let engine = Self::engine_at(
+                &mut self.objects,
+                key.clone(),
+                self.id,
+                self.cfg,
+                &self.params,
+            );
+            let replies = engine.on_msg_pooled(env, &mut self.pool)?;
             for reply in replies {
                 batches
                     .entry(reply.to)
@@ -304,12 +328,11 @@ where
             from,
             to,
             kind,
-            payload,
+            payload: payload.into(),
             accounting,
         };
-        let replies = self
-            .engine(key)
-            .on_msg(env)
+        let replies = Self::engine_at(&mut self.objects, key, self.id, self.cfg, &self.params)
+            .on_msg_pooled(env, &mut self.pool)
             .expect("raw delta injection matches the configured protocol");
         debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }

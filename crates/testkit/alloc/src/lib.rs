@@ -1,0 +1,147 @@
+//! A counting [`GlobalAlloc`] wrapper for allocation-budget assertions.
+//!
+//! The wire-path refactor's headline claim — steady-state rounds perform
+//! O(1) payload allocations, decoders never allocate more than the input
+//! they were handed — is only a claim until something counts. This shim
+//! (offline, like the rest of the testkit) wraps the [`System`]
+//! allocator with three process-wide atomic counters: allocations,
+//! allocated bytes, and the peak single request.
+//!
+//! Install it in the **binary** under measurement:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+//!
+//! let (result, stats) = testkit_alloc::measure(|| expensive());
+//! assert!(stats.allocations < 100);
+//! ```
+//!
+//! Counters are global, so concurrent measurements interfere: keep one
+//! measuring test per test binary (or serialize), and remember that
+//! [`measure`] also sees allocations from worker threads the closure
+//! spawns — which is exactly right for the runners' phase model.
+//!
+//! When the allocator is *not* installed, counters simply stay at zero
+//! and [`measure`] reports zeros — callers that want to distinguish
+//! "cheap" from "not measured" should check [`is_installed`].
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_REQUEST: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation.
+///
+/// `realloc` counts as one allocation of the new size (the data move is
+/// the cost being tracked); `dealloc` is not counted.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+fn record(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    PEAK_REQUEST.fetch_max(size as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates verbatim to `System`; the counter updates are
+// lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A snapshot (or difference) of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Heap allocations (including reallocs).
+    pub allocations: u64,
+    /// Total bytes requested across those allocations.
+    pub allocated_bytes: u64,
+    /// Largest single request seen (not differenced by [`measure`] —
+    /// it is a high-water mark over the measured region).
+    pub peak_request: u64,
+}
+
+/// Current absolute counter values.
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        peak_request: PEAK_REQUEST.load(Ordering::Relaxed),
+    }
+}
+
+/// Run `f`, returning its result plus the allocation activity it caused
+/// (process-wide: includes threads `f` spawns, and anything else running
+/// concurrently — keep measured regions exclusive).
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocStats) {
+    PEAK_REQUEST.store(0, Ordering::Relaxed);
+    let before = snapshot();
+    let value = f();
+    let after = snapshot();
+    (
+        value,
+        AllocStats {
+            allocations: after.allocations - before.allocations,
+            allocated_bytes: after.allocated_bytes - before.allocated_bytes,
+            peak_request: after.peak_request,
+        },
+    )
+}
+
+/// Is the counting allocator actually installed as the global allocator
+/// in this process? (Detected by allocating once and looking at the
+/// counters.)
+pub fn is_installed() -> bool {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let probe = vec![0u8; 32];
+    std::hint::black_box(&probe);
+    ALLOCATIONS.load(Ordering::Relaxed) != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this test binary, so counters
+    // stay flat — which is itself the contract worth pinning.
+    #[test]
+    fn uninstalled_counters_stay_flat() {
+        let (v, stats) = measure(|| vec![1u8, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(stats.allocations, 0);
+        assert!(!is_installed());
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let before = snapshot();
+        record(64);
+        record(128);
+        let after = snapshot();
+        assert_eq!(after.allocations - before.allocations, 2);
+        assert_eq!(after.allocated_bytes - before.allocated_bytes, 192);
+        assert!(after.peak_request >= 128);
+    }
+}

@@ -19,8 +19,15 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Real proptest defaults to 256; the shim favors fast CI. Tests
-        // that want more pass an explicit config.
-        ProptestConfig { cases: 64 }
+        // that want more pass an explicit config — and, matching real
+        // proptest, the `PROPTEST_CASES` environment variable overrides
+        // the default so CI can run robustness sweeps at a raised case
+        // count without recompiling.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
