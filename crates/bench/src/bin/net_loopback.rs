@@ -1,0 +1,95 @@
+//! Real-socket loopback cluster experiments with a machine-readable
+//! report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin net_loopback -- --quick --protocol all
+//! cargo run --release -p crdt-bench --bin net_loopback -- \
+//!     --protocol bp_rr --protocol scuttlebutt \
+//!     --out BENCH_net.json \
+//!     --baseline ci/bench-baseline/BENCH_net.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--protocol <kind>` (repeatable; `all`) — which
+//!   [`crdt_sync::ProtocolKind`]s to run over real sockets.
+//! * `--quick` — CI scale (3 nodes) instead of paper-adjacent scale
+//!   (5 nodes).
+//! * `--out <path>` — where to write the JSON report
+//!   (default `BENCH_net.json`).
+//! * `--baseline <path>` — compare against a checked-in report; any
+//!   gated byte/frame metric more than `--tolerance` (default `0.25`)
+//!   worse exits with status 1, listing the violations.
+//!
+//! The bin itself enforces the liveness bar: every selected kind must
+//! converge — lockstep *and* free-running within the 10 s deadline — or
+//! the run exits 1. Raw-δ kinds must additionally match the in-process
+//! simulator's accounting exactly (`sim_parity`).
+
+use crdt_bench::net_loopback::{check_regression, run_suite, write_report};
+use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
+use crdt_sync::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kinds = protocols_from_args(&ProtocolKind::ALL);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_net.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let outcomes = run_suite(scale, &kinds);
+    write_report(&out_path, &outcomes, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} rows)", outcomes.len());
+
+    for o in &outcomes {
+        if !o.converged {
+            eprintln!(
+                "FAIL: {} did not converge over sockets (lockstep)",
+                o.protocol
+            );
+            std::process::exit(1);
+        }
+        if !o.freerun_converged {
+            eprintln!(
+                "FAIL: {} did not converge free-running within the deadline",
+                o.protocol
+            );
+            std::process::exit(1);
+        }
+        if o.protocol.accepts_raw_delta() && !o.sim_parity {
+            eprintln!(
+                "FAIL: {} socket accounting diverged from the simulator's (δ-kinds must be exact)",
+                o.protocol
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::net_loopback::report_to_json(&outcomes, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

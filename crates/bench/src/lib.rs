@@ -31,6 +31,21 @@
 //! cargo run --release -p crdt-bench --bin scenarios -- \
 //!     --scenario partition_heal --protocol all --quick
 //! ```
+//!
+//! ## Real sockets: the `net_loopback` experiment family
+//!
+//! The `net_loopback` binary (module [`net_loopback`]) runs the same
+//! deterministic workload through the in-process simulator **and** a
+//! real-TCP `crdt_net::LoopbackCluster`, reporting both ledgers in
+//! `BENCH_net.json`: model-view bytes (byte-identical between the two
+//! for the raw-δ kinds), the socket ledger (frames, wire bytes), and
+//! artifact-only wall-clock convergence for the free-running scheduler
+//! threads. CI gates the deterministic metrics against
+//! `ci/bench-baseline/BENCH_net.json`:
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin net_loopback -- --quick --protocol all
+//! ```
 
 #![warn(missing_docs)]
 
@@ -529,5 +544,6 @@ mod tests {
 pub mod codec_bench;
 pub mod experiments;
 pub mod json;
+pub mod net_loopback;
 pub mod retwis_sharded;
 pub mod scenarios;

@@ -1,0 +1,301 @@
+//! The `net_loopback` experiment family: real-socket clusters measured
+//! against the simulator's accounting.
+//!
+//! For every selected [`ProtocolKind`] this family runs the **same
+//! deterministic workload** twice:
+//!
+//! 1. in the in-process [`delta_store::Cluster`] (the simulator whose
+//!    accounting reproduces the paper's transmission metrics), and
+//! 2. in a lockstep [`crdt_net::LoopbackCluster`] — N real TCP nodes on
+//!    ephemeral `127.0.0.1` ports, every batch crossing an actual
+//!    socket;
+//!
+//! and reports both ledgers side by side: the model-view
+//! [`delta_store::TrafficStats`] (which for the raw-δ kinds must come
+//! out **byte-identical** between the two — `sim_parity` in the report)
+//! plus the socket ledger (frames, wire bytes with length prefixes) that
+//! only the real transport has. A free-running pass (scheduler threads,
+//! no external driving) rides along for wall-clock convergence, which is
+//! machine-dependent and therefore never gated — the CI gate covers the
+//! deterministic byte/frame metrics via `BENCH_net.json` against
+//! `ci/bench-baseline/BENCH_net.json`.
+
+use std::time::{Duration, Instant};
+
+use crdt_net::{LoopbackCluster, NodeConfig};
+use crdt_sync::ProtocolKind;
+use crdt_types::{GSet, GSetOp};
+use delta_store::{Cluster, StoreConfig};
+
+use crate::json::Json;
+use crate::{print_table, Scale};
+
+type Key = String;
+type Val = GSet<u64>;
+
+/// One protocol's measurements over the loopback cluster.
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// Which protocol ran.
+    pub protocol: ProtocolKind,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Did the lockstep socket cluster converge?
+    pub converged: bool,
+    /// Lockstep rounds to convergence.
+    pub rounds: usize,
+    /// Socket cluster: batches shipped (model view).
+    pub messages: u64,
+    /// Socket cluster: payload elements shipped.
+    pub payload_elements: u64,
+    /// Socket cluster: payload bytes (model view).
+    pub payload_bytes: u64,
+    /// Socket cluster: metadata bytes (model view).
+    pub metadata_bytes: u64,
+    /// Socket cluster: frames written to TCP.
+    pub frames: u64,
+    /// Socket cluster: wire bytes written (payloads + prefixes).
+    pub wire_bytes: u64,
+    /// Simulator total bytes for the identical workload/topology.
+    pub sim_total_bytes: u64,
+    /// Did the socket accounting equal the simulator's exactly?
+    /// (Required for raw-δ kinds; informational otherwise.)
+    pub sim_parity: bool,
+    /// Wall-clock of the lockstep run (workload + rounds), artifact
+    /// only.
+    pub lockstep_ms: u64,
+    /// Wall-clock for the free-running schedulers to converge, artifact
+    /// only.
+    pub freerun_ms: u64,
+    /// Did the free-running pass converge within its deadline?
+    pub freerun_converged: bool,
+}
+
+/// Scale parameters: `(nodes, max lockstep rounds, free-run deadline)`.
+fn shape(scale: Scale) -> (usize, usize, Duration) {
+    match scale {
+        Scale::Full => (5, 32, Duration::from_secs(10)),
+        Scale::Quick => (3, 24, Duration::from_secs(10)),
+    }
+}
+
+/// The deterministic workload both transports replay: every node
+/// updates every key with node-distinct elements.
+fn workload(n: usize) -> Vec<(usize, Key, GSetOp<u64>)> {
+    let keys = ["alpha", "beta", "gamma", "delta"];
+    let mut ops = Vec::new();
+    for node in 0..n {
+        for (k, key) in keys.iter().enumerate() {
+            for rep in 0..3u64 {
+                ops.push((
+                    node,
+                    key.to_string(),
+                    GSetOp::Add((node as u64) * 1000 + (k as u64) * 10 + rep),
+                ));
+            }
+        }
+    }
+    ops
+}
+
+/// Run one protocol at `scale`, both transports.
+pub fn run_one(kind: ProtocolKind, scale: Scale) -> NetOutcome {
+    let (n, max_rounds, freerun_deadline) = shape(scale);
+    let ops = workload(n);
+
+    // Simulator reference.
+    let mut sim: Cluster<Key, Val> = Cluster::full_mesh(n, StoreConfig::new(kind));
+    for (node, key, op) in &ops {
+        sim.update(*node, key.clone(), op);
+    }
+    sim.run_until_converged(max_rounds);
+    let sim_stats = sim.stats();
+
+    // Lockstep socket cluster.
+    let start = Instant::now();
+    let cfg = NodeConfig::new(StoreConfig::new(kind), n);
+    let mut net: LoopbackCluster<Key, Val> =
+        LoopbackCluster::full_mesh(n, cfg).expect("spawn loopback cluster");
+    for (node, key, op) in &ops {
+        net.update(*node, key.clone(), op);
+    }
+    let report = net.run_until_converged(max_rounds);
+    let lockstep_ms = start.elapsed().as_millis() as u64;
+    let stats = net.stats();
+    let wire = net.wire_totals();
+    drop(net);
+
+    // Free-running pass: scheduler threads, wall-clock to convergence.
+    let start = Instant::now();
+    let cfg = NodeConfig::new(StoreConfig::new(kind), n).with_scheduler(Duration::from_millis(2));
+    let mut free: LoopbackCluster<Key, Val> =
+        LoopbackCluster::full_mesh(n, cfg).expect("spawn free-running cluster");
+    for (node, key, op) in &ops {
+        free.update(*node, key.clone(), op);
+    }
+    let free_report = free.await_convergence(freerun_deadline);
+    let freerun_ms = start.elapsed().as_millis() as u64;
+    drop(free);
+
+    NetOutcome {
+        protocol: kind,
+        nodes: n,
+        converged: report.converged,
+        rounds: report.rounds,
+        messages: stats.messages,
+        payload_elements: stats.payload_elements,
+        payload_bytes: stats.payload_bytes,
+        metadata_bytes: stats.metadata_bytes,
+        frames: wire.frames,
+        wire_bytes: wire.bytes,
+        sim_total_bytes: sim_stats.total_bytes(),
+        sim_parity: stats == sim_stats,
+        lockstep_ms,
+        freerun_ms,
+        freerun_converged: free_report.converged,
+    }
+}
+
+/// Run the family for `kinds`, printing the comparison table.
+pub fn run_suite(scale: Scale, kinds: &[ProtocolKind]) -> Vec<NetOutcome> {
+    let (n, _, _) = shape(scale);
+    let mut outcomes = Vec::new();
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let o = run_one(kind, scale);
+        rows.push(vec![
+            o.protocol.name().to_string(),
+            if o.converged {
+                o.rounds.to_string()
+            } else {
+                "NO".to_string()
+            },
+            (o.payload_bytes + o.metadata_bytes).to_string(),
+            o.sim_total_bytes.to_string(),
+            if o.sim_parity { "exact" } else { "≈" }.to_string(),
+            o.frames.to_string(),
+            o.wire_bytes.to_string(),
+            o.lockstep_ms.to_string(),
+            format!(
+                "{}{}",
+                o.freerun_ms,
+                if o.freerun_converged { "" } else { " (!)" }
+            ),
+        ]);
+        outcomes.push(o);
+    }
+    print_table(
+        &format!("net_loopback ({n} real-socket nodes, full mesh)"),
+        &[
+            "protocol",
+            "rounds",
+            "net bytes",
+            "sim bytes",
+            "parity",
+            "frames",
+            "wire B",
+            "lockstep ms",
+            "freerun ms",
+        ],
+        &rows,
+    );
+    outcomes
+}
+
+/// Render outcomes as the `BENCH_net.json` document.
+pub fn report_to_json(outcomes: &[NetOutcome], quick: bool) -> Json {
+    let results = outcomes
+        .iter()
+        .map(|o| {
+            Json::Obj(vec![
+                ("protocol".into(), Json::str(o.protocol.id())),
+                ("protocol_name".into(), Json::str(o.protocol.name())),
+                ("nodes".into(), Json::num(o.nodes as u64)),
+                ("converged".into(), Json::Bool(o.converged)),
+                ("rounds".into(), Json::num(o.rounds as u64)),
+                ("messages".into(), Json::num(o.messages)),
+                ("payload_elements".into(), Json::num(o.payload_elements)),
+                ("payload_bytes".into(), Json::num(o.payload_bytes)),
+                ("metadata_bytes".into(), Json::num(o.metadata_bytes)),
+                (
+                    "total_bytes".into(),
+                    Json::num(o.payload_bytes + o.metadata_bytes),
+                ),
+                ("frames".into(), Json::num(o.frames)),
+                ("wire_bytes".into(), Json::num(o.wire_bytes)),
+                ("sim_total_bytes".into(), Json::num(o.sim_total_bytes)),
+                ("sim_parity".into(), Json::Bool(o.sim_parity)),
+                // Wall-clock rides along as an artifact; never gated.
+                ("lockstep_ms".into(), Json::num(o.lockstep_ms)),
+                ("freerun_ms".into(), Json::num(o.freerun_ms)),
+                ("freerun_converged".into(), Json::Bool(o.freerun_converged)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("bench-net/v1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("results".into(), Json::Arr(results)),
+    ])
+}
+
+/// Write the JSON report to `path`.
+pub fn write_report(path: &str, outcomes: &[NetOutcome], quick: bool) -> std::io::Result<()> {
+    std::fs::write(path, report_to_json(outcomes, quick).pretty())
+}
+
+/// Compare a current report against a checked-in baseline.
+///
+/// Rows match on `(protocol, nodes)`. Gated metrics are the
+/// deterministic ones — model-view bytes and the socket ledger (the
+/// lockstep drain makes both reproducible run to run); wall-clock
+/// columns are artifacts and never gated. Epsilons per
+/// [`crate::gate_limit`]: byte metrics get a 256 B floor, frame/message
+/// counts a floor of 8, rounds a floor of 2.
+pub fn check_regression(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
+    crate::check_regression_gate(
+        current,
+        baseline,
+        tolerance,
+        &["protocol", "nodes"],
+        &[
+            ("messages", 8.0),
+            ("payload_bytes", 256.0),
+            ("metadata_bytes", 256.0),
+            ("total_bytes", 256.0),
+            ("frames", 8.0),
+            ("wire_bytes", 256.0),
+            ("rounds", 2.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale smoke over one δ-kind and one push-pull kind: the
+    /// report is well-formed, δ accounting matches the simulator, and a
+    /// self-compared gate passes.
+    #[test]
+    fn quick_suite_reports_and_gates() {
+        let outcomes = run_suite(
+            Scale::Quick,
+            &[ProtocolKind::BpRr, ProtocolKind::Scuttlebutt],
+        );
+        assert!(outcomes.iter().all(|o| o.converged));
+        let bp_rr = &outcomes[0];
+        assert!(
+            bp_rr.sim_parity,
+            "δ-kind socket accounting must equal the simulator's"
+        );
+        assert!(bp_rr.frames > 0 && bp_rr.wire_bytes > bp_rr.frames * 4);
+        let doc = report_to_json(&outcomes, true);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("bench-net/v1")
+        );
+        let violations = check_regression(&doc, &doc, 0.25);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -306,4 +306,88 @@ mod tests {
         let frame = pool.freeze(scratch);
         assert!(frame.is_empty());
     }
+
+    /// An empty slice taken exactly at the end of the view is legal and
+    /// collapses to the shared empty buffer, not a dangling sub-view.
+    #[test]
+    fn empty_slice_at_end_is_the_empty_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let end = b.slice(3..3);
+        assert!(end.is_empty());
+        assert_eq!(end, Bytes::new());
+        // It does not alias the parent: offset_of on the shared empty
+        // backing finds nothing inside `b`.
+        assert_eq!(b.offset_of(&end), None);
+        // Same for an empty slice of an empty buffer.
+        assert!(Bytes::new().slice(0..0).is_empty());
+    }
+
+    /// A full-range slice is content-identical to the original and still
+    /// shares the original's allocation (identity, not a copy).
+    #[test]
+    fn full_range_slice_is_identity() {
+        let b = Bytes::from(vec![5u8, 6, 7, 8]);
+        let whole = b.slice(0..b.len());
+        assert_eq!(whole, b);
+        assert_eq!(whole.len(), b.len());
+        assert_eq!(
+            b.offset_of(&whole),
+            Some(0),
+            "full-range slice shares the parent allocation"
+        );
+        // Slicing the identity again behaves like slicing the parent.
+        assert_eq!(whole.slice(1..3), b.slice(1..3));
+    }
+
+    /// A pool behind a mutex serves concurrent checkout/freeze/return
+    /// from many threads without losing or corrupting buffers — the
+    /// shape `crdt-net` uses when socket readers and the anti-entropy
+    /// scheduler share one node's pool.
+    #[test]
+    fn pool_survives_concurrent_checkout_and_return() {
+        use std::sync::{Arc, Mutex};
+
+        let pool = Arc::new(Mutex::new(BufferPool::new()));
+        let threads = 8;
+        let rounds = 200;
+        let frames: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut produced = Vec::new();
+                    for i in 0..rounds {
+                        let mut scratch = pool.lock().unwrap().take();
+                        assert!(scratch.is_empty(), "pooled scratch arrives cleared");
+                        let marker = (t * rounds + i) as u32;
+                        scratch.extend_from_slice(&marker.to_le_bytes());
+                        let frame = pool.lock().unwrap().freeze(scratch);
+                        produced.push((marker, frame));
+                        // Every other round, also cycle a raw give/take.
+                        if i % 2 == 0 {
+                            let extra = pool.lock().unwrap().take();
+                            pool.lock().unwrap().give(extra);
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut total = 0;
+        for handle in frames {
+            for (marker, frame) in handle.join().unwrap() {
+                assert_eq!(
+                    frame.as_slice(),
+                    marker.to_le_bytes(),
+                    "frozen frames keep their content under contention"
+                );
+                total += 1;
+            }
+        }
+        assert_eq!(total, threads * rounds);
+        let pooled = pool.lock().unwrap().pooled();
+        assert!(
+            pooled >= 1 && pooled <= threads * 2,
+            "pool holds a bounded set of recycled buffers, got {pooled}"
+        );
+    }
 }

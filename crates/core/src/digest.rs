@@ -23,7 +23,7 @@
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
-use crdt_lattice::{join_all, Decompose, SizeModel, StateSize};
+use crdt_lattice::{join_all, CodecError, Decompose, SizeModel, StateSize, WireEncode};
 
 /// A state digest: hashes of the join-irreducibles of `⇓x`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -59,6 +59,21 @@ impl Digest {
     /// Wire size: 8 bytes per hash.
     pub fn size_bytes(&self) -> u64 {
         8 * self.hashes.len() as u64
+    }
+}
+
+/// Digests cross real transports (`crdt-net`'s repair handshake runs the
+/// 3-message protocol of §VI over sockets), so they encode like any
+/// other wire value: the sorted hash set, varint-framed.
+impl WireEncode for Digest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hashes.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Digest {
+            hashes: BTreeSet::decode(input)?,
+        })
     }
 }
 

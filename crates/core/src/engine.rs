@@ -205,15 +205,17 @@ impl WireEncode for ProtocolKind {
 pub struct UnknownProtocol(pub String);
 
 impl fmt::Display for UnknownProtocol {
+    /// Lists every accepted spelling — both the CLI ids and the paper's
+    /// figure labels — so a typoed `--protocol` flag teaches its own fix.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "unknown protocol {:?} (expected one of: ", self.0)?;
         for (i, k) in ProtocolKind::ALL.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            f.write_str(k.id())?;
+            write!(f, "{} [{}]", k.id(), k.name())?;
         }
-        f.write_str(")")
+        f.write_str("; matching is case-insensitive)")
     }
 }
 
@@ -1237,6 +1239,47 @@ mod tests {
             ProtocolKind::ScuttlebuttGc
         );
         assert!("bogus".parse::<ProtocolKind>().is_err());
+    }
+
+    /// Parsing ignores case entirely: every id and label round-trips in
+    /// UPPER and MiXeD case (a shell-happy `--protocol CLASSIC` works).
+    #[test]
+    fn kind_parsing_is_case_insensitive() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(
+                kind.id().to_ascii_uppercase().parse::<ProtocolKind>(),
+                Ok(kind),
+                "uppercase id for {kind}"
+            );
+            assert_eq!(
+                kind.name().to_ascii_uppercase().parse::<ProtocolKind>(),
+                Ok(kind),
+                "uppercase label for {kind}"
+            );
+        }
+        assert_eq!(
+            "Op_Based".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::OpBased)
+        );
+        assert_eq!("STATE".parse::<ProtocolKind>(), Ok(ProtocolKind::State));
+    }
+
+    /// The parse error names every accepted kind, ids and labels both —
+    /// the `--protocol` flag's UX depends on it.
+    #[test]
+    fn unknown_protocol_error_lists_all_kinds() {
+        let err = "bogus".parse::<ProtocolKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"bogus\""), "{msg}");
+        for kind in ProtocolKind::ALL {
+            assert!(msg.contains(kind.id()), "missing id {} in {msg}", kind.id());
+            assert!(
+                msg.contains(kind.name()),
+                "missing label {} in {msg}",
+                kind.name()
+            );
+        }
+        assert!(msg.contains("case-insensitive"), "{msg}");
     }
 
     #[test]

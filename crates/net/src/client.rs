@@ -1,0 +1,87 @@
+//! The client side of the node protocol: a blocking request-reply
+//! connection for workloads and probes.
+
+use std::io;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpStream};
+
+use crdt_lattice::WireEncode;
+use crdt_sync::{BufferPool, OpBytes};
+use crdt_types::Crdt;
+
+use crate::framing::{read_frame, write_frame};
+use crate::message::{NetMsg, ProbeReport};
+use crate::node::NetError;
+
+/// A client connection to one node: get/update/probe over real frames.
+///
+/// Every method is one request-reply round trip on a persistent
+/// connection — the way a test (or the `net_cluster` example) drives a
+/// real workload through the socket path instead of reaching into the
+/// node's memory.
+#[derive(Debug)]
+pub struct NetClient<K, C> {
+    stream: TcpStream,
+    pool: BufferPool,
+    max_frame_bytes: usize,
+    _types: PhantomData<fn() -> (K, C)>,
+}
+
+impl<K, C> NetClient<K, C>
+where
+    K: WireEncode,
+    C: Crdt + WireEncode,
+    C::Op: WireEncode,
+{
+    /// Connect to the node at `addr`.
+    pub fn connect(addr: SocketAddr, max_frame_bytes: usize) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NetClient {
+            stream,
+            pool: BufferPool::new(),
+            max_frame_bytes,
+            _types: PhantomData,
+        })
+    }
+
+    fn request(&mut self, msg: NetMsg<K>) -> Result<NetMsg<K>, NetError> {
+        write_frame(&mut self.stream, &msg.to_bytes(), self.max_frame_bytes)?;
+        let frame = read_frame(&mut self.stream, self.max_frame_bytes, &mut self.pool)?
+            .ok_or(NetError::Protocol("server closed the connection"))?;
+        let reply = NetMsg::<K>::from_bytes(&frame)?;
+        if let NetMsg::Error { message } = reply {
+            return Err(NetError::Remote(message));
+        }
+        Ok(reply)
+    }
+
+    /// Read the object at `key`; `None` when the node does not hold it.
+    pub fn get(&mut self, key: K) -> Result<Option<C>, NetError> {
+        match self.request(NetMsg::Get { key })? {
+            NetMsg::GetReply { state: None } => Ok(None),
+            NetMsg::GetReply { state: Some(blob) } => Ok(Some(C::from_bytes(&blob)?)),
+            _ => Err(NetError::Protocol("expected GetReply")),
+        }
+    }
+
+    /// Apply `op` to the object at `key` and wait for the ack.
+    pub fn update(&mut self, key: K, op: &C::Op) -> Result<(), NetError> {
+        match self.request(NetMsg::Update {
+            key,
+            op: OpBytes::encode(op).0,
+        })? {
+            NetMsg::UpdateReply => Ok(()),
+            _ => Err(NetError::Protocol("expected UpdateReply")),
+        }
+    }
+
+    /// The node's convergence probe: per-object state summaries plus
+    /// transfer counters.
+    pub fn probe(&mut self) -> Result<ProbeReport<K>, NetError> {
+        match self.request(NetMsg::Probe)? {
+            NetMsg::ProbeReply(report) => Ok(report),
+            _ => Err(NetError::Protocol("expected ProbeReply")),
+        }
+    }
+}

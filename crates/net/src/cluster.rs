@@ -1,0 +1,664 @@
+//! An N-node real-socket cluster on `127.0.0.1` — the test and bench
+//! harness of the runtime.
+//!
+//! Every node is a full [`NodeHandle`] (listener, readers, keyspace)
+//! on an ephemeral port; the harness holds their handles plus one
+//! persistent [`NetClient`] per node, so workloads, probes, and
+//! convergence checks all travel the socket path.
+//!
+//! ## Lockstep rounds
+//!
+//! [`LoopbackCluster::sync_round`] reproduces the in-process
+//! [`delta_store::Cluster::sync_round`] schedule over real TCP: every
+//! live node runs one sync step (in id order), then the cluster drains —
+//! it waits for all in-flight frames to land, snapshots every inbox, and
+//! absorbs the snapshots in node order, repeating until nothing moves.
+//! Snapshot-then-absorb makes each drain pass's content a deterministic
+//! function of the previous pass (socket timing decides *when* frames
+//! land, never *what* is absorbed together), which is what lets the
+//! `net_loopback` bench gate byte metrics and the parity test demand
+//! **exact** equality with the simulator's accounting for the δ-kinds.
+//!
+//! ## Faults
+//!
+//! Links can be severed (frames dropped at the sender, the semantics of
+//! `LoopbackTransport::sever`) or frozen (frames parked in order,
+//! flushed on thaw); nodes crash durably (keyspace kept for the
+//! restart) or cold (state lost), and restart on a fresh port with
+//! every affected connection re-dialed. [`LoopbackCluster::apply_event`]
+//! maps the `crdt-sim` [`ScenarioEvent`] vocabulary onto these where it
+//! translates (partitions, heals, crashes, restarts) and reports the
+//! rest as unsupported rather than silently approximating.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
+use crdt_sim::ScenarioEvent;
+use crdt_sync::digest::PairSyncStats;
+use crdt_types::Crdt;
+use delta_store::{ConvergenceReport, StoreReplica, TrafficStats};
+
+use crate::client::NetClient;
+use crate::message::ProbeReport;
+use crate::node::{NodeConfig, NodeHandle};
+
+/// A [`ScenarioEvent`] the socket harness cannot express.
+///
+/// `Join` needs membership negotiation the peer protocol does not carry
+/// yet, and `LinkFault`/`LinkHeal` model probabilistic drop/dup/reorder
+/// overlays that real TCP deliberately prevents — the honest mappings
+/// here are sever (drop) and freeze (delay), exposed directly.
+#[derive(Debug, Clone)]
+pub struct UnsupportedScenarioEvent(pub ScenarioEvent);
+
+impl fmt::Display for UnsupportedScenarioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario event {:?} has no socket-level mapping (supported: \
+             Partition, Heal, Crash, Restart)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedScenarioEvent {}
+
+/// Wire-level transfer totals (socket ledger, distinct from the
+/// model-view [`TrafficStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTotals {
+    /// Frames written to sockets.
+    pub frames: u64,
+    /// Bytes written (payloads plus length prefixes).
+    pub bytes: u64,
+}
+
+/// N real-socket nodes on loopback, driven in lockstep or free-running.
+pub struct LoopbackCluster<K: Ord, C> {
+    cfg: NodeConfig,
+    nodes: Vec<Option<NodeHandle<K, C>>>,
+    clients: Vec<Option<NetClient<K, C>>>,
+    addrs: Vec<SocketAddr>,
+    neighbors: Vec<Vec<ReplicaId>>,
+    /// Keyspaces of durably crashed nodes, awaiting restart.
+    stash: Vec<Option<StoreReplica<K, C>>>,
+    /// Accounting of shut-down nodes, so cluster totals survive crashes.
+    retired_traffic: TrafficStats,
+    retired_wire: WireTotals,
+    /// Lockstep rounds executed.
+    rounds: usize,
+    /// The active partition (for the heal-time repair policy).
+    partition: Option<Vec<Vec<usize>>>,
+    /// How long to wait for in-flight frames to land before a drain
+    /// pass proceeds anyway.
+    settle_timeout: Duration,
+}
+
+impl<K: Ord, C> fmt::Debug for LoopbackCluster<K, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("nodes", &self.nodes.len())
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl<K, C> LoopbackCluster<K, C>
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    /// A fully connected cluster of `n` nodes.
+    pub fn full_mesh(n: usize, cfg: NodeConfig) -> io::Result<Self> {
+        let neighbors = (0..n)
+            .map(|i| (0..n).filter(|j| *j != i).map(ReplicaId::from).collect())
+            .collect();
+        Self::with_neighbors(neighbors, cfg)
+    }
+
+    /// A cluster over an explicit neighbor graph (entry `i` lists the
+    /// nodes `i` pushes to).
+    pub fn with_neighbors(neighbors: Vec<Vec<ReplicaId>>, cfg: NodeConfig) -> io::Result<Self> {
+        let n = neighbors.len();
+        let mut cfg = cfg;
+        cfg.n_nodes = n;
+        let mut nodes = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = NodeHandle::spawn(ReplicaId::from(i), cfg)?;
+            addrs.push(node.addr());
+            nodes.push(Some(node));
+        }
+        for (i, links) in neighbors.iter().enumerate() {
+            for &peer in links {
+                nodes[i]
+                    .as_ref()
+                    .expect("just spawned")
+                    .connect(peer, addrs[peer.index()])?;
+            }
+        }
+        let mut clients = Vec::with_capacity(n);
+        for addr in &addrs {
+            clients.push(Some(NetClient::connect(*addr, cfg.max_frame_bytes)?));
+        }
+        Ok(LoopbackCluster {
+            cfg,
+            nodes,
+            clients,
+            addrs,
+            neighbors,
+            stash: (0..n).map(|_| None).collect(),
+            retired_traffic: TrafficStats::default(),
+            retired_wire: WireTotals::default(),
+            rounds: 0,
+            partition: None,
+            settle_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Number of nodes (including crashed ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the cluster empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Is node `i` currently up?
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.nodes[i].is_some()
+    }
+
+    /// The live node handle at `i`.
+    ///
+    /// # Panics
+    ///
+    /// If the node is crashed.
+    pub fn node(&self, i: usize) -> &NodeHandle<K, C> {
+        self.nodes[i].as_ref().expect("node is down")
+    }
+
+    /// The persistent client connection to node `i`.
+    pub fn client(&mut self, i: usize) -> &mut NetClient<K, C> {
+        self.clients[i].as_mut().expect("node is down")
+    }
+
+    /// The address node `i` listens on.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    /// Apply `op` at node `i` — over the socket client, like any real
+    /// workload.
+    pub fn update(&mut self, i: usize, key: K, op: &C::Op) {
+        self.client(i)
+            .update(key, op)
+            .expect("loopback update failed");
+    }
+
+    /// Read the object at `key` from node `i`, over the socket client.
+    pub fn get(&mut self, i: usize, key: K) -> Option<C> {
+        self.client(i).get(key).expect("loopback get failed")
+    }
+
+    /// Probe every live node over its socket client.
+    pub fn probes(&mut self) -> Vec<ProbeReport<K>> {
+        (0..self.nodes.len())
+            .filter(|i| self.nodes[*i].is_some())
+            .map(|i| {
+                self.clients[i]
+                    .as_mut()
+                    .expect("live node has a client")
+                    .probe()
+                    .expect("loopback probe failed")
+            })
+            .collect()
+    }
+
+    /// Frames sent but not yet landed (socket flight + unabsorbed
+    /// inboxes + frozen queues), over live pairs.
+    pub fn in_flight(&self) -> usize {
+        let mut landed: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for (j, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            for (from, n) in node.frames_landed_from() {
+                landed.insert((from.index(), j), n);
+            }
+        }
+        let mut flight = 0i64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            for (to, sent) in node.frames_sent_to() {
+                let j = to.index();
+                if self.nodes[j].is_none() {
+                    continue; // frames to a crashed node are lost, not in flight
+                }
+                let got = landed.get(&(i, j)).copied().unwrap_or(0);
+                flight += (sent as i64 - got as i64).max(0);
+            }
+            let probe = node.probe_local();
+            flight += (probe.inbox_len + probe.frozen_frames) as i64;
+        }
+        flight.max(0) as usize
+    }
+
+    /// Wait until no frame is between a live sender's socket and a live
+    /// receiver's inbox (frozen queues excluded — they are parked, not
+    /// moving). Returns `false` on timeout.
+    fn await_settled(&self) -> bool {
+        let deadline = Instant::now() + self.settle_timeout;
+        loop {
+            let mut settled = true;
+            'outer: for (i, node) in self.nodes.iter().enumerate() {
+                let Some(node) = node else { continue };
+                for (to, sent) in node.frames_sent_to() {
+                    let j = to.index();
+                    let Some(receiver) = self.nodes[j].as_ref() else {
+                        continue;
+                    };
+                    let got = receiver
+                        .frames_landed_from()
+                        .into_iter()
+                        .find(|(from, _)| from.index() == i)
+                        .map_or(0, |(_, n)| n);
+                    if sent > got {
+                        settled = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if settled {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Absorb until quiescence: wait for in-flight frames to land,
+    /// snapshot every inbox, absorb the snapshots in node order; repeat
+    /// until a full pass moves nothing.
+    pub fn drain(&mut self) {
+        loop {
+            self.await_settled();
+            let mut snapshots = Vec::with_capacity(self.nodes.len());
+            for node in self.nodes.iter().flatten() {
+                snapshots.push(node.take_inbox());
+            }
+            if snapshots.iter().all(Vec::is_empty) {
+                return;
+            }
+            for (node, frames) in self.nodes.iter().flatten().zip(snapshots) {
+                node.absorb_frames(frames);
+            }
+        }
+    }
+
+    /// One lockstep synchronization round: every live node syncs (in id
+    /// order), then the cluster drains to quiescence — the socket twin
+    /// of `delta_store::Cluster::sync_round`.
+    pub fn sync_round(&mut self) {
+        for node in self.nodes.iter().flatten() {
+            node.sync_now();
+        }
+        self.rounds += 1;
+        self.drain();
+    }
+
+    /// Have all live nodes converged on every non-`⊥` object?
+    pub fn converged(&mut self) -> bool {
+        self.divergence().is_empty()
+    }
+
+    /// Live nodes disagreeing with the first live node, as
+    /// `(node index, divergent object count)` — the same shape
+    /// [`delta_store::Cluster`] reports.
+    pub fn divergence(&mut self) -> Vec<(usize, usize)> {
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|i| self.nodes[*i].is_some())
+            .collect();
+        let Some(&reference) = live.first() else {
+            return Vec::new();
+        };
+        let summary = |probe: &ProbeReport<K>| -> BTreeMap<K, u64> {
+            probe
+                .keys
+                .iter()
+                .map(|(k, hash, _)| (k.clone(), *hash))
+                .collect()
+        };
+        let base = summary(&self.nodes[reference].as_ref().unwrap().probe_local());
+        let mut out = Vec::new();
+        for &i in live.iter().skip(1) {
+            let mine = summary(&self.nodes[i].as_ref().unwrap().probe_local());
+            let differing = base
+                .iter()
+                .filter(|(k, hash)| mine.get(*k) != Some(hash))
+                .count()
+                + mine.iter().filter(|(k, _)| !base.contains_key(*k)).count();
+            if differing > 0 {
+                out.push((i, differing));
+            }
+        }
+        out
+    }
+
+    /// Run lockstep rounds until convergence (or `max_rounds`),
+    /// reporting the outcome in the **same diagnostic shape** as the
+    /// in-process cluster — one report type across simulated and real
+    /// transports.
+    pub fn run_until_converged(&mut self, max_rounds: usize) -> ConvergenceReport {
+        let mut rounds = max_rounds;
+        for round in 0..max_rounds {
+            if self.converged() && self.in_flight() == 0 {
+                rounds = round;
+                break;
+            }
+            self.sync_round();
+        }
+        ConvergenceReport {
+            converged: self.converged() && self.in_flight() == 0,
+            rounds,
+            in_flight: self.in_flight(),
+            divergent: self.divergence(),
+        }
+    }
+
+    /// Free-running convergence: poll the probes until every live node
+    /// agrees and nothing is in flight, or `timeout` passes. `rounds`
+    /// in the report is the maximum scheduler sync-step count observed —
+    /// only meaningful for nodes spawned with
+    /// [`NodeConfig::with_scheduler`].
+    pub fn await_convergence(&mut self, timeout: Duration) -> ConvergenceReport {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let converged = self.converged() && self.in_flight() == 0;
+            if converged || Instant::now() >= deadline {
+                let rounds = self
+                    .nodes
+                    .iter()
+                    .flatten()
+                    .map(|n| n.probe_local().rounds)
+                    .max()
+                    .unwrap_or(0) as usize;
+                return ConvergenceReport {
+                    converged,
+                    rounds,
+                    in_flight: self.in_flight(),
+                    divergent: self.divergence(),
+                };
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Partition the cluster: sever every directed link crossing
+    /// between `group` and the rest.
+    pub fn partition(&mut self, group: &[usize]) {
+        let rest: Vec<usize> = (0..self.nodes.len())
+            .filter(|i| !group.contains(i))
+            .collect();
+        self.partition_groups(vec![group.to_vec(), rest]);
+    }
+
+    /// Partition into explicit sides; links inside a side stay up.
+    pub fn partition_groups(&mut self, groups: Vec<Vec<usize>>) {
+        let side = |x: usize| groups.iter().position(|g| g.contains(&x));
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            for &peer in &self.neighbors[i] {
+                if side(i) != side(peer.index()) {
+                    node.sever(peer);
+                }
+            }
+        }
+        self.partition = Some(groups);
+    }
+
+    /// Heal every severed link (no repair; see
+    /// [`LoopbackCluster::heal_and_repair`]).
+    pub fn heal(&mut self) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            for &peer in &self.neighbors[i] {
+                node.heal(peer);
+            }
+        }
+        self.partition = None;
+    }
+
+    /// Heal and run the repair policy across the former cut: δ-group
+    /// kinds get the 3-message digest repair between one live
+    /// representative of each side (repaired deltas then propagate over
+    /// ordinary rounds); self-recovering kinds are left to their own
+    /// metadata.
+    pub fn heal_and_repair(&mut self) -> Vec<PairSyncStats> {
+        let groups = self.partition.take();
+        self.heal();
+        let mut stats = Vec::new();
+        if !self.cfg.store.protocol.accepts_raw_delta() {
+            return stats;
+        }
+        if let Some(groups) = groups {
+            let reps: Vec<usize> = groups
+                .iter()
+                .filter_map(|g| g.iter().copied().find(|&i| self.is_alive(i)))
+                .collect();
+            for pair in reps.windows(2) {
+                stats.push(self.repair(pair[0], pair[1]));
+            }
+        }
+        stats
+    }
+
+    /// Freeze the directed link `a → b` (frames park in order).
+    pub fn freeze_link(&mut self, a: usize, b: usize) {
+        self.node(a).freeze(ReplicaId::from(b));
+    }
+
+    /// Thaw `a → b`, flushing parked frames.
+    pub fn thaw_link(&mut self, a: usize, b: usize) {
+        self.node(a).thaw(ReplicaId::from(b));
+    }
+
+    /// Crash node `i`: its process goes away (listener closed, peers'
+    /// frames die on the floor). `durable: true` keeps the keyspace for
+    /// the restart; `false` loses it (cold restart from `⊥`).
+    pub fn crash(&mut self, i: usize, durable: bool) {
+        let node = self.nodes[i].take().expect("node already down");
+        self.clients[i] = None;
+        let relics = node.shutdown();
+        self.retired_traffic.messages += relics.traffic.messages;
+        self.retired_traffic.payload_elements += relics.traffic.payload_elements;
+        self.retired_traffic.payload_bytes += relics.traffic.payload_bytes;
+        self.retired_traffic.metadata_bytes += relics.traffic.metadata_bytes;
+        self.retired_wire.frames += relics.frames_sent;
+        self.retired_wire.bytes += relics.wire_bytes_sent;
+        if durable {
+            self.stash[i] = Some(relics.replica);
+        }
+    }
+
+    /// Restart a crashed node on a fresh port, re-dialing every affected
+    /// connection. A durably stashed keyspace comes back; otherwise the
+    /// node starts from `⊥`. With `repair_from = Some(peer)` the node
+    /// then runs the digest-repair handshake against `peer` — required
+    /// after a cold restart, and after any crash for the δ-family, whose
+    /// peers drained δ-buffers into the void while it was down.
+    pub fn restart(&mut self, i: usize, repair_from: Option<usize>) -> io::Result<()> {
+        assert!(self.nodes[i].is_none(), "node {i} is not down");
+        let replica = self.stash[i].take();
+        let node = match replica {
+            Some(replica) => NodeHandle::spawn_with_replica(ReplicaId::from(i), self.cfg, replica)?,
+            None => NodeHandle::spawn(ReplicaId::from(i), self.cfg)?,
+        };
+        self.addrs[i] = node.addr();
+        // Outbound links from the restarted node.
+        for &peer in &self.neighbors[i] {
+            if self.nodes[peer.index()].is_some() {
+                node.connect(peer, self.addrs[peer.index()])?;
+            }
+        }
+        // Inbound links: every live node that pushes to `i` re-dials.
+        for (j, links) in self.neighbors.iter().enumerate() {
+            if j != i && links.contains(&ReplicaId::from(i)) {
+                if let Some(peer_node) = self.nodes[j].as_ref() {
+                    peer_node.connect(ReplicaId::from(i), self.addrs[i])?;
+                }
+            }
+        }
+        // Fresh links mean fresh ledgers: survivors' landing counters
+        // for the restarted node must pair with its zeroed send
+        // counters, or in-flight reconciliation undercounts (the new
+        // connection's Hello also resets them, but only once it is
+        // read — reset eagerly so the very next round reconciles).
+        for (j, peer_node) in self.nodes.iter().enumerate() {
+            if j != i {
+                if let Some(peer_node) = peer_node.as_ref() {
+                    peer_node.reset_link_counters(ReplicaId::from(i));
+                }
+            }
+        }
+        // An active partition survives a restart: re-dialed links come
+        // up unsevered, so re-sever every cross-side edge touching the
+        // restarted node (the simulators' severed links are transport
+        // state, independent of process lifecycle).
+        if let Some(groups) = self.partition.clone() {
+            let side = |x: usize| groups.iter().position(|g| g.contains(&x));
+            for &peer in &self.neighbors[i] {
+                if side(i) != side(peer.index()) {
+                    node.sever(peer);
+                    if let Some(peer_node) = self.nodes[peer.index()].as_ref() {
+                        peer_node.sever(ReplicaId::from(i));
+                    }
+                }
+            }
+        }
+        self.clients[i] = Some(NetClient::connect(self.addrs[i], self.cfg.max_frame_bytes)?);
+        self.nodes[i] = Some(node);
+        if let Some(peer) = repair_from {
+            assert!(self.is_alive(peer), "repair peer {peer} is down");
+            self.repair(i, peer);
+        }
+        Ok(())
+    }
+
+    /// Digest-driven pairwise repair between live nodes `a` and `b`,
+    /// over a real socket (3 frames). Mirrors
+    /// [`delta_store::Cluster::digest_repair`]'s role and protocol
+    /// restriction.
+    pub fn repair(&mut self, a: usize, b: usize) -> PairSyncStats {
+        assert_ne!(a, b, "repair needs two distinct nodes");
+        let addr = self.addrs[b];
+        self.node(a)
+            .repair_with(ReplicaId::from(b), addr)
+            .expect("loopback repair failed")
+    }
+
+    /// Apply a `crdt-sim` scenario event where the socket runtime has an
+    /// honest equivalent; unsupported vocabulary is an error, not an
+    /// approximation.
+    pub fn apply_event(&mut self, event: &ScenarioEvent) -> Result<(), UnsupportedScenarioEvent> {
+        match event {
+            ScenarioEvent::Partition { groups } => {
+                let mut groups = groups.clone();
+                let listed: Vec<usize> = groups.iter().flatten().copied().collect();
+                let rest: Vec<usize> = (0..self.nodes.len())
+                    .filter(|i| !listed.contains(i))
+                    .collect();
+                if !rest.is_empty() {
+                    groups.push(rest);
+                }
+                self.partition_groups(groups);
+                Ok(())
+            }
+            ScenarioEvent::Heal => {
+                self.heal_and_repair();
+                Ok(())
+            }
+            ScenarioEvent::Crash { node, durable } => {
+                self.crash(*node, *durable);
+                Ok(())
+            }
+            ScenarioEvent::Restart { node } => {
+                // Repair must not leak state across an active cut:
+                // restrict the donor to the restarted node's own side.
+                let same_side = |j: usize| match &self.partition {
+                    Some(groups) => {
+                        let side = |x: usize| groups.iter().position(|g| g.contains(&x));
+                        side(j) == side(*node)
+                    }
+                    None => true,
+                };
+                let repair_from = if self.cfg.store.protocol.accepts_raw_delta() {
+                    (0..self.nodes.len()).find(|&j| j != *node && self.is_alive(j) && same_side(j))
+                } else {
+                    None
+                };
+                self.restart(*node, repair_from)
+                    .expect("restart failed: could not rebind/redial");
+                Ok(())
+            }
+            other => Err(UnsupportedScenarioEvent(other.clone())),
+        }
+    }
+
+    /// Cluster-wide model-view traffic — the same units as the
+    /// in-process cluster's [`delta_store::Cluster::stats`], summed over
+    /// live nodes plus everything crashed nodes had accounted.
+    pub fn stats(&self) -> TrafficStats {
+        let mut total = self.retired_traffic;
+        for node in self.nodes.iter().flatten() {
+            let t = node.probe_local().traffic;
+            total.messages += t.messages;
+            total.payload_elements += t.payload_elements;
+            total.payload_bytes += t.payload_bytes;
+            total.metadata_bytes += t.metadata_bytes;
+        }
+        total
+    }
+
+    /// Cluster-wide socket ledger: frames and wire bytes actually
+    /// written.
+    pub fn wire_totals(&self) -> WireTotals {
+        let mut total = self.retired_wire;
+        for node in self.nodes.iter().flatten() {
+            let probe = node.probe_local();
+            total.frames += probe.frames_sent;
+            total.bytes += probe.wire_bytes_sent;
+        }
+        total
+    }
+
+    /// Lockstep rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl<K: Ord, C> Drop for LoopbackCluster<K, C> {
+    fn drop(&mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(node) = node.take() {
+                // Threads join inside; relics are discarded.
+                drop_node(node);
+            }
+        }
+    }
+}
+
+/// Monomorphization-friendly shutdown (avoids requiring the cluster's
+/// full bounds in `Drop`).
+fn drop_node<K: Ord, C>(node: NodeHandle<K, C>) {
+    node.shutdown_untyped();
+}

@@ -1,0 +1,209 @@
+//! Length-prefixed socket framing with a pre-buffering size guard.
+//!
+//! A frame on the wire is a 4-byte little-endian length prefix followed
+//! by exactly that many payload bytes (one encoded [`crate::NetMsg`]).
+//! The prefix is fixed-width rather than a varint so a reader knows the
+//! claimed length after exactly [`LEN_PREFIX_BYTES`] bytes — *before* it
+//! allocates or buffers anything — and can reject hostile claims
+//! ([`FrameError::Oversized`]) with O(1) work. Everything *inside* the
+//! frame reuses the workspace varint codec and its own corrupt-input
+//! guards ([`crdt_lattice::CodecError`]).
+//!
+//! Reads land in pooled scratch ([`BufferPool`]) frozen to a shared
+//! [`Bytes`] frame, so the zero-copy receive tiers
+//! (`BatchEnvelope::decode_shared`) start straight off the socket
+//! buffer; writes flush a borrowed slice, no intermediate allocation.
+
+use std::io::{self, Read, Write};
+
+use crdt_sync::{BufferPool, Bytes};
+
+/// Width of the frame length prefix (little-endian `u32`).
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Default cap on a single frame's payload length, generous enough for a
+/// full-state batch of a large keyspace while still refusing the 4 GiB
+/// claims a corrupt or hostile prefix can encode.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Failure while reading or writing one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The stream ended inside a frame — a truncated length prefix or a
+    /// payload shorter than its prefix claimed. Distinct from the clean
+    /// end-of-stream between frames ([`read_frame`] returns `Ok(None)`).
+    Truncated,
+    /// The prefix claimed a payload larger than the configured cap. The
+    /// claim is rejected before any buffering, so a corrupt prefix costs
+    /// four bytes of reading, never a proportional allocation.
+    Oversized {
+        /// The length the prefix declared.
+        claimed: u64,
+        /// The configured [`crate::NodeConfig::max_frame_bytes`] cap.
+        max_frame_bytes: usize,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Truncated => f.write_str("stream ended inside a frame"),
+            FrameError::Oversized {
+                claimed,
+                max_frame_bytes,
+            } => write!(
+                f,
+                "frame claims {claimed} B, over the {max_frame_bytes} B cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: length prefix plus `payload`. Returns the wire bytes
+/// shipped (`LEN_PREFIX_BYTES + payload.len()`).
+///
+/// The sender enforces the same cap as the receiver — a node must never
+/// produce a frame its peers are configured to reject.
+pub fn write_frame(
+    w: &mut impl Write,
+    payload: &[u8],
+    max_frame_bytes: usize,
+) -> Result<u64, FrameError> {
+    if payload.len() > max_frame_bytes {
+        return Err(FrameError::Oversized {
+            claimed: payload.len() as u64,
+            max_frame_bytes,
+        });
+    }
+    let prefix = (payload.len() as u32).to_le_bytes();
+    w.write_all(&prefix)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok((LEN_PREFIX_BYTES + payload.len()) as u64)
+}
+
+/// Read one frame into a pooled buffer frozen to a shared [`Bytes`].
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); [`FrameError::Truncated`] when the stream dies mid-frame;
+/// [`FrameError::Oversized`] — **before any payload buffering** — when
+/// the prefix claims more than `max_frame_bytes`.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame_bytes: usize,
+    pool: &mut BufferPool,
+) -> Result<Option<Bytes>, FrameError> {
+    let mut prefix = [0u8; LEN_PREFIX_BYTES];
+    let mut have = 0;
+    while have < LEN_PREFIX_BYTES {
+        match r.read(&mut prefix[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_frame_bytes {
+        return Err(FrameError::Oversized {
+            claimed: len as u64,
+            max_frame_bytes,
+        });
+    }
+    let mut scratch = pool.take();
+    scratch.resize(len, 0);
+    match r.read_exact(&mut scratch) {
+        Ok(()) => Ok(Some(pool.freeze(scratch))),
+        Err(e) => {
+            pool.give(scratch);
+            match e.kind() {
+                io::ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
+                _ => Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_two_frames_then_clean_eof() {
+        let mut wire = Vec::new();
+        let shipped = write_frame(&mut wire, b"hello", 64).unwrap();
+        assert_eq!(shipped, 4 + 5);
+        write_frame(&mut wire, b"", 64).unwrap();
+        let mut pool = BufferPool::new();
+        let mut cursor: &[u8] = &wire;
+        assert_eq!(
+            read_frame(&mut cursor, 64, &mut pool).unwrap().unwrap(),
+            b"hello"[..]
+        );
+        assert!(read_frame(&mut cursor, 64, &mut pool)
+            .unwrap()
+            .unwrap()
+            .is_empty());
+        assert!(read_frame(&mut cursor, 64, &mut pool).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_before_buffering() {
+        // Prefix claims 4 GiB − 1; only four bytes exist on the wire.
+        let wire = u32::MAX.to_le_bytes();
+        let mut pool = BufferPool::new();
+        let mut cursor: &[u8] = &wire;
+        match read_frame(&mut cursor, 1024, &mut pool) {
+            Err(FrameError::Oversized {
+                claimed,
+                max_frame_bytes,
+            }) => {
+                assert_eq!(claimed, u32::MAX as u64);
+                assert_eq!(max_frame_bytes, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_mid_prefix_and_mid_payload() {
+        let mut pool = BufferPool::new();
+        // Two prefix bytes, then EOF.
+        let mut cursor: &[u8] = &[7, 0];
+        assert!(matches!(
+            read_frame(&mut cursor, 64, &mut pool),
+            Err(FrameError::Truncated)
+        ));
+        // Honest prefix, short payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef", 64).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor: &[u8] = &wire;
+        assert!(matches!(
+            read_frame(&mut cursor, 64, &mut pool),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn sender_enforces_the_cap_too() {
+        let mut wire = Vec::new();
+        assert!(matches!(
+            write_frame(&mut wire, &[0u8; 100], 64),
+            Err(FrameError::Oversized { claimed: 100, .. })
+        ));
+        assert!(wire.is_empty(), "nothing hits the wire on a refused frame");
+    }
+}

@@ -1,0 +1,70 @@
+//! # crdt-net
+//!
+//! A **real TCP node runtime** for the synchronization engines: the
+//! layer that takes everything the wire codec hardened — zero-copy
+//! [`crdt_sync::Bytes`] frames, pooled encode scratch, corrupt-frame-safe
+//! decoding — and puts it on actual sockets.
+//!
+//! Every simulator in this workspace *counts* bytes; this crate *ships*
+//! them. A [`NodeHandle`] is a live node: it hosts a keyspace of
+//! per-object `Box<dyn SyncEngine + Send>` engines (a
+//! [`delta_store::StoreReplica`] — any [`crdt_sync::ProtocolKind`],
+//! selected at runtime), exchanges length-prefixed
+//! [`crdt_sync::BatchEnvelope`] frames over persistent peer connections,
+//! and optionally free-runs an anti-entropy scheduler thread. On top sit
+//! a small client protocol ([`NetClient`]: get/update/converged-probe)
+//! and the 3-message digest-driven repair handshake of the paper's §VI,
+//! now crossing real frames.
+//!
+//! | Layer | Types |
+//! |---|---|
+//! | framing | [`framing::read_frame`] / [`framing::write_frame`], [`framing::FrameError`] — length prefix + `max_frame_bytes` guard |
+//! | protocol | [`NetMsg`], [`ProbeReport`] — peer, client, and repair frames |
+//! | runtime | [`NodeHandle`], [`NodeConfig`] — listener, per-peer readers, scheduler |
+//! | client | [`NetClient`] — blocking request-reply workloads |
+//! | harness | [`LoopbackCluster`] — N in-process nodes on ephemeral `127.0.0.1` ports, lockstep or free-running, with fault injection |
+//!
+//! The workspace is offline, so the runtime is built on `std::net` and
+//! plain threads — no async executor. Thread model per node: one
+//! listener, one reader per inbound connection, plus the optional
+//! scheduler; all of them share the keyspace behind a mutex and a
+//! frame inbox behind another (never held together).
+//!
+//! ## Accounting parity
+//!
+//! A [`LoopbackCluster`] driven in lockstep reproduces the in-process
+//! [`delta_store::Cluster`] schedule, so for the δ-kinds (whose absorb
+//! path is join-commutative and reply-free) the model-view
+//! [`delta_store::TrafficStats`] come out **byte-identical** to the
+//! simulator for the same workload and topology — pinned by
+//! `tests/net_parity.rs` and gated in CI via `BENCH_net.json`. The
+//! socket ledger ([`cluster::WireTotals`]) counts what TCP actually
+//! carried, length prefixes included.
+//!
+//! ```no_run
+//! use crdt_net::{LoopbackCluster, NodeConfig};
+//! use crdt_types::{GSet, GSetOp};
+//! use delta_store::StoreConfig;
+//!
+//! let cfg = NodeConfig::new(StoreConfig::new("bp_rr".parse().unwrap()), 3);
+//! let mut cluster: LoopbackCluster<String, GSet<u64>> =
+//!     LoopbackCluster::full_mesh(3, cfg).unwrap();
+//! cluster.update(0, "cart".into(), &GSetOp::Add(1));
+//! let report = cluster.run_until_converged(8);
+//! println!("{report}");
+//! assert!(report.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod cluster;
+pub mod framing;
+mod message;
+mod node;
+
+pub use client::NetClient;
+pub use cluster::{LoopbackCluster, UnsupportedScenarioEvent, WireTotals};
+pub use message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
+pub use node::{NetError, NodeConfig, NodeHandle, NodeRelics};

@@ -1,0 +1,1038 @@
+//! The threaded TCP node runtime.
+//!
+//! One [`NodeHandle::spawn`] gives a live process-within-the-process:
+//!
+//! * a **listener thread** accepting connections on an ephemeral
+//!   `127.0.0.1` port — inbound peers (first frame [`NetMsg::Hello`])
+//!   get a dedicated reader thread; anything else is served as a client
+//!   session (get/update/probe/repair request-reply);
+//! * **one reader thread per inbound peer**, reading length-prefixed
+//!   frames ([`crate::framing`]) into pooled buffers and landing batch
+//!   frames in the node's inbox — undecoded, so the absorb path can run
+//!   `BatchEnvelope::decode_shared` straight off the socket buffer;
+//! * an optional **anti-entropy scheduler thread**
+//!   ([`NodeConfig::scheduler`]): absorbs the inbox continuously and
+//!   runs one [`delta_store::StoreReplica::sync_step`] every configured
+//!   interval, flushing each per-destination batch through pooled
+//!   scratch onto the peer's outbound socket.
+//!
+//! Without a scheduler the node is **externally driven** — the
+//! [`crate::LoopbackCluster`] harness calls [`NodeHandle::sync_now`] and
+//! [`NodeHandle::absorb_pending`] itself, which is what makes its rounds
+//! reproduce the in-process simulators' schedule (and therefore their
+//! byte accounting) exactly.
+//!
+//! The keyspace is a [`StoreReplica`] — the same per-object
+//! `Box<dyn SyncEngine + Send>` engines, δ-buffers, and pooled encode
+//! scratch the in-process `Cluster` drives, now behind a mutex shared by
+//! the scheduler, reader, and client-session threads.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::hash::Hasher;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
+use crdt_sync::digest::{delta_for_digest, Digest, PairSyncStats};
+use crdt_sync::{BufferPool, Bytes, OpBytes};
+use crdt_types::Crdt;
+use delta_store::{StoreConfig, StoreMsg, StoreReplica, TrafficStats};
+
+use crate::framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
+
+/// Configuration of one node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Keyspace configuration: protocol kind + accounting model, shared
+    /// with the in-process store so both layers account identically.
+    pub store: StoreConfig,
+    /// Total replicas in the system (drives `Params::n_nodes`;
+    /// Scuttlebutt-GC's safe-delete bar needs it).
+    pub n_nodes: usize,
+    /// `Some(interval)` starts the anti-entropy scheduler thread: the
+    /// node free-runs, syncing every `interval`. `None` leaves the node
+    /// externally driven (lockstep harnesses, tests).
+    pub scheduler: Option<Duration>,
+    /// Cap on a single frame's payload, enforced on both send and
+    /// receive (see [`crate::framing`]).
+    pub max_frame_bytes: usize,
+}
+
+impl NodeConfig {
+    /// An externally driven node running `store`'s protocol in an
+    /// `n_nodes`-replica system, at the default frame cap.
+    pub fn new(store: StoreConfig, n_nodes: usize) -> Self {
+        NodeConfig {
+            store,
+            n_nodes,
+            scheduler: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+
+    /// Free-run anti-entropy every `interval`.
+    pub fn with_scheduler(mut self, interval: Duration) -> Self {
+        self.scheduler = Some(interval);
+        self
+    }
+
+    /// Override the frame-size cap.
+    pub fn with_max_frame_bytes(mut self, max: usize) -> Self {
+        self.max_frame_bytes = max;
+        self
+    }
+}
+
+/// One outbound peer connection.
+struct PeerLink {
+    stream: TcpStream,
+    /// Link-level fault injection: a severed link drops outbound frames
+    /// silently (the `LoopbackTransport::sever` of real sockets).
+    severed: bool,
+    /// A frozen link parks outbound frames instead of writing them;
+    /// [`NodeHandle::thaw`] flushes the queue in order (delay without
+    /// reorder).
+    frozen: Option<VecDeque<Vec<u8>>>,
+    /// The connection failed; subsequent frames are dropped.
+    dead: bool,
+    /// Frames actually written to this peer.
+    frames_sent: u64,
+}
+
+impl fmt::Debug for PeerLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PeerLink")
+            .field("severed", &self.severed)
+            .field("dead", &self.dead)
+            .field(
+                "frozen",
+                &self.frozen.as_ref().map(VecDeque::len).unwrap_or(0),
+            )
+            .field("frames_sent", &self.frames_sent)
+            .finish()
+    }
+}
+
+/// Mutable node state behind the big lock.
+struct Core<K: Ord, C> {
+    replica: StoreReplica<K, C>,
+    peers: BTreeMap<ReplicaId, PeerLink>,
+    traffic: TrafficStats,
+    /// Sync steps executed.
+    rounds: u64,
+    /// Encode scratch for outbound frames (tag + batch), recycled.
+    pool: BufferPool,
+}
+
+/// Frames landed but not yet absorbed, plus per-peer landing counters.
+#[derive(Default)]
+struct Inbox {
+    queue: VecDeque<(ReplicaId, Bytes)>,
+    received_from: BTreeMap<ReplicaId, u64>,
+}
+
+/// Lock-free transfer counters (bumped by reader threads).
+#[derive(Debug, Default)]
+struct WireCounters {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    dropped: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+struct Inner<K: Ord, C> {
+    id: ReplicaId,
+    cfg: NodeConfig,
+    state: Mutex<Core<K, C>>,
+    inbox: Mutex<Inbox>,
+    inbox_cv: Condvar,
+    wire: WireCounters,
+    shutdown: AtomicBool,
+    /// Clones of live *inbound* streams keyed by a registration token,
+    /// so shutdown can unblock readers and each reader prunes its own
+    /// entry on exit (outbound streams live in their [`PeerLink`]).
+    streams: Mutex<BTreeMap<u64, TcpStream>>,
+    next_stream_token: AtomicU64,
+}
+
+impl<K: Ord, C> fmt::Debug for Inner<K, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("wire", &self.wire)
+            .finish()
+    }
+}
+
+/// What a shut-down node leaves behind: its keyspace (for durable
+/// restarts) and its final accounting (so a harness's cluster-wide
+/// totals survive the crash).
+#[derive(Debug)]
+pub struct NodeRelics<K: Ord, C> {
+    /// The keyspace as it was at shutdown.
+    pub replica: StoreReplica<K, C>,
+    /// Model-view traffic the node accounted.
+    pub traffic: TrafficStats,
+    /// Socket frames the node shipped.
+    pub frames_sent: u64,
+    /// Wire bytes the node shipped (payloads + length prefixes).
+    pub wire_bytes_sent: u64,
+}
+
+/// A live node: the public face of the spawned runtime.
+#[derive(Debug)]
+pub struct NodeHandle<K: Ord, C> {
+    inner: Arc<Inner<K, C>>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Node-side errors surfaced to harnesses.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing failure (truncated/oversized frame).
+    Frame(FrameError),
+    /// Payload-level failure.
+    Codec(crdt_lattice::CodecError),
+    /// The peer answered with [`NetMsg::Error`].
+    Remote(String),
+    /// The peer answered with an unexpected message.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Codec(e) => write!(f, "codec: {e}"),
+            NetError::Remote(m) => write!(f, "remote error: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<crdt_lattice::CodecError> for NetError {
+    fn from(e: crdt_lattice::CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// Deterministic-across-processes hash of a lattice state (the ordered
+/// containers make `Debug` a canonical form — the same justification as
+/// the digest module's irreducible hashing).
+fn state_hash<C: fmt::Debug>(state: &C) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::hash::Hash::hash(&format!("{state:?}"), &mut h);
+    h.finish()
+}
+
+impl<K, C> Core<K, C>
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    /// Account one outbound batch (model view, identical to the
+    /// in-process `Cluster`), then frame and ship it. Accounting happens
+    /// **before** fault checks — a batch dropped by a severed link was
+    /// still produced and charged, exactly like `Cluster::sync_round`
+    /// recording before `Transport::send` drops on a severed edge.
+    fn record_and_send(&mut self, to: ReplicaId, batch: StoreMsg<K>, inner: &Inner<K, C>) {
+        let model = self.replica.config().model;
+        self.traffic.record(&batch, &model);
+        let mut scratch = self.pool.take();
+        scratch.push(TAG_BATCH);
+        batch.encode(&mut scratch);
+        self.send_raw(to, &scratch, inner);
+        self.pool.give(scratch);
+    }
+
+    /// Ship one already-encoded frame payload to `to`, honoring link
+    /// faults.
+    fn send_raw(&mut self, to: ReplicaId, payload: &[u8], inner: &Inner<K, C>) {
+        let Some(link) = self.peers.get_mut(&to) else {
+            inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if link.severed || link.dead {
+            inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(parked) = link.frozen.as_mut() {
+            parked.push_back(payload.to_vec());
+            return;
+        }
+        match write_frame(&mut link.stream, payload, inner.cfg.max_frame_bytes) {
+            Ok(wire_bytes) => {
+                link.frames_sent += 1;
+                inner.wire.frames_sent.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .wire
+                    .bytes_sent
+                    .fetch_add(wire_bytes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                link.dead = true;
+                inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<K, C> NodeHandle<K, C>
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    /// Spawn a node listening on an ephemeral `127.0.0.1` port, with a
+    /// fresh keyspace.
+    pub fn spawn(id: ReplicaId, cfg: NodeConfig) -> io::Result<Self> {
+        let replica = StoreReplica::with_params(id, cfg.store, crdt_sync::Params::new(cfg.n_nodes));
+        Self::spawn_with_replica(id, cfg, replica)
+    }
+
+    /// Spawn a node adopting an existing keyspace — the durable-restart
+    /// path: the relics of a crashed node come back up at a new port.
+    pub fn spawn_with_replica(
+        id: ReplicaId,
+        cfg: NodeConfig,
+        replica: StoreReplica<K, C>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            id,
+            cfg,
+            state: Mutex::new(Core {
+                replica,
+                peers: BTreeMap::new(),
+                traffic: TrafficStats::default(),
+                rounds: 0,
+                pool: BufferPool::new(),
+            }),
+            inbox: Mutex::new(Inbox::default()),
+            inbox_cv: Condvar::new(),
+            wire: WireCounters::default(),
+            shutdown: AtomicBool::new(false),
+            streams: Mutex::new(BTreeMap::new()),
+            next_stream_token: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || accept_loop(inner, listener)));
+        }
+        if let Some(interval) = cfg.scheduler {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || scheduler_loop(inner, interval)));
+        }
+        Ok(NodeHandle {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.inner.id
+    }
+
+    /// The address the node listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dial `peer` at `addr` and make it a neighbor: every subsequent
+    /// sync step addresses it, over this persistent connection. Replaces
+    /// any previous link to the same peer (reconnect after a restart).
+    pub fn connect(&self, peer: ReplicaId, addr: SocketAddr) -> io::Result<()> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let hello: NetMsg<K> = NetMsg::Hello {
+            node: self.inner.id,
+        };
+        write_frame(
+            &mut stream,
+            &hello.to_bytes(),
+            self.inner.cfg.max_frame_bytes,
+        )
+        .map_err(|e| match e {
+            FrameError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        })?;
+        let mut core = self.inner.state.lock().unwrap();
+        core.peers.insert(
+            peer,
+            PeerLink {
+                stream,
+                severed: false,
+                frozen: None,
+                dead: false,
+                frames_sent: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Run one synchronization step towards every neighbor — the
+    /// externally driven twin of the scheduler's periodic step.
+    pub fn sync_now(&self) {
+        sync_step(&self.inner);
+    }
+
+    /// Drain the inbox: take every landed frame, ordered by sending
+    /// peer (deterministic absorption independent of socket timing).
+    pub fn take_inbox(&self) -> Vec<(ReplicaId, Bytes)> {
+        let mut inbox = self.inner.inbox.lock().unwrap();
+        let mut frames: Vec<_> = inbox.queue.drain(..).collect();
+        drop(inbox);
+        frames.sort_by_key(|(from, _)| *from);
+        frames
+    }
+
+    /// Absorb previously taken frames; replies (push-pull protocols) go
+    /// straight back out over the peer sockets. Returns the number of
+    /// frames absorbed.
+    pub fn absorb_frames(&self, frames: Vec<(ReplicaId, Bytes)>) -> usize {
+        absorb_frames(&self.inner, frames)
+    }
+
+    /// [`NodeHandle::take_inbox`] + [`NodeHandle::absorb_frames`].
+    pub fn absorb_pending(&self) -> usize {
+        let frames = self.take_inbox();
+        self.absorb_frames(frames)
+    }
+
+    /// Sever the outbound link to `peer`: frames are dropped silently
+    /// (both ends severing yields a full partition of the pair).
+    pub fn sever(&self, peer: ReplicaId) {
+        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
+            link.severed = true;
+        }
+    }
+
+    /// Restore a severed outbound link.
+    pub fn heal(&self, peer: ReplicaId) {
+        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
+            link.severed = false;
+        }
+    }
+
+    /// Freeze the outbound link to `peer`: frames park in order instead
+    /// of shipping.
+    pub fn freeze(&self, peer: ReplicaId) {
+        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
+            link.frozen.get_or_insert_with(VecDeque::new);
+        }
+    }
+
+    /// Thaw a frozen link, flushing every parked frame in order.
+    pub fn thaw(&self, peer: ReplicaId) {
+        let mut core = self.inner.state.lock().unwrap();
+        let Some(link) = core.peers.get_mut(&peer) else {
+            return;
+        };
+        let Some(parked) = link.frozen.take() else {
+            return;
+        };
+        for payload in parked {
+            core.send_raw(peer, &payload, &self.inner);
+        }
+    }
+
+    /// Apply `op` locally (the in-process twin of a client
+    /// [`NetMsg::Update`]).
+    pub fn update(&self, key: K, op: &C::Op) {
+        self.inner.state.lock().unwrap().replica.update(key, op);
+    }
+
+    /// Read the object at `key` (the in-process twin of a client
+    /// [`NetMsg::Get`]).
+    pub fn get(&self, key: K) -> Option<C>
+    where
+        C: Clone,
+    {
+        self.inner.state.lock().unwrap().replica.get(key).cloned()
+    }
+
+    /// The node's probe report, computed in-process (the socket probe in
+    /// [`crate::NetClient::probe`] serves exactly this).
+    pub fn probe_local(&self) -> ProbeReport<K> {
+        build_probe(&self.inner)
+    }
+
+    /// Per-peer frames written, for in-flight reconciliation.
+    pub fn frames_sent_to(&self) -> Vec<(ReplicaId, u64)> {
+        let core = self.inner.state.lock().unwrap();
+        core.peers
+            .iter()
+            .map(|(id, link)| (*id, link.frames_sent))
+            .collect()
+    }
+
+    /// Zero the landing counter for `peer` — pairs with a fresh
+    /// outbound [`NodeHandle::connect`] from that peer. The `Hello` of
+    /// the new connection also resets it, but a harness that re-dials
+    /// and immediately reconciles in-flight counts (cluster restart)
+    /// calls this eagerly to close the race with the reset-on-`Hello`.
+    pub fn reset_link_counters(&self, peer: ReplicaId) {
+        self.inner
+            .inbox
+            .lock()
+            .unwrap()
+            .received_from
+            .insert(peer, 0);
+    }
+
+    /// Per-peer frames landed in the inbox, for in-flight
+    /// reconciliation.
+    pub fn frames_landed_from(&self) -> Vec<(ReplicaId, u64)> {
+        let inbox = self.inner.inbox.lock().unwrap();
+        inbox
+            .received_from
+            .iter()
+            .map(|(id, n)| (*id, *n))
+            .collect()
+    }
+
+    /// Run the 3-message digest-driven repair handshake (§VI) against
+    /// the node at `addr`, in both directions: this node absorbs what it
+    /// was missing from the reply, and ships back what the peer's
+    /// digests lack. Returns the exchange's accounting.
+    ///
+    /// # Panics
+    ///
+    /// If the configured protocol does not exchange bare δ-groups
+    /// ([`crdt_sync::ProtocolKind::accepts_raw_delta`]) — anti-entropy
+    /// and op-based kinds manage their own recovery, mirroring
+    /// `Cluster::digest_repair`.
+    pub fn repair_with(
+        &self,
+        peer: ReplicaId,
+        addr: SocketAddr,
+    ) -> Result<PairSyncStats, NetError> {
+        let cfg = self.inner.cfg;
+        assert!(
+            cfg.store.protocol.accepts_raw_delta(),
+            "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+            cfg.store.protocol
+        );
+        let model = cfg.store.model;
+        let mut stats = PairSyncStats::default();
+
+        // Message 1: our digests.
+        let digests: Vec<(K, Digest)> = {
+            let core = self.inner.state.lock().unwrap();
+            core.replica
+                .iter()
+                .map(|(k, x)| (k.clone(), Digest::of(x)))
+                .collect()
+        };
+        stats.messages += 1;
+        stats.metadata_bytes += digests.iter().map(|(_, d)| d.size_bytes()).sum::<u64>();
+
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut pool = BufferPool::new();
+        let request: NetMsg<K> = NetMsg::RepairRequest {
+            from: self.inner.id,
+            digests,
+        };
+        write_frame(&mut stream, &request.to_bytes(), cfg.max_frame_bytes)?;
+
+        // Message 2: the peer's deltas for us, plus its digests.
+        let frame = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+            .ok_or(NetError::Protocol("repair connection closed early"))?;
+        let reply = NetMsg::<K>::from_bytes(&frame)?;
+        let (deltas, peer_digests) = match reply {
+            NetMsg::RepairReply { deltas, digests } => (deltas, digests),
+            NetMsg::Error { message } => return Err(NetError::Remote(message)),
+            _ => return Err(NetError::Protocol("expected RepairReply")),
+        };
+        stats.messages += 1;
+        stats.metadata_bytes += peer_digests
+            .iter()
+            .map(|(_, d)| d.size_bytes())
+            .sum::<u64>();
+        {
+            let mut core = self.inner.state.lock().unwrap();
+            for (key, blob) in deltas {
+                let delta = C::from_bytes(&blob)?;
+                stats.payload_elements += delta.count_elements();
+                stats.payload_bytes += delta.size_bytes(&model);
+                if !delta.is_bottom() {
+                    core.replica.inject_delta(key, peer, delta);
+                }
+            }
+        }
+
+        // Message 3: deltas for the peer, from our post-merge state.
+        // Digest lookups go through a map — a linear scan per key is
+        // quadratic at store granularity (the paper's 30 K objects).
+        let peer_digests: std::collections::BTreeMap<K, Digest> =
+            peer_digests.into_iter().collect();
+        let final_deltas: Vec<(K, Vec<u8>)> = {
+            let empty = Digest::default();
+            let core = self.inner.state.lock().unwrap();
+            core.replica
+                .iter()
+                .filter_map(|(k, x)| {
+                    let digest = peer_digests.get(k).unwrap_or(&empty);
+                    let delta = delta_for_digest(x, digest);
+                    (!delta.is_bottom()).then(|| {
+                        stats.payload_elements += delta.count_elements();
+                        stats.payload_bytes += delta.size_bytes(&model);
+                        (k.clone(), delta.to_bytes())
+                    })
+                })
+                .collect()
+        };
+        stats.messages += 1;
+        let fin: NetMsg<K> = NetMsg::RepairFinal {
+            from: self.inner.id,
+            deltas: final_deltas,
+        };
+        write_frame(&mut stream, &fin.to_bytes(), cfg.max_frame_bytes)?;
+        // Await the ack so the repair is complete when we return.
+        let frame = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+            .ok_or(NetError::Protocol("repair connection closed before ack"))?;
+        match NetMsg::<K>::from_bytes(&frame)? {
+            NetMsg::UpdateReply => Ok(stats),
+            NetMsg::Error { message } => Err(NetError::Remote(message)),
+            _ => Err(NetError::Protocol("expected repair ack")),
+        }
+    }
+
+    /// Stop the node: close every connection, join the service threads,
+    /// and hand back the keyspace and final accounting.
+    pub fn shutdown(mut self) -> NodeRelics<K, C> {
+        self.signal_and_join();
+        let mut core = self.inner.state.lock().unwrap();
+        let id = self.inner.id;
+        let cfg = self.inner.cfg;
+        let replica = std::mem::replace(
+            &mut core.replica,
+            StoreReplica::with_params(id, cfg.store, crdt_sync::Params::new(cfg.n_nodes)),
+        );
+        NodeRelics {
+            replica,
+            traffic: core.traffic,
+            frames_sent: self.inner.wire.frames_sent.load(Ordering::Relaxed),
+            wire_bytes_sent: self.inner.wire.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: Ord, C> NodeHandle<K, C> {
+    /// Signal shutdown, close every stream, join the service threads.
+    fn signal_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let core = self.inner.state.lock().unwrap();
+            for link in core.peers.values() {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+        }
+        for stream in self.inner.streams.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.inner.inbox_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop the node and discard its state — the cleanup path for
+    /// harness teardown; use [`NodeHandle::shutdown`] (bounded on the
+    /// key/CRDT types) to recover the keyspace and accounting instead.
+    pub fn shutdown_untyped(mut self) {
+        self.signal_and_join();
+    }
+}
+
+/// One sync step: batch per neighbor, account, ship.
+fn sync_step<K, C>(inner: &Inner<K, C>)
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let mut core = inner.state.lock().unwrap();
+    let neighbors: Vec<ReplicaId> = core.peers.keys().copied().collect();
+    let steps = core.replica.sync_step(&neighbors);
+    core.rounds += 1;
+    for (to, batch) in steps {
+        core.record_and_send(to, batch, inner);
+    }
+}
+
+/// Absorb a set of landed frames; replies ship immediately.
+fn absorb_frames<K, C>(inner: &Inner<K, C>, frames: Vec<(ReplicaId, Bytes)>) -> usize
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let mut absorbed = 0;
+    for (_, frame) in frames {
+        match batch_from_frame::<K>(&frame) {
+            Ok(batch) => {
+                let mut core = inner.state.lock().unwrap();
+                match core.replica.absorb(batch) {
+                    Ok(replies) => {
+                        absorbed += 1;
+                        for (to, reply) in replies {
+                            core.record_and_send(to, reply, inner);
+                        }
+                    }
+                    // A corrupt or mismatched batch must not kill the
+                    // node: count it and move on (hardened decode path).
+                    Err(_) => {
+                        inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    absorbed
+}
+
+/// Build the probe report (state summaries + counters).
+fn build_probe<K, C>(inner: &Inner<K, C>) -> ProbeReport<K>
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let (keys, traffic, rounds, sent_to, frozen_frames) = {
+        let core = inner.state.lock().unwrap();
+        let keys: Vec<(K, u64, u64)> = core
+            .replica
+            .iter()
+            .filter(|(_, x)| !x.is_bottom())
+            .map(|(k, x)| (k.clone(), state_hash(x), x.count_elements()))
+            .collect();
+        let sent_to: Vec<(ReplicaId, u64)> = core
+            .peers
+            .iter()
+            .map(|(id, link)| (*id, link.frames_sent))
+            .collect();
+        let frozen: u64 = core
+            .peers
+            .values()
+            .map(|l| l.frozen.as_ref().map_or(0, |q| q.len() as u64))
+            .sum();
+        (keys, core.traffic, core.rounds, sent_to, frozen)
+    };
+    let (inbox_len, received_from) = {
+        let inbox = inner.inbox.lock().unwrap();
+        (
+            inbox.queue.len() as u64,
+            inbox
+                .received_from
+                .iter()
+                .map(|(id, n)| (*id, *n))
+                .collect(),
+        )
+    };
+    ProbeReport {
+        node: inner.id,
+        rounds,
+        keys,
+        traffic,
+        frames_sent: inner.wire.frames_sent.load(Ordering::Relaxed),
+        frames_received: inner.wire.frames_received.load(Ordering::Relaxed),
+        wire_bytes_sent: inner.wire.bytes_sent.load(Ordering::Relaxed),
+        wire_bytes_received: inner.wire.bytes_received.load(Ordering::Relaxed),
+        dropped_frames: inner.wire.dropped.load(Ordering::Relaxed),
+        bad_frames: inner.wire.bad_frames.load(Ordering::Relaxed),
+        inbox_len,
+        frozen_frames,
+        sent_to,
+        received_from,
+    }
+}
+
+/// The anti-entropy scheduler: absorb continuously, sync every
+/// `interval`.
+fn scheduler_loop<K, C>(inner: Arc<Inner<K, C>>, interval: Duration)
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let mut last_sync = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        // Take whatever landed (sorted by peer for determinism within
+        // the batch) and absorb it.
+        let frames: Vec<(ReplicaId, Bytes)> = {
+            let mut inbox = inner.inbox.lock().unwrap();
+            let mut frames: Vec<_> = inbox.queue.drain(..).collect();
+            drop(inbox);
+            frames.sort_by_key(|(from, _)| *from);
+            frames
+        };
+        absorb_frames(&inner, frames);
+        if last_sync.elapsed() >= interval {
+            sync_step(&inner);
+            last_sync = Instant::now();
+        }
+        let wait = interval
+            .saturating_sub(last_sync.elapsed())
+            .min(Duration::from_millis(1))
+            .max(Duration::from_micros(100));
+        let inbox = inner.inbox.lock().unwrap();
+        if inbox.queue.is_empty() {
+            let _ = inner.inbox_cv.wait_timeout(inbox, wait);
+        }
+    }
+}
+
+/// Accept loop: hand every connection to a session thread.
+fn accept_loop<K, C>(inner: Arc<Inner<K, C>>, listener: TcpListener)
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                stream.set_nodelay(true).ok();
+                let token = inner.next_stream_token.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    inner.streams.lock().unwrap().insert(token, clone);
+                }
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    serve_connection(&inner, stream);
+                    // Prune the registry entry so churny reconnect
+                    // cycles do not accumulate dead descriptors.
+                    inner.streams.lock().unwrap().remove(&token);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one inbound connection: a peer stream (after `Hello`) or a
+/// client request-reply session.
+fn serve_connection<K, C>(inner: &Inner<K, C>, mut stream: TcpStream)
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let mut pool = BufferPool::new();
+    let max = inner.cfg.max_frame_bytes;
+    let mut peer: Option<ReplicaId> = None;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream, max, &mut pool) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(_) => {
+                // Truncated/oversized/io — the connection is not
+                // trustworthy any more; count and drop it. A corrupt
+                // frame never takes the node down.
+                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        inner.wire.frames_received.fetch_add(1, Ordering::Relaxed);
+        inner.wire.bytes_received.fetch_add(
+            (crate::framing::LEN_PREFIX_BYTES + frame.len()) as u64,
+            Ordering::Relaxed,
+        );
+        if let Some(from) = peer {
+            // Established peer stream: only batches are expected; they
+            // land in the inbox raw for zero-copy absorption.
+            if is_batch_frame(&frame) {
+                let mut inbox = inner.inbox.lock().unwrap();
+                inbox.queue.push_back((from, frame));
+                *inbox.received_from.entry(from).or_insert(0) += 1;
+                drop(inbox);
+                inner.inbox_cv.notify_all();
+            } else {
+                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
+        // First frame (or client session): decode the full message.
+        let msg = match NetMsg::<K>::from_bytes(&frame) {
+            Ok(msg) => msg,
+            Err(_) => {
+                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        match msg {
+            NetMsg::Hello { node } => {
+                peer = Some(node);
+                // A new connection starts a new ledger: the per-peer
+                // landing counter pairs with the dialer's fresh
+                // `PeerLink::frames_sent`, so a reconnect (peer
+                // restart) must zero it or in-flight reconciliation
+                // compares a new sent-count against a stale landed
+                // count and undercounts flight.
+                inner.inbox.lock().unwrap().received_from.insert(node, 0);
+            }
+            NetMsg::Batch(batch) => {
+                // A batch before Hello: attribute it to its header.
+                let from = batch.route().map(|(from, _, _)| from);
+                match from {
+                    Some(from) => {
+                        let mut inbox = inner.inbox.lock().unwrap();
+                        inbox.queue.push_back((from, frame));
+                        *inbox.received_from.entry(from).or_insert(0) += 1;
+                        drop(inbox);
+                        inner.inbox_cv.notify_all();
+                    }
+                    None => {
+                        inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            other => {
+                let reply = serve_client_request(inner, other);
+                if write_frame(&mut stream, &reply.to_bytes(), max).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Answer one client/repair request.
+fn serve_client_request<K, C>(inner: &Inner<K, C>, msg: NetMsg<K>) -> NetMsg<K>
+where
+    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    match msg {
+        NetMsg::Get { key } => {
+            let core = inner.state.lock().unwrap();
+            NetMsg::GetReply {
+                state: core.replica.get(key).map(WireEncode::to_bytes),
+            }
+        }
+        NetMsg::Update { key, op } => {
+            let decoded: Result<C::Op, _> = OpBytes(op).decode();
+            match decoded {
+                Ok(op) => {
+                    inner.state.lock().unwrap().replica.update(key, &op);
+                    NetMsg::UpdateReply
+                }
+                Err(e) => NetMsg::Error {
+                    message: format!("undecodable operation: {e}"),
+                },
+            }
+        }
+        NetMsg::Probe => NetMsg::ProbeReply(build_probe(inner)),
+        NetMsg::RepairRequest { from: _, digests } => {
+            if !inner.cfg.store.protocol.accepts_raw_delta() {
+                return NetMsg::Error {
+                    message: format!(
+                        "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+                        inner.cfg.store.protocol
+                    ),
+                };
+            }
+            // Map the requester's digests so each local key is a
+            // O(log n) lookup, not a linear scan (quadratic at store
+            // granularity otherwise).
+            let digests: std::collections::BTreeMap<K, Digest> = digests.into_iter().collect();
+            let empty = Digest::default();
+            let core = inner.state.lock().unwrap();
+            let deltas: Vec<(K, Vec<u8>)> = core
+                .replica
+                .iter()
+                .filter_map(|(k, x)| {
+                    let digest = digests.get(k).unwrap_or(&empty);
+                    let delta = delta_for_digest(x, digest);
+                    (!delta.is_bottom()).then(|| (k.clone(), delta.to_bytes()))
+                })
+                .collect();
+            let own_digests: Vec<(K, Digest)> = core
+                .replica
+                .iter()
+                .map(|(k, x)| (k.clone(), Digest::of(x)))
+                .collect();
+            NetMsg::RepairReply {
+                deltas,
+                digests: own_digests,
+            }
+        }
+        NetMsg::RepairFinal { from, deltas } => {
+            if !inner.cfg.store.protocol.accepts_raw_delta() {
+                return NetMsg::Error {
+                    message: "unexpected RepairFinal for a non-δ protocol".to_string(),
+                };
+            }
+            let mut core = inner.state.lock().unwrap();
+            for (key, blob) in deltas {
+                match C::from_bytes(&blob) {
+                    Ok(delta) if !delta.is_bottom() => {
+                        core.replica.inject_delta(key, from, delta);
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        return NetMsg::Error {
+                            message: format!("undecodable repair delta: {e}"),
+                        }
+                    }
+                }
+            }
+            NetMsg::UpdateReply
+        }
+        NetMsg::Hello { .. }
+        | NetMsg::Batch(_)
+        | NetMsg::GetReply { .. }
+        | NetMsg::UpdateReply
+        | NetMsg::ProbeReply(_)
+        | NetMsg::RepairReply { .. }
+        | NetMsg::Error { .. } => NetMsg::Error {
+            message: "not a request".to_string(),
+        },
+    }
+}

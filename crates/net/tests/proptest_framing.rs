@@ -1,0 +1,117 @@
+//! Corrupt-frame robustness for the length-prefixed socket framing:
+//! truncated prefixes, truncated payloads, oversized claims, and
+//! arbitrary garbage streams must surface as [`FrameError`]s — never a
+//! panic, and never a buffer proportional to a hostile claim.
+//!
+//! This is the socket-layer sibling of `crdt-sync`'s
+//! `proptest_corrupt_frames` suite: that one attacks the bytes *inside*
+//! a frame, this one attacks the frame boundary itself. CI runs both
+//! with a raised `PROPTEST_CASES`.
+
+use crdt_net::framing::{read_frame, write_frame, FrameError, LEN_PREFIX_BYTES};
+use crdt_sync::BufferPool;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const MAX: usize = 4096;
+
+/// Read frames until EOF or error, returning the payloads and whether
+/// the stream ended cleanly.
+fn read_all(mut wire: &[u8], max: usize) -> (Vec<Vec<u8>>, Result<(), String>) {
+    let mut pool = BufferPool::new();
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut wire, max, &mut pool) {
+            Ok(Some(frame)) => frames.push(frame.to_vec()),
+            Ok(None) => return (frames, Ok(())),
+            Err(e) => return (frames, Err(e.to_string())),
+        }
+    }
+}
+
+proptest! {
+    /// A stream of valid frames round-trips exactly and ends cleanly.
+    #[test]
+    fn valid_streams_roundtrip(payloads in pvec(pvec(any::<u8>(), 0..200), 0..8)) {
+        let mut wire = Vec::new();
+        let mut expected_bytes = 0u64;
+        for p in &payloads {
+            expected_bytes += write_frame(&mut wire, p, MAX).unwrap();
+        }
+        prop_assert_eq!(expected_bytes as usize, wire.len());
+        let (frames, end) = read_all(&wire, MAX);
+        prop_assert!(end.is_ok());
+        prop_assert_eq!(frames, payloads);
+    }
+
+    /// Truncating a valid stream at any interior point of the final
+    /// frame yields `Truncated` (a cut at a frame boundary is a clean
+    /// EOF instead). Never a panic, never a hang.
+    #[test]
+    fn truncations_error_or_end_cleanly(
+        payloads in pvec(pvec(any::<u8>(), 1..100), 1..5),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            write_frame(&mut wire, p, MAX).unwrap();
+            boundaries.push(wire.len());
+        }
+        let cut = (cut_seed as usize) % wire.len();
+        let (frames, end) = read_all(&wire[..cut], MAX);
+        if boundaries.contains(&cut) {
+            prop_assert!(end.is_ok(), "boundary cut is a clean EOF");
+        } else {
+            prop_assert_eq!(end.unwrap_err(), "stream ended inside a frame".to_string());
+        }
+        // Whatever parsed before the cut is a prefix of the original.
+        prop_assert!(frames.len() <= payloads.len());
+        for (got, want) in frames.iter().zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A prefix claiming more than the cap errors out `Oversized` —
+    /// before the reader buffers anything, so the hostile stream can
+    /// even be shorter than its own claim.
+    #[test]
+    fn oversized_claims_are_rejected_unbuffered(
+        claim in (MAX as u32 + 1)..u32::MAX,
+        tail in pvec(any::<u8>(), 0..32),
+    ) {
+        let mut wire = claim.to_le_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        let mut pool = BufferPool::new();
+        let mut cursor: &[u8] = &wire;
+        match read_frame(&mut cursor, MAX, &mut pool) {
+            Err(FrameError::Oversized { claimed, max_frame_bytes }) => {
+                prop_assert_eq!(claimed, claim as u64);
+                prop_assert_eq!(max_frame_bytes, MAX);
+                // The reader consumed only the prefix: nothing of the
+                // claimed payload was pulled in.
+                prop_assert_eq!(cursor.len(), tail.len());
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage streams never panic: every outcome is a parsed
+    /// frame (when the bytes happen to frame), a clean EOF, or an error.
+    #[test]
+    fn arbitrary_garbage_never_panics(wire in pvec(any::<u8>(), 0..256)) {
+        let (_frames, _end) = read_all(&wire, 64);
+        // Also under a zero cap, where every nonempty claim is hostile.
+        let (_f, _e) = read_all(&wire, 0);
+    }
+
+    /// A truncated prefix (fewer than `LEN_PREFIX_BYTES` bytes, at
+    /// least one) is `Truncated`, not a hang or a bogus frame.
+    #[test]
+    fn short_prefix_is_truncated(len in 1usize..LEN_PREFIX_BYTES, byte in any::<u8>()) {
+        let wire = vec![byte; len];
+        let (frames, end) = read_all(&wire, MAX);
+        prop_assert!(frames.is_empty());
+        prop_assert_eq!(end.unwrap_err(), "stream ended inside a frame".to_string());
+    }
+}

@@ -86,8 +86,8 @@ impl fmt::Display for ConvergenceReport {
 impl<K, C> Cluster<K, C, LoopbackTransport<K>>
 where
     K: Ord + Clone + Sizeable,
-    C: Crdt + WireEncode + 'static,
-    C::Op: WireEncode + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
 {
     /// A fully connected cluster of `n` replicas over the in-memory
     /// transport.
@@ -128,8 +128,8 @@ where
 impl<K, C, T> Cluster<K, C, T>
 where
     K: Ord + Clone + Sizeable,
-    C: Crdt + WireEncode + 'static,
-    C::Op: WireEncode + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
     T: Transport<K>,
 {
     /// A cluster over a custom transport.

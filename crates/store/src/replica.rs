@@ -5,8 +5,8 @@ use std::marker::PhantomData;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
 use crdt_sync::{
-    build_engine_with_model, BufferPool, DeltaMsg, EngineError, Measured, MemoryUsage, OpBytes,
-    Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    build_engine_send_with_model, BufferPool, DeltaMsg, EngineError, Measured, MemoryUsage,
+    OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -60,12 +60,18 @@ impl Default for StoreConfig {
 /// The object engines are type-erased ([`SyncEngine`]); the replica keeps
 /// the CRDT type `C` only at its *API boundary* — typed operations in,
 /// typed state out (via checked downcasts).
+///
+/// Engines are boxed as `dyn SyncEngine + Send` (via
+/// [`build_engine_send_with_model`]), so a whole replica moves across
+/// threads: the in-process [`crate::Cluster`] drives it single-threaded,
+/// while `crdt-net`'s TCP node runtime parks one behind a mutex shared
+/// by its scheduler and socket-reader threads.
 #[derive(Debug)]
 pub struct StoreReplica<K: Ord, C> {
     id: ReplicaId,
     cfg: StoreConfig,
     params: Params,
-    objects: BTreeMap<K, Box<dyn SyncEngine>>,
+    objects: BTreeMap<K, Box<dyn SyncEngine + Send>>,
     /// Recycled encode scratch shared by every object engine at this
     /// replica: a sync step's (or absorb's reply) payloads land in
     /// pooled buffers reused round after round.
@@ -76,8 +82,8 @@ pub struct StoreReplica<K: Ord, C> {
 impl<K, C> StoreReplica<K, C>
 where
     K: Ord + Clone + Sizeable,
-    C: Crdt + WireEncode + 'static,
-    C::Op: WireEncode + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
 {
     /// Create replica `id` with the system size **unknown**
     /// (`n_nodes = usize::MAX`); use [`StoreReplica::with_params`] when
@@ -119,18 +125,18 @@ where
     /// associated fn over the map (not `&mut self`) so callers can hold
     /// `self.pool` mutably at the same time.
     fn engine_at<'a>(
-        objects: &'a mut BTreeMap<K, Box<dyn SyncEngine>>,
+        objects: &'a mut BTreeMap<K, Box<dyn SyncEngine + Send>>,
         key: K,
         id: ReplicaId,
         cfg: StoreConfig,
         params: &Params,
-    ) -> &'a mut Box<dyn SyncEngine> {
-        objects
-            .entry(key)
-            .or_insert_with(|| build_engine_with_model::<C>(cfg.protocol, id, params, cfg.model))
+    ) -> &'a mut Box<dyn SyncEngine + Send> {
+        objects.entry(key).or_insert_with(|| {
+            build_engine_send_with_model::<C>(cfg.protocol, id, params, cfg.model)
+        })
     }
 
-    fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine> {
+    fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine + Send> {
         Self::engine_at(&mut self.objects, key, self.id, self.cfg, &self.params)
     }
 
@@ -309,9 +315,14 @@ where
     /// applies and the novelty is re-buffered for onward propagation.
     ///
     /// Only meaningful for kinds whose wire message is a bare δ-group
-    /// ([`ProtocolKind::accepts_raw_delta`]); the digest-repair path in
-    /// [`crate::Cluster`] checks that before calling.
-    pub(crate) fn inject_delta(&mut self, key: K, from: ReplicaId, delta: C) {
+    /// ([`ProtocolKind::accepts_raw_delta`]); callers must check first,
+    /// as the digest-repair paths do ([`crate::Cluster::digest_repair`]
+    /// in process, `crdt-net`'s repair handshake over sockets).
+    ///
+    /// # Panics
+    ///
+    /// If the configured protocol rejects raw δ-group payloads.
+    pub fn inject_delta(&mut self, key: K, from: ReplicaId, delta: C) {
         let kind = self.cfg.protocol;
         debug_assert!(kind.accepts_raw_delta());
         let msg = DeltaMsg(delta);

@@ -86,9 +86,12 @@ fn main() {
         "\ndigest repair: {} messages, {} elements, {} payload B + {} digest B",
         stats.messages, stats.payload_elements, stats.payload_bytes, stats.metadata_bytes
     );
-    cluster
-        .run_until_converged(8)
-        .expect_converged("converged after repair");
+    // `run_until_converged` returns a diagnostic `ConvergenceReport` —
+    // print it instead of only asserting, so the run's shape (rounds,
+    // in-flight batches, divergent replicas on failure) is visible.
+    let report = cluster.run_until_converged(8);
+    println!("\nconvergence: {report}");
+    report.expect_converged("converged after repair");
 
     let merged = cluster.replica(1).get("cart:alice".into()).unwrap();
     println!("\nconverged cart:alice = {:?}", merged.value());
