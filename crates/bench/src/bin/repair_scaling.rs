@@ -1,0 +1,72 @@
+//! Anti-entropy repair-scaling experiments with a machine-readable
+//! report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin repair_scaling -- --quick
+//! cargo run --release -p crdt-bench --bin repair_scaling -- \
+//!     --out BENCH_repair.json \
+//!     --baseline ci/bench-baseline/BENCH_repair.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — CI scale (2 000-object keyspace) instead of the
+//!   paper-adjacent 30 000-object keyspace.
+//! * `--out <path>` — where to write the JSON report
+//!   (default `BENCH_repair.json`).
+//! * `--baseline <path>` — compare against a checked-in report; any
+//!   gated frame/byte metric more than `--tolerance` (default `0.25`)
+//!   worse exits with status 1, listing the violations.
+//!
+//! The bin enforces the subsystem's reason to exist before any gate:
+//! every repaired pair must converge, and for divergence ≤ 1% of the
+//! keyspace the Merkle descent's metadata must undercut the per-object
+//! digest sweep at least 4× — repair cost must track the divergence,
+//! not the keyspace.
+
+use crdt_bench::repair_scaling::{assert_sublinear, check_regression, run_suite, write_report};
+use crdt_bench::{flag_value, json::Json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_repair.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let outcomes = run_suite(scale);
+    write_report(&out_path, &outcomes, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} rows)", outcomes.len());
+
+    if let Err(violation) = assert_sublinear(&outcomes) {
+        eprintln!("FAIL: {violation}");
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::repair_scaling::report_to_json(&outcomes, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

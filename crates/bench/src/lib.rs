@@ -545,5 +545,6 @@ pub mod codec_bench;
 pub mod experiments;
 pub mod json;
 pub mod net_loopback;
+pub mod repair_scaling;
 pub mod retwis_sharded;
 pub mod scenarios;

@@ -64,6 +64,9 @@ impl<C: StateSize> Measured for AckedMsg<C> {
 pub struct AckedDeltaSync<C> {
     id: ReplicaId,
     cfg: DeltaConfig,
+    /// System size, for the causal-stability compaction rule
+    /// (`usize::MAX` = unknown, never compacts).
+    n_nodes: usize,
     state: C,
     /// Sequence-tagged δ-buffer (not cleared on sync).
     buffer: BTreeMap<u64, (C, Origin)>,
@@ -78,6 +81,7 @@ impl<C: Crdt> AckedDeltaSync<C> {
         AckedDeltaSync {
             id,
             cfg,
+            n_nodes: usize::MAX,
             state: C::bottom(),
             buffer: BTreeMap::new(),
             next_seq: 0,
@@ -117,8 +121,10 @@ impl<C: Crdt> Protocol<C> for AckedDeltaSync<C> {
 
     const NAME: &'static str = "delta+BP+RR (acked)";
 
-    fn new(id: ReplicaId, _params: &Params) -> Self {
-        Self::with_config(id, DeltaConfig::BP_RR)
+    fn new(id: ReplicaId, params: &Params) -> Self {
+        let mut p = Self::with_config(id, DeltaConfig::BP_RR);
+        p.n_nodes = params.n_nodes;
+        p
     }
 
     fn on_op(&mut self, op: &C::Op) {
@@ -174,6 +180,29 @@ impl<C: Crdt> Protocol<C> for AckedDeltaSync<C> {
 
     fn state(&self) -> &C {
         &self.state
+    }
+
+    fn on_params_change(&mut self, params: &Params) {
+        self.n_nodes = params.n_nodes;
+    }
+
+    /// Prune entries acked by **every** peer in the system — the global
+    /// stability rule, usable without knowing the current neighbor set
+    /// (the per-sync [`prune`](Self::prune) only sees its neighbors).
+    /// Requires acks on record from all `n_nodes - 1` peers; with fewer,
+    /// an unheard-from peer might still need everything.
+    fn compact(&mut self) -> u64 {
+        if self.n_nodes == usize::MAX || self.acked.len() + 1 < self.n_nodes {
+            return 0;
+        }
+        let min_acked = if self.n_nodes == 1 {
+            self.next_seq
+        } else {
+            self.acked.values().copied().min().unwrap_or(0)
+        };
+        let before = self.buffer.len();
+        self.buffer.retain(|&seq, _| seq >= min_acked);
+        (before - self.buffer.len()) as u64
     }
 
     fn bootstrap(&mut self, source: &Self) {

@@ -350,4 +350,47 @@ mod tests {
         // State-driven always ships the initiator's full state.
         assert_eq!(stats.payload_elements, 2);
     }
+
+    /// Two ⊥ replicas still cross the full 3-message handshake — the
+    /// digests are what tell them there is nothing to ship — but zero
+    /// payload and only empty-digest metadata.
+    #[test]
+    fn repair_of_two_bottom_states_ships_nothing() {
+        let model = SizeModel::compact();
+        let (da, db, stats) = digest_repair_deltas(&S::bottom(), &S::bottom(), &model);
+        assert!(da.is_bottom() && db.is_bottom());
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.payload_elements, 0);
+        assert_eq!(stats.payload_bytes, 0);
+        assert_eq!(
+            stats.metadata_bytes,
+            2 * Digest::of(&S::bottom()).size_bytes(),
+            "both empty digests still crossed"
+        );
+    }
+
+    /// One side ⊥: a pure one-way transfer — the populated side learns
+    /// nothing and the empty side receives exactly the full state.
+    #[test]
+    fn repair_against_an_empty_side_is_a_one_way_transfer() {
+        let model = SizeModel::compact();
+        let a = S::from_iter([1, 2, 3]);
+        let (da, db, stats) = digest_repair_deltas(&a, &S::bottom(), &model);
+        assert!(da.is_bottom(), "the populated side must learn nothing");
+        assert_eq!(S::bottom().join(db), a);
+        assert_eq!(stats.payload_elements, 3);
+    }
+
+    /// The minimal divergence: one irreducible on each side. Exactly
+    /// two payload elements cross (one per direction), none redundant.
+    #[test]
+    fn repair_of_single_irreducible_divergence_is_exact() {
+        let model = SizeModel::compact();
+        let a = S::from_iter([1, 2]);
+        let b = S::from_iter([1, 3]);
+        let (da, db, stats) = digest_repair_deltas(&a, &b, &model);
+        assert_eq!(da, S::from_iter([3]));
+        assert_eq!(db, S::from_iter([2]));
+        assert_eq!(stats.payload_elements, 2);
+    }
 }

@@ -43,6 +43,20 @@ use crate::proto::{Measured, MemoryUsage, Params, Protocol};
 use crate::scuttlebutt::{Scuttlebutt, ScuttlebuttGc};
 use crate::state::StateSync;
 
+/// Deterministic 64-bit hash of a lattice state: `DefaultHasher` over
+/// the `Debug` rendering — the same convention the §VI digest uses for
+/// join-irreducibles. `Debug` for the workspace's lattice types is a
+/// faithful canonical form (ordered containers), and `DefaultHasher`'s
+/// keys are constants, so the hash agrees across replicas, threads, and
+/// processes — the property Merkle anti-entropy and the net probe
+/// reports both rely on.
+pub fn state_hash_of<C: fmt::Debug>(state: &C) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{state:?}").hash(&mut h);
+    h.finish()
+}
+
 // ---------------------------------------------------------------------------
 // ProtocolKind
 // ---------------------------------------------------------------------------
@@ -854,6 +868,20 @@ pub trait SyncEngine: fmt::Debug {
     /// Elements in the replica's CRDT lattice state.
     fn state_elements(&self) -> u64;
 
+    /// Deterministic 64-bit hash of the lattice state (same across
+    /// replicas and processes) — the per-object summary a keyspace
+    /// Merkle tree aggregates. Equal states hash equal; protocol
+    /// metadata (buffers, clocks) is deliberately excluded, so two
+    /// replicas agreeing on every state hash agree on every value.
+    fn state_hash(&self) -> u64;
+
+    /// Prune causally stable synchronization metadata (see
+    /// [`Protocol::compact`]); returns the number of pruned entries.
+    /// Never changes the lattice state.
+    fn compact(&mut self) -> u64 {
+        0
+    }
+
     /// The lattice state as `Any`, for typed access by callers that know
     /// the CRDT (`engine.state_any().downcast_ref::<C>()`).
     fn state_any(&self) -> &dyn Any;
@@ -1066,6 +1094,14 @@ where
 
     fn state_elements(&self) -> u64 {
         self.inner.state().count_elements()
+    }
+
+    fn state_hash(&self) -> u64 {
+        state_hash_of(self.inner.state())
+    }
+
+    fn compact(&mut self) -> u64 {
+        self.inner.compact()
     }
 
     fn state_any(&self) -> &dyn Any {

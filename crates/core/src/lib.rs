@@ -86,9 +86,11 @@ mod delta;
 mod deltacrdt;
 pub mod digest;
 pub mod engine;
+pub mod merkle;
 mod opbased;
 mod proto;
 mod scuttlebutt;
+mod stability;
 mod state;
 mod wire;
 
@@ -101,10 +103,16 @@ pub use deltacrdt::{
 };
 pub use engine::{
     build_engine, build_engine_send, build_engine_send_with_model, build_engine_with_model,
-    BatchEntries, BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind, SyncEngine,
-    UnknownProtocol, WireAccounting, WireEnvelope, WireEnvelopeRef,
+    state_hash_of, BatchEntries, BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind,
+    SyncEngine, UnknownProtocol, WireAccounting, WireEnvelope, WireEnvelopeRef,
+};
+pub use merkle::{
+    diff_keys, diverged_from_leaves, divergent_children, ChildList, DescentStats,
+    DivergentChildren, LeafRepair, MerkleTree, RootDigest, DEFAULT_MERKLE_DEPTH, MAX_MERKLE_DEPTH,
+    MERKLE_FANOUT, MERKLE_REPAIR_THRESHOLD,
 };
 pub use opbased::{OpBased, OpMsg, TaggedOp};
 pub use proto::{Measured, MemoryUsage, Params, Protocol};
 pub use scuttlebutt::{Knowledge, SbMsg, Scuttlebutt, ScuttlebuttCore, ScuttlebuttGc};
+pub use stability::StabilityTracker;
 pub use state::StateSync;

@@ -1,0 +1,814 @@
+//! Hash-prefix Merkle tree anti-entropy over a multi-object keyspace.
+//!
+//! The paper's §VI digest repair summarizes *one object* (the hash set of
+//! its join-irreducibles). A keyspace replica ([`delta-store`]'s
+//! `StoreReplica`, `crdt-sim`'s sharded runner, `crdt-net`'s node) holds
+//! many objects, and running the per-object protocol over all of them
+//! costs O(objects) digest traffic even when almost nothing diverged —
+//! the classic anti-entropy scaling wall Dynamo-style systems answer
+//! with a Merkle tree over the key range.
+//!
+//! This module is that tree, shaped for this workspace:
+//!
+//! * **Hash-prefix buckets.** A key lands in the leaf bucket addressed by
+//!   the top `4·depth` bits of its 64-bit key hash ([`MERKLE_FANOUT`] =
+//!   16 children per node, so one nibble per level). The tree is sparse:
+//!   only non-empty buckets and their ancestors exist.
+//! * **Incremental maintenance.** Mutations call [`MerkleTree::touch`]
+//!   (O(1): record the key as dirty). [`MerkleTree::flush`] rehashes only
+//!   the dirty leaves and their root paths, bumping a mutation [`epoch`]
+//!   when the root hash changes — so keeping the tree current costs
+//!   O(touched · depth), not O(keyspace).
+//! * **Wire-encoded descent frames.** [`RootDigest`] →
+//!   [`DivergentChildren`] → [`LeafRepair`] implement [`WireEncode`]
+//!   (canonical, hostile-input-hardened), so the descent runs over real
+//!   sockets (`crdt-net`) exactly as it runs in memory ([`diff_keys`]).
+//!   Two replicas localize divergence in O(log n · diverged) frames;
+//!   the per-object digest protocol of §VI then repairs *only* the
+//!   diverged keys.
+//!
+//! [`epoch`]: MerkleTree::epoch
+//! [`delta-store`]: https://crates.io/crates/delta-store
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use crdt_lattice::{CodecError, WireEncode};
+
+/// Children per tree node: one hex nibble of key-hash prefix per level.
+pub const MERKLE_FANOUT: usize = 16;
+
+/// Maximum tree depth (a 64-bit hash holds 16 nibbles).
+pub const MAX_MERKLE_DEPTH: u8 = 16;
+
+/// Default depth: 16³ = 4096 leaf buckets — a handful of keys per bucket
+/// at the 30K-object scale the repair benchmarks run, while a tree over
+/// a tiny keyspace stays shallow in practice (sparse nodes).
+pub const DEFAULT_MERKLE_DEPTH: u8 = 3;
+
+/// Keyspaces at or above this many objects choose Merkle descent over
+/// per-object digest repair. Below it the per-object path is already
+/// cheap and its 3-message accounting stays byte-identical to the paper's
+/// §VI protocol (which existing scenario baselines pin).
+pub const MERKLE_REPAIR_THRESHOLD: usize = 64;
+
+/// Deterministic 64-bit hash of a key (same across replicas and
+/// processes — `DefaultHasher::new()` is keyed with constants, the
+/// convention the digest and probe paths already rely on).
+pub fn hash_key<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A sparse hash-prefix Merkle tree mapping keys to 64-bit state hashes.
+///
+/// `K` is the store's key type; the *state hash* of each key is supplied
+/// by the caller at [`flush`](MerkleTree::flush) time (the store computes
+/// it from the object's engine), keeping the tree decoupled from any
+/// engine or CRDT type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree<K> {
+    depth: u8,
+    /// Leaf contents: leaf prefix → (key → state hash).
+    buckets: BTreeMap<u64, BTreeMap<K, u64>>,
+    /// `levels[l]` holds the node hashes at depth `l + 1` (the root is
+    /// not stored here); a node's prefix is the top `4·(l+1)` bits of
+    /// the key hash. `levels[depth - 1]` is the leaf level.
+    levels: Vec<BTreeMap<u64, u64>>,
+    root: u64,
+    /// Keys touched since the last flush.
+    dirty: BTreeSet<K>,
+    /// Bumped whenever a flush changes the root hash.
+    epoch: u64,
+}
+
+impl<K: Ord + Clone + Hash> Default for MerkleTree<K> {
+    fn default() -> Self {
+        Self::new(DEFAULT_MERKLE_DEPTH)
+    }
+}
+
+impl<K: Ord + Clone + Hash> MerkleTree<K> {
+    /// An empty tree of the given depth (clamped to
+    /// `1..=`[`MAX_MERKLE_DEPTH`]).
+    pub fn new(depth: u8) -> Self {
+        let depth = depth.clamp(1, MAX_MERKLE_DEPTH);
+        MerkleTree {
+            depth,
+            buckets: BTreeMap::new(),
+            levels: vec![BTreeMap::new(); depth as usize],
+            root: 0,
+            dirty: BTreeSet::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Build a flushed tree from a `(key, state hash)` snapshot.
+    pub fn build(depth: u8, entries: impl IntoIterator<Item = (K, u64)>) -> Self {
+        let mut t = Self::new(depth);
+        let hashes: BTreeMap<K, u64> = entries.into_iter().collect();
+        for key in hashes.keys() {
+            t.touch(key.clone());
+        }
+        t.flush(|k| hashes.get(k).copied());
+        t
+    }
+
+    /// Tree depth in levels.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Root hash as of the last flush (`0` for an empty tree).
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Mutation epoch: bumped each time a flush changes the root.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of keys tracked (as of the last flush).
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(BTreeMap::len).sum()
+    }
+
+    /// Does the tree track no keys?
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Are there touched keys awaiting a flush?
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Record `key` as mutated; the next [`flush`](MerkleTree::flush)
+    /// rehashes its leaf path. O(log) in the dirty-set size.
+    pub fn touch(&mut self, key: K) {
+        self.dirty.insert(key);
+    }
+
+    /// Forget everything (keys, hashes, dirt); the epoch survives so a
+    /// peer holding a stale [`RootDigest`] still sees it superseded.
+    pub fn clear(&mut self) {
+        let changed = self.root != 0;
+        self.buckets.clear();
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.root = 0;
+        self.dirty.clear();
+        if changed {
+            self.epoch += 1;
+        }
+    }
+
+    fn leaf_prefix(&self, key_hash: u64) -> u64 {
+        key_hash >> (64 - 4 * u32::from(self.depth))
+    }
+
+    /// Rehash the dirty leaf paths. `state_hash` supplies the current
+    /// hash for each touched key (`None` = the key no longer exists).
+    /// Returns the (possibly bumped) epoch.
+    pub fn flush<F: FnMut(&K) -> Option<u64>>(&mut self, mut state_hash: F) -> u64 {
+        if self.dirty.is_empty() {
+            return self.epoch;
+        }
+        let mut dirty_nodes: BTreeSet<u64> = BTreeSet::new();
+        for key in std::mem::take(&mut self.dirty) {
+            let prefix = self.leaf_prefix(hash_key(&key));
+            match state_hash(&key) {
+                Some(h) => {
+                    self.buckets.entry(prefix).or_default().insert(key, h);
+                }
+                None => {
+                    if let Some(bucket) = self.buckets.get_mut(&prefix) {
+                        bucket.remove(&key);
+                        if bucket.is_empty() {
+                            self.buckets.remove(&prefix);
+                        }
+                    }
+                }
+            }
+            dirty_nodes.insert(prefix);
+        }
+        // Leaf level, then ancestors up to the root.
+        for l in (0..self.depth as usize).rev() {
+            let mut parents = BTreeSet::new();
+            for &prefix in &dirty_nodes {
+                let hash = if l == self.depth as usize - 1 {
+                    self.buckets.get(&prefix).map(|bucket| {
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        for (k, sh) in bucket {
+                            hash_key(k).hash(&mut h);
+                            sh.hash(&mut h);
+                        }
+                        h.finish()
+                    })
+                } else {
+                    let children = &self.levels[l + 1];
+                    let lo = prefix << 4;
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    let mut any = false;
+                    for (cp, ch) in children.range(lo..lo + MERKLE_FANOUT as u64) {
+                        any = true;
+                        cp.hash(&mut h);
+                        ch.hash(&mut h);
+                    }
+                    any.then(|| h.finish())
+                };
+                match hash {
+                    Some(h) => {
+                        self.levels[l].insert(prefix, h);
+                    }
+                    None => {
+                        self.levels[l].remove(&prefix);
+                    }
+                }
+                parents.insert(prefix >> 4);
+            }
+            dirty_nodes = parents;
+        }
+        let new_root = if self.levels[0].is_empty() {
+            0
+        } else {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for (p, nh) in &self.levels[0] {
+                p.hash(&mut h);
+                nh.hash(&mut h);
+            }
+            h.finish()
+        };
+        if new_root != self.root {
+            self.root = new_root;
+            self.epoch += 1;
+        }
+        self.epoch
+    }
+
+    /// The [`RootDigest`] a replica opens a descent with. The tree must
+    /// be flushed first.
+    pub fn root_digest(&self) -> RootDigest {
+        debug_assert!(self.dirty.is_empty(), "flush before exchanging digests");
+        RootDigest {
+            epoch: self.epoch,
+            depth: self.depth,
+            root: self.root,
+        }
+    }
+
+    /// The `(child index, hash)` pairs of the node at `child_level` under
+    /// `parent_prefix` (for `child_level == 0`, the root's children —
+    /// `parent_prefix` must be 0). Used by both descent sides.
+    pub fn node_children(&self, child_level: u8, parent_prefix: u64) -> Vec<(u8, u64)> {
+        let Some(level) = self.levels.get(child_level as usize) else {
+            return Vec::new();
+        };
+        let lo = parent_prefix << 4;
+        level
+            .range(lo..lo + MERKLE_FANOUT as u64)
+            .map(|(p, h)| ((p & 0xF) as u8, *h))
+            .collect()
+    }
+
+    /// The leaf bucket contents at `prefix` as `(key, state hash)` pairs.
+    pub fn leaf_entries(&self, prefix: u64) -> Vec<(K, u64)> {
+        self.buckets
+            .get(&prefix)
+            .map(|b| b.iter().map(|(k, h)| (k.clone(), *h)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All tracked keys (used for conservative full-keyspace fallbacks).
+    pub fn all_keys(&self) -> impl Iterator<Item = &K> {
+        self.buckets.values().flat_map(BTreeMap::keys)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Descent frames
+// ---------------------------------------------------------------------------
+
+/// Frame 1 of a descent: the initiator's root summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootDigest {
+    /// The sender's mutation epoch (staleness marker for schedulers).
+    pub epoch: u64,
+    /// The sender's tree depth — both sides must agree for prefixes to
+    /// be comparable; a mismatch makes the receiver fall back to
+    /// full-keyspace repair.
+    pub depth: u8,
+    /// The sender's root hash (`0` = empty keyspace).
+    pub root: u64,
+}
+
+impl WireEncode for RootDigest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.depth.encode(out);
+        self.root.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let epoch = u64::decode(input)?;
+        let depth = u8::decode(input)?;
+        if depth == 0 || depth > MAX_MERKLE_DEPTH {
+            return Err(CodecError::BadDiscriminant(depth));
+        }
+        let root = u64::decode(input)?;
+        Ok(RootDigest { epoch, depth, root })
+    }
+}
+
+/// One tree node's children, as carried by [`DivergentChildren`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildList {
+    /// Level the listed children live at (`0` = the root's children).
+    pub level: u8,
+    /// Prefix of the parent node (`0` when `level == 0`).
+    pub prefix: u64,
+    /// Present children as `(index, hash)`, strictly increasing by
+    /// index — the canonical form the decoder enforces.
+    pub children: Vec<(u8, u64)>,
+}
+
+impl WireEncode for ChildList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.level.encode(out);
+        self.prefix.encode(out);
+        self.children.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let level = u8::decode(input)?;
+        if level >= MAX_MERKLE_DEPTH {
+            return Err(CodecError::BadDiscriminant(level));
+        }
+        let prefix = u64::decode(input)?;
+        let children = Vec::<(u8, u64)>::decode(input)?;
+        // A node has at most MERKLE_FANOUT children; enforcing strictly
+        // increasing indexes < 16 rejects hostile child-count claims and
+        // non-canonical re-encodings in one check.
+        let mut prev: Option<u8> = None;
+        for &(idx, _) in &children {
+            if idx >= MERKLE_FANOUT as u8 || prev.is_some_and(|p| idx <= p) {
+                return Err(CodecError::BadDiscriminant(idx));
+            }
+            prev = Some(idx);
+        }
+        Ok(ChildList {
+            level,
+            prefix,
+            children,
+        })
+    }
+}
+
+/// Frames 2..n of a descent: the sender's child hashes for nodes the
+/// previous frame showed divergent. The receiver compares against its
+/// own children and answers one level deeper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DivergentChildren {
+    /// Child listings, one per divergent node.
+    pub nodes: Vec<ChildList>,
+}
+
+impl WireEncode for DivergentChildren {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nodes.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DivergentChildren {
+            nodes: Vec::decode(input)?,
+        })
+    }
+}
+
+/// Final frames of a descent: leaf bucket contents for the divergent
+/// leaves, as `(leaf prefix, [(key, state hash)])`. Both sides exchange
+/// one; the symmetric difference of the entries is the diverged key set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeafRepair<K> {
+    /// Divergent leaf buckets.
+    pub leaves: Vec<(u64, Vec<(K, u64)>)>,
+}
+
+impl<K: WireEncode> WireEncode for LeafRepair<K> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.leaves.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(LeafRepair {
+            leaves: Vec::decode(input)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory descent driver
+// ---------------------------------------------------------------------------
+
+/// Accounting of one tree-descent session, measured on the real frame
+/// encodings (not a byte model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DescentStats {
+    /// Frames exchanged (root digest + children rounds + leaf repairs).
+    pub frames: u64,
+    /// Encoded bytes of [`RootDigest`] and [`DivergentChildren`] frames.
+    pub control_bytes: u64,
+    /// Encoded bytes of [`LeafRepair`] frames.
+    pub leaf_bytes: u64,
+    /// Descent rounds (levels walked).
+    pub rounds: u64,
+}
+
+impl DescentStats {
+    /// Total encoded bytes across all frames.
+    pub fn total_bytes(&self) -> u64 {
+        self.control_bytes + self.leaf_bytes
+    }
+}
+
+/// Given both sides' [`LeafRepair`] contents for the same divergent
+/// leaves, the keys that actually differ: present on one side only, or
+/// present on both with different state hashes.
+pub fn diverged_from_leaves<K: Ord + Clone>(
+    mine: &LeafRepair<K>,
+    theirs: &LeafRepair<K>,
+) -> BTreeSet<K> {
+    let mut out = BTreeSet::new();
+    let theirs_by_prefix: BTreeMap<u64, &Vec<(K, u64)>> =
+        theirs.leaves.iter().map(|(p, v)| (*p, v)).collect();
+    let mine_by_prefix: BTreeMap<u64, &Vec<(K, u64)>> =
+        mine.leaves.iter().map(|(p, v)| (*p, v)).collect();
+    for (prefix, entries) in &mine.leaves {
+        let other: BTreeMap<&K, u64> = theirs_by_prefix
+            .get(prefix)
+            .map(|v| v.iter().map(|(k, h)| (k, *h)).collect())
+            .unwrap_or_default();
+        for (k, h) in entries {
+            if other.get(k) != Some(h) {
+                out.insert(k.clone());
+            }
+        }
+    }
+    for (prefix, entries) in &theirs.leaves {
+        let ours: BTreeSet<&K> = mine_by_prefix
+            .get(prefix)
+            .map(|v| v.iter().map(|(k, _)| k).collect())
+            .unwrap_or_default();
+        for (k, _) in entries {
+            if !ours.contains(k) {
+                out.insert(k.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Compare a frame's child listings against `tree`'s own children,
+/// splitting the divergent child prefixes into internal nodes (the next
+/// descent frontier, as `(child level, prefix)`) and leaf prefixes. This
+/// is the per-round comparison step both the in-memory driver
+/// ([`diff_keys`]) and `crdt-net`'s socket descent run.
+pub fn divergent_children<K: Ord + Clone + Hash>(
+    tree: &MerkleTree<K>,
+    frame: &DivergentChildren,
+    internal: &mut Vec<(u8, u64)>,
+    leaves: &mut BTreeSet<u64>,
+) {
+    for node in &frame.nodes {
+        let mine: BTreeMap<u8, u64> = tree
+            .node_children(node.level, node.prefix)
+            .into_iter()
+            .collect();
+        let theirs: BTreeMap<u8, u64> = node.children.iter().copied().collect();
+        for idx in 0..MERKLE_FANOUT as u8 {
+            if mine.get(&idx) == theirs.get(&idx) {
+                continue;
+            }
+            let child_prefix = (node.prefix << 4) | u64::from(idx);
+            if node.level == tree.depth() - 1 {
+                leaves.insert(child_prefix);
+            } else {
+                internal.push((node.level + 1, child_prefix));
+            }
+        }
+    }
+}
+
+/// Run a full descent between two flushed trees **in memory**, encoding
+/// every frame for real so the returned [`DescentStats`] measure actual
+/// wire bytes. Returns the diverged key set.
+///
+/// Mirrors the socket protocol in `crdt-net`: `a` opens with its root
+/// digest; the sides then alternate [`DivergentChildren`] frames one
+/// level deeper per round; divergence at the leaf level resolves through
+/// a [`LeafRepair`] exchange. Depth mismatch degrades to full-keyspace
+/// divergence (conservative, still convergent).
+pub fn diff_keys<K>(a: &MerkleTree<K>, b: &MerkleTree<K>) -> (BTreeSet<K>, DescentStats)
+where
+    K: Ord + Clone + Hash + WireEncode,
+{
+    let mut stats = DescentStats::default();
+
+    // Frame 1: A → B, root digest.
+    stats.frames += 1;
+    stats.control_bytes += a.root_digest().to_bytes().len() as u64;
+    if a.depth() != b.depth() {
+        let all: BTreeSet<K> = a.all_keys().chain(b.all_keys()).cloned().collect();
+        return (all, stats);
+    }
+    if a.root() == b.root() {
+        return (BTreeSet::new(), stats);
+    }
+
+    // Frame 2: B → A, the root's children; the sides then alternate, the
+    // receiver of each frame comparing and answering one level deeper.
+    let mut frame = DivergentChildren {
+        nodes: vec![ChildList {
+            level: 0,
+            prefix: 0,
+            children: b.node_children(0, 0),
+        }],
+    };
+    let mut receiver_is_a = true;
+    let mut leaves: BTreeSet<u64> = BTreeSet::new();
+    loop {
+        stats.frames += 1;
+        stats.rounds += 1;
+        stats.control_bytes += frame.to_bytes().len() as u64;
+        let receiver = if receiver_is_a { a } else { b };
+        let mut internal = Vec::new();
+        divergent_children(receiver, &frame, &mut internal, &mut leaves);
+        if internal.is_empty() {
+            break;
+        }
+        frame = DivergentChildren {
+            nodes: internal
+                .into_iter()
+                .map(|(level, prefix)| ChildList {
+                    level,
+                    prefix,
+                    children: receiver.node_children(level, prefix),
+                })
+                .collect(),
+        };
+        receiver_is_a = !receiver_is_a;
+    }
+
+    if leaves.is_empty() {
+        return (BTreeSet::new(), stats);
+    }
+
+    // Leaf exchange: the side that found the divergent leaves sends its
+    // buckets; the other answers with the same buckets from its side.
+    let (x, y) = if receiver_is_a { (a, b) } else { (b, a) };
+    let x_repair = LeafRepair {
+        leaves: leaves.iter().map(|&p| (p, x.leaf_entries(p))).collect(),
+    };
+    let y_repair = LeafRepair {
+        leaves: leaves.iter().map(|&p| (p, y.leaf_entries(p))).collect(),
+    };
+    stats.frames += 2;
+    stats.leaf_bytes += x_repair.to_bytes().len() as u64;
+    stats.leaf_bytes += y_repair.to_bytes().len() as u64;
+
+    (diverged_from_leaves(&x_repair, &y_repair), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(depth: u8, entries: &[(u32, u64)]) -> MerkleTree<u32> {
+        MerkleTree::build(depth, entries.iter().copied())
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let t: MerkleTree<u32> = MerkleTree::new(3);
+        assert_eq!(t.root(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn incremental_flush_matches_scratch_build() {
+        let mut hashes: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut t: MerkleTree<u32> = MerkleTree::new(3);
+        for i in 0..200u32 {
+            hashes.insert(i, u64::from(i) * 7 + 1);
+            t.touch(i);
+        }
+        t.flush(|k| hashes.get(k).copied());
+        // Mutate a few, remove a few, add a few.
+        for i in [3u32, 77, 150] {
+            hashes.insert(i, 999 + u64::from(i));
+            t.touch(i);
+        }
+        for i in [10u32, 11] {
+            hashes.remove(&i);
+            t.touch(i);
+        }
+        hashes.insert(1000, 5);
+        t.touch(1000);
+        t.flush(|k| hashes.get(k).copied());
+
+        let scratch = MerkleTree::build(3, hashes.clone());
+        assert_eq!(t.root(), scratch.root());
+        assert_eq!(t.levels, scratch.levels);
+        assert_eq!(t.buckets, scratch.buckets);
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_real_change() {
+        let mut t: MerkleTree<u32> = MerkleTree::new(2);
+        t.touch(1);
+        t.flush(|_| Some(42));
+        let e = t.epoch();
+        // Same hash re-flushed: no epoch change.
+        t.touch(1);
+        t.flush(|_| Some(42));
+        assert_eq!(t.epoch(), e);
+        t.touch(1);
+        t.flush(|_| Some(43));
+        assert_eq!(t.epoch(), e + 1);
+    }
+
+    #[test]
+    fn diff_finds_exactly_the_diverged_keys() {
+        let base: Vec<(u32, u64)> = (0..500).map(|i| (i, u64::from(i) + 10)).collect();
+        let mut other = base.clone();
+        other[42].1 = 9_999; // changed state
+        other.push((700, 1)); // only in b
+        let a = tree_of(3, &base);
+        let b = tree_of(3, &other);
+        let (diverged, stats) = diff_keys(&a, &b);
+        assert_eq!(diverged, BTreeSet::from([42u32, 700]));
+        assert!(stats.frames >= 4, "root + descent + leaf exchange");
+        // Control traffic is far below one digest hash per key.
+        assert!(
+            stats.total_bytes() < 8 * 500,
+            "descent bytes {} must undercut per-key digests",
+            stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn diff_of_equal_trees_is_one_frame() {
+        let entries: Vec<(u32, u64)> = (0..100).map(|i| (i, u64::from(i))).collect();
+        let a = tree_of(3, &entries);
+        let b = tree_of(3, &entries);
+        let (diverged, stats) = diff_keys(&a, &b);
+        assert!(diverged.is_empty());
+        assert_eq!(stats.frames, 1, "equal roots stop at the digest");
+    }
+
+    #[test]
+    fn diff_against_empty_tree_reports_everything() {
+        let entries: Vec<(u32, u64)> = (0..50).map(|i| (i, 1)).collect();
+        let a = tree_of(3, &entries);
+        let b: MerkleTree<u32> = MerkleTree::new(3);
+        let (diverged, _) = diff_keys(&a, &b);
+        assert_eq!(diverged.len(), 50);
+        let (diverged, stats) = diff_keys(&b, &a);
+        assert_eq!(diverged.len(), 50);
+        assert!(stats.frames > 1);
+    }
+
+    #[test]
+    fn diff_of_two_empty_trees_is_empty() {
+        let a: MerkleTree<u32> = MerkleTree::new(3);
+        let b: MerkleTree<u32> = MerkleTree::new(3);
+        let (diverged, stats) = diff_keys(&a, &b);
+        assert!(diverged.is_empty());
+        assert_eq!(stats.frames, 1);
+    }
+
+    #[test]
+    fn depth_mismatch_degrades_to_full_divergence() {
+        let a = tree_of(2, &[(1, 1), (2, 2)]);
+        let b = tree_of(3, &[(2, 2), (3, 3)]);
+        let (diverged, _) = diff_keys(&a, &b);
+        assert_eq!(diverged, BTreeSet::from([1u32, 2, 3]));
+    }
+
+    #[test]
+    fn descent_bytes_scale_with_divergence_not_keyspace() {
+        let small: Vec<(u32, u64)> = (0..1_000).map(|i| (i, u64::from(i))).collect();
+        let large: Vec<(u32, u64)> = (0..8_000).map(|i| (i, u64::from(i))).collect();
+        let one_diverged = |entries: &[(u32, u64)]| {
+            let a = tree_of(3, entries);
+            let mut changed = entries.to_vec();
+            changed[0].1 ^= 0xDEAD;
+            let b = tree_of(3, &changed);
+            diff_keys(&a, &b).1
+        };
+        let s = one_diverged(&small);
+        let l = one_diverged(&large);
+        // 8× the keyspace with the same single diverged key: control
+        // traffic may grow only logarithmically, never proportionally.
+        assert!(
+            l.total_bytes() < s.total_bytes() * 4,
+            "descent bytes grew with keyspace: {} → {}",
+            s.total_bytes(),
+            l.total_bytes()
+        );
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_epoch_monotone() {
+        let mut t = tree_of(3, &[(1, 1), (2, 2)]);
+        let e = t.epoch();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), 0);
+        assert!(t.epoch() > e);
+    }
+
+    #[test]
+    fn frames_roundtrip_on_the_wire() {
+        let rd = RootDigest {
+            epoch: 7,
+            depth: 3,
+            root: 0xABCD,
+        };
+        assert_eq!(RootDigest::from_bytes(&rd.to_bytes()).unwrap(), rd);
+
+        let dc = DivergentChildren {
+            nodes: vec![
+                ChildList {
+                    level: 0,
+                    prefix: 0,
+                    children: vec![(0, 11), (3, 22), (15, 33)],
+                },
+                ChildList {
+                    level: 2,
+                    prefix: 0x123,
+                    children: vec![],
+                },
+            ],
+        };
+        assert_eq!(DivergentChildren::from_bytes(&dc.to_bytes()).unwrap(), dc);
+
+        let lr = LeafRepair {
+            leaves: vec![(5u64, vec![(7u32, 100u64), (8, 200)]), (9, vec![])],
+        };
+        assert_eq!(LeafRepair::<u32>::from_bytes(&lr.to_bytes()).unwrap(), lr);
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected() {
+        // Depth 0 and depth > 16 are invalid.
+        let mut bad = RootDigest {
+            epoch: 0,
+            depth: 3,
+            root: 0,
+        }
+        .to_bytes();
+        bad[1] = 0;
+        assert!(RootDigest::from_bytes(&bad).is_err());
+        bad[1] = 17;
+        assert!(RootDigest::from_bytes(&bad).is_err());
+
+        // Child index ≥ 16 rejected.
+        let dc = DivergentChildren {
+            nodes: vec![ChildList {
+                level: 0,
+                prefix: 0,
+                children: vec![(16, 1)],
+            }],
+        };
+        assert!(DivergentChildren::from_bytes(&dc.to_bytes()).is_err());
+
+        // Duplicate / non-increasing child indexes rejected (hostile
+        // child-count claims re-listing the same index).
+        let dup = DivergentChildren {
+            nodes: vec![ChildList {
+                level: 0,
+                prefix: 0,
+                children: vec![(3, 1), (3, 2)],
+            }],
+        };
+        assert!(DivergentChildren::from_bytes(&dup.to_bytes()).is_err());
+
+        // Truncation errors, never panics.
+        let ok = DivergentChildren {
+            nodes: vec![ChildList {
+                level: 1,
+                prefix: 2,
+                children: vec![(1, 5), (2, 6)],
+            }],
+        }
+        .to_bytes();
+        for cut in 0..ok.len() {
+            assert!(DivergentChildren::from_bytes(&ok[..cut]).is_err());
+        }
+    }
+}

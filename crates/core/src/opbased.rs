@@ -89,6 +89,9 @@ struct BufEntry<O> {
 #[derive(Debug, Clone)]
 pub struct OpBased<C: Crdt> {
     id: ReplicaId,
+    /// System size, for the causal-stability compaction rule: an op seen
+    /// by all `n_nodes` replicas needs no further forwarding from anyone.
+    n_nodes: usize,
     state: C,
     /// Ops delivered to the local state, as a contiguous summary.
     delivered: VClock,
@@ -144,9 +147,10 @@ impl<C: Crdt> Protocol<C> for OpBased<C> {
 
     const NAME: &'static str = "op-based";
 
-    fn new(id: ReplicaId, _params: &Params) -> Self {
+    fn new(id: ReplicaId, params: &Params) -> Self {
         OpBased {
             id,
+            n_nodes: params.n_nodes,
             state: C::bottom(),
             delivered: VClock::new(),
             pending: Vec::new(),
@@ -220,6 +224,22 @@ impl<C: Crdt> Protocol<C> for OpBased<C> {
 
     fn state(&self) -> &C {
         &self.state
+    }
+
+    fn on_params_change(&mut self, params: &Params) {
+        self.n_nodes = params.n_nodes;
+    }
+
+    /// Drop buffered ops whose seen-by set covers **all** `n_nodes`
+    /// replicas: causally stable, no replica can still need a forward.
+    /// (The per-neighbor prune in `on_sync` only considers the current
+    /// neighbor set; this is the global rule a compaction scheduler
+    /// invokes.) Causally blocked `pending` ops are never touched.
+    fn compact(&mut self) -> u64 {
+        let n = self.n_nodes;
+        let before = self.buffer.len();
+        self.buffer.retain(|_, e| e.seen.len() < n);
+        (before - self.buffer.len()) as u64
     }
 
     /// Bootstrap from a peer snapshot: adopt the peer's state *and* its

@@ -59,6 +59,16 @@ pub struct Params {
     /// paper's loop). Interval-aware drivers skip `on_sync` on off
     /// rounds; deltas keep accumulating in the buffers meanwhile.
     pub sync_interval: usize,
+
+    /// Enable causal-stability-driven compaction (off by default).
+    ///
+    /// When set, protocols that otherwise grow without bound opt into
+    /// the extra bookkeeping their [`Protocol::compact`] hook needs —
+    /// plain Scuttlebutt starts tracking the peer clocks it already
+    /// receives so stable store entries can be pruned on demand. Off,
+    /// every protocol behaves (and accounts memory) exactly as the
+    /// paper's evaluation measures it.
+    pub compaction: bool,
 }
 
 impl Params {
@@ -69,6 +79,7 @@ impl Params {
             n_nodes,
             fan_out: None,
             sync_interval: 1,
+            compaction: false,
         }
     }
 
@@ -81,6 +92,13 @@ impl Params {
     /// Set the number of rounds between synchronization steps.
     pub const fn sync_interval(mut self, interval: usize) -> Self {
         self.sync_interval = interval;
+        self
+    }
+
+    /// Enable causal-stability-driven compaction (see
+    /// [`Params::compaction`]).
+    pub const fn compaction(mut self) -> Self {
+        self.compaction = true;
         self
     }
 }
@@ -167,6 +185,21 @@ pub trait Protocol<C: Crdt>: Debug {
     /// recovery path (plain Scuttlebutt never re-ships pruned entries).
     fn on_params_change(&mut self, _params: &Params) {}
 
+    /// Discard synchronization metadata that is **causally stable** —
+    /// entries every replica is known to have seen, which therefore can
+    /// never be needed again. Returns the number of pruned entries.
+    ///
+    /// The default prunes nothing: the Algorithm-1 delta variants clear
+    /// their δ-buffer every sync step and the state baseline holds no
+    /// metadata, so only the history-keeping protocols (Scuttlebutt,
+    /// op-based, acked) override it. Compaction never changes the
+    /// replica's lattice state, only bounded-liveness metadata, so
+    /// convergence is unaffected — the invariant the repair-parity
+    /// proptests pin.
+    fn compact(&mut self) -> u64 {
+        0
+    }
+
     /// Absorb an out-of-band state transfer from `source` — the bootstrap
     /// half of crash-recovery and join-with-bootstrap.
     ///
@@ -205,5 +238,7 @@ mod tests {
         assert_eq!(Params::new(15).n_nodes, 15);
         assert_eq!(Params::new(15).fan_out(3).fan_out, Some(3));
         assert_eq!(Params::new(15).sync_interval(4).sync_interval, 4);
+        assert!(!Params::new(15).compaction);
+        assert!(Params::new(15).compaction().compaction);
     }
 }

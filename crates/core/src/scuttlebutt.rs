@@ -122,6 +122,13 @@ pub struct ScuttlebuttCore<C> {
     id: ReplicaId,
     n_nodes: usize,
     gc: bool,
+    /// Opt-in causal-stability compaction (plain variant only; see
+    /// [`crate::Params::compaction`]): track the peer clocks that already
+    /// flow through every exchange, so [`ScuttlebuttCore::compact`] can
+    /// prune stable store entries on demand. Never prunes on its own —
+    /// with the flag off, the plain variant's store grows without bound
+    /// exactly as the paper measures it (Fig. 10).
+    compaction: bool,
     state: C,
     /// Everything this replica has seen, as a contiguous-per-replica
     /// summary.
@@ -145,6 +152,7 @@ impl<C: Crdt> ScuttlebuttCore<C> {
             id,
             n_nodes: params.n_nodes,
             gc,
+            compaction: params.compaction,
             state: C::bottom(),
             clock: VClock::new(),
             sync_snapshot: VClock::new(),
@@ -163,7 +171,7 @@ impl<C: Crdt> ScuttlebuttCore<C> {
     }
 
     fn update_own_knowledge(&mut self) {
-        if self.gc {
+        if self.gc || self.compaction {
             self.knowledge.insert(self.id, self.clock.clone());
         }
     }
@@ -205,7 +213,7 @@ impl<C: Crdt> ScuttlebuttCore<C> {
         their_clock: &VClock,
         their_knowledge: &Option<Knowledge>,
     ) {
-        if !self.gc {
+        if !self.gc && !self.compaction {
             return;
         }
         self.knowledge
@@ -218,7 +226,11 @@ impl<C: Crdt> ScuttlebuttCore<C> {
             merge_knowledge(&mut self.knowledge, k);
         }
         self.update_own_knowledge();
-        self.prune();
+        // Only the GC variant prunes eagerly; the compaction-tracking
+        // plain variant waits for an explicit `compact()` call.
+        if self.gc {
+            self.prune();
+        }
     }
 
     /// Delete deltas seen by **all** nodes (safe deletes, §V-B).
@@ -230,6 +242,16 @@ impl<C: Crdt> ScuttlebuttCore<C> {
         let knowledge = &self.knowledge;
         self.store
             .retain(|dot, _| !knowledge.values().all(|v| v.contains(dot)));
+    }
+
+    /// On-demand safe-delete pass: prune store entries below the
+    /// causal-stability frontier. Returns the number of pruned entries.
+    /// A no-op unless knowledge tracking is on (GC variant, or the plain
+    /// variant with [`crate::Params::compaction`]).
+    fn compact(&mut self) -> u64 {
+        let before = self.store.len();
+        self.prune();
+        (before - self.store.len()) as u64
     }
 
     /// Bootstrap from a peer snapshot: adopt the peer's state, summary
@@ -377,6 +399,10 @@ macro_rules! scuttlebutt_protocol {
                 // pruned beyond recovery.
                 self.0.n_nodes = params.n_nodes;
             }
+
+            fn compact(&mut self) -> u64 {
+                self.0.compact()
+            }
         }
     };
 }
@@ -500,6 +526,63 @@ mod tests {
         assert!(b.0.store.is_empty(), "b pruned: {:?}", b.0.store.len());
         // And the CRDT state survives pruning.
         assert_eq!(a.state().len(), 1);
+    }
+
+    /// Like `exchange`, but with honest sender ids in both directions —
+    /// plain-variant compaction tracks peer clocks *by sender*, so the
+    /// `from` labels matter (the GC variant is insensitive to them
+    /// because the gossiped knowledge matrix is keyed internally).
+    fn labeled_exchange<C: Crdt, P: Protocol<C, Msg = SbMsg<C>>>(
+        a: &mut P,
+        a_id: ReplicaId,
+        b: &mut P,
+        b_id: ReplicaId,
+    ) {
+        let mut out = Vec::new();
+        a.on_sync(&[b_id], &mut out);
+        for (_, m) in std::mem::take(&mut out) {
+            let mut replies = Vec::new();
+            b.on_msg(a_id, m, &mut replies);
+            for (_, r) in replies {
+                let mut back = Vec::new();
+                a.on_msg(b_id, r, &mut back);
+                for (_, f) in back {
+                    b.on_msg(a_id, f, &mut Vec::new());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_with_compaction_prunes_only_on_demand() {
+        let params = Params::new(2).compaction();
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        a.on_op(&GSetOp::Add(1));
+        labeled_exchange(&mut a, A, &mut b, B);
+        labeled_exchange(&mut b, B, &mut a, A);
+        // Unlike the GC variant, nothing is pruned eagerly…
+        assert_eq!(a.0.store.len(), 1);
+        // …but the tracked peer clocks let an explicit compact() prune
+        // the causally stable entry, leaving the CRDT state intact.
+        assert_eq!(a.compact(), 1);
+        assert!(a.0.store.is_empty());
+        assert_eq!(a.state().len(), 1);
+        assert_eq!(b.compact(), 1);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn compaction_off_keeps_the_paper_behavior() {
+        let params = Params::new(2);
+        let mut a: Scuttlebutt<GSet<u32>> = Protocol::new(A, &params);
+        let mut b: Scuttlebutt<GSet<u32>> = Protocol::new(B, &params);
+        a.on_op(&GSetOp::Add(1));
+        exchange(&mut a, &mut b);
+        exchange(&mut b, &mut a);
+        assert_eq!(a.compact(), 0, "no tracked clocks, nothing prunable");
+        assert_eq!(a.0.store.len(), 1);
+        assert!(a.0.knowledge.is_empty(), "no extra bookkeeping off-flag");
     }
 
     #[test]

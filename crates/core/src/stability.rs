@@ -1,0 +1,156 @@
+//! Causal-stability tracking: the version-vector frontier below which
+//! every replica has seen everything.
+//!
+//! A dot `⟨i, s⟩` is **causally stable** once every replica's summary
+//! vector covers it — no replica can still need the delta, op, or
+//! buffer entry it tags, so synchronization metadata below the frontier
+//! can be pruned without affecting convergence. This is the safety rule
+//! behind Scuttlebutt-GC's safe deletes (§V-B), factored out so any
+//! driver (the store's compaction scheduler, the anti-entropy loop) can
+//! compute it from whatever peer clocks it observes.
+//!
+//! The tracker is deliberately conservative: the frontier exists only
+//! once clocks from **all** `n_nodes` replicas have been observed —
+//! before that, an unheard-from replica might still need everything, and
+//! [`StabilityTracker::frontier`] returns `None`.
+
+use std::collections::BTreeMap;
+
+use crdt_lattice::{Dot, Lattice, ReplicaId, VClock};
+
+/// Observes peer summary vectors and computes the stable frontier: the
+/// pointwise *meet* (minimum) of every replica's clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilityTracker {
+    n_nodes: usize,
+    clocks: BTreeMap<ReplicaId, VClock>,
+}
+
+impl StabilityTracker {
+    /// Tracker for an `n_nodes`-replica system. With the size unknown
+    /// (`usize::MAX`), the frontier never forms — the safe default.
+    pub fn new(n_nodes: usize) -> Self {
+        StabilityTracker {
+            n_nodes,
+            clocks: BTreeMap::new(),
+        }
+    }
+
+    /// The system grew or shrank; an undershot size must raise the bar
+    /// *before* the joiner is heard from (same rule as Scuttlebutt-GC).
+    pub fn set_system_size(&mut self, n_nodes: usize) {
+        self.n_nodes = n_nodes;
+    }
+
+    /// Record `peer`'s summary vector (joined into anything previously
+    /// observed — clocks only move forward).
+    pub fn observe(&mut self, peer: ReplicaId, clock: &VClock) {
+        self.clocks
+            .entry(peer)
+            .and_modify(|mine| {
+                mine.join_assign(clock.clone());
+            })
+            .or_insert_with(|| clock.clone());
+    }
+
+    /// Replicas heard from so far.
+    pub fn observed(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Have all `n_nodes` replicas been heard from?
+    pub fn is_complete(&self) -> bool {
+        self.clocks.len() >= self.n_nodes
+    }
+
+    /// The stable frontier: for each replica `r`, the minimum of `r`'s
+    /// entry across **every** observed clock. `None` until complete.
+    /// Entries whose minimum is 0 are omitted (a `VClock` has no explicit
+    /// zero entries).
+    pub fn frontier(&self) -> Option<VClock> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut entries: BTreeMap<ReplicaId, u64> = BTreeMap::new();
+        for (i, clock) in self.clocks.values().enumerate() {
+            if i == 0 {
+                entries = clock.iter().collect();
+            } else {
+                entries.retain(|r, seq| {
+                    *seq = (*seq).min(clock.get(*r));
+                    *seq > 0
+                });
+            }
+        }
+        Some(entries.into_iter().collect())
+    }
+
+    /// Is `dot` below the stable frontier (safe to prune)?
+    pub fn is_stable(&self, dot: &Dot) -> bool {
+        self.is_complete() && self.clocks.values().all(|c| c.contains(dot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ReplicaId = ReplicaId(0);
+    const B: ReplicaId = ReplicaId(1);
+    const C: ReplicaId = ReplicaId(2);
+
+    fn clock(entries: &[(ReplicaId, u64)]) -> VClock {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn no_frontier_until_all_nodes_heard_from() {
+        let mut t = StabilityTracker::new(3);
+        t.observe(A, &clock(&[(A, 5)]));
+        t.observe(B, &clock(&[(A, 3), (B, 2)]));
+        assert!(!t.is_complete());
+        assert_eq!(t.frontier(), None);
+        t.observe(C, &clock(&[(A, 4), (C, 1)]));
+        assert!(t.is_complete());
+        // min over {5,3,4} = 3 for A; B and C hit a zero somewhere.
+        assert_eq!(t.frontier(), Some(clock(&[(A, 3)])));
+    }
+
+    #[test]
+    fn unknown_system_size_never_stabilizes() {
+        let mut t = StabilityTracker::new(usize::MAX);
+        t.observe(A, &clock(&[(A, 9)]));
+        assert_eq!(t.frontier(), None);
+        assert!(!t.is_stable(&Dot::new(A, 1)));
+    }
+
+    #[test]
+    fn observations_only_move_forward() {
+        let mut t = StabilityTracker::new(1);
+        t.observe(A, &clock(&[(A, 5)]));
+        t.observe(A, &clock(&[(A, 2)])); // stale re-delivery
+        assert_eq!(t.frontier(), Some(clock(&[(A, 5)])));
+    }
+
+    #[test]
+    fn is_stable_matches_the_frontier() {
+        let mut t = StabilityTracker::new(2);
+        t.observe(A, &clock(&[(A, 4), (B, 2)]));
+        t.observe(B, &clock(&[(A, 2), (B, 3)]));
+        assert!(t.is_stable(&Dot::new(A, 2)));
+        assert!(!t.is_stable(&Dot::new(A, 3)));
+        assert!(t.is_stable(&Dot::new(B, 2)));
+        assert!(!t.is_stable(&Dot::new(B, 3)));
+        assert_eq!(t.frontier(), Some(clock(&[(A, 2), (B, 2)])));
+    }
+
+    #[test]
+    fn growing_the_system_dissolves_the_frontier() {
+        let mut t = StabilityTracker::new(2);
+        t.observe(A, &clock(&[(A, 1)]));
+        t.observe(B, &clock(&[(A, 1)]));
+        assert!(t.frontier().is_some());
+        t.set_system_size(3);
+        assert_eq!(t.frontier(), None);
+    }
+}

@@ -121,6 +121,60 @@ fn corrupt_frames_never_overallocate() {
     assert!(r);
     assert_bounded("scuttlebutt/hostile-count", &sb, stats);
 
+    // Merkle repair-descent frames: a populated frontier + leaf-repair
+    // exchange, varint-stamped at every position (entry counts, leaf
+    // prefixes, hashes) and truncated at every point. These frames feed
+    // the multi-round socket descent, so a length-trusting decoder here
+    // would let one hostile peer OOM every repair partner.
+    let children = crdt_sync::DivergentChildren {
+        nodes: (0..8)
+            .map(|level| crdt_sync::ChildList {
+                level,
+                prefix: u64::from(level) * 11,
+                children: (0..16).map(|i| (i, u64::from(i) * 0x9e37)).collect(),
+            })
+            .collect(),
+    };
+    let leaves = crdt_sync::LeafRepair {
+        leaves: (0..8u64)
+            .map(|p| (p, (0..12u64).map(|k| (p * 100 + k, k * 0x9e37)).collect()))
+            .collect(),
+    };
+    for frame in [children.to_bytes(), leaves.to_bytes()] {
+        for pos in 0..frame.len() {
+            let bad = stamp_varint(&frame, pos);
+            let (result, stats) = testkit_alloc::measure(|| {
+                (
+                    crdt_sync::DivergentChildren::from_bytes(&bad).map(|c| c.nodes.len()),
+                    crdt_sync::LeafRepair::<u64>::from_bytes(&bad).map(|l| l.leaves.len()),
+                )
+            });
+            std::hint::black_box(&result);
+            assert_bounded("merkle/stamped", &bad, stats);
+        }
+        for cut in 0..frame.len() {
+            let (result, stats) = testkit_alloc::measure(|| {
+                (
+                    crdt_sync::DivergentChildren::from_bytes(&frame[..cut]).is_err(),
+                    crdt_sync::LeafRepair::<u64>::from_bytes(&frame[..cut]).is_err(),
+                )
+            });
+            assert!(result.0 && result.1, "strict prefix cannot decode");
+            assert_bounded("merkle/truncated", &frame[..cut], stats);
+        }
+    }
+
+    // Tiny Merkle frames claiming 2^40 nodes / leaves / children.
+    let mut huge_nodes = Vec::new();
+    crdt_lattice::codec::put_uvarint(&mut huge_nodes, 1 << 40);
+    huge_nodes.push(0);
+    let (r, stats) = testkit_alloc::measure(|| {
+        crdt_sync::DivergentChildren::from_bytes(&huge_nodes).is_err()
+            && crdt_sync::LeafRepair::<u64>::from_bytes(&huge_nodes).is_err()
+    });
+    assert!(r);
+    assert_bounded("merkle/hostile-count", &huge_nodes, stats);
+
     // And against the envelope layer: a payload length claiming ~2^62.
     let env = WireEnvelope {
         from: crdt_lattice::ReplicaId(0),

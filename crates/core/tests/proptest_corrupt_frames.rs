@@ -15,8 +15,9 @@
 
 use crdt_lattice::{ReplicaId, WireEncode};
 use crdt_sync::{
-    AckedMsg, BatchEntries, BatchEnvelope, Bytes, DeltaMsg, OpMsg, ProtocolKind, SbMsg,
-    WireAccounting, WireEnvelope, WireEnvelopeRef,
+    AckedMsg, BatchEntries, BatchEnvelope, Bytes, ChildList, DeltaMsg, DivergentChildren,
+    LeafRepair, OpMsg, ProtocolKind, RootDigest, SbMsg, WireAccounting, WireEnvelope,
+    WireEnvelopeRef,
 };
 use crdt_types::GSet;
 use proptest::collection::vec as pvec;
@@ -94,6 +95,41 @@ fn decode_all_paths(bytes: &[u8]) {
     let _ = SbMsg::<GSet<u64>>::from_bytes(bytes);
     let _ = AckedMsg::<GSet<u64>>::from_bytes(bytes);
     let _ = OpMsg::<GSet<u64>>::from_bytes(bytes);
+
+    // Merkle repair-descent frames.
+    let _ = RootDigest::from_bytes(bytes);
+    let _ = ChildList::from_bytes(bytes);
+    let _ = DivergentChildren::from_bytes(bytes);
+    let _ = LeafRepair::<u64>::from_bytes(bytes);
+    let _ = LeafRepair::<String>::from_bytes(bytes);
+}
+
+/// A representative descent exchange: a two-node frontier frame plus a
+/// leaf-repair frame over the same prefixes.
+fn merkle_frames(entries: &[(u64, u64)]) -> (Vec<u8>, Vec<u8>) {
+    let children = DivergentChildren {
+        nodes: vec![
+            ChildList {
+                level: 0,
+                prefix: 0,
+                children: entries
+                    .iter()
+                    .take(16)
+                    .enumerate()
+                    .map(|(i, (_, h))| (i as u8, *h))
+                    .collect(),
+            },
+            ChildList {
+                level: 1,
+                prefix: 3,
+                children: vec![(0, 1), (7, 2), (15, 3)],
+            },
+        ],
+    };
+    let leaves = LeafRepair {
+        leaves: vec![(0x37, entries.to_vec()), (0x38, Vec::new())],
+    };
+    (children.to_bytes(), leaves.to_bytes())
 }
 
 proptest! {
@@ -134,6 +170,50 @@ proptest! {
         let frame = envelope(&elems, ProtocolKind::Classic).to_bytes();
         let cut = (cut as usize) % frame.len();
         prop_assert!(WireEnvelope::from_bytes(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_merkle_frames_never_panic(
+        entries in pvec((any::<u64>(), any::<u64>()), 0..12),
+        mutation in any::<u64>(),
+    ) {
+        let (children, leaves) = merkle_frames(&entries);
+        decode_all_paths(&corrupt(children, mutation));
+        decode_all_paths(&corrupt(leaves, mutation));
+        let root = RootDigest { epoch: mutation, depth: 3, root: mutation.rotate_left(17) };
+        decode_all_paths(&corrupt(root.to_bytes(), mutation));
+    }
+
+    /// A strict prefix of a descent frame must always error — the
+    /// multi-round socket descent reads these mid-handshake, where a
+    /// half-frame accepted as complete would silently mis-localize
+    /// divergence.
+    #[test]
+    fn merkle_truncations_always_error(
+        entries in pvec((any::<u64>(), any::<u64>()), 1..10),
+        cut in any::<u64>(),
+    ) {
+        let (children, leaves) = merkle_frames(&entries);
+        let cut_at = |frame: &[u8]| (cut as usize) % frame.len();
+        prop_assert!(DivergentChildren::from_bytes(&children[..cut_at(&children)]).is_err());
+        prop_assert!(LeafRepair::<u64>::from_bytes(&leaves[..cut_at(&leaves)]).is_err());
+    }
+
+    /// Hostile structural claims: child indexes ≥ the fanout,
+    /// non-increasing child order, and depth 0 / past `MAX_MERKLE_DEPTH`
+    /// are all rejected — whatever the rest of the frame says.
+    #[test]
+    fn hostile_merkle_structure_is_rejected(
+        idx in 16u8..=255,
+        depth in prop_oneof![Just(0u8), 17u8..=255],
+        h in any::<u64>(),
+    ) {
+        let frame = ChildList { level: 0, prefix: 0, children: vec![(idx, h)] }.to_bytes();
+        prop_assert!(ChildList::from_bytes(&frame).is_err(), "child index {idx} ≥ fanout");
+        let dup = ChildList { level: 0, prefix: 0, children: vec![(3, h), (3, h)] }.to_bytes();
+        prop_assert!(ChildList::from_bytes(&dup).is_err(), "non-increasing child order");
+        let root = RootDigest { epoch: 1, depth, root: h }.to_bytes();
+        prop_assert!(RootDigest::from_bytes(&root).is_err(), "depth {depth} out of range");
     }
 
     #[test]

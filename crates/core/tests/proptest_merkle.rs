@@ -1,0 +1,111 @@
+//! Property tests of the Merkle keyspace tree (`crdt_sync::merkle`).
+//!
+//! Two invariants carry the anti-entropy subsystem:
+//!
+//! 1. **Incrementality is invisible.** A tree maintained by
+//!    `touch`/`flush` across an arbitrary interleaving of inserts,
+//!    overwrites, and removals is indistinguishable — root, every
+//!    level, every bucket — from one built from scratch over the final
+//!    key→hash map. If this ever breaks, two honest replicas could
+//!    disagree about identical keyspaces and repair would ship data
+//!    forever (or worse, never).
+//! 2. **The descent finds exactly the diverged keys.** For any two
+//!    keyspaces, `diff_keys` returns precisely the keys whose hash
+//!    differs or that only one side holds — no false negatives (missed
+//!    divergence = permanent inconsistency) and no false positives
+//!    beyond what a shared leaf bucket forces.
+
+use std::collections::BTreeMap;
+
+use crdt_sync::{diff_keys, MerkleTree, DEFAULT_MERKLE_DEPTH};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// One mutation against the keyspace.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Insert or overwrite `key` with a new hash value.
+    Put(u16, u64),
+    /// Remove `key` (a no-op if absent — the flush callback just keeps
+    /// returning `None`).
+    Del(u16),
+    /// Flush pending dirty keys mid-sequence, so the test covers
+    /// interleaved flush schedules, not only one big final flush.
+    Flush,
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        5 => (0u16..64, any::<u64>()).prop_map(|(k, h)| Mutation::Put(k, h)),
+        2 => (0u16..64).prop_map(Mutation::Del),
+        1 => Just(Mutation::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Invariant 1: incremental maintenance == scratch build, for every
+    /// mutation sequence, every flush interleaving, and every depth.
+    #[test]
+    fn incremental_tree_matches_scratch_build(
+        muts in pvec(mutation_strategy(), 1..80),
+        depth in 1u8..5,
+    ) {
+        let mut keyspace: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut tree: MerkleTree<u16> = MerkleTree::new(depth);
+        for m in &muts {
+            match m {
+                Mutation::Put(k, h) => {
+                    keyspace.insert(*k, *h);
+                    tree.touch(*k);
+                }
+                Mutation::Del(k) => {
+                    keyspace.remove(k);
+                    tree.touch(*k);
+                }
+                Mutation::Flush => {
+                    tree.flush(|k| keyspace.get(k).copied());
+                }
+            }
+        }
+        tree.flush(|k| keyspace.get(k).copied());
+        let scratch = MerkleTree::build(depth, keyspace.iter().map(|(k, h)| (*k, *h)));
+        // Epochs differ (they count flushes), so compare the content:
+        // root, then the full diff — which must be empty.
+        prop_assert_eq!(tree.root(), scratch.root());
+        prop_assert_eq!(tree.len(), keyspace.len());
+        let (diverged, _) = diff_keys(&tree, &scratch);
+        prop_assert!(diverged.is_empty(), "incremental and scratch trees diverge: {diverged:?}");
+    }
+
+    /// Invariant 2: `diff_keys` over two arbitrary keyspaces reports a
+    /// superset of the true symmetric difference (no false negatives),
+    /// and every reported key shares a leaf bucket with a truly
+    /// diverged key (no spurious buckets).
+    #[test]
+    fn descent_localizes_exactly_the_diverged_buckets(
+        a in proptest::collection::btree_map(0u16..96, any::<u64>(), 0..48),
+        b in proptest::collection::btree_map(0u16..96, any::<u64>(), 0..48),
+    ) {
+        let ta = MerkleTree::build(DEFAULT_MERKLE_DEPTH, a.iter().map(|(k, h)| (*k, *h)));
+        let tb = MerkleTree::build(DEFAULT_MERKLE_DEPTH, b.iter().map(|(k, h)| (*k, *h)));
+        let (found, stats) = diff_keys(&ta, &tb);
+        let truly: std::collections::BTreeSet<u16> = a
+            .iter()
+            .filter(|(k, h)| b.get(k) != Some(h))
+            .map(|(k, _)| *k)
+            .chain(b.keys().filter(|k| !a.contains_key(k)).copied())
+            .collect();
+        for k in &truly {
+            prop_assert!(found.contains(k), "missed diverged key {k}");
+        }
+        prop_assert_eq!(
+            &found, &truly,
+            "leaf exchange compares per-key hashes, so the diff is exact"
+        );
+        if truly.is_empty() {
+            prop_assert_eq!(stats.leaf_bytes, 0, "identical trees end at the root digest");
+        }
+    }
+}

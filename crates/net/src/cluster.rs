@@ -110,7 +110,7 @@ impl<K: Ord, C> fmt::Debug for LoopbackCluster<K, C> {
 
 impl<K, C> LoopbackCluster<K, C>
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -554,14 +554,18 @@ where
     }
 
     /// Digest-driven pairwise repair between live nodes `a` and `b`,
-    /// over a real socket (3 frames). Mirrors
+    /// over a real socket. Mirrors
     /// [`delta_store::Cluster::digest_repair`]'s role and protocol
-    /// restriction.
+    /// restriction; keyspaces at or above
+    /// [`crdt_sync::MERKLE_REPAIR_THRESHOLD`] localize the divergence
+    /// with a Merkle descent first
+    /// ([`NodeHandle::merkle_repair_with`]), smaller ones run the
+    /// 3-frame per-object sweep directly.
     pub fn repair(&mut self, a: usize, b: usize) -> PairSyncStats {
         assert_ne!(a, b, "repair needs two distinct nodes");
         let addr = self.addrs[b];
         self.node(a)
-            .repair_with(ReplicaId::from(b), addr)
+            .merkle_repair_with(ReplicaId::from(b), addr)
             .expect("loopback repair failed")
     }
 

@@ -21,7 +21,9 @@
 
 use crdt_lattice::{CodecError, ReplicaId, WireEncode};
 use crdt_sync::digest::Digest;
-use crdt_sync::{BatchEnvelope, Bytes};
+use crdt_sync::{
+    BatchEnvelope, Bytes, DivergentChildren, LeafRepair, RootDigest, MAX_MERKLE_DEPTH,
+};
 use delta_store::TrafficStats;
 
 /// Leading tag byte of a [`NetMsg::Batch`] frame — the one tag readers
@@ -133,6 +135,50 @@ pub enum NetMsg<K> {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// Merkle repair, frame 1 (client → server): open a keyspace tree
+    /// descent with the requester's root summary. The server answers
+    /// [`NetMsg::MerkleChildren`] — empty when the roots match, its
+    /// root's children otherwise — or [`NetMsg::Error`] on a tree-depth
+    /// mismatch (the client then falls back to the full §VI sweep).
+    MerkleRoot {
+        /// The requesting replica.
+        from: ReplicaId,
+        /// The requester's flushed tree root.
+        digest: RootDigest,
+    },
+    /// Merkle repair descent (client → server): "list your children at
+    /// these `(child level, parent prefix)` nodes". The server is
+    /// stateless across rounds — each request names its nodes in full.
+    MerkleNodeReq {
+        /// Nodes whose children the client needs, one level deeper per
+        /// round.
+        nodes: Vec<(u8, u64)>,
+    },
+    /// Merkle repair reply (server → client): the requested child
+    /// listings; the client compares them against its own tree and
+    /// descends.
+    MerkleChildren(DivergentChildren),
+    /// Merkle repair leaf round (client → server): "list your leaf
+    /// buckets at these prefixes".
+    MerkleLeafReq {
+        /// Divergent leaf prefixes found by the descent.
+        prefixes: Vec<u64>,
+    },
+    /// Merkle repair reply (server → client): the requested leaf bucket
+    /// contents; the symmetric difference against the client's buckets
+    /// is the diverged key set.
+    MerkleLeaves(LeafRepair<K>),
+    /// Scoped variant of [`NetMsg::RepairRequest`]: the server answers
+    /// deltas and digests for **only** the listed keys (the Merkle
+    /// descent already proved everything else equal), instead of
+    /// sweeping its whole keyspace.
+    RepairScoped {
+        /// The requesting replica (same attribution as RepairRequest).
+        from: ReplicaId,
+        /// `(key, digest)` for each diverged key (digest of `⊥` when
+        /// the requester does not hold the key).
+        digests: Vec<(K, Digest)>,
     },
 }
 
@@ -297,6 +343,32 @@ impl<K: WireEncode> WireEncode for NetMsg<K> {
                 out.push(11);
                 message.encode(out);
             }
+            NetMsg::MerkleRoot { from, digest } => {
+                out.push(12);
+                from.encode(out);
+                digest.encode(out);
+            }
+            NetMsg::MerkleNodeReq { nodes } => {
+                out.push(13);
+                nodes.encode(out);
+            }
+            NetMsg::MerkleChildren(frame) => {
+                out.push(14);
+                frame.encode(out);
+            }
+            NetMsg::MerkleLeafReq { prefixes } => {
+                out.push(15);
+                prefixes.encode(out);
+            }
+            NetMsg::MerkleLeaves(leaves) => {
+                out.push(16);
+                leaves.encode(out);
+            }
+            NetMsg::RepairScoped { from, digests } => {
+                out.push(17);
+                from.encode(out);
+                digests.encode(out);
+            }
         }
     }
 
@@ -343,6 +415,34 @@ impl<K: WireEncode> WireEncode for NetMsg<K> {
             },
             11 => NetMsg::Error {
                 message: String::decode(input)?,
+            },
+            12 => NetMsg::MerkleRoot {
+                from: ReplicaId::decode(input)?,
+                digest: RootDigest::decode(input)?,
+            },
+            13 => {
+                let nodes = Vec::<(u8, u64)>::decode(input)?;
+                // A descent never asks below the deepest level; hostile
+                // level claims die here rather than in the tree walk.
+                if nodes.iter().any(|(level, _)| *level >= MAX_MERKLE_DEPTH) {
+                    return Err(CodecError::BadDiscriminant(
+                        nodes
+                            .iter()
+                            .map(|(level, _)| *level)
+                            .find(|l| *l >= MAX_MERKLE_DEPTH)
+                            .unwrap_or_default(),
+                    ));
+                }
+                NetMsg::MerkleNodeReq { nodes }
+            }
+            14 => NetMsg::MerkleChildren(DivergentChildren::decode(input)?),
+            15 => NetMsg::MerkleLeafReq {
+                prefixes: Vec::decode(input)?,
+            },
+            16 => NetMsg::MerkleLeaves(LeafRepair::decode(input)?),
+            17 => NetMsg::RepairScoped {
+                from: ReplicaId::decode(input)?,
+                digests: Vec::decode(input)?,
             },
             d => return Err(CodecError::BadDiscriminant(d)),
         })
@@ -450,6 +550,34 @@ mod tests {
             NetMsg::Error {
                 message: "nope".to_string(),
             },
+            NetMsg::MerkleRoot {
+                from: ReplicaId(1),
+                digest: RootDigest {
+                    epoch: 9,
+                    depth: 3,
+                    root: 0xFEED,
+                },
+            },
+            NetMsg::MerkleNodeReq {
+                nodes: vec![(1, 0x0), (2, 0x1F)],
+            },
+            NetMsg::MerkleChildren(DivergentChildren {
+                nodes: vec![crdt_sync::ChildList {
+                    level: 0,
+                    prefix: 0,
+                    children: vec![(2, 7), (9, 8)],
+                }],
+            }),
+            NetMsg::MerkleLeafReq {
+                prefixes: vec![0x123, 0x456],
+            },
+            NetMsg::MerkleLeaves(LeafRepair {
+                leaves: vec![(0x123, vec![("k".to_string(), 42)])],
+            }),
+            NetMsg::RepairScoped {
+                from: ReplicaId(0),
+                digests: vec![("k".to_string(), Digest::of(&GSet::from_iter([2u64])))],
+            },
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
@@ -478,6 +606,16 @@ mod tests {
         let frame = Bytes::from(NetMsg::<String>::Probe.to_bytes());
         assert!(!is_batch_frame(&frame));
         assert!(batch_from_frame::<String>(&frame).is_err());
+    }
+
+    #[test]
+    fn hostile_merkle_node_levels_are_rejected() {
+        // A descent request naming a level past the deepest possible
+        // tree is hostile (or corrupt) — the decoder refuses it.
+        let msg: NetMsg<String> = NetMsg::MerkleNodeReq {
+            nodes: vec![(MAX_MERKLE_DEPTH, 0)],
+        };
+        assert!(NetMsg::<String>::from_bytes(&msg.to_bytes()).is_err());
     }
 
     #[test]

@@ -39,7 +39,10 @@ use std::time::{Duration, Instant};
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
 use crdt_sync::digest::{delta_for_digest, Digest, PairSyncStats};
-use crdt_sync::{BufferPool, Bytes, OpBytes};
+use crdt_sync::{
+    diverged_from_leaves, divergent_children, BufferPool, Bytes, ChildList, DivergentChildren,
+    LeafRepair, OpBytes, MERKLE_REPAIR_THRESHOLD,
+};
 use crdt_types::Crdt;
 use delta_store::{StoreConfig, StoreMsg, StoreReplica, TrafficStats};
 
@@ -253,7 +256,7 @@ fn state_hash<C: fmt::Debug>(state: &C) -> u64 {
 
 impl<K, C> Core<K, C>
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -306,7 +309,7 @@ where
 
 impl<K, C> NodeHandle<K, C>
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -632,6 +635,216 @@ where
         }
     }
 
+    /// Run Merkle-descent repair against the node at `addr`: localize
+    /// divergence by walking both keyspace trees level by level over the
+    /// socket (the server answers each [`NetMsg::MerkleNodeReq`]
+    /// statelessly from its flushed tree), then run the 3-message §VI
+    /// handshake **scoped to the diverged keys** on the same stream.
+    /// Keyspaces below [`MERKLE_REPAIR_THRESHOLD`] delegate to
+    /// [`NodeHandle::repair_with`] — the per-object sweep is already
+    /// cheap there. A tree-depth mismatch with the peer also falls back
+    /// to the full sweep (conservative, still convergent).
+    ///
+    /// Descent frames are charged to the returned stats as messages and
+    /// real encoded metadata bytes.
+    ///
+    /// # Panics
+    ///
+    /// Like [`NodeHandle::repair_with`], if the configured protocol does
+    /// not exchange bare δ-groups.
+    pub fn merkle_repair_with(
+        &self,
+        peer: ReplicaId,
+        addr: SocketAddr,
+    ) -> Result<PairSyncStats, NetError> {
+        let cfg = self.inner.cfg;
+        assert!(
+            cfg.store.protocol.accepts_raw_delta(),
+            "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+            cfg.store.protocol
+        );
+        // Snapshot the flushed tree so the descent never holds the
+        // keyspace lock across socket I/O.
+        let tree = {
+            let mut core = self.inner.state.lock().unwrap();
+            if core.replica.len() < MERKLE_REPAIR_THRESHOLD {
+                drop(core);
+                return self.repair_with(peer, addr);
+            }
+            core.replica.merkle().clone()
+        };
+        let model = cfg.store.model;
+        let mut stats = PairSyncStats::default();
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut pool = BufferPool::new();
+        let send = |stream: &mut TcpStream, msg: &NetMsg<K>, stats: &mut PairSyncStats| {
+            let bytes = msg.to_bytes();
+            stats.messages += 1;
+            stats.metadata_bytes += bytes.len() as u64;
+            write_frame(stream, &bytes, cfg.max_frame_bytes).map_err(NetError::from)
+        };
+
+        // Frame 1: our root digest opens the descent.
+        let open: NetMsg<K> = NetMsg::MerkleRoot {
+            from: self.inner.id,
+            digest: tree.root_digest(),
+        };
+        send(&mut stream, &open, &mut stats)?;
+        let mut frame = {
+            let reply = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+                .ok_or(NetError::Protocol("merkle repair connection closed early"))?;
+            stats.messages += 1;
+            stats.metadata_bytes += reply.len() as u64;
+            match NetMsg::<K>::from_bytes(&reply)? {
+                NetMsg::MerkleChildren(frame) => frame,
+                NetMsg::Error { message } if message.contains("depth mismatch") => {
+                    // Incomparable trees: the full sweep still converges.
+                    return self.repair_with(peer, addr);
+                }
+                NetMsg::Error { message } => return Err(NetError::Remote(message)),
+                _ => return Err(NetError::Protocol("expected MerkleChildren")),
+            }
+        };
+
+        // Descend: compare the server's listings against our tree, ask
+        // one level deeper until the frontier is all leaves.
+        let mut leaves: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        loop {
+            if frame.nodes.is_empty() {
+                break;
+            }
+            let mut internal = Vec::new();
+            divergent_children(&tree, &frame, &mut internal, &mut leaves);
+            if internal.is_empty() {
+                break;
+            }
+            let req: NetMsg<K> = NetMsg::MerkleNodeReq { nodes: internal };
+            send(&mut stream, &req, &mut stats)?;
+            let reply = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+                .ok_or(NetError::Protocol("merkle descent closed mid-round"))?;
+            stats.messages += 1;
+            stats.metadata_bytes += reply.len() as u64;
+            frame = match NetMsg::<K>::from_bytes(&reply)? {
+                NetMsg::MerkleChildren(frame) => frame,
+                NetMsg::Error { message } => return Err(NetError::Remote(message)),
+                _ => return Err(NetError::Protocol("expected MerkleChildren")),
+            };
+        }
+        if leaves.is_empty() {
+            return Ok(stats);
+        }
+
+        // Leaf round: both sides' buckets for the divergent leaves; the
+        // symmetric difference is the diverged key set.
+        let req: NetMsg<K> = NetMsg::MerkleLeafReq {
+            prefixes: leaves.iter().copied().collect(),
+        };
+        send(&mut stream, &req, &mut stats)?;
+        let reply = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+            .ok_or(NetError::Protocol("merkle leaf round closed early"))?;
+        stats.messages += 1;
+        stats.metadata_bytes += reply.len() as u64;
+        let theirs = match NetMsg::<K>::from_bytes(&reply)? {
+            NetMsg::MerkleLeaves(leaves) => leaves,
+            NetMsg::Error { message } => return Err(NetError::Remote(message)),
+            _ => return Err(NetError::Protocol("expected MerkleLeaves")),
+        };
+        let mine = LeafRepair {
+            leaves: leaves.iter().map(|&p| (p, tree.leaf_entries(p))).collect(),
+        };
+        let diverged = diverged_from_leaves(&mine, &theirs);
+        if diverged.is_empty() {
+            return Ok(stats);
+        }
+
+        // Scoped §VI handshake over the same stream: digests for only
+        // the diverged keys (⊥ digests for keys only the peer holds).
+        let digests: Vec<(K, Digest)> = {
+            let core = self.inner.state.lock().unwrap();
+            diverged
+                .iter()
+                .map(|k| {
+                    let digest = core
+                        .replica
+                        .get(k.clone())
+                        .map(Digest::of)
+                        .unwrap_or_default();
+                    stats.metadata_bytes += digest.size_bytes();
+                    (k.clone(), digest)
+                })
+                .collect()
+        };
+        let scoped: NetMsg<K> = NetMsg::RepairScoped {
+            from: self.inner.id,
+            digests,
+        };
+        stats.messages += 1;
+        write_frame(&mut stream, &scoped.to_bytes(), cfg.max_frame_bytes)?;
+        let reply = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+            .ok_or(NetError::Protocol("scoped repair closed early"))?;
+        let (deltas, peer_digests) = match NetMsg::<K>::from_bytes(&reply)? {
+            NetMsg::RepairReply { deltas, digests } => (deltas, digests),
+            NetMsg::Error { message } => return Err(NetError::Remote(message)),
+            _ => return Err(NetError::Protocol("expected RepairReply")),
+        };
+        stats.messages += 1;
+        stats.metadata_bytes += peer_digests
+            .iter()
+            .map(|(_, d)| d.size_bytes())
+            .sum::<u64>();
+        {
+            let mut core = self.inner.state.lock().unwrap();
+            for (key, blob) in deltas {
+                let delta = C::from_bytes(&blob)?;
+                stats.payload_elements += delta.count_elements();
+                stats.payload_bytes += delta.size_bytes(&model);
+                if !delta.is_bottom() {
+                    core.replica.inject_delta(key, peer, delta);
+                }
+            }
+        }
+        let peer_digests: BTreeMap<K, Digest> = peer_digests.into_iter().collect();
+        let final_deltas: Vec<(K, Vec<u8>)> = {
+            let empty = Digest::default();
+            let core = self.inner.state.lock().unwrap();
+            diverged
+                .iter()
+                .filter_map(|k| {
+                    let x = core.replica.get(k.clone())?;
+                    let digest = peer_digests.get(k).unwrap_or(&empty);
+                    let delta = delta_for_digest(x, digest);
+                    (!delta.is_bottom()).then(|| {
+                        stats.payload_elements += delta.count_elements();
+                        stats.payload_bytes += delta.size_bytes(&model);
+                        (k.clone(), delta.to_bytes())
+                    })
+                })
+                .collect()
+        };
+        stats.messages += 1;
+        let fin: NetMsg<K> = NetMsg::RepairFinal {
+            from: self.inner.id,
+            deltas: final_deltas,
+        };
+        write_frame(&mut stream, &fin.to_bytes(), cfg.max_frame_bytes)?;
+        let frame = read_frame(&mut stream, cfg.max_frame_bytes, &mut pool)?
+            .ok_or(NetError::Protocol("repair connection closed before ack"))?;
+        match NetMsg::<K>::from_bytes(&frame)? {
+            NetMsg::UpdateReply => Ok(stats),
+            NetMsg::Error { message } => Err(NetError::Remote(message)),
+            _ => Err(NetError::Protocol("expected repair ack")),
+        }
+    }
+
+    /// Prune causally stable synchronization metadata in every object
+    /// engine (see [`delta_store::StoreReplica::compact`]); the
+    /// anti-entropy scheduler calls this after each sync step when
+    /// [`crdt_sync::Params::compaction`] is on. Returns entries pruned.
+    pub fn compact(&self) -> u64 {
+        self.inner.state.lock().unwrap().replica.compact()
+    }
+
     /// Stop the node: close every connection, join the service threads,
     /// and hand back the keyspace and final accounting.
     pub fn shutdown(mut self) -> NodeRelics<K, C> {
@@ -682,7 +895,7 @@ impl<K: Ord, C> NodeHandle<K, C> {
 /// One sync step: batch per neighbor, account, ship.
 fn sync_step<K, C>(inner: &Inner<K, C>)
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -698,7 +911,7 @@ where
 /// Absorb a set of landed frames; replies ship immediately.
 fn absorb_frames<K, C>(inner: &Inner<K, C>, frames: Vec<(ReplicaId, Bytes)>) -> usize
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -732,7 +945,7 @@ where
 /// Build the probe report (state summaries + counters).
 fn build_probe<K, C>(inner: &Inner<K, C>) -> ProbeReport<K>
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -789,7 +1002,7 @@ where
 /// `interval`.
 fn scheduler_loop<K, C>(inner: Arc<Inner<K, C>>, interval: Duration)
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -823,7 +1036,7 @@ where
 /// Accept loop: hand every connection to a session thread.
 fn accept_loop<K, C>(inner: Arc<Inner<K, C>>, listener: TcpListener)
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -856,7 +1069,7 @@ where
 /// client request-reply session.
 fn serve_connection<K, C>(inner: &Inner<K, C>, mut stream: TcpStream)
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -945,7 +1158,7 @@ where
 /// Answer one client/repair request.
 fn serve_client_request<K, C>(inner: &Inner<K, C>, msg: NetMsg<K>) -> NetMsg<K>
 where
-    K: Ord + Clone + Sizeable + WireEncode + Send + 'static,
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -1025,12 +1238,104 @@ where
             }
             NetMsg::UpdateReply
         }
+        NetMsg::MerkleRoot { from: _, digest } => {
+            if !inner.cfg.store.protocol.accepts_raw_delta() {
+                return NetMsg::Error {
+                    message: format!(
+                        "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+                        inner.cfg.store.protocol
+                    ),
+                };
+            }
+            let mut core = inner.state.lock().unwrap();
+            let tree = core.replica.merkle();
+            if tree.depth() != digest.depth {
+                return NetMsg::Error {
+                    message: format!(
+                        "merkle depth mismatch: local {} vs peer {}",
+                        tree.depth(),
+                        digest.depth
+                    ),
+                };
+            }
+            if tree.root() == digest.root {
+                // Identical keyspaces: an empty frontier ends the descent
+                // after a single round trip.
+                return NetMsg::MerkleChildren(DivergentChildren::default());
+            }
+            NetMsg::MerkleChildren(DivergentChildren {
+                nodes: vec![ChildList {
+                    level: 0,
+                    prefix: 0,
+                    children: tree.node_children(0, 0),
+                }],
+            })
+        }
+        NetMsg::MerkleNodeReq { nodes } => {
+            // Stateless per frame: list the children of every requested
+            // node from the flushed tree; the client does the comparing.
+            let mut core = inner.state.lock().unwrap();
+            let tree = core.replica.merkle();
+            NetMsg::MerkleChildren(DivergentChildren {
+                nodes: nodes
+                    .into_iter()
+                    .filter(|&(level, _)| level < tree.depth())
+                    .map(|(level, prefix)| ChildList {
+                        level,
+                        prefix,
+                        children: tree.node_children(level, prefix),
+                    })
+                    .collect(),
+            })
+        }
+        NetMsg::MerkleLeafReq { prefixes } => {
+            let mut core = inner.state.lock().unwrap();
+            let tree = core.replica.merkle();
+            NetMsg::MerkleLeaves(LeafRepair {
+                leaves: prefixes
+                    .into_iter()
+                    .map(|p| (p, tree.leaf_entries(p)))
+                    .collect(),
+            })
+        }
+        NetMsg::RepairScoped { from: _, digests } => {
+            if !inner.cfg.store.protocol.accepts_raw_delta() {
+                return NetMsg::Error {
+                    message: format!(
+                        "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+                        inner.cfg.store.protocol
+                    ),
+                };
+            }
+            // Like RepairRequest, but restricted to the listed keys —
+            // after a Merkle descent the requester already knows the
+            // diverged set, so a full keyspace sweep would waste the
+            // localization the descent just paid for.
+            let core = inner.state.lock().unwrap();
+            let mut deltas: Vec<(K, Vec<u8>)> = Vec::new();
+            let mut own_digests: Vec<(K, Digest)> = Vec::new();
+            for (key, digest) in digests {
+                if let Some(x) = core.replica.get(key.clone()) {
+                    let delta = delta_for_digest(x, &digest);
+                    if !delta.is_bottom() {
+                        deltas.push((key.clone(), delta.to_bytes()));
+                    }
+                    own_digests.push((key, Digest::of(x)));
+                }
+            }
+            NetMsg::RepairReply {
+                deltas,
+                digests: own_digests,
+            }
+        }
         NetMsg::Hello { .. }
         | NetMsg::Batch(_)
         | NetMsg::GetReply { .. }
         | NetMsg::UpdateReply
         | NetMsg::ProbeReply(_)
         | NetMsg::RepairReply { .. }
+        | NetMsg::MerkleChildren(_)
+        | NetMsg::MerkleLeaves(_)
         | NetMsg::Error { .. } => NetMsg::Error {
             message: "not a request".to_string(),
         },

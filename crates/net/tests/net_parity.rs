@@ -95,29 +95,38 @@ fn five_node_cluster_matches_simulator_accounting_for_every_kind() {
             assert_eq!(&over_socket, in_process, "{kind}: {key} state mismatch");
         }
 
-        if kind.accepts_raw_delta() {
-            // δ-family + state: absorb is join-commutative and
-            // reply-free, so the socket schedule reproduces the
-            // simulator's accounting byte for byte.
+        if kind == ProtocolKind::ScuttlebuttGc {
+            // The one legitimate non-exact kind: GC replies embed a
+            // snapshot of the sender's *second-order* knowledge matrix,
+            // and the socket drain is a barrier pass (replies emitted in
+            // pass k absorb in pass k+1) while the simulator's drain
+            // sweeps node-by-node, delivering some same-pass. Message
+            // flow and payload follow the identical DAG — only the
+            // piggybacked knowledge snapshot size shifts, by a few
+            // percent. Pinned tightly in
+            // `scuttlebutt_gc_drift_is_knowledge_snapshot_only`.
+            assert_eq!(net_stats.messages, sim_stats.messages, "{kind}: messages");
+            assert_eq!(
+                net_stats.payload_bytes, sim_stats.payload_bytes,
+                "{kind}: payload bytes"
+            );
+            let (lo, hi) = (
+                sim_stats.metadata_bytes.min(net_stats.metadata_bytes) as f64,
+                sim_stats.metadata_bytes.max(net_stats.metadata_bytes) as f64,
+            );
+            assert!(
+                hi <= lo * 1.05,
+                "{kind}: knowledge-snapshot drift beyond 5% (sim {sim_stats:?}, net {net_stats:?})"
+            );
+        } else {
+            // Everything else — the Algorithm-1 delta family, state,
+            // plain scuttlebutt, op-based, acked — reproduces the
+            // simulator's accounting byte for byte: replies carry only
+            // first-order state, which follows the same message DAG
+            // under both drain schedules.
             assert_eq!(
                 net_stats, sim_stats,
                 "{kind}: socket accounting must be byte-identical to the simulator"
-            );
-        } else {
-            // Push-pull/acked kinds: reply cascades cross drain passes
-            // differently; totals must stay in the same ballpark.
-            let tol = |sim_v: u64, net_v: u64, what: &str| {
-                let (lo, hi) = (sim_v.min(net_v) as f64, sim_v.max(net_v) as f64);
-                assert!(
-                    hi <= lo * 1.35 + 64.0,
-                    "{kind}: {what} drifted beyond tolerance (sim {sim_v}, net {net_v})"
-                );
-            };
-            tol(sim_stats.messages, net_stats.messages, "messages");
-            tol(
-                sim_stats.total_bytes(),
-                net_stats.total_bytes(),
-                "total bytes",
             );
         }
 
@@ -168,6 +177,60 @@ fn partition_heals_via_digest_repair_over_sockets() {
     assert!(report.converged, "{report}");
     assert!(net.get(3, "left".into()).unwrap().contains(&1));
     assert!(net.get(0, "right".into()).unwrap().contains(&2));
+}
+
+/// On a keyspace past `MERKLE_REPAIR_THRESHOLD`, the socket repair path
+/// walks the Merkle trees instead of sweeping every object: same
+/// irreducibles shipped, same converged states, but the descent's
+/// metadata cost is a fraction of the full digest sweep's.
+#[test]
+fn merkle_repair_localizes_divergence_over_sockets() {
+    const KEYSPACE: usize = 200;
+    let build = || {
+        let cfg = NodeConfig::new(StoreConfig::new(ProtocolKind::BpRr), 2);
+        let mut net: LoopbackCluster<Key, Val> = LoopbackCluster::full_mesh(2, cfg).unwrap();
+        for i in 0..KEYSPACE {
+            net.update(0, format!("key-{i:04}"), &GSetOp::Add(i as u64));
+        }
+        let report = net.run_until_converged(16);
+        assert!(report.converged, "seed: {report}");
+        net.partition(&[0]);
+        net.update(0, "key-0005".into(), &GSetOp::Add(10_000));
+        net.update(1, "key-0100".into(), &GSetOp::Add(10_001));
+        net.sync_round(); // δ-buffers drain into the severed links
+        net.heal();
+        net
+    };
+
+    let mut sweep = build();
+    let sweep_stats = sweep
+        .node(0)
+        .repair_with(ReplicaId(1), sweep.addr(1))
+        .expect("full digest sweep");
+    let mut merkle = build();
+    let merkle_stats = merkle
+        .node(0)
+        .merkle_repair_with(ReplicaId(1), merkle.addr(1))
+        .expect("merkle descent repair");
+
+    for net in [&mut sweep, &mut merkle] {
+        let report = net.run_until_converged(8);
+        assert!(report.converged, "{report}");
+        assert!(net.get(1, "key-0005".into()).unwrap().contains(&10_000));
+        assert!(net.get(0, "key-0100".into()).unwrap().contains(&10_001));
+    }
+    // Both paths ship exactly the missing irreducibles…
+    assert_eq!(
+        merkle_stats.payload_elements, sweep_stats.payload_elements,
+        "merkle {merkle_stats:?} vs sweep {sweep_stats:?}"
+    );
+    assert!(merkle_stats.payload_elements > 0);
+    // …but localization pays descent frames instead of a digest per
+    // object: with 2 diverged keys in 200, at least 4× cheaper.
+    assert!(
+        merkle_stats.metadata_bytes * 4 < sweep_stats.metadata_bytes,
+        "descent must undercut the sweep: merkle {merkle_stats:?} vs sweep {sweep_stats:?}"
+    );
 }
 
 #[test]
@@ -345,4 +408,41 @@ fn mismatched_protocol_batch_is_contained() {
     let absorbed = bp.node(0).absorb_pending();
     assert_eq!(absorbed, 0, "mismatched batch must not absorb");
     assert!(bp.node(0).probe_local().bad_frames >= 1);
+}
+
+/// Scuttlebutt-GC's sim-vs-socket drift is *only* the piggybacked
+/// knowledge-matrix snapshot, nothing else. Root cause: `SbMsg::Reply`
+/// and `SbMsg::Final` embed the sender's second-order knowledge (what I
+/// know *they* have seen) at build time; the socket drain is a barrier
+/// pass — every inbox snapshotted, then absorbed — so a reply emitted
+/// in pass k merges into its receiver's knowledge one pass later than
+/// under the simulator's node-by-node sweep, where node i's reply can
+/// reach node j > i within the same pass. First-order state (clocks,
+/// δ-payload, message count) follows the identical message DAG either
+/// way. This test pins that decomposition: if messages or payload ever
+/// drift, or the knowledge snapshot drifts past 5%, something real
+/// broke — not the schedule.
+#[test]
+fn scuttlebutt_gc_drift_is_knowledge_snapshot_only() {
+    let (_, sim) = sim_run(ProtocolKind::ScuttlebuttGc, 5, 24);
+    let (_, net) = net_run(ProtocolKind::ScuttlebuttGc, 5, 24);
+    assert_eq!(net.messages, sim.messages, "message DAG must match");
+    assert_eq!(
+        net.payload_bytes, sim.payload_bytes,
+        "δ-payload must match byte for byte"
+    );
+    let (lo, hi) = (
+        sim.metadata_bytes.min(net.metadata_bytes) as f64,
+        sim.metadata_bytes.max(net.metadata_bytes) as f64,
+    );
+    assert!(
+        hi <= lo * 1.05,
+        "knowledge snapshot drift beyond 5%: sim {sim:?}, net {net:?}"
+    );
+    // And the barrier drain can only *delay* knowledge, never invent
+    // it: the socket run's snapshots are no larger than the sweep's.
+    assert!(
+        net.metadata_bytes <= sim.metadata_bytes,
+        "socket knowledge snapshots exceed the simulator's: sim {sim:?}, net {net:?}"
+    );
 }

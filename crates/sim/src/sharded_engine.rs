@@ -43,8 +43,9 @@ use std::time::Instant;
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
 use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
 use crdt_sync::{
-    build_engine_send_with_model, BatchEnvelope, BufferPool, DeltaMsg, Measured, OpBytes, Params,
-    ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    build_engine_send_with_model, diff_keys, BatchEnvelope, BufferPool, DeltaMsg, Measured,
+    MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    DEFAULT_MERKLE_DEPTH, MERKLE_REPAIR_THRESHOLD,
 };
 use crdt_types::Crdt;
 
@@ -94,7 +95,7 @@ pub struct ShardedEngineRunner<K: Ord, C: Crdt> {
 
 impl<K, C> ShardedEngineRunner<K, C>
 where
-    K: Ord + Clone + core::fmt::Debug + Sizeable + Send + Sync,
+    K: Ord + Clone + core::fmt::Debug + Sizeable + std::hash::Hash + WireEncode + Send + Sync,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + Sync + 'static,
 {
@@ -592,13 +593,31 @@ where
     pub fn repair_pair(&mut self, a: ReplicaId, b: ReplicaId) {
         assert_ne!(a, b, "repair needs two distinct replicas");
         if self.kind.accepts_raw_delta() {
-            let keys: Vec<K> = self.nodes[a.index()]
+            let union: std::collections::BTreeSet<K> = self.nodes[a.index()]
                 .keys()
                 .chain(self.nodes[b.index()].keys())
                 .cloned()
-                .collect::<std::collections::BTreeSet<K>>()
-                .into_iter()
                 .collect();
+            // At scale, localize the divergence with a Merkle descent
+            // first (O(log n · diverged) control frames, charged as
+            // repair metadata) and run the per-object protocol over only
+            // the diverged keys; small keyspaces keep the plain sweep,
+            // whose accounting the scenario baselines pin.
+            let keys: Vec<K> = if union.len() >= MERKLE_REPAIR_THRESHOLD {
+                let tree = |node: &EngineMap<K>| {
+                    MerkleTree::build(
+                        DEFAULT_MERKLE_DEPTH,
+                        node.iter().map(|(k, e)| (k.clone(), e.state_hash())),
+                    )
+                };
+                let (diverged, descent) =
+                    diff_keys(&tree(&self.nodes[a.index()]), &tree(&self.nodes[b.index()]));
+                self.repair.messages += descent.frames as u32;
+                self.repair.metadata_bytes += descent.total_bytes();
+                diverged.into_iter().collect()
+            } else {
+                union.into_iter().collect()
+            };
             for key in keys {
                 let (delta_for_a, delta_for_b, stats) = {
                     let bottom = C::bottom();

@@ -2,10 +2,11 @@
 
 use core::fmt;
 use std::collections::BTreeSet;
+use std::hash::Hash;
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
 use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
-use crdt_sync::Params;
+use crdt_sync::{diff_keys, Params, MERKLE_REPAIR_THRESHOLD};
 use crdt_types::Crdt;
 
 use crate::metrics::TrafficStats;
@@ -85,7 +86,7 @@ impl fmt::Display for ConvergenceReport {
 
 impl<K, C> Cluster<K, C, LoopbackTransport<K>>
 where
-    K: Ord + Clone + Sizeable,
+    K: Ord + Clone + Sizeable + Hash,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -127,7 +128,7 @@ where
 
 impl<K, C, T> Cluster<K, C, T>
 where
-    K: Ord + Clone + Sizeable,
+    K: Ord + Clone + Sizeable + Hash,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
     T: Transport<K>,
@@ -378,15 +379,28 @@ where
             "digest repair applies to delta-family/state protocols; {} manages its own recovery",
             self.cfg.protocol
         );
-        let model = self.cfg.model;
         let keys: BTreeSet<K> = self.replicas[a]
             .keys()
             .chain(self.replicas[b].keys())
             .cloned()
             .collect();
+        let mut total = PairSyncStats::default();
+        self.repair_keys(a, b, keys, &mut total);
+        total
+    }
+
+    /// Run the per-object digest protocol over exactly `keys`, folding
+    /// traffic into `total` and injecting each side's missing delta.
+    fn repair_keys(
+        &mut self,
+        a: usize,
+        b: usize,
+        keys: impl IntoIterator<Item = K>,
+        total: &mut PairSyncStats,
+    ) {
+        let model = self.cfg.model;
         let id_a = self.replicas[a].id();
         let id_b = self.replicas[b].id();
-        let mut total = PairSyncStats::default();
         for key in keys {
             // Run the 3-message protocol by reference to obtain the stats
             // and each side's missing delta…
@@ -409,6 +423,50 @@ where
                 self.replicas[b].inject_delta(key, id_a, delta_for_b);
             }
         }
+    }
+}
+
+impl<K, C, T> Cluster<K, C, T>
+where
+    K: Ord + Clone + Sizeable + Hash + WireEncode,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+    T: Transport<K>,
+{
+    /// Merkle-descent pairwise repair: localize divergence with a
+    /// keyspace tree descent (O(log n · diverged) control frames), then
+    /// run the §VI per-object digest protocol over **only** the diverged
+    /// keys. Keyspaces below [`MERKLE_REPAIR_THRESHOLD`] delegate to
+    /// [`Cluster::digest_repair`] unchanged — per-object digests are
+    /// already cheap there and their accounting stays byte-identical.
+    ///
+    /// Descent traffic is folded into the returned stats: frames count as
+    /// messages, encoded frame bytes as metadata.
+    ///
+    /// # Panics
+    ///
+    /// Like [`Cluster::digest_repair`], if the configured protocol does
+    /// not accept bare δ-groups.
+    pub fn merkle_repair(&mut self, a: usize, b: usize) -> PairSyncStats {
+        assert_ne!(a, b, "repair needs two distinct replicas");
+        assert!(
+            self.cfg.protocol.accepts_raw_delta(),
+            "digest repair applies to delta-family/state protocols; {} manages its own recovery",
+            self.cfg.protocol
+        );
+        if self.replicas[a].len().max(self.replicas[b].len()) < MERKLE_REPAIR_THRESHOLD {
+            return self.digest_repair(a, b);
+        }
+        let mut total = PairSyncStats::default();
+        let diverged: BTreeSet<K> = {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (left, right) = self.replicas.split_at_mut(hi);
+            let (keys, descent) = diff_keys(left[lo].merkle(), right[0].merkle());
+            total.messages += descent.frames as u32;
+            total.metadata_bytes += descent.total_bytes();
+            keys
+        };
+        self.repair_keys(a, b, diverged, &mut total);
         total
     }
 }
@@ -610,5 +668,141 @@ mod tests {
         let mut c: Cl = Cluster::full_mesh(2, StoreConfig::new(ProtocolKind::Scuttlebutt));
         c.update(0, "x", &GSetOp::Add(1));
         let _ = c.digest_repair(0, 1);
+    }
+
+    /// Converge a 2-replica keyspace of `n` objects, then diverge three
+    /// keys across a cut (draining the δ-buffers into the void) and heal.
+    fn diverged_pair(n: u64) -> Cluster<u64, GSet<u32>> {
+        let mut c: Cluster<u64, GSet<u32>> = Cluster::full_mesh(2, StoreConfig::default());
+        for k in 0..n {
+            c.update(0, k, &GSetOp::Add(k as u32));
+        }
+        c.run_until_converged(4).expect_converged("warm-up");
+        c.partition(&[0]);
+        c.update(0, 5, &GSetOp::Add(1_000));
+        c.update(1, 6, &GSetOp::Add(2_000));
+        c.update(1, 7, &GSetOp::Add(3_000));
+        c.sync_round();
+        c.heal();
+        c
+    }
+
+    #[test]
+    fn merkle_repair_localizes_divergence_on_large_keyspaces() {
+        let mut c = diverged_pair(200);
+        let stats = c.merkle_repair(0, 1);
+        assert!(c.converged(), "tree descent + targeted digests converge");
+        assert_eq!(
+            stats.payload_elements, 3,
+            "only the three diverged elements ship"
+        );
+        // A per-object sweep would run the 3-message §VI protocol over
+        // all 200 objects; the descent localizes to 3 keys first.
+        assert!(
+            stats.messages < 200,
+            "{} messages must undercut the 600 of a full sweep",
+            stats.messages
+        );
+    }
+
+    #[test]
+    fn merkle_repair_delegates_below_threshold() {
+        // Two identically diverged small keyspaces: below the threshold
+        // the merkle path is the per-object digest path, byte for byte.
+        let mut via_digest = diverged_pair(10);
+        let mut via_merkle = diverged_pair(10);
+        let d = via_digest.digest_repair(0, 1);
+        let m = via_merkle.merkle_repair(0, 1);
+        assert_eq!(d, m);
+        assert!(via_merkle.converged());
+    }
+
+    #[test]
+    fn merkle_repair_matches_digest_repair_final_state() {
+        let mut via_digest = diverged_pair(200);
+        let mut via_merkle = diverged_pair(200);
+        via_digest.digest_repair(0, 1);
+        via_merkle.merkle_repair(0, 1);
+        assert!(via_digest.converged() && via_merkle.converged());
+        for k in 0..200u64 {
+            assert_eq!(
+                via_digest.replica(0).get(k),
+                via_merkle.replica(0).get(k),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_prunes_acked_buffers_without_breaking_convergence() {
+        let cfg = StoreConfig::new(ProtocolKind::Acked);
+        let mut c: Cluster<u64, GSet<u32>> = Cluster::full_mesh(3, cfg);
+        for k in 0..20u64 {
+            c.update(0, k, &GSetOp::Add(k as u32));
+        }
+        c.run_until_converged(8).expect_converged("acked converges");
+        // Everything is acked by both peers: the stability frontier
+        // covers every buffered entry.
+        let pruned: u64 = (0..3).map(|i| c.replica_mut(i).compact()).sum();
+        assert!(pruned > 0, "acked buffers were compacted");
+        // Compaction never touches lattice state; progress continues.
+        c.update(1, 3, &GSetOp::Add(9_999));
+        c.run_until_converged(8).expect_converged("post-compaction");
+        assert!(c.replica(2).get(3).unwrap().contains(&9_999));
+    }
+
+    /// Repairing two replicas that have never held an object is a
+    /// no-op: zero frames, zero bytes — the union of keys is empty, so
+    /// the handshake never starts. Same for the Merkle path, which
+    /// delegates below the threshold.
+    #[test]
+    fn digest_repair_on_an_empty_keyspace_is_free() {
+        let mut c: Cluster<u64, GSet<u32>> = Cluster::full_mesh(2, StoreConfig::default());
+        assert_eq!(c.digest_repair(0, 1), PairSyncStats::default());
+        assert_eq!(c.merkle_repair(0, 1), PairSyncStats::default());
+    }
+
+    /// A single-object keyspace where only one side holds the object:
+    /// repair transfers it once, and a second repair ships nothing.
+    #[test]
+    fn digest_repair_of_a_single_object_is_one_way_then_idempotent() {
+        let mut c: Cluster<u64, GSet<u32>> = Cluster::full_mesh(2, StoreConfig::default());
+        c.partition(&[0]);
+        c.update(0, 42, &GSetOp::Add(7));
+        c.sync_round(); // δ-buffer drains into the severed link
+        c.heal();
+        let stats = c.digest_repair(0, 1);
+        assert_eq!(stats.messages, 3, "one 3-frame handshake for one key");
+        assert_eq!(stats.payload_elements, 1);
+        assert_eq!(c.replica(1).get(42), c.replica(0).get(42));
+        // Idempotence: a converged pair exchanges digests only.
+        let again = c.digest_repair(0, 1);
+        assert_eq!(again.payload_elements, 0);
+        assert_eq!(again.payload_bytes, 0);
+    }
+
+    /// Compaction between the digest computation and the delta exchange
+    /// must not change what repair ships: pruning is restricted to
+    /// causally *stable* metadata, never lattice state, so digests
+    /// taken before a `compact()` still describe the state after it.
+    #[test]
+    fn repair_agrees_across_a_mid_handshake_compaction() {
+        let mut before = diverged_pair(80);
+        let stats_before = before.digest_repair(0, 1);
+        let mut after = diverged_pair(80);
+        // Compact both replicas *after* divergence, i.e. at the moment
+        // a concurrent compaction pass could interleave with a repair
+        // handshake's frames.
+        after.replica_mut(0).compact();
+        after.replica_mut(1).compact();
+        let stats_after = after.digest_repair(0, 1);
+        assert_eq!(
+            stats_before, stats_after,
+            "compaction changed what repair shipped"
+        );
+        for k in 0..80u64 {
+            assert_eq!(before.replica(0).get(k), after.replica(0).get(k));
+            assert_eq!(after.replica(0).get(k), after.replica(1).get(k));
+        }
     }
 }

@@ -1,12 +1,13 @@
 //! One replica of the multi-object store.
 
 use std::collections::BTreeMap;
+use std::hash::Hash;
 use std::marker::PhantomData;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
 use crdt_sync::{
     build_engine_send_with_model, BufferPool, DeltaMsg, EngineError, Measured, MemoryUsage,
-    OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -76,12 +77,16 @@ pub struct StoreReplica<K: Ord, C> {
     /// replica: a sync step's (or absorb's reply) payloads land in
     /// pooled buffers reused round after round.
     pool: BufferPool,
+    /// Keyspace Merkle tree, maintained incrementally: every mutation
+    /// path marks the touched key dirty; [`StoreReplica::merkle`]
+    /// flushes dirty leaf paths against the live engine state hashes.
+    merkle: MerkleTree<K>,
     _crdt: PhantomData<fn() -> C>,
 }
 
 impl<K, C> StoreReplica<K, C>
 where
-    K: Ord + Clone + Sizeable,
+    K: Ord + Clone + Sizeable + Hash,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
@@ -107,6 +112,7 @@ where
             params,
             objects: BTreeMap::new(),
             pool: BufferPool::new(),
+            merkle: MerkleTree::default(),
             _crdt: PhantomData,
         }
     }
@@ -152,6 +158,7 @@ where
     /// protocol) is buffered for the next sync round.
     pub fn update(&mut self, key: K, op: &C::Op) {
         let bytes = OpBytes::encode(op);
+        self.merkle.touch(key.clone());
         self.engine(key)
             .on_op(&bytes)
             .expect("engine rejected its own CRDT's op encoding");
@@ -233,6 +240,7 @@ where
     ) -> Result<Vec<(ReplicaId, StoreMsg<K>)>, EngineError> {
         let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
         for (key, env) in msg.entries {
+            self.merkle.touch(key.clone());
             let engine = Self::engine_at(
                 &mut self.objects,
                 key.clone(),
@@ -268,6 +276,7 @@ where
     /// peer.
     pub fn reset(&mut self) {
         self.objects.clear();
+        self.merkle.clear();
     }
 
     /// Out-of-band state transfer: for every object `source` holds,
@@ -281,6 +290,7 @@ where
     pub fn bootstrap_from(&mut self, source: &StoreReplica<K, C>) -> u64 {
         let mut elements = 0;
         for (key, engine) in &source.objects {
+            self.merkle.touch(key.clone());
             let acc = self
                 .engine(key.clone())
                 .bootstrap_from(engine.as_ref())
@@ -310,6 +320,28 @@ where
         total
     }
 
+    /// The keyspace Merkle tree, flushed to current: keys touched since
+    /// the last call are rehashed against the live engine states (a key
+    /// whose engine vanished — [`StoreReplica::reset`] — drops out).
+    /// `&mut self` because flushing is deferred maintenance; the flush
+    /// cost is O(touched · depth), not O(keyspace).
+    pub fn merkle(&mut self) -> &MerkleTree<K> {
+        let objects = &self.objects;
+        self.merkle
+            .flush(|k| objects.get(k).map(|e| e.state_hash()));
+        &self.merkle
+    }
+
+    /// Prune causally stable synchronization metadata in every object
+    /// engine (δ-buffer entries every peer acked, op-buffer entries every
+    /// replica has seen, anti-entropy knowledge below the stability
+    /// frontier — see [`crdt_sync::SyncEngine::compact`]). Never changes
+    /// lattice state, so convergence and the Merkle tree are unaffected.
+    /// Returns the number of entries pruned.
+    pub fn compact(&mut self) -> u64 {
+        self.objects.values_mut().map(|e| e.compact()).sum()
+    }
+
     /// Feed a repaired delta into the object at `key` through the
     /// ordinary receive path, as if `from` had sent it — so RR extraction
     /// applies and the novelty is re-buffered for onward propagation.
@@ -323,6 +355,7 @@ where
     ///
     /// If the configured protocol rejects raw δ-group payloads.
     pub fn inject_delta(&mut self, key: K, from: ReplicaId, delta: C) {
+        self.merkle.touch(key.clone());
         let kind = self.cfg.protocol;
         debug_assert!(kind.accepts_raw_delta());
         let msg = DeltaMsg(delta);
