@@ -1,0 +1,125 @@
+//! Open-loop load generation against the event-driven `crdt-net`
+//! reactor, with a machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin netload -- --quick --protocol all
+//! cargo run --release -p crdt-bench --bin netload -- \
+//!     --quick --protocol all --require-c10k \
+//!     --out smoke-logs/BENCH_netload_smoke.json \
+//!     --baseline ci/bench-baseline/BENCH_netload.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--protocol <kind>` (repeatable; `all`) — protocols for the gated
+//!   lockstep stage.
+//! * `--quick` — CI scale (smaller swarm and op counts; the c10k stage
+//!   still holds 1,000+ connections).
+//! * `--connections <n>` — override the c10k connection count.
+//! * `--out <path>` — JSON report path (default `BENCH_netload.json`).
+//! * `--emit-baseline <path>` — additionally write the
+//!   deterministic-rows-only baseline document (what gets checked in
+//!   under `ci/bench-baseline/`).
+//! * `--baseline <path>` / `--tolerance <t>` — gate the deterministic
+//!   rows against a checked-in baseline; violations exit 1.
+//! * `--require-c10k` — fail (exit 1) unless ≥ 1,000 connections were
+//!   concurrently live with zero errors and zero bad frames.
+//!
+//! The bin always enforces the cheap invariants: every lockstep
+//! protocol converges, the coalesce stage folds its backlog, and the
+//! open-loop swarm completes without errors.
+
+use crdt_bench::netload::{baseline_json, check_regression, report_to_json, run_family, LoadShape};
+use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
+use crdt_sync::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kinds = protocols_from_args(&ProtocolKind::ALL);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_netload.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+    let mut shape = LoadShape::new(scale);
+    if let Some(n) = flag_value("--connections") {
+        shape.connections = n.parse().unwrap_or_else(|_| {
+            eprintln!("error: --connections must be a number, got {n:?}");
+            std::process::exit(2);
+        });
+    }
+
+    let report = run_family(scale, &kinds, &shape);
+    let doc = report_to_json(&report, scale == Scale::Quick);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    if let Some(path) = flag_value("--emit-baseline") {
+        std::fs::write(
+            &path,
+            baseline_json(&report, scale == Scale::Quick).pretty(),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} (deterministic rows only)");
+    }
+
+    // Cheap invariants, enforced unconditionally.
+    let mut failed = false;
+    for o in &report.lockstep {
+        if !o.converged {
+            eprintln!("FAIL: {} lockstep stage did not converge", o.protocol);
+            failed = true;
+        }
+    }
+    if report.coalesce.coalesced == 0 {
+        eprintln!(
+            "FAIL: thawing a {}-frame backlog folded nothing",
+            report.coalesce.backlog
+        );
+        failed = true;
+    }
+    if report.openloop.errors > 0 {
+        eprintln!(
+            "FAIL: open-loop swarm hit {} errors",
+            report.openloop.errors
+        );
+        failed = true;
+    }
+
+    if std::env::args().any(|a| a == "--require-c10k") {
+        let k = &report.c10k;
+        if k.concurrent < 1_000 || k.errors > 0 || k.bad_frames > 0 {
+            eprintln!(
+                "FAIL: c10k bar not met — {} concurrent (need ≥ 1000), {} errors, {} bad frames",
+                k.concurrent, k.errors, k.bad_frames
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let violations = check_regression(&doc, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

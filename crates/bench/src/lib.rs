@@ -545,6 +545,7 @@ pub mod codec_bench;
 pub mod experiments;
 pub mod json;
 pub mod net_loopback;
+pub mod netload;
 pub mod repair_scaling;
 pub mod retwis_sharded;
 pub mod scenarios;

@@ -1,0 +1,682 @@
+//! The `netload` experiment family: load generation against the
+//! event-driven `crdt-net` reactor.
+//!
+//! Four stages, one JSON report (`BENCH_netload.json`):
+//!
+//! 1. **lockstep** (per protocol, *gated*) — a seeded Zipf update
+//!    workload driven through a lockstep [`LoopbackCluster`]. The drain
+//!    schedule makes every byte/frame metric a pure function of the
+//!    seed, so model-view traffic and the socket ledger are gated
+//!    against `ci/bench-baseline/BENCH_netload.json`.
+//! 2. **coalesce** (*gated*) — a frozen link accumulates a backlog of
+//!    same-destination batches; the thaw must fold them into a single
+//!    `BatchEnvelope` frame. Frame counts and the coalescing ratio are
+//!    deterministic.
+//! 3. **openloop** (*artifact only*) — an open-loop client swarm
+//!    (target ops/s, Zipf keys, latency measured from the scheduled
+//!    send time so coordinated omission cannot hide stalls) against a
+//!    live node. Wall-clock throughput and p50/p99/p999 are
+//!    machine-dependent and never gated.
+//! 4. **c10k** (*artifact only*, asserted in-binary) — one node
+//!    holding 1,000+ concurrent client connections, every one of them
+//!    served, with zero bad frames. `--require-c10k` turns a shortfall
+//!    into a non-zero exit for CI.
+//!
+//! Baseline discipline: the checked-in baseline contains **only** the
+//! deterministic lockstep and coalesce rows. [`check_regression`]
+//! iterates baseline rows, so the nondeterministic stages are exempt by
+//! construction — same convention as wall-clock columns elsewhere.
+
+use std::time::{Duration, Instant};
+
+use crdt_lattice::ReplicaId;
+use crdt_net::framing::DEFAULT_MAX_FRAME_BYTES;
+use crdt_net::{LoopbackCluster, NetClient, NodeConfig, NodeHandle};
+use crdt_sync::ProtocolKind;
+use crdt_types::{GSet, GSetOp};
+use crdt_workloads::Zipf;
+use delta_store::StoreConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::json::Json;
+use crate::{print_table, Scale};
+
+type Key = u64;
+type Val = GSet<u64>;
+type Client = NetClient<Key, Val>;
+
+/// Scale parameters for the family.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadShape {
+    /// Lockstep cluster size.
+    pub nodes: usize,
+    /// Zipf key-space size (ranks).
+    pub keys: usize,
+    /// Zipf exponent (the paper's contention knob).
+    pub zipf_s: f64,
+    /// Updates per node in the lockstep stage.
+    pub ops_per_node: usize,
+    /// Open-loop swarm: client threads.
+    pub swarm: usize,
+    /// Open-loop swarm: target operations per second (all threads).
+    pub target_ops: u64,
+    /// Open-loop swarm: operations to schedule in total.
+    pub total_ops: u64,
+    /// Concurrent connections for the c10k stage.
+    pub connections: usize,
+}
+
+impl LoadShape {
+    /// The shape for `scale`.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => LoadShape {
+                nodes: 3,
+                keys: 32,
+                zipf_s: 1.0,
+                ops_per_node: 48,
+                swarm: 8,
+                target_ops: 2_000,
+                total_ops: 4_000,
+                connections: 1_200,
+            },
+            Scale::Quick => LoadShape {
+                nodes: 3,
+                keys: 16,
+                zipf_s: 1.0,
+                ops_per_node: 24,
+                swarm: 4,
+                target_ops: 1_000,
+                total_ops: 1_000,
+                connections: 1_100,
+            },
+        }
+    }
+}
+
+/// The seeded Zipf update stream for the lockstep stage: deterministic
+/// per `(seed, node)`, element values globally unique so every op grows
+/// the lattice.
+fn lockstep_ops(shape: &LoadShape) -> Vec<(usize, Key, GSetOp<u64>)> {
+    let zipf = Zipf::new(shape.keys, shape.zipf_s);
+    let mut ops = Vec::new();
+    for node in 0..shape.nodes {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + node as u64);
+        for i in 0..shape.ops_per_node {
+            let key = zipf.sample(&mut rng) as u64;
+            ops.push((node, key, GSetOp::Add((node as u64) << 32 | i as u64)));
+        }
+    }
+    ops
+}
+
+/// One protocol's lockstep measurements (all deterministic, gated).
+#[derive(Debug, Clone)]
+pub struct LockstepOutcome {
+    /// Which protocol ran.
+    pub protocol: ProtocolKind,
+    /// Did the cluster converge?
+    pub converged: bool,
+    /// Lockstep rounds to convergence.
+    pub rounds: usize,
+    /// Model view: batches shipped.
+    pub messages: u64,
+    /// Model view: payload bytes.
+    pub payload_bytes: u64,
+    /// Model view: metadata bytes.
+    pub metadata_bytes: u64,
+    /// Socket ledger: frames written.
+    pub frames: u64,
+    /// Socket ledger: wire bytes written.
+    pub wire_bytes: u64,
+    /// Backpressure stall transitions across the cluster.
+    pub stalls: u64,
+    /// Frames eliminated by write-side coalescing (0 in lockstep: the
+    /// eager flush keeps queues empty — pinned by the baseline).
+    pub coalesced: u64,
+    /// Wall-clock ops/s through the socket clients (artifact only).
+    pub ops_per_sec: u64,
+}
+
+/// Run the lockstep stage for one protocol.
+pub fn run_lockstep(kind: ProtocolKind, shape: &LoadShape) -> LockstepOutcome {
+    let ops = lockstep_ops(shape);
+    let cfg = NodeConfig::new(StoreConfig::new(kind), shape.nodes);
+    let mut net: LoopbackCluster<Key, Val> =
+        LoopbackCluster::full_mesh(shape.nodes, cfg).expect("spawn loopback cluster");
+    let start = Instant::now();
+    for (node, key, op) in &ops {
+        net.update(*node, *key, op);
+    }
+    let report = net.run_until_converged(48);
+    let elapsed = start.elapsed();
+    let stats = net.stats();
+    let wire = net.wire_totals();
+    let probes = net.probes();
+    let stalls: u64 = probes.iter().map(|p| p.stall_events).sum();
+    let coalesced: u64 = probes.iter().map(|p| p.coalesced_frames).sum();
+    LockstepOutcome {
+        protocol: kind,
+        converged: report.converged,
+        rounds: report.rounds,
+        messages: stats.messages,
+        payload_bytes: stats.payload_bytes,
+        metadata_bytes: stats.metadata_bytes,
+        frames: wire.frames,
+        wire_bytes: wire.bytes,
+        stalls,
+        coalesced,
+        ops_per_sec: (ops.len() as f64 / elapsed.as_secs_f64().max(1e-9)) as u64,
+    }
+}
+
+/// Coalescing stage measurements (all deterministic, gated).
+#[derive(Debug, Clone)]
+pub struct CoalesceOutcome {
+    /// Batches parked on the frozen link before the thaw.
+    pub backlog: u64,
+    /// Frames actually written at the thaw.
+    pub frames_flushed: u64,
+    /// Frames eliminated by folding (`backlog - frames_flushed`).
+    pub coalesced: u64,
+    /// Wire bytes written at the thaw.
+    pub wire_bytes: u64,
+    /// Did the receiver converge on the folded traffic?
+    pub converged: bool,
+}
+
+/// Freeze a link, accumulate a same-destination backlog, thaw: the
+/// write queue must fold the backlog into a single batch frame and the
+/// receiver must still absorb everything.
+pub fn run_coalesce() -> CoalesceOutcome {
+    const BACKLOG: u64 = 6;
+    let cfg = NodeConfig::new(StoreConfig::new(ProtocolKind::BpRr), 2);
+    let mut net: LoopbackCluster<Key, Val> =
+        LoopbackCluster::full_mesh(2, cfg).expect("spawn pair");
+    // Quiesce the pair so the frozen-window traffic is the whole ledger
+    // delta.
+    net.sync_round();
+    let before = net.node(0).probe_local();
+    net.freeze_link(0, 1);
+    for i in 0..BACKLOG {
+        net.update(0, 7, &GSetOp::Add(1_000 + i));
+        net.node(0).sync_now();
+    }
+    net.thaw_link(0, 1);
+    let report = net.run_until_converged(8);
+    let after = net.node(0).probe_local();
+    let frames_flushed = after.frames_sent - before.frames_sent;
+    CoalesceOutcome {
+        backlog: BACKLOG,
+        frames_flushed,
+        coalesced: after.coalesced_frames - before.coalesced_frames,
+        wire_bytes: after.wire_bytes_sent - before.wire_bytes_sent,
+        converged: report.converged,
+    }
+}
+
+/// Open-loop swarm measurements (wall-clock, artifact only).
+#[derive(Debug, Clone)]
+pub struct OpenLoopOutcome {
+    /// Client threads.
+    pub swarm: usize,
+    /// Target operations per second.
+    pub target_ops: u64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Operations that failed (any error is a red flag).
+    pub errors: u64,
+    /// Achieved operations per second.
+    pub achieved_ops: u64,
+    /// Latency percentiles in microseconds, from the *scheduled* send
+    /// time (open-loop: a stalled server inflates these, as it should).
+    pub p50_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// 99.9th percentile latency (µs).
+    pub p999_us: u64,
+    /// Backpressure stall transitions observed at the node.
+    pub stalls: u64,
+}
+
+/// Drive an open-loop update/get swarm against one live node.
+pub fn run_openloop(shape: &LoadShape) -> OpenLoopOutcome {
+    let node: NodeHandle<Key, Val> = NodeHandle::spawn(
+        ReplicaId(0),
+        NodeConfig::new(StoreConfig::new(ProtocolKind::BpRr), 1),
+    )
+    .expect("spawn node");
+    let addr = node.addr();
+    let swarm = shape.swarm.max(1);
+    let per_thread = (shape.total_ops / swarm as u64).max(1);
+    let interval = Duration::from_secs_f64(swarm as f64 / shape.target_ops as f64);
+    let start = Instant::now() + Duration::from_millis(5);
+    let deadline = start + Duration::from_secs(30);
+
+    let workers: Vec<_> = (0..swarm)
+        .map(|t| {
+            let keys = shape.keys;
+            let zipf_s = shape.zipf_s;
+            std::thread::spawn(move || -> (u64, u64, Vec<u64>) {
+                let zipf = Zipf::new(keys, zipf_s);
+                let mut rng = StdRng::seed_from_u64(0xF00D + t as u64);
+                let mut client: Client = match NetClient::connect(addr, DEFAULT_MAX_FRAME_BYTES) {
+                    Ok(c) => c,
+                    Err(_) => return (0, per_thread, Vec::new()),
+                };
+                let mut latencies = Vec::with_capacity(per_thread as usize);
+                let (mut done, mut errors) = (0u64, 0u64);
+                for i in 0..per_thread {
+                    // Open-loop: op i is *scheduled*, not paced by the
+                    // previous reply.
+                    let scheduled =
+                        start + interval * (i as u32) + interval / swarm as u32 * t as u32;
+                    while Instant::now() < scheduled {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    if Instant::now() > deadline {
+                        errors += per_thread - i;
+                        break;
+                    }
+                    let key = zipf.sample(&mut rng) as u64;
+                    let ok = if i % 4 == 3 {
+                        client.get(key).is_ok()
+                    } else {
+                        client
+                            .update(key, &GSetOp::Add((t as u64) << 32 | i))
+                            .is_ok()
+                    };
+                    if ok {
+                        done += 1;
+                        latencies.push(scheduled.elapsed().as_micros() as u64);
+                    } else {
+                        errors += 1;
+                    }
+                }
+                (done, errors, latencies)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut completed, mut errors) = (0u64, 0u64);
+    for w in workers {
+        let (done, errs, lats) = w.join().expect("swarm thread panicked");
+        completed += done;
+        errors += errs;
+        latencies.extend(lats);
+    }
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    let stalls = node.probe_local().stall_events;
+    node.shutdown_untyped();
+    OpenLoopOutcome {
+        swarm,
+        target_ops: shape.target_ops,
+        completed,
+        errors,
+        achieved_ops: (completed as f64 / elapsed.as_secs_f64().max(1e-9)) as u64,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        stalls,
+    }
+}
+
+/// C10K stage measurements.
+#[derive(Debug, Clone)]
+pub struct C10kOutcome {
+    /// Connections requested.
+    pub target: usize,
+    /// Connections concurrently live at the node at the high-water
+    /// check (all clients open).
+    pub concurrent: u64,
+    /// Requests served across all connections.
+    pub served: u64,
+    /// Client-side failures (connect or request).
+    pub errors: u64,
+    /// Undecodable frames at the node (must be 0).
+    pub bad_frames: u64,
+    /// Wall-clock of the whole stage, artifact only.
+    pub wall_ms: u64,
+}
+
+/// Hold `shape.connections` concurrent clients against one node, serve
+/// a request on every one, and read back the node's high-water
+/// connection count.
+pub fn run_c10k(shape: &LoadShape) -> C10kOutcome {
+    let node: NodeHandle<Key, Val> = NodeHandle::spawn(
+        ReplicaId(0),
+        NodeConfig::new(StoreConfig::new(ProtocolKind::BpRr), 1),
+    )
+    .expect("spawn node");
+    node.update(1, &GSetOp::Add(42));
+    let start = Instant::now();
+    let mut clients: Vec<Client> = Vec::with_capacity(shape.connections);
+    let mut errors = 0u64;
+    for _ in 0..shape.connections {
+        match NetClient::connect(node.addr(), DEFAULT_MAX_FRAME_BYTES) {
+            Ok(c) => clients.push(c),
+            Err(_) => errors += 1,
+        }
+    }
+    // Every connection proves liveness with one served request.
+    let mut served = 0u64;
+    for c in clients.iter_mut() {
+        match c.get(1) {
+            Ok(Some(_)) => served += 1,
+            _ => errors += 1,
+        }
+    }
+    // High-water mark while every client is still open.
+    let concurrent = node.live_connections();
+    let bad_frames = node.probe_local().bad_frames;
+    drop(clients);
+    let wall_ms = start.elapsed().as_millis() as u64;
+    node.shutdown_untyped();
+    C10kOutcome {
+        target: shape.connections,
+        concurrent,
+        served,
+        errors,
+        bad_frames,
+        wall_ms,
+    }
+}
+
+/// Everything one `netload` run produces.
+#[derive(Debug, Clone)]
+pub struct NetloadReport {
+    /// Per-protocol lockstep outcomes (gated).
+    pub lockstep: Vec<LockstepOutcome>,
+    /// The coalescing outcome (gated).
+    pub coalesce: CoalesceOutcome,
+    /// The open-loop swarm outcome (artifact).
+    pub openloop: OpenLoopOutcome,
+    /// The c10k outcome (artifact + in-binary assertion).
+    pub c10k: C10kOutcome,
+}
+
+/// Run the whole family, printing progress tables.
+pub fn run_family(scale: Scale, kinds: &[ProtocolKind], shape: &LoadShape) -> NetloadReport {
+    let lockstep: Vec<LockstepOutcome> = kinds.iter().map(|&k| run_lockstep(k, shape)).collect();
+    print_table(
+        &format!(
+            "netload lockstep ({} nodes, {} zipf({}) ops/node)",
+            shape.nodes, shape.ops_per_node, shape.zipf_s
+        ),
+        &[
+            "protocol", "rounds", "messages", "bytes", "frames", "wire B", "ops/s",
+        ],
+        &lockstep
+            .iter()
+            .map(|o| {
+                vec![
+                    o.protocol.name().to_string(),
+                    if o.converged {
+                        o.rounds.to_string()
+                    } else {
+                        "NO".to_string()
+                    },
+                    o.messages.to_string(),
+                    (o.payload_bytes + o.metadata_bytes).to_string(),
+                    o.frames.to_string(),
+                    o.wire_bytes.to_string(),
+                    o.ops_per_sec.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let coalesce = run_coalesce();
+    println!(
+        "\ncoalesce: {} queued batches -> {} frames at thaw ({} folded, {} wire B, ratio {:.2})",
+        coalesce.backlog,
+        coalesce.frames_flushed,
+        coalesce.coalesced,
+        coalesce.wire_bytes,
+        coalesce.backlog as f64 / coalesce.frames_flushed.max(1) as f64,
+    );
+
+    let openloop = run_openloop(shape);
+    println!(
+        "openloop: {} threads @ {} ops/s target -> {} ops/s achieved ({} ops, {} errors), \
+         p50 {} µs / p99 {} µs / p999 {} µs, {} stalls",
+        openloop.swarm,
+        openloop.target_ops,
+        openloop.achieved_ops,
+        openloop.completed,
+        openloop.errors,
+        openloop.p50_us,
+        openloop.p99_us,
+        openloop.p999_us,
+        openloop.stalls,
+    );
+
+    let c10k = run_c10k(shape);
+    println!(
+        "c10k: {}/{} concurrent connections, {} served, {} errors, {} bad frames, {} ms",
+        c10k.concurrent, c10k.target, c10k.served, c10k.errors, c10k.bad_frames, c10k.wall_ms,
+    );
+    let _ = scale;
+    NetloadReport {
+        lockstep,
+        coalesce,
+        openloop,
+        c10k,
+    }
+}
+
+/// Render the report as the `BENCH_netload.json` document. Rows are
+/// keyed `(protocol, stage)`; only `lockstep` and `coalesce` rows carry
+/// gated metrics.
+pub fn report_to_json(report: &NetloadReport, quick: bool) -> Json {
+    let mut rows: Vec<Json> = report
+        .lockstep
+        .iter()
+        .map(|o| {
+            Json::Obj(vec![
+                ("protocol".into(), Json::str(o.protocol.id())),
+                ("stage".into(), Json::str("lockstep")),
+                ("converged".into(), Json::Bool(o.converged)),
+                ("rounds".into(), Json::num(o.rounds as u64)),
+                ("messages".into(), Json::num(o.messages)),
+                ("payload_bytes".into(), Json::num(o.payload_bytes)),
+                ("metadata_bytes".into(), Json::num(o.metadata_bytes)),
+                (
+                    "total_bytes".into(),
+                    Json::num(o.payload_bytes + o.metadata_bytes),
+                ),
+                ("frames".into(), Json::num(o.frames)),
+                ("wire_bytes".into(), Json::num(o.wire_bytes)),
+                ("stalls".into(), Json::num(o.stalls)),
+                ("coalesced_frames".into(), Json::num(o.coalesced)),
+                // Wall-clock throughput rides along, never gated.
+                ("ops_per_sec".into(), Json::num(o.ops_per_sec)),
+            ])
+        })
+        .collect();
+    let c = &report.coalesce;
+    rows.push(Json::Obj(vec![
+        ("protocol".into(), Json::str("bp_rr")),
+        ("stage".into(), Json::str("coalesce")),
+        ("converged".into(), Json::Bool(c.converged)),
+        ("backlog".into(), Json::num(c.backlog)),
+        ("frames".into(), Json::num(c.frames_flushed)),
+        ("coalesced_frames".into(), Json::num(c.coalesced)),
+        ("wire_bytes".into(), Json::num(c.wire_bytes)),
+        (
+            "coalesce_ratio".into(),
+            Json::Num(c.backlog as f64 / c.frames_flushed.max(1) as f64),
+        ),
+    ]));
+    let o = &report.openloop;
+    rows.push(Json::Obj(vec![
+        ("protocol".into(), Json::str("bp_rr")),
+        ("stage".into(), Json::str("openloop")),
+        ("converged".into(), Json::Bool(o.errors == 0)),
+        ("swarm".into(), Json::num(o.swarm as u64)),
+        ("target_ops_per_sec".into(), Json::num(o.target_ops)),
+        ("completed".into(), Json::num(o.completed)),
+        ("errors".into(), Json::num(o.errors)),
+        ("achieved_ops_per_sec".into(), Json::num(o.achieved_ops)),
+        ("p50_us".into(), Json::num(o.p50_us)),
+        ("p99_us".into(), Json::num(o.p99_us)),
+        ("p999_us".into(), Json::num(o.p999_us)),
+        ("stalls".into(), Json::num(o.stalls)),
+    ]));
+    let k = &report.c10k;
+    rows.push(Json::Obj(vec![
+        ("protocol".into(), Json::str("bp_rr")),
+        ("stage".into(), Json::str("c10k")),
+        (
+            "converged".into(),
+            Json::Bool(k.errors == 0 && k.bad_frames == 0),
+        ),
+        ("target_connections".into(), Json::num(k.target as u64)),
+        ("concurrent_connections".into(), Json::num(k.concurrent)),
+        ("served".into(), Json::num(k.served)),
+        ("errors".into(), Json::num(k.errors)),
+        ("bad_frames".into(), Json::num(k.bad_frames)),
+        ("wall_ms".into(), Json::num(k.wall_ms)),
+    ]));
+    Json::Obj(vec![
+        ("schema".into(), Json::str("bench-netload/v1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("results".into(), Json::Arr(rows)),
+    ])
+}
+
+/// Strip the report down to its deterministic rows — what belongs in
+/// `ci/bench-baseline/BENCH_netload.json`. Baseline rows drive the
+/// gate, so keeping wall-clock stages out of the file is what exempts
+/// them.
+pub fn baseline_json(report: &NetloadReport, quick: bool) -> Json {
+    let full = report_to_json(report, quick);
+    let rows: Vec<Json> = full
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.get("stage").and_then(Json::as_str),
+                Some("lockstep") | Some("coalesce")
+            )
+        })
+        .cloned()
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("bench-netload/v1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("results".into(), Json::Arr(rows)),
+    ])
+}
+
+/// Compare a current report against the checked-in baseline. Rows match
+/// on `(protocol, stage)`; gated metrics are the deterministic
+/// byte/frame/coalescing ones, with the shared [`crate::gate_limit`]
+/// epsilons (byte metrics floor 256 B, counts floor 8, rounds floor 2).
+/// `stalls` and `coalesced_frames` are gated too: lockstep traffic must
+/// stay stall-free and un-coalesced (the eager flush keeps queues
+/// empty), and the coalesce stage must keep folding its backlog.
+pub fn check_regression(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
+    crate::check_regression_gate(
+        current,
+        baseline,
+        tolerance,
+        &["protocol", "stage"],
+        &[
+            ("messages", 8.0),
+            ("payload_bytes", 256.0),
+            ("metadata_bytes", 256.0),
+            ("total_bytes", 256.0),
+            ("frames", 2.0),
+            ("wire_bytes", 256.0),
+            ("rounds", 2.0),
+            ("stalls", 0.0),
+            ("coalesced_frames", 8.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end pass: deterministic stages produce the pinned
+    /// numbers, the JSON is well-formed, and a self-compared gate holds.
+    #[test]
+    fn deterministic_stages_pin_their_metrics() {
+        let shape = LoadShape {
+            nodes: 3,
+            keys: 8,
+            zipf_s: 1.0,
+            ops_per_node: 12,
+            swarm: 2,
+            target_ops: 400,
+            total_ops: 100,
+            connections: 64,
+        };
+        let a = run_lockstep(ProtocolKind::BpRr, &shape);
+        let b = run_lockstep(ProtocolKind::BpRr, &shape);
+        assert!(a.converged && b.converged);
+        assert_eq!(
+            (
+                a.messages,
+                a.payload_bytes,
+                a.metadata_bytes,
+                a.frames,
+                a.wire_bytes
+            ),
+            (
+                b.messages,
+                b.payload_bytes,
+                b.metadata_bytes,
+                b.frames,
+                b.wire_bytes
+            ),
+            "lockstep stage must be deterministic run to run"
+        );
+        assert_eq!(a.stalls, 0, "lockstep never fills the inbox");
+        assert_eq!(a.coalesced, 0, "eager flush leaves nothing to fold");
+
+        let c = run_coalesce();
+        assert!(c.converged);
+        assert_eq!(c.frames_flushed, 1, "backlog must fold into one frame");
+        assert_eq!(c.coalesced, c.backlog - 1);
+
+        let report = NetloadReport {
+            lockstep: vec![a],
+            coalesce: c,
+            openloop: run_openloop(&shape),
+            c10k: run_c10k(&shape),
+        };
+        assert_eq!(report.c10k.errors, 0);
+        assert_eq!(report.c10k.concurrent, shape.connections as u64);
+        let doc = report_to_json(&report, true);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("bench-netload/v1")
+        );
+        let baseline = baseline_json(&report, true);
+        assert_eq!(
+            baseline
+                .get("results")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2),
+            "baseline keeps only the deterministic rows"
+        );
+        let violations = check_regression(&doc, &baseline, 0.25);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

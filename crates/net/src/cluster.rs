@@ -245,7 +245,7 @@ where
                 flight += (sent as i64 - got as i64).max(0);
             }
             let probe = node.probe_local();
-            flight += (probe.inbox_len + probe.frozen_frames) as i64;
+            flight += (probe.inbox_len + probe.frozen_frames + probe.queued_frames) as i64;
         }
         flight.max(0) as usize
     }
@@ -259,6 +259,14 @@ where
             let mut settled = true;
             'outer: for (i, node) in self.nodes.iter().enumerate() {
                 let Some(node) = node else { continue };
+                // A frame queued on a live (unpaused) outbound link is
+                // in flight before it ever reaches the sent counter.
+                for (_, queued, paused) in node.queued_to() {
+                    if queued > 0 && !paused {
+                        settled = false;
+                        break 'outer;
+                    }
+                }
                 for (to, sent) in node.frames_sent_to() {
                     let j = to.index();
                     let Some(receiver) = self.nodes[j].as_ref() else {

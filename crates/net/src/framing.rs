@@ -13,6 +13,19 @@
 //! [`Bytes`] frame, so the zero-copy receive tiers
 //! (`BatchEnvelope::decode_shared`) start straight off the socket
 //! buffer; writes flush a borrowed slice, no intermediate allocation.
+//!
+//! Two read APIs share one incremental parser:
+//!
+//! * [`read_frame`] — the blocking-socket convenience (client sessions,
+//!   repair handshakes): loops until a whole frame (or error) arrives.
+//! * [`FrameReader`] — the non-blocking building block the reactor
+//!   uses: [`FrameReader::poll`] consumes whatever bytes the socket has
+//!   *right now* and returns [`ReadStatus::WouldBlock`] when the kernel
+//!   buffer runs dry **mid-frame**, preserving the partial prefix or
+//!   payload so the next readiness event resumes exactly where this one
+//!   stopped. `WouldBlock` is a status, never an error — the historical
+//!   read path treated it as a connection failure, which silently killed
+//!   any connection that happened to be non-blocking.
 
 use std::io::{self, Read, Write};
 
@@ -93,46 +106,130 @@ pub fn write_frame(
     Ok((LEN_PREFIX_BYTES + payload.len()) as u64)
 }
 
+/// Outcome of one [`FrameReader::poll`] against a readiness event.
+#[derive(Debug)]
+pub enum ReadStatus {
+    /// A whole frame arrived; the reader is reset for the next one.
+    Frame(Bytes),
+    /// The socket has no more bytes right now. Any partial prefix or
+    /// payload stays buffered in the reader; poll again on the next
+    /// readiness event.
+    WouldBlock,
+    /// Clean end-of-stream **between** frames (the peer closed after a
+    /// complete frame, or before sending anything). EOF *inside* a frame
+    /// is [`FrameError::Truncated`] instead.
+    Closed,
+}
+
+/// Incremental frame parser for non-blocking sockets.
+///
+/// Owns the in-progress prefix/payload so a frame split across many
+/// readiness events is reassembled without re-reading: each
+/// [`FrameReader::poll`] consumes what the kernel has buffered and
+/// either completes a frame, reports a clean close, or parks mid-frame
+/// on [`ReadStatus::WouldBlock`].
+///
+/// After a returned `Err` the reader is poisoned — the stream is no
+/// longer frame-aligned and the connection should be dropped (the same
+/// contract as [`read_frame`]).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    prefix: [u8; LEN_PREFIX_BYTES],
+    prefix_have: usize,
+    /// Pooled scratch for the in-progress payload, `None` between
+    /// frames.
+    payload: Option<Vec<u8>>,
+    payload_have: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// True when no partial frame is buffered — distinguishing an idle
+    /// connection from one that died mid-frame.
+    pub fn is_idle(&self) -> bool {
+        self.prefix_have == 0 && self.payload.is_none()
+    }
+
+    /// Consume whatever `r` has buffered, advancing the in-progress
+    /// frame. See [`ReadStatus`] for the non-error outcomes;
+    /// [`FrameError::Oversized`] is still raised from the prefix alone,
+    /// before any payload buffering.
+    pub fn poll(
+        &mut self,
+        r: &mut impl Read,
+        max_frame_bytes: usize,
+        pool: &mut BufferPool,
+    ) -> Result<ReadStatus, FrameError> {
+        if self.payload.is_none() {
+            while self.prefix_have < LEN_PREFIX_BYTES {
+                match r.read(&mut self.prefix[self.prefix_have..]) {
+                    Ok(0) if self.prefix_have == 0 => return Ok(ReadStatus::Closed),
+                    Ok(0) => return Err(FrameError::Truncated),
+                    Ok(n) => self.prefix_have += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return Ok(ReadStatus::WouldBlock)
+                    }
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+            let len = u32::from_le_bytes(self.prefix) as usize;
+            if len > max_frame_bytes {
+                return Err(FrameError::Oversized {
+                    claimed: len as u64,
+                    max_frame_bytes,
+                });
+            }
+            let mut scratch = pool.take();
+            scratch.resize(len, 0);
+            self.payload = Some(scratch);
+            self.payload_have = 0;
+        }
+        let buf = self.payload.as_mut().expect("payload in progress");
+        while self.payload_have < buf.len() {
+            match r.read(&mut buf[self.payload_have..]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.payload_have += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(ReadStatus::WouldBlock)
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let done = self.payload.take().expect("payload in progress");
+        self.prefix_have = 0;
+        self.payload_have = 0;
+        Ok(ReadStatus::Frame(pool.freeze(done)))
+    }
+}
+
 /// Read one frame into a pooled buffer frozen to a shared [`Bytes`].
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
 /// frames); [`FrameError::Truncated`] when the stream dies mid-frame;
 /// [`FrameError::Oversized`] — **before any payload buffering** — when
 /// the prefix claims more than `max_frame_bytes`.
+///
+/// This is the blocking-socket convenience over [`FrameReader`]: a
+/// `WouldBlock` here (a socket with a read timeout, or one accidentally
+/// left non-blocking) is surfaced as [`FrameError::Io`] — callers that
+/// own non-blocking sockets should drive a [`FrameReader`] from their
+/// readiness loop instead.
 pub fn read_frame(
     r: &mut impl Read,
     max_frame_bytes: usize,
     pool: &mut BufferPool,
 ) -> Result<Option<Bytes>, FrameError> {
-    let mut prefix = [0u8; LEN_PREFIX_BYTES];
-    let mut have = 0;
-    while have < LEN_PREFIX_BYTES {
-        match r.read(&mut prefix[have..]) {
-            Ok(0) if have == 0 => return Ok(None),
-            Ok(0) => return Err(FrameError::Truncated),
-            Ok(n) => have += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    let len = u32::from_le_bytes(prefix) as usize;
-    if len > max_frame_bytes {
-        return Err(FrameError::Oversized {
-            claimed: len as u64,
-            max_frame_bytes,
-        });
-    }
-    let mut scratch = pool.take();
-    scratch.resize(len, 0);
-    match r.read_exact(&mut scratch) {
-        Ok(()) => Ok(Some(pool.freeze(scratch))),
-        Err(e) => {
-            pool.give(scratch);
-            match e.kind() {
-                io::ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
-                _ => Err(FrameError::Io(e)),
-            }
-        }
+    let mut reader = FrameReader::new();
+    match reader.poll(r, max_frame_bytes, pool)? {
+        ReadStatus::Frame(frame) => Ok(Some(frame)),
+        ReadStatus::Closed => Ok(None),
+        ReadStatus::WouldBlock => Err(FrameError::Io(io::ErrorKind::WouldBlock.into())),
     }
 }
 
@@ -205,5 +302,129 @@ mod tests {
             Err(FrameError::Oversized { claimed: 100, .. })
         ));
         assert!(wire.is_empty(), "nothing hits the wire on a refused frame");
+    }
+
+    /// A scripted non-blocking stream: each `read` serves the next
+    /// scripted event — some bytes, a `WouldBlock` (kernel buffer dry),
+    /// or EOF once the script runs out.
+    struct Chunked {
+        script: std::collections::VecDeque<Option<Vec<u8>>>,
+    }
+
+    impl Chunked {
+        fn new(events: Vec<Option<&[u8]>>) -> Self {
+            Chunked {
+                script: events.into_iter().map(|e| e.map(<[u8]>::to_vec)).collect(),
+            }
+        }
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                None => Ok(0),
+                Some(None) => Err(io::ErrorKind::WouldBlock.into()),
+                Some(Some(mut chunk)) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        chunk.drain(..n);
+                        self.script.push_front(Some(chunk));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_readiness_events() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"delta-group", 64).unwrap();
+        write_frame(&mut wire, b"", 64).unwrap();
+        // Split the first frame inside the prefix AND inside the
+        // payload, with the buffer running dry at each seam.
+        let mut stream = Chunked::new(vec![
+            Some(&wire[..2]),   // half the prefix
+            None,               // dry
+            Some(&wire[2..7]),  // rest of prefix + 3 payload bytes
+            None,               // dry
+            Some(&wire[7..15]), // frame 1 completes
+            None,
+            Some(&wire[15..]), // frame 2 (empty payload) in one go
+        ]);
+        let mut pool = BufferPool::new();
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Ok(ReadStatus::WouldBlock)
+        ));
+        assert!(!reader.is_idle(), "partial prefix is buffered");
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Ok(ReadStatus::WouldBlock)
+        ));
+        match reader.poll(&mut stream, 64, &mut pool) {
+            Ok(ReadStatus::Frame(frame)) => assert_eq!(frame, b"delta-group"[..]),
+            other => panic!("expected the reassembled frame, got {other:?}"),
+        }
+        assert!(reader.is_idle(), "reader resets at the frame boundary");
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Ok(ReadStatus::WouldBlock)
+        ));
+        match reader.poll(&mut stream, 64, &mut pool) {
+            Ok(ReadStatus::Frame(frame)) => assert!(frame.is_empty()),
+            other => panic!("expected the empty frame, got {other:?}"),
+        }
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Ok(ReadStatus::Closed)
+        ));
+    }
+
+    #[test]
+    fn frame_reader_eof_mid_frame_is_truncated_not_closed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef", 64).unwrap();
+        let mut stream = Chunked::new(vec![Some(&wire[..6]), None]);
+        let mut pool = BufferPool::new();
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Ok(ReadStatus::WouldBlock)
+        ));
+        // The script is exhausted: the next read returns EOF with four
+        // payload bytes still owed.
+        assert!(matches!(
+            reader.poll(&mut stream, 64, &mut pool),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_claim_from_a_split_prefix() {
+        let prefix = u32::MAX.to_le_bytes();
+        let mut stream = Chunked::new(vec![Some(&prefix[..3]), None, Some(&prefix[3..])]);
+        let mut pool = BufferPool::new();
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut stream, 1024, &mut pool),
+            Ok(ReadStatus::WouldBlock)
+        ));
+        assert!(matches!(
+            reader.poll(&mut stream, 1024, &mut pool),
+            Err(FrameError::Oversized { claimed, .. }) if claimed == u32::MAX as u64
+        ));
+    }
+
+    #[test]
+    fn blocking_read_frame_surfaces_wouldblock_as_io() {
+        let mut stream = Chunked::new(vec![None]);
+        let mut pool = BufferPool::new();
+        match read_frame(&mut stream, 64, &mut pool) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            other => panic!("expected Io(WouldBlock), got {other:?}"),
+        }
     }
 }

@@ -18,17 +18,26 @@
 //!
 //! | Layer | Types |
 //! |---|---|
-//! | framing | [`framing::read_frame`] / [`framing::write_frame`], [`framing::FrameError`] — length prefix + `max_frame_bytes` guard |
+//! | framing | [`framing::read_frame`] / [`framing::write_frame`], [`framing::FrameReader`], [`framing::FrameError`] — length prefix + `max_frame_bytes` guard, resumable across readiness events |
 //! | protocol | [`NetMsg`], [`ProbeReport`] — peer, client, and repair frames |
-//! | runtime | [`NodeHandle`], [`NodeConfig`] — listener, per-peer readers, scheduler |
+//! | reactor | non-blocking readiness loop, bounded queues, write-side coalescing, timer wheel (internal; see ARCHITECTURE.md) |
+//! | runtime | [`NodeHandle`], [`NodeConfig`] — listener, reactor workers, timers |
 //! | client | [`NetClient`] — blocking request-reply workloads |
 //! | harness | [`LoopbackCluster`] — N in-process nodes on ephemeral `127.0.0.1` ports, lockstep or free-running, with fault injection |
 //!
 //! The workspace is offline, so the runtime is built on `std::net` and
 //! plain threads — no async executor. Thread model per node: one
-//! listener, one reader per inbound connection, plus the optional
-//! scheduler; all of them share the keyspace behind a mutex and a
-//! frame inbox behind another (never held together).
+//! accept thread plus [`NodeConfig::workers`] reactor workers, each
+//! owning a partition of the **non-blocking** connection set (reads
+//! resume mid-frame across readiness events via
+//! [`framing::FrameReader`]). Frames land in a **bounded inbox** — a
+//! full inbox stalls reads, pushing backpressure into TCP rather than
+//! growing memory — and outbound frames queue on **bounded per-peer
+//! write queues**, where backlog for the same destination is folded
+//! into single batch frames (write-side coalescing). Worker 0 runs the
+//! timer wheel: the optional anti-entropy scheduler and the optional
+//! compaction interval. The keyspace sits behind a mutex, the inbox
+//! behind another (never held together).
 //!
 //! ## Accounting parity
 //!
@@ -63,6 +72,7 @@ mod cluster;
 pub mod framing;
 mod message;
 mod node;
+mod reactor;
 
 pub use client::NetClient;
 pub use cluster::{LoopbackCluster, UnsupportedScenarioEvent, WireTotals};

@@ -213,6 +213,20 @@ pub struct ProbeReport<K> {
     pub inbox_len: u64,
     /// Frames parked on frozen links, per peer total.
     pub frozen_frames: u64,
+    /// Frames queued on live (unpaused) outbound links, awaiting a
+    /// reactor flush.
+    pub queued_frames: u64,
+    /// Backpressure stall transitions: times a peer connection's reads
+    /// were paused because the bounded inbox hit capacity.
+    pub stall_events: u64,
+    /// Frames eliminated by write-side coalescing (each fold of `n`
+    /// queued batches into one frame counts `n - 1`).
+    pub coalesced_frames: u64,
+    /// Frames dropped because an outbound write queue was at capacity
+    /// even after coalescing.
+    pub queue_dropped_frames: u64,
+    /// Live inbound connections (peers and clients).
+    pub connections: u64,
     /// Per-peer frames sent, for in-flight reconciliation.
     pub sent_to: Vec<(ReplicaId, u64)>,
     /// Per-peer frames landed, for in-flight reconciliation.
@@ -254,6 +268,11 @@ impl<K: WireEncode> WireEncode for ProbeReport<K> {
         self.bad_frames.encode(out);
         self.inbox_len.encode(out);
         self.frozen_frames.encode(out);
+        self.queued_frames.encode(out);
+        self.stall_events.encode(out);
+        self.coalesced_frames.encode(out);
+        self.queue_dropped_frames.encode(out);
+        self.connections.encode(out);
         self.sent_to.encode(out);
         self.received_from.encode(out);
     }
@@ -282,6 +301,11 @@ impl<K: WireEncode> WireEncode for ProbeReport<K> {
             bad_frames: u64::decode(input)?,
             inbox_len: u64::decode(input)?,
             frozen_frames: u64::decode(input)?,
+            queued_frames: u64::decode(input)?,
+            stall_events: u64::decode(input)?,
+            coalesced_frames: u64::decode(input)?,
+            queue_dropped_frames: u64::decode(input)?,
+            connections: u64::decode(input)?,
             sent_to: Vec::decode(input)?,
             received_from: Vec::decode(input)?,
         })
@@ -515,6 +539,11 @@ mod tests {
             bad_frames: 0,
             inbox_len: 2,
             frozen_frames: 0,
+            queued_frames: 1,
+            stall_events: 3,
+            coalesced_frames: 2,
+            queue_dropped_frames: 0,
+            connections: 4,
             sent_to: vec![(ReplicaId(1), 5)],
             received_from: vec![(ReplicaId(1), 4)],
         };

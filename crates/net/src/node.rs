@@ -1,39 +1,45 @@
-//! The threaded TCP node runtime.
+//! The event-driven TCP node runtime.
 //!
-//! One [`NodeHandle::spawn`] gives a live process-within-the-process:
+//! One [`NodeHandle::spawn`] gives a live process-within-the-process
+//! built on the [`crate::reactor`] primitives:
 //!
-//! * a **listener thread** accepting connections on an ephemeral
-//!   `127.0.0.1` port — inbound peers (first frame [`NetMsg::Hello`])
-//!   get a dedicated reader thread; anything else is served as a client
-//!   session (get/update/probe/repair request-reply);
-//! * **one reader thread per inbound peer**, reading length-prefixed
-//!   frames ([`crate::framing`]) into pooled buffers and landing batch
-//!   frames in the node's inbox — undecoded, so the absorb path can run
-//!   `BatchEnvelope::decode_shared` straight off the socket buffer;
-//! * an optional **anti-entropy scheduler thread**
-//!   ([`NodeConfig::scheduler`]): absorbs the inbox continuously and
-//!   runs one [`delta_store::StoreReplica::sync_step`] every configured
-//!   interval, flushing each per-destination batch through pooled
-//!   scratch onto the peer's outbound socket.
+//! * an **accept thread** hands every inbound connection — non-blocking
+//!   from birth — to a reactor worker, round-robin;
+//! * **reactor workers** ([`NodeConfig::workers`] of them, thread-per-
+//!   core by default), each owning a partition of the inbound
+//!   connection set outright: a sweep assembles frames through a
+//!   resumable [`crate::framing::FrameReader`], lands peer batch frames
+//!   in the **bounded inbox** (a full inbox stalls reads — explicit
+//!   backpressure that backs up into the peer's TCP buffer instead of
+//!   growing memory), serves client request-reply frames inline, and
+//!   flushes the **bounded outbound write queues** it owns, folding
+//!   queued batches for the same destination into single
+//!   `BatchEnvelope` frames (write-side coalescing);
+//! * worker 0 additionally runs the **timer wheel**: the anti-entropy
+//!   sync step every [`NodeConfig::scheduler`] interval and
+//!   causal-stability [`NodeConfig::compaction`] on its own schedule.
 //!
 //! Without a scheduler the node is **externally driven** — the
 //! [`crate::LoopbackCluster`] harness calls [`NodeHandle::sync_now`] and
 //! [`NodeHandle::absorb_pending`] itself, which is what makes its rounds
 //! reproduce the in-process simulators' schedule (and therefore their
-//! byte accounting) exactly.
+//! byte accounting) exactly. Outbound sends flush **eagerly inline**
+//! when the queue is empty and the socket accepts them — lockstep
+//! harness rounds behave exactly like the old blocking writes — and
+//! fall back to the owning worker's sweep under backlog.
 //!
 //! The keyspace is a [`StoreReplica`] — the same per-object
 //! `Box<dyn SyncEngine + Send>` engines, δ-buffers, and pooled encode
-//! scratch the in-process `Cluster` drives, now behind a mutex shared by
-//! the scheduler, reader, and client-session threads.
+//! scratch the in-process `Cluster` drives, behind a mutex shared by
+//! the workers and client-serving sweeps.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hasher;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,13 +47,16 @@ use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
 use crdt_sync::digest::{delta_for_digest, Digest, PairSyncStats};
 use crdt_sync::{
     diverged_from_leaves, divergent_children, BufferPool, Bytes, ChildList, DivergentChildren,
-    LeafRepair, OpBytes, MERKLE_REPAIR_THRESHOLD,
+    LeafRepair, MemoryUsage, OpBytes, MERKLE_REPAIR_THRESHOLD,
 };
 use crdt_types::Crdt;
 use delta_store::{StoreConfig, StoreMsg, StoreReplica, TrafficStats};
 
 use crate::framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
 use crate::message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
+use crate::reactor::{
+    frame_bytes, Conn, ConnEvent, OutLink, TimerKind, TimerWheel, FRAMES_PER_SWEEP, IDLE_TICK,
+};
 
 /// Configuration of one node.
 #[derive(Debug, Clone, Copy)]
@@ -58,24 +67,62 @@ pub struct NodeConfig {
     /// Total replicas in the system (drives `Params::n_nodes`;
     /// Scuttlebutt-GC's safe-delete bar needs it).
     pub n_nodes: usize,
-    /// `Some(interval)` starts the anti-entropy scheduler thread: the
-    /// node free-runs, syncing every `interval`. `None` leaves the node
-    /// externally driven (lockstep harnesses, tests).
+    /// `Some(interval)` arms the anti-entropy timer: the node
+    /// free-runs, syncing every `interval` and absorbing continuously.
+    /// `None` leaves the node externally driven (lockstep harnesses,
+    /// tests).
     pub scheduler: Option<Duration>,
     /// Cap on a single frame's payload, enforced on both send and
     /// receive (see [`crate::framing`]).
     pub max_frame_bytes: usize,
+    /// Reactor worker threads; each owns a partition of the inbound
+    /// connections and of the outbound links. Defaults to the core
+    /// count, capped at 4 (a node is rarely the only thing running).
+    pub workers: usize,
+    /// Bound on frames parked in the inbox awaiting absorption. A full
+    /// inbox **stalls reads** from peer connections (never drops): the
+    /// backlog backs up into the kernel socket buffer and from there
+    /// into the sender's write queue — end-to-end backpressure.
+    pub inbox_capacity: usize,
+    /// Bound on frames queued per outbound link. At capacity the link
+    /// first tries coalescing; if the queue is still full the frame is
+    /// **dropped and counted** ([`ProbeReport::queue_dropped_frames`]) —
+    /// anti-entropy re-ships state, so dropping a δ-batch costs a
+    /// resync, never correctness.
+    pub write_queue_capacity: usize,
+    /// Connections that never completed a frame are pruned after this
+    /// long — half-open sockets (SYN-flood debris, dead dialers) must
+    /// not pin fds forever. Identified peers and clients that have
+    /// spoken once are never pruned.
+    pub half_open_timeout: Duration,
+    /// `Some(interval)` arms the causal-stability compaction timer:
+    /// worker 0 calls [`StoreReplica::compact`] on this period (and
+    /// `Params::compaction` is switched on for the keyspace, so the
+    /// plain-Scuttlebutt dot store tracks the knowledge it needs).
+    pub compaction: Option<Duration>,
+    /// Fold queued frames for the same destination into single batch
+    /// frames at flush time (on by default; off pins per-step frame
+    /// counts for byte-accounting baselines, though an eagerly-flushed
+    /// lockstep never coalesces either way).
+    pub coalesce: bool,
 }
 
 impl NodeConfig {
     /// An externally driven node running `store`'s protocol in an
     /// `n_nodes`-replica system, at the default frame cap.
     pub fn new(store: StoreConfig, n_nodes: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
         NodeConfig {
             store,
             n_nodes,
             scheduler: None,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            workers: cores.clamp(1, 4),
+            inbox_capacity: 4096,
+            write_queue_capacity: 1024,
+            half_open_timeout: Duration::from_secs(30),
+            compaction: None,
+            coalesce: true,
         }
     }
 
@@ -90,42 +137,58 @@ impl NodeConfig {
         self.max_frame_bytes = max;
         self
     }
-}
 
-/// One outbound peer connection.
-struct PeerLink {
-    stream: TcpStream,
-    /// Link-level fault injection: a severed link drops outbound frames
-    /// silently (the `LoopbackTransport::sever` of real sockets).
-    severed: bool,
-    /// A frozen link parks outbound frames instead of writing them;
-    /// [`NodeHandle::thaw`] flushes the queue in order (delay without
-    /// reorder).
-    frozen: Option<VecDeque<Vec<u8>>>,
-    /// The connection failed; subsequent frames are dropped.
-    dead: bool,
-    /// Frames actually written to this peer.
-    frames_sent: u64,
-}
+    /// Override the reactor worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 
-impl fmt::Debug for PeerLink {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PeerLink")
-            .field("severed", &self.severed)
-            .field("dead", &self.dead)
-            .field(
-                "frozen",
-                &self.frozen.as_ref().map(VecDeque::len).unwrap_or(0),
-            )
-            .field("frames_sent", &self.frames_sent)
-            .finish()
+    /// Override the bounded-inbox capacity (frames).
+    pub fn with_inbox_capacity(mut self, frames: usize) -> Self {
+        self.inbox_capacity = frames.max(1);
+        self
+    }
+
+    /// Override the per-link write-queue capacity (frames).
+    pub fn with_write_queue_capacity(mut self, frames: usize) -> Self {
+        self.write_queue_capacity = frames.max(1);
+        self
+    }
+
+    /// Override how long a connection may sit half-open (no completed
+    /// frame) before the reactor prunes it.
+    pub fn with_half_open_timeout(mut self, timeout: Duration) -> Self {
+        self.half_open_timeout = timeout;
+        self
+    }
+
+    /// Run causal-stability compaction every `interval` (worker 0's
+    /// timer wheel).
+    pub fn with_compaction(mut self, interval: Duration) -> Self {
+        self.compaction = Some(interval);
+        self
+    }
+
+    /// Switch write-side coalescing on or off.
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// The keyspace `Params` this config implies.
+    fn params(&self) -> crdt_sync::Params {
+        let params = crdt_sync::Params::new(self.n_nodes);
+        match self.compaction {
+            Some(_) => params.compaction(),
+            None => params,
+        }
     }
 }
 
 /// Mutable node state behind the big lock.
 struct Core<K: Ord, C> {
     replica: StoreReplica<K, C>,
-    peers: BTreeMap<ReplicaId, PeerLink>,
     traffic: TrafficStats,
     /// Sync steps executed.
     rounds: u64,
@@ -136,11 +199,11 @@ struct Core<K: Ord, C> {
 /// Frames landed but not yet absorbed, plus per-peer landing counters.
 #[derive(Default)]
 struct Inbox {
-    queue: VecDeque<(ReplicaId, Bytes)>,
+    queue: std::collections::VecDeque<(ReplicaId, Bytes)>,
     received_from: BTreeMap<ReplicaId, u64>,
 }
 
-/// Lock-free transfer counters (bumped by reader threads).
+/// Lock-free transfer counters (bumped by reactor workers).
 #[derive(Debug, Default)]
 struct WireCounters {
     frames_sent: AtomicU64,
@@ -149,6 +212,9 @@ struct WireCounters {
     bytes_received: AtomicU64,
     dropped: AtomicU64,
     bad_frames: AtomicU64,
+    /// Backpressure stall transitions (a peer connection entering the
+    /// reads-paused state because the inbox hit capacity).
+    stalls: AtomicU64,
 }
 
 struct Inner<K: Ord, C> {
@@ -156,14 +222,23 @@ struct Inner<K: Ord, C> {
     cfg: NodeConfig,
     state: Mutex<Core<K, C>>,
     inbox: Mutex<Inbox>,
-    inbox_cv: Condvar,
+    /// Outbound links keyed by peer; each behind its own lock so a
+    /// worker flushing one link never serializes against the keyspace.
+    links: Mutex<BTreeMap<ReplicaId, Arc<Mutex<OutLink>>>>,
     wire: WireCounters,
     shutdown: AtomicBool,
-    /// Clones of live *inbound* streams keyed by a registration token,
-    /// so shutdown can unblock readers and each reader prunes its own
-    /// entry on exit (outbound streams live in their [`PeerLink`]).
-    streams: Mutex<BTreeMap<u64, TcpStream>>,
-    next_stream_token: AtomicU64,
+    /// Per-worker handoff queues: the accept thread parks fresh
+    /// connections here; each worker adopts its own at the next sweep.
+    injects: Vec<Mutex<Vec<Conn>>>,
+    /// Live inbound connections across all workers.
+    conn_count: AtomicU64,
+}
+
+impl<K: Ord, C> Inner<K, C> {
+    /// Which worker owns the outbound link to `peer`.
+    fn link_owner(&self, peer: ReplicaId) -> usize {
+        peer.0 as usize % self.injects.len()
+    }
 }
 
 impl<K: Ord, C> fmt::Debug for Inner<K, C> {
@@ -261,49 +336,79 @@ where
     C::Op: WireEncode + Send + 'static,
 {
     /// Account one outbound batch (model view, identical to the
-    /// in-process `Cluster`), then frame and ship it. Accounting happens
-    /// **before** fault checks — a batch dropped by a severed link was
-    /// still produced and charged, exactly like `Cluster::sync_round`
-    /// recording before `Transport::send` drops on a severed edge.
+    /// in-process `Cluster`), then frame and enqueue it. Accounting
+    /// happens **before** fault checks — a batch dropped by a severed
+    /// link was still produced and charged, exactly like
+    /// `Cluster::sync_round` recording before `Transport::send` drops on
+    /// a severed edge.
     fn record_and_send(&mut self, to: ReplicaId, batch: StoreMsg<K>, inner: &Inner<K, C>) {
         let model = self.replica.config().model;
         self.traffic.record(&batch, &model);
         let mut scratch = self.pool.take();
         scratch.push(TAG_BATCH);
         batch.encode(&mut scratch);
-        self.send_raw(to, &scratch, inner);
+        send_payload(inner, to, &scratch);
         self.pool.give(scratch);
     }
+}
 
-    /// Ship one already-encoded frame payload to `to`, honoring link
-    /// faults.
-    fn send_raw(&mut self, to: ReplicaId, payload: &[u8], inner: &Inner<K, C>) {
-        let Some(link) = self.peers.get_mut(&to) else {
+/// Ship one already-encoded frame payload to `to`, honoring link
+/// faults and the bounded write queue; flushes eagerly inline when the
+/// link is idle so lockstep rounds stay effectively synchronous.
+fn send_payload<K, C>(inner: &Inner<K, C>, to: ReplicaId, payload: &[u8])
+where
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    let link = { inner.links.lock().unwrap().get(&to).cloned() };
+    let Some(link) = link else {
+        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut link = link.lock().unwrap();
+    if link.severed || link.dead {
+        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if payload.len() > inner.cfg.max_frame_bytes {
+        // The old blocking write would have failed the frame and killed
+        // the link; the queue preserves that contract.
+        link.dead = true;
+        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if link.queue.len() >= inner.cfg.write_queue_capacity {
+        if inner.cfg.coalesce {
+            link.coalesce::<K>(inner.cfg.max_frame_bytes);
+        }
+        if link.queue.len() >= inner.cfg.write_queue_capacity {
+            link.queue_dropped += 1;
             inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
             return;
-        };
-        if link.severed || link.dead {
-            inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
         }
-        if let Some(parked) = link.frozen.as_mut() {
-            parked.push_back(payload.to_vec());
-            return;
-        }
-        match write_frame(&mut link.stream, payload, inner.cfg.max_frame_bytes) {
-            Ok(wire_bytes) => {
-                link.frames_sent += 1;
-                inner.wire.frames_sent.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .wire
-                    .bytes_sent
-                    .fetch_add(wire_bytes, Ordering::Relaxed);
-            }
-            Err(_) => {
-                link.dead = true;
-                inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+    }
+    link.queue.push_back(frame_bytes(payload));
+    if !link.paused {
+        let out = link.flush();
+        credit_flush(inner, &out);
+    }
+}
+
+/// Fold one [`crate::reactor::FlushOutcome`] into the node counters.
+fn credit_flush<K: Ord, C>(inner: &Inner<K, C>, out: &crate::reactor::FlushOutcome) {
+    if out.frames > 0 {
+        inner
+            .wire
+            .frames_sent
+            .fetch_add(out.frames, Ordering::Relaxed);
+        inner
+            .wire
+            .bytes_sent
+            .fetch_add(out.bytes, Ordering::Relaxed);
+    }
+    if out.dropped > 0 {
+        inner.wire.dropped.fetch_add(out.dropped, Ordering::Relaxed);
     }
 }
 
@@ -316,7 +421,7 @@ where
     /// Spawn a node listening on an ephemeral `127.0.0.1` port, with a
     /// fresh keyspace.
     pub fn spawn(id: ReplicaId, cfg: NodeConfig) -> io::Result<Self> {
-        let replica = StoreReplica::with_params(id, cfg.store, crdt_sync::Params::new(cfg.n_nodes));
+        let replica = StoreReplica::with_params(id, cfg.store, cfg.params());
         Self::spawn_with_replica(id, cfg, replica)
     }
 
@@ -330,22 +435,22 @@ where
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             id,
             cfg,
             state: Mutex::new(Core {
                 replica,
-                peers: BTreeMap::new(),
                 traffic: TrafficStats::default(),
                 rounds: 0,
                 pool: BufferPool::new(),
             }),
             inbox: Mutex::new(Inbox::default()),
-            inbox_cv: Condvar::new(),
+            links: Mutex::new(BTreeMap::new()),
             wire: WireCounters::default(),
             shutdown: AtomicBool::new(false),
-            streams: Mutex::new(BTreeMap::new()),
-            next_stream_token: AtomicU64::new(0),
+            injects: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            conn_count: AtomicU64::new(0),
         });
 
         let mut threads = Vec::new();
@@ -353,9 +458,9 @@ where
             let inner = Arc::clone(&inner);
             threads.push(std::thread::spawn(move || accept_loop(inner, listener)));
         }
-        if let Some(interval) = cfg.scheduler {
+        for widx in 0..workers {
             let inner = Arc::clone(&inner);
-            threads.push(std::thread::spawn(move || scheduler_loop(inner, interval)));
+            threads.push(std::thread::spawn(move || worker_loop(inner, widx)));
         }
         Ok(NodeHandle {
             inner,
@@ -392,17 +497,12 @@ where
             FrameError::Io(e) => e,
             other => io::Error::other(other.to_string()),
         })?;
-        let mut core = self.inner.state.lock().unwrap();
-        core.peers.insert(
-            peer,
-            PeerLink {
-                stream,
-                severed: false,
-                frozen: None,
-                dead: false,
-                frames_sent: 0,
-            },
-        );
+        stream.set_nonblocking(true)?;
+        self.inner
+            .links
+            .lock()
+            .unwrap()
+            .insert(peer, Arc::new(Mutex::new(OutLink::new(stream))));
         Ok(())
     }
 
@@ -415,11 +515,7 @@ where
     /// Drain the inbox: take every landed frame, ordered by sending
     /// peer (deterministic absorption independent of socket timing).
     pub fn take_inbox(&self) -> Vec<(ReplicaId, Bytes)> {
-        let mut inbox = self.inner.inbox.lock().unwrap();
-        let mut frames: Vec<_> = inbox.queue.drain(..).collect();
-        drop(inbox);
-        frames.sort_by_key(|(from, _)| *from);
-        frames
+        take_inbox_sorted(&self.inner)
     }
 
     /// Absorb previously taken frames; replies (push-pull protocols) go
@@ -438,38 +534,41 @@ where
     /// Sever the outbound link to `peer`: frames are dropped silently
     /// (both ends severing yields a full partition of the pair).
     pub fn sever(&self, peer: ReplicaId) {
-        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
-            link.severed = true;
+        if let Some(link) = self.inner.links.lock().unwrap().get(&peer) {
+            link.lock().unwrap().severed = true;
         }
     }
 
     /// Restore a severed outbound link.
     pub fn heal(&self, peer: ReplicaId) {
-        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
-            link.severed = false;
+        if let Some(link) = self.inner.links.lock().unwrap().get(&peer) {
+            link.lock().unwrap().severed = false;
         }
     }
 
-    /// Freeze the outbound link to `peer`: frames park in order instead
-    /// of shipping.
+    /// Freeze the outbound link to `peer`: frames park in the write
+    /// queue, in order, instead of shipping.
     pub fn freeze(&self, peer: ReplicaId) {
-        if let Some(link) = self.inner.state.lock().unwrap().peers.get_mut(&peer) {
-            link.frozen.get_or_insert_with(VecDeque::new);
+        if let Some(link) = self.inner.links.lock().unwrap().get(&peer) {
+            link.lock().unwrap().paused = true;
         }
     }
 
-    /// Thaw a frozen link, flushing every parked frame in order.
+    /// Thaw a frozen link, flushing every parked frame in order (folded
+    /// by write-side coalescing when enabled — delay without reorder).
     pub fn thaw(&self, peer: ReplicaId) {
-        let mut core = self.inner.state.lock().unwrap();
-        let Some(link) = core.peers.get_mut(&peer) else {
+        let link = { self.inner.links.lock().unwrap().get(&peer).cloned() };
+        let Some(link) = link else { return };
+        let mut link = link.lock().unwrap();
+        if !link.paused {
             return;
-        };
-        let Some(parked) = link.frozen.take() else {
-            return;
-        };
-        for payload in parked {
-            core.send_raw(peer, &payload, &self.inner);
         }
+        link.paused = false;
+        if self.inner.cfg.coalesce && link.queue.len() >= 2 {
+            link.coalesce::<K>(self.inner.cfg.max_frame_bytes);
+        }
+        let out = link.flush();
+        credit_flush(&self.inner, &out);
     }
 
     /// Apply `op` locally (the in-process twin of a client
@@ -493,12 +592,37 @@ where
         build_probe(&self.inner)
     }
 
+    /// The keyspace's memory footprint (CRDT state vs synchronization
+    /// metadata) — what the compaction timer keeps flat under churn.
+    pub fn memory(&self) -> MemoryUsage {
+        self.inner.state.lock().unwrap().replica.memory()
+    }
+
+    /// Live inbound connections (peers and clients).
+    pub fn live_connections(&self) -> u64 {
+        self.inner.conn_count.load(Ordering::Relaxed)
+    }
+
     /// Per-peer frames written, for in-flight reconciliation.
     pub fn frames_sent_to(&self) -> Vec<(ReplicaId, u64)> {
-        let core = self.inner.state.lock().unwrap();
-        core.peers
+        let links = self.inner.links.lock().unwrap();
+        links
             .iter()
-            .map(|(id, link)| (*id, link.frames_sent))
+            .map(|(id, link)| (*id, link.lock().unwrap().frames_sent))
+            .collect()
+    }
+
+    /// Per-peer outbound queue depth and pause flag, for settle
+    /// detection: a queued frame is in flight even though no wire frame
+    /// exists yet.
+    pub fn queued_to(&self) -> Vec<(ReplicaId, u64, bool)> {
+        let links = self.inner.links.lock().unwrap();
+        links
+            .iter()
+            .map(|(id, link)| {
+                let link = link.lock().unwrap();
+                (*id, link.queued(), link.paused)
+            })
             .collect()
     }
 
@@ -838,9 +962,9 @@ where
     }
 
     /// Prune causally stable synchronization metadata in every object
-    /// engine (see [`delta_store::StoreReplica::compact`]); the
-    /// anti-entropy scheduler calls this after each sync step when
-    /// [`crdt_sync::Params::compaction`] is on. Returns entries pruned.
+    /// engine (see [`delta_store::StoreReplica::compact`]); worker 0's
+    /// timer wheel calls this on the [`NodeConfig::compaction`] period.
+    /// Returns entries pruned.
     pub fn compact(&self) -> u64 {
         self.inner.state.lock().unwrap().replica.compact()
     }
@@ -854,7 +978,7 @@ where
         let cfg = self.inner.cfg;
         let replica = std::mem::replace(
             &mut core.replica,
-            StoreReplica::with_params(id, cfg.store, crdt_sync::Params::new(cfg.n_nodes)),
+            StoreReplica::with_params(id, cfg.store, cfg.params()),
         );
         NodeRelics {
             replica,
@@ -866,21 +990,22 @@ where
 }
 
 impl<K: Ord, C> NodeHandle<K, C> {
-    /// Signal shutdown, close every stream, join the service threads.
+    /// Signal shutdown, join the reactor threads, close every socket.
     fn signal_and_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        {
-            let core = self.inner.state.lock().unwrap();
-            for link in core.peers.values() {
-                let _ = link.stream.shutdown(Shutdown::Both);
-            }
-        }
-        for stream in self.inner.streams.lock().unwrap().values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        self.inner.inbox_cv.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Workers dropped their connection sets on exit; close outbound
+        // links and any connection still parked in a handoff queue so
+        // peers observe EOF promptly.
+        for link in self.inner.links.lock().unwrap().values() {
+            let _ = link.lock().unwrap().stream.shutdown(Shutdown::Both);
+        }
+        for inject in &self.inner.injects {
+            for conn in inject.lock().unwrap().drain(..) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
         }
     }
 
@@ -899,13 +1024,23 @@ where
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
+    let neighbors: Vec<ReplicaId> = inner.links.lock().unwrap().keys().copied().collect();
     let mut core = inner.state.lock().unwrap();
-    let neighbors: Vec<ReplicaId> = core.peers.keys().copied().collect();
     let steps = core.replica.sync_step(&neighbors);
     core.rounds += 1;
     for (to, batch) in steps {
         core.record_and_send(to, batch, inner);
     }
+}
+
+/// Drain the inbox sorted by sending peer (deterministic absorption
+/// independent of socket timing).
+fn take_inbox_sorted<K: Ord, C>(inner: &Inner<K, C>) -> Vec<(ReplicaId, Bytes)> {
+    let mut inbox = inner.inbox.lock().unwrap();
+    let mut frames: Vec<_> = inbox.queue.drain(..).collect();
+    drop(inbox);
+    frames.sort_by_key(|(from, _)| *from);
+    frames
 }
 
 /// Absorb a set of landed frames; replies ship immediately.
@@ -949,7 +1084,7 @@ where
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
-    let (keys, traffic, rounds, sent_to, frozen_frames) = {
+    let (keys, traffic, rounds) = {
         let core = inner.state.lock().unwrap();
         let keys: Vec<(K, u64, u64)> = core
             .replica
@@ -957,17 +1092,23 @@ where
             .filter(|(_, x)| !x.is_bottom())
             .map(|(k, x)| (k.clone(), state_hash(x), x.count_elements()))
             .collect();
-        let sent_to: Vec<(ReplicaId, u64)> = core
-            .peers
-            .iter()
-            .map(|(id, link)| (*id, link.frames_sent))
-            .collect();
-        let frozen: u64 = core
-            .peers
-            .values()
-            .map(|l| l.frozen.as_ref().map_or(0, |q| q.len() as u64))
-            .sum();
-        (keys, core.traffic, core.rounds, sent_to, frozen)
+        (keys, core.traffic, core.rounds)
+    };
+    let (sent_to, queued_frames, frozen_frames, coalesced, queue_dropped) = {
+        let links = inner.links.lock().unwrap();
+        let mut sent_to = Vec::with_capacity(links.len());
+        let (mut queued, mut frozen, mut coalesced, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+        for (id, link) in links.iter() {
+            let link = link.lock().unwrap();
+            sent_to.push((*id, link.frames_sent));
+            match link.paused {
+                true => frozen += link.queued(),
+                false => queued += link.queued(),
+            }
+            coalesced += link.coalesced;
+            dropped += link.queue_dropped;
+        }
+        (sent_to, queued, frozen, coalesced, dropped)
     };
     let (inbox_len, received_from) = {
         let inbox = inner.inbox.lock().unwrap();
@@ -993,69 +1134,38 @@ where
         bad_frames: inner.wire.bad_frames.load(Ordering::Relaxed),
         inbox_len,
         frozen_frames,
+        queued_frames,
+        stall_events: inner.wire.stalls.load(Ordering::Relaxed),
+        coalesced_frames: coalesced,
+        queue_dropped_frames: queue_dropped,
+        connections: inner.conn_count.load(Ordering::Relaxed),
         sent_to,
         received_from,
     }
 }
 
-/// The anti-entropy scheduler: absorb continuously, sync every
-/// `interval`.
-fn scheduler_loop<K, C>(inner: Arc<Inner<K, C>>, interval: Duration)
-where
-    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
-    C: Crdt + WireEncode + Send + 'static,
-    C::Op: WireEncode + Send + 'static,
-{
-    let mut last_sync = Instant::now();
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        // Take whatever landed (sorted by peer for determinism within
-        // the batch) and absorb it.
-        let frames: Vec<(ReplicaId, Bytes)> = {
-            let mut inbox = inner.inbox.lock().unwrap();
-            let mut frames: Vec<_> = inbox.queue.drain(..).collect();
-            drop(inbox);
-            frames.sort_by_key(|(from, _)| *from);
-            frames
-        };
-        absorb_frames(&inner, frames);
-        if last_sync.elapsed() >= interval {
-            sync_step(&inner);
-            last_sync = Instant::now();
-        }
-        let wait = interval
-            .saturating_sub(last_sync.elapsed())
-            .min(Duration::from_millis(1))
-            .max(Duration::from_micros(100));
-        let inbox = inner.inbox.lock().unwrap();
-        if inbox.queue.is_empty() {
-            let _ = inner.inbox_cv.wait_timeout(inbox, wait);
-        }
-    }
-}
-
-/// Accept loop: hand every connection to a session thread.
+/// Accept loop: register every connection — non-blocking from birth —
+/// with a reactor worker, round-robin.
 fn accept_loop<K, C>(inner: Arc<Inner<K, C>>, listener: TcpListener)
 where
-    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
-    C: Crdt + WireEncode + Send + 'static,
-    C::Op: WireEncode + Send + 'static,
+    K: Ord + Send + 'static,
+    C: Send + 'static,
 {
+    let workers = inner.injects.len();
+    let mut next = 0usize;
     while !inner.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                stream.set_nonblocking(false).ok();
                 stream.set_nodelay(true).ok();
-                let token = inner.next_stream_token.fetch_add(1, Ordering::Relaxed);
-                if let Ok(clone) = stream.try_clone() {
-                    inner.streams.lock().unwrap().insert(token, clone);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
                 }
-                let inner = Arc::clone(&inner);
-                std::thread::spawn(move || {
-                    serve_connection(&inner, stream);
-                    // Prune the registry entry so churny reconnect
-                    // cycles do not accumulate dead descriptors.
-                    inner.streams.lock().unwrap().remove(&token);
-                });
+                inner.conn_count.fetch_add(1, Ordering::Relaxed);
+                inner.injects[next % workers]
+                    .lock()
+                    .unwrap()
+                    .push(Conn::new(stream));
+                next += 1;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -1065,94 +1175,244 @@ where
     }
 }
 
-/// Serve one inbound connection: a peer stream (after `Hello`) or a
-/// client request-reply session.
-fn serve_connection<K, C>(inner: &Inner<K, C>, mut stream: TcpStream)
+/// One reactor worker: sweep owned connections (read + dispatch +
+/// reply-flush), prune the dead and the half-open, flush owned outbound
+/// links, and — on worker 0 — fire the timer wheel.
+fn worker_loop<K, C>(inner: Arc<Inner<K, C>>, widx: usize)
 where
     K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
+    let mut conns: Vec<Conn> = Vec::new();
     let mut pool = BufferPool::new();
-    let max = inner.cfg.max_frame_bytes;
-    let mut peer: Option<ReplicaId> = None;
+    let mut frames: Vec<Bytes> = Vec::new();
+    let mut timers = TimerWheel::new();
+    let mut due: Vec<TimerKind> = Vec::new();
+    if widx == 0 {
+        let now = Instant::now();
+        if let Some(interval) = inner.cfg.scheduler {
+            timers.register(TimerKind::Sync, interval, now);
+        }
+        if let Some(interval) = inner.cfg.compaction {
+            timers.register(TimerKind::Compact, interval, now);
+        }
+    }
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut stream, max, &mut pool) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return,
-            Err(_) => {
-                // Truncated/oversized/io — the connection is not
-                // trustworthy any more; count and drop it. A corrupt
-                // frame never takes the node down.
-                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
-                return;
+        let mut busy = false;
+
+        // Adopt connections the accept thread handed this worker.
+        {
+            let mut inject = inner.injects[widx].lock().unwrap();
+            if !inject.is_empty() {
+                conns.append(&mut inject);
+                busy = true;
             }
-        };
-        inner.wire.frames_received.fetch_add(1, Ordering::Relaxed);
-        inner.wire.bytes_received.fetch_add(
-            (crate::framing::LEN_PREFIX_BYTES + frame.len()) as u64,
-            Ordering::Relaxed,
-        );
-        if let Some(from) = peer {
-            // Established peer stream: only batches are expected; they
-            // land in the inbox raw for zero-copy absorption.
-            if is_batch_frame(&frame) {
-                let mut inbox = inner.inbox.lock().unwrap();
-                inbox.queue.push_back((from, frame));
-                *inbox.received_from.entry(from).or_insert(0) += 1;
-                drop(inbox);
-                inner.inbox_cv.notify_all();
-            } else {
-                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
-            }
-            continue;
         }
-        // First frame (or client session): decode the full message.
-        let msg = match NetMsg::<K>::from_bytes(&frame) {
-            Ok(msg) => msg,
-            Err(_) => {
-                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
-                return;
+
+        // Worker 0: timers, plus continuous absorption in free-running
+        // (scheduler) mode. Externally driven nodes leave absorption to
+        // the harness — that is what makes lockstep rounds reproduce
+        // the simulator schedule exactly.
+        if widx == 0 {
+            due.clear();
+            timers.poll(Instant::now(), &mut due);
+            for kind in due.drain(..) {
+                match kind {
+                    TimerKind::Sync => sync_step(&inner),
+                    TimerKind::Compact => {
+                        inner.state.lock().unwrap().replica.compact();
+                    }
+                }
+                busy = true;
             }
+            if inner.cfg.scheduler.is_some() {
+                let frames = take_inbox_sorted(&inner);
+                if !frames.is_empty() {
+                    absorb_frames(&inner, frames);
+                    busy = true;
+                }
+            }
+        }
+
+        // Read sweep: assemble frames from every owned connection.
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            let mut budget = FRAMES_PER_SWEEP;
+            if conn.frames_completed == 0 {
+                // Unidentified connection: read exactly one frame — if
+                // it is a `Hello`, the *next* sweep's reads fall under
+                // the inbox bound; a greedy first read could pull a
+                // whole window of batches past the cap before the
+                // connection is known to be a peer.
+                budget = 1;
+            }
+            if conn.peer.is_some() {
+                // Bounded inbox: reads never outrun the remaining
+                // capacity, and a full inbox stalls this peer's reads
+                // entirely — bytes stay in the kernel buffer, TCP
+                // backpressure does the rest. Stall *transitions* are
+                // counted.
+                let free = inner
+                    .cfg
+                    .inbox_capacity
+                    .saturating_sub(inner.inbox.lock().unwrap().queue.len());
+                if free == 0 {
+                    if !conn.stalled {
+                        conn.stalled = true;
+                        inner.wire.stalls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+                conn.stalled = false;
+                budget = budget.min(free);
+            }
+            frames.clear();
+            let event = conn.poll_frames(inner.cfg.max_frame_bytes, &mut pool, budget, &mut frames);
+            if !frames.is_empty() {
+                busy = true;
+            }
+            for frame in frames.drain(..) {
+                dispatch_frame(&inner, conn, frame);
+            }
+            match event {
+                ConnEvent::More => busy = true,
+                ConnEvent::Corrupt => {
+                    inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                ConnEvent::Idle | ConnEvent::Closed => {}
+            }
+            if conn.flush() {
+                busy = true;
+            }
+        }
+
+        // Prune: dead connections, and half-open ones that never
+        // completed a frame within the timeout.
+        let before = conns.len();
+        let timeout = inner.cfg.half_open_timeout;
+        conns.retain(|c| {
+            let half_open = c.frames_completed == 0 && c.opened.elapsed() > timeout;
+            !(c.dead || half_open)
+        });
+        if conns.len() < before {
+            inner
+                .conn_count
+                .fetch_sub((before - conns.len()) as u64, Ordering::Relaxed);
+            busy = true;
+        }
+
+        // Flush the outbound links this worker owns, coalescing any
+        // backlog first.
+        let owned: Vec<Arc<Mutex<OutLink>>> = {
+            let links = inner.links.lock().unwrap();
+            links
+                .iter()
+                .filter(|(id, _)| inner.link_owner(**id) == widx)
+                .map(|(_, link)| Arc::clone(link))
+                .collect()
         };
-        match msg {
-            NetMsg::Hello { node } => {
-                peer = Some(node);
-                // A new connection starts a new ledger: the per-peer
-                // landing counter pairs with the dialer's fresh
-                // `PeerLink::frames_sent`, so a reconnect (peer
-                // restart) must zero it or in-flight reconciliation
-                // compares a new sent-count against a stale landed
-                // count and undercounts flight.
-                inner.inbox.lock().unwrap().received_from.insert(node, 0);
+        for link in owned {
+            let mut link = link.lock().unwrap();
+            if link.paused || (link.queue.is_empty() && link.written == 0) {
+                continue;
             }
-            NetMsg::Batch(batch) => {
-                // A batch before Hello: attribute it to its header.
-                let from = batch.route().map(|(from, _, _)| from);
-                match from {
-                    Some(from) => {
-                        let mut inbox = inner.inbox.lock().unwrap();
-                        inbox.queue.push_back((from, frame));
-                        *inbox.received_from.entry(from).or_insert(0) += 1;
-                        drop(inbox);
-                        inner.inbox_cv.notify_all();
-                    }
-                    None => {
-                        inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
-                    }
+            if inner.cfg.coalesce && link.queue.len() >= 2 {
+                link.coalesce::<K>(inner.cfg.max_frame_bytes);
+            }
+            let out = link.flush();
+            if out.frames > 0 || out.dropped > 0 {
+                busy = true;
+            }
+            credit_flush(&inner, &out);
+        }
+
+        if !busy {
+            std::thread::sleep(IDLE_TICK);
+        }
+    }
+}
+
+/// Interpret one assembled frame in the context of its connection:
+/// batch frames from identified peers land in the inbox; a `Hello`
+/// identifies the connection; anything else is a client request served
+/// inline, its reply queued on the connection.
+fn dispatch_frame<K, C>(inner: &Inner<K, C>, conn: &mut Conn, frame: Bytes)
+where
+    K: Ord + Clone + Sizeable + std::hash::Hash + WireEncode + Send + 'static,
+    C: Crdt + WireEncode + Send + 'static,
+    C::Op: WireEncode + Send + 'static,
+{
+    inner.wire.frames_received.fetch_add(1, Ordering::Relaxed);
+    inner.wire.bytes_received.fetch_add(
+        (crate::framing::LEN_PREFIX_BYTES + frame.len()) as u64,
+        Ordering::Relaxed,
+    );
+    if let Some(from) = conn.peer {
+        // Established peer stream: only batches are expected; they land
+        // in the inbox raw for zero-copy absorption.
+        if is_batch_frame(&frame) {
+            land_batch(inner, from, frame);
+        } else {
+            inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    // First frame (or client session): decode the full message.
+    let msg = match NetMsg::<K>::from_bytes(&frame) {
+        Ok(msg) => msg,
+        Err(_) => {
+            // The connection is not trustworthy any more; count and
+            // drop it. A corrupt frame never takes the node down.
+            inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+            conn.dead = true;
+            return;
+        }
+    };
+    match msg {
+        NetMsg::Hello { node } => {
+            conn.peer = Some(node);
+            // A new connection starts a new ledger: the per-peer
+            // landing counter pairs with the dialer's fresh
+            // `OutLink::frames_sent`, so a reconnect (peer restart)
+            // must zero it or in-flight reconciliation compares a new
+            // sent-count against a stale landed count and undercounts
+            // flight.
+            inner.inbox.lock().unwrap().received_from.insert(node, 0);
+        }
+        NetMsg::Batch(batch) => {
+            // A batch before Hello: attribute it to its header.
+            match batch.route().map(|(from, _, _)| from) {
+                Some(from) => land_batch(inner, from, frame),
+                None => {
+                    inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            other => {
-                let reply = serve_client_request(inner, other);
-                if write_frame(&mut stream, &reply.to_bytes(), max).is_err() {
-                    return;
-                }
+        }
+        other => {
+            let reply = serve_client_request(inner, other);
+            let bytes = reply.to_bytes();
+            if bytes.len() <= inner.cfg.max_frame_bytes {
+                conn.outbuf.push_back(frame_bytes(&bytes));
+            } else {
+                // The old blocking write would have failed the frame
+                // and dropped the session.
+                conn.dead = true;
             }
         }
     }
+}
+
+/// Land one peer batch frame in the inbox (raw, for zero-copy absorb).
+fn land_batch<K: Ord, C>(inner: &Inner<K, C>, from: ReplicaId, frame: Bytes) {
+    let mut inbox = inner.inbox.lock().unwrap();
+    inbox.queue.push_back((from, frame));
+    *inbox.received_from.entry(from).or_insert(0) += 1;
 }
 
 /// Answer one client/repair request.

@@ -1,0 +1,568 @@
+//! Building blocks of the event-driven node runtime: non-blocking
+//! connection state, outbound write queues with coalescing, and the
+//! scheduler timer wheel.
+//!
+//! The workspace is dependency-free, so there is no `epoll` binding to
+//! lean on; "readiness" here is a **non-blocking scan loop**: every
+//! socket is `O_NONBLOCK`, each worker sweeps the connections it owns,
+//! and a sweep that moves no bytes sleeps for a tick
+//! ([`IDLE_TICK`]) before the next one. That is the honest poor-man's
+//! poller — O(connections) per sweep instead of O(ready) — but it keeps
+//! the structural properties that matter: no thread ever blocks inside
+//! a socket call, one worker owns each connection outright (no locks on
+//! the hot read path), and backpressure is explicit at both ends
+//! (bounded inboxes stall reads; bounded write queues drop and count).
+//!
+//! The pieces here are deliberately passive data structures plus pure
+//! functions; the policy — what a frame *means*, when to stall, when to
+//! sync — lives with their owner in [`crate::node`].
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crdt_lattice::{ReplicaId, WireEncode};
+use crdt_sync::{BatchEnvelope, BufferPool, Bytes};
+
+use crate::framing::{FrameReader, ReadStatus, LEN_PREFIX_BYTES};
+use crate::message::TAG_BATCH;
+
+/// How long an idle worker sweep sleeps before rescanning its
+/// connections. Small enough that lockstep harness round-trips stay
+/// sub-millisecond, large enough that an idle node costs ~no CPU.
+pub(crate) const IDLE_TICK: Duration = Duration::from_micros(200);
+
+/// Frame-assembly budget per connection per sweep — bounds how long one
+/// chatty peer can monopolize a worker before its siblings get served.
+pub(crate) const FRAMES_PER_SWEEP: usize = 32;
+
+/// Prefix `payload` with its length: one wire frame, ready to enqueue.
+pub(crate) fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(LEN_PREFIX_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// What one read sweep over a connection produced (completed frames are
+/// pushed to the caller's vec as they assemble).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ConnEvent {
+    /// The socket ran dry (`WouldBlock`) — nothing more right now.
+    Idle,
+    /// The per-sweep frame budget was exhausted with bytes still
+    /// buffered; sweep again without sleeping.
+    More,
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+    /// Framing violation (truncated / oversized / io error mid-frame):
+    /// the connection is no longer trustworthy.
+    Corrupt,
+}
+
+/// One inbound connection, owned by exactly one reactor worker — reads
+/// need no synchronization at all.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub reader: FrameReader,
+    /// Set by the peer's `Hello`; `None` for client sessions.
+    pub peer: Option<ReplicaId>,
+    /// When the connection was accepted — with `frames_completed == 0`
+    /// this drives half-open pruning.
+    pub opened: Instant,
+    /// Whole frames assembled on this connection.
+    pub frames_completed: u64,
+    /// Queued reply frames (client sessions), each a full wire frame.
+    pub outbuf: VecDeque<Vec<u8>>,
+    /// Bytes of `outbuf.front()` already written (partial write).
+    pub out_written: usize,
+    /// The connection is finished; the owner prunes it on next sweep.
+    pub dead: bool,
+    /// Currently stalled by a full inbox (backpressure bookkeeping —
+    /// the stall *transition* is counted, not every stalled sweep).
+    pub stalled: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            peer: None,
+            opened: Instant::now(),
+            frames_completed: 0,
+            outbuf: VecDeque::new(),
+            out_written: 0,
+            dead: false,
+            stalled: false,
+        }
+    }
+
+    /// Assemble up to `budget` frames from whatever the kernel has
+    /// buffered, appending them to `out`.
+    pub fn poll_frames(
+        &mut self,
+        max_frame_bytes: usize,
+        pool: &mut BufferPool,
+        budget: usize,
+        out: &mut Vec<Bytes>,
+    ) -> ConnEvent {
+        for _ in 0..budget {
+            match self.reader.poll(&mut self.stream, max_frame_bytes, pool) {
+                Ok(ReadStatus::Frame(frame)) => {
+                    self.frames_completed += 1;
+                    out.push(frame);
+                }
+                Ok(ReadStatus::WouldBlock) => return ConnEvent::Idle,
+                Ok(ReadStatus::Closed) => {
+                    self.dead = true;
+                    return ConnEvent::Closed;
+                }
+                Err(_) => {
+                    self.dead = true;
+                    return ConnEvent::Corrupt;
+                }
+            }
+        }
+        ConnEvent::More
+    }
+
+    /// Flush queued reply frames as far as the socket accepts. Returns
+    /// true when any bytes moved.
+    pub fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(front) = self.outbuf.front() {
+            match self.stream.write(&front[self.out_written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    self.out_written += n;
+                    if self.out_written == front.len() {
+                        self.outbuf.pop_front();
+                        self.out_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+}
+
+/// What one [`OutLink::flush`] accomplished.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub(crate) struct FlushOutcome {
+    /// Whole frames that finished writing.
+    pub frames: u64,
+    /// Wire bytes written (prefixes included).
+    pub bytes: u64,
+    /// Frames discarded because the link is severed or dead.
+    pub dropped: u64,
+}
+
+/// One outbound peer link: a non-blocking stream plus a bounded queue
+/// of ready-to-ship wire frames.
+///
+/// Fault injection maps onto queue state: a **severed** link discards
+/// at enqueue *and* discards whatever is queued at the next flush
+/// (frames already in the link when it was cut); a **paused** (frozen)
+/// link parks frames in order and ships nothing until resumed — delay
+/// without reorder, the queue is the old `frozen` buffer unified with
+/// the write queue.
+pub(crate) struct OutLink {
+    pub stream: TcpStream,
+    /// Queued wire frames (length prefix included).
+    pub queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue.front()` already written (partial write) — a
+    /// partially-shipped frame is always completed, even on a freshly
+    /// severed link, or the byte stream would desynchronize.
+    pub written: usize,
+    pub paused: bool,
+    pub severed: bool,
+    pub dead: bool,
+    /// Whole frames actually written to the socket.
+    pub frames_sent: u64,
+    /// Frames folded away by write-side coalescing.
+    pub coalesced: u64,
+    /// Frames dropped by the bounded-queue overflow policy.
+    pub queue_dropped: u64,
+}
+
+impl OutLink {
+    pub fn new(stream: TcpStream) -> Self {
+        OutLink {
+            stream,
+            queue: VecDeque::new(),
+            written: 0,
+            paused: false,
+            severed: false,
+            dead: false,
+            frames_sent: 0,
+            coalesced: 0,
+            queue_dropped: 0,
+        }
+    }
+
+    /// Frames queued and not yet (fully) written.
+    pub fn queued(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Write queued frames as far as the socket accepts. A paused link
+    /// ships nothing; a severed link completes any half-written frame
+    /// (stream alignment) and discards the rest.
+    pub fn flush(&mut self) -> FlushOutcome {
+        let mut out = FlushOutcome::default();
+        if self.paused {
+            return out;
+        }
+        if self.severed || self.dead {
+            // Keep a partially-written frame only while the stream is
+            // still alive to finish it on heal; everything else drains.
+            let keep = usize::from(!self.dead && self.written > 0);
+            while self.queue.len() > keep {
+                self.queue.pop_back();
+                out.dropped += 1;
+            }
+            if self.dead {
+                self.written = 0;
+            }
+            return out;
+        }
+        while let Some(front) = self.queue.front() {
+            match self.stream.write(&front[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    if self.written == front.len() {
+                        out.frames += 1;
+                        out.bytes += front.len() as u64;
+                        self.frames_sent += 1;
+                        self.queue.pop_front();
+                        self.written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.dead {
+            out.dropped += self.queue.len() as u64;
+            self.queue.clear();
+            self.written = 0;
+        }
+        out
+    }
+
+    /// Fold queued `BatchEnvelope` frames for this destination into as
+    /// few frames as the `max_frame_bytes` cap allows. Entry order is
+    /// preserved exactly (a fold is concatenation of entry lists), and a
+    /// partially-written front frame is never touched. Returns the
+    /// number of frames folded away.
+    pub fn coalesce<K: Ord + WireEncode>(&mut self, max_frame_bytes: usize) -> u64 {
+        let skip = usize::from(self.written > 0);
+        let folded = coalesce_frames::<K>(&mut self.queue, skip, max_frame_bytes);
+        self.coalesced += folded;
+        folded
+    }
+}
+
+/// The queue-level coalescing fold behind [`OutLink::coalesce`].
+///
+/// Adjacent batch frames merge greedily while a conservative size bound
+/// (`sum of payload sizes + slack ≤ cap`) holds; if a merged encoding
+/// still lands over the cap (it cannot, but the fallback keeps this
+/// correct-by-construction), the original frames are emitted unchanged.
+/// Non-batch or undecodable frames pass through as-is and break the
+/// current run.
+pub(crate) fn coalesce_frames<K: Ord + WireEncode>(
+    queue: &mut VecDeque<Vec<u8>>,
+    skip: usize,
+    max_frame_bytes: usize,
+) -> u64 {
+    if queue.len() < skip + 2 {
+        return 0;
+    }
+    let tail: Vec<Vec<u8>> = queue.split_off(skip).into();
+    let mut folded = 0u64;
+    // The in-progress run: decoded batches plus their original frames
+    // (the loss-less fallback if a merged encoding would overflow).
+    let mut run: Vec<(BatchEnvelope<K>, Vec<u8>)> = Vec::new();
+    let mut run_payload = 0usize;
+
+    fn emit<K: Ord + WireEncode>(
+        queue: &mut VecDeque<Vec<u8>>,
+        run: &mut Vec<(BatchEnvelope<K>, Vec<u8>)>,
+        max_frame_bytes: usize,
+        folded: &mut u64,
+    ) {
+        match run.len() {
+            0 => {}
+            1 => queue.push_back(run.pop().expect("run of one").1),
+            n => {
+                let mut merged = BatchEnvelope::new();
+                for (batch, _) in run.iter_mut() {
+                    merged.entries.append(&mut batch.entries);
+                }
+                let mut payload = Vec::with_capacity(1 + max_frame_bytes.min(1 << 16));
+                payload.push(TAG_BATCH);
+                merged.encode(&mut payload);
+                if payload.len() <= max_frame_bytes {
+                    queue.push_back(frame_bytes(&payload));
+                    *folded += (n - 1) as u64;
+                } else {
+                    for (_, frame) in run.drain(..) {
+                        queue.push_back(frame);
+                    }
+                }
+                run.clear();
+            }
+        }
+        run.clear();
+    }
+
+    for frame in tail {
+        let is_batch = frame.len() > LEN_PREFIX_BYTES && frame[LEN_PREFIX_BYTES] == TAG_BATCH;
+        let decoded = is_batch
+            .then(|| {
+                let mut input = &frame[LEN_PREFIX_BYTES + 1..];
+                BatchEnvelope::<K>::decode(&mut input)
+                    .ok()
+                    .filter(|_| input.is_empty())
+            })
+            .flatten();
+        match decoded {
+            Some(batch) => {
+                let payload_len = frame.len() - LEN_PREFIX_BYTES;
+                // Conservative: a merged encoding is at most the sum of
+                // its parts plus varint growth of the entry count.
+                if !run.is_empty() && run_payload + payload_len + 16 > max_frame_bytes {
+                    emit(queue, &mut run, max_frame_bytes, &mut folded);
+                    run_payload = 0;
+                }
+                run_payload += payload_len;
+                run.push((batch, frame));
+            }
+            None => {
+                emit(queue, &mut run, max_frame_bytes, &mut folded);
+                run_payload = 0;
+                queue.push_back(frame);
+            }
+        }
+    }
+    emit(queue, &mut run, max_frame_bytes, &mut folded);
+    folded
+}
+
+/// A scheduler deadline the reactor's timer wheel fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// Run one anti-entropy sync step.
+    Sync,
+    /// Prune causally stable metadata (`StoreReplica::compact`).
+    Compact,
+}
+
+/// The reactor's timer wheel: a handful of periodic deadlines polled by
+/// worker 0 each sweep. With single-digit timers a sorted scan *is* the
+/// wheel — no hashing, no slots, deterministic firing order.
+#[derive(Debug, Default)]
+pub(crate) struct TimerWheel {
+    timers: Vec<(TimerKind, Duration, Instant)>,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Register a periodic timer; first firing one `period` after `now`.
+    pub fn register(&mut self, kind: TimerKind, period: Duration, now: Instant) {
+        self.timers.push((kind, period, now + period));
+    }
+
+    /// Collect every due timer into `due`, advancing each next deadline
+    /// past `now` (a stalled worker fires a missed timer once, it does
+    /// not replay the backlog).
+    pub fn poll(&mut self, now: Instant, due: &mut Vec<TimerKind>) {
+        for (kind, period, next) in &mut self.timers {
+            if *next <= now {
+                due.push(*kind);
+                while *next <= now {
+                    *next += *period;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::read_frame;
+    use crdt_lattice::ReplicaId;
+    use crdt_sync::{ProtocolKind, WireAccounting, WireEnvelope};
+    use std::net::{TcpListener, TcpStream};
+
+    fn envelope(payload: Vec<u8>) -> WireEnvelope {
+        WireEnvelope {
+            from: ReplicaId(0),
+            to: ReplicaId(1),
+            kind: ProtocolKind::BpRr,
+            payload: payload.into(),
+            accounting: WireAccounting::default(),
+        }
+    }
+
+    fn batch_frame(keys: &[u64]) -> Vec<u8> {
+        let mut batch = BatchEnvelope::<u64>::new();
+        for &k in keys {
+            batch.push(k, envelope(vec![k as u8; 4]));
+        }
+        let mut payload = vec![TAG_BATCH];
+        batch.encode(&mut payload);
+        frame_bytes(&payload)
+    }
+
+    fn decode_frame(frame: &[u8]) -> BatchEnvelope<u64> {
+        let mut input = &frame[LEN_PREFIX_BYTES + 1..];
+        BatchEnvelope::<u64>::decode(&mut input).unwrap()
+    }
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dialed = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (dialed, accepted)
+    }
+
+    #[test]
+    fn coalesce_folds_a_run_into_one_frame_preserving_entry_order() {
+        let mut queue: VecDeque<Vec<u8>> = vec![
+            batch_frame(&[1, 2]),
+            batch_frame(&[3]),
+            batch_frame(&[4, 5]),
+        ]
+        .into_iter()
+        .collect();
+        let folded = coalesce_frames::<u64>(&mut queue, 0, 1 << 20);
+        assert_eq!(folded, 2);
+        assert_eq!(queue.len(), 1);
+        let merged = decode_frame(&queue[0]);
+        let keys: Vec<u64> = merged.entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn coalesce_respects_the_frame_cap_and_the_skip_prefix() {
+        let one = batch_frame(&[1]);
+        let payload_len = one.len() - LEN_PREFIX_BYTES;
+        // Cap sized so two single-entry batches fit merged, three don't.
+        let cap = payload_len * 2 + 16;
+        let mut queue: VecDeque<Vec<u8>> = vec![
+            batch_frame(&[1]),
+            batch_frame(&[2]),
+            batch_frame(&[3]),
+            batch_frame(&[4]),
+        ]
+        .into_iter()
+        .collect();
+        // Index 0 is partially written: must stay untouched.
+        let folded = coalesce_frames::<u64>(&mut queue, 1, cap);
+        assert_eq!(folded, 1, "only one pair fits under the cap");
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue[0], batch_frame(&[1]), "skipped frame untouched");
+        let merged = decode_frame(&queue[1]);
+        let keys: Vec<u64> = merged.entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3]);
+        for frame in queue.iter().skip(1) {
+            assert!(frame.len() - LEN_PREFIX_BYTES <= cap);
+        }
+    }
+
+    #[test]
+    fn coalesce_passes_foreign_frames_through_unchanged() {
+        let foreign = frame_bytes(&[0xEE, 1, 2, 3]);
+        let mut queue: VecDeque<Vec<u8>> = vec![
+            batch_frame(&[1]),
+            foreign.clone(),
+            batch_frame(&[2]),
+            batch_frame(&[3]),
+        ]
+        .into_iter()
+        .collect();
+        let folded = coalesce_frames::<u64>(&mut queue, 0, 1 << 20);
+        assert_eq!(folded, 1, "only the run after the foreign frame folds");
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue[1], foreign);
+    }
+
+    #[test]
+    fn outlink_flush_ships_in_order_and_severed_discards() {
+        let (dialed, accepted) = socket_pair();
+        dialed.set_nonblocking(true).unwrap();
+        let mut link = OutLink::new(dialed);
+        link.queue.push_back(frame_bytes(b"one"));
+        link.queue.push_back(frame_bytes(b"two"));
+        let out = link.flush();
+        assert_eq!(out.frames, 2);
+        assert_eq!(link.frames_sent, 2);
+        let mut pool = BufferPool::new();
+        let mut reader = accepted;
+        assert_eq!(
+            read_frame(&mut reader, 64, &mut pool).unwrap().unwrap(),
+            b"one"[..]
+        );
+        assert_eq!(
+            read_frame(&mut reader, 64, &mut pool).unwrap().unwrap(),
+            b"two"[..]
+        );
+        // Paused: nothing moves. Severed: the queue drains as drops.
+        link.paused = true;
+        link.queue.push_back(frame_bytes(b"parked"));
+        assert_eq!(link.flush(), FlushOutcome::default());
+        link.paused = false;
+        link.severed = true;
+        let out = link.flush();
+        assert_eq!(out.dropped, 1);
+        assert!(link.queue.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_fires_on_schedule_without_replaying_backlog() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new();
+        wheel.register(TimerKind::Sync, Duration::from_millis(10), start);
+        wheel.register(TimerKind::Compact, Duration::from_millis(25), start);
+        let mut due = Vec::new();
+        wheel.poll(start + Duration::from_millis(9), &mut due);
+        assert!(due.is_empty());
+        wheel.poll(start + Duration::from_millis(10), &mut due);
+        assert_eq!(due, vec![TimerKind::Sync]);
+        due.clear();
+        // A stalled worker waking late fires each timer once, with the
+        // next deadlines pushed past `now`.
+        wheel.poll(start + Duration::from_millis(60), &mut due);
+        assert_eq!(due, vec![TimerKind::Sync, TimerKind::Compact]);
+        due.clear();
+        wheel.poll(start + Duration::from_millis(69), &mut due);
+        assert!(due.is_empty());
+    }
+}
