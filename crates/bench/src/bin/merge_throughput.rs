@@ -1,0 +1,75 @@
+//! Flat dot-store hot-loop benchmarks with a machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin merge_throughput -- --quick
+//! cargo run --release -p crdt-bench --bin merge_throughput -- \
+//!     --out BENCH_merge.json \
+//!     --baseline ci/bench-baseline/BENCH_merge.json --tolerance 0.25
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — CI scale (one 1 024-element size point) instead of the
+//!   full 1 K/8 K/64 K ladder.
+//! * `--out <path>` — where to write the JSON report
+//!   (default `BENCH_merge.json`).
+//! * `--baseline <path>` — compare against a checked-in report; any
+//!   gated allocation count more than `--tolerance` (default `0.25`)
+//!   worse exits with status 1, listing the violations.
+//!
+//! Before any gate, the bin enforces the flat layout's reason to exist:
+//! joining an already-covered state and re-encoding an unmutated state
+//! — the steady-state loops of a converged cluster — must perform
+//! **zero** allocations.
+
+use crdt_bench::merge_throughput::{
+    assert_steady_state_alloc_free, check_regression, run_suite, write_report,
+};
+use crdt_bench::{flag_value, json::Json, Scale};
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_merge.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --tolerance must be a number, got {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let rows = run_suite(scale);
+    write_report(&out_path, &rows, scale == Scale::Quick)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} rows)", rows.len());
+
+    if let Err(violation) = assert_steady_state_alloc_free(&rows) {
+        eprintln!("FAIL: {violation}");
+        std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {baseline_path}: {e}"));
+        let current = crdt_bench::merge_throughput::report_to_json(&rows, scale == Scale::Quick);
+        let violations = check_regression(&current, &baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {baseline_path}: OK ({:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate vs {baseline_path}: FAILED");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -544,6 +544,7 @@ mod tests {
 pub mod codec_bench;
 pub mod experiments;
 pub mod json;
+pub mod merge_throughput;
 pub mod net_loopback;
 pub mod netload;
 pub mod repair_scaling;

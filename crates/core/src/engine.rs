@@ -26,6 +26,7 @@
 //! schedule and asserts identical lattice states and element counts. See
 //! `ARCHITECTURE.md` for when to use which.
 
+use core::cell::Cell;
 use core::fmt;
 use std::any::Any;
 use std::marker::PhantomData;
@@ -955,6 +956,12 @@ pub struct EngineAdapter<C: Crdt, P: Protocol<C>> {
     /// Construction parameters, retained so [`SyncEngine::reset`] can
     /// rebuild the wrapped protocol from scratch.
     params: Params,
+    /// `(mutation_epoch, hash)` memo for [`SyncEngine::state_hash`], valid
+    /// only for CRDTs reporting a [`Crdt::mutation_epoch`]: equal epochs
+    /// imply equal state, so the `Debug`-walk hash can be reused until the
+    /// state actually changes (convergence checks poll the hash far more
+    /// often than states mutate).
+    hash_cache: Cell<Option<(u64, u64)>>,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -990,6 +997,7 @@ impl<C: Crdt, P: Protocol<C>> EngineAdapter<C, P> {
             inner: P::new(id, params),
             model,
             params: *params,
+            hash_cache: Cell::new(None),
             _crdt: PhantomData,
         }
     }
@@ -1097,7 +1105,20 @@ where
     }
 
     fn state_hash(&self) -> u64 {
-        state_hash_of(self.inner.state())
+        let state = self.inner.state();
+        match state.mutation_epoch() {
+            Some(epoch) => {
+                if let Some((cached_epoch, hash)) = self.hash_cache.get() {
+                    if cached_epoch == epoch {
+                        return hash;
+                    }
+                }
+                let hash = state_hash_of(state);
+                self.hash_cache.set(Some((epoch, hash)));
+                hash
+            }
+            None => state_hash_of(state),
+        }
     }
 
     fn compact(&mut self) -> u64 {

@@ -9,11 +9,11 @@
 //! binary holds exactly one measuring test (parallel tests would bleed
 //! into each other's windows).
 
-use crdt_lattice::WireEncode;
+use crdt_lattice::{Lattice, WireEncode};
 use crdt_sync::{
     BatchEnvelope, Bytes, DeltaMsg, ProtocolKind, SbMsg, WireAccounting, WireEnvelope,
 };
-use crdt_types::GSet;
+use crdt_types::{AWSet, CausalContext, GSet, ORSetMap};
 
 #[global_allocator]
 static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
@@ -174,6 +174,80 @@ fn corrupt_frames_never_overallocate() {
     });
     assert!(r);
     assert_bounded("merkle/hostile-count", &huge_nodes, stats);
+
+    // Flat causal state frames: a multi-writer AWSet whose context
+    // carries cloud dots (deltas joined out of causal order) and a
+    // nested ORSetMap. Stamp a maximal varint over every position — the
+    // store count, any dot, the clock, the cloud count — and truncate at
+    // every point; the run-length guards must reject hostile claims
+    // *before* any proportional preallocation.
+    let mut producer = AWSet::<u64>::new();
+    let mut aw = AWSet::<u64>::new();
+    let aw_deltas: Vec<_> = (0..48)
+        .map(|i| producer.add(crdt_lattice::ReplicaId((i % 3) as u32), i))
+        .collect();
+    for i in [40usize, 20, 4, 0, 44, 8] {
+        aw.join_assign(aw_deltas[i].clone());
+    }
+    let mut map = ORSetMap::<u8, u16>::new();
+    for k in 0..8u8 {
+        for e in 0..4u16 {
+            let _ = map.add(crdt_lattice::ReplicaId(u32::from(k) % 3), k, e);
+        }
+    }
+    let _ = map.remove_elem(&3, &1);
+    let aw_frame = aw.to_bytes();
+    for pos in 0..aw_frame.len() {
+        let bad = stamp_varint(&aw_frame, pos);
+        let (result, stats) = testkit_alloc::measure(|| {
+            (
+                AWSet::<u64>::from_bytes(&bad).map(|s| s.to_bytes().len()),
+                CausalContext::from_bytes(&bad).is_err(),
+            )
+        });
+        std::hint::black_box(&result);
+        assert_bounded("causal-set/stamped", &bad, stats);
+    }
+    for cut in 0..aw_frame.len() {
+        let (result, stats) =
+            testkit_alloc::measure(|| AWSet::<u64>::from_bytes(&aw_frame[..cut]).is_err());
+        assert!(result, "strict prefix cannot decode");
+        assert_bounded("causal-set/truncated", &aw_frame[..cut], stats);
+    }
+    let map_frame = map.to_bytes();
+    for pos in 0..map_frame.len() {
+        let bad = stamp_varint(&map_frame, pos);
+        let (result, stats) = testkit_alloc::measure(|| {
+            ORSetMap::<u8, u16>::from_bytes(&bad).map(|m| m.to_bytes().len())
+        });
+        std::hint::black_box(&result);
+        assert_bounded("causal-map/stamped", &bad, stats);
+    }
+    for cut in 0..map_frame.len() {
+        let (result, stats) =
+            testkit_alloc::measure(|| ORSetMap::<u8, u16>::from_bytes(&map_frame[..cut]).is_err());
+        assert!(result, "strict prefix cannot decode");
+        assert_bounded("causal-map/truncated", &map_frame[..cut], stats);
+    }
+
+    // Tiny causal frames claiming 2^40 store entries / cloud dots.
+    let mut huge_causal = Vec::new();
+    crdt_lattice::codec::put_uvarint(&mut huge_causal, 1 << 40);
+    huge_causal.push(3);
+    let (r, stats) = testkit_alloc::measure(|| {
+        AWSet::<u64>::from_bytes(&huge_causal).is_err()
+            && ORSetMap::<u8, u16>::from_bytes(&huge_causal).is_err()
+    });
+    assert!(r);
+    assert_bounded("causal/hostile-store-count", &huge_causal, stats);
+    let mut huge_cloud = vec![0u8, 0u8]; // empty store, empty clock
+    crdt_lattice::codec::put_uvarint(&mut huge_cloud, 1 << 40);
+    let (r, stats) = testkit_alloc::measure(|| {
+        AWSet::<u64>::from_bytes(&huge_cloud).is_err()
+            && CausalContext::from_bytes(&huge_cloud[1..]).is_err()
+    });
+    assert!(r);
+    assert_bounded("causal/hostile-cloud-count", &huge_cloud, stats);
 
     // And against the envelope layer: a payload length claiming ~2^62.
     let env = WireEnvelope {

@@ -1,0 +1,191 @@
+//! Engine-level encode-cache and hash-cache battery.
+//!
+//! [`crdt_sync::SyncEngine::state_hash`] memoizes the `Debug`-walk hash
+//! against the flat state's mutation epoch, and the state itself caches
+//! its wire frame. A mutation through **any** erased entry point —
+//! `on_op`, `on_msg` (merge), `compact()`, `reset()`, `bootstrap_from()`
+//! — must leave both caches truthful: the served hash always equals a
+//! from-scratch [`state_hash_of`] of the live state, and the served
+//! frame always equals a structural encode. Runs against every
+//! [`ProtocolKind`].
+
+use crdt_lattice::{ReplicaId, WireEncode};
+use crdt_sync::{build_engine, state_hash_of, OpBytes, Params, ProtocolKind, SyncEngine};
+use crdt_types::{AWSet, AWSetOp};
+
+type Set = AWSet<u64>;
+
+fn engines(kind: ProtocolKind) -> Vec<Box<dyn SyncEngine>> {
+    let params = Params::new(3);
+    (0..3)
+        .map(|i| build_engine::<Set>(kind, ReplicaId(i), &params))
+        .collect()
+}
+
+/// The two cache invariants, checked against ground truth recomputed
+/// from the live state.
+fn assert_caches_truthful(engine: &dyn SyncEngine, what: &str) {
+    let state = engine
+        .state_any()
+        .downcast_ref::<Set>()
+        .expect("engine holds an AWSet<u64>");
+    assert_eq!(
+        engine.state_hash(),
+        state_hash_of(state),
+        "{what}: state_hash served a stale memo"
+    );
+    let bytes = state.to_bytes();
+    assert_eq!(
+        state.encode_frame().as_ref(),
+        bytes.as_slice(),
+        "{what}: cached frame diverged from to_bytes"
+    );
+    let decoded = Set::from_bytes(&bytes).expect("state bytes decode");
+    assert_eq!(
+        &decoded, state,
+        "{what}: served bytes describe a different state"
+    );
+}
+
+fn neighbors(ids: &[ReplicaId], me: usize) -> Vec<ReplicaId> {
+    ids.iter().copied().filter(|r| r.index() != me).collect()
+}
+
+/// Drive a full gossip round (sync everyone, deliver everything incl.
+/// replies), checking the caches after every message.
+fn gossip_round(nodes: &mut [Box<dyn SyncEngine>], ids: &[ReplicaId]) {
+    let mut inflight = Vec::new();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        inflight.extend(node.on_sync(&neighbors(ids, i)));
+        assert_caches_truthful(node.as_ref(), "after on_sync");
+    }
+    while let Some(env) = inflight.pop() {
+        let to = env.to.index();
+        let replies = nodes[to].on_msg(env).expect("protocol kind matches");
+        assert_caches_truthful(nodes[to].as_ref(), "after on_msg");
+        inflight.extend(replies);
+    }
+}
+
+fn converge(nodes: &mut [Box<dyn SyncEngine>], ids: &[ReplicaId]) {
+    for _ in 0..24 {
+        gossip_round(nodes, ids);
+        if nodes
+            .windows(2)
+            .all(|w| w[0].state_hash() == w[1].state_hash())
+        {
+            break;
+        }
+    }
+}
+
+/// Exercise every erased entry point under one protocol, asserting both
+/// caches after each.
+fn run_battery(kind: ProtocolKind) {
+    let ids = [ReplicaId(0), ReplicaId(1), ReplicaId(2)];
+    let mut nodes = engines(kind);
+
+    // Fresh engines: hash of bottom, cached or not, must be truthful.
+    for n in &nodes {
+        assert_caches_truthful(n.as_ref(), "fresh engine");
+    }
+    let fresh_hash = nodes[0].state_hash();
+
+    // on_op mutates; the memoized hash must follow.
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let before = node.state_hash();
+        node.on_op(&OpBytes::encode(&AWSetOp::Add(ids[i], i as u64)))
+            .expect("op decodes");
+        assert_caches_truthful(node.as_ref(), "after on_op");
+        assert_ne!(node.state_hash(), before, "on_op left a stale hash");
+    }
+
+    // on_msg merges remote deltas (checked inside the round), plus a
+    // remove racing the gossip.
+    gossip_round(&mut nodes, &ids);
+    nodes[1]
+        .on_op(&OpBytes::encode(&AWSetOp::<u64>::Remove(0)))
+        .expect("op decodes");
+    assert_caches_truthful(nodes[1].as_ref(), "after remove op");
+    converge(&mut nodes, &ids);
+    for n in &nodes {
+        assert_caches_truthful(n.as_ref(), "after convergence");
+    }
+    assert_eq!(nodes[0].state_hash(), nodes[1].state_hash());
+    assert_eq!(nodes[1].state_hash(), nodes[2].state_hash());
+
+    // compact() prunes protocol metadata, never lattice state: hash must
+    // stay truthful (and unchanged).
+    let before = nodes[0].state_hash();
+    let _ = nodes[0].compact();
+    assert_caches_truthful(nodes[0].as_ref(), "after compact");
+    assert_eq!(nodes[0].state_hash(), before, "compact changed the state");
+
+    // reset() returns to bottom: serving the pre-reset hash would be the
+    // classic stale-cache bug.
+    let pre_reset = nodes[2].state_hash();
+    nodes[2].reset();
+    assert_caches_truthful(nodes[2].as_ref(), "after reset");
+    assert_eq!(
+        nodes[2].state_hash(),
+        fresh_hash,
+        "reset engine must hash like a fresh one"
+    );
+    if pre_reset != fresh_hash {
+        assert_ne!(nodes[2].state_hash(), pre_reset, "reset served stale hash");
+    }
+
+    // bootstrap_from() adopts the source's state wholesale.
+    let (left, right) = nodes.split_at_mut(2);
+    right[0]
+        .bootstrap_from(left[0].as_ref())
+        .expect("same protocol and CRDT");
+    assert_caches_truthful(right[0].as_ref(), "after bootstrap_from");
+    assert_eq!(
+        right[0].state_hash(),
+        left[0].state_hash(),
+        "bootstrap target must hash like its source"
+    );
+
+    // set_system_size is metadata-only but goes through the same erased
+    // surface; caches must survive it too.
+    nodes[0].set_system_size(4);
+    assert_caches_truthful(nodes[0].as_ref(), "after set_system_size");
+}
+
+macro_rules! cache_battery {
+    ($name:ident, $kind:expr) => {
+        #[test]
+        fn $name() {
+            run_battery($kind);
+        }
+    };
+}
+
+cache_battery!(state_sync_caches, ProtocolKind::State);
+cache_battery!(classic_caches, ProtocolKind::Classic);
+cache_battery!(bp_caches, ProtocolKind::Bp);
+cache_battery!(rr_caches, ProtocolKind::Rr);
+cache_battery!(bp_rr_caches, ProtocolKind::BpRr);
+cache_battery!(scuttlebutt_caches, ProtocolKind::Scuttlebutt);
+cache_battery!(scuttlebutt_gc_caches, ProtocolKind::ScuttlebuttGc);
+cache_battery!(op_based_caches, ProtocolKind::OpBased);
+cache_battery!(acked_caches, ProtocolKind::Acked);
+
+/// The hash memo is an optimization, not a semantic: polling the hash
+/// between every mutation must observe exactly the from-scratch values.
+#[test]
+fn hash_poll_interleaved_with_mutation() {
+    let params = Params::new(2);
+    let mut e = build_engine::<Set>(ProtocolKind::BpRr, ReplicaId(0), &params);
+    for i in 0..32u64 {
+        // Poll twice (second hit is the memoized path)...
+        let h1 = e.state_hash();
+        assert_eq!(h1, e.state_hash());
+        // ...mutate, poll again: must move to the fresh truth.
+        e.on_op(&OpBytes::encode(&AWSetOp::Add(ReplicaId(0), i)))
+            .expect("op decodes");
+        let state = e.state_any().downcast_ref::<Set>().unwrap();
+        assert_eq!(e.state_hash(), state_hash_of(state));
+    }
+}

@@ -13,13 +13,13 @@
 //! `tests/corrupt_frame_alloc.rs`, which installs the counting
 //! allocator; CI runs both with a raised `PROPTEST_CASES`.
 
-use crdt_lattice::{ReplicaId, WireEncode};
+use crdt_lattice::{Lattice, ReplicaId, WireEncode};
 use crdt_sync::{
     AckedMsg, BatchEntries, BatchEnvelope, Bytes, ChildList, DeltaMsg, DivergentChildren,
     LeafRepair, OpMsg, ProtocolKind, RootDigest, SbMsg, WireAccounting, WireEnvelope,
     WireEnvelopeRef,
 };
-use crdt_types::GSet;
+use crdt_types::{AWSet, CausalContext, DWFlag, GSet, ORSetMap};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
@@ -102,6 +102,32 @@ fn decode_all_paths(bytes: &[u8]) {
     let _ = DivergentChildren::from_bytes(bytes);
     let _ = LeafRepair::<u64>::from_bytes(bytes);
     let _ = LeafRepair::<String>::from_bytes(bytes);
+
+    // Flat causal states: the run-length context plus each dot-store
+    // shape (sorted dot vector, dot-function, nested dot-map).
+    let _ = CausalContext::from_bytes(bytes);
+    let _ = AWSet::<u64>::from_bytes(bytes);
+    let _ = DWFlag::from_bytes(bytes);
+    let _ = ORSetMap::<u8, u16>::from_bytes(bytes);
+}
+
+/// Two representative flat causal frames: an [`AWSet`] whose context
+/// holds cloud dots (deltas joined out of causal order leave non-prefix
+/// runs), and a nested [`ORSetMap`] with live and removed entries.
+fn causal_frames() -> (Vec<u8>, Vec<u8>) {
+    let mut producer = AWSet::<u64>::new();
+    let deltas: Vec<_> = (0..6).map(|i| producer.add(ReplicaId(0), i)).collect();
+    let mut gappy = AWSet::<u64>::new();
+    gappy.join_assign(deltas[4].clone());
+    gappy.join_assign(deltas[2].clone());
+    gappy.join_assign(deltas[0].clone());
+
+    let mut map = ORSetMap::<u8, u16>::new();
+    let _ = map.add(ReplicaId(0), 1, 10);
+    let _ = map.add(ReplicaId(1), 1, 20);
+    let _ = map.add(ReplicaId(1), 2, 30);
+    let _ = map.remove_elem(&1, &10);
+    (gappy.to_bytes(), map.to_bytes())
 }
 
 /// A representative descent exchange: a two-node frontier frame plus a
@@ -214,6 +240,63 @@ proptest! {
         prop_assert!(ChildList::from_bytes(&dup).is_err(), "non-increasing child order");
         let root = RootDigest { epoch: 1, depth, root: h }.to_bytes();
         prop_assert!(RootDigest::from_bytes(&root).is_err(), "depth {depth} out of range");
+    }
+
+    #[test]
+    fn corrupted_causal_frames_never_panic(mutation in any::<u64>()) {
+        let (aw, map) = causal_frames();
+        decode_all_paths(&corrupt(aw, mutation));
+        decode_all_paths(&corrupt(map, mutation));
+    }
+
+    /// A strict prefix of a flat causal frame must always error: the
+    /// store count, every `(dot, value)` entry, the clock and the cloud
+    /// dots are all length-prefixed, so a half-frame can never satisfy
+    /// the trailing-bytes check.
+    #[test]
+    fn causal_truncations_always_error(cut in any::<u64>()) {
+        let (aw, map) = causal_frames();
+        let cut_at = |frame: &[u8]| (cut as usize) % frame.len();
+        prop_assert!(AWSet::<u64>::from_bytes(&aw[..cut_at(&aw)]).is_err());
+        prop_assert!(ORSetMap::<u8, u16>::from_bytes(&map[..cut_at(&map)]).is_err());
+    }
+
+    #[test]
+    fn causal_trailing_garbage_is_rejected(tail in pvec(any::<u8>(), 1..8)) {
+        let (aw, map) = causal_frames();
+        let mut aw_long = aw;
+        aw_long.extend_from_slice(&tail);
+        prop_assert_eq!(
+            AWSet::<u64>::from_bytes(&aw_long).unwrap_err(),
+            crdt_lattice::CodecError::TrailingBytes
+        );
+        let mut map_long = map;
+        map_long.extend_from_slice(&tail);
+        prop_assert_eq!(
+            ORSetMap::<u8, u16>::from_bytes(&map_long).unwrap_err(),
+            crdt_lattice::CodecError::TrailingBytes
+        );
+    }
+
+    /// Hostile run-length claims: tiny frames whose store count or
+    /// cloud-dot count claims up to 2^63 entries are rejected by the
+    /// remaining-input guard — whatever decoder they are fed to.
+    #[test]
+    fn hostile_causal_length_claims_are_rejected(claim in 16u64..(1 << 63)) {
+        // Store count first field.
+        let mut huge_store = Vec::new();
+        crdt_lattice::codec::put_uvarint(&mut huge_store, claim);
+        huge_store.push(7);
+        prop_assert!(AWSet::<u64>::from_bytes(&huge_store).is_err());
+        prop_assert!(ORSetMap::<u8, u16>::from_bytes(&huge_store).is_err());
+        // Empty store + empty clock, then a huge cloud-dot count.
+        let mut huge_cloud = vec![0u8, 0u8];
+        crdt_lattice::codec::put_uvarint(&mut huge_cloud, claim);
+        prop_assert!(AWSet::<u64>::from_bytes(&huge_cloud).is_err());
+        // Bare context: empty clock then the hostile cloud count.
+        let mut huge_ctx = vec![0u8];
+        crdt_lattice::codec::put_uvarint(&mut huge_ctx, claim);
+        prop_assert!(CausalContext::from_bytes(&huge_ctx).is_err());
     }
 
     #[test]

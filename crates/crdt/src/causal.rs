@@ -21,31 +21,49 @@
 //!   `Δ(a,b) = ⊔{ p ∈ ⇓a | p ⋢ b }` automatically ships exactly the new
 //!   events plus the removals the peer hasn't applied yet.
 //!
+//! ## Flat representation
+//!
+//! State is stored *flat*: the causal context is sorted, coalesced
+//! `(replica, start, len)` runs in one contiguous buffer
+//! ([`crate::flat::DotRuns`]) and the dot store is a dot-sorted
+//! `Vec<(Dot, V)>`. Joins and delta application are linear two-pointer
+//! merges preceded by a no-allocation change-detection scan, so joining
+//! an already-covered delta allocates nothing. Each state also carries a
+//! mutation epoch + cached wire frame ([`crate::flat::StateTag`]):
+//! encoding an unmutated state returns the cached `Bytes` frame instead
+//! of re-walking the state. The wire format is unchanged — the
+//! clock/cloud split of the nested representation is recomputed from the
+//! runs at encode time (a run starting at sequence 1 *is* a clock
+//! entry), byte for byte.
+//!
 //! Built on this: [`AWSet`] (add-wins set), [`EWFlag`] (enable-wins
 //! flag) and [`CCounter`] (a resettable causal counter). All three run
 //! unchanged under every synchronization protocol in `crdt-sync`,
 //! including BP+RR.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use crdt_lattice::{
-    Bottom, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize, VClock,
+    Bottom, Bytes, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize, VClock,
+    WireEncode,
 };
 
+use crate::flat::{DotRuns, StateTag};
 use crate::Crdt;
 
 // ---------------------------------------------------------------------------
 // Causal context
 // ---------------------------------------------------------------------------
 
-/// The set of all dots a replica has ever observed, stored compactly as a
-/// contiguous vector-clock prefix plus a "cloud" of out-of-band dots
-/// (deltas carry non-contiguous dots; compaction folds the cloud into the
-/// clock as gaps fill).
+/// The set of all dots a replica has ever observed, stored compactly as
+/// sorted, coalesced `(replica, start, len)` runs in one contiguous
+/// buffer. The wire format's vector-clock prefix / dot-cloud split is
+/// recomputed from the runs on encode (a run starting at sequence 1 is a
+/// clock entry; every other run expands to cloud dots), so the encoding
+/// is byte-identical to the nested representation this replaced.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CausalContext {
-    clock: VClock,
-    cloud: BTreeSet<Dot>,
+    runs: DotRuns,
 }
 
 impl CausalContext {
@@ -63,83 +81,80 @@ impl CausalContext {
 
     /// Has this dot been observed?
     pub fn contains(&self, dot: &Dot) -> bool {
-        self.clock.contains(dot) || self.cloud.contains(dot)
+        self.runs.contains(dot)
     }
 
-    /// Observe a dot (compacting the cloud opportunistically).
+    /// Observe a dot (coalescing runs opportunistically).
     pub fn insert(&mut self, dot: Dot) -> bool {
-        if self.contains(&dot) {
-            return false;
-        }
-        if dot.seq == self.clock.get(dot.replica) + 1 {
-            self.clock.observe(dot);
-            self.compact(dot.replica);
-        } else {
-            self.cloud.insert(dot);
-        }
-        true
-    }
-
-    /// Fold contiguous cloud dots of `replica` into the clock.
-    fn compact(&mut self, replica: ReplicaId) {
-        let mut next = self.clock.get(replica) + 1;
-        while self.cloud.remove(&Dot::new(replica, next)) {
-            self.clock.observe(Dot::new(replica, next));
-            next += 1;
-        }
+        self.runs.insert(dot)
     }
 
     /// The next fresh dot for `replica` (used by mutators at the owning
     /// replica, whose own history is always contiguous).
     pub fn next_dot(&mut self, replica: ReplicaId) -> Dot {
-        let dot = Dot::new(replica, self.clock.get(replica) + 1);
+        let dot = Dot::new(replica, self.runs.prefix_end(replica) + 1);
         self.insert(dot);
         dot
     }
 
     /// Number of observed dots.
     pub fn len(&self) -> u64 {
-        self.clock.iter().map(|(_, s)| s).sum::<u64>() + self.cloud.len() as u64
+        self.runs.len()
     }
 
     /// Is the context empty?
     pub fn is_empty(&self) -> bool {
-        self.clock.is_empty() && self.cloud.is_empty()
+        self.runs.is_empty()
     }
 
-    /// Iterate every observed dot (clock ranges then cloud).
+    /// Iterate every observed dot (clock prefixes then cloud dots — the
+    /// historical nested-representation order).
     pub fn iter(&self) -> impl Iterator<Item = Dot> + '_ {
-        self.clock
+        let expand = |r: &crate::flat::DotRun| {
+            let replica = r.replica;
+            (r.start..=r.end()).map(move |s| Dot::new(replica, s))
+        };
+        self.runs
+            .runs()
             .iter()
-            .flat_map(|(r, s)| (1..=s).map(move |q| Dot::new(r, q)))
-            .chain(self.cloud.iter().copied())
+            .filter(|r| r.start == 1)
+            .flat_map(expand)
+            .chain(
+                self.runs
+                    .runs()
+                    .iter()
+                    .filter(|r| r.start != 1)
+                    .flat_map(expand),
+            )
     }
 
-    /// Set inclusion.
+    /// Set inclusion. A linear two-pointer scan over both run lists;
+    /// never allocates.
     pub fn subset_of(&self, other: &CausalContext) -> bool {
-        self.clock.iter().all(|(r, s)| {
-            let covered = other.clock.get(r);
-            covered >= s || ((covered + 1)..=s).all(|q| other.cloud.contains(&Dot::new(r, q)))
-        }) && self.cloud.iter().all(|d| other.contains(d))
+        self.runs.subset_of(&other.runs)
     }
 
-    /// Union with `other`; returns `true` if this context grew.
+    /// Union with `other`; returns `true` if this context grew. The
+    /// already-covered case is a no-allocation subset scan.
     pub fn union(&mut self, other: &CausalContext) -> bool {
-        let mut grew = false;
-        for (r, s) in other.clock.iter() {
-            for q in (self.clock.get(r) + 1)..=s {
-                grew |= self.insert(Dot::new(r, q));
-            }
-        }
-        for d in &other.cloud {
-            grew |= self.insert(*d);
-        }
-        grew
+        self.runs.union(&other.runs)
     }
 
-    /// Wire size: clock entries + cloud dots.
+    /// Wire size: clock entries + cloud dots (same model as the nested
+    /// representation: one `(id, seq)` entry per contiguous prefix, one
+    /// vector entry per out-of-band dot).
     pub fn size_bytes(&self, model: &SizeModel) -> u64 {
-        self.clock.size_bytes(model) + self.cloud.len() as u64 * model.vector_entry_bytes()
+        self.runs
+            .runs()
+            .iter()
+            .map(|r| {
+                if r.start == 1 {
+                    model.id_bytes + 8
+                } else {
+                    r.len * model.vector_entry_bytes()
+                }
+            })
+            .sum()
     }
 }
 
@@ -147,36 +162,105 @@ impl CausalContext {
 // The causal lattice
 // ---------------------------------------------------------------------------
 
+/// Insert `(dot, v)` into a dot-sorted entry vector, replacing any
+/// existing entry for the same dot (a dot uniquely determines its value,
+/// so replacement only matters for hostile decoded input).
+fn insert_entry<V>(store: &mut Vec<(Dot, V)>, dot: Dot, v: V) {
+    match store.binary_search_by(|(d, _)| d.cmp(&dot)) {
+        Ok(i) => store[i].1 = v,
+        Err(i) => store.insert(i, (dot, v)),
+    }
+}
+
 /// A dot store paired with a causal context: the state shape of every
 /// causal CRDT here. `V` is plain payload data (a dot uniquely determines
 /// its value for the lifetime of the system).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Live entries are a dot-sorted `Vec<(Dot, V)>` — iteration order and
+/// wire bytes match the `BTreeMap` this replaced. The state carries a
+/// mutation epoch and cached encoded frame (excluded from equality,
+/// ordering, hashing and `Debug`): any data-changing mutation
+/// invalidates the frame, and encoding an unmutated state reuses it.
+#[derive(Clone)]
 pub struct DotStore<V: Ord> {
-    store: BTreeMap<Dot, V>,
+    store: Vec<(Dot, V)>,
     ctx: CausalContext,
+    tag: StateTag,
 }
 
 impl<V: Ord> Default for DotStore<V> {
     fn default() -> Self {
         DotStore {
-            store: BTreeMap::new(),
+            store: Vec::new(),
             ctx: CausalContext::default(),
+            tag: StateTag::default(),
         }
+    }
+}
+
+impl<V: Ord + core::fmt::Debug> core::fmt::Debug for DotStore<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The tag (epoch + frame cache) is process-local bookkeeping:
+        // keeping it out of `Debug` keeps `Debug`-derived state hashes
+        // equal across converged replicas.
+        f.debug_struct("DotStore")
+            .field("store", &self.store)
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+impl<V: Ord> PartialEq for DotStore<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store && self.ctx == other.ctx
+    }
+}
+
+impl<V: Ord> Eq for DotStore<V> {}
+
+impl<V: Ord> PartialOrd for DotStore<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: Ord> Ord for DotStore<V> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (&self.store, &self.ctx).cmp(&(&other.store, &other.ctx))
+    }
+}
+
+impl<V: Ord + core::hash::Hash> core::hash::Hash for DotStore<V> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.store.hash(state);
+        self.ctx.hash(state);
+    }
+}
+
+impl<V: Ord> DotStore<V> {
+    /// The state's process-local mutation epoch. Any data-changing
+    /// mutation bumps it to a process-unique value; clones share their
+    /// original's epoch (equal epochs imply equal data). Used to key
+    /// external caches (encoded frames, state hashes).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.tag.epoch()
+    }
+
+    /// Dot-sorted lookup of a live dot.
+    fn has_dot(&self, d: &Dot) -> bool {
+        self.store.binary_search_by(|(sd, _)| sd.cmp(d)).is_ok()
     }
 }
 
 impl<V: Ord + Clone + core::fmt::Debug> DotStore<V> {
     /// An empty causal state.
     pub fn new() -> Self {
-        DotStore {
-            store: BTreeMap::new(),
-            ctx: CausalContext::new(),
-        }
+        Self::default()
     }
 
     /// Live entries, in dot order.
     pub fn entries(&self) -> impl Iterator<Item = (&Dot, &V)> {
-        self.store.iter()
+        self.store.iter().map(|(d, v)| (d, v))
     }
 
     /// Number of live entries.
@@ -199,22 +283,27 @@ impl<V: Ord + Clone + core::fmt::Debug> DotStore<V> {
         kill: impl Fn(&Dot, &V) -> bool,
     ) -> Self {
         let mut delta = Self::new();
+        let mut changed = false;
         // Cover superseded dots in the delta context (removal news).
-        let dead: Vec<Dot> = self
-            .store
-            .iter()
-            .filter(|(d, v)| kill(d, v))
-            .map(|(d, _)| *d)
-            .collect();
-        for d in dead {
-            self.store.remove(&d);
-            delta.ctx.insert(d);
-        }
+        self.store.retain(|(d, v)| {
+            if kill(d, v) {
+                delta.ctx.insert(*d);
+                changed = true;
+                false
+            } else {
+                true
+            }
+        });
         if let Some(v) = value {
             let dot = self.ctx.next_dot(replica);
-            self.store.insert(dot, v.clone());
-            delta.store.insert(dot, v);
+            insert_entry(&mut self.store, dot, v.clone());
+            insert_entry(&mut delta.store, dot, v);
             delta.ctx.insert(dot);
+            changed = true;
+        }
+        if changed {
+            self.tag.note_mutation();
+            delta.tag.note_mutation();
         }
         delta
     }
@@ -222,24 +311,63 @@ impl<V: Ord + Clone + core::fmt::Debug> DotStore<V> {
 
 impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
     fn join_assign(&mut self, other: Self) -> bool {
-        let mut changed = false;
-        // Drop my live dots the peer has already seen die.
-        let ours: Vec<Dot> = self.store.keys().copied().collect();
-        for d in ours {
-            if !other.store.contains_key(&d) && other.ctx.contains(&d) {
-                self.store.remove(&d);
-                changed = true;
+        // Pass 1 — no-allocation change detection. Joining an
+        // already-covered delta (the steady state of every sync
+        // protocol) ends here without touching the heap.
+        let drops = self
+            .store
+            .iter()
+            .any(|(d, _)| !other.has_dot(d) && other.ctx.contains(d));
+        let adds = other
+            .store
+            .iter()
+            .any(|(d, _)| !self.has_dot(d) && !self.ctx.contains(d));
+        if !drops && !adds && other.ctx.subset_of(&self.ctx) {
+            return false;
+        }
+        // Pass 2 — linear two-pointer merge into one pre-sized buffer.
+        let mut merged = Vec::with_capacity(self.store.len() + other.store.len());
+        let mut mine = std::mem::take(&mut self.store).into_iter().peekable();
+        let mut theirs = other.store.into_iter().peekable();
+        loop {
+            let take_mine = match (mine.peek(), theirs.peek()) {
+                (Some((md, _)), Some((td, _))) => match md.cmp(td) {
+                    core::cmp::Ordering::Less => Some(true),
+                    core::cmp::Ordering::Greater => Some(false),
+                    core::cmp::Ordering::Equal => {
+                        // Live on both sides: survives the join.
+                        merged.push(mine.next().expect("peeked"));
+                        theirs.next();
+                        continue;
+                    }
+                },
+                (Some(_), None) => Some(true),
+                (None, Some(_)) => Some(false),
+                (None, None) => None,
+            };
+            match take_mine {
+                // Only I hold it live: keep unless the peer saw it die.
+                Some(true) => {
+                    let (d, v) = mine.next().expect("peeked");
+                    if !other.ctx.contains(&d) {
+                        merged.push((d, v));
+                    }
+                }
+                // Only the peer holds it live: adopt unless I saw it die
+                // (checked against my pre-union context).
+                Some(false) => {
+                    let (d, v) = theirs.next().expect("peeked");
+                    if !self.ctx.contains(&d) {
+                        merged.push((d, v));
+                    }
+                }
+                None => break,
             }
         }
-        // Adopt peer dots I have not yet heard of.
-        for (d, v) in other.store {
-            if !self.store.contains_key(&d) && !self.ctx.contains(&d) {
-                self.store.insert(d, v);
-                changed = true;
-            }
-        }
-        changed |= self.ctx.union(&other.ctx);
-        changed
+        self.store = merged;
+        self.ctx.union(&other.ctx);
+        self.tag.note_mutation();
+        true
     }
 
     fn leq(&self, other: &Self) -> bool {
@@ -248,8 +376,8 @@ impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
         self.ctx.subset_of(&other.ctx)
             && other
                 .store
-                .keys()
-                .all(|d| self.store.contains_key(d) || !self.ctx.contains(d))
+                .iter()
+                .all(|(d, _)| self.has_dot(d) || !self.ctx.contains(d))
     }
 }
 
@@ -268,15 +396,17 @@ impl<V: Ord + Clone + core::fmt::Debug> Decompose for DotStore<V> {
         // Live parts: ({d ↦ v}, {d}).
         for (d, v) in &self.store {
             let mut part = Self::new();
-            part.store.insert(*d, v.clone());
+            part.store.push((*d, v.clone()));
             part.ctx.insert(*d);
+            part.tag = StateTag::fresh();
             f(part);
         }
         // Dead parts: (∅, {d}) for context-only dots.
         for d in self.ctx.iter() {
-            if !self.store.contains_key(&d) {
+            if !self.has_dot(&d) {
                 let mut part = Self::new();
                 part.ctx.insert(d);
+                part.tag = StateTag::fresh();
                 f(part);
             }
         }
@@ -295,17 +425,17 @@ impl<V: Ord + Clone + core::fmt::Debug> Decompose for DotStore<V> {
         let mut d = Self::new();
         for (dot, v) in &self.store {
             if !other.ctx.contains(dot) {
-                d.store.insert(*dot, v.clone());
+                // Visited in dot order, so plain pushes stay sorted.
+                d.store.push((*dot, v.clone()));
                 d.ctx.insert(*dot);
             }
         }
         for dot in self.ctx.iter() {
-            if !self.store.contains_key(&dot)
-                && (!other.ctx.contains(&dot) || other.store.contains_key(&dot))
-            {
+            if !self.has_dot(&dot) && (!other.ctx.contains(&dot) || other.has_dot(&dot)) {
                 d.ctx.insert(dot);
             }
         }
+        d.tag = StateTag::fresh();
         d
     }
 
@@ -314,34 +444,110 @@ impl<V: Ord + Clone + core::fmt::Debug> Decompose for DotStore<V> {
     }
 }
 
-impl crdt_lattice::WireEncode for CausalContext {
+impl WireEncode for CausalContext {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.clock.encode(out);
-        self.cloud.encode(out);
+        // Clock: one `(replica, end)` entry per prefix run, in replica
+        // order — exactly the nested representation's `VClock` encoding.
+        let runs = self.runs.runs();
+        let clock_entries = runs.iter().filter(|r| r.start == 1).count() as u64;
+        clock_entries.encode(out);
+        for r in runs.iter().filter(|r| r.start == 1) {
+            r.replica.encode(out);
+            r.end().encode(out);
+        }
+        // Cloud: every non-prefix dot, in (replica, seq) order — exactly
+        // the nested `BTreeSet<Dot>` encoding.
+        let cloud_dots: u64 = runs.iter().filter(|r| r.start != 1).map(|r| r.len).sum();
+        cloud_dots.encode(out);
+        for r in runs.iter().filter(|r| r.start != 1) {
+            for s in r.start..=r.end() {
+                Dot::new(r.replica, s).encode(out);
+            }
+        }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
-        Ok(CausalContext {
-            clock: crdt_lattice::VClock::decode(input)?,
-            cloud: std::collections::BTreeSet::<Dot>::decode(input)?,
-        })
+        // The clock decodes through `VClock` (which drops zero entries,
+        // like the nested representation's map join did), then becomes
+        // prefix runs directly — its entries arrive replica-sorted.
+        let clock = VClock::decode(input)?;
+        let mut runs = DotRuns::new();
+        for (r, s) in clock.iter() {
+            if s >= 1 {
+                runs.push_prefix_run(r, s);
+            }
+        }
+        let mut ctx = CausalContext { runs };
+        // Cloud: same hostile-length guard as `BTreeSet<Dot>` — a
+        // claimed count can never exceed the remaining input.
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(crdt_lattice::CodecError::UnexpectedEnd);
+        }
+        for _ in 0..len {
+            ctx.insert(Dot::decode(input)?);
+        }
+        Ok(ctx)
     }
 }
 
-impl<V> crdt_lattice::WireEncode for DotStore<V>
+impl<V: Ord + WireEncode> DotStore<V> {
+    /// The structural (cache-bypassing) encoding: `BTreeMap<Dot, V>`
+    /// shape for the live entries, then the context.
+    fn encode_structural(&self, out: &mut Vec<u8>) {
+        (self.store.len() as u64).encode(out);
+        for (d, v) in &self.store {
+            d.encode(out);
+            v.encode(out);
+        }
+        self.ctx.encode(out);
+    }
+}
+
+impl<V> WireEncode for DotStore<V>
 where
-    V: Ord + crdt_lattice::WireEncode,
+    V: Ord + WireEncode,
 {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.store.encode(out);
-        self.ctx.encode(out);
+        // Unmutated since the last encode: splice the cached frame in.
+        if let Some(frame) = self.tag.cached() {
+            out.extend_from_slice(&frame);
+            return;
+        }
+        let start = out.len();
+        self.encode_structural(out);
+        self.tag.store(Bytes::copy_from_slice(&out[start..]));
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(crdt_lattice::CodecError::UnexpectedEnd);
+        }
+        let mut store: Vec<(Dot, V)> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let d = Dot::decode(input)?;
+            let v = V::decode(input)?;
+            // Hostile input may be unsorted or duplicated; normalize like
+            // the `BTreeMap` decode this mirrors.
+            insert_entry(&mut store, d, v);
+        }
         Ok(DotStore {
-            store: BTreeMap::<Dot, V>::decode(input)?,
+            store,
             ctx: CausalContext::decode(input)?,
+            tag: StateTag::fresh(),
         })
+    }
+
+    fn encode_frame(&self) -> Bytes {
+        if let Some(frame) = self.tag.cached() {
+            return frame;
+        }
+        let mut out = Vec::new();
+        self.encode_structural(&mut out);
+        let frame = Bytes::from(out);
+        self.tag.store(frame.clone());
+        frame
     }
 }
 
@@ -420,12 +626,12 @@ impl<E: Ord + Clone + core::fmt::Debug> AWSet<E> {
 
     /// Membership test.
     pub fn contains(&self, e: &E) -> bool {
-        self.0.store.values().any(|v| v == e)
+        self.0.store.iter().any(|(_, v)| v == e)
     }
 
     /// Distinct visible elements, in order.
     pub fn elements(&self) -> BTreeSet<&E> {
-        self.0.store.values().collect()
+        self.0.store.iter().map(|(_, v)| v).collect()
     }
 
     /// Number of distinct visible elements.
@@ -452,7 +658,7 @@ impl<E: Ord + Clone + core::fmt::Debug + Sizeable> Crdt for AWSet<E> {
     }
 
     fn value(&self) -> BTreeSet<E> {
-        self.0.store.values().cloned().collect()
+        self.0.store.iter().map(|(_, v)| v.clone()).collect()
     }
 
     fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64 {
@@ -461,6 +667,10 @@ impl<E: Ord + Clone + core::fmt::Debug + Sizeable> Crdt for AWSet<E> {
             AWSetOp::Remove(e) => e.payload_bytes(model),
             AWSetOp::Clear => 1,
         }
+    }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
     }
 }
 
@@ -531,6 +741,10 @@ impl Crdt for EWFlag {
             EWFlagOp::Disable => 1,
         }
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -589,7 +803,7 @@ impl CCounter {
 
     /// The counter value: the sum of visible contributions.
     pub fn total(&self) -> i64 {
-        self.0.store.values().sum()
+        self.0.store.iter().map(|(_, v)| *v).sum()
     }
 }
 
@@ -614,6 +828,10 @@ impl Crdt for CCounter {
             CCounterOp::Reset => 1,
         }
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -634,12 +852,13 @@ mod tests {
     #[test]
     fn context_compacts_contiguous_dots() {
         let mut c = CausalContext::new();
-        c.insert(Dot::new(A, 2)); // gap: goes to the cloud
-        c.insert(Dot::new(A, 1)); // fills the gap: both compact
+        c.insert(Dot::new(A, 2)); // gap: its own run
+        c.insert(Dot::new(A, 1)); // fills the gap: runs coalesce
         assert!(c.contains(&Dot::new(A, 1)));
         assert!(c.contains(&Dot::new(A, 2)));
         assert_eq!(c.len(), 2);
-        assert!(c.cloud.is_empty(), "cloud folded into the clock");
+        assert_eq!(c.runs.runs().len(), 1, "runs coalesced into one prefix");
+        assert_eq!(c.runs.prefix_end(A), 2);
     }
 
     #[test]
@@ -664,6 +883,26 @@ mod tests {
         let dots: BTreeSet<Dot> = c.iter().collect();
         assert_eq!(dots.len(), 3);
         assert!(dots.contains(&Dot::new(B, 5)));
+    }
+
+    #[test]
+    fn context_encode_splits_clock_and_cloud() {
+        // The wire format is the nested representation's: a vector clock
+        // of contiguous prefixes, then the out-of-band dots as a sorted
+        // set. Build the same context both ways and compare bytes.
+        let mut c = CausalContext::new();
+        c.insert(Dot::new(A, 1));
+        c.insert(Dot::new(A, 2));
+        c.insert(Dot::new(A, 4)); // cloud: gap at 3
+        c.insert(Dot::new(B, 7)); // cloud: no prefix for B
+        let mut expected = Vec::new();
+        let clock: VClock = [(A, 2u64)].into_iter().collect();
+        clock.encode(&mut expected);
+        let cloud: BTreeSet<Dot> = [Dot::new(A, 4), Dot::new(B, 7)].into_iter().collect();
+        cloud.encode(&mut expected);
+        assert_eq!(c.to_bytes(), expected);
+        let back = CausalContext::from_bytes(&c.to_bytes()).expect("roundtrip");
+        assert_eq!(back, c);
     }
 
     // -- AWSet semantics ----------------------------------------------------
@@ -879,5 +1118,47 @@ mod tests {
         let dead = parts.iter().filter(|p| p.0.store.is_empty()).count();
         assert_eq!((live, dead), (1, 1));
         assert!(parts.iter().all(Decompose::is_irreducible));
+    }
+
+    // -- mutation epochs + cached frames ------------------------------------
+
+    #[test]
+    fn epoch_tracks_data_changes_only() {
+        let mut s = AWSet::new();
+        assert_eq!(s.0.mutation_epoch(), 0, "fresh bottom is epoch 0");
+        let d = s.add(A, 1u32);
+        let e1 = s.0.mutation_epoch();
+        assert_ne!(e1, 0);
+        assert_ne!(d.0.mutation_epoch(), 0, "deltas carry their own epoch");
+        // Joining an already-covered delta changes nothing: same epoch.
+        s.join_assign(d.clone());
+        assert_eq!(s.0.mutation_epoch(), e1);
+        // A real change bumps it.
+        let _ = s.add(B, 2u32);
+        assert_ne!(s.0.mutation_epoch(), e1);
+        // Clones share the epoch (they hold the same data).
+        let c = s.clone();
+        assert_eq!(c.0.mutation_epoch(), s.0.mutation_epoch());
+    }
+
+    #[test]
+    fn cached_frame_matches_structural_encode() {
+        let mut s = AWSet::new();
+        let _ = s.add(A, 1u32);
+        let _ = s.add(B, 2u32);
+        let frame = s.encode_frame();
+        // Second encode hits the cache; bytes identical either way.
+        assert_eq!(frame, s.encode_frame());
+        assert_eq!(frame, s.to_bytes());
+        let mut structural = Vec::new();
+        s.0.encode_structural(&mut structural);
+        assert_eq!(frame, structural);
+        // Mutation invalidates: the new frame reflects the new state.
+        let _ = s.remove(&1);
+        let fresh = s.encode_frame();
+        assert_ne!(fresh, frame);
+        let mut structural = Vec::new();
+        s.0.encode_structural(&mut structural);
+        assert_eq!(fresh, structural);
     }
 }

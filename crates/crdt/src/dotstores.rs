@@ -17,6 +17,19 @@
 //! recursion on the store shape: a dot survives the join iff it is live
 //! on both sides, or live on one side and *unseen* by the other.
 //!
+//! ## Flat representation
+//!
+//! Every store in the algebra is flat: [`DotSet`] is sorted, coalesced
+//! dot runs in one buffer ([`crate::flat::DotRuns`]), [`DotFun`] a
+//! dot-sorted `Vec<(Dot, V)>`, [`DotMap`] a key-sorted `Vec<(K, S)>`.
+//! Joins are linear two-pointer merges preceded by a no-allocation
+//! change-detection scan ([`DotStore::join_would_change`]) — joining an
+//! already-covered delta touches no heap memory. [`Causal`] carries a
+//! mutation epoch + cached wire frame ([`crate::flat::StateTag`]): any
+//! data-changing mutation invalidates the frame, and encoding an
+//! unmutated state reuses it. Wire bytes are unchanged from the nested
+//! `BTreeMap`/`BTreeSet` representation this replaced.
+//!
 //! ## Join decompositions (this paper's contribution, extended)
 //!
 //! The decomposition theory of §III extends to every store shape:
@@ -43,11 +56,12 @@ use core::fmt::Debug;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crdt_lattice::{
-    Bottom, CodecError, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize,
+    Bottom, Bytes, CodecError, Decompose, Dot, Lattice, ReplicaId, SizeModel, Sizeable, StateSize,
     WireEncode,
 };
 
 use crate::causal::CausalContext;
+use crate::flat::{DotRuns, StateTag};
 use crate::Crdt;
 
 // ---------------------------------------------------------------------------
@@ -70,12 +84,25 @@ pub trait DotStore: Clone + Debug + Eq + Default {
     /// Does the store hold no dots?
     fn is_empty(&self) -> bool;
 
+    /// Would [`DotStore::join`] with the same arguments change `self`?
+    /// A read-only, allocation-free linear scan, *precise* (never
+    /// conservative): implementations use it as the fast path that makes
+    /// joining an already-covered delta free, and [`DotMap`] recurses
+    /// through it to detect change under nesting.
+    fn join_would_change(
+        &self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool;
+
     /// The framework join `(self, self_ctx) ⊔ (other, other_ctx)`,
     /// mutating `self` in place. Returns `true` if `self` changed.
     ///
     /// A dot survives iff it is live on both sides, or live on one side
     /// and absent from the other's *context* (unseen news beats observed
-    /// death; observed death beats liveness).
+    /// death; observed death beats liveness). When nothing would change,
+    /// the join returns `false` without allocating.
     fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool;
 
     /// Visit `(dot, minimal sub-store holding exactly that dot)` for every
@@ -93,9 +120,9 @@ pub trait DotStore: Clone + Debug + Eq + Default {
     fn size_bytes(&self, model: &SizeModel) -> u64;
 }
 
-/// `P(Dot)` — bare event identifiers.
+/// `P(Dot)` — bare event identifiers, as sorted coalesced runs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct DotSet(BTreeSet<Dot>);
+pub struct DotSet(DotRuns);
 
 impl DotSet {
     /// The empty dot set.
@@ -105,7 +132,9 @@ impl DotSet {
 
     /// A set holding exactly `d`.
     pub fn singleton(d: Dot) -> Self {
-        DotSet(BTreeSet::from([d]))
+        let mut s = Self::new();
+        s.insert(d);
+        s
     }
 
     /// Insert a dot.
@@ -114,13 +143,13 @@ impl DotSet {
     }
 
     /// Iterate the dots in order.
-    pub fn iter(&self) -> impl Iterator<Item = &Dot> {
-        self.0.iter()
+    pub fn iter(&self) -> impl Iterator<Item = Dot> + '_ {
+        self.0.dots()
     }
 
     /// Number of dots.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.len() as usize
     }
 
     /// Does the set hold no dots?
@@ -131,8 +160,8 @@ impl DotSet {
 
 impl DotStore for DotSet {
     fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
-        for d in &self.0 {
-            f(*d);
+        for d in self.0.dots() {
+            f(d);
         }
     }
 
@@ -144,52 +173,113 @@ impl DotStore for DotSet {
         self.0.is_empty()
     }
 
+    fn join_would_change(
+        &self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        // A drop: one of my dots the peer has seen die. An add: a peer
+        // dot I have not heard of.
+        self.0
+            .dots()
+            .any(|d| !other.contains_dot(&d) && other_ctx.contains(&d))
+            || other
+                .0
+                .dots()
+                .any(|d| !self.contains_dot(&d) && !self_ctx.contains(&d))
+    }
+
     fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
-        let mut changed = false;
-        // Drop my dots the peer has seen die.
-        let mine: Vec<Dot> = self.0.iter().copied().collect();
-        for d in mine {
-            if !other.0.contains(&d) && other_ctx.contains(&d) {
-                self.0.remove(&d);
-                changed = true;
+        if !self.join_would_change(self_ctx, other, other_ctx) {
+            return false;
+        }
+        // Linear two-pointer merge over both sorted dot streams.
+        let old = std::mem::take(&mut self.0);
+        let mut merged = DotRuns::new();
+        let mut mine = old.dots().peekable();
+        let mut theirs = other.0.dots().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(m), Some(t)) => match m.cmp(t) {
+                    core::cmp::Ordering::Less => {
+                        let d = mine.next().expect("peeked");
+                        if !other_ctx.contains(&d) {
+                            merged.push_dot_sorted(d);
+                        }
+                    }
+                    core::cmp::Ordering::Greater => {
+                        let d = theirs.next().expect("peeked");
+                        if !self_ctx.contains(&d) {
+                            merged.push_dot_sorted(d);
+                        }
+                    }
+                    core::cmp::Ordering::Equal => {
+                        merged.push_dot_sorted(mine.next().expect("peeked"));
+                        theirs.next();
+                    }
+                },
+                (Some(_), None) => {
+                    let d = mine.next().expect("peeked");
+                    if !other_ctx.contains(&d) {
+                        merged.push_dot_sorted(d);
+                    }
+                }
+                (None, Some(_)) => {
+                    let d = theirs.next().expect("peeked");
+                    if !self_ctx.contains(&d) {
+                        merged.push_dot_sorted(d);
+                    }
+                }
+                (None, None) => break,
             }
         }
-        // Adopt peer dots I have not heard of.
-        for d in &other.0 {
-            if !self.0.contains(d) && !self_ctx.contains(d) {
-                self.0.insert(*d);
-                changed = true;
-            }
-        }
-        changed
+        self.0 = merged;
+        true
     }
 
     fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
-        for d in &self.0 {
-            f(*d, DotSet::singleton(*d));
+        for d in self.0.dots() {
+            f(d, DotSet::singleton(d));
         }
     }
 
     fn dot_count(&self) -> u64 {
-        self.0.len() as u64
+        self.0.len()
     }
 
     fn size_bytes(&self, model: &SizeModel) -> u64 {
-        self.0.len() as u64 * model.vector_entry_bytes()
+        self.0.len() * model.vector_entry_bytes()
     }
 }
 
-/// `Dot ↪ V` — events carrying a payload value.
+/// `Dot ↪ V` — events carrying a payload value, as a dot-sorted vector.
 ///
 /// `V` is plain (not a lattice): a dot uniquely determines its value, so
 /// two stores never hold the same dot with different payloads and the
 /// join never needs to merge values.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct DotFun<V>(BTreeMap<Dot, V>);
+pub struct DotFun<V>(Vec<(Dot, V)>);
 
 impl<V> Default for DotFun<V> {
     fn default() -> Self {
-        DotFun(BTreeMap::new())
+        DotFun(Vec::new())
+    }
+}
+
+impl<V> DotFun<V> {
+    /// Dot-sorted membership test.
+    fn has_dot(&self, d: &Dot) -> bool {
+        self.0.binary_search_by(|(sd, _)| sd.cmp(d)).is_ok()
+    }
+
+    /// Insert preserving dot order (replacing a duplicate — only hostile
+    /// decoded input produces one).
+    fn insert_sorted(&mut self, d: Dot, v: V) {
+        match self.0.binary_search_by(|(sd, _)| sd.cmp(&d)) {
+            Ok(i) => self.0[i].1 = v,
+            Err(i) => self.0.insert(i, (d, v)),
+        }
     }
 }
 
@@ -201,22 +291,22 @@ impl<V: Clone> DotFun<V> {
 
     /// A map holding exactly `d ↦ v`.
     pub fn singleton(d: Dot, v: V) -> Self {
-        DotFun(BTreeMap::from([(d, v)]))
+        DotFun(vec![(d, v)])
     }
 
     /// Insert an entry.
     pub fn insert(&mut self, d: Dot, v: V) {
-        self.0.insert(d, v);
+        self.insert_sorted(d, v);
     }
 
     /// Iterate entries in dot order.
     pub fn iter(&self) -> impl Iterator<Item = (&Dot, &V)> {
-        self.0.iter()
+        self.0.iter().map(|(d, v)| (d, v))
     }
 
     /// The values, in dot order.
     pub fn values(&self) -> impl Iterator<Item = &V> {
-        self.0.values()
+        self.0.iter().map(|(_, v)| v)
     }
 
     /// Number of entries.
@@ -232,35 +322,74 @@ impl<V: Clone> DotFun<V> {
 
 impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
     fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
-        for d in self.0.keys() {
+        for (d, _) in &self.0 {
             f(*d);
         }
     }
 
     fn contains_dot(&self, d: &Dot) -> bool {
-        self.0.contains_key(d)
+        self.has_dot(d)
     }
 
     fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
+    fn join_would_change(
+        &self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        self.0
+            .iter()
+            .any(|(d, _)| !other.has_dot(d) && other_ctx.contains(d))
+            || other
+                .0
+                .iter()
+                .any(|(d, _)| !self.has_dot(d) && !self_ctx.contains(d))
+    }
+
     fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
-        let mut changed = false;
-        let mine: Vec<Dot> = self.0.keys().copied().collect();
-        for d in mine {
-            if !other.0.contains_key(&d) && other_ctx.contains(&d) {
-                self.0.remove(&d);
-                changed = true;
+        if !self.join_would_change(self_ctx, other, other_ctx) {
+            return false;
+        }
+        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
+        let mut mine = std::mem::take(&mut self.0).into_iter().peekable();
+        let mut theirs = other.0.iter().peekable();
+        loop {
+            let take_mine = match (mine.peek(), theirs.peek()) {
+                (Some((md, _)), Some((td, _))) => match md.cmp(td) {
+                    core::cmp::Ordering::Less => Some(true),
+                    core::cmp::Ordering::Greater => Some(false),
+                    core::cmp::Ordering::Equal => {
+                        merged.push(mine.next().expect("peeked"));
+                        theirs.next();
+                        continue;
+                    }
+                },
+                (Some(_), None) => Some(true),
+                (None, Some(_)) => Some(false),
+                (None, None) => None,
+            };
+            match take_mine {
+                Some(true) => {
+                    let (d, v) = mine.next().expect("peeked");
+                    if !other_ctx.contains(&d) {
+                        merged.push((d, v));
+                    }
+                }
+                Some(false) => {
+                    let (d, v) = theirs.next().expect("peeked");
+                    if !self_ctx.contains(d) {
+                        merged.push((*d, v.clone()));
+                    }
+                }
+                None => break,
             }
         }
-        for (d, v) in &other.0 {
-            if !self.0.contains_key(d) && !self_ctx.contains(d) {
-                self.0.insert(*d, v.clone());
-                changed = true;
-            }
-        }
-        changed
+        self.0 = merged;
+        true
     }
 
     fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
@@ -275,23 +404,35 @@ impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
 
     fn size_bytes(&self, model: &SizeModel) -> u64 {
         self.0
-            .values()
-            .map(|v| model.vector_entry_bytes() + v.payload_bytes(model))
+            .iter()
+            .map(|(_, v)| model.vector_entry_bytes() + v.payload_bytes(model))
             .sum()
     }
 }
 
-/// `K ↪ S` — keyed causal state, for a nested store `S`.
+/// `K ↪ S` — keyed causal state, for a nested store `S`, as a key-sorted
+/// vector.
 ///
 /// Keys with an empty nested store are never kept (`⊥` entries are
 /// represented by absence), so key removal needs no tombstones: joining
 /// with a peer whose context covers a key's dots removes the key.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct DotMap<K: Ord, S>(BTreeMap<K, S>);
+pub struct DotMap<K: Ord, S>(Vec<(K, S)>);
 
 impl<K: Ord, S> Default for DotMap<K, S> {
     fn default() -> Self {
-        DotMap(BTreeMap::new())
+        DotMap(Vec::new())
+    }
+}
+
+impl<K: Ord, S> DotMap<K, S> {
+    /// Key-sorted insert (replacing a duplicate — only hostile decoded
+    /// input produces one).
+    fn insert_sorted(&mut self, k: K, s: S) {
+        match self.0.binary_search_by(|(sk, _)| sk.cmp(&k)) {
+            Ok(i) => self.0[i].1 = s,
+            Err(i) => self.0.insert(i, (k, s)),
+        }
     }
 }
 
@@ -305,19 +446,22 @@ impl<K: Ord + Clone, S: DotStore> DotMap<K, S> {
     pub fn singleton(k: K, s: S) -> Self {
         let mut m = Self::new();
         if !s.is_empty() {
-            m.0.insert(k, s);
+            m.0.push((k, s));
         }
         m
     }
 
     /// The nested store at `k`, if present.
     pub fn get(&self, k: &K) -> Option<&S> {
-        self.0.get(k)
+        self.0
+            .binary_search_by(|(sk, _)| sk.cmp(k))
+            .ok()
+            .map(|i| &self.0[i].1)
     }
 
     /// Iterate entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &S)> {
-        self.0.iter()
+        self.0.iter().map(|(k, s)| (k, s))
     }
 
     /// Number of live keys.
@@ -329,50 +473,116 @@ impl<K: Ord + Clone, S: DotStore> DotMap<K, S> {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
-
-    /// Drop empty nested stores.
-    fn prune(&mut self) {
-        self.0.retain(|_, s| !s.is_empty());
-    }
 }
 
 impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
     fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
-        for s in self.0.values() {
+        for (_, s) in &self.0 {
             s.for_each_dot(f);
         }
     }
 
     fn contains_dot(&self, d: &Dot) -> bool {
-        self.0.values().any(|s| s.contains_dot(d))
+        self.0.iter().any(|(_, s)| s.contains_dot(d))
     }
 
     fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
-    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
-        let mut changed = false;
-        // Keys on my side: join with the peer's nested store (or ⊥).
+    fn join_would_change(
+        &self,
+        self_ctx: &CausalContext,
+        other: &Self,
+        other_ctx: &CausalContext,
+    ) -> bool {
+        // Two-pointer scan over both key-sorted entry lists, recursing
+        // into nested stores (against ⊥ for one-sided keys).
         let empty = S::default();
-        let mine: Vec<K> = self.0.keys().cloned().collect();
-        for k in mine {
-            let theirs = other.0.get(&k).unwrap_or(&empty);
-            let s = self.0.get_mut(&k).expect("key just listed");
-            changed |= s.join(self_ctx, theirs, other_ctx);
-        }
-        // Keys only on the peer's side: join ⊥ with theirs.
-        for (k, theirs) in &other.0 {
-            if !self.0.contains_key(k) {
-                let mut s = S::default();
-                if s.join(self_ctx, theirs, other_ctx) {
-                    self.0.insert(k.clone(), s);
-                    changed = true;
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() || j < other.0.len() {
+            let changed = match (self.0.get(i), other.0.get(j)) {
+                (Some((mk, ms)), Some((tk, ts))) => match mk.cmp(tk) {
+                    core::cmp::Ordering::Less => {
+                        i += 1;
+                        ms.join_would_change(self_ctx, &empty, other_ctx)
+                    }
+                    core::cmp::Ordering::Greater => {
+                        j += 1;
+                        empty.join_would_change(self_ctx, ts, other_ctx)
+                    }
+                    core::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        ms.join_would_change(self_ctx, ts, other_ctx)
+                    }
+                },
+                (Some((_, ms)), None) => {
+                    i += 1;
+                    ms.join_would_change(self_ctx, &empty, other_ctx)
                 }
+                (None, Some((_, ts))) => {
+                    j += 1;
+                    empty.join_would_change(self_ctx, ts, other_ctx)
+                }
+                (None, None) => break,
+            };
+            if changed {
+                return true;
             }
         }
-        self.prune();
-        changed
+        false
+    }
+
+    fn join(&mut self, self_ctx: &CausalContext, other: &Self, other_ctx: &CausalContext) -> bool {
+        if !self.join_would_change(self_ctx, other, other_ctx) {
+            return false;
+        }
+        // Linear two-pointer merge by key; emptied nested stores are
+        // pruned as we go (⊥ entries are represented by absence).
+        let empty = S::default();
+        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
+        let mut mine = std::mem::take(&mut self.0).into_iter().peekable();
+        let mut theirs = other.0.iter().peekable();
+        loop {
+            let take_mine = match (mine.peek(), theirs.peek()) {
+                (Some((mk, _)), Some((tk, _))) => match mk.cmp(tk) {
+                    core::cmp::Ordering::Less => Some(true),
+                    core::cmp::Ordering::Greater => Some(false),
+                    core::cmp::Ordering::Equal => {
+                        let (k, mut s) = mine.next().expect("peeked");
+                        let (_, ts) = theirs.next().expect("peeked");
+                        s.join(self_ctx, ts, other_ctx);
+                        if !s.is_empty() {
+                            merged.push((k, s));
+                        }
+                        continue;
+                    }
+                },
+                (Some(_), None) => Some(true),
+                (None, Some(_)) => Some(false),
+                (None, None) => None,
+            };
+            match take_mine {
+                Some(true) => {
+                    let (k, mut s) = mine.next().expect("peeked");
+                    s.join(self_ctx, &empty, other_ctx);
+                    if !s.is_empty() {
+                        merged.push((k, s));
+                    }
+                }
+                Some(false) => {
+                    let (k, ts) = theirs.next().expect("peeked");
+                    let mut s = S::default();
+                    if s.join(self_ctx, ts, other_ctx) && !s.is_empty() {
+                        merged.push((k.clone(), s));
+                    }
+                }
+                None => break,
+            }
+        }
+        self.0 = merged;
+        true
     }
 
     fn for_each_part(&self, f: &mut dyn FnMut(Dot, Self)) {
@@ -394,19 +604,73 @@ impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
 // ---------------------------------------------------------------------------
 
 /// A causal CRDT state: a dot store paired with a causal context.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+///
+/// Carries a mutation epoch and cached encoded frame (excluded from
+/// equality, ordering, hashing and `Debug`): any data-changing mutation
+/// invalidates the frame, and encoding an unmutated state reuses it.
+#[derive(Clone, Default)]
 pub struct Causal<S> {
     store: S,
     ctx: CausalContext,
+    tag: StateTag,
+}
+
+impl<S: Debug> Debug for Causal<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The tag is process-local bookkeeping: keeping it out of `Debug`
+        // keeps `Debug`-derived state hashes equal across converged
+        // replicas.
+        f.debug_struct("Causal")
+            .field("store", &self.store)
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+impl<S: PartialEq> PartialEq for Causal<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store && self.ctx == other.ctx
+    }
+}
+
+impl<S: Eq> Eq for Causal<S> {}
+
+impl<S: PartialOrd> PartialOrd for Causal<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        match self.store.partial_cmp(&other.store) {
+            Some(core::cmp::Ordering::Equal) => self.ctx.partial_cmp(&other.ctx),
+            o => o,
+        }
+    }
+}
+
+impl<S: Ord> Ord for Causal<S> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (&self.store, &self.ctx).cmp(&(&other.store, &other.ctx))
+    }
+}
+
+impl<S: core::hash::Hash> core::hash::Hash for Causal<S> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.store.hash(state);
+        self.ctx.hash(state);
+    }
+}
+
+impl<S> Causal<S> {
+    /// The state's process-local mutation epoch. Any data-changing
+    /// mutation bumps it to a process-unique value; clones share their
+    /// original's epoch (equal epochs imply equal data). Used to key
+    /// external caches (encoded frames, state hashes).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.tag.epoch()
+    }
 }
 
 impl<S: DotStore> Causal<S> {
     /// A fresh, empty causal state.
     pub fn new() -> Self {
-        Causal {
-            store: S::default(),
-            ctx: CausalContext::new(),
-        }
+        Self::default()
     }
 
     /// The store half.
@@ -435,6 +699,7 @@ impl<S: DotStore> Causal<S> {
         write: impl FnOnce(Dot) -> S,
     ) -> Self {
         let mut delta = Self::new();
+        let mut changed = false;
         // Collect and erase the superseded dots: join with a state whose
         // context covers them but whose store does not hold them.
         let mut dead_ctx = CausalContext::new();
@@ -443,7 +708,10 @@ impl<S: DotStore> Causal<S> {
                 dead_ctx.insert(d);
             }
         });
-        self.store.join(&self.ctx, &S::default(), &dead_ctx);
+        if !dead_ctx.is_empty() {
+            self.store.join(&self.ctx, &S::default(), &dead_ctx);
+            changed = true;
+        }
         delta.ctx.union(&dead_ctx);
         if let Some(r) = replica {
             // Snapshot the context *before* claiming the fresh dot, so the
@@ -455,6 +723,11 @@ impl<S: DotStore> Causal<S> {
                 .join(&pre_ctx, &news, &CausalContext::singleton(dot));
             delta.store = news;
             delta.ctx.insert(dot);
+            changed = true;
+        }
+        if changed {
+            self.tag.note_mutation();
+            delta.tag.note_mutation();
         }
         delta
     }
@@ -462,8 +735,14 @@ impl<S: DotStore> Causal<S> {
 
 impl<S: DotStore> Lattice for Causal<S> {
     fn join_assign(&mut self, other: Self) -> bool {
+        // Both halves detect no-change without allocating, so joining an
+        // already-covered delta is free and leaves the epoch (and any
+        // cached frame) intact.
         let mut changed = self.store.join(&self.ctx, &other.store, &other.ctx);
         changed |= self.ctx.union(&other.ctx);
+        if changed {
+            self.tag.note_mutation();
+        }
         changed
     }
 
@@ -500,6 +779,7 @@ impl<S: DotStore> Decompose for Causal<S> {
             f(Causal {
                 store: part,
                 ctx: CausalContext::singleton(d),
+                tag: StateTag::fresh(),
             });
         });
         // Dead parts.
@@ -508,6 +788,7 @@ impl<S: DotStore> Decompose for Causal<S> {
                 f(Causal {
                     store: S::default(),
                     ctx: CausalContext::singleton(d),
+                    tag: StateTag::fresh(),
                 });
             }
         }
@@ -536,6 +817,7 @@ impl<S: DotStore> Decompose for Causal<S> {
                 d.ctx.insert(dot);
             }
         }
+        d.tag = StateTag::fresh();
         d
     }
 
@@ -583,10 +865,7 @@ pub struct ORMap<K: Ord, V>(Causal<DotMap<K, DotFun<V>>>);
 
 impl<K: Ord, V> Default for ORMap<K, V> {
     fn default() -> Self {
-        ORMap(Causal {
-            store: DotMap::default(),
-            ctx: CausalContext::default(),
-        })
+        ORMap(Causal::default())
     }
 }
 
@@ -698,6 +977,10 @@ impl<K: Ord + Clone + Debug + Sizeable, V: Clone + Debug + Eq + Sizeable> Crdt f
             ORMapOp::Clear => 1,
         }
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -728,10 +1011,7 @@ pub struct ORSetMap<K: Ord, E: Ord>(Causal<DotMap<K, DotMap<E, DotSet>>>);
 
 impl<K: Ord, E: Ord> Default for ORSetMap<K, E> {
     fn default() -> Self {
-        ORSetMap(Causal {
-            store: DotMap::default(),
-            ctx: CausalContext::default(),
-        })
+        ORSetMap(Causal::default())
     }
 }
 
@@ -853,6 +1133,10 @@ impl<K: Ord + Clone + Debug + Sizeable, E: Ord + Clone + Debug + Sizeable> Crdt 
             ORSetMapOp::RemoveKey(k) => k.payload_bytes(model),
         }
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -881,10 +1165,7 @@ pub struct RWSet<E: Ord>(Causal<DotMap<E, DotFun<bool>>>);
 
 impl<E: Ord> Default for RWSet<E> {
     fn default() -> Self {
-        RWSet(Causal {
-            store: DotMap::default(),
-            ctx: CausalContext::default(),
-        })
+        RWSet(Causal::default())
     }
 }
 
@@ -981,6 +1262,10 @@ impl<E: Ord + Clone + Debug + Sizeable> Crdt for RWSet<E> {
             }
         }
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1063,54 +1348,125 @@ impl Crdt for DWFlag {
     fn op_size_bytes(_op: &Self::Op, model: &SizeModel) -> u64 {
         model.id_bytes + 1
     }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.0.mutation_epoch())
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Wire encodings — by structural recursion over the store algebra, so any
 // causal composition built from DotSet/DotFun/DotMap encodes for free.
+// The byte shapes are those of the BTreeSet/BTreeMap encodings the flat
+// stores replaced: a varint count, then sorted elements.
 // ---------------------------------------------------------------------------
 
 impl WireEncode for DotSet {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+        self.0.len().encode(out);
+        for d in self.0.dots() {
+            d.encode(out);
+        }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(DotSet(BTreeSet::<Dot>::decode(input)?))
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut s = DotSet::new();
+        for _ in 0..len {
+            s.insert(Dot::decode(input)?);
+        }
+        Ok(s)
     }
 }
 
 impl<V: WireEncode> WireEncode for DotFun<V> {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+        (self.0.len() as u64).encode(out);
+        for (d, v) in &self.0 {
+            d.encode(out);
+            v.encode(out);
+        }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(DotFun(BTreeMap::<Dot, V>::decode(input)?))
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut f = DotFun(Vec::with_capacity(len));
+        for _ in 0..len {
+            let d = Dot::decode(input)?;
+            let v = V::decode(input)?;
+            f.insert_sorted(d, v);
+        }
+        Ok(f)
     }
 }
 
 impl<K: Ord + WireEncode, S: WireEncode> WireEncode for DotMap<K, S> {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+        (self.0.len() as u64).encode(out);
+        for (k, s) in &self.0 {
+            k.encode(out);
+            s.encode(out);
+        }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(DotMap(BTreeMap::<K, S>::decode(input)?))
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut m = DotMap(Vec::with_capacity(len));
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let s = S::decode(input)?;
+            m.insert_sorted(k, s);
+        }
+        Ok(m)
+    }
+}
+
+impl<S: WireEncode> Causal<S> {
+    /// The structural (cache-bypassing) encoding: store, then context.
+    fn encode_structural(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        self.ctx.encode(out);
     }
 }
 
 impl<S: WireEncode> WireEncode for Causal<S> {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.store.encode(out);
-        self.ctx.encode(out);
+        // Unmutated since the last encode: splice the cached frame in.
+        if let Some(frame) = self.tag.cached() {
+            out.extend_from_slice(&frame);
+            return;
+        }
+        let start = out.len();
+        self.encode_structural(out);
+        self.tag.store(Bytes::copy_from_slice(&out[start..]));
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(Causal {
             store: S::decode(input)?,
             ctx: CausalContext::decode(input)?,
+            tag: StateTag::fresh(),
         })
+    }
+
+    fn encode_frame(&self) -> Bytes {
+        if let Some(frame) = self.tag.cached() {
+            return frame;
+        }
+        let mut out = Vec::new();
+        self.encode_structural(&mut out);
+        let frame = Bytes::from(out);
+        self.tag.store(frame.clone());
+        frame
     }
 }
 
@@ -1311,6 +1667,20 @@ mod tests {
         let peer_ctx = CausalContext::singleton(d);
         assert!(m.join(&ctx, &peer, &peer_ctx));
         assert!(m.is_empty(), "key with no dots must disappear");
+    }
+
+    #[test]
+    fn covered_join_detects_no_change_without_alloc() {
+        // The no-change pre-scan must be precise: a join that adds and
+        // drops nothing returns false at every nesting depth.
+        let d = Dot::new(A, 1);
+        let mut m: DotMap<&str, DotMap<u8, DotSet>> =
+            DotMap::singleton("k", DotMap::singleton(7, DotSet::singleton(d)));
+        let ctx = CausalContext::singleton(d);
+        let snapshot = m.clone();
+        assert!(!m.join_would_change(&ctx, &snapshot, &ctx));
+        assert!(!m.join(&ctx, &snapshot, &ctx));
+        assert_eq!(m, snapshot);
     }
 
     #[test]
@@ -1615,5 +1985,30 @@ mod tests {
             }
             assert_eq!(obs, a, "order {order:?}");
         }
+    }
+
+    // -- epochs + cached frames -------------------------------------------------
+
+    #[test]
+    fn causal_epoch_and_frame_cache() {
+        let mut m = ORMap::new();
+        assert_eq!(m.0.mutation_epoch(), 0, "fresh bottom is epoch 0");
+        let d = m.put(A, 1u8, 10u32);
+        let e1 = m.0.mutation_epoch();
+        assert_ne!(e1, 0);
+        // Covered delta: no change, no epoch bump.
+        m.join_assign(d.clone());
+        assert_eq!(m.0.mutation_epoch(), e1);
+        // The cached frame matches a from-scratch encode and survives
+        // no-op joins.
+        let frame = m.encode_frame();
+        m.join_assign(d);
+        assert_eq!(m.encode_frame(), frame);
+        assert_eq!(m.to_bytes(), frame.as_ref());
+        // A real mutation invalidates it.
+        let _ = m.remove(&1);
+        assert_ne!(m.0.mutation_epoch(), e1);
+        assert_ne!(m.encode_frame(), frame);
+        assert_eq!(m.encode_frame().as_ref(), m.to_bytes());
     }
 }

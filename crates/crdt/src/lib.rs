@@ -53,6 +53,7 @@
 
 pub mod causal;
 pub mod dotstores;
+mod flat;
 mod gcounter;
 mod gmap;
 mod gset;

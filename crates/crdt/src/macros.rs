@@ -93,6 +93,13 @@ macro_rules! delegate_wire {
             fn decode(input: &mut &[u8]) -> Result<Self, crdt_lattice::CodecError> {
                 Ok($name(crdt_lattice::WireEncode::decode(input)?))
             }
+
+            fn encode_frame(&self) -> crdt_lattice::Bytes {
+                // Forwarded so an inner cached frame (the flat causal
+                // states) survives the newtype instead of being rebuilt
+                // through the `to_bytes` default.
+                crdt_lattice::WireEncode::encode_frame(&self.0)
+            }
         }
     };
 }

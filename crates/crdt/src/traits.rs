@@ -40,6 +40,17 @@ pub trait Crdt: Decompose + StateSize {
     /// Wire size of an operation under the byte model — used by the
     /// op-based baseline's transmission accounting.
     fn op_size_bytes(op: &Self::Op, model: &SizeModel) -> u64;
+
+    /// A process-local **mutation epoch** for states that track one (the
+    /// flat causal types): any data-changing mutation moves it to a
+    /// process-unique value, and equal epochs imply equal data. Callers
+    /// use it to key caches of state-derived values (encoded frames,
+    /// state hashes) without comparing or re-walking states. `None`
+    /// (the default) means the type does not track epochs and derived
+    /// values must be recomputed.
+    fn mutation_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Test helpers for [`Crdt`] implementations.

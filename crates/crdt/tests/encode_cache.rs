@@ -1,0 +1,254 @@
+//! Encode-cache correctness battery for the flat causal states.
+//!
+//! Flat causal CRDTs carry a cached wire frame keyed by a mutation epoch:
+//! encoding an unmutated state returns the cached bytes, and a mutation
+//! through **any** entry point must invalidate it. These tests hammer
+//! every type-level entry point (op apply, changing join, covered join,
+//! delta extraction, decode, clone) and then interleave mutation with
+//! encoding under proptest, comparing against a shadow twin that is
+//! mutated identically but never encodes until the comparison — so its
+//! bytes are always the structural ground truth. (The shadow never
+//! encodes, so its frame slot is empty; `shadow.clone().to_bytes()` is
+//! therefore a cache-free structural encode that leaves the shadow
+//! itself unencoded for the next check.)
+
+use crdt_lattice::{Bottom, Decompose, Lattice, ReplicaId, WireEncode};
+use crdt_types::{AWSet, AWSetOp, CCounter, Crdt, DWFlag, EWFlag, ORMap, ORMapOp, ORSetMap, RWSet};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const A: ReplicaId = ReplicaId(0);
+const B: ReplicaId = ReplicaId(1);
+
+/// Encode twice (the second hit is the cached path), then decode the
+/// served bytes: the decoded state must *equal* the live one (equality
+/// ignores the cache tag), which a stale frame cannot satisfy, and its
+/// fresh-tag re-encode must reproduce the bytes structurally.
+fn assert_cache_fresh<C>(state: &C, what: &str)
+where
+    C: Crdt + WireEncode + PartialEq + core::fmt::Debug,
+{
+    let first = state.to_bytes();
+    assert_eq!(state.to_bytes(), first, "{what}: cached re-encode diverged");
+    assert_eq!(
+        state.encode_frame().as_ref(),
+        first.as_slice(),
+        "{what}: encode_frame diverged from to_bytes"
+    );
+    let decoded = C::from_bytes(&first).expect("cached frame must decode");
+    assert_eq!(
+        &decoded, state,
+        "{what}: cached bytes describe a different state"
+    );
+    assert_eq!(
+        decoded.to_bytes(),
+        first,
+        "{what}: structural re-encode diverged from cached frame"
+    );
+}
+
+#[test]
+fn op_apply_invalidates() {
+    let mut s = AWSet::new();
+    let _ = s.apply(&AWSetOp::Add(A, 1u8));
+    let before = s.to_bytes();
+    assert_cache_fresh(&s, "after add");
+    let _ = s.apply(&AWSetOp::Add(A, 2u8));
+    assert_ne!(s.to_bytes(), before, "mutation kept serving stale bytes");
+    assert_cache_fresh(&s, "after second add");
+    let _ = s.apply(&AWSetOp::Remove(1u8));
+    assert_cache_fresh(&s, "after remove");
+    let _ = s.apply(&AWSetOp::Clear);
+    assert_cache_fresh(&s, "after clear");
+}
+
+#[test]
+fn changing_join_invalidates_covered_join_does_not() {
+    let mut x = ORMap::new();
+    let d1 = x.put(A, 1u8, 10u16);
+    let mut y = ORMap::new();
+    let d2 = y.put(B, 2u8, 20u16);
+
+    let cached = x.to_bytes();
+    // Covered join: no change, the cached frame stays valid AND keeps
+    // being served (the mutation epoch must not move).
+    let epoch = x.mutation_epoch().expect("causal types report an epoch");
+    assert!(!x.join_assign(d1));
+    assert_eq!(
+        x.mutation_epoch().unwrap(),
+        epoch,
+        "covered join must not bump the epoch"
+    );
+    assert_eq!(x.to_bytes(), cached);
+
+    // Changing join: epoch bumps, frame invalidates.
+    assert!(x.join_assign(d2));
+    assert_ne!(x.mutation_epoch().unwrap(), epoch);
+    assert_ne!(x.to_bytes(), cached);
+    assert_cache_fresh(&x, "after changing join");
+}
+
+#[test]
+fn delta_and_decompose_products_encode_fresh() {
+    let mut s = RWSet::new();
+    let _ = s.add(A, 1u8);
+    let _ = s.add(B, 2u8);
+    let _ = s.remove(A, 2u8);
+    let _ = s.to_bytes(); // populate the source's cache
+    let stale = RWSet::new();
+    let d = s.delta(&stale);
+    assert_cache_fresh(&d, "delta product");
+    for part in s.decompose() {
+        assert_cache_fresh(&part, "decomposed part");
+    }
+    // The source's own cache survived producing deltas and parts.
+    assert_cache_fresh(&s, "delta source");
+}
+
+#[test]
+fn decoded_states_encode_fresh_and_roundtrip() {
+    let mut m = ORSetMap::new();
+    let _ = m.add(A, 1u8, 10u16);
+    let _ = m.add(B, 1u8, 20u16);
+    let _ = m.remove_elem(&1, &10);
+    let bytes = m.to_bytes();
+    let decoded = ORSetMap::<u8, u16>::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(decoded, m);
+    assert_cache_fresh(&decoded, "decoded state");
+    // Mutating the decoded copy must not resurrect the roundtripped bytes.
+    let mut decoded = decoded;
+    let _ = decoded.add(A, 2u8, 30u16);
+    assert_ne!(decoded.to_bytes(), bytes);
+    assert_cache_fresh(&decoded, "decoded then mutated");
+}
+
+#[test]
+fn clones_do_not_share_stale_caches() {
+    let mut f = EWFlag::new();
+    let _ = f.enable(A);
+    let _ = f.to_bytes(); // cache populated
+    let mut g = f.clone();
+    let _ = g.disable();
+    // g mutated, f untouched: both must encode their own truth.
+    assert_ne!(f.to_bytes(), g.to_bytes());
+    assert_cache_fresh(&f, "original after clone mutated");
+    assert_cache_fresh(&g, "mutated clone");
+}
+
+#[test]
+fn bottom_states_encode_consistently() {
+    // Fresh bottoms share epoch 0; their encodes must agree with each
+    // other and with a bottom that was never encoded.
+    let a = CCounter::new();
+    let b = CCounter::bottom();
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_cache_fresh(&a, "bottom");
+    let mut c = CCounter::new();
+    let _ = c.add(A, 5);
+    assert_ne!(c.to_bytes(), a.to_bytes());
+    assert_cache_fresh(&c, "counter after add");
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: random interleavings of mutation and encoding
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Action {
+    Op(ORMapOp<u8, u16>),
+    JoinDelta(usize),
+    Encode,
+    EncodeFrame,
+    CloneSwap,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    let op = prop_oneof![
+        4 => (0u32..3, 0u8..5, 0u16..50)
+            .prop_map(|(r, k, v)| ORMapOp::Put(ReplicaId(r), k, v)),
+        2 => (0u8..5).prop_map(ORMapOp::Remove),
+        1 => Just(ORMapOp::Clear),
+    ];
+    prop_oneof![
+        4 => op.prop_map(Action::Op),
+        2 => any::<usize>().prop_map(Action::JoinDelta),
+        3 => Just(Action::Encode),
+        2 => Just(Action::EncodeFrame),
+        1 => Just(Action::CloneSwap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any interleaving of ops, (re-)joins, encodes, frame encodes
+    /// and clone-swaps, the probe's encode always equals the structural
+    /// encode of a shadow twin that mutates identically but never
+    /// encodes until checked.
+    #[test]
+    fn interleaved_mutation_and_encode_never_serves_stale_bytes(
+        actions in pvec(action_strategy(), 1..32),
+    ) {
+        let mut probe = ORMap::<u8, u16>::new();
+        let mut shadow = ORMap::<u8, u16>::new();
+        let mut deltas: Vec<ORMap<u8, u16>> = Vec::new();
+        for action in &actions {
+            match action {
+                Action::Op(op) => {
+                    deltas.push(probe.apply(op));
+                    let _ = shadow.apply(op);
+                }
+                Action::JoinDelta(i) => {
+                    if deltas.is_empty() {
+                        continue;
+                    }
+                    let d = deltas[i % deltas.len()].clone();
+                    probe.join_assign(d.clone());
+                    shadow.join_assign(d);
+                }
+                Action::Encode => {
+                    prop_assert_eq!(probe.to_bytes(), shadow.clone().to_bytes());
+                }
+                Action::EncodeFrame => {
+                    prop_assert_eq!(
+                        probe.encode_frame().as_ref(),
+                        shadow.clone().to_bytes().as_slice()
+                    );
+                }
+                Action::CloneSwap => {
+                    // Encoding through a clone then continuing on the
+                    // clone must not confuse either cache.
+                    let c = probe.clone();
+                    let _ = c.to_bytes();
+                    probe = c;
+                }
+            }
+        }
+        prop_assert_eq!(probe.to_bytes(), shadow.clone().to_bytes());
+        prop_assert_eq!(&probe, &shadow);
+    }
+
+    /// DWFlag flavor of the same property (DotFun-rooted store, no map
+    /// nesting) to cover the second encode path shape.
+    #[test]
+    fn dwflag_interleaving_never_serves_stale_bytes(
+        toggles in pvec((0u32..3, any::<bool>(), any::<bool>()), 1..24),
+    ) {
+        let mut probe = DWFlag::new();
+        let mut shadow = DWFlag::new();
+        for (r, enable, encode_now) in &toggles {
+            let r = ReplicaId(*r);
+            if *enable {
+                let _ = probe.enable(r);
+                let _ = shadow.enable(r);
+            } else {
+                let _ = probe.disable(r);
+                let _ = shadow.disable(r);
+            }
+            if *encode_now {
+                prop_assert_eq!(probe.to_bytes(), shadow.clone().to_bytes());
+            }
+        }
+        prop_assert_eq!(probe.to_bytes(), shadow.clone().to_bytes());
+    }
+}

@@ -1,0 +1,996 @@
+//! Differential parity: the flat causal representation against the
+//! nested `BTreeMap`/`BTreeSet` representation it replaced.
+//!
+//! The flat rewrite changed the in-memory shape of every causal state
+//! (coalesced dot runs, sorted vectors) but promised the *semantics* and
+//! the *wire bytes* are untouched. This suite holds it to that: the
+//! `nested` module below is a direct transcription of the old nested
+//! implementation (clock + cloud context, `BTreeMap` stores, the generic
+//! framework join), and every property drives a flat state and its nested
+//! model through the same randomized schedule of ops, delta deliveries
+//! and full-state joins — asserting equal values, equal element counts
+//! and byte-identical encodes at every checkpoint, including after
+//! cloud→clock compaction and delta repair of a stale replica.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+use crdt_lattice::{Bottom, Decompose, Dot, Lattice, ReplicaId, StateSize, VClock, WireEncode};
+use crdt_types::{
+    AWSet, AWSetOp, CCounter, CCounterOp, Crdt, DWFlag, DWFlagOp, EWFlag, EWFlagOp, ORMap, ORMapOp,
+    ORSetMap, ORSetMapOp, RWSet, RWSetOp,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// The nested reference model (transcribed from the pre-flat implementation)
+// ---------------------------------------------------------------------------
+
+mod nested {
+    use super::*;
+
+    /// The old causal context: a contiguous vector-clock prefix plus a
+    /// cloud of out-of-band dots, compacted opportunistically.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct NCtx {
+        clock: VClock,
+        cloud: BTreeSet<Dot>,
+    }
+
+    impl NCtx {
+        pub fn singleton(dot: Dot) -> Self {
+            let mut c = Self::default();
+            c.insert(dot);
+            c
+        }
+
+        pub fn contains(&self, dot: &Dot) -> bool {
+            self.clock.contains(dot) || self.cloud.contains(dot)
+        }
+
+        pub fn insert(&mut self, dot: Dot) -> bool {
+            if self.contains(&dot) {
+                return false;
+            }
+            if dot.seq == self.clock.get(dot.replica) + 1 {
+                self.clock.observe(dot);
+                self.compact(dot.replica);
+            } else {
+                self.cloud.insert(dot);
+            }
+            true
+        }
+
+        fn compact(&mut self, replica: ReplicaId) {
+            let mut next = self.clock.get(replica) + 1;
+            while self.cloud.remove(&Dot::new(replica, next)) {
+                self.clock.observe(Dot::new(replica, next));
+                next += 1;
+            }
+        }
+
+        pub fn next_dot(&mut self, replica: ReplicaId) -> Dot {
+            let dot = Dot::new(replica, self.clock.get(replica) + 1);
+            self.insert(dot);
+            dot
+        }
+
+        pub fn len(&self) -> u64 {
+            self.clock.iter().map(|(_, s)| s).sum::<u64>() + self.cloud.len() as u64
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = Dot> + '_ {
+            self.clock
+                .iter()
+                .flat_map(|(r, s)| (1..=s).map(move |q| Dot::new(r, q)))
+                .chain(self.cloud.iter().copied())
+        }
+
+        pub fn union(&mut self, other: &NCtx) {
+            for (r, s) in other.clock.iter() {
+                for q in (self.clock.get(r) + 1)..=s {
+                    self.insert(Dot::new(r, q));
+                }
+            }
+            for d in &other.cloud {
+                self.insert(*d);
+            }
+        }
+
+        pub fn encode(&self, out: &mut Vec<u8>) {
+            self.clock.encode(out);
+            self.cloud.encode(out);
+        }
+    }
+
+    /// The old dot-store algebra, on the nested containers.
+    pub trait NStore: Clone + Debug + Eq + Default {
+        fn for_each_dot(&self, f: &mut dyn FnMut(Dot));
+        fn contains_dot(&self, d: &Dot) -> bool;
+        fn is_empty(&self) -> bool;
+        fn join(&mut self, self_ctx: &NCtx, other: &Self, other_ctx: &NCtx);
+        fn parts(&self) -> Vec<(Dot, Self)>;
+        fn encode(&self, out: &mut Vec<u8>);
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct NSet(pub BTreeSet<Dot>);
+
+    impl NStore for NSet {
+        fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+            for d in &self.0 {
+                f(*d);
+            }
+        }
+
+        fn contains_dot(&self, d: &Dot) -> bool {
+            self.0.contains(d)
+        }
+
+        fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        fn join(&mut self, self_ctx: &NCtx, other: &Self, other_ctx: &NCtx) {
+            let mine: Vec<Dot> = self.0.iter().copied().collect();
+            for d in mine {
+                if !other.0.contains(&d) && other_ctx.contains(&d) {
+                    self.0.remove(&d);
+                }
+            }
+            for d in &other.0 {
+                if !self.0.contains(d) && !self_ctx.contains(d) {
+                    self.0.insert(*d);
+                }
+            }
+        }
+
+        fn parts(&self) -> Vec<(Dot, Self)> {
+            self.0
+                .iter()
+                .map(|d| (*d, NSet(BTreeSet::from([*d]))))
+                .collect()
+        }
+
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct NFun<V>(pub BTreeMap<Dot, V>);
+
+    impl<V> Default for NFun<V> {
+        fn default() -> Self {
+            NFun(BTreeMap::new())
+        }
+    }
+
+    impl<V: Clone + Debug + Eq + Ord + WireEncode> NStore for NFun<V> {
+        fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+            for d in self.0.keys() {
+                f(*d);
+            }
+        }
+
+        fn contains_dot(&self, d: &Dot) -> bool {
+            self.0.contains_key(d)
+        }
+
+        fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        fn join(&mut self, self_ctx: &NCtx, other: &Self, other_ctx: &NCtx) {
+            let mine: Vec<Dot> = self.0.keys().copied().collect();
+            for d in mine {
+                if !other.0.contains_key(&d) && other_ctx.contains(&d) {
+                    self.0.remove(&d);
+                }
+            }
+            for (d, v) in &other.0 {
+                if !self.0.contains_key(d) && !self_ctx.contains(d) {
+                    self.0.insert(*d, v.clone());
+                }
+            }
+        }
+
+        fn parts(&self) -> Vec<(Dot, Self)> {
+            self.0
+                .iter()
+                .map(|(d, v)| (*d, NFun(BTreeMap::from([(*d, v.clone())]))))
+                .collect()
+        }
+
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct NMap<K: Ord, S>(pub BTreeMap<K, S>);
+
+    impl<K: Ord, S> Default for NMap<K, S> {
+        fn default() -> Self {
+            NMap(BTreeMap::new())
+        }
+    }
+
+    impl<K: Ord + Clone + Debug + WireEncode, S: NStore> NStore for NMap<K, S> {
+        fn for_each_dot(&self, f: &mut dyn FnMut(Dot)) {
+            for s in self.0.values() {
+                s.for_each_dot(f);
+            }
+        }
+
+        fn contains_dot(&self, d: &Dot) -> bool {
+            self.0.values().any(|s| s.contains_dot(d))
+        }
+
+        fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        fn join(&mut self, self_ctx: &NCtx, other: &Self, other_ctx: &NCtx) {
+            let keys: BTreeSet<K> = self.0.keys().chain(other.0.keys()).cloned().collect();
+            for k in keys {
+                let mut s = self.0.remove(&k).unwrap_or_default();
+                let empty = S::default();
+                let ts = other.0.get(&k).unwrap_or(&empty);
+                s.join(self_ctx, ts, other_ctx);
+                if !s.is_empty() {
+                    self.0.insert(k, s);
+                }
+            }
+        }
+
+        fn parts(&self) -> Vec<(Dot, Self)> {
+            let mut out = Vec::new();
+            for (k, s) in &self.0 {
+                for (d, part) in s.parts() {
+                    out.push((d, NMap(BTreeMap::from([(k.clone(), part)]))));
+                }
+            }
+            out
+        }
+
+        fn encode(&self, out: &mut Vec<u8>) {
+            (self.0.len() as u64).encode(out);
+            for (k, s) in &self.0 {
+                k.encode(out);
+                s.encode(out);
+            }
+        }
+    }
+
+    /// The old `Causal<S>`: store + context, framework join, generic
+    /// optimal delta, `store.encode ++ ctx.encode` wire layout.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct NCausal<S> {
+        pub store: S,
+        pub ctx: NCtx,
+    }
+
+    impl<S: NStore> NCausal<S> {
+        pub fn mutate(
+            &mut self,
+            replica: Option<ReplicaId>,
+            kill: impl Fn(&Dot) -> bool,
+            write: impl FnOnce(Dot) -> S,
+        ) -> Self {
+            let mut delta = Self::default();
+            let mut dead_ctx = NCtx::default();
+            self.store.for_each_dot(&mut |d| {
+                if kill(&d) {
+                    dead_ctx.insert(d);
+                }
+            });
+            self.store.join(&self.ctx, &S::default(), &dead_ctx);
+            delta.ctx.union(&dead_ctx);
+            if let Some(r) = replica {
+                let pre_ctx = self.ctx.clone();
+                let dot = self.ctx.next_dot(r);
+                let news = write(dot);
+                self.store.join(&pre_ctx, &news, &NCtx::singleton(dot));
+                delta.store = news;
+                delta.ctx.insert(dot);
+            }
+            delta
+        }
+
+        pub fn join(&mut self, other: &Self) {
+            self.store.join(&self.ctx, &other.store, &other.ctx);
+            self.ctx.union(&other.ctx);
+        }
+
+        pub fn delta(&self, other: &Self) -> Self {
+            let mut d = Self::default();
+            for (dot, part) in self.store.parts() {
+                if !other.ctx.contains(&dot) {
+                    let d_ctx = d.ctx.clone();
+                    d.store.join(&d_ctx, &part, &NCtx::singleton(dot));
+                    d.ctx.insert(dot);
+                }
+            }
+            for dot in self.ctx.iter() {
+                if !self.store.contains_dot(&dot)
+                    && (!other.ctx.contains(&dot) || other.store.contains_dot(&dot))
+                {
+                    d.ctx.insert(dot);
+                }
+            }
+            d
+        }
+
+        pub fn count(&self) -> u64 {
+            self.ctx.len()
+        }
+
+        pub fn to_bytes(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            self.store.encode(&mut out);
+            self.ctx.encode(&mut out);
+            out
+        }
+    }
+}
+
+use nested::{NCausal, NFun, NMap, NSet, NStore};
+
+// ---------------------------------------------------------------------------
+// Pairing a flat type with its nested model
+// ---------------------------------------------------------------------------
+
+/// A flat causal CRDT paired with its nested reference: ops apply to
+/// both, deltas ship as (flat delta, nested delta) pairs, and parity is
+/// asserted on value, element count and encoded bytes.
+trait Parity: Sized {
+    type Flat: Crdt + WireEncode + Bottom;
+    type Store: NStore;
+    type Val: Debug + PartialEq;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &<Self::Flat as Crdt>::Op,
+    ) -> (Self::Flat, NCausal<Self::Store>);
+
+    fn flat_value(flat: &Self::Flat) -> Self::Val;
+    fn nested_value(model: &NCausal<Self::Store>) -> Self::Val;
+
+    /// Which replica's local context mints the op's dot (ops without a
+    /// dot may run anywhere).
+    fn owner(op: &<Self::Flat as Crdt>::Op) -> Option<ReplicaId>;
+}
+
+fn assert_parity<P: Parity>(flat: &P::Flat, model: &NCausal<P::Store>, what: &str) {
+    assert_eq!(
+        P::flat_value(flat),
+        P::nested_value(model),
+        "{what}: value diverged"
+    );
+    assert_eq!(
+        flat.count_elements(),
+        model.count(),
+        "{what}: element count diverged"
+    );
+    assert_eq!(flat.to_bytes(), model.to_bytes(), "{what}: bytes diverged");
+    // The cached-frame path must agree with the from-scratch path.
+    assert_eq!(
+        flat.encode_frame().as_ref(),
+        model.to_bytes(),
+        "{what}: cached frame diverged"
+    );
+}
+
+/// One schedule event: apply an op at its owning replica, deliver a
+/// buffered delta to a replica, or full-state join one replica into
+/// another.
+#[derive(Debug, Clone)]
+enum Event<Op> {
+    Op(Op),
+    DeliverDelta { delta: usize, to: usize },
+    FullJoin { from: usize, to: usize },
+}
+
+fn event_strategy<Op: Debug + Clone + 'static>(
+    op: impl Strategy<Value = Op> + 'static,
+) -> impl Strategy<Value = Event<Op>> {
+    prop_oneof![
+        4 => op.prop_map(Event::Op),
+        3 => (any::<usize>(), 0usize..3)
+            .prop_map(|(delta, to)| Event::DeliverDelta { delta, to }),
+        2 => (0usize..3, 0usize..3).prop_map(|(from, to)| Event::FullJoin { from, to }),
+    ]
+}
+
+/// Run a schedule over 3 (flat, nested) replica pairs, checking parity on
+/// every replica after every event, then converge everyone and check the
+/// lagging replica repairs to parity via the optimal delta.
+fn run_parity_schedule<P: Parity>(events: Vec<Event<<P::Flat as Crdt>::Op>>)
+where
+    <P::Flat as Crdt>::Op: Clone,
+{
+    let mut flats: Vec<P::Flat> = (0..3).map(|_| P::Flat::bottom()).collect();
+    let mut models: Vec<NCausal<P::Store>> = (0..3).map(|_| NCausal::default()).collect();
+    let mut deltas: Vec<(P::Flat, NCausal<P::Store>)> = Vec::new();
+
+    for event in &events {
+        match event {
+            Event::Op(op) => {
+                let owner = P::owner(op).map(|r| r.index()).unwrap_or(0) % 3;
+                let (fd, nd) = P::apply(&mut flats[owner], &mut models[owner], op);
+                deltas.push((fd, nd));
+            }
+            Event::DeliverDelta { delta, to } => {
+                if deltas.is_empty() {
+                    continue;
+                }
+                let (fd, nd) = &deltas[delta % deltas.len()];
+                flats[*to].join_assign(fd.clone());
+                models[*to].join(nd);
+            }
+            Event::FullJoin { from, to } => {
+                if from == to {
+                    continue;
+                }
+                let (fd, nd) = (flats[*from].clone(), models[*from].clone());
+                flats[*to].join_assign(fd);
+                models[*to].join(&nd);
+            }
+        }
+        for i in 0..3 {
+            assert_parity::<P>(&flats[i], &models[i], "mid-schedule");
+        }
+    }
+
+    // Keep replica 2 stale, converge 0 and 1 fully (this also exercises
+    // cloud→clock compaction in the nested model as delivery gaps fill,
+    // and run coalescing in the flat one).
+    let stale_flat = flats[2].clone();
+    let stale_model = models[2].clone();
+    for (fd, nd) in &deltas {
+        flats[0].join_assign(fd.clone());
+        models[0].join(nd);
+    }
+    let (f1, n1) = (flats[1].clone(), models[1].clone());
+    flats[0].join_assign(f1);
+    models[0].join(&n1);
+    assert_parity::<P>(&flats[0], &models[0], "converged");
+
+    // Repair-after-compaction: the optimal delta from the converged
+    // (fully compacted) state must repair the stale replica identically
+    // in both representations.
+    let flat_repair = flats[0].delta(&stale_flat);
+    let model_repair = models[0].delta(&stale_model);
+    let mut flat_stale = stale_flat;
+    let mut model_stale = stale_model;
+    flat_stale.join_assign(flat_repair);
+    model_stale.join(&model_repair);
+    assert_parity::<P>(&flat_stale, &model_stale, "repaired");
+    assert_eq!(
+        flat_stale.to_bytes(),
+        flats[0].to_bytes(),
+        "repair did not reach the converged state"
+    );
+}
+
+fn replica() -> impl Strategy<Value = ReplicaId> {
+    (0u32..3).prop_map(ReplicaId)
+}
+
+// ---------------------------------------------------------------------------
+// The seven causal types, one Parity impl each
+// ---------------------------------------------------------------------------
+
+struct AwSetParity;
+
+impl Parity for AwSetParity {
+    type Flat = AWSet<u8>;
+    type Store = NFun<u8>;
+    type Val = BTreeSet<u8>;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &AWSetOp<u8>,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let nd = match op {
+            AWSetOp::Add(r, e) => {
+                let kill: BTreeSet<Dot> = model
+                    .store
+                    .0
+                    .iter()
+                    .filter(|(_, v)| *v == e)
+                    .map(|(d, _)| *d)
+                    .collect();
+                let e = *e;
+                model.mutate(
+                    Some(*r),
+                    |d| kill.contains(d),
+                    |dot| NFun(BTreeMap::from([(dot, e)])),
+                )
+            }
+            AWSetOp::Remove(e) => {
+                let kill: BTreeSet<Dot> = model
+                    .store
+                    .0
+                    .iter()
+                    .filter(|(_, v)| *v == e)
+                    .map(|(d, _)| *d)
+                    .collect();
+                model.mutate(None, |d| kill.contains(d), |_| NFun::default())
+            }
+            AWSetOp::Clear => model.mutate(None, |_| true, |_| NFun::default()),
+        };
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> BTreeSet<u8> {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> BTreeSet<u8> {
+        model.store.0.values().copied().collect()
+    }
+
+    fn owner(op: &AWSetOp<u8>) -> Option<ReplicaId> {
+        match op {
+            AWSetOp::Add(r, _) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+struct EwFlagParity;
+
+impl Parity for EwFlagParity {
+    type Flat = EWFlag;
+    type Store = NFun<()>;
+    type Val = bool;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &EWFlagOp,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let nd = match op {
+            EWFlagOp::Enable(r) => {
+                model.mutate(Some(*r), |_| true, |dot| NFun(BTreeMap::from([(dot, ())])))
+            }
+            EWFlagOp::Disable => model.mutate(None, |_| true, |_| NFun::default()),
+        };
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> bool {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> bool {
+        !model.store.0.is_empty()
+    }
+
+    fn owner(op: &EWFlagOp) -> Option<ReplicaId> {
+        match op {
+            EWFlagOp::Enable(r) => Some(*r),
+            EWFlagOp::Disable => None,
+        }
+    }
+}
+
+struct CCounterParity;
+
+impl Parity for CCounterParity {
+    type Flat = CCounter;
+    type Store = NFun<i64>;
+    type Val = i64;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &CCounterOp,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let nd = match op {
+            CCounterOp::Add(r, by) => {
+                let current: i64 = model
+                    .store
+                    .0
+                    .iter()
+                    .filter(|(d, _)| d.replica == *r)
+                    .map(|(_, v)| *v)
+                    .sum();
+                let r2 = *r;
+                model.mutate(
+                    Some(*r),
+                    |d| d.replica == r2,
+                    |dot| NFun(BTreeMap::from([(dot, current + by)])),
+                )
+            }
+            CCounterOp::Reset => model.mutate(None, |_| true, |_| NFun::default()),
+        };
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> i64 {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> i64 {
+        model.store.0.values().sum()
+    }
+
+    fn owner(op: &CCounterOp) -> Option<ReplicaId> {
+        match op {
+            CCounterOp::Add(r, _) => Some(*r),
+            CCounterOp::Reset => None,
+        }
+    }
+}
+
+struct OrMapParity;
+
+impl Parity for OrMapParity {
+    type Flat = ORMap<u8, u16>;
+    type Store = NMap<u8, NFun<u16>>;
+    type Val = BTreeMap<u8, Vec<u16>>;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &ORMapOp<u8, u16>,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let key_dots = |model: &NCausal<Self::Store>, k: &u8| -> BTreeSet<Dot> {
+            model
+                .store
+                .0
+                .get(k)
+                .map(|f| f.0.keys().copied().collect())
+                .unwrap_or_default()
+        };
+        let nd = match op {
+            ORMapOp::Put(r, k, v) => {
+                let kill = key_dots(model, k);
+                let (k, v) = (*k, *v);
+                model.mutate(
+                    Some(*r),
+                    |d| kill.contains(d),
+                    |dot| NMap(BTreeMap::from([(k, NFun(BTreeMap::from([(dot, v)])))])),
+                )
+            }
+            ORMapOp::Remove(k) => {
+                let kill = key_dots(model, k);
+                model.mutate(None, |d| kill.contains(d), |_| NMap::default())
+            }
+            ORMapOp::Clear => model.mutate(None, |_| true, |_| NMap::default()),
+        };
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> Self::Val {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> Self::Val {
+        model
+            .store
+            .0
+            .iter()
+            .map(|(k, f)| (*k, f.0.values().copied().collect()))
+            .collect()
+    }
+
+    fn owner(op: &ORMapOp<u8, u16>) -> Option<ReplicaId> {
+        match op {
+            ORMapOp::Put(r, _, _) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+struct OrSetMapParity;
+
+impl Parity for OrSetMapParity {
+    type Flat = ORSetMap<u8, u16>;
+    type Store = NMap<u8, NMap<u16, NSet>>;
+    type Val = BTreeMap<u8, BTreeSet<u16>>;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &ORSetMapOp<u8, u16>,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let elem_dots = |model: &NCausal<Self::Store>, k: &u8, e: &u16| -> BTreeSet<Dot> {
+            model
+                .store
+                .0
+                .get(k)
+                .and_then(|sets| sets.0.get(e))
+                .map(|ds| ds.0.clone())
+                .unwrap_or_default()
+        };
+        let nd = match op {
+            ORSetMapOp::Add(r, k, e) => {
+                let kill = elem_dots(model, k, e);
+                let (k, e) = (*k, *e);
+                model.mutate(
+                    Some(*r),
+                    |d| kill.contains(d),
+                    |dot| {
+                        NMap(BTreeMap::from([(
+                            k,
+                            NMap(BTreeMap::from([(e, NSet(BTreeSet::from([dot])))])),
+                        )]))
+                    },
+                )
+            }
+            ORSetMapOp::RemoveElem(k, e) => {
+                let kill = elem_dots(model, k, e);
+                model.mutate(None, |d| kill.contains(d), |_| NMap::default())
+            }
+            ORSetMapOp::RemoveKey(k) => {
+                let mut kill = BTreeSet::new();
+                if let Some(sets) = model.store.0.get(k) {
+                    sets.for_each_dot(&mut |d| {
+                        kill.insert(d);
+                    });
+                }
+                model.mutate(None, |d| kill.contains(d), |_| NMap::default())
+            }
+        };
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> Self::Val {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> Self::Val {
+        model
+            .store
+            .0
+            .iter()
+            .map(|(k, sets)| (*k, sets.0.keys().copied().collect()))
+            .collect()
+    }
+
+    fn owner(op: &ORSetMapOp<u8, u16>) -> Option<ReplicaId> {
+        match op {
+            ORSetMapOp::Add(r, _, _) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+struct RwSetParity;
+
+impl Parity for RwSetParity {
+    type Flat = RWSet<u8>;
+    type Store = NMap<u8, NFun<bool>>;
+    type Val = BTreeSet<u8>;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &RWSetOp<u8>,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let (r, e, present) = match op {
+            RWSetOp::Add(r, e) => (*r, *e, true),
+            RWSetOp::Remove(r, e) => (*r, *e, false),
+        };
+        let kill: BTreeSet<Dot> = model
+            .store
+            .0
+            .get(&e)
+            .map(|votes| votes.0.keys().copied().collect())
+            .unwrap_or_default();
+        let nd = model.mutate(
+            Some(r),
+            |d| kill.contains(d),
+            |dot| {
+                NMap(BTreeMap::from([(
+                    e,
+                    NFun(BTreeMap::from([(dot, present)])),
+                )]))
+            },
+        );
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> BTreeSet<u8> {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> BTreeSet<u8> {
+        model
+            .store
+            .0
+            .iter()
+            .filter(|(_, votes)| votes.0.values().any(|v| *v) && !votes.0.values().any(|v| !*v))
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
+    fn owner(op: &RWSetOp<u8>) -> Option<ReplicaId> {
+        match op {
+            RWSetOp::Add(r, _) | RWSetOp::Remove(r, _) => Some(*r),
+        }
+    }
+}
+
+struct DwFlagParity;
+
+impl Parity for DwFlagParity {
+    type Flat = DWFlag;
+    type Store = NFun<bool>;
+    type Val = bool;
+
+    fn apply(
+        flat: &mut Self::Flat,
+        model: &mut NCausal<Self::Store>,
+        op: &DWFlagOp,
+    ) -> (Self::Flat, NCausal<Self::Store>) {
+        let (r, enabled) = match op {
+            DWFlagOp::Enable(r) => (*r, true),
+            DWFlagOp::Disable(r) => (*r, false),
+        };
+        let nd = model.mutate(
+            Some(r),
+            |_| true,
+            |dot| NFun(BTreeMap::from([(dot, enabled)])),
+        );
+        (flat.apply(op), nd)
+    }
+
+    fn flat_value(flat: &Self::Flat) -> bool {
+        flat.value()
+    }
+
+    fn nested_value(model: &NCausal<Self::Store>) -> bool {
+        model.store.0.values().any(|v| *v) && !model.store.0.values().any(|v| !*v)
+    }
+
+    fn owner(op: &DWFlagOp) -> Option<ReplicaId> {
+        match op {
+            DWFlagOp::Enable(r) | DWFlagOp::Disable(r) => Some(*r),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op strategies + the suites
+// ---------------------------------------------------------------------------
+
+fn awset_op() -> impl Strategy<Value = AWSetOp<u8>> {
+    prop_oneof![
+        4 => (replica(), 0u8..6).prop_map(|(r, e)| AWSetOp::Add(r, e)),
+        2 => (0u8..6).prop_map(AWSetOp::Remove),
+        1 => Just(AWSetOp::Clear),
+    ]
+}
+
+fn ewflag_op() -> impl Strategy<Value = EWFlagOp> {
+    prop_oneof![
+        replica().prop_map(EWFlagOp::Enable),
+        Just(EWFlagOp::Disable),
+    ]
+}
+
+fn ccounter_op() -> impl Strategy<Value = CCounterOp> {
+    prop_oneof![
+        4 => (replica(), -5i64..5).prop_map(|(r, by)| CCounterOp::Add(r, by)),
+        1 => Just(CCounterOp::Reset),
+    ]
+}
+
+fn ormap_op() -> impl Strategy<Value = ORMapOp<u8, u16>> {
+    prop_oneof![
+        4 => (replica(), 0u8..5, 0u16..50).prop_map(|(r, k, v)| ORMapOp::Put(r, k, v)),
+        2 => (0u8..5).prop_map(ORMapOp::Remove),
+        1 => Just(ORMapOp::Clear),
+    ]
+}
+
+fn orsetmap_op() -> impl Strategy<Value = ORSetMapOp<u8, u16>> {
+    prop_oneof![
+        4 => (replica(), 0u8..4, 0u16..6).prop_map(|(r, k, e)| ORSetMapOp::Add(r, k, e)),
+        2 => (0u8..4, 0u16..6).prop_map(|(k, e)| ORSetMapOp::RemoveElem(k, e)),
+        1 => (0u8..4).prop_map(ORSetMapOp::RemoveKey),
+    ]
+}
+
+fn rwset_op() -> impl Strategy<Value = RWSetOp<u8>> {
+    prop_oneof![
+        (replica(), 0u8..6).prop_map(|(r, e)| RWSetOp::Add(r, e)),
+        (replica(), 0u8..6).prop_map(|(r, e)| RWSetOp::Remove(r, e)),
+    ]
+}
+
+fn dwflag_op() -> impl Strategy<Value = DWFlagOp> {
+    prop_oneof![
+        replica().prop_map(DWFlagOp::Enable),
+        replica().prop_map(DWFlagOp::Disable),
+    ]
+}
+
+macro_rules! parity_suite {
+    ($name:ident, $parity:ty, $op_strat:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(32))]
+
+                #[test]
+                fn flat_matches_nested(events in pvec(event_strategy($op_strat), 0..24)) {
+                    run_parity_schedule::<$parity>(events);
+                }
+            }
+        }
+    };
+}
+
+parity_suite!(awset_parity, AwSetParity, awset_op());
+parity_suite!(ewflag_parity, EwFlagParity, ewflag_op());
+parity_suite!(ccounter_parity, CCounterParity, ccounter_op());
+parity_suite!(ormap_parity, OrMapParity, ormap_op());
+parity_suite!(orsetmap_parity, OrSetMapParity, orsetmap_op());
+parity_suite!(rwset_parity, RwSetParity, rwset_op());
+parity_suite!(dwflag_parity, DwFlagParity, dwflag_op());
+
+// ---------------------------------------------------------------------------
+// Deterministic regression cases
+// ---------------------------------------------------------------------------
+
+/// Out-of-order delta delivery builds a cloud in the nested model; gap
+/// fill compacts it into the clock. The flat runs must encode the same
+/// clock/cloud split at every stage.
+#[test]
+fn cloud_compaction_parity() {
+    let a = ReplicaId(0);
+    let mut source = AWSet::new();
+    let mut source_n: NCausal<NFun<u8>> = NCausal::default();
+    let mut deltas = Vec::new();
+    for e in 0..5u8 {
+        let (fd, nd) = AwSetParity::apply(&mut source, &mut source_n, &AWSetOp::Add(a, e));
+        deltas.push((fd, nd));
+    }
+    let mut obs = AWSet::new();
+    let mut obs_n: NCausal<NFun<u8>> = NCausal::default();
+    // Deliver 4, 2, 0 — all gaps, everything in the cloud.
+    for i in [4usize, 2, 0] {
+        obs.join_assign(deltas[i].0.clone());
+        obs_n.join(&deltas[i].1);
+        assert_parity::<AwSetParity>(&obs, &obs_n, "gapped");
+    }
+    // Deliver 1, 3 — fills the gaps, cloud compacts to a pure clock.
+    for i in [1usize, 3] {
+        obs.join_assign(deltas[i].0.clone());
+        obs_n.join(&deltas[i].1);
+        assert_parity::<AwSetParity>(&obs, &obs_n, "filling");
+    }
+    assert_eq!(obs.to_bytes(), source.to_bytes(), "converged to the source");
+}
+
+/// Decode parity: bytes produced by the nested model decode into the flat
+/// representation and re-encode byte-identically (honest frames only).
+#[test]
+fn nested_bytes_roundtrip_through_flat() {
+    let (a, b) = (ReplicaId(0), ReplicaId(1));
+    let mut flat = ORSetMap::new();
+    let mut model: NCausal<NMap<u8, NMap<u16, NSet>>> = NCausal::default();
+    for op in [
+        ORSetMapOp::Add(a, 1, 10),
+        ORSetMapOp::Add(b, 1, 20),
+        ORSetMapOp::RemoveElem(1, 10),
+        ORSetMapOp::Add(a, 2, 30),
+        ORSetMapOp::RemoveKey(2),
+    ] {
+        let _ = OrSetMapParity::apply(&mut flat, &mut model, &op);
+    }
+    let bytes = model.to_bytes();
+    let decoded = ORSetMap::<u8, u16>::from_bytes(&bytes).expect("nested bytes decode flat");
+    assert_eq!(decoded, flat);
+    assert_eq!(decoded.to_bytes(), bytes, "re-encode is byte-identical");
+}

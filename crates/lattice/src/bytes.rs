@@ -1,0 +1,398 @@
+//! Shared immutable byte buffers and reusable encode scratch.
+//!
+//! The wire path moves encoded payloads through envelopes, batches,
+//! runners and stores. With `Vec<u8>` payloads every hand-off is a copy
+//! and every envelope is its own heap allocation — at the paper's Retwis
+//! scale (30 K objects per node) the simulator's profile becomes
+//! allocation, not protocol. This module provides the two pieces that
+//! make the hot path zero-copy (the workspace is offline, so both are
+//! hand-rolled rather than pulled from the `bytes` crate). It lives in
+//! the lattice crate — below the codec — so that
+//! [`WireEncode::encode_frame`](crate::WireEncode::encode_frame) can
+//! return shared frames and the flat causal states in `crdt-types` can
+//! cache their encoded frame without a dependency cycle; `crdt_sync`
+//! re-exports both types from its historical `bytes` path:
+//!
+//! * [`Bytes`] — an `Arc<[u8]>`-backed slice: cloning is a reference
+//!   count bump, and [`Bytes::slice`] carves sub-ranges (an envelope
+//!   payload out of a batch frame) without copying;
+//! * [`BufferPool`] — recycled `Vec<u8>` encode scratch. Engines encode
+//!   a whole sync step into one scratch buffer, freeze it into a single
+//!   shared [`Bytes`] allocation, and the scratch (capacity intact)
+//!   returns to the pool for the next round — steady-state rounds stop
+//!   allocating for payload bytes altogether.
+
+use std::ops::{Deref, Range};
+use std::sync::{Arc, OnceLock};
+
+/// A cheaply cloneable, sliceable, immutable byte buffer
+/// (`Arc<[u8]>`-backed).
+///
+/// Equality, ordering and hashing are by content, so swapping a
+/// `Vec<u8>` payload field for `Bytes` preserves derived semantics.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+/// The shared backing of every empty [`Bytes`]: empty payloads are
+/// common (acks, probes) and must not cost an allocation each.
+fn empty_arc() -> &'static Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..]))
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation beyond a process-wide shared one).
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::clone(empty_arc()),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Copy a slice into a fresh shared buffer (one allocation).
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Bytes::new();
+        }
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Length of the viewed range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the viewed range empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// If `range` is out of bounds of this view.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds of a {}-byte view",
+            self.len
+        );
+        if range.is_empty() {
+            return Bytes::new();
+        }
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Does `sub` point into this view's memory? When it does, returns
+    /// `sub`'s offset relative to the view start — the basis for
+    /// zero-copy decoding: a decoder holding the frame as `Bytes` and a
+    /// cursor `&[u8]` into it can turn any cursor sub-slice back into a
+    /// shared [`Bytes::slice`] instead of copying it out.
+    pub fn offset_of(&self, sub: &[u8]) -> Option<usize> {
+        let view = self.as_slice().as_ptr() as usize;
+        let ptr = sub.as_ptr() as usize;
+        (ptr >= view && ptr + sub.len() <= view + self.len).then(|| ptr - view)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::copy_from_slice(&v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl core::hash::Hash for Bytes {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Bytes({} B)", self.len)
+    }
+}
+
+/// Recycled encode scratch buffers.
+///
+/// [`BufferPool::take`] hands out a cleared `Vec<u8>` whose capacity
+/// survived earlier rounds; [`BufferPool::freeze`] converts the filled
+/// scratch into one shared [`Bytes`] allocation and returns the scratch
+/// to the pool. Buffers rotate round-robin (taken from the front,
+/// returned to the back), so a pool shared by alternating phases keeps
+/// every buffer warm instead of growing one and never touching the rest.
+///
+/// Pools are plain mutable state — per worker, per node, or per replica;
+/// they are deliberately not synchronized (the runners' phase model
+/// already gives each worker exclusive state).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// An empty pool (buffers materialize on first use).
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A cleared scratch buffer, reusing pooled capacity when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.is_empty() {
+            true => Vec::new(),
+            false => self.free.remove(0),
+        }
+    }
+
+    /// Return a scratch buffer to the pool (cleared, capacity kept).
+    pub fn give(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Freeze `scratch` into one shared [`Bytes`] and recycle the
+    /// scratch. Empty scratch freezes to the shared empty buffer — no
+    /// allocation.
+    pub fn freeze(&mut self, scratch: Vec<u8>) -> Bytes {
+        let frame = Bytes::copy_from_slice(&scratch);
+        self.give(scratch);
+        frame
+    }
+
+    /// Buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy_and_content_equal() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.len(), 3);
+        // The sub-view shares the parent's allocation.
+        assert_eq!(b.offset_of(&s), Some(1));
+        let ss = s.slice(1..2);
+        assert_eq!(&ss[..], &[3]);
+        assert_eq!(b.offset_of(&ss), Some(2));
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![9u8, 8]);
+        let b = Bytes::from(vec![0u8, 9, 8, 1]).slice(1..3);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![9u8, 8]);
+        assert_ne!(a, Bytes::new());
+        assert_eq!(Bytes::new(), Bytes::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_are_checked() {
+        let _ = Bytes::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn offset_of_rejects_foreign_slices() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let other = [1u8, 2, 3];
+        assert_eq!(b.offset_of(&other), None);
+        let cursor = &b.as_slice()[2..];
+        assert_eq!(b.offset_of(cursor), Some(2));
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut pool = BufferPool::new();
+        let mut s = pool.take();
+        s.extend_from_slice(&[1, 2, 3]);
+        let cap = s.capacity();
+        let frame = pool.freeze(s);
+        assert_eq!(&frame[..], &[1, 2, 3]);
+        assert_eq!(pool.pooled(), 1);
+        let s2 = pool.take();
+        assert!(s2.is_empty());
+        assert_eq!(s2.capacity(), cap, "capacity survives the freeze");
+    }
+
+    #[test]
+    fn empty_freeze_shares_the_static_empty() {
+        let mut pool = BufferPool::new();
+        let scratch = pool.take();
+        let frame = pool.freeze(scratch);
+        assert!(frame.is_empty());
+    }
+
+    /// An empty slice taken exactly at the end of the view is legal and
+    /// collapses to the shared empty buffer, not a dangling sub-view.
+    #[test]
+    fn empty_slice_at_end_is_the_empty_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let end = b.slice(3..3);
+        assert!(end.is_empty());
+        assert_eq!(end, Bytes::new());
+        // It does not alias the parent: offset_of on the shared empty
+        // backing finds nothing inside `b`.
+        assert_eq!(b.offset_of(&end), None);
+        // Same for an empty slice of an empty buffer.
+        assert!(Bytes::new().slice(0..0).is_empty());
+    }
+
+    /// A full-range slice is content-identical to the original and still
+    /// shares the original's allocation (identity, not a copy).
+    #[test]
+    fn full_range_slice_is_identity() {
+        let b = Bytes::from(vec![5u8, 6, 7, 8]);
+        let whole = b.slice(0..b.len());
+        assert_eq!(whole, b);
+        assert_eq!(whole.len(), b.len());
+        assert_eq!(
+            b.offset_of(&whole),
+            Some(0),
+            "full-range slice shares the parent allocation"
+        );
+        // Slicing the identity again behaves like slicing the parent.
+        assert_eq!(whole.slice(1..3), b.slice(1..3));
+    }
+
+    /// A pool behind a mutex serves concurrent checkout/freeze/return
+    /// from many threads without losing or corrupting buffers — the
+    /// shape `crdt-net` uses when socket readers and the anti-entropy
+    /// scheduler share one node's pool.
+    #[test]
+    fn pool_survives_concurrent_checkout_and_return() {
+        use std::sync::{Arc, Mutex};
+
+        let pool = Arc::new(Mutex::new(BufferPool::new()));
+        let threads = 8;
+        let rounds = 200;
+        let frames: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut produced = Vec::new();
+                    for i in 0..rounds {
+                        let mut scratch = pool.lock().unwrap().take();
+                        assert!(scratch.is_empty(), "pooled scratch arrives cleared");
+                        let marker = (t * rounds + i) as u32;
+                        scratch.extend_from_slice(&marker.to_le_bytes());
+                        let frame = pool.lock().unwrap().freeze(scratch);
+                        produced.push((marker, frame));
+                        // Every other round, also cycle a raw give/take.
+                        if i % 2 == 0 {
+                            let extra = pool.lock().unwrap().take();
+                            pool.lock().unwrap().give(extra);
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut total = 0;
+        for handle in frames {
+            for (marker, frame) in handle.join().unwrap() {
+                assert_eq!(
+                    frame.as_slice(),
+                    marker.to_le_bytes(),
+                    "frozen frames keep their content under contention"
+                );
+                total += 1;
+            }
+        }
+        assert_eq!(total, threads * rounds);
+        let pooled = pool.lock().unwrap().pooled();
+        assert!(
+            pooled >= 1 && pooled <= threads * 2,
+            "pool holds a bounded set of recycled buffers, got {pooled}"
+        );
+    }
+}

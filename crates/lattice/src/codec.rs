@@ -125,6 +125,18 @@ pub trait WireEncode: Sized {
         }
         Ok(value)
     }
+
+    /// Encode into a shared, immutable frame.
+    ///
+    /// The default builds a fresh [`Bytes`](crate::Bytes) each call.
+    /// Types that cache their encoded frame (the flat causal states in
+    /// `crdt-types`) override this to return the cached frame when the
+    /// value is unmutated since the last encode — a reference-count bump
+    /// instead of a re-encode. Byte content is always identical to
+    /// [`WireEncode::to_bytes`].
+    fn encode_frame(&self) -> crate::Bytes {
+        crate::Bytes::from(self.to_bytes())
+    }
 }
 
 macro_rules! impl_wire_uint {

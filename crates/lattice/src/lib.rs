@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod antichain;
+pub mod bytes;
 pub mod codec;
 mod decompose;
 mod lex;
@@ -59,6 +60,7 @@ mod traits;
 mod vclock;
 
 pub use antichain::{Antichain, Poset};
+pub use bytes::{BufferPool, Bytes};
 pub use codec::{CodecError, WireEncode};
 pub use decompose::{optimal_delta, Decompose};
 pub use lex::Lex;
