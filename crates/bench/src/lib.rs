@@ -47,6 +47,7 @@
 //! cargo run --release -p crdt-bench --bin net_loopback -- --quick --protocol all
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use crdt_lattice::{SizeModel, WireEncode};

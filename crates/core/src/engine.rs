@@ -592,6 +592,7 @@ impl<K: WireEncode> WireEncode for BatchEnvelope<K> {
     /// slice of the frame) or iterate [`BatchEntries`] (fully borrowed).
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
         let mut iter = BatchEntries::<K>::parse(input)?;
+        // lint: allow(capacity) — entry count validated against the input length in BatchEntries::parse
         let mut entries = Vec::with_capacity(iter.remaining());
         for item in &mut iter {
             let (k, env) = item?;
@@ -611,6 +612,7 @@ impl<K: WireEncode> BatchEnvelope<K> {
     pub fn decode_shared(frame: &Bytes) -> Result<Self, CodecError> {
         let mut input: &[u8] = frame;
         let mut iter = BatchEntries::<K>::parse(&mut input)?;
+        // lint: allow(capacity) — entry count validated against the input length in BatchEntries::parse
         let mut entries = Vec::with_capacity(iter.remaining());
         for item in &mut iter {
             let (k, env) = item?;

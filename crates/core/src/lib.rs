@@ -76,6 +76,7 @@
 //! assert_eq!(out[0].1.payload_elements(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

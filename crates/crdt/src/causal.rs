@@ -136,6 +136,7 @@ impl CausalContext {
 
     /// Union with `other`; returns `true` if this context grew. The
     /// already-covered case is a no-allocation subset scan.
+    // lint: allow(epoch) — CausalContext carries no tag; Causal<S> and the engines bump around every union
     pub fn union(&mut self, other: &CausalContext) -> bool {
         self.runs.union(&other.runs)
     }
@@ -336,7 +337,7 @@ impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
                     core::cmp::Ordering::Greater => Some(false),
                     core::cmp::Ordering::Equal => {
                         // Live on both sides: survives the join.
-                        merged.push(mine.next().expect("peeked"));
+                        merged.push(mine.next().expect("peeked")); // lint: allow(panic) — peek() just returned Some
                         theirs.next();
                         continue;
                     }
@@ -348,7 +349,7 @@ impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
             match take_mine {
                 // Only I hold it live: keep unless the peer saw it die.
                 Some(true) => {
-                    let (d, v) = mine.next().expect("peeked");
+                    let (d, v) = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !other.ctx.contains(&d) {
                         merged.push((d, v));
                     }
@@ -356,7 +357,7 @@ impl<V: Ord + Clone + core::fmt::Debug> Lattice for DotStore<V> {
                 // Only the peer holds it live: adopt unless I saw it die
                 // (checked against my pre-union context).
                 Some(false) => {
-                    let (d, v) = theirs.next().expect("peeked");
+                    let (d, v) = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !self.ctx.contains(&d) {
                         merged.push((d, v));
                     }

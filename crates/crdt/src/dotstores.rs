@@ -203,30 +203,30 @@ impl DotStore for DotSet {
             match (mine.peek(), theirs.peek()) {
                 (Some(m), Some(t)) => match m.cmp(t) {
                     core::cmp::Ordering::Less => {
-                        let d = mine.next().expect("peeked");
+                        let d = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                         if !other_ctx.contains(&d) {
                             merged.push_dot_sorted(d);
                         }
                     }
                     core::cmp::Ordering::Greater => {
-                        let d = theirs.next().expect("peeked");
+                        let d = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                         if !self_ctx.contains(&d) {
                             merged.push_dot_sorted(d);
                         }
                     }
                     core::cmp::Ordering::Equal => {
-                        merged.push_dot_sorted(mine.next().expect("peeked"));
+                        merged.push_dot_sorted(mine.next().expect("peeked")); // lint: allow(panic) — peek() just returned Some
                         theirs.next();
                     }
                 },
                 (Some(_), None) => {
-                    let d = mine.next().expect("peeked");
+                    let d = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !other_ctx.contains(&d) {
                         merged.push_dot_sorted(d);
                     }
                 }
                 (None, Some(_)) => {
-                    let d = theirs.next().expect("peeked");
+                    let d = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !self_ctx.contains(&d) {
                         merged.push_dot_sorted(d);
                     }
@@ -363,7 +363,7 @@ impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
                     core::cmp::Ordering::Less => Some(true),
                     core::cmp::Ordering::Greater => Some(false),
                     core::cmp::Ordering::Equal => {
-                        merged.push(mine.next().expect("peeked"));
+                        merged.push(mine.next().expect("peeked")); // lint: allow(panic) — peek() just returned Some
                         theirs.next();
                         continue;
                     }
@@ -374,13 +374,13 @@ impl<V: Clone + Debug + Eq + Sizeable> DotStore for DotFun<V> {
             };
             match take_mine {
                 Some(true) => {
-                    let (d, v) = mine.next().expect("peeked");
+                    let (d, v) = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !other_ctx.contains(&d) {
                         merged.push((d, v));
                     }
                 }
                 Some(false) => {
-                    let (d, v) = theirs.next().expect("peeked");
+                    let (d, v) = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     if !self_ctx.contains(d) {
                         merged.push((*d, v.clone()));
                     }
@@ -550,8 +550,8 @@ impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
                     core::cmp::Ordering::Less => Some(true),
                     core::cmp::Ordering::Greater => Some(false),
                     core::cmp::Ordering::Equal => {
-                        let (k, mut s) = mine.next().expect("peeked");
-                        let (_, ts) = theirs.next().expect("peeked");
+                        let (k, mut s) = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
+                        let (_, ts) = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                         s.join(self_ctx, ts, other_ctx);
                         if !s.is_empty() {
                             merged.push((k, s));
@@ -565,14 +565,14 @@ impl<K: Ord + Clone + Debug + Sizeable, S: DotStore> DotStore for DotMap<K, S> {
             };
             match take_mine {
                 Some(true) => {
-                    let (k, mut s) = mine.next().expect("peeked");
+                    let (k, mut s) = mine.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     s.join(self_ctx, &empty, other_ctx);
                     if !s.is_empty() {
                         merged.push((k, s));
                     }
                 }
                 Some(false) => {
-                    let (k, ts) = theirs.next().expect("peeked");
+                    let (k, ts) = theirs.next().expect("peeked"); // lint: allow(panic) — peek() just returned Some
                     let mut s = S::default();
                     if s.join(self_ctx, ts, other_ctx) && !s.is_empty() {
                         merged.push((k.clone(), s));

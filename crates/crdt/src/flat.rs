@@ -150,6 +150,7 @@ impl DotRuns {
     /// Append the prefix run `1 ..= end_seq` for `replica` during decode.
     /// Callers must feed replicas in strictly increasing order (the wire
     /// clock is replica-sorted) and skip `end_seq == 0`.
+    // lint: allow(epoch) — context primitive owns no tag; the tagged wrapper bumps on every mutating path
     pub fn push_prefix_run(&mut self, replica: ReplicaId, end_seq: u64) {
         debug_assert!(end_seq >= 1);
         debug_assert!(self.runs.last().is_none_or(|r| r.replica < replica));
@@ -163,6 +164,7 @@ impl DotRuns {
     /// Append one dot during an in-order rebuild (callers feed dots in
     /// ascending `(replica, seq)` order), coalescing with the last run.
     /// Never inserts mid-buffer.
+    // lint: allow(epoch) — context primitive owns no tag; the tagged wrapper bumps on every mutating path
     pub fn push_dot_sorted(&mut self, d: Dot) {
         push_coalesced(
             &mut self.runs,
@@ -227,6 +229,7 @@ impl DotRuns {
     /// Union `other` into `self`; returns `true` if `self` grew. The
     /// subset fast path is a no-allocation scan, so re-unioning an
     /// already-covered context is free.
+    // lint: allow(epoch) — context primitive owns no tag; the tagged wrapper bumps on every mutating path
     pub fn union(&mut self, other: &DotRuns) -> bool {
         if other.subset_of(self) {
             return false;

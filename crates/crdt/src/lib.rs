@@ -48,6 +48,7 @@
 //! assert_eq!(x.value(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -39,6 +39,7 @@
 //! assert_eq!(d.join(b.clone()), a.join(b));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -30,7 +30,7 @@ impl From<u32> for ReplicaId {
 
 impl From<usize> for ReplicaId {
     fn from(v: usize) -> Self {
-        ReplicaId(u32::try_from(v).expect("replica index fits in u32"))
+        ReplicaId(u32::try_from(v).expect("replica index fits in u32")) // lint: allow(panic) — sim-only conversion; fleets are far below u32::MAX replicas
     }
 }
 

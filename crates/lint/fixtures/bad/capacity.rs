@@ -1,0 +1,15 @@
+//! BAD fixture for the `capacity` rule: preallocation proportional to
+//! an attacker-controlled count, with no dominating guard — a 5-byte
+//! frame claiming a billion entries would reserve gigabytes.
+
+pub fn decode(input: &mut &[u8]) -> Result<Batch, CodecError> {
+    let len = usize::decode(input)?;
+    let mut entries = Vec::with_capacity(len); // trusted attacker count
+    for _ in 0..len {
+        entries.push(Entry::decode(input)?);
+    }
+    let extra = usize::decode(input)?;
+    let mut tail = Vec::new();
+    tail.reserve(extra); // same hole via reserve
+    Ok(Batch { entries, tail })
+}

@@ -1,0 +1,14 @@
+//! BAD fixture for the `determinism` rule: wall-clock reads in a
+//! module whose numbers land in gated deterministic metrics — the CI
+//! gate would compare noise.
+
+use std::time::Instant;
+
+pub fn round_cost(rounds: u64) -> u64 {
+    let start = Instant::now();
+    let mut acc = 0;
+    for r in 0..rounds {
+        acc += r;
+    }
+    acc + start.elapsed().as_nanos() as u64
+}

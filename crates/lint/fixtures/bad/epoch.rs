@@ -1,0 +1,33 @@
+//! BAD fixture for the `epoch` rule: a tagged causal store with a
+//! `&mut self` mutator that never bumps the `StateTag` — the cached
+//! wire frame would keep serving pre-mutation bytes.
+
+pub struct StateTag {
+    epoch: u64,
+}
+
+pub struct DotStore<V> {
+    store: Vec<V>,
+    tag: StateTag,
+}
+
+pub struct AWSet<E>(DotStore<E>);
+
+impl<V> DotStore<V> {
+    pub fn mutate(&mut self, v: V) {
+        self.store.push(v);
+        self.tag.note_mutation();
+    }
+
+    /// Mutates the store but forgets the epoch: stale-frame bug.
+    pub fn truncate(&mut self, keep: usize) {
+        self.store.truncate(keep);
+    }
+}
+
+impl<E> AWSet<E> {
+    /// Delegates to a non-bumping mutator: still a stale-frame bug.
+    pub fn clear_quietly(&mut self) {
+        self.0.truncate(0);
+    }
+}

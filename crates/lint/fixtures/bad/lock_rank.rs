@@ -1,0 +1,21 @@
+//! BAD fixture for the `lock-rank` rule: acquisitions against the
+//! declared order (core → links → link, inbox alone).
+
+fn inverted_link_then_core(inner: &Inner, peer: &Peer) {
+    let mut link = peer.link.lock().unwrap(); // rank 3 first…
+    let core = inner.state.lock().unwrap(); // …then rank 1: inversion
+    link.push(core.frame());
+}
+
+fn links_then_core_bound(inner: &Inner) {
+    let links = inner.links.lock().unwrap(); // rank 2 held (bound)…
+    let core = inner.state.lock().unwrap(); // …rank 1 under it: inversion
+    drop(links);
+    drop(core);
+}
+
+fn inbox_not_alone(inner: &Inner) {
+    let core = inner.state.lock().unwrap();
+    let mut inbox = inner.inbox.lock().unwrap(); // inbox while core held
+    inbox.drain_into(core);
+}

@@ -1,0 +1,12 @@
+//! BAD fixture for the `panic` rule: a decode path that can be made to
+//! panic by hostile bytes. Every construct below must be flagged.
+
+pub fn decode(input: &mut &[u8]) -> Result<Frame, CodecError> {
+    let tag = input[0]; // direct indexing: panics on empty input
+    let len = usize::decode(input).unwrap(); // unwrap on attacker bytes
+    let body = input.get(..len).expect("length was checked"); // it was not
+    if tag > 7 {
+        panic!("bad tag {tag}"); // hostile discriminant must be an Err
+    }
+    Ok(Frame { tag, body: body.to_vec() })
+}

@@ -1,0 +1,22 @@
+//! GOOD fixture for the `capacity` rule: every preallocation is
+//! dominated by a guard, clamped, or constant — the canonical idioms
+//! the rule accepts.
+
+pub fn decode(input: &mut &[u8]) -> Result<Batch, CodecError> {
+    let len = usize::decode(input)?;
+    // Every entry costs ≥ 1 byte, so a count beyond the remaining
+    // input cannot be honest — reject before trusting it.
+    if len > input.len() {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let mut entries = Vec::with_capacity(len);
+    for _ in 0..len {
+        entries.push(Entry::decode(input)?);
+    }
+    let extra = usize::decode(input)?;
+    let mut tail = Vec::with_capacity(extra.min(MAX_TAIL)); // clamped
+    let mut scratch = Vec::with_capacity(16); // constant
+    scratch.reserve(HEADER_MAX); // cap const
+    tail.extend_from_slice(&scratch);
+    Ok(Batch { entries, tail })
+}

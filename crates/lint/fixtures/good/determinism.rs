@@ -1,0 +1,19 @@
+//! GOOD fixture for the `determinism` rule: deterministic accounting —
+//! counted rounds, counted bytes, a seeded generator — with no clock
+//! anywhere. Timing belongs in the artifact-only runner modules.
+
+pub fn round_cost(rounds: u64, bytes_per_round: u64) -> u64 {
+    let mut acc = 0;
+    for r in 0..rounds {
+        acc += r.wrapping_mul(bytes_per_round);
+    }
+    acc
+}
+
+pub fn seeded_jitter(seed: u64) -> u64 {
+    // splitmix64 step: reproducible across runs and hosts.
+    let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}

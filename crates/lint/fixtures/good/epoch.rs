@@ -1,0 +1,41 @@
+//! GOOD fixture for the `epoch` rule: every `&mut self` mutator on
+//! tagged state reaches a bump — directly, by delegation, or is
+//! explicitly allowlisted as frame-neutral.
+
+pub struct StateTag {
+    epoch: u64,
+}
+
+pub struct DotStore<V> {
+    store: Vec<V>,
+    tag: StateTag,
+}
+
+pub struct AWSet<E>(DotStore<E>);
+
+impl<V> DotStore<V> {
+    pub fn mutate(&mut self, v: V) {
+        self.store.push(v);
+        self.tag.note_mutation();
+    }
+
+    pub fn join_assign(&mut self, other: Self) -> bool {
+        let changed = !other.store.is_empty();
+        if changed {
+            self.tag = StateTag::fresh();
+        }
+        changed
+    }
+}
+
+impl<E> AWSet<E> {
+    /// Bumps by delegation through `mutate`.
+    pub fn add(&mut self, e: E) {
+        self.0.mutate(e);
+    }
+
+    // lint: allow(epoch) — capacity-only reshape; encoded bytes are identical
+    pub fn shrink_to_fit(&mut self) {
+        self.0.store.shrink_to_fit();
+    }
+}

@@ -1,0 +1,34 @@
+//! GOOD fixture for the `lock-rank` rule: the reactor's real
+//! acquisition shapes — ascending ranks, statement-temporary guards
+//! released before the next acquisition, early `drop`, inbox alone.
+
+fn ascending(inner: &Inner) {
+    let mut core = inner.state.lock().unwrap(); // rank 1
+    let links = inner.links.lock().unwrap(); // rank 2 over 1: fine
+    for l in links.values() {
+        let mut link = l.link.lock().unwrap(); // rank 3 over 2: fine
+        link.push(core.frame());
+    }
+}
+
+fn temp_guard_dies_at_statement_end(inner: &Inner) {
+    let neighbors: Vec<ReplicaId> = inner.links.lock().unwrap().keys().copied().collect();
+    let mut core = inner.state.lock().unwrap(); // links temp already dead
+    core.note(neighbors);
+}
+
+fn scoped_then_locked(inner: &Inner, to: ReplicaId) {
+    let link = { inner.links.lock().unwrap().get(&to).cloned() };
+    if let Some(link) = link {
+        let mut link = link.lock().unwrap(); // only rank 3 live
+        link.push(1);
+    }
+}
+
+fn inbox_alone_via_drop(inner: &Inner) {
+    let mut inbox = inner.inbox.lock().unwrap();
+    let msgs = inbox.take_sorted();
+    drop(inbox); // released before any ranked acquisition
+    let mut core = inner.state.lock().unwrap();
+    core.apply(msgs);
+}

@@ -1,0 +1,24 @@
+//! GOOD fixture for the `panic` rule: the same decode path written
+//! total — checked accessors, errors for hostile bytes, and one
+//! provably-infallible `expect` carrying the allowlist annotation.
+
+pub fn decode(input: &mut &[u8]) -> Result<Frame, CodecError> {
+    let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+    *input = rest;
+    if tag > 7 {
+        return Err(CodecError::BadDiscriminant(tag));
+    }
+    let len = usize::decode(input)?;
+    let Some(body) = input.get(..len) else {
+        return Err(CodecError::UnexpectedEnd);
+    };
+    *input = &input[len..]; // lint: allow(panic) — len just bounds-checked by the get() above
+    let mut peek = body.iter().peekable();
+    let first = if peek.peek().is_some() {
+        // lint: allow(panic) — peeked on the line above, next() cannot fail
+        Some(*peek.next().expect("peeked"))
+    } else {
+        None
+    };
+    Ok(Frame { tag, first, body: body.to_vec() })
+}

@@ -1,0 +1,322 @@
+//! A small hand-rolled Rust lexer: enough fidelity for token-stream
+//! lint rules (idents, punctuation, literals, comments with line
+//! numbers), deliberately no more. String/char/raw-string literals are
+//! opaque single tokens so rule patterns can never match inside them;
+//! comments are kept out of the token stream but retained separately
+//! (the allowlist syntax lives in comments).
+
+/// What a token is. Literals keep no sub-structure — rules only ever
+/// need to know "this is a literal, skip it" or "this is the ident X".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `StateTag`, …).
+    Ident,
+    /// One punctuation character (`.`, `[`, `&`, …). Multi-char
+    /// operators arrive as consecutive tokens; rules match sequences.
+    Punct,
+    /// String / char / numeric / byte literal, as one opaque token.
+    Literal,
+    /// A lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment with the line it starts on. Text excludes the `//` / `/*`
+/// markers for line comments but keeps interior text verbatim.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex `src` into (tokens, comments). Never fails: unexpected bytes
+/// become single `Punct` tokens, unterminated literals run to EOF —
+/// a linter must keep going on files it half-understands.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let bump_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < n && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                let text: String = b[start..i].iter().collect();
+                line += bump_lines(&b[start..i]);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_string(&b[i..]) => {
+                // r"…", r#"…"#, br#"…"#, b"…": find the opening quote,
+                // count `#`s, scan to the matching close.
+                let start = i;
+                while i < n && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                let mut hashes = 0;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                debug_assert!(i < n && b[i] == '"');
+                i += 1; // opening quote
+                if hashes == 0 && b[start..i].contains(&'r') {
+                    // raw, no hashes: closes at next bare quote
+                    while i < n && b[i] != '"' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                } else if hashes == 0 {
+                    // b"…": escapes apply
+                    while i < n && b[i] != '"' {
+                        if b[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                } else {
+                    // close = quote followed by `hashes` hashes
+                    'scan: while i < n {
+                        if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i].iter().collect();
+                line += bump_lines(&b[start..i]);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` / `'static` followed by
+                // anything but a closing quote is a lifetime; `'x'`,
+                // `'\n'`, `'\''` are char literals.
+                let start = i;
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    // escaped char literal
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: b[start..i.min(n)].iter().collect(),
+                        line,
+                    });
+                } else if i + 1 < n && b[i + 1] == '\'' {
+                    // 'x'
+                    i += 2;
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    // lifetime
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but `0..len` must not eat the range.
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            other => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Does the char slice begin a raw/byte string literal (`r"`, `r#"`,
+/// `br"`, `b"`, …)? Called only when the first char is `r` or `b`.
+fn starts_raw_string(s: &[char]) -> bool {
+    let mut i = 0;
+    while i < s.len() && (s[i] == 'r' || s[i] == 'b') && i < 2 {
+        i += 1;
+    }
+    let mut j = i;
+    while j < s.len() && s[j] == '#' {
+        j += 1;
+    }
+    j < s.len() && s[j] == '"' && (i > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_lines() {
+        let (t, c) = lex("fn a() {\n  b.unwrap();\n}\n");
+        assert!(c.is_empty());
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "a", "(", ")", "{", "b", ".", "unwrap", "(", ")", ";", "}"]
+        );
+        assert_eq!(t[5].line, 2, "`b` sits on line 2");
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let (t, c) = lex("x;\n// lint: allow(panic) — fine\ny;");
+        assert_eq!(t.len(), 4);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].line, 2);
+        assert!(c[0].text.contains("allow(panic)"));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let (t, _) = lex(r#"let s = "a.unwrap()[0]";"#);
+        assert!(t.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let (t, _) = lex(r##"let r = r#"x "q" y"#; let c = '\n'; fn f<'a>(x: &'a u8) {}"##);
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Literal).count(), 2);
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let (t, _) = lex("for i in 0..len {}");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["for", "i", "in", "0", ".", ".", "len", "{", "}"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (t, c) = lex("a /* x /* y */ z */ b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! `repo-lint` — repo-invariant static analysis for the delta-sync
+//! workspace. Hand-rolled tokenizer + token-stream rules, no `syn`, no
+//! registry deps (the build environment is offline, like the testkit
+//! shims).
+//!
+//! ```text
+//! cargo run -p repo-lint                 # lint the workspace, exit 1 on violations
+//! cargo run -p repo-lint -- --self-test  # run the fixture suite
+//! cargo run -p repo-lint -- --report target/repo-lint.txt
+//! ```
+//!
+//! Diagnostics print as `file:line rule message`. Violations are
+//! silenced only by `// lint: allow(<rule>) — <reason>` on the flagged
+//! line or the line above (the reason is mandatory). The rules and
+//! their scopes are documented in `rules.rs` and in ARCHITECTURE.md's
+//! "Enforced invariants" section.
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+mod selftest;
+mod source;
+
+use rules::{Diagnostic, Scope};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut self_test = false;
+    let mut report: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--self-test" => self_test = true,
+            "--report" => report = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: repo-lint [--self-test] [--report FILE] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    if self_test {
+        let fixtures = root.join("crates/lint/fixtures");
+        let failures = selftest::run(&fixtures);
+        if failures.is_empty() {
+            println!(
+                "repo-lint self-test: {} rules × (bad, good) fixtures OK",
+                selftest::FIXTURE_RULES.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("self-test FAIL: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let files = collect_files(&root);
+    if files.is_empty() {
+        eprintln!(
+            "repo-lint: no sources under {} — wrong root?",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let scope = Scope { force: false };
+    let mut parsed: Vec<SourceFile> = Vec::new();
+    for (abs, rel) in files {
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => parsed.push(SourceFile::parse(rel, &src)),
+            Err(e) => eprintln!("repo-lint: skipping {}: {e}", abs.display()),
+        }
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in &parsed {
+        diags.extend(rules::check_file(f, scope, is_crate_root(&f.rel)));
+    }
+    // Epoch completeness runs over the flat-causal file group (struct
+    // definitions and bump delegation cross file boundaries).
+    let epoch_group: Vec<&SourceFile> = parsed
+        .iter()
+        .filter(|f| rules::epoch_file_in_scope(&f.rel, scope))
+        .collect();
+    rules::check_epoch(&epoch_group, &mut diags);
+
+    diags.sort_by(|a, b| (&a.rel, a.line).cmp(&(&b.rel, b.line)));
+    for d in &diags {
+        println!("{d}");
+    }
+    let summary = format!(
+        "repo-lint: {} files, {} rules, {} violation(s)",
+        parsed.len(),
+        selftest::FIXTURE_RULES.len() + 1,
+        diags.len()
+    );
+    println!("{summary}");
+    if let Some(path) = report {
+        let mut body: String = diags.iter().map(|d| format!("{d}\n")).collect();
+        body.push_str(&summary);
+        body.push('\n');
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("repo-lint: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// Cargo.toml containing `[workspace]`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Crate roots get the `#![forbid(unsafe_code)]` header policy.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+        || rel == "crates/lint/src/main.rs"
+}
+
+/// Every `.rs` file the rules see: the umbrella `src/` plus each
+/// crate's `src/` tree (testkit shims included). Integration-test and
+/// bench directories are exempt by design — the rules target
+/// production paths — and `crates/lint/fixtures` holds deliberate
+/// violations, so neither is walked.
+fn collect_files(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            stack.push(e.path().join("src"));
+            // testkit shims live one level deeper
+            if e.file_name() == "testkit" {
+                stack.pop();
+                if let Ok(shims) = std::fs::read_dir(e.path()) {
+                    for s in shims.flatten() {
+                        stack.push(s.path().join("src"));
+                    }
+                }
+            }
+        }
+    }
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "fixtures") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((p, rel));
+            }
+        }
+    }
+    out.sort();
+    out
+}

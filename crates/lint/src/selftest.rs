@@ -1,0 +1,75 @@
+//! Fixture self-test: each rule has a known-bad and a known-good
+//! fixture under `crates/lint/fixtures/{bad,good}/<rule>.rs`. The bad
+//! fixture must produce at least one diagnostic *of its own rule* (and
+//! none of any other), the good fixture must produce none at all —
+//! proving both directions: the rules fire, and they don't cry wolf.
+
+use crate::rules::{self, Diagnostic, Scope};
+use crate::source::SourceFile;
+use std::path::Path;
+
+/// Rules with fixture pairs. `unsafe-header` is covered by unit tests
+/// instead (it is a crate-root policy, not a token pattern).
+pub const FIXTURE_RULES: &[&str] = &["panic", "capacity", "lock-rank", "epoch", "determinism"];
+
+/// Run the fixture suite rooted at `fixtures_dir`. Returns human-readable
+/// failure lines; empty means the suite passed.
+pub fn run(fixtures_dir: &Path) -> Vec<String> {
+    let mut failures = Vec::new();
+    let scope = Scope { force: true };
+    for rule in FIXTURE_RULES {
+        for (kind, expect_hit) in [("bad", true), ("good", false)] {
+            let path = fixtures_dir
+                .join(kind)
+                .join(format!("{}.rs", rule.replace('-', "_")));
+            let rel = format!("fixtures/{kind}/{}.rs", rule.replace('-', "_"));
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    failures.push(format!("{rel}: unreadable fixture: {e}"));
+                    continue;
+                }
+            };
+            let f = SourceFile::parse(rel.clone(), &src);
+            let mut diags = rules::check_file(&f, scope, false);
+            if *rule == "epoch" {
+                rules::check_epoch(&[&f], &mut diags);
+            }
+            check_one(rule, &rel, expect_hit, &diags, &mut failures);
+        }
+    }
+    failures
+}
+
+fn check_one(
+    rule: &str,
+    rel: &str,
+    expect_hit: bool,
+    diags: &[Diagnostic],
+    failures: &mut Vec<String>,
+) {
+    let own: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == rule).collect();
+    let foreign: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule != rule).collect();
+    if expect_hit && own.is_empty() {
+        failures.push(format!("{rel}: expected ≥1 `{rule}` diagnostic, got none"));
+    }
+    if !expect_hit && !own.is_empty() {
+        failures.push(format!(
+            "{rel}: good fixture flagged: {}",
+            own.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    if !foreign.is_empty() {
+        failures.push(format!(
+            "{rel}: fixture tripped other rules: {}",
+            foreign
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+}

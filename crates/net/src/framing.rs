@@ -166,6 +166,7 @@ impl FrameReader {
     ) -> Result<ReadStatus, FrameError> {
         if self.payload.is_none() {
             while self.prefix_have < LEN_PREFIX_BYTES {
+                // lint: allow(panic) — loop guard keeps prefix_have < LEN_PREFIX_BYTES, the array length
                 match r.read(&mut self.prefix[self.prefix_have..]) {
                     Ok(0) if self.prefix_have == 0 => return Ok(ReadStatus::Closed),
                     Ok(0) => return Err(FrameError::Truncated),
@@ -189,8 +190,10 @@ impl FrameReader {
             self.payload = Some(scratch);
             self.payload_have = 0;
         }
+        // lint: allow(panic) — the branch above just ensured payload is Some
         let buf = self.payload.as_mut().expect("payload in progress");
         while self.payload_have < buf.len() {
+            // lint: allow(panic) — loop guard keeps payload_have < buf.len()
             match r.read(&mut buf[self.payload_have..]) {
                 Ok(0) => return Err(FrameError::Truncated),
                 Ok(n) => self.payload_have += n,
@@ -201,6 +204,7 @@ impl FrameReader {
                 Err(e) => return Err(FrameError::Io(e)),
             }
         }
+        // lint: allow(panic) — the fill loop above completes only with payload still Some
         let done = self.payload.take().expect("payload in progress");
         self.prefix_have = 0;
         self.payload_have = 0;

@@ -64,6 +64,7 @@
 //! assert!(report.converged);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

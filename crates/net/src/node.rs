@@ -54,6 +54,7 @@ use delta_store::{StoreConfig, StoreMsg, StoreReplica, TrafficStats};
 
 use crate::framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
 use crate::message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
+use crate::reactor::rank::{self, RankedMutex};
 use crate::reactor::{
     frame_bytes, Conn, ConnEvent, OutLink, TimerKind, TimerWheel, FRAMES_PER_SWEEP, IDLE_TICK,
 };
@@ -220,11 +221,11 @@ struct WireCounters {
 struct Inner<K: Ord, C> {
     id: ReplicaId,
     cfg: NodeConfig,
-    state: Mutex<Core<K, C>>,
-    inbox: Mutex<Inbox>,
+    state: RankedMutex<Core<K, C>>,
+    inbox: RankedMutex<Inbox>,
     /// Outbound links keyed by peer; each behind its own lock so a
     /// worker flushing one link never serializes against the keyspace.
-    links: Mutex<BTreeMap<ReplicaId, Arc<Mutex<OutLink>>>>,
+    links: RankedMutex<BTreeMap<ReplicaId, Arc<RankedMutex<OutLink>>>>,
     wire: WireCounters,
     shutdown: AtomicBool,
     /// Per-worker handoff queues: the accept thread parks fresh
@@ -439,14 +440,17 @@ where
         let inner = Arc::new(Inner {
             id,
             cfg,
-            state: Mutex::new(Core {
-                replica,
-                traffic: TrafficStats::default(),
-                rounds: 0,
-                pool: BufferPool::new(),
-            }),
-            inbox: Mutex::new(Inbox::default()),
-            links: Mutex::new(BTreeMap::new()),
+            state: RankedMutex::new(
+                rank::CORE,
+                Core {
+                    replica,
+                    traffic: TrafficStats::default(),
+                    rounds: 0,
+                    pool: BufferPool::new(),
+                },
+            ),
+            inbox: RankedMutex::new(rank::INBOX, Inbox::default()),
+            links: RankedMutex::new(rank::LINKS, BTreeMap::new()),
             wire: WireCounters::default(),
             shutdown: AtomicBool::new(false),
             injects: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
@@ -498,11 +502,10 @@ where
             other => io::Error::other(other.to_string()),
         })?;
         stream.set_nonblocking(true)?;
-        self.inner
-            .links
-            .lock()
-            .unwrap()
-            .insert(peer, Arc::new(Mutex::new(OutLink::new(stream))));
+        self.inner.links.lock().unwrap().insert(
+            peer,
+            Arc::new(RankedMutex::new(rank::LINK, OutLink::new(stream))),
+        );
         Ok(())
     }
 
@@ -1309,7 +1312,7 @@ where
 
         // Flush the outbound links this worker owns, coalescing any
         // backlog first.
-        let owned: Vec<Arc<Mutex<OutLink>>> = {
+        let owned: Vec<Arc<RankedMutex<OutLink>>> = {
             let links = inner.links.lock().unwrap();
             links
                 .iter()

@@ -314,6 +314,7 @@ pub(crate) fn coalesce_frames<K: Ord + WireEncode>(
     ) {
         match run.len() {
             0 => {}
+            // lint: allow(panic) — this match arm means run.len() == 1
             1 => queue.push_back(run.pop().expect("run of one").1),
             n => {
                 let mut merged = BatchEnvelope::new();
@@ -408,6 +409,130 @@ impl TimerWheel {
                     *next += *period;
                 }
             }
+        }
+    }
+}
+
+/// Lock-rank discipline for the node's shared state.
+///
+/// The reactor has exactly one legal nesting order — `CORE` (the
+/// replica + traffic ledger) may hold while taking `LINKS` (the link
+/// table) may hold while taking `LINK` (one outbound link); `INBOX` is
+/// always taken with nothing else held. The static side of this
+/// contract is enforced by `repo-lint` (rule `lock-rank`, per-function
+/// token analysis); this module is the dynamic side: in debug builds
+/// every acquisition is checked against a thread-local stack of held
+/// ranks and panics on inversion, so the `net_parity` suite exercises
+/// the real interleavings. Release builds compile the checks away —
+/// [`RankedMutex`] is a plain [`Mutex`](std::sync::Mutex) plus one
+/// byte, so the benchmark baselines are untouched.
+pub(crate) mod rank {
+    use std::sync::{LockResult, Mutex, MutexGuard, PoisonError};
+
+    /// Replica core (`Inner::state`) — lowest rank, may hold the rest.
+    pub const CORE: u8 = 1;
+    /// The outbound link table (`Inner::links`).
+    pub const LINKS: u8 = 2;
+    /// One outbound link (`OutLink`), reached through the table.
+    pub const LINK: u8 = 3;
+    /// The landing inbox — leaf rank, taken with nothing else held.
+    pub const INBOX: u8 = 4;
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        /// Ranks currently held by this thread, in acquisition order.
+        static HELD: std::cell::RefCell<Vec<u8>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    /// A [`Mutex`] that carries its place in the reactor's lock order.
+    ///
+    /// `lock()` mirrors [`Mutex::lock`]'s `LockResult` signature, so
+    /// existing `.lock().unwrap()` call sites compile unchanged.
+    #[derive(Debug)]
+    pub struct RankedMutex<T> {
+        rank: u8,
+        inner: Mutex<T>,
+    }
+
+    /// Guard for a [`RankedMutex`]; pops its rank off the held stack
+    /// on drop (debug builds only).
+    #[derive(Debug)]
+    pub struct RankedGuard<'a, T> {
+        #[cfg_attr(not(debug_assertions), allow(dead_code))]
+        rank: u8,
+        guard: MutexGuard<'a, T>,
+    }
+
+    impl<T> RankedMutex<T> {
+        pub fn new(rank: u8, value: T) -> Self {
+            RankedMutex {
+                rank,
+                inner: Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<RankedGuard<'_, T>> {
+            #[cfg(debug_assertions)]
+            check_acquire(self.rank);
+            match self.inner.lock() {
+                Ok(guard) => Ok(RankedGuard {
+                    rank: self.rank,
+                    guard,
+                }),
+                Err(poisoned) => Err(PoisonError::new(RankedGuard {
+                    rank: self.rank,
+                    guard: poisoned.into_inner(),
+                })),
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_acquire(rank: u8) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if rank == INBOX && !held.is_empty() {
+                panic!(
+                    "lock-rank: inbox (rank {INBOX}) acquired while holding ranks {:?}; \
+                     the inbox is a leaf — take it with nothing else held",
+                    *held
+                );
+            }
+            if let Some(&top) = held.last() {
+                if top >= rank {
+                    panic!(
+                        "lock-rank: acquiring rank {rank} while rank {top} is held \
+                         (legal order: core=1 < links=2 < link=3, inbox=4 alone)"
+                    );
+                }
+            }
+            held.push(rank);
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    impl<T> Drop for RankedGuard<'_, T> {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    impl<T> std::ops::Deref for RankedGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T> std::ops::DerefMut for RankedGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
         }
     }
 }
@@ -564,5 +689,44 @@ mod tests {
         due.clear();
         wheel.poll(start + Duration::from_millis(69), &mut due);
         assert!(due.is_empty());
+    }
+
+    #[test]
+    fn lock_rank_ascending_order_is_legal() {
+        let core = rank::RankedMutex::new(rank::CORE, 1u32);
+        let links = rank::RankedMutex::new(rank::LINKS, 2u32);
+        let link = rank::RankedMutex::new(rank::LINK, 3u32);
+        let inbox = rank::RankedMutex::new(rank::INBOX, 4u32);
+        {
+            let a = core.lock().unwrap();
+            let b = links.lock().unwrap();
+            let c = link.lock().unwrap();
+            assert_eq!(*a + *b + *c, 6);
+        }
+        // Everything released: the leaf inbox is now legal, and a
+        // fresh ascending chain works again on the same thread.
+        assert_eq!(*inbox.lock().unwrap(), 4);
+        let _a = core.lock().unwrap();
+        let _c = link.lock().unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank: acquiring rank 1 while rank 3 is held")]
+    fn lock_rank_inverted_acquisition_panics_in_debug() {
+        let link = rank::RankedMutex::new(rank::LINK, ());
+        let core = rank::RankedMutex::new(rank::CORE, ());
+        let _held = link.lock().unwrap();
+        let _inverted = core.lock().unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank: inbox")]
+    fn lock_rank_inbox_is_a_leaf_in_debug() {
+        let core = rank::RankedMutex::new(rank::CORE, ());
+        let inbox = rank::RankedMutex::new(rank::INBOX, ());
+        let _held = core.lock().unwrap();
+        let _leaf = inbox.lock().unwrap();
     }
 }

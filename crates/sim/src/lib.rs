@@ -29,6 +29,7 @@
 //! (who wins, by what factor) without a testbed; see DESIGN.md for the
 //! substitution argument.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

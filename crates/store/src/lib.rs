@@ -54,6 +54,7 @@
 //! assert!(cluster.replica(0).get("cart:bob").unwrap().contains(&"espresso".into()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

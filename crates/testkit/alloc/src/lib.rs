@@ -26,6 +26,7 @@
 //! and [`measure`] reports zeros — callers that want to distinguish
 //! "cheap" from "not measured" should check [`is_installed`].
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -53,21 +54,25 @@ fn record(size: usize) {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         record(layout.size());
-        System.alloc(layout)
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         record(layout.size());
-        System.alloc_zeroed(layout)
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` came from this allocator's `alloc` with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         record(new_size);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout` pair is our caller's obligation, passed through.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -8,6 +8,7 @@
 //! (as `cargo test` does for benches) runs each benchmark once, so
 //! benches double as smoke tests.
 
+#![forbid(unsafe_code)]
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

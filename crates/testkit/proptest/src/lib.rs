@@ -17,6 +17,7 @@
 //! * every run is deterministic: the RNG is seeded from the test name, so
 //!   failures reproduce without a persistence file.
 
+#![forbid(unsafe_code)]
 pub mod strategy;
 pub mod test_runner;
 

@@ -6,6 +6,7 @@
 //! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng`],
 //! and [`seq::SliceRandom::shuffle`].
 
+#![forbid(unsafe_code)]
 /// Values samplable from the uniform "standard" distribution.
 pub trait Standard: Sized {
     /// Draw one value from `rng`.

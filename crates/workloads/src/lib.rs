@@ -16,6 +16,7 @@
 //! operation stream — the property that makes cross-protocol ratios
 //! (Figs. 7–12) meaningful.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

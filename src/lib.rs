@@ -15,6 +15,7 @@
 //! * [`store`] — the multi-object replicated store;
 //! * [`bench`] — the experiment harness regenerating the paper artifacts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use crdt_bench as bench;
