@@ -1,0 +1,26 @@
+//! Enumerate every metric name the workspace can register, one per
+//! line, sorted — the golden at `ci/metric-names.txt` is a diff against
+//! this output, so renaming or dropping a metric (or registering a new
+//! one without updating the golden) fails CI instead of silently
+//! breaking dashboards and parsers downstream.
+//!
+//! ```text
+//! cargo run --release -p crdt-bench --bin metric_names
+//! cargo run ... --bin metric_names | diff -u ci/metric-names.txt -
+//! ```
+
+use crdt_obs::Registry;
+use crdt_sync::{EngineMetrics, MerkleRepairMetrics};
+use delta_store::StoreMetrics;
+
+fn main() {
+    let reg = Registry::new();
+    let _ = EngineMetrics::register(&reg);
+    let _ = MerkleRepairMetrics::register(&reg);
+    let _ = StoreMetrics::register(&reg);
+    crdt_net::register_net_metrics(&reg);
+    crdt_sim::register_runner_metrics(&reg);
+    for name in reg.names() {
+        println!("{name}");
+    }
+}

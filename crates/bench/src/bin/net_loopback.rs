@@ -17,6 +17,9 @@
 //!   (5 nodes).
 //! * `--out <path>` — where to write the JSON report
 //!   (default `BENCH_net.json`).
+//! * `--metrics-out <path>` — also write node 0's full metrics
+//!   exposition (one `=== <protocol> ===` block per selected kind) as a
+//!   text artifact; never gated.
 //! * `--baseline <path>` — compare against a checked-in report; any
 //!   gated byte/frame metric more than `--tolerance` (default `0.25`)
 //!   worse exits with status 1, listing the violations.
@@ -26,7 +29,7 @@
 //! the run exits 1. Raw-δ kinds must additionally match the in-process
 //! simulator's accounting exactly (`sim_parity`).
 
-use crdt_bench::net_loopback::{check_regression, run_suite, write_report};
+use crdt_bench::net_loopback::{check_regression, metrics_artifact, run_suite, write_report};
 use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
 use crdt_sync::ProtocolKind;
 
@@ -47,6 +50,11 @@ fn main() {
     write_report(&out_path, &outcomes, scale == Scale::Quick)
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path} ({} rows)", outcomes.len());
+    if let Some(metrics_path) = flag_value("--metrics-out") {
+        std::fs::write(&metrics_path, metrics_artifact(&outcomes))
+            .unwrap_or_else(|e| panic!("writing {metrics_path}: {e}"));
+        println!("wrote {metrics_path}");
+    }
 
     for o in &outcomes {
         if !o.converged {

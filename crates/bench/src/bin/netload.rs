@@ -17,6 +17,8 @@
 //!   still holds 1,000+ connections).
 //! * `--connections <n>` — override the c10k connection count.
 //! * `--out <path>` — JSON report path (default `BENCH_netload.json`).
+//! * `--metrics-out <path>` — also write node 0's full metrics
+//!   exposition per lockstep protocol as a text artifact; never gated.
 //! * `--emit-baseline <path>` — additionally write the
 //!   deterministic-rows-only baseline document (what gets checked in
 //!   under `ci/bench-baseline/`).
@@ -29,7 +31,9 @@
 //! protocol converges, the coalesce stage folds its backlog, and the
 //! open-loop swarm completes without errors.
 
-use crdt_bench::netload::{baseline_json, check_regression, report_to_json, run_family, LoadShape};
+use crdt_bench::netload::{
+    baseline_json, check_regression, metrics_artifact, report_to_json, run_family, LoadShape,
+};
 use crdt_bench::{flag_value, json::Json, protocols_from_args, Scale};
 use crdt_sync::ProtocolKind;
 
@@ -57,6 +61,11 @@ fn main() {
     let doc = report_to_json(&report, scale == Scale::Quick);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path}");
+    if let Some(metrics_path) = flag_value("--metrics-out") {
+        std::fs::write(&metrics_path, metrics_artifact(&report))
+            .unwrap_or_else(|e| panic!("writing {metrics_path}: {e}"));
+        println!("wrote {metrics_path}");
+    }
     if let Some(path) = flag_value("--emit-baseline") {
         std::fs::write(
             &path,

@@ -69,6 +69,9 @@ pub struct NetOutcome {
     pub freerun_ms: u64,
     /// Did the free-running pass converge within its deadline?
     pub freerun_converged: bool,
+    /// Node 0's full metrics exposition at the end of the lockstep
+    /// stage (artifact only — written out by `--metrics-out`).
+    pub metrics: String,
 }
 
 /// Scale parameters: `(nodes, max lockstep rounds, free-run deadline)`.
@@ -123,6 +126,7 @@ pub fn run_one(kind: ProtocolKind, scale: Scale) -> NetOutcome {
     let lockstep_ms = start.elapsed().as_millis() as u64;
     let stats = net.stats();
     let wire = net.wire_totals();
+    let metrics = net.node(0).obs().registry.exposition();
     drop(net);
 
     // Free-running pass: scheduler threads, wall-clock to convergence.
@@ -153,7 +157,20 @@ pub fn run_one(kind: ProtocolKind, scale: Scale) -> NetOutcome {
         lockstep_ms,
         freerun_ms,
         freerun_converged: free_report.converged,
+        metrics,
     }
+}
+
+/// Render the per-protocol metric expositions as one text artifact:
+/// a `=== <protocol> ===` header per outcome, exposition lines below.
+pub fn metrics_artifact(outcomes: &[NetOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&format!("=== {} (node 0, lockstep) ===\n", o.protocol));
+        out.push_str(&o.metrics);
+        out.push('\n');
+    }
+    out
 }
 
 /// Run the family for `kinds`, printing the comparison table.

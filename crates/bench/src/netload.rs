@@ -137,6 +137,9 @@ pub struct LockstepOutcome {
     pub coalesced: u64,
     /// Wall-clock ops/s through the socket clients (artifact only).
     pub ops_per_sec: u64,
+    /// Node 0's full metrics exposition at convergence (artifact only —
+    /// written out by `--metrics-out`).
+    pub metrics: String,
 }
 
 /// Run the lockstep stage for one protocol.
@@ -156,6 +159,7 @@ pub fn run_lockstep(kind: ProtocolKind, shape: &LoadShape) -> LockstepOutcome {
     let probes = net.probes();
     let stalls: u64 = probes.iter().map(|p| p.stall_events).sum();
     let coalesced: u64 = probes.iter().map(|p| p.coalesced_frames).sum();
+    let metrics = net.node(0).obs().registry.exposition();
     LockstepOutcome {
         protocol: kind,
         converged: report.converged,
@@ -168,7 +172,21 @@ pub fn run_lockstep(kind: ProtocolKind, shape: &LoadShape) -> LockstepOutcome {
         stalls,
         coalesced,
         ops_per_sec: (ops.len() as f64 / elapsed.as_secs_f64().max(1e-9)) as u64,
+        metrics,
     }
+}
+
+/// Render the per-protocol lockstep metric expositions as one text
+/// artifact: a `=== <protocol> ===` header per row, exposition lines
+/// below.
+pub fn metrics_artifact(report: &NetloadReport) -> String {
+    let mut out = String::new();
+    for o in &report.lockstep {
+        out.push_str(&format!("=== {} (node 0, lockstep) ===\n", o.protocol));
+        out.push_str(&o.metrics);
+        out.push('\n');
+    }
+    out
 }
 
 /// Coalescing stage measurements (all deterministic, gated).

@@ -795,6 +795,54 @@ impl From<CodecError> for EngineError {
 // SyncEngine
 // ---------------------------------------------------------------------------
 
+/// Registry-backed counters an engine bumps as it synchronizes. One
+/// set per node/replica (register against that node's
+/// [`crdt_obs::Registry`]); cheap to clone, cells are shared.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    /// `engine.sync.frames` — envelopes produced by sync steps and
+    /// push-pull replies.
+    pub sync_frames: crdt_obs::Counter,
+    /// `engine.sync.bytes` — encoded payload bytes of those envelopes.
+    pub sync_bytes: crdt_obs::Counter,
+    /// `engine.absorb.frames` — incoming envelopes absorbed.
+    pub absorb_frames: crdt_obs::Counter,
+    /// `engine.ops` — local update operations applied.
+    pub ops: crdt_obs::Counter,
+    /// `engine.compact.pruned` — causally-stable metadata entries
+    /// pruned by compaction.
+    pub compact_pruned: crdt_obs::Counter,
+}
+
+impl EngineMetrics {
+    /// Register (or look up) the engine cells in `reg`.
+    pub fn register(reg: &crdt_obs::Registry) -> Self {
+        EngineMetrics {
+            sync_frames: crdt_obs::register_counter!(
+                reg,
+                "engine.sync.frames",
+                "envelopes produced by sync steps and push-pull replies"
+            ),
+            sync_bytes: crdt_obs::register_counter!(
+                reg,
+                "engine.sync.bytes",
+                "encoded payload bytes of produced envelopes"
+            ),
+            absorb_frames: crdt_obs::register_counter!(
+                reg,
+                "engine.absorb.frames",
+                "incoming envelopes absorbed"
+            ),
+            ops: crdt_obs::register_counter!(reg, "engine.ops", "local update operations applied"),
+            compact_pruned: crdt_obs::register_counter!(
+                reg,
+                "engine.compact.pruned",
+                "causally-stable metadata entries pruned by compaction"
+            ),
+        }
+    }
+}
+
 /// Object-safe synchronization engine: one replica of one protocol over
 /// the unified [`WireEnvelope`] wire format.
 ///
@@ -925,6 +973,11 @@ pub trait SyncEngine: fmt::Debug {
     /// [`EngineError::BootstrapMismatch`] when `source` is not an engine
     /// of the same concrete protocol and CRDT.
     fn bootstrap_from(&mut self, source: &dyn SyncEngine) -> Result<WireAccounting, EngineError>;
+
+    /// Attach registry-backed counters; the engine bumps them from the
+    /// next step onward. Default is a no-op so hand-rolled engines and
+    /// test doubles stay source-compatible.
+    fn set_metrics(&mut self, _metrics: &EngineMetrics) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -964,6 +1017,9 @@ pub struct EngineAdapter<C: Crdt, P: Protocol<C>> {
     /// state actually changes (convergence checks poll the hash far more
     /// often than states mutate).
     hash_cache: Cell<Option<(u64, u64)>>,
+    /// Registry-backed counters, attached via [`SyncEngine::set_metrics`];
+    /// `None` (the default) costs one branch per step.
+    metrics: Option<EngineMetrics>,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -1000,6 +1056,7 @@ impl<C: Crdt, P: Protocol<C>> EngineAdapter<C, P> {
             model,
             params: *params,
             hash_cache: Cell::new(None),
+            metrics: None,
             _crdt: PhantomData,
         }
     }
@@ -1007,6 +1064,15 @@ impl<C: Crdt, P: Protocol<C>> EngineAdapter<C, P> {
     /// The wrapped protocol instance.
     pub fn inner(&self) -> &P {
         &self.inner
+    }
+
+    /// Charge produced envelopes to the attached counters, if any.
+    fn charge_outgoing(&self, envs: &[WireEnvelope]) {
+        if let Some(m) = &self.metrics {
+            m.sync_frames.add(envs.len() as u64);
+            m.sync_bytes
+                .add(envs.iter().map(|e| e.accounting.encoded_bytes).sum());
+        }
     }
 
     /// Encode a step's `(to, msg)` output through the pool's scratch:
@@ -1068,6 +1134,9 @@ where
     fn on_op(&mut self, op: &OpBytes) -> Result<(), EngineError> {
         let op: C::Op = op.decode()?;
         self.inner.on_op(&op);
+        if let Some(m) = &self.metrics {
+            m.ops.inc();
+        }
         Ok(())
     }
 
@@ -1078,7 +1147,9 @@ where
     ) -> Vec<WireEnvelope> {
         let mut out = Vec::new();
         self.inner.on_sync(neighbors, &mut out);
-        self.seal(&out, pool)
+        let sealed = self.seal(&out, pool);
+        self.charge_outgoing(&sealed);
+        sealed
     }
 
     fn on_msg_ref(
@@ -1093,9 +1164,14 @@ where
             });
         }
         let msg = P::Msg::from_bytes(env.payload)?;
+        if let Some(m) = &self.metrics {
+            m.absorb_frames.inc();
+        }
         let mut out = Vec::new();
         self.inner.on_msg(env.from, msg, &mut out);
-        Ok(self.seal(&out, pool))
+        let sealed = self.seal(&out, pool);
+        self.charge_outgoing(&sealed);
+        Ok(sealed)
     }
 
     fn memory(&self) -> MemoryUsage {
@@ -1124,7 +1200,11 @@ where
     }
 
     fn compact(&mut self) -> u64 {
-        self.inner.compact()
+        let pruned = self.inner.compact();
+        if let Some(m) = &self.metrics {
+            m.compact_pruned.add(pruned);
+        }
+        pruned
     }
 
     fn state_any(&self) -> &dyn Any {
@@ -1165,6 +1245,10 @@ where
         };
         self.inner.bootstrap(&peer.inner);
         Ok(accounting)
+    }
+
+    fn set_metrics(&mut self, metrics: &EngineMetrics) {
+        self.metrics = Some(metrics.clone());
     }
 }
 

@@ -104,13 +104,13 @@ pub use deltacrdt::{
 };
 pub use engine::{
     build_engine, build_engine_send, build_engine_send_with_model, build_engine_with_model,
-    state_hash_of, BatchEntries, BatchEnvelope, EngineAdapter, EngineError, OpBytes, ProtocolKind,
-    SyncEngine, UnknownProtocol, WireAccounting, WireEnvelope, WireEnvelopeRef,
+    state_hash_of, BatchEntries, BatchEnvelope, EngineAdapter, EngineError, EngineMetrics, OpBytes,
+    ProtocolKind, SyncEngine, UnknownProtocol, WireAccounting, WireEnvelope, WireEnvelopeRef,
 };
 pub use merkle::{
     diff_keys, diverged_from_leaves, divergent_children, ChildList, DescentStats,
-    DivergentChildren, LeafRepair, MerkleTree, RootDigest, DEFAULT_MERKLE_DEPTH, MAX_MERKLE_DEPTH,
-    MERKLE_FANOUT, MERKLE_REPAIR_THRESHOLD,
+    DivergentChildren, LeafRepair, MerkleRepairMetrics, MerkleTree, RootDigest,
+    DEFAULT_MERKLE_DEPTH, MAX_MERKLE_DEPTH, MERKLE_FANOUT, MERKLE_REPAIR_THRESHOLD,
 };
 pub use opbased::{OpBased, OpMsg, TaggedOp};
 pub use proto::{Measured, MemoryUsage, Params, Protocol};

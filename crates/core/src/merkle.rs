@@ -434,6 +434,61 @@ impl DescentStats {
     }
 }
 
+/// Registry cells for Merkle-descent repair traffic, shared by every
+/// driver of [`diff_keys`]-style descents (the sharded runner's
+/// `repair_pair`, `crdt-net`'s scoped repair handshake).
+#[derive(Clone, Debug)]
+pub struct MerkleRepairMetrics {
+    /// `repair.pairs` — pairwise repair sessions run.
+    pub pairs: crdt_obs::Counter,
+    /// `repair.merkle.frames` — descent frames exchanged.
+    pub frames: crdt_obs::Counter,
+    /// `repair.merkle.control_bytes` — root-digest and
+    /// divergent-children frame bytes.
+    pub control_bytes: crdt_obs::Counter,
+    /// `repair.merkle.leaf_bytes` — leaf-repair frame bytes.
+    pub leaf_bytes: crdt_obs::Counter,
+    /// `repair.merkle.rounds` — descent levels walked.
+    pub rounds: crdt_obs::Counter,
+}
+
+impl MerkleRepairMetrics {
+    /// Register (or look up) the repair cells in `reg`.
+    pub fn register(reg: &crdt_obs::Registry) -> Self {
+        MerkleRepairMetrics {
+            pairs: crdt_obs::register_counter!(reg, "repair.pairs", "pairwise repair sessions run"),
+            frames: crdt_obs::register_counter!(
+                reg,
+                "repair.merkle.frames",
+                "Merkle descent frames exchanged"
+            ),
+            control_bytes: crdt_obs::register_counter!(
+                reg,
+                "repair.merkle.control_bytes",
+                "root-digest and divergent-children frame bytes"
+            ),
+            leaf_bytes: crdt_obs::register_counter!(
+                reg,
+                "repair.merkle.leaf_bytes",
+                "leaf-repair frame bytes"
+            ),
+            rounds: crdt_obs::register_counter!(
+                reg,
+                "repair.merkle.rounds",
+                "Merkle descent levels walked"
+            ),
+        }
+    }
+
+    /// Charge one descent's accounting to the cells.
+    pub fn charge(&self, d: &DescentStats) {
+        self.frames.add(d.frames);
+        self.control_bytes.add(d.control_bytes);
+        self.leaf_bytes.add(d.leaf_bytes);
+        self.rounds.add(d.rounds);
+    }
+}
+
 /// Given both sides' [`LeafRepair`] contents for the same divergent
 /// leaves, the keys that actually differ: present on one side only, or
 /// present on both with different state hashes.

@@ -1,0 +1,12 @@
+//! BAD fixture for the `obs-doc` rule: a metric registered without a
+//! literal doc string (and one with a computed name) — the exposition
+//! would carry cells nobody can explain, and the golden-name CI gate
+//! cannot see a name built at runtime.
+
+pub fn register_all(reg: &Registry, prefix: &str) -> Counter {
+    let undocumented = register_counter!(reg, "engine.sync.frames");
+    let computed = register_gauge!(reg, format!("{prefix}.objects"), doc_for(prefix));
+    let _ = register_histogram!(reg, "net.frame.bytes");
+    let _ = computed;
+    undocumented
+}

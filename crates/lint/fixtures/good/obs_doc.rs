@@ -1,0 +1,19 @@
+//! GOOD fixture for the `obs-doc` rule: every registration site names
+//! its metric with a literal dotted string and carries a literal doc
+//! string, so the exposition is self-describing and the golden-name
+//! gate can diff the full set.
+
+pub fn register_all(reg: &Registry) -> Counter {
+    let frames = register_counter!(
+        reg,
+        "engine.sync.frames",
+        "anti-entropy frames produced by the engine"
+    );
+    let _objects = register_gauge!(reg, "store.objects", "live non-bottom objects");
+    let _bytes = register_histogram!(
+        reg,
+        "net.frame.bytes",
+        "per-frame wire size, log2 buckets"
+    );
+    frames
+}

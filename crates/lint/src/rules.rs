@@ -82,6 +82,12 @@ fn determinism_in_scope(rel: &str, scope: Scope) -> bool {
     if scope.force {
         return true;
     }
+    // obs: registry and recorder values land in gated expositions; the
+    // clock module is the single sanctioned wall-clock seam (its
+    // `MonotonicClock` is only plugged into artifact paths).
+    if rel.starts_with("crates/obs/src/") {
+        return rel != "crates/obs/src/clock.rs";
+    }
     const DENY_DIRS: &[&str] = &[
         "src/", // umbrella crate
         "crates/lattice/src/",
@@ -621,6 +627,55 @@ pub fn check_determinism(f: &SourceFile, scope: Scope, out: &mut Vec<Diagnostic>
     }
 }
 
+// ---------------------------------------------------------- rule: obs-doc
+
+/// Every metric-registration macro site must pass literal strings for
+/// both the dotted name and the doc — `register_counter!(reg, "a.b",
+/// "what it counts")`. A computed name breaks the golden-name CI gate
+/// and an absent doc leaves the exposition unexplained, so both are
+/// structural errors here, not style.
+pub fn check_obs_doc(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const MACROS: &[&str] = &["register_counter", "register_gauge", "register_histogram"];
+    for (k, t) in f.toks.iter().enumerate() {
+        if !MACROS.iter().any(|m| t.is_ident(m)) {
+            continue;
+        }
+        // An invocation is `ident ! (`; `macro_rules!` definitions are
+        // `ident ! {` and don't match.
+        let (Some(bang), Some(open)) = (f.toks.get(k + 1), f.toks.get(k + 2)) else {
+            continue;
+        };
+        if !bang.is_punct('!') || !open.is_punct('(') {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut strings = 0usize;
+        let mut j = k + 3;
+        while j < f.toks.len() && depth > 0 {
+            let u = &f.toks[j];
+            if u.is_punct('(') {
+                depth += 1;
+            } else if u.is_punct(')') {
+                depth -= 1;
+            } else if u.kind == crate::lexer::TokKind::Literal && u.text.starts_with('"') {
+                strings += 1;
+            }
+            j += 1;
+        }
+        if strings < 2 && !f.allowed("obs-doc", t.line) {
+            out.push(Diagnostic {
+                rel: f.rel.clone(),
+                line: t.line,
+                rule: "obs-doc",
+                msg: format!(
+                    "`{}!` needs a literal metric name and a literal doc string — every registration site documents its metric",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 // ------------------------------------------------------ rule: unsafe-header
 
 /// Crate-root header policy, applied by the driver to each lib/bin
@@ -676,6 +731,7 @@ pub fn check_file(f: &SourceFile, scope: Scope, is_crate_root: bool) -> Vec<Diag
     check_capacity(f, scope, &mut out);
     check_lock_rank(f, scope, &mut out);
     check_determinism(f, scope, &mut out);
+    check_obs_doc(f, &mut out);
     check_unsafe_header(f, is_crate_root, &mut out);
     out
 }

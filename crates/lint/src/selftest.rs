@@ -10,7 +10,14 @@ use std::path::Path;
 
 /// Rules with fixture pairs. `unsafe-header` is covered by unit tests
 /// instead (it is a crate-root policy, not a token pattern).
-pub const FIXTURE_RULES: &[&str] = &["panic", "capacity", "lock-rank", "epoch", "determinism"];
+pub const FIXTURE_RULES: &[&str] = &[
+    "panic",
+    "capacity",
+    "lock-rank",
+    "epoch",
+    "determinism",
+    "obs-doc",
+];
 
 /// Run the fixture suite rooted at `fixtures_dir`. Returns human-readable
 /// failure lines; empty means the suite passed.

@@ -10,7 +10,7 @@ use crdt_sync::{BufferPool, OpBytes};
 use crdt_types::Crdt;
 
 use crate::framing::{read_frame, write_frame};
-use crate::message::{NetMsg, ProbeReport};
+use crate::message::{NetMsg, ProbeReport, StatsReport};
 use crate::node::NetError;
 
 /// A client connection to one node: get/update/probe over real frames.
@@ -82,6 +82,15 @@ where
         match self.request(NetMsg::Probe)? {
             NetMsg::ProbeReply(report) => Ok(report),
             _ => Err(NetError::Protocol("expected ProbeReply")),
+        }
+    }
+
+    /// The node's observability snapshot: full metrics exposition plus
+    /// the newest `trace_tail` flight-recorder events.
+    pub fn stats(&mut self, trace_tail: u64) -> Result<StatsReport, NetError> {
+        match self.request(NetMsg::StatsRequest { trace_tail })? {
+            NetMsg::StatsReply(report) => Ok(report),
+            _ => Err(NetError::Protocol("expected StatsReply")),
         }
     }
 }

@@ -37,6 +37,7 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
+use crdt_obs::EventKind;
 use crdt_sim::ScenarioEvent;
 use crdt_sync::digest::PairSyncStats;
 use crdt_types::Crdt;
@@ -424,6 +425,8 @@ where
         let side = |x: usize| groups.iter().position(|g| g.contains(&x));
         for (i, node) in self.nodes.iter().enumerate() {
             let Some(node) = node else { continue };
+            node.obs()
+                .trace(i as u64, EventKind::Partition, 1, groups.len() as u64);
             for &peer in &self.neighbors[i] {
                 if side(i) != side(peer.index()) {
                     node.sever(peer);
@@ -438,6 +441,7 @@ where
     pub fn heal(&mut self) {
         for (i, node) in self.nodes.iter().enumerate() {
             let Some(node) = node else { continue };
+            node.obs().trace(i as u64, EventKind::Partition, 0, 0);
             for &peer in &self.neighbors[i] {
                 node.heal(peer);
             }
@@ -485,6 +489,14 @@ where
     pub fn crash(&mut self, i: usize, durable: bool) {
         let node = self.nodes[i].take().expect("node already down");
         self.clients[i] = None;
+        // Survivors witness the crash — the crashed node's own recorder
+        // dies with it, so the event must land somewhere durable.
+        for (j, peer) in self.nodes.iter().enumerate() {
+            if let Some(peer) = peer.as_ref() {
+                peer.obs()
+                    .trace(j as u64, EventKind::Crash, i as u64, u64::from(durable));
+            }
+        }
         let relics = node.shutdown();
         self.retired_traffic.messages += relics.traffic.messages;
         self.retired_traffic.payload_elements += relics.traffic.payload_elements;
@@ -506,10 +518,17 @@ where
     pub fn restart(&mut self, i: usize, repair_from: Option<usize>) -> io::Result<()> {
         assert!(self.nodes[i].is_none(), "node {i} is not down");
         let replica = self.stash[i].take();
+        let durable = replica.is_some();
         let node = match replica {
             Some(replica) => NodeHandle::spawn_with_replica(ReplicaId::from(i), self.cfg, replica)?,
             None => NodeHandle::spawn(ReplicaId::from(i), self.cfg)?,
         };
+        node.obs().trace(
+            i as u64,
+            EventKind::Restart,
+            u64::from(durable),
+            u64::from(repair_from.is_some()),
+        );
         self.addrs[i] = node.addr();
         // Outbound links from the restarted node.
         for &peer in &self.neighbors[i] {

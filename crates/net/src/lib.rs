@@ -77,5 +77,5 @@ mod reactor;
 
 pub use client::NetClient;
 pub use cluster::{LoopbackCluster, UnsupportedScenarioEvent, WireTotals};
-pub use message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
-pub use node::{NetError, NodeConfig, NodeHandle, NodeRelics};
+pub use message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, StatsReport, TAG_BATCH};
+pub use node::{register_net_metrics, NetError, NodeConfig, NodeHandle, NodeRelics};

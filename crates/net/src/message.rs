@@ -20,6 +20,7 @@
 //! zero-copy slice of the socket buffer.
 
 use crdt_lattice::{CodecError, ReplicaId, WireEncode};
+use crdt_obs::{EventKind, TraceEvent};
 use crdt_sync::digest::Digest;
 use crdt_sync::{
     BatchEnvelope, Bytes, DivergentChildren, LeafRepair, RootDigest, MAX_MERKLE_DEPTH,
@@ -180,6 +181,71 @@ pub enum NetMsg<K> {
         /// the requester does not hold the key).
         digests: Vec<(K, Digest)>,
     },
+    /// Client: pull the node's live metrics snapshot and flight-recorder
+    /// tail — the observability probe.
+    StatsRequest {
+        /// How many trailing trace events to include in the reply
+        /// (0 = metrics only).
+        trace_tail: u64,
+    },
+    /// Reply to [`NetMsg::StatsRequest`].
+    StatsReply(StatsReport),
+}
+
+/// What a node reports to a [`NetMsg::StatsRequest`]: its full metrics
+/// exposition plus the newest flight-recorder events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// The reporting node.
+    pub node: ReplicaId,
+    /// The node's [`crdt_obs::Registry`] exposition: sorted
+    /// `name value` lines, deterministic for goldens.
+    pub exposition: String,
+    /// The newest flight-recorder events, oldest first, capped at the
+    /// requested tail length.
+    pub trace: Vec<TraceEvent>,
+}
+
+// `TraceEvent` lives in `crdt-obs` and `WireEncode` in `crdt-lattice` —
+// both foreign here, so the orphan rule forces field-wise codec helpers
+// instead of a trait impl.
+fn put_trace(out: &mut Vec<u8>, events: &[TraceEvent]) {
+    events.len().encode(out);
+    for ev in events {
+        ev.seq.encode(out);
+        ev.tick.encode(out);
+        ev.node.encode(out);
+        out.push(ev.kind.as_u8());
+        ev.a.encode(out);
+        ev.b.encode(out);
+    }
+}
+
+fn get_trace(input: &mut &[u8]) -> Result<Vec<TraceEvent>, CodecError> {
+    let len = usize::decode(input)?;
+    if len > input.len() {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let mut events = Vec::with_capacity(len);
+    for _ in 0..len {
+        let seq = u64::decode(input)?;
+        let tick = u64::decode(input)?;
+        let node = u64::decode(input)?;
+        let (&raw, rest) = input.split_first().ok_or(CodecError::UnexpectedEnd)?;
+        *input = rest;
+        let kind = EventKind::from_u8(raw).ok_or(CodecError::BadDiscriminant(raw))?;
+        let a = u64::decode(input)?;
+        let b = u64::decode(input)?;
+        events.push(TraceEvent {
+            seq,
+            tick,
+            node,
+            kind,
+            a,
+            b,
+        });
+    }
+    Ok(events)
 }
 
 /// What a node reports to a convergence probe: per-object state
@@ -393,6 +459,16 @@ impl<K: WireEncode> WireEncode for NetMsg<K> {
                 from.encode(out);
                 digests.encode(out);
             }
+            NetMsg::StatsRequest { trace_tail } => {
+                out.push(18);
+                trace_tail.encode(out);
+            }
+            NetMsg::StatsReply(report) => {
+                out.push(19);
+                report.node.encode(out);
+                report.exposition.encode(out);
+                put_trace(out, &report.trace);
+            }
         }
     }
 
@@ -468,6 +544,14 @@ impl<K: WireEncode> WireEncode for NetMsg<K> {
                 from: ReplicaId::decode(input)?,
                 digests: Vec::decode(input)?,
             },
+            18 => NetMsg::StatsRequest {
+                trace_tail: u64::decode(input)?,
+            },
+            19 => NetMsg::StatsReply(StatsReport {
+                node: ReplicaId::decode(input)?,
+                exposition: String::decode(input)?,
+                trace: get_trace(input)?,
+            }),
             d => return Err(CodecError::BadDiscriminant(d)),
         })
     }
@@ -607,6 +691,29 @@ mod tests {
                 from: ReplicaId(0),
                 digests: vec![("k".to_string(), Digest::of(&GSet::from_iter([2u64])))],
             },
+            NetMsg::StatsRequest { trace_tail: 32 },
+            NetMsg::StatsReply(StatsReport {
+                node: ReplicaId(2),
+                exposition: "net.sync.rounds 7\n".to_string(),
+                trace: vec![
+                    TraceEvent {
+                        seq: 0,
+                        tick: 1,
+                        node: 2,
+                        kind: EventKind::SyncRoundStart,
+                        a: 1,
+                        b: 3,
+                    },
+                    TraceEvent {
+                        seq: 1,
+                        tick: 1,
+                        node: 2,
+                        kind: EventKind::ReactorStall,
+                        a: 0,
+                        b: 64,
+                    },
+                ],
+            }),
         ];
         for msg in msgs {
             let bytes = msg.to_bytes();
@@ -652,5 +759,30 @@ mod tests {
         for wire in [&[][..], &[99][..], &[TAG_BATCH, 0x80][..]] {
             assert!(NetMsg::<String>::from_bytes(wire).is_err());
         }
+    }
+
+    #[test]
+    fn unknown_trace_event_kind_is_rejected() {
+        // Corrupt a StatsReply so its one event carries an undefined
+        // kind byte — the decoder must refuse, not invent a variant.
+        let msg: NetMsg<String> = NetMsg::StatsReply(StatsReport {
+            node: ReplicaId(0),
+            exposition: String::new(),
+            trace: vec![TraceEvent {
+                seq: 0,
+                tick: 0,
+                node: 0,
+                kind: EventKind::Crash,
+                a: 0,
+                b: 0,
+            }],
+        });
+        let mut wire = msg.to_bytes();
+        let kind_at = wire
+            .iter()
+            .position(|&b| b == EventKind::Crash.as_u8())
+            .unwrap();
+        wire[kind_at] = 0xEE;
+        assert!(NetMsg::<String>::from_bytes(&wire).is_err());
     }
 }

@@ -38,22 +38,25 @@ use std::fmt;
 use std::hash::Hasher;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crdt_lattice::{ReplicaId, Sizeable, WireEncode};
+use crdt_obs::{EventKind, Obs};
 use crdt_sync::digest::{delta_for_digest, Digest, PairSyncStats};
 use crdt_sync::{
     diverged_from_leaves, divergent_children, BufferPool, Bytes, ChildList, DivergentChildren,
-    LeafRepair, MemoryUsage, OpBytes, MERKLE_REPAIR_THRESHOLD,
+    LeafRepair, MemoryUsage, MerkleRepairMetrics, OpBytes, MERKLE_REPAIR_THRESHOLD,
 };
 use crdt_types::Crdt;
 use delta_store::{StoreConfig, StoreMsg, StoreReplica, TrafficStats};
 
 use crate::framing::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
-use crate::message::{batch_from_frame, is_batch_frame, NetMsg, ProbeReport, TAG_BATCH};
+use crate::message::{
+    batch_from_frame, is_batch_frame, NetMsg, ProbeReport, StatsReport, TAG_BATCH,
+};
 use crate::reactor::rank::{self, RankedMutex};
 use crate::reactor::{
     frame_bytes, Conn, ConnEvent, OutLink, TimerKind, TimerWheel, FRAMES_PER_SWEEP, IDLE_TICK,
@@ -204,18 +207,96 @@ struct Inbox {
     received_from: BTreeMap<ReplicaId, u64>,
 }
 
-/// Lock-free transfer counters (bumped by reactor workers).
-#[derive(Debug, Default)]
-struct WireCounters {
-    frames_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    dropped: AtomicU64,
-    bad_frames: AtomicU64,
-    /// Backpressure stall transitions (a peer connection entering the
-    /// reads-paused state because the inbox hit capacity).
-    stalls: AtomicU64,
+/// The node's transfer counters: registry-backed cells declared once
+/// here (and snapshot by [`build_probe`] / the `StatsRequest` handler)
+/// instead of ad-hoc atomics scattered per call site. Bumping is the
+/// same relaxed atomic op the old bespoke counters used.
+#[derive(Clone, Debug)]
+struct NetMetrics {
+    /// `net.frames.sent` — frames flushed onto peer sockets.
+    frames_sent: crdt_obs::Counter,
+    /// `net.frames.received` — frames assembled off peer sockets.
+    frames_received: crdt_obs::Counter,
+    /// `net.bytes.sent` — wire bytes shipped (payload + prefix).
+    bytes_sent: crdt_obs::Counter,
+    /// `net.bytes.received` — wire bytes landed (payload + prefix).
+    bytes_received: crdt_obs::Counter,
+    /// `net.frames.dropped` — frames discarded (severed/unknown link,
+    /// oversize, write-queue overflow, half-open timeout).
+    dropped: crdt_obs::Counter,
+    /// `net.frames.bad` — undecodable or protocol-violating frames.
+    bad_frames: crdt_obs::Counter,
+    /// `net.reactor.stalls` — backpressure stall transitions (a peer
+    /// connection entering the reads-paused state on a full inbox).
+    stalls: crdt_obs::Counter,
+    /// `net.reactor.coalesced` — queued frames folded away by
+    /// write-side coalescing.
+    coalesced: crdt_obs::Counter,
+    /// `net.sync.rounds` — anti-entropy sync steps run.
+    rounds: crdt_obs::Counter,
+    /// `net.conns.open` — live inbound connections across workers.
+    conns: crdt_obs::Gauge,
+    /// Shared `repair.*` cells for the Merkle repair handshake.
+    repair: MerkleRepairMetrics,
+}
+
+impl NetMetrics {
+    /// Register (or look up) every node cell in `reg`.
+    fn register(reg: &crdt_obs::Registry) -> Self {
+        NetMetrics {
+            frames_sent: crdt_obs::register_counter!(
+                reg,
+                "net.frames.sent",
+                "frames flushed onto peer sockets"
+            ),
+            frames_received: crdt_obs::register_counter!(
+                reg,
+                "net.frames.received",
+                "frames assembled off peer sockets"
+            ),
+            bytes_sent: crdt_obs::register_counter!(
+                reg,
+                "net.bytes.sent",
+                "wire bytes shipped (payload + prefix)"
+            ),
+            bytes_received: crdt_obs::register_counter!(
+                reg,
+                "net.bytes.received",
+                "wire bytes landed (payload + prefix)"
+            ),
+            dropped: crdt_obs::register_counter!(
+                reg,
+                "net.frames.dropped",
+                "frames discarded (severed link, oversize, queue overflow)"
+            ),
+            bad_frames: crdt_obs::register_counter!(
+                reg,
+                "net.frames.bad",
+                "undecodable or protocol-violating frames"
+            ),
+            stalls: crdt_obs::register_counter!(
+                reg,
+                "net.reactor.stalls",
+                "backpressure stall transitions (inbox full, reads paused)"
+            ),
+            coalesced: crdt_obs::register_counter!(
+                reg,
+                "net.reactor.coalesced",
+                "queued frames folded away by write-side coalescing"
+            ),
+            rounds: crdt_obs::register_counter!(
+                reg,
+                "net.sync.rounds",
+                "anti-entropy sync steps run"
+            ),
+            conns: crdt_obs::register_gauge!(
+                reg,
+                "net.conns.open",
+                "live inbound connections across workers"
+            ),
+            repair: MerkleRepairMetrics::register(reg),
+        }
+    }
 }
 
 struct Inner<K: Ord, C> {
@@ -226,13 +307,15 @@ struct Inner<K: Ord, C> {
     /// Outbound links keyed by peer; each behind its own lock so a
     /// worker flushing one link never serializes against the keyspace.
     links: RankedMutex<BTreeMap<ReplicaId, Arc<RankedMutex<OutLink>>>>,
-    wire: WireCounters,
+    wire: NetMetrics,
+    /// This node's observability bundle: the registry behind
+    /// [`Inner::wire`], the flight recorder, and a logical clock driven
+    /// by the sync-round counter (gated paths stay clock-free).
+    obs: Obs,
     shutdown: AtomicBool,
     /// Per-worker handoff queues: the accept thread parks fresh
     /// connections here; each worker adopts its own at the next sweep.
     injects: Vec<Mutex<Vec<Conn>>>,
-    /// Live inbound connections across all workers.
-    conn_count: AtomicU64,
 }
 
 impl<K: Ord, C> Inner<K, C> {
@@ -362,30 +445,36 @@ where
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
+    // ReactorDrop trace `a` encodes the reason: 1 = no such link,
+    // 2 = severed/dead, 3 = oversize frame, 4 = write queue full.
     let link = { inner.links.lock().unwrap().get(&to).cloned() };
     let Some(link) = link else {
-        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        inner.wire.dropped.inc();
+        trace_drop(inner, to, 1);
         return;
     };
     let mut link = link.lock().unwrap();
     if link.severed || link.dead {
-        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        inner.wire.dropped.inc();
+        trace_drop(inner, to, 2);
         return;
     }
     if payload.len() > inner.cfg.max_frame_bytes {
         // The old blocking write would have failed the frame and killed
         // the link; the queue preserves that contract.
         link.dead = true;
-        inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+        inner.wire.dropped.inc();
+        trace_drop(inner, to, 3);
         return;
     }
     if link.queue.len() >= inner.cfg.write_queue_capacity {
         if inner.cfg.coalesce {
-            link.coalesce::<K>(inner.cfg.max_frame_bytes);
+            credit_coalesce(inner, to, link.coalesce::<K>(inner.cfg.max_frame_bytes));
         }
         if link.queue.len() >= inner.cfg.write_queue_capacity {
             link.queue_dropped += 1;
-            inner.wire.dropped.fetch_add(1, Ordering::Relaxed);
+            inner.wire.dropped.inc();
+            trace_drop(inner, to, 4);
             return;
         }
     }
@@ -396,20 +485,39 @@ where
     }
 }
 
+/// Record one dropped outbound frame in the flight recorder. Reason
+/// codes: 1 = no such link, 2 = severed/dead, 3 = oversize, 4 = full.
+fn trace_drop<K: Ord, C>(inner: &Inner<K, C>, to: ReplicaId, reason: u64) {
+    inner.obs.trace(
+        inner.id.index() as u64,
+        EventKind::ReactorDrop,
+        reason,
+        to.index() as u64,
+    );
+}
+
+/// Credit `folded` frames folded away by write-side coalescing on the
+/// link to `peer`, tracing only when something actually folded.
+fn credit_coalesce<K: Ord, C>(inner: &Inner<K, C>, peer: ReplicaId, folded: u64) {
+    if folded > 0 {
+        inner.wire.coalesced.add(folded);
+        inner.obs.trace(
+            inner.id.index() as u64,
+            EventKind::ReactorCoalesce,
+            folded,
+            peer.index() as u64,
+        );
+    }
+}
+
 /// Fold one [`crate::reactor::FlushOutcome`] into the node counters.
 fn credit_flush<K: Ord, C>(inner: &Inner<K, C>, out: &crate::reactor::FlushOutcome) {
     if out.frames > 0 {
-        inner
-            .wire
-            .frames_sent
-            .fetch_add(out.frames, Ordering::Relaxed);
-        inner
-            .wire
-            .bytes_sent
-            .fetch_add(out.bytes, Ordering::Relaxed);
+        inner.wire.frames_sent.add(out.frames);
+        inner.wire.bytes_sent.add(out.bytes);
     }
     if out.dropped > 0 {
-        inner.wire.dropped.fetch_add(out.dropped, Ordering::Relaxed);
+        inner.wire.dropped.add(out.dropped);
     }
 }
 
@@ -437,6 +545,12 @@ where
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        // One observability bundle per node: gated paths drive the
+        // logical clock from the sync-round counter, and a cluster of
+        // in-process nodes never mixes cells.
+        let obs = Obs::logical();
+        let mut replica = replica;
+        replica.set_obs(&obs.registry);
         let inner = Arc::new(Inner {
             id,
             cfg,
@@ -451,10 +565,10 @@ where
             ),
             inbox: RankedMutex::new(rank::INBOX, Inbox::default()),
             links: RankedMutex::new(rank::LINKS, BTreeMap::new()),
-            wire: WireCounters::default(),
+            wire: NetMetrics::register(&obs.registry),
+            obs,
             shutdown: AtomicBool::new(false),
             injects: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
-            conn_count: AtomicU64::new(0),
         });
 
         let mut threads = Vec::new();
@@ -568,7 +682,8 @@ where
         }
         link.paused = false;
         if self.inner.cfg.coalesce && link.queue.len() >= 2 {
-            link.coalesce::<K>(self.inner.cfg.max_frame_bytes);
+            let folded = link.coalesce::<K>(self.inner.cfg.max_frame_bytes);
+            credit_coalesce(&self.inner, peer, folded);
         }
         let out = link.flush();
         credit_flush(&self.inner, &out);
@@ -595,6 +710,19 @@ where
         build_probe(&self.inner)
     }
 
+    /// The node's observability bundle: registry, flight recorder, and
+    /// clock. Tests and harnesses read metrics or arm panic dumps here;
+    /// [`crate::NetClient::stats`] serves the same data over the socket.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// The node's stats report, computed in-process (the socket stats
+    /// probe in [`crate::NetClient::stats`] serves exactly this).
+    pub fn stats_local(&self, trace_tail: u64) -> StatsReport {
+        build_stats(&self.inner, trace_tail)
+    }
+
     /// The keyspace's memory footprint (CRDT state vs synchronization
     /// metadata) — what the compaction timer keeps flat under churn.
     pub fn memory(&self) -> MemoryUsage {
@@ -603,7 +731,7 @@ where
 
     /// Live inbound connections (peers and clients).
     pub fn live_connections(&self) -> u64 {
-        self.inner.conn_count.load(Ordering::Relaxed)
+        self.inner.wire.conns.get()
     }
 
     /// Per-peer frames written, for in-flight reconciliation.
@@ -801,6 +929,7 @@ where
             core.replica.merkle().clone()
         };
         let model = cfg.store.model;
+        self.inner.wire.repair.pairs.inc();
         let mut stats = PairSyncStats::default();
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -836,6 +965,7 @@ where
 
         // Descend: compare the server's listings against our tree, ask
         // one level deeper until the frontier is all leaves.
+        let mut descent_rounds = 1u64;
         let mut leaves: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         loop {
             if frame.nodes.is_empty() {
@@ -852,12 +982,26 @@ where
                 .ok_or(NetError::Protocol("merkle descent closed mid-round"))?;
             stats.messages += 1;
             stats.metadata_bytes += reply.len() as u64;
+            descent_rounds += 1;
             frame = match NetMsg::<K>::from_bytes(&reply)? {
                 NetMsg::MerkleChildren(frame) => frame,
                 NetMsg::Error { message } => return Err(NetError::Remote(message)),
                 _ => return Err(NetError::Protocol("expected MerkleChildren")),
             };
         }
+        // Descent accounting: everything exchanged so far is control
+        // plane (digests and child listings); the leaf round below is
+        // charged separately.
+        let repair = &self.inner.wire.repair;
+        repair.frames.add(u64::from(stats.messages));
+        repair.control_bytes.add(stats.metadata_bytes);
+        repair.rounds.add(descent_rounds);
+        self.inner.obs.trace(
+            self.inner.id.index() as u64,
+            EventKind::RepairHop,
+            descent_rounds,
+            stats.metadata_bytes,
+        );
         if leaves.is_empty() {
             return Ok(stats);
         }
@@ -872,6 +1016,8 @@ where
             .ok_or(NetError::Protocol("merkle leaf round closed early"))?;
         stats.messages += 1;
         stats.metadata_bytes += reply.len() as u64;
+        repair.frames.add(2);
+        repair.leaf_bytes.add(reply.len() as u64);
         let theirs = match NetMsg::<K>::from_bytes(&reply)? {
             NetMsg::MerkleLeaves(leaves) => leaves,
             NetMsg::Error { message } => return Err(NetError::Remote(message)),
@@ -986,8 +1132,8 @@ where
         NodeRelics {
             replica,
             traffic: core.traffic,
-            frames_sent: self.inner.wire.frames_sent.load(Ordering::Relaxed),
-            wire_bytes_sent: self.inner.wire.bytes_sent.load(Ordering::Relaxed),
+            frames_sent: self.inner.wire.frames_sent.get(),
+            wire_bytes_sent: self.inner.wire.bytes_sent.get(),
         }
     }
 }
@@ -1031,9 +1177,24 @@ where
     let mut core = inner.state.lock().unwrap();
     let steps = core.replica.sync_step(&neighbors);
     core.rounds += 1;
+    // The node's logical clock is the sync-round counter, so trace
+    // ticks in gated paths stay deterministic across runs.
+    inner.obs.clock.advance_to(core.rounds);
+    inner.wire.rounds.inc();
+    let me = inner.id.index() as u64;
+    inner.obs.trace(
+        me,
+        EventKind::SyncRoundStart,
+        core.rounds,
+        neighbors.len() as u64,
+    );
+    let shipped = steps.len() as u64;
     for (to, batch) in steps {
         core.record_and_send(to, batch, inner);
     }
+    inner
+        .obs
+        .trace(me, EventKind::SyncRoundEnd, core.rounds, shipped);
 }
 
 /// Drain the inbox sorted by sending peer (deterministic absorption
@@ -1068,12 +1229,12 @@ where
                     // A corrupt or mismatched batch must not kill the
                     // node: count it and move on (hardened decode path).
                     Err(_) => {
-                        inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        inner.wire.bad_frames.inc();
                     }
                 }
             }
             Err(_) => {
-                inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                inner.wire.bad_frames.inc();
             }
         }
     }
@@ -1129,19 +1290,19 @@ where
         rounds,
         keys,
         traffic,
-        frames_sent: inner.wire.frames_sent.load(Ordering::Relaxed),
-        frames_received: inner.wire.frames_received.load(Ordering::Relaxed),
-        wire_bytes_sent: inner.wire.bytes_sent.load(Ordering::Relaxed),
-        wire_bytes_received: inner.wire.bytes_received.load(Ordering::Relaxed),
-        dropped_frames: inner.wire.dropped.load(Ordering::Relaxed),
-        bad_frames: inner.wire.bad_frames.load(Ordering::Relaxed),
+        frames_sent: inner.wire.frames_sent.get(),
+        frames_received: inner.wire.frames_received.get(),
+        wire_bytes_sent: inner.wire.bytes_sent.get(),
+        wire_bytes_received: inner.wire.bytes_received.get(),
+        dropped_frames: inner.wire.dropped.get(),
+        bad_frames: inner.wire.bad_frames.get(),
         inbox_len,
         frozen_frames,
         queued_frames,
-        stall_events: inner.wire.stalls.load(Ordering::Relaxed),
+        stall_events: inner.wire.stalls.get(),
         coalesced_frames: coalesced,
         queue_dropped_frames: queue_dropped,
-        connections: inner.conn_count.load(Ordering::Relaxed),
+        connections: inner.wire.conns.get(),
         sent_to,
         received_from,
     }
@@ -1163,7 +1324,7 @@ where
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-                inner.conn_count.fetch_add(1, Ordering::Relaxed);
+                inner.wire.conns.add(1);
                 inner.injects[next % workers]
                     .lock()
                     .unwrap()
@@ -1227,7 +1388,10 @@ where
                 match kind {
                     TimerKind::Sync => sync_step(&inner),
                     TimerKind::Compact => {
-                        inner.state.lock().unwrap().replica.compact();
+                        let pruned = inner.state.lock().unwrap().replica.compact();
+                        inner
+                            .obs
+                            .trace(inner.id.index() as u64, EventKind::Compaction, pruned, 0);
                     }
                 }
                 busy = true;
@@ -1235,7 +1399,13 @@ where
             if inner.cfg.scheduler.is_some() {
                 let frames = take_inbox_sorted(&inner);
                 if !frames.is_empty() {
-                    absorb_frames(&inner, frames);
+                    let absorbed = absorb_frames(&inner, frames);
+                    inner.obs.trace(
+                        inner.id.index() as u64,
+                        EventKind::ReactorSweep,
+                        absorbed as u64,
+                        widx as u64,
+                    );
                     busy = true;
                 }
             }
@@ -1268,7 +1438,13 @@ where
                 if free == 0 {
                     if !conn.stalled {
                         conn.stalled = true;
-                        inner.wire.stalls.fetch_add(1, Ordering::Relaxed);
+                        inner.wire.stalls.inc();
+                        inner.obs.trace(
+                            inner.id.index() as u64,
+                            EventKind::ReactorStall,
+                            conn.peer.map_or(u64::MAX, |p| p.index() as u64),
+                            inner.cfg.inbox_capacity as u64,
+                        );
                     }
                     continue;
                 }
@@ -1286,7 +1462,7 @@ where
             match event {
                 ConnEvent::More => busy = true,
                 ConnEvent::Corrupt => {
-                    inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    inner.wire.bad_frames.inc();
                 }
                 ConnEvent::Idle | ConnEvent::Closed => {}
             }
@@ -1304,29 +1480,28 @@ where
             !(c.dead || half_open)
         });
         if conns.len() < before {
-            inner
-                .conn_count
-                .fetch_sub((before - conns.len()) as u64, Ordering::Relaxed);
+            inner.wire.conns.sub((before - conns.len()) as u64);
             busy = true;
         }
 
         // Flush the outbound links this worker owns, coalescing any
         // backlog first.
-        let owned: Vec<Arc<RankedMutex<OutLink>>> = {
+        let owned: Vec<(ReplicaId, Arc<RankedMutex<OutLink>>)> = {
             let links = inner.links.lock().unwrap();
             links
                 .iter()
                 .filter(|(id, _)| inner.link_owner(**id) == widx)
-                .map(|(_, link)| Arc::clone(link))
+                .map(|(id, link)| (*id, Arc::clone(link)))
                 .collect()
         };
-        for link in owned {
+        for (peer, link) in owned {
             let mut link = link.lock().unwrap();
             if link.paused || (link.queue.is_empty() && link.written == 0) {
                 continue;
             }
             if inner.cfg.coalesce && link.queue.len() >= 2 {
-                link.coalesce::<K>(inner.cfg.max_frame_bytes);
+                let folded = link.coalesce::<K>(inner.cfg.max_frame_bytes);
+                credit_coalesce(&inner, peer, folded);
             }
             let out = link.flush();
             if out.frames > 0 || out.dropped > 0 {
@@ -1351,18 +1526,18 @@ where
     C: Crdt + WireEncode + Send + 'static,
     C::Op: WireEncode + Send + 'static,
 {
-    inner.wire.frames_received.fetch_add(1, Ordering::Relaxed);
-    inner.wire.bytes_received.fetch_add(
-        (crate::framing::LEN_PREFIX_BYTES + frame.len()) as u64,
-        Ordering::Relaxed,
-    );
+    inner.wire.frames_received.inc();
+    inner
+        .wire
+        .bytes_received
+        .add((crate::framing::LEN_PREFIX_BYTES + frame.len()) as u64);
     if let Some(from) = conn.peer {
         // Established peer stream: only batches are expected; they land
         // in the inbox raw for zero-copy absorption.
         if is_batch_frame(&frame) {
             land_batch(inner, from, frame);
         } else {
-            inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+            inner.wire.bad_frames.inc();
         }
         return;
     }
@@ -1372,7 +1547,7 @@ where
         Err(_) => {
             // The connection is not trustworthy any more; count and
             // drop it. A corrupt frame never takes the node down.
-            inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+            inner.wire.bad_frames.inc();
             conn.dead = true;
             return;
         }
@@ -1393,7 +1568,7 @@ where
             match batch.route().map(|(from, _, _)| from) {
                 Some(from) => land_batch(inner, from, frame),
                 None => {
-                    inner.wire.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    inner.wire.bad_frames.inc();
                 }
             }
         }
@@ -1416,6 +1591,23 @@ fn land_batch<K: Ord, C>(inner: &Inner<K, C>, from: ReplicaId, frame: Bytes) {
     let mut inbox = inner.inbox.lock().unwrap();
     inbox.queue.push_back((from, frame));
     *inbox.received_from.entry(from).or_insert(0) += 1;
+}
+
+/// Register every net-layer metric in `reg` (idempotent) without
+/// spawning a node — the golden-name gate enumerates the `net.*` and
+/// `repair.*` namespaces through this.
+pub fn register_net_metrics(reg: &crdt_obs::Registry) {
+    let _ = NetMetrics::register(reg);
+}
+
+/// Build the observability report: full registry exposition plus the
+/// newest `trace_tail` flight-recorder events.
+fn build_stats<K: Ord, C>(inner: &Inner<K, C>, trace_tail: u64) -> StatsReport {
+    StatsReport {
+        node: inner.id,
+        exposition: inner.obs.registry.exposition(),
+        trace: inner.obs.recorder.tail(trace_tail as usize),
+    }
 }
 
 /// Answer one client/repair request.
@@ -1445,6 +1637,7 @@ where
             }
         }
         NetMsg::Probe => NetMsg::ProbeReply(build_probe(inner)),
+        NetMsg::StatsRequest { trace_tail } => NetMsg::StatsReply(build_stats(inner, trace_tail)),
         NetMsg::RepairRequest { from: _, digests } => {
             if !inner.cfg.store.protocol.accepts_raw_delta() {
                 return NetMsg::Error {
@@ -1596,6 +1789,7 @@ where
         | NetMsg::GetReply { .. }
         | NetMsg::UpdateReply
         | NetMsg::ProbeReply(_)
+        | NetMsg::StatsReply(_)
         | NetMsg::RepairReply { .. }
         | NetMsg::MerkleChildren(_)
         | NetMsg::MerkleLeaves(_)

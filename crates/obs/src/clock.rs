@@ -1,0 +1,111 @@
+//! Pluggable tick sources for trace timestamps.
+//!
+//! This is the **only** module in the metrics-bearing crates allowed
+//! to read a wall clock: the repo-lint `determinism` rule denies
+//! `Instant`/`SystemTime` everywhere else under `crates/obs/src/`, and
+//! every path that feeds a gated deterministic metric must construct
+//! its `Obs` over [`LogicalClock`]. [`MonotonicClock`] exists for
+//! artifact-only paths (bench bins, examples) where real elapsed time
+//! aids debugging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+// lint: allow(determinism) — the one sanctioned wall-clock import; see module docs
+use std::time::Instant;
+
+/// A monotone tick source stamped into trace events.
+pub trait Clock: Send + Sync {
+    /// Current tick. Logical clocks count explicit advances; the
+    /// monotonic clock reports microseconds since construction.
+    fn ticks(&self) -> u64;
+
+    /// Drive the clock to an absolute tick (a round counter, say).
+    /// Logical clocks jump; real clocks ignore the hint — so subsystems
+    /// can feed their round numbers without downcasting.
+    fn advance_to(&self, _tick: u64) {}
+}
+
+/// Deterministic clock: ticks advance only when the owning subsystem
+/// says so (e.g. once per sync round). Safe in gated metric paths.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+
+    /// Advance by one tick, returning the new value.
+    pub fn advance(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Jump to an absolute tick (used when an external round counter
+    /// is the authority).
+    pub fn set(&self, t: u64) {
+        self.ticks.store(t, Ordering::Relaxed);
+    }
+}
+
+impl Clock for LogicalClock {
+    fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    fn advance_to(&self, tick: u64) {
+        self.set(tick);
+    }
+}
+
+/// Wall-clock ticks (microseconds since construction). Artifact-only:
+/// never construct one in a path that feeds a gated metric.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn ticks(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_advances_only_on_demand() {
+        let c = LogicalClock::new();
+        assert_eq!(c.ticks(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        c.set(10);
+        assert_eq!(c.ticks(), 10);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.ticks();
+        let b = c.ticks();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,108 @@
+//! Unified observability plane for the delta-sync workspace.
+//!
+//! Three pieces, all zero-dependency and cheap enough to leave wired in
+//! production paths:
+//!
+//! * [`Registry`] — a metrics registry of atomic [`Counter`]s,
+//!   [`Gauge`]s, and log2-bucketed [`Histogram`]s registered under
+//!   stable dotted names (`net.reactor.stalls`,
+//!   `repair.merkle.leaf_bytes`). Snapshots render as a deterministic,
+//!   sorted text exposition so goldens and CI diffs are byte-stable.
+//! * [`FlightRecorder`] — fixed-capacity sharded ring buffers of
+//!   structured [`TraceEvent`]s with a global sequence number for
+//!   causality. Dumped on demand, and automatically on panic so a
+//!   wedged parity/fuzz run names the subsystem that stalled.
+//! * [`Clock`] — pluggable time. Gated deterministic paths use
+//!   [`LogicalClock`] ticks; artifact-only paths may use
+//!   [`MonotonicClock`] (the only module exempt from the repo-lint
+//!   `determinism` rule).
+//!
+//! The per-subsystem handle is [`Obs`]: a cheap-clone bundle of
+//! registry + recorder + clock. Subsystems accept an `Option<Obs>` (or
+//! pre-registered cells); the disabled path is a `None` check and costs
+//! zero allocations — pinned by the `alloc_steady` test.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod recorder;
+pub mod registry;
+
+pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use recorder::{EventKind, FlightRecorder, TraceEvent, CLUSTER_NODE};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+
+use std::sync::Arc;
+
+/// Cheap-clone bundle of the three observability pieces for one node /
+/// runner. Each in-process node owns its own `Obs` so a
+/// `LoopbackCluster` of N nodes never mixes counters.
+#[derive(Clone)]
+pub struct Obs {
+    /// Metric cells for this node.
+    pub registry: Registry,
+    /// Trace-event rings for this node.
+    pub recorder: FlightRecorder,
+    /// Tick source stamped into every trace event.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Obs {
+    /// An `Obs` on a [`LogicalClock`] — the right choice everywhere a
+    /// number could land in a gated deterministic metric.
+    pub fn logical() -> Self {
+        Obs {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(recorder::DEFAULT_SHARDS, recorder::DEFAULT_CAPACITY),
+            clock: Arc::new(LogicalClock::new()),
+        }
+    }
+
+    /// An `Obs` on a [`MonotonicClock`] — artifact-only paths (bench
+    /// bins, examples) where wall-clock timestamps aid debugging.
+    pub fn monotonic() -> Self {
+        Obs {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(recorder::DEFAULT_SHARDS, recorder::DEFAULT_CAPACITY),
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+
+    /// Record a trace event stamped with this bundle's clock.
+    pub fn trace(&self, node: u64, kind: EventKind, a: u64, b: u64) {
+        self.recorder.record(self.clock.ticks(), node, kind, a, b);
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").finish_non_exhaustive()
+    }
+}
+
+/// Register a [`Counter`]. The third argument is a mandatory doc
+/// string — enforced by the repo-lint `obs-doc` rule.
+#[macro_export]
+macro_rules! register_counter {
+    ($reg:expr, $name:expr, $doc:expr $(,)?) => {
+        $reg.counter($name, $doc)
+    };
+}
+
+/// Register a [`Gauge`]. The third argument is a mandatory doc
+/// string — enforced by the repo-lint `obs-doc` rule.
+#[macro_export]
+macro_rules! register_gauge {
+    ($reg:expr, $name:expr, $doc:expr $(,)?) => {
+        $reg.gauge($name, $doc)
+    };
+}
+
+/// Register a [`Histogram`]. The third argument is a mandatory doc
+/// string — enforced by the repo-lint `obs-doc` rule.
+#[macro_export]
+macro_rules! register_histogram {
+    ($reg:expr, $name:expr, $doc:expr $(,)?) => {
+        $reg.histogram($name, $doc)
+    };
+}

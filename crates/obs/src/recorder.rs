@@ -1,0 +1,389 @@
+//! The flight recorder: fixed-capacity sharded rings of structured
+//! trace events.
+//!
+//! Recording is a sequence-number fetch-add plus a push into a
+//! preallocated ring guarded by a sharded mutex (shard picked by a
+//! cached per-thread id, so unrelated threads rarely contend). Events
+//! are `Copy` and the rings never grow past their construction-time
+//! capacity — steady-state recording performs **zero allocations**,
+//! pinned by the `alloc_steady` test.
+//!
+//! A recorder can be armed to dump automatically on panic
+//! ([`FlightRecorder::dump_on_panic`]); the hook chains the previous
+//! panic handler and fires at most once per recorder, so a wedged
+//! parity or fuzz run leaves behind a trace naming the subsystem that
+//! stalled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Default number of ring shards.
+pub const DEFAULT_SHARDS: usize = 8;
+/// Default per-shard event capacity.
+pub const DEFAULT_CAPACITY: usize = 512;
+/// Sentinel for the `node` field of events scoped to a whole cluster /
+/// runner rather than one replica; rendered as `node=*`.
+pub const CLUSTER_NODE: u64 = u64::MAX;
+
+/// What happened. Payload meaning of the generic `a`/`b` fields is
+/// per-kind, documented on each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An anti-entropy sync round started (`a` = round number).
+    SyncRoundStart = 0,
+    /// An anti-entropy sync round ended (`a` = round number,
+    /// `b` = frames sent this round).
+    SyncRoundEnd = 1,
+    /// One hop of a Merkle repair descent (`a` = depth, `b` = bytes
+    /// exchanged at this hop).
+    RepairHop = 2,
+    /// A reactor worker swept ready connections (`a` = connections
+    /// with I/O progress).
+    ReactorSweep = 3,
+    /// A connection entered inbox-full stall (`a` = peer id).
+    ReactorStall = 4,
+    /// Queued frames were coalesced on a link (`a` = peer id,
+    /// `b` = frames folded away).
+    ReactorCoalesce = 5,
+    /// A frame was dropped (`a` = peer id, `b` = 0 queue-full /
+    /// 1 half-open / 2 oversize).
+    ReactorDrop = 6,
+    /// A node crashed (`a` = node id, `b` = 1 if durable storage
+    /// survived).
+    Crash = 7,
+    /// A node restarted (`a` = node id, `b` = 1 if repaired from a
+    /// peer on the way up).
+    Restart = 8,
+    /// A compaction pass ran (`a` = entries reclaimed).
+    Compaction = 9,
+    /// A partition was installed or healed (`a` = 1 install / 0 heal).
+    Partition = 10,
+}
+
+impl EventKind {
+    /// All kinds, in wire-tag order.
+    pub const ALL: &'static [EventKind] = &[
+        EventKind::SyncRoundStart,
+        EventKind::SyncRoundEnd,
+        EventKind::RepairHop,
+        EventKind::ReactorSweep,
+        EventKind::ReactorStall,
+        EventKind::ReactorCoalesce,
+        EventKind::ReactorDrop,
+        EventKind::Crash,
+        EventKind::Restart,
+        EventKind::Compaction,
+        EventKind::Partition,
+    ];
+
+    /// Stable wire discriminant.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EventKind::as_u8`]; `None` on unknown tags (wire
+    /// decode must not panic).
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// The dotted subsystem this event belongs to — what a dump names
+    /// when diagnosing a stall.
+    pub fn subsystem(self) -> &'static str {
+        match self {
+            EventKind::SyncRoundStart | EventKind::SyncRoundEnd => "engine.sync",
+            EventKind::RepairHop => "repair.merkle",
+            EventKind::ReactorSweep
+            | EventKind::ReactorStall
+            | EventKind::ReactorCoalesce
+            | EventKind::ReactorDrop => "net.reactor",
+            EventKind::Crash | EventKind::Restart | EventKind::Partition => "cluster.fault",
+            EventKind::Compaction => "store.compact",
+        }
+    }
+
+    /// Short human label for dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SyncRoundStart => "sync_round_start",
+            EventKind::SyncRoundEnd => "sync_round_end",
+            EventKind::RepairHop => "repair_hop",
+            EventKind::ReactorSweep => "reactor_sweep",
+            EventKind::ReactorStall => "reactor_stall",
+            EventKind::ReactorCoalesce => "reactor_coalesce",
+            EventKind::ReactorDrop => "reactor_drop",
+            EventKind::Crash => "crash",
+            EventKind::Restart => "restart",
+            EventKind::Compaction => "compaction",
+            EventKind::Partition => "partition",
+        }
+    }
+}
+
+/// One recorded event. `Copy`, 48 bytes — rings of these never touch
+/// the allocator after construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number: a total order across all shards and
+    /// threads of one recorder (causality within the process).
+    pub seq: u64,
+    /// Clock ticks at record time (logical or monotonic per the
+    /// bundle's [`crate::Clock`]).
+    pub tick: u64,
+    /// Node / replica the event belongs to.
+    pub node: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First per-kind payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second per-kind payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// One dump line: `seq=12 tick=3 node=1 net.reactor reactor_stall a=2 b=0`.
+    pub fn render(&self) -> String {
+        let node: &dyn std::fmt::Display = if self.node == CLUSTER_NODE {
+            &"*"
+        } else {
+            &self.node
+        };
+        format!(
+            "seq={} tick={} node={node} {} {} a={} b={}",
+            self.seq,
+            self.tick,
+            self.kind.subsystem(),
+            self.kind.label(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct Shard {
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    capacity: usize,
+    seq: AtomicU64,
+    dumped: AtomicBool,
+    label: Mutex<String>,
+}
+
+/// Fixed-capacity, sharded trace-event recorder. Cheap to clone
+/// (shared handle).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("shards", &self.inner.shards.len())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+}
+
+// Each thread caches which shard it writes to; assignment is a plain
+// round-robin over a process-global counter, so concurrent writers
+// spread out without hashing thread ids.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+impl FlightRecorder {
+    /// A recorder with `shards` rings of `capacity` events each. Both
+    /// are clamped to at least 1; all ring memory is allocated here.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(Inner {
+                shards: (0..shards)
+                    .map(|_| Shard {
+                        ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                    })
+                    .collect(),
+                capacity,
+                seq: AtomicU64::new(0),
+                dumped: AtomicBool::new(false),
+                label: Mutex::new(String::new()),
+            }),
+        }
+    }
+
+    /// Per-shard event capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Record one event. Zero allocations: a seq fetch-add, a shard
+    /// lock, and a ring rotate.
+    pub fn record(&self, tick: u64, node: u64, kind: EventKind, a: u64, b: u64) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            seq,
+            tick,
+            node,
+            kind,
+            a,
+            b,
+        };
+        let slot = THREAD_SLOT.with(|s| *s) % self.inner.shards.len();
+        let mut ring = self.inner.shards[slot].ring.lock().unwrap();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Total events recorded since construction (including ones the
+    /// rings have since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// All currently retained events, merged across shards and sorted
+    /// by sequence number.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.inner.shards {
+            all.extend(shard.ring.lock().unwrap().iter().copied());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// The newest `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut all = self.snapshot();
+        let start = all.len().saturating_sub(n);
+        all.split_off(start)
+    }
+
+    /// Render the retained events as a dump, one line per event.
+    pub fn dump_string(&self) -> String {
+        let mut out = String::new();
+        for ev in self.snapshot() {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Arm this recorder to dump automatically (at most once) if the
+    /// process panics. `label` names the run in the dump header.
+    pub fn dump_on_panic(&self, label: &str) {
+        *self.inner.label.lock().unwrap() = label.to_string();
+        armed().lock().unwrap().push(Arc::downgrade(&self.inner));
+        install_hook();
+    }
+
+    /// Has the panic dump already fired for this recorder?
+    pub fn panic_dumped(&self) -> bool {
+        self.inner.dumped.load(Ordering::Relaxed)
+    }
+}
+
+type PanicSink = Box<dyn Fn(&str) + Send>;
+
+fn armed() -> &'static Mutex<Vec<Weak<Inner>>> {
+    static ARMED: OnceLock<Mutex<Vec<Weak<Inner>>>> = OnceLock::new();
+    ARMED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn sink() -> &'static Mutex<Option<PanicSink>> {
+    static SINK: OnceLock<Mutex<Option<PanicSink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Redirect panic dumps into `f` instead of stderr (tests capture the
+/// dump this way). Pass-through is restored by setting `None`.
+pub fn set_panic_sink(f: Option<PanicSink>) {
+    *sink().lock().unwrap() = f;
+}
+
+fn install_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_armed();
+            prev(info);
+        }));
+    });
+}
+
+/// Dump every armed recorder that has not dumped yet. Called from the
+/// panic hook; callable directly by harnesses that fail without
+/// panicking.
+pub fn dump_armed() {
+    let mut armed = armed().lock().unwrap();
+    armed.retain(|weak| {
+        let Some(inner) = weak.upgrade() else {
+            return false; // recorder dropped — unarm
+        };
+        if inner.dumped.swap(true, Ordering::SeqCst) {
+            return true; // already dumped once
+        }
+        let rec = FlightRecorder { inner };
+        let label = rec.inner.label.lock().unwrap().clone();
+        let mut text = format!("--- flight recorder dump: {label} ---\n");
+        text.push_str(&rec.dump_string());
+        match &*sink().lock().unwrap() {
+            Some(f) => f(&text),
+            None => eprint!("{text}"),
+        }
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10 {
+            rec.record(i, 0, EventKind::ReactorSweep, i, 0);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "newest 4 survive, in seq order");
+        assert_eq!(rec.recorded(), 10);
+    }
+
+    #[test]
+    fn tail_returns_newest_first_ordered_oldest_to_newest() {
+        let rec = FlightRecorder::new(2, 16);
+        for i in 0..6 {
+            rec.record(i, 1, EventKind::SyncRoundStart, i, 0);
+        }
+        let tail = rec.tail(3);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for &k in EventKind::ALL {
+            assert_eq!(EventKind::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! The metrics registry: named atomic cells with a deterministic text
+//! exposition.
+//!
+//! Names are stable dotted paths (`net.reactor.stalls`,
+//! `store.compact.reclaimed`) registered exactly once per registry;
+//! re-registering the same name with the same kind returns the same
+//! shared cell, so every subsystem can declare its cells where it uses
+//! them without coordination. Registration takes the lock and
+//! allocates; the hot path (bumping a cell) is a single relaxed atomic
+//! op on an `Arc` the caller already holds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX` (`2^0 .. 2^63`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter detached from any registry (always-valid default so
+    /// subsystems can hold cells unconditionally).
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge cell.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge detached from any registry.
+    pub fn detached() -> Self {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (gauges may also accumulate, e.g. connection counts).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update with saturating_sub: never wraps below zero.
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCells {
+    fn new() -> Self {
+        HistCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log2-bucketed histogram: bucket 0 holds zero observations, bucket
+/// `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistCells>,
+}
+
+impl Histogram {
+    /// A histogram detached from any registry.
+    pub fn detached() -> Self {
+        Histogram {
+            cells: Arc::new(HistCells::new()),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(v, Ordering::Relaxed);
+        self.cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (see type docs for the bucket boundaries).
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.cells.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket for value `v`: 0 for zero, else `floor(log2 v) + 1`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    doc: &'static str,
+    metric: Metric,
+}
+
+/// A process- or node-scoped metrics registry. Cheap to clone (shared
+/// handle); each `LoopbackCluster` node owns its own so counters never
+/// mix between in-process nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<&'static str, Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &'static str, doc: &'static str, fresh: Metric) -> Metric {
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(name).or_insert(Entry { doc, metric: fresh });
+        entry.metric.clone()
+    }
+
+    /// Register (or look up) a counter under `name`. Prefer the
+    /// [`crate::register_counter!`] macro, which the `obs-doc` lint
+    /// checks for a doc string.
+    pub fn counter(&self, name: &'static str, doc: &'static str) -> Counter {
+        match self.register(name, doc, Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c,
+            other => unreachable_kind(name, "counter", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge under `name`.
+    pub fn gauge(&self, name: &'static str, doc: &'static str) -> Gauge {
+        match self.register(name, doc, Metric::Gauge(Gauge::detached())) {
+            Metric::Gauge(g) => g,
+            other => unreachable_kind(name, "gauge", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a histogram under `name`.
+    pub fn histogram(&self, name: &'static str, doc: &'static str) -> Histogram {
+        match self.register(name, doc, Metric::Histogram(Histogram::detached())) {
+            Metric::Histogram(h) => h,
+            other => unreachable_kind(name, "histogram", other.kind()),
+        }
+    }
+
+    /// All registered metric names, sorted. This is what the
+    /// `ci/metric-names.txt` golden pins.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.inner.lock().unwrap().keys().copied().collect()
+    }
+
+    /// The doc string a metric was registered with.
+    pub fn doc(&self, name: &str) -> Option<&'static str> {
+        self.inner.lock().unwrap().get(name).map(|e| e.doc)
+    }
+
+    /// Deterministic text exposition: one `name value` line per cell,
+    /// sorted by name; histograms expand to `.count`, `.sum`, and one
+    /// `.lt_2p<k>` line per non-empty bucket. Two registries holding
+    /// the same values render byte-identical strings.
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, entry) in map.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "{name}.count {}", h.count());
+                    let _ = writeln!(out, "{name}.sum {}", h.sum());
+                    for (k, n) in h.buckets().iter().enumerate() {
+                        if *n > 0 {
+                            let _ = writeln!(out, "{name}.lt_2p{k:02} {n}");
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn unreachable_kind(name: &str, wanted: &str, got: &str) -> ! {
+    panic!("metric `{name}` already registered as a {got}, not a {wanted}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = crate::register_counter!(r, "x.y", "test cell");
+        let b = crate::register_counter!(r, "x.y", "test cell");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name → same cell");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x.y", "d");
+        let _ = r.gauge("x.y", "d");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        let h = Histogram::detached();
+        h.observe(0);
+        h.observe(5);
+        h.observe(7);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 12);
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[3], 2, "5 and 7 land in [4,8)");
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            crate::register_counter!(r, "b.two", "second").add(7);
+            crate::register_gauge!(r, "a.one", "first").set(3);
+            crate::register_histogram!(r, "c.three", "third").observe(9);
+            r.exposition()
+        };
+        let x = build();
+        assert_eq!(x, build(), "same values → byte-identical exposition");
+        assert_eq!(
+            x,
+            "a.one 3\nb.two 7\nc.three.count 1\nc.three.sum 9\nc.three.lt_2p04 1\n"
+        );
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = Registry::new();
+        let _ = r.counter("z", "d");
+        let _ = r.counter("a", "d");
+        assert_eq!(r.names(), vec!["a", "z"]);
+        assert_eq!(r.doc("a"), Some("d"));
+    }
+}

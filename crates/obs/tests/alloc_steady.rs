@@ -1,0 +1,43 @@
+//! Steady-state observability is allocation-free: once cells are
+//! registered and rings are built, counting, observing, and tracing
+//! never touch the allocator. This is the "cheap enough to leave wired
+//! into production paths" claim, pinned by `testkit-alloc`.
+//!
+//! One measuring test per binary — the counting allocator's counters
+//! are process-global.
+
+#[global_allocator]
+static ALLOC: testkit_alloc::CountingAllocator = testkit_alloc::CountingAllocator;
+
+use crdt_obs::{register_counter, register_gauge, register_histogram, EventKind, Obs};
+
+#[test]
+fn steady_state_is_allocation_free() {
+    assert!(testkit_alloc::is_installed());
+    let obs = Obs::logical();
+    let frames = register_counter!(&obs.registry, "engine.sync.frames", "frames produced");
+    let objects = register_gauge!(&obs.registry, "store.objects", "live objects");
+    let bytes = register_histogram!(&obs.registry, "net.frame.bytes", "frame sizes");
+
+    // Warm up: spin the rings past wraparound and touch every cell so
+    // lazy one-time costs (thread slot assignment) are paid up front.
+    for i in 0..2_000u64 {
+        obs.trace(0, EventKind::ReactorSweep, i, 0);
+    }
+    frames.inc();
+    objects.set(1);
+    bytes.observe(1);
+
+    let ((), stats) = testkit_alloc::measure(|| {
+        for i in 0..10_000u64 {
+            frames.add(3);
+            objects.set(i);
+            bytes.observe(i);
+            obs.trace(i % 5, EventKind::SyncRoundEnd, i, 3);
+        }
+    });
+    assert_eq!(
+        stats.allocations, 0,
+        "steady-state metrics/tracing allocated: {stats:?}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Flight-recorder integrity under concurrency, panic-dump semantics,
+//! and exposition determinism — the contracts the rest of the
+//! workspace leans on when it wires observability into hot paths.
+
+use std::sync::{Arc, Mutex};
+
+use crdt_obs::{recorder, register_counter, register_histogram, EventKind, FlightRecorder, Obs};
+
+/// Concurrent writers never tear an event: every recorded event comes
+/// back with its fields intact (we write `a == b`, so any interleaving
+/// of field writes would show up as `a != b`), and retained sequence
+/// numbers are unique.
+#[test]
+fn concurrent_writers_never_tear_events() {
+    let rec = FlightRecorder::new(4, 256);
+    let threads = 8;
+    let per_thread = 2_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = rec.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let stamp = t * 1_000_000 + i;
+                    rec.record(i, t, EventKind::ReactorSweep, stamp, stamp);
+                }
+            });
+        }
+    });
+    assert_eq!(rec.recorded(), threads * per_thread);
+    let snap = rec.snapshot();
+    assert!(!snap.is_empty());
+    for ev in &snap {
+        assert_eq!(ev.a, ev.b, "torn event: {}", ev.render());
+        assert_eq!(ev.a % 1_000_000, ev.tick, "payload decoupled from tick");
+    }
+    let mut seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+    let len = seqs.len();
+    seqs.dedup();
+    assert_eq!(seqs.len(), len, "duplicate sequence numbers in snapshot");
+}
+
+/// Wraparound under concurrency still retains only the newest events
+/// per shard, and the merged snapshot stays seq-sorted.
+#[test]
+fn wraparound_retains_newest_and_sorts() {
+    let rec = FlightRecorder::new(2, 8);
+    for i in 0..1_000 {
+        rec.record(i, 0, EventKind::Compaction, i, 0);
+    }
+    let snap = rec.snapshot();
+    assert!(snap.len() <= 2 * 8);
+    assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    // This thread writes one shard, so exactly `capacity` survive and
+    // they are the newest ones.
+    assert_eq!(snap.len(), 8);
+    assert_eq!(snap.last().unwrap().seq, 999);
+    assert_eq!(snap.first().unwrap().seq, 992);
+}
+
+/// An armed recorder dumps exactly once no matter how many panics the
+/// process survives, and the dump names the subsystem of its events.
+#[test]
+fn panic_dump_fires_exactly_once() {
+    let rec = FlightRecorder::new(1, 32);
+    rec.record(7, 3, EventKind::ReactorStall, 1, 64);
+    let captured: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&captured);
+    recorder::set_panic_sink(Some(Box::new(move |text| {
+        sink.lock().unwrap().push(text.to_string());
+    })));
+    rec.dump_on_panic("wedged-run");
+    for _ in 0..2 {
+        let _ = std::panic::catch_unwind(|| panic!("deliberate"));
+    }
+    recorder::set_panic_sink(None);
+    let dumps = captured.lock().unwrap();
+    assert_eq!(dumps.len(), 1, "dump must fire exactly once");
+    assert!(rec.panic_dumped());
+    assert!(dumps[0].contains("flight recorder dump: wedged-run"));
+    assert!(
+        dumps[0].contains("net.reactor reactor_stall"),
+        "dump names the stalled subsystem: {}",
+        dumps[0]
+    );
+}
+
+/// The exposition is deterministic: same updates in any order, same
+/// bytes out — sorted names, stable histogram bucket labels.
+#[test]
+fn exposition_is_deterministic() {
+    let render = |order: &[usize]| {
+        let obs = Obs::logical();
+        let ops = register_counter!(&obs.registry, "engine.ops", "operations applied");
+        let bytes = register_histogram!(&obs.registry, "net.frame.bytes", "per-frame wire size");
+        for &i in order {
+            ops.add(i as u64);
+            bytes.observe((i * 100) as u64);
+        }
+        obs.registry.exposition()
+    };
+    let a = render(&[1, 2, 3, 4]);
+    let b = render(&[4, 3, 2, 1]);
+    assert_eq!(a, b, "update order must not leak into the exposition");
+    assert_eq!(
+        a,
+        "engine.ops 10\n\
+         net.frame.bytes.count 4\n\
+         net.frame.bytes.sum 1000\n\
+         net.frame.bytes.lt_2p07 1\n\
+         net.frame.bytes.lt_2p08 1\n\
+         net.frame.bytes.lt_2p09 2\n"
+    );
+}

@@ -50,5 +50,5 @@ pub use parallel::ParallelRunner;
 pub use runner::{run_experiment, Runner, Workload};
 pub use scenario::{run_scenario, ScenarioEvent, ScenarioOutcome, ScenarioSchedule};
 pub use sharded::{KeyedOp, ShardedDeltaRunner};
-pub use sharded_engine::ShardedEngineRunner;
+pub use sharded_engine::{register_runner_metrics, ShardedEngineRunner};
 pub use topology::{DynamicTopology, Topology};

@@ -41,11 +41,12 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
+use crdt_obs::{EventKind, Obs};
 use crdt_sync::digest::{digest_repair_deltas, PairSyncStats};
 use crdt_sync::{
     build_engine_send_with_model, diff_keys, BatchEnvelope, BufferPool, DeltaMsg, Measured,
-    MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
-    DEFAULT_MERKLE_DEPTH, MERKLE_REPAIR_THRESHOLD,
+    MerkleRepairMetrics, MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting,
+    WireEnvelope, DEFAULT_MERKLE_DEPTH, MERKLE_REPAIR_THRESHOLD,
 };
 use crdt_types::Crdt;
 
@@ -65,6 +66,44 @@ type PhaseOutput<K> = (u64, u64, Vec<(ReplicaId, BatchEnvelope<K>)>);
 type InFlight<K> = (ReplicaId, ReplicaId, BatchEnvelope<K>);
 
 use crate::parallel::{par_map_chunked as par_map, par_map_chunked_ctx as par_map_ctx};
+
+/// Runner-level observability: registry cells the driver bumps plus
+/// the trace-event hook. Attached via
+/// [`ShardedEngineRunner::set_obs`]; absent by default (zero cost).
+#[derive(Clone, Debug)]
+struct RunnerObs {
+    obs: Obs,
+    /// `sim.runner.rounds` — synchronization rounds driven.
+    rounds: crdt_obs::Counter,
+    /// `sim.runner.undeliverable` — batches dropped at delivery (down
+    /// node or active partition).
+    undeliverable: crdt_obs::Counter,
+    /// Shared `repair.*` cells (Merkle descents + pairwise sessions).
+    repair: MerkleRepairMetrics,
+}
+
+/// Register (or look up) the runner-level cells: the `sim.runner.*`
+/// counters plus the shared `repair.*` namespace.
+fn runner_cells(
+    reg: &crdt_obs::Registry,
+) -> (crdt_obs::Counter, crdt_obs::Counter, MerkleRepairMetrics) {
+    (
+        crdt_obs::register_counter!(reg, "sim.runner.rounds", "synchronization rounds driven"),
+        crdt_obs::register_counter!(
+            reg,
+            "sim.runner.undeliverable",
+            "batches dropped at delivery (down node or active partition)"
+        ),
+        MerkleRepairMetrics::register(reg),
+    )
+}
+
+/// Register every runner-layer metric in `reg` (idempotent) without
+/// building a runner — the golden-name gate enumerates the `sim.*` and
+/// `repair.*` namespaces through this.
+pub fn register_runner_metrics(reg: &crdt_obs::Registry) {
+    let _ = runner_cells(reg);
+}
 
 /// The unified sharded runner (see module docs).
 #[derive(Debug)]
@@ -90,6 +129,8 @@ pub struct ShardedEngineRunner<K: Ord, C: Crdt> {
     /// Last crash durability per node (drives the restart repair policy).
     durability: Vec<bool>,
     round: usize,
+    /// Observability hook, attached via [`ShardedEngineRunner::set_obs`].
+    obs: Option<RunnerObs>,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -117,8 +158,23 @@ where
             undeliverable: 0,
             durability: vec![true; n],
             round: 0,
+            obs: None,
             _crdt: PhantomData,
         }
+    }
+
+    /// Attach an observability bundle: the runner registers its
+    /// `sim.runner.*` / `repair.*` cells in `obs.registry`, drives
+    /// `obs.clock` to its round counter, and emits trace events for
+    /// rounds, faults, and repair descents.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let (rounds, undeliverable, repair) = runner_cells(&obs.registry);
+        self.obs = Some(RunnerObs {
+            obs: obs.clone(),
+            rounds,
+            undeliverable,
+            repair,
+        });
     }
 
     /// The protocol every object runs.
@@ -212,6 +268,15 @@ where
             self.nodes.len()
         );
         let mut rm = RoundMetrics::default();
+        if let Some(o) = &self.obs {
+            o.obs.clock.advance_to(self.round as u64 + 1);
+            o.obs.trace(
+                crdt_obs::CLUSTER_NODE,
+                EventKind::SyncRoundStart,
+                self.round as u64,
+                0,
+            );
+        }
         let (kind, params, model, threads) = (self.kind, self.params, self.model, self.threads);
         let topo = &self.topo;
 
@@ -307,6 +372,9 @@ where
             for (from, to, batch) in wave.drain(..) {
                 if !topo.link_open(from, to) {
                     self.undeliverable += 1;
+                    if let Some(o) = &self.obs {
+                        o.undeliverable.inc();
+                    }
                     continue;
                 }
                 inboxes[to.index()].push((from, to, batch));
@@ -390,6 +458,15 @@ where
             rm.memory.meta_bytes += mb;
         }
 
+        if let Some(o) = &self.obs {
+            o.rounds.inc();
+            o.obs.trace(
+                crdt_obs::CLUSTER_NODE,
+                EventKind::SyncRoundEnd,
+                self.round as u64,
+                rm.messages,
+            );
+        }
         self.metrics.push_round(rm);
         self.round += 1;
     }
@@ -517,6 +594,14 @@ where
         if !durable {
             self.nodes[node.index()].clear();
         }
+        if let Some(o) = &self.obs {
+            o.obs.trace(
+                node.index() as u64,
+                EventKind::Crash,
+                node.index() as u64,
+                durable as u64,
+            );
+        }
     }
 
     /// Bring a crashed `node` back; with `bootstrap = Some(peer)` the
@@ -524,6 +609,14 @@ where
     /// [`ShardedEngineRunner::repair_stats`].
     pub fn restart_node(&mut self, node: ReplicaId, bootstrap: Option<ReplicaId>) {
         self.topo.set_alive(node, true);
+        if let Some(o) = &self.obs {
+            o.obs.trace(
+                node.index() as u64,
+                EventKind::Restart,
+                node.index() as u64,
+                bootstrap.is_some() as u64,
+            );
+        }
         if let Some(peer) = bootstrap {
             self.repair_pair(node, peer);
         }
@@ -554,6 +647,14 @@ where
     /// Install a partition (see [`DynamicTopology::set_partition`]).
     pub fn set_partition(&mut self, groups: &[Vec<usize>]) {
         self.topo.set_partition(groups);
+        if let Some(o) = &self.obs {
+            o.obs.trace(
+                crdt_obs::CLUSTER_NODE,
+                EventKind::Partition,
+                1,
+                groups.len() as u64,
+            );
+        }
     }
 
     /// Heal the active partition and stitch the sides back together —
@@ -564,6 +665,14 @@ where
     pub fn heal_partition(&mut self) {
         let reps = self.topo.side_representatives();
         self.topo.clear_partition();
+        if let Some(o) = &self.obs {
+            o.obs.trace(
+                crdt_obs::CLUSTER_NODE,
+                EventKind::Partition,
+                0,
+                reps.len() as u64,
+            );
+        }
         if reps.len() < 2 || self.kind.recovers_from_loss() {
             return;
         }
@@ -592,6 +701,9 @@ where
     /// [`ShardedEngineRunner::repair_stats`].
     pub fn repair_pair(&mut self, a: ReplicaId, b: ReplicaId) {
         assert_ne!(a, b, "repair needs two distinct replicas");
+        if let Some(o) = &self.obs {
+            o.repair.pairs.inc();
+        }
         if self.kind.accepts_raw_delta() {
             let union: std::collections::BTreeSet<K> = self.nodes[a.index()]
                 .keys()
@@ -614,6 +726,15 @@ where
                     diff_keys(&tree(&self.nodes[a.index()]), &tree(&self.nodes[b.index()]));
                 self.repair.messages += descent.frames as u32;
                 self.repair.metadata_bytes += descent.total_bytes();
+                if let Some(o) = &self.obs {
+                    o.repair.charge(&descent);
+                    o.obs.trace(
+                        a.index() as u64,
+                        EventKind::RepairHop,
+                        descent.rounds,
+                        descent.total_bytes(),
+                    );
+                }
                 diverged.into_iter().collect()
             } else {
                 union.into_iter().collect()

@@ -67,5 +67,5 @@ mod transport;
 pub use cluster::{Cluster, ConvergenceReport};
 pub use message::StoreMsg;
 pub use metrics::TrafficStats;
-pub use replica::{StoreConfig, StoreReplica};
+pub use replica::{StoreConfig, StoreMetrics, StoreReplica};
 pub use transport::{LoopbackTransport, Transport};

@@ -6,8 +6,9 @@ use std::marker::PhantomData;
 
 use crdt_lattice::{ReplicaId, SizeModel, Sizeable, WireEncode};
 use crdt_sync::{
-    build_engine_send_with_model, BufferPool, DeltaMsg, EngineError, Measured, MemoryUsage,
-    MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting, WireEnvelope,
+    build_engine_send_with_model, BufferPool, DeltaMsg, EngineError, EngineMetrics, Measured,
+    MemoryUsage, MerkleTree, OpBytes, Params, ProtocolKind, SyncEngine, WireAccounting,
+    WireEnvelope,
 };
 use crdt_types::Crdt;
 
@@ -51,6 +52,46 @@ impl Default for StoreConfig {
     }
 }
 
+/// Registry-backed cells a replica (and its per-object engines) bump.
+/// One set per node; obtain via [`StoreMetrics::register`] and attach
+/// with [`StoreReplica::set_obs`].
+#[derive(Clone, Debug)]
+pub struct StoreMetrics {
+    /// `store.objects` — live objects (keys) in the replica.
+    pub objects: crdt_obs::Gauge,
+    /// `store.sync.steps` — synchronization steps run.
+    pub sync_steps: crdt_obs::Counter,
+    /// `store.compact.reclaimed` — metadata entries reclaimed by
+    /// compaction across all object engines.
+    pub compact_reclaimed: crdt_obs::Counter,
+    /// Cells the object engines bump (`engine.*`).
+    pub engine: EngineMetrics,
+}
+
+impl StoreMetrics {
+    /// Register (or look up) the store cells in `reg`.
+    pub fn register(reg: &crdt_obs::Registry) -> Self {
+        StoreMetrics {
+            objects: crdt_obs::register_gauge!(
+                reg,
+                "store.objects",
+                "live objects (keys) in the replica"
+            ),
+            sync_steps: crdt_obs::register_counter!(
+                reg,
+                "store.sync.steps",
+                "synchronization steps run"
+            ),
+            compact_reclaimed: crdt_obs::register_counter!(
+                reg,
+                "store.compact.reclaimed",
+                "metadata entries reclaimed by compaction"
+            ),
+            engine: EngineMetrics::register(reg),
+        }
+    }
+}
+
 /// One replica of a keyspace of CRDT objects, each object synchronized by
 /// its own engine of the configured [`ProtocolKind`].
 ///
@@ -81,6 +122,9 @@ pub struct StoreReplica<K: Ord, C> {
     /// path marks the touched key dirty; [`StoreReplica::merkle`]
     /// flushes dirty leaf paths against the live engine state hashes.
     merkle: MerkleTree<K>,
+    /// Registry-backed cells, attached via [`StoreReplica::set_obs`];
+    /// `None` (the default) costs one branch per step.
+    obs: Option<StoreMetrics>,
     _crdt: PhantomData<fn() -> C>,
 }
 
@@ -113,8 +157,21 @@ where
             objects: BTreeMap::new(),
             pool: BufferPool::new(),
             merkle: MerkleTree::default(),
+            obs: None,
             _crdt: PhantomData,
         }
+    }
+
+    /// Attach registry-backed cells: the replica registers its
+    /// `store.*` / `engine.*` names in `reg` and every existing and
+    /// future object engine bumps the shared cells.
+    pub fn set_obs(&mut self, reg: &crdt_obs::Registry) {
+        let metrics = StoreMetrics::register(reg);
+        for engine in self.objects.values_mut() {
+            engine.set_metrics(&metrics.engine);
+        }
+        metrics.objects.set(self.objects.len() as u64);
+        self.obs = Some(metrics);
     }
 
     /// This replica's identifier (also the id operations act under).
@@ -136,14 +193,27 @@ where
         id: ReplicaId,
         cfg: StoreConfig,
         params: &Params,
+        obs: &Option<StoreMetrics>,
     ) -> &'a mut Box<dyn SyncEngine + Send> {
         objects.entry(key).or_insert_with(|| {
-            build_engine_send_with_model::<C>(cfg.protocol, id, params, cfg.model)
+            let mut engine = build_engine_send_with_model::<C>(cfg.protocol, id, params, cfg.model);
+            if let Some(m) = obs {
+                engine.set_metrics(&m.engine);
+                m.objects.add(1);
+            }
+            engine
         })
     }
 
     fn engine(&mut self, key: K) -> &mut Box<dyn SyncEngine + Send> {
-        Self::engine_at(&mut self.objects, key, self.id, self.cfg, &self.params)
+        Self::engine_at(
+            &mut self.objects,
+            key,
+            self.id,
+            self.cfg,
+            &self.params,
+            &self.obs,
+        )
     }
 
     fn typed_state(engine: &dyn SyncEngine) -> &C {
@@ -207,6 +277,9 @@ where
     /// (Scuttlebutt) emit digests here and complete their exchange through
     /// the replies returned by [`StoreReplica::absorb`].
     pub fn sync_step(&mut self, neighbors: &[ReplicaId]) -> Vec<(ReplicaId, StoreMsg<K>)> {
+        if let Some(m) = &self.obs {
+            m.sync_steps.inc();
+        }
         let mut batches: BTreeMap<ReplicaId, StoreMsg<K>> = BTreeMap::new();
         for (key, engine) in self.objects.iter_mut() {
             for env in engine.on_sync_pooled(neighbors, &mut self.pool) {
@@ -247,6 +320,7 @@ where
                 self.id,
                 self.cfg,
                 &self.params,
+                &self.obs,
             );
             let replies = engine.on_msg_pooled(env, &mut self.pool)?;
             for reply in replies {
@@ -277,6 +351,9 @@ where
     pub fn reset(&mut self) {
         self.objects.clear();
         self.merkle.clear();
+        if let Some(m) = &self.obs {
+            m.objects.set(0);
+        }
     }
 
     /// Out-of-band state transfer: for every object `source` holds,
@@ -339,7 +416,11 @@ where
     /// lattice state, so convergence and the Merkle tree are unaffected.
     /// Returns the number of entries pruned.
     pub fn compact(&mut self) -> u64 {
-        self.objects.values_mut().map(|e| e.compact()).sum()
+        let reclaimed = self.objects.values_mut().map(|e| e.compact()).sum();
+        if let Some(m) = &self.obs {
+            m.compact_reclaimed.add(reclaimed);
+        }
+        reclaimed
     }
 
     /// Feed a repaired delta into the object at `key` through the
@@ -375,9 +456,16 @@ where
             payload: payload.into(),
             accounting,
         };
-        let replies = Self::engine_at(&mut self.objects, key, self.id, self.cfg, &self.params)
-            .on_msg_pooled(env, &mut self.pool)
-            .expect("raw delta injection matches the configured protocol");
+        let replies = Self::engine_at(
+            &mut self.objects,
+            key,
+            self.id,
+            self.cfg,
+            &self.params,
+            &self.obs,
+        )
+        .on_msg_pooled(env, &mut self.pool)
+        .expect("raw delta injection matches the configured protocol");
         debug_assert!(replies.is_empty(), "delta-family kinds never reply");
     }
 }
